@@ -1,0 +1,87 @@
+// E7 - CC cache footprint per passage (paper Section 1.4 advantage 2).
+//
+// Claim: the algorithm needs a cache of only O(1) words per process,
+// whereas Golab-Hendler's deep exploration requires Theta(n) cached words
+// to meet its RMR bound. We measure the peak number of distinct cells
+// resident in a process's (unbounded, never-evicting) model cache within
+// a single passage: crash-free passages and repair passages, vs k.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/rme_lock.hpp"
+
+using namespace rme;
+using namespace rme::bench;
+using harness::ModelKind;
+using harness::SimProc;
+using harness::SimRun;
+using P = platform::Counted;
+
+namespace {
+
+size_t crash_free_footprint(int k) {
+  SimRun sim(ModelKind::kCc, k);
+  core::RmeLock<P> lk(sim.world().env, k);
+  rmr::CcModel* cc = sim.world().cc();
+  size_t peak = 0;
+  sim.set_body([&](SimProc& h, int pid) {
+    cc->flush_cache(pid);
+    lk.lock(h, pid);
+    lk.unlock(h, pid);
+    peak = std::max(peak, cc->peak_cache_words(pid));
+  });
+  sim::SeededRandom pol(5);
+  sim::NoCrash nc;
+  std::vector<uint64_t> iters(static_cast<size_t>(k), 4);
+  auto res = sim.run(pol, nc, iters, 80000000);
+  RME_ASSERT(!res.exhausted, "E7 crash-free run exhausted");
+  return peak;
+}
+
+// Footprint of the passage that performs the repair (crash after FAS,
+// all other ports occupied so the scan has k nodes to visit).
+size_t repair_footprint(int k) {
+  SimRun sim(ModelKind::kCc, k);
+  core::RmeLock<P> lk(sim.world().env, k);
+  rmr::CcModel* cc = sim.world().cc();
+  size_t peak = 0;
+  bool measured = false;
+  sim.set_body([&](SimProc& h, int pid) {
+    if (pid == 0) cc->flush_cache(0);
+    lk.lock(h, pid);
+    if (pid == 0 && !measured && lk.total_stats().repairs > 0) {
+      peak = cc->peak_cache_words(0);
+      measured = true;
+    }
+    lk.unlock(h, pid);
+  });
+  sim::CrashAroundFas plan(0, 1, sim::CrashAroundFas::kAfter);
+  sim::SeededRandom pol(5);
+  std::vector<uint64_t> iters(static_cast<size_t>(k), 4);
+  auto res = sim.run(pol, plan, iters, 80000000);
+  RME_ASSERT(!res.exhausted, "E7 repair run exhausted");
+  RME_ASSERT(measured, "E7: no repair observed");
+  return peak;
+}
+
+}  // namespace
+
+int main() {
+  header("E7", "peak cached words per passage (CC model, no eviction)",
+         "Section 1.4(2): O(1) cache words suffice (GH needs Theta(n)); "
+         "repair's shallow exploration touches O(k) but needs no "
+         "simultaneous residency");
+
+  Table t({"k", "crash-free", "repair passage"});
+  for (int k : {2, 4, 8, 16, 32, 64}) {
+    t.row({fmt("%d", k), fmt("%zu", crash_free_footprint(k)),
+           fmt("%zu", repair_footprint(k))});
+  }
+  std::printf(
+      "\nReading: the crash-free column is exactly flat (O(1) words - the "
+      "paper's claim).\nThe repair column grows with k only because the "
+      "one-off scan reads each port's node;\nno RMR bound depends on those "
+      "lines staying resident (shallow exploration), unlike GH\nwhere "
+      "Theta(n) residency is required for the O(n) repair RMR bound.\n");
+  return 0;
+}

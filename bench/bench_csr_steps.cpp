@@ -1,0 +1,105 @@
+// E6 - Wait-free critical-section re-entry (paper Lemma 7).
+//
+// Claim: a process that crashes inside the CS re-enters it within a
+// bounded number of its own steps (Line 20 fast path), with every other
+// port contending, for both the flat k-ported lock and the arbitration
+// tree (where the bound is O(height)).
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/arbitration_tree.hpp"
+#include "core/rme_lock.hpp"
+
+using namespace rme;
+using namespace rme::bench;
+using harness::ModelKind;
+using harness::SimProc;
+using harness::SimRun;
+using P = platform::Counted;
+
+namespace {
+
+// Crash pid 0 at its first op after `armed` flips true (set inside CS).
+class ArmedCrash final : public sim::CrashPlan {
+ public:
+  bool armed = false;
+  bool fired = false;
+  bool should_crash(int pid, uint64_t, rmr::Op) override {
+    if (pid != 0 || fired || !armed) return false;
+    fired = true;
+    return true;
+  }
+};
+
+template <class MakeLock>
+uint64_t reentry_steps(ModelKind kind, int n, MakeLock make, int* height) {
+  SimRun sim(kind, n);
+  auto lk = make(sim, height);
+  ArmedCrash plan;
+  uint64_t steps = 0;
+  platform::Counted::Atomic<int> probe;
+  probe.attach(sim.world().env, rmr::kNoOwner);
+  probe.init(0);
+  sim.set_body([&](SimProc& h, int pid) {
+    const uint64_t before = h.ctx.step_index;
+    lk->lock(h, pid);
+    if (pid == 0 && plan.fired && steps == 0) {
+      steps = h.ctx.step_index - before;
+    }
+    if (pid == 0 && !plan.fired) plan.armed = true;
+    for (int i = 0; i < 4; ++i) probe.store(h.ctx, pid);
+    lk->unlock(h, pid);
+  });
+  sim::SeededRandom pol(29);
+  // Height (not contender count) is the scaling variable: keep 4 active
+  // contenders regardless of n, so big-n rows stay simulable.
+  std::vector<uint64_t> iters(static_cast<size_t>(n), 0);
+  for (int q = 0; q < n && q < 4; ++q) iters[static_cast<size_t>(q)] = 6;
+  auto res = sim.run(pol, plan, iters, 80000000);
+  RME_ASSERT(!res.exhausted, "E6 run exhausted");
+  RME_ASSERT(plan.fired, "E6: crash never fired");
+  RME_ASSERT(steps > 0, "E6: reentry not observed");
+  return steps;
+}
+
+}  // namespace
+
+int main() {
+  header("E6", "steps from crash-in-CS to CS re-entry, under contention",
+         "Wait-free CSR (Lemma 7): bounded own-steps via the Line 20 fast "
+         "path; O(height) for the tree");
+
+  Table t({"model", "lock", "n/k", "height", "re-entry steps"});
+  for (ModelKind kind : {ModelKind::kCc, ModelKind::kDsm}) {
+    const char* m = kind == ModelKind::kCc ? "CC" : "DSM";
+    for (int k : {2, 4, 8, 16, 32}) {
+      int h = 1;
+      const uint64_t s = reentry_steps(
+          kind, k,
+          [&](auto& sim, int*) {
+            return std::make_unique<core::RmeLock<P>>(sim.world().env, k);
+          },
+          &h);
+      t.row({m, "flat", fmt("%d", k), "1", fmt("%llu", (unsigned long long)s)});
+    }
+    for (int n : {4, 16, 64, 256}) {
+      int h = 0;
+      const uint64_t s = reentry_steps(
+          kind, n,
+          [&](auto& sim, int* out_h) {
+            auto lk = std::make_unique<core::ArbitrationTree<P>>(
+                sim.world().env, n);
+            *out_h = lk->height();
+            return lk;
+          },
+          &h);
+      t.row({m, "tree", fmt("%d", n), fmt("%d", h),
+             fmt("%llu", (unsigned long long)s)});
+    }
+  }
+  std::printf(
+      "\nReading: flat-lock re-entry is a small constant independent of k "
+      "(and of the waiters);\ntree re-entry grows only with height = "
+      "O(log n / log log n), never with n itself.\n");
+  return 0;
+}

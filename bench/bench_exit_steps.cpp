@@ -1,0 +1,77 @@
+// E5 - Wait-free Exit (paper Section 1.4 advantage 1, Lemma 6).
+//
+// Claim: the Exit section completes in a bounded number of the caller's
+// own steps regardless of contention (Golab-Hendler's exit is not
+// wait-free). We record the maximum shared-memory step count of unlock()
+// across heavily contended runs, per k: the number must not grow with the
+// number of *waiting* processes (the O(k) component visible here is the
+// amortised QSBR reclamation spike, bounded and optional).
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/rme_lock.hpp"
+
+using namespace rme;
+using namespace rme::bench;
+using harness::ModelKind;
+using harness::SimProc;
+using harness::SimRun;
+using P = platform::Counted;
+
+namespace {
+
+struct ExitCost {
+  uint64_t max_steps;
+  double mean_steps;
+};
+
+ExitCost exit_steps(ModelKind kind, int k, bool recycle) {
+  SimRun sim(kind, k);
+  typename core::RmeLock<P>::Options opt;
+  opt.recycle = recycle;
+  core::RmeLock<P> lk(sim.world().env, k, opt);
+  uint64_t max_steps = 0, total = 0, count = 0;
+  sim.set_body([&](SimProc& h, int pid) {
+    lk.lock(h, pid);
+    const uint64_t before = h.ctx.step_index;
+    lk.unlock(h, pid);
+    const uint64_t steps = h.ctx.step_index - before;
+    max_steps = std::max(max_steps, steps);
+    total += steps;
+    ++count;
+  });
+  sim::SeededRandom pol(3);
+  sim::NoCrash nc;
+  std::vector<uint64_t> iters(static_cast<size_t>(k), 15);
+  auto res = sim.run(pol, nc, iters, 80000000);
+  RME_ASSERT(!res.exhausted, "E5 run exhausted");
+  return ExitCost{max_steps,
+                  static_cast<double>(total) / static_cast<double>(count)};
+}
+
+}  // namespace
+
+int main() {
+  header("E5", "Exit section step bound under full contention",
+         "Wait-free Exit: bounded own-steps regardless of waiters "
+         "(Lemma 6); GH's algorithm lacks this property");
+
+  Table t({"model", "k", "recycle", "mean steps", "max steps"});
+  for (ModelKind kind : {ModelKind::kCc, ModelKind::kDsm}) {
+    const char* m = kind == ModelKind::kCc ? "CC" : "DSM";
+    for (int k : {2, 4, 8, 16, 32}) {
+      auto on = exit_steps(kind, k, true);
+      t.row({m, fmt("%d", k), "on", fmt("%.1f", on.mean_steps),
+             fmt("%llu", (unsigned long long)on.max_steps)});
+      auto off = exit_steps(kind, k, false);
+      t.row({m, fmt("%d", k), "off", fmt("%.1f", off.mean_steps),
+             fmt("%llu", (unsigned long long)off.max_steps)});
+    }
+  }
+  std::printf(
+      "\nReading: with recycling off (verbatim paper Exit = Lines 27-29), "
+      "max steps is a small\nconstant independent of k. With recycling on, "
+      "the mean stays constant and the max shows\nthe occasional amortised "
+      "O(k) QSBR scan - the documented trade for bounded memory.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// E8 - Instruction mix audit (paper Section 1.4 advantage 3).
+//
+// Claim: the algorithm uses FAS as its *only* read-modify-write primitive
+// (GH needs FAS + CAS; MCS needs FAS + CAS; ticket locks need FAI). We
+// count every operation kind issued during contended crash-free and
+// crashing runs, for the full stack (RmeLock incl. RLock + Signals) and
+// the baselines.
+#include <memory>
+
+#include "baselines/mcs.hpp"
+#include "baselines/simple_locks.hpp"
+#include "bench_util.hpp"
+#include "core/arbitration_tree.hpp"
+#include "core/rme_lock.hpp"
+
+using namespace rme;
+using namespace rme::bench;
+using harness::ModelKind;
+using harness::SimProc;
+using harness::SimRun;
+using P = platform::Counted;
+
+namespace {
+
+struct Mix {
+  uint64_t reads = 0, writes = 0, fas = 0, cas = 0, fai = 0;
+};
+
+template <class MakeLock>
+Mix measure_mix(int n, MakeLock make, bool with_crashes) {
+  SimRun sim(ModelKind::kCc, n);
+  auto lk = make(sim);
+  sim.set_body([&](SimProc& h, int pid) {
+    lk->lock(h, pid);
+    lk->unlock(h, pid);
+  });
+  sim::SeededRandom pol(13);
+  sim::NoCrash nc;
+  sim::RandomCrash rc(0.004, 99, 20);
+  std::vector<uint64_t> iters(static_cast<size_t>(n), 10);
+  auto res =
+      sim.run(pol, with_crashes ? static_cast<sim::CrashPlan&>(rc) : nc,
+              iters, 80000000);
+  RME_ASSERT(!res.exhausted, "E8 run exhausted");
+  Mix m;
+  for (int p = 0; p < n; ++p) {
+    const auto& c = sim.world().counters(p);
+    m.reads += c.reads;
+    m.writes += c.writes;
+    m.fas += c.fas;
+    m.cas += c.cas;
+    m.fai += c.fai;
+  }
+  return m;
+}
+
+std::string yn(uint64_t v) { return v == 0 ? "-" : fmt("%llu", (unsigned long long)v); }
+
+}  // namespace
+
+int main() {
+  header("E8", "dynamic instruction mix per lock (4 ports, 10 passages each)",
+         "Section 1.4(3): the algorithm needs only FAS (GH needs FAS+CAS)");
+
+  Table t({"lock", "crashes", "reads", "writes", "FAS", "CAS", "FAI"});
+  auto row = [&](const char* name, bool crashes, Mix m) {
+    t.row({name, crashes ? "yes" : "no", fmt("%llu", (unsigned long long)m.reads),
+           fmt("%llu", (unsigned long long)m.writes), yn(m.fas), yn(m.cas),
+           yn(m.fai)});
+  };
+
+  row("RmeLock", false, measure_mix(4, [](auto& sim) {
+        return std::make_unique<core::RmeLock<P>>(sim.world().env, 4);
+      }, false));
+  row("RmeLock", true, measure_mix(4, [](auto& sim) {
+        return std::make_unique<core::RmeLock<P>>(sim.world().env, 4);
+      }, true));
+  row("ArbTree", true, measure_mix(8, [](auto& sim) {
+        return std::make_unique<core::ArbitrationTree<P>>(sim.world().env, 8);
+      }, true));
+  row("MCS", false, measure_mix(4, [](auto& sim) {
+        return std::make_unique<baselines::McsLock<P>>(sim.world().env, 4);
+      }, false));
+  row("Ticket", false, measure_mix(4, [](auto& sim) {
+        return std::make_unique<baselines::TicketLock<P>>(sim.world().env);
+      }, false));
+  row("TAS", false, measure_mix(4, [](auto& sim) {
+        return std::make_unique<baselines::TasLock<P>>(sim.world().env);
+      }, false));
+
+  std::printf(
+      "\nReading: RmeLock rows (and the tree, which includes repair under "
+      "crashes) have '-' in both\nthe CAS and FAI columns across every "
+      "path, including recovery. MCS needs CAS, Ticket needs FAI.\n");
+  return 0;
+}

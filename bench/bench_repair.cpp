@@ -1,0 +1,96 @@
+// E10 - Repair cost (paper Section 1.5: shallow vs deep exploration).
+//
+// Claim: one repair pass costs O(k) RMRs and O(k) local work (GH's deep
+// exploration costs O(n^2) local steps). We isolate the recovery passage
+// of a crashed process - with every other port holding a node, so the
+// scan really visits k entries - and report its RMRs and steps vs k,
+// plus the branch the repair resolved through.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/rme_lock.hpp"
+
+using namespace rme;
+using namespace rme::bench;
+using harness::ModelKind;
+using harness::SimProc;
+using harness::SimRun;
+using P = platform::Counted;
+
+namespace {
+
+struct RepairCost {
+  double rmrs;
+  double steps;
+  const char* branch;
+};
+
+RepairCost repair_cost(ModelKind kind, int k) {
+  SimRun sim(kind, k);
+  core::RmeLock<P> lk(sim.world().env, k);
+  uint64_t rmr_before = 0, steps_before = 0;
+  double rmrs = -1, steps = -1;
+  bool in_recovery = false;
+  sim.set_body([&](SimProc& h, int pid) {
+    if (pid == 0) {
+      rmr_before = h.ctx.counters.rmrs;
+      steps_before = h.ctx.counters.steps;
+      lk.lock(h, 0);
+      if (in_recovery && rmrs < 0) {
+        rmrs = static_cast<double>(h.ctx.counters.rmrs - rmr_before);
+        steps = static_cast<double>(h.ctx.counters.steps - steps_before);
+      }
+      lk.unlock(h, 0);
+    } else {
+      lk.lock(h, pid);
+      lk.unlock(h, pid);
+    }
+  });
+  struct Plan final : sim::CrashPlan {
+    bool fired = false;
+    bool* flag;
+    sim::CrashAroundFas inner{0, 1, sim::CrashAroundFas::kAfter};
+    explicit Plan(bool* f) : flag(f) {}
+    bool should_crash(int pid, uint64_t step, rmr::Op op) override {
+      if (inner.should_crash(pid, step, op)) {
+        *flag = true;
+        return true;
+      }
+      return false;
+    }
+  } plan(&in_recovery);
+  sim::SeededRandom pol(21);
+  std::vector<uint64_t> iters(static_cast<size_t>(k), 6);
+  auto res = sim.run(pol, plan, iters, 80000000);
+  RME_ASSERT(!res.exhausted, "E10 run exhausted");
+  RME_ASSERT(rmrs >= 0, "E10: no recovery passage observed");
+  const auto st = lk.total_stats();
+  const char* branch = st.repair_fas ? "L47-FAS"
+                       : st.repair_headpath ? "L48-head"
+                                            : "L48-special";
+  return RepairCost{rmrs, steps, branch};
+}
+
+}  // namespace
+
+int main() {
+  header("E10", "recovery-passage cost vs k (crash after FAS, all ports busy)",
+         "Section 1.5: shallow exploration repairs in O(k) RMRs and O(k) "
+         "local steps (GH: O(n) cache words, O(n^2) local steps)");
+
+  Table t({"model", "k", "RMRs", "steps", "RMR/k", "branch"});
+  for (ModelKind kind : {ModelKind::kCc, ModelKind::kDsm}) {
+    const char* m = kind == ModelKind::kCc ? "CC" : "DSM";
+    for (int k : {2, 4, 8, 16, 32, 64}) {
+      auto c = repair_cost(kind, k);
+      t.row({m, fmt("%d", k), fmt("%.0f", c.rmrs), fmt("%.0f", c.steps),
+             fmt("%.2f", c.rmrs / k), c.branch});
+    }
+  }
+  std::printf(
+      "\nReading: RMRs and steps grow linearly in k (the Node-array scan) "
+      "- the RMR/k column is\n~constant. That linear scan is the entire "
+      "repair cost: no quadratic local work, no O(k)\nresidency "
+      "requirement.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// E9 - Wall-clock throughput on real hardware threads (Real platform:
+// plain std::atomic, zero instrumentation).
+//
+// Not a claim from the paper (its model counts RMRs, not nanoseconds) but
+// the practicality check a systems reader expects: the recoverable lock's
+// crash-free fast path against classic non-recoverable locks and
+// std::mutex. Uses google-benchmark's threaded fixtures; each thread is
+// bound to one port/pid.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "baselines/mcs.hpp"
+#include "baselines/simple_locks.hpp"
+#include "core/arbitration_tree.hpp"
+#include "core/rme_lock.hpp"
+#include "harness/world.hpp"
+
+namespace {
+
+using namespace rme;
+using R = platform::Real;
+
+constexpr int kMaxThreads = 16;
+
+// Shared fixture state; created once per lock type and reused across
+// thread-count variants (the locks are designed for arbitrary reuse).
+// Never deleted mid-process: google-benchmark may still be running other
+// threads' loops when thread 0 finishes, so teardown inside the benchmark
+// function would be a use-after-free.
+template <class Lock>
+struct Fix {
+  harness::RealWorld world{kMaxThreads};
+  std::unique_ptr<Lock> lock;
+  uint64_t shared_counter = 0;  // protected by the lock
+};
+
+template <class Lock, class Make>
+void run_lock_bench(benchmark::State& state, std::atomic<Fix<Lock>*>& fix,
+                    Make make) {
+  {
+    static std::mutex setup_mu;
+    std::lock_guard<std::mutex> g(setup_mu);
+    if (fix.load(std::memory_order_acquire) == nullptr) {
+      auto* f = new Fix<Lock>();
+      f->lock = make(f->world);
+      fix.store(f, std::memory_order_release);
+    }
+  }
+  Fix<Lock>* f = fix.load(std::memory_order_acquire);
+  // One port per benchmark thread: thread_index is stable for the run and
+  // distinct across concurrent threads - the paper's port contract.
+  const int my_pid = state.thread_index();
+  auto& h = f->world.proc(my_pid);
+
+  uint64_t local = 0;
+  for (auto _ : state) {
+    f->lock->lock(h, my_pid);
+    ++f->shared_counter;  // the critical section
+    f->lock->unlock(h, my_pid);
+    ++local;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(local));
+  if (state.thread_index() == 0) {
+    state.counters["cs_total"] = static_cast<double>(f->shared_counter);
+  }
+}
+
+#define LOCK_BENCH(NAME, LOCKTYPE, MAKE)                              \
+  void NAME(benchmark::State& state) {                               \
+    static std::atomic<Fix<LOCKTYPE>*> fix{nullptr};                 \
+    run_lock_bench<LOCKTYPE>(state, fix, MAKE);                      \
+  }                                                                  \
+  BENCHMARK(NAME)->ThreadRange(1, kMaxThreads)->UseRealTime();
+
+LOCK_BENCH(BM_RmeLock_Flat, core::RmeLock<R>, [](harness::RealWorld& w) {
+  return std::make_unique<core::RmeLock<R>>(w.env, kMaxThreads);
+})
+
+LOCK_BENCH(BM_RmeLock_Tree, core::ArbitrationTree<R>,
+           [](harness::RealWorld& w) {
+             return std::make_unique<core::ArbitrationTree<R>>(w.env,
+                                                               kMaxThreads);
+           })
+
+LOCK_BENCH(BM_Mcs, baselines::McsLock<R>, [](harness::RealWorld& w) {
+  return std::make_unique<baselines::McsLock<R>>(w.env, kMaxThreads);
+})
+
+LOCK_BENCH(BM_Ttas, baselines::TtasLock<R>, [](harness::RealWorld& w) {
+  return std::make_unique<baselines::TtasLock<R>>(w.env);
+})
+
+LOCK_BENCH(BM_Ticket, baselines::TicketLock<R>, [](harness::RealWorld& w) {
+  return std::make_unique<baselines::TicketLock<R>>(w.env);
+})
+
+LOCK_BENCH(BM_Clh, baselines::ClhLock<R>, [](harness::RealWorld& w) {
+  return std::make_unique<baselines::ClhLock<R>>(w.env, kMaxThreads);
+})
+
+// std::mutex reference.
+void BM_StdMutex(benchmark::State& state) {
+  static std::mutex mu;
+  static uint64_t counter = 0;
+  uint64_t local = 0;
+  for (auto _ : state) {
+    std::lock_guard<std::mutex> g(mu);
+    ++counter;
+    ++local;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(local));
+}
+BENCHMARK(BM_StdMutex)->ThreadRange(1, kMaxThreads)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

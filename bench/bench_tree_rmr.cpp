@@ -1,0 +1,118 @@
+// E4 - Arbitration tree RMR vs n (paper Theorem 3, the headline result).
+//
+// Claim: the n-process arbitration tree of degree Theta(log n/log log n)
+// built from RmeLock nodes costs O(log n / log log n) RMR per crash-free
+// passage - asymptotically better than the Theta(log n) binary tournament
+// (the read/write recoverable baseline, optimal without FAS by Attiya et
+// al.'s lower bound).
+//
+// Two sections:
+//   (a) solo passages up to n = 4096: the pure height term, with the
+//       normalised columns RMR/(log n/log log n) (tree) and RMR/log2 n
+//       (tournament), which should each be ~constant;
+//   (b) all-ports-contending passages up to n = 32: same separation with
+//       handoff costs included.
+#include <cmath>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/arbitration_tree.hpp"
+#include "rlock/tournament.hpp"
+
+using namespace rme;
+using namespace rme::bench;
+using harness::ModelKind;
+using harness::SimProc;
+using harness::SimRun;
+using P = platform::Counted;
+
+namespace {
+
+// Solo: only pid 0 takes passages; everyone else is idle.
+template <class MakeLock>
+double solo_rmr(ModelKind kind, int n, uint64_t iters, MakeLock make,
+                int* height_out = nullptr) {
+  SimRun sim(kind, n);
+  auto lk = make(sim, height_out);
+  sim.set_body([&](SimProc& h, int pid) {
+    lk->lock(h, pid);
+    lk->unlock(h, pid);
+  });
+  sim::RoundRobin rr;
+  sim::NoCrash nc;
+  std::vector<uint64_t> per(static_cast<size_t>(n), 0);
+  per[0] = iters;
+  auto res = sim.run(rr, nc, per, 400000000);
+  RME_ASSERT(!res.exhausted, "E4 solo run exhausted");
+  return static_cast<double>(sim.world().counters(0).rmrs) /
+         static_cast<double>(iters);
+}
+
+}  // namespace
+
+int main() {
+  header("E4", "n-process lock RMR vs n: arbitration tree vs tournament",
+         "Theorem 3: O((1+f) log n / log log n) per super-passage; beats "
+         "the Theta(log n) read/write tournament");
+
+  std::printf("\n-- (a) solo passages (pure height term) --\n");
+  {
+    Table t({"model", "n", "deg", "ht", "tree", "tourn", "tree/norm",
+             "tourn/log2n"});
+    for (ModelKind kind : {ModelKind::kCc, ModelKind::kDsm}) {
+      const char* m = kind == ModelKind::kCc ? "CC" : "DSM";
+      for (int n : {4, 16, 64, 256, 1024}) {
+        int degree = 0, height = 0;
+        const double tree = solo_rmr(
+            kind, n, 10,
+            [&](auto& sim, int*) {
+              auto lk = std::make_unique<core::ArbitrationTree<P>>(
+                  sim.world().env, n);
+              degree = lk->degree();
+              height = lk->height();
+              return lk;
+            });
+        const double tourn = solo_rmr(
+            kind, n, 10, [&](auto& sim, int*) {
+              return std::make_unique<rlock::TournamentRLock<P>>(
+                  sim.world().env, n);
+            });
+        const double logn = std::log2(static_cast<double>(n));
+        const double norm = logn / std::max(1.0, std::log2(logn));
+        t.row({m, fmt("%d", n), fmt("%d", degree), fmt("%d", height),
+               fmt("%.1f", tree), fmt("%.1f", tourn),
+               fmt("%.2f", tree / norm), fmt("%.2f", tourn / logn)});
+      }
+    }
+  }
+
+  std::printf("\n-- (b) all ports contending --\n");
+  {
+    constexpr uint64_t kIters = 6;
+    Table t({"model", "n", "tree", "tourn", "tourn/tree"});
+    for (ModelKind kind : {ModelKind::kCc, ModelKind::kDsm}) {
+      const char* m = kind == ModelKind::kCc ? "CC" : "DSM";
+      for (int n : {4, 8, 16, 32}) {
+        auto tree = measure_passages(kind, n, kIters, 11, [&](auto& sim) {
+          return std::make_unique<core::ArbitrationTree<P>>(sim.world().env,
+                                                            n);
+        });
+        auto tourn = measure_passages(kind, n, kIters, 11, [&](auto& sim) {
+          return std::make_unique<rlock::TournamentRLock<P>>(sim.world().env,
+                                                             n);
+        });
+        RME_ASSERT(tree.ok && tourn.ok, "E4 contended run exhausted");
+        t.row({m, fmt("%d", n), fmt("%.1f", tree.rmr_per_passage),
+               fmt("%.1f", tourn.rmr_per_passage),
+               fmt("%.2f", tourn.rmr_per_passage / tree.rmr_per_passage)});
+      }
+    }
+  }
+
+  std::printf(
+      "\nReading: in (a) the normalised columns are ~flat, i.e. tree ~ "
+      "log n/log log n and\ntournament ~ log n; the height column is the "
+      "structural witness (ceil(log_d n) << log2 n\nas n grows). (b) shows "
+      "the same ordering under full contention.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Shared helpers for the experiment binaries (E1-E10, see DESIGN.md /
+// EXPERIMENTS.md). Each bench prints a self-describing table; run
+// `build/bench/<name>` directly, no arguments needed.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/sim_run.hpp"
+#include "harness/world.hpp"
+
+namespace rme::bench {
+
+inline void header(const char* exp_id, const char* title,
+                   const char* claim) {
+  std::printf("== %s: %s\n", exp_id, title);
+  std::printf("   paper claim: %s\n", claim);
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> cols) : cols_(std::move(cols)) {
+    for (const auto& c : cols_) std::printf("%14s", c.c_str());
+    std::printf("\n");
+    for (size_t i = 0; i < cols_.size(); ++i) std::printf("%14s", "------");
+    std::printf("\n");
+  }
+  void row(const std::vector<std::string>& cells) {
+    for (const auto& c : cells) std::printf("%14s", c.c_str());
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> cols_;
+};
+
+inline std::string fmt(const char* f, ...) {
+  char buf[128];
+  va_list ap;
+  va_start(ap, f);
+  vsnprintf(buf, sizeof buf, f, ap);
+  va_end(ap);
+  return buf;
+}
+
+// Run `iters` lock/unlock passages per port on a fresh sim world and
+// return mean RMRs per passage (plus optional per-port breakdown).
+struct PassageCost {
+  double rmr_per_passage = 0;
+  double steps_per_passage = 0;
+  uint64_t passages = 0;
+  bool ok = false;
+};
+
+template <class MakeLock>
+PassageCost measure_passages(harness::ModelKind kind, int n, uint64_t iters,
+                             uint64_t seed, MakeLock make,
+                             sim::CrashPlan* crash = nullptr,
+                             uint64_t max_steps = 80000000) {
+  harness::SimRun sim(kind, n);
+  auto lk = make(sim);
+  sim.set_body([&](harness::SimProc& h, int pid) {
+    lk->lock(h, pid);
+    lk->unlock(h, pid);
+  });
+  sim::SeededRandom pol(seed);
+  sim::NoCrash nc;
+  std::vector<uint64_t> per(static_cast<size_t>(n), iters);
+  auto res = sim.run(pol, crash != nullptr ? *crash : nc, per, max_steps);
+  PassageCost out;
+  out.ok = !res.exhausted;
+  uint64_t rmrs = 0, steps = 0;
+  for (int p = 0; p < n; ++p) {
+    rmrs += sim.world().counters(p).rmrs;
+    steps += sim.world().counters(p).steps;
+    out.passages += res.completions[static_cast<size_t>(p)];
+  }
+  if (out.passages > 0) {
+    out.rmr_per_passage =
+        static_cast<double>(rmrs) / static_cast<double>(out.passages);
+    out.steps_per_passage =
+        static_cast<double>(steps) / static_cast<double>(out.passages);
+  }
+  return out;
+}
+
+}  // namespace rme::bench

@@ -1,0 +1,85 @@
+// RMR audit: measure the memory-reference profile of *your own* critical
+// sections on both machine models - a demonstration of using the counted
+// platform as an analysis tool rather than just a test harness.
+//
+// Build & run:  ./build/examples/rmr_audit
+//
+// The same producer/consumer handoff is run twice, once on the CC model
+// and once on DSM, and the per-process operation/RMR profile is printed.
+// This is the workflow for checking whether an algorithm you build on top
+// of the library is DSM-local (the property the paper's Signal object
+// exists to provide).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/rme_lock.hpp"
+#include "harness/sim_run.hpp"
+#include "signal/signal.hpp"
+
+using namespace rme;
+using harness::ModelKind;
+using harness::SimProc;
+using harness::SimRun;
+using P = platform::Counted;
+
+namespace {
+
+void profile(ModelKind kind) {
+  constexpr int kProcs = 2;
+  constexpr int kRounds = 100;
+  SimRun sim(kind, kProcs);
+  core::RmeLock<P> lock(sim.world().env, kProcs);
+
+  // A mailbox protected by the lock plus a Signal chain for the handoff.
+  typename P::Atomic<int> mailbox;
+  mailbox.attach(sim.world().env, rmr::kNoOwner);
+  mailbox.init(0);
+
+  int produced = 0, consumed = 0;
+  sim.set_body([&](SimProc& h, int pid) {
+    lock.lock(h, pid);
+    if (pid == 0) {
+      mailbox.store(h.ctx, ++produced);
+    } else {
+      consumed = mailbox.load(h.ctx);
+    }
+    lock.unlock(h, pid);
+  });
+
+  sim::SeededRandom pol(3);
+  sim::NoCrash nc;
+  std::vector<uint64_t> iters(kProcs, kRounds);
+  auto res = sim.run(pol, nc, iters, 80000000);
+  if (res.exhausted) {
+    std::printf("run exhausted!\n");
+    return;
+  }
+
+  std::printf("\n[%s model] %d rounds/process\n",
+              kind == ModelKind::kCc ? "CC" : "DSM", kRounds);
+  std::printf("  %-4s %8s %8s %8s %8s %8s %12s\n", "pid", "reads", "writes",
+              "FAS", "steps", "RMRs", "RMR/passage");
+  for (int p = 0; p < kProcs; ++p) {
+    const auto& c = sim.world().counters(p);
+    std::printf("  %-4d %8llu %8llu %8llu %8llu %8llu %12.2f\n", p,
+                (unsigned long long)c.reads, (unsigned long long)c.writes,
+                (unsigned long long)c.fas, (unsigned long long)c.steps,
+                (unsigned long long)c.rmrs,
+                static_cast<double>(c.rmrs) / kRounds);
+  }
+  std::printf("  (consumed=%d produced=%d)\n", consumed, produced);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("RMR audit of a lock-protected mailbox handoff\n");
+  profile(ModelKind::kCc);
+  profile(ModelKind::kDsm);
+  std::printf(
+      "\nReading: on both models RMR/passage is a small constant - the "
+      "lock is local-spinning\neverywhere. Rerun with your own body to "
+      "audit your data structure.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// MCS queue lock (Mellor-Crummey & Scott 1991, paper reference [11]).
+//
+// The classical O(1)-RMR lock on both CC and DSM that the core algorithm
+// recoverabilises. NOT crash-recoverable (a crash around the FAS loses the
+// predecessor pointer - Section 1.5 explains why that is fatal); it is the
+// performance floor in experiments E2/E9 and the instruction-mix contrast
+// in E8 (its release path needs CAS, the core lock needs only FAS).
+#pragma once
+
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "platform/process.hpp"
+#include "util/assert.hpp"
+
+namespace rme::baselines {
+
+template <class P>
+class McsLock {
+ public:
+  using Ctx = typename P::Context;
+  using Env = typename P::Env;
+  using Proc = platform::Process<P>;
+
+  McsLock(Env& env, int ports) : nodes_(static_cast<size_t>(ports)) {
+    tail_.attach(env, rmr::kNoOwner);
+    tail_.init(nullptr);
+    for (int p = 0; p < ports; ++p) {
+      nodes_[static_cast<size_t>(p)].next.attach(env, p);
+      nodes_[static_cast<size_t>(p)].locked.attach(env, p);
+    }
+  }
+
+  void lock(Proc& h, int p) {
+    Ctx& ctx = h.ctx;
+    MNode* me = &nodes_[static_cast<size_t>(p)];
+    me->next.store(ctx, nullptr, std::memory_order_relaxed);
+    me->locked.store(ctx, 1, std::memory_order_relaxed);
+    MNode* pred = tail_.exchange(ctx, me);  // FAS
+    if (pred != nullptr) {
+      pred->next.store(ctx, me, std::memory_order_release);
+      // Local spin: `locked` lives in port p's partition / cache line.
+      while (me->locked.load(ctx, std::memory_order_acquire) != 0) {
+        P::pause();
+      }
+    }
+  }
+
+  void unlock(Proc& h, int p) {
+    Ctx& ctx = h.ctx;
+    MNode* me = &nodes_[static_cast<size_t>(p)];
+    MNode* next = me->next.load(ctx, std::memory_order_acquire);
+    if (next == nullptr) {
+      MNode* expected = me;
+      if (tail_.compare_exchange(ctx, expected, nullptr)) {
+        return;  // no successor
+      }
+      // Successor mid-enqueue: wait for its next-pointer write.
+      while ((next = me->next.load(ctx, std::memory_order_acquire)) ==
+             nullptr) {
+        P::pause();
+      }
+    }
+    next->locked.store(ctx, 0, std::memory_order_release);
+  }
+
+ private:
+  struct MNode {
+    typename P::template Atomic<MNode*> next;
+    typename P::template Atomic<int> locked;
+  };
+
+  typename P::template Atomic<MNode*> tail_;
+  std::vector<MNode> nodes_;
+};
+
+}  // namespace rme::baselines

@@ -1,0 +1,163 @@
+// Simple baseline locks: TAS, TTAS, ticket, CLH.
+//
+// None are crash-recoverable; they anchor the RMR and throughput
+// comparisons (experiments E2, E4, E9):
+//   TAS    - exchange loop on one cell: Theta(contenders) RMR per passage
+//            on both models; the worst reasonable baseline.
+//   TTAS   - read-spin then exchange: cache-friendly on CC, still remote
+//            spinning on DSM.
+//   Ticket - FAI + read spin: O(1) RMW but remote spinning; uses the kFai
+//            instruction (instruction-mix contrast for E8).
+//   CLH    - implicit queue, spin on predecessor's cell: O(1) RMR on CC,
+//            unbounded on DSM (the predecessor's cell is remote) - the
+//            textbook CC/DSM separation the paper's Signal object exists
+//            to avoid.
+#pragma once
+
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "platform/process.hpp"
+
+namespace rme::baselines {
+
+template <class P>
+class TasLock {
+ public:
+  using Ctx = typename P::Context;
+  using Env = typename P::Env;
+  using Proc = platform::Process<P>;
+
+  explicit TasLock(Env& env) {
+    word_.attach(env, rmr::kNoOwner);
+    word_.init(0);
+  }
+  void lock(Proc& h, int /*p*/) {
+    while (word_.exchange(h.ctx, 1, std::memory_order_acquire) != 0) {
+      P::pause();
+    }
+  }
+  void unlock(Proc& h, int /*p*/) {
+    word_.store(h.ctx, 0, std::memory_order_release);
+  }
+
+ private:
+  typename P::template Atomic<int> word_;
+};
+
+template <class P>
+class TtasLock {
+ public:
+  using Ctx = typename P::Context;
+  using Env = typename P::Env;
+  using Proc = platform::Process<P>;
+
+  explicit TtasLock(Env& env) {
+    word_.attach(env, rmr::kNoOwner);
+    word_.init(0);
+  }
+  void lock(Proc& h, int /*p*/) {
+    for (;;) {
+      while (word_.load(h.ctx, std::memory_order_relaxed) != 0) P::pause();
+      if (word_.exchange(h.ctx, 1, std::memory_order_acquire) == 0) return;
+    }
+  }
+  void unlock(Proc& h, int /*p*/) {
+    word_.store(h.ctx, 0, std::memory_order_release);
+  }
+
+ private:
+  typename P::template Atomic<int> word_;
+};
+
+template <class P>
+class TicketLock {
+ public:
+  using Ctx = typename P::Context;
+  using Env = typename P::Env;
+  using Proc = platform::Process<P>;
+
+  explicit TicketLock(Env& env) {
+    next_.attach(env, rmr::kNoOwner);
+    serving_.attach(env, rmr::kNoOwner);
+    next_.init(0);
+    serving_.init(0);
+  }
+  void lock(Proc& h, int /*p*/) {
+    const uint64_t my = next_.fetch_add(h.ctx, 1);
+    while (serving_.load(h.ctx, std::memory_order_acquire) != my) {
+      P::pause();
+    }
+  }
+  void unlock(Proc& h, int /*p*/) {
+    const uint64_t s = serving_.load(h.ctx, std::memory_order_relaxed);
+    serving_.store(h.ctx, s + 1, std::memory_order_release);
+  }
+
+ private:
+  typename P::template Atomic<uint64_t> next_;
+  typename P::template Atomic<uint64_t> serving_;
+};
+
+template <class P>
+class ClhLock {
+ public:
+  using Ctx = typename P::Context;
+  using Env = typename P::Env;
+  using Proc = platform::Process<P>;
+
+  ClhLock(Env& env, int ports)
+      : slots_(static_cast<size_t>(ports)),
+        owned_(static_cast<size_t>(2 * ports + 1)) {
+    tail_.attach(env, rmr::kNoOwner);
+    for (auto& c : owned_) {
+      c.flag.attach(env, rmr::kNoOwner);
+      c.flag.init(0);
+    }
+    // Dummy released node seeds the queue.
+    owned_[0].flag.init(0);
+    tail_.init(&owned_[0]);
+    size_t next = 1;
+    for (auto& s : slots_) {
+      s.mine = &owned_[next++];
+      s.mine->flag.init(1);
+    }
+  }
+
+  void lock(Proc& h, int p) {
+    Ctx& ctx = h.ctx;
+    Slot& s = slots_[static_cast<size_t>(p)];
+    s.mine->flag.store(ctx, 1, std::memory_order_relaxed);
+    Cell* pred = tail_.exchange(ctx, s.mine);
+    s.pred = pred;
+    // Spin on the predecessor's cell: CC-local after first read, but a
+    // remote cell on DSM - the structural flaw the paper's Signal fixes.
+    while (pred->flag.load(ctx, std::memory_order_acquire) != 0) {
+      P::pause();
+    }
+  }
+
+  void unlock(Proc& h, int p) {
+    Ctx& ctx = h.ctx;
+    Slot& s = slots_[static_cast<size_t>(p)];
+    Cell* mine = s.mine;
+    mine->flag.store(ctx, 0, std::memory_order_release);
+    s.mine = s.pred;  // recycle predecessor's cell (classic CLH)
+    s.pred = nullptr;
+  }
+
+ private:
+  struct Cell {
+    typename P::template Atomic<int> flag;
+  };
+  struct Slot {
+    Cell* mine = nullptr;
+    Cell* pred = nullptr;
+  };
+
+  typename P::template Atomic<Cell*> tail_;
+  std::vector<Slot> slots_;
+  std::vector<Cell> owned_;
+};
+
+}  // namespace rme::baselines

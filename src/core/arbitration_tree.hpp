@@ -1,0 +1,137 @@
+// ArbitrationTree: the n-process lock of Theorem 3.
+//
+// n processes compete on a tree of k-ported RmeLock instances of degree
+// d = Theta(log n / log log n) (paper Section 3.3, following Golab &
+// Hendler's arbitration-tree technique). A process climbs from its leaf to
+// the root, holding each node's lock; the root holder is in the global
+// critical section. Height is ceil(log_d n), so a crash-free passage costs
+// O(log n / log log n) RMRs and a super-passage with f crashes costs
+// O((1+f) log n / log log n) - each per-node repair is O(d) and d is one
+// O(log n/ log log n) term.
+//
+// At level l, process pid plays port (pid / d^l) mod d of node
+// pid / d^(l+1). Two processes mapping to the same (node, port) share
+// their entire subtree below it, and a process only reaches level l while
+// holding its level l-1 node, so concurrent same-port use is impossible -
+// the RmeLock port contract holds by construction. Release is root-to-leaf
+// (reverse acquisition): a process frees its port at level l strictly
+// before freeing level l-1, which is what keeps the port exclusive.
+//
+// Recovery is pure re-execution, no per-process persistent state: each
+// RmeLock's Try section is its own recovery code, so after a crash
+// anywhere lock(pid) re-climbs - held nodes short-circuit through the
+// paper's Line 20 fast path (crashed-in-CS re-entry), released nodes are
+// re-acquired. A crash in the global CS therefore re-enters in O(height)
+// bounded steps: wait-free CSR.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/rme_lock.hpp"
+#include "platform/platform.hpp"
+#include "platform/process.hpp"
+#include "util/assert.hpp"
+
+namespace rme::core {
+
+// The paper's degree: max(2, round(log n / log log n)).
+inline int arbitration_degree(int n) {
+  if (n <= 4) return 2;
+  const double ln = std::log2(static_cast<double>(n));
+  const double lln = std::log2(ln);
+  const int d = static_cast<int>(std::lround(ln / lln));
+  return d < 2 ? 2 : d;
+}
+
+template <class P>
+class ArbitrationTree {
+ public:
+  using Env = typename P::Env;
+  using Proc = platform::Process<P>;
+
+  struct Options {
+    int degree = 0;  // 0 = auto: arbitration_degree(n)
+    bool recycle = true;
+  };
+
+  ArbitrationTree(Env& env, int nprocs, Options opt = {})
+      : n_(nprocs), degree_(opt.degree > 0 ? opt.degree
+                                           : arbitration_degree(nprocs)) {
+    RME_ASSERT(nprocs >= 1, "ArbitrationTree: need >= 1 process");
+    RME_ASSERT(degree_ >= 2, "ArbitrationTree: degree must be >= 2");
+    // Height: smallest h with degree_^h >= n.
+    height_ = 1;
+    {
+      int64_t span = degree_;
+      while (span < n_) {
+        span *= degree_;
+        ++height_;
+      }
+    }
+    typename RmeLock<P>::Options lock_opt;
+    lock_opt.recycle = opt.recycle;
+    level_offset_.resize(static_cast<size_t>(height_) + 1);
+    int total = 0;
+    int64_t stride = degree_;  // d^(l+1)
+    for (int l = 0; l < height_; ++l) {
+      level_offset_[static_cast<size_t>(l)] = total;
+      total += static_cast<int>((n_ + stride - 1) / stride);
+      stride *= degree_;
+    }
+    level_offset_[static_cast<size_t>(height_)] = total;
+    nodes_.reserve(static_cast<size_t>(total));
+    for (int i = 0; i < total; ++i) {
+      nodes_.push_back(
+          std::make_unique<RmeLock<P>>(env, degree_, lock_opt));
+    }
+  }
+
+  // Try section: climb leaf to root. Recoverable by re-invocation.
+  void lock(Proc& h, int pid) {
+    check_pid(pid);
+    for (int l = 0; l < height_; ++l) {
+      node_at(l, pid).lock(h, port_at(l, pid));
+    }
+  }
+
+  // Exit section: release root to leaf. Wait-free; idempotent under
+  // crash-re-execution via each node's idempotent Exit.
+  void unlock(Proc& h, int pid) {
+    check_pid(pid);
+    for (int l = height_ - 1; l >= 0; --l) {
+      node_at(l, pid).unlock(h, port_at(l, pid));
+    }
+  }
+
+  int degree() const { return degree_; }
+  int height() const { return height_; }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  RmeLock<P>& node(int idx) { return *nodes_[static_cast<size_t>(idx)]; }
+
+ private:
+  int port_at(int l, int pid) const {
+    int64_t v = pid;
+    for (int i = 0; i < l; ++i) v /= degree_;
+    return static_cast<int>(v % degree_);
+  }
+  RmeLock<P>& node_at(int l, int pid) {
+    int64_t v = pid;
+    for (int i = 0; i <= l; ++i) v /= degree_;
+    const int idx = level_offset_[static_cast<size_t>(l)] + static_cast<int>(v);
+    return *nodes_[static_cast<size_t>(idx)];
+  }
+  void check_pid(int pid) const {
+    RME_ASSERT(pid >= 0 && pid < n_, "ArbitrationTree: bad pid");
+  }
+
+  int n_;
+  int degree_;
+  int height_;
+  std::vector<int> level_offset_;
+  std::vector<std::unique_ptr<RmeLock<P>>> nodes_;
+};
+
+}  // namespace rme::core

@@ -1,0 +1,52 @@
+// QNode: the queue node type of the core algorithm (paper Figure 3, Types).
+//
+//   QNode = record { Pred : reference to QNode,
+//                    NonNil_Signal : Signal, CS_Signal : Signal }
+//
+// Pred encodes both queue linkage and the owner's progress:
+//   NIL     - owner is between its FAS and the Pred write (Lines 13-14)
+//   &Crash  - owner crashed around its FAS; queue may be broken here
+//   node    - linked: predecessor in the queue
+//   &InCS   - owner is in the critical section
+//   &Exit   - owner has completed the critical section
+//
+// NonNil_Signal announces "Pred is no longer NIL" to repairers (Line 35);
+// CS_Signal is the handoff the successor waits on (Line 25).
+#pragma once
+
+#include "platform/platform.hpp"
+#include "signal/signal.hpp"
+
+namespace rme::core {
+
+template <class P>
+struct QNode {
+  using Ctx = typename P::Context;
+  using Env = typename P::Env;
+
+  typename P::template Atomic<QNode*> pred;
+  signal::Signal<P> nonnil;
+  signal::Signal<P> cs;
+
+  void attach(Env& env, int owner_pid) {
+    pred.attach(env, owner_pid);
+    nonnil.attach(env, owner_pid);
+    cs.attach(env, owner_pid);
+  }
+
+  // Fresh-node state (Line 11): Pred = NIL, both signals clear. Raw form
+  // for pre-run setup; counted form for in-run recycling (safe only after
+  // the QSBR grace period - see nvm/qsbr_pool.hpp).
+  void init_fresh() {
+    pred.init(nullptr);
+    nonnil.init_clear();
+    cs.init_clear();
+  }
+  void reset_for_passage(Ctx& ctx) {
+    pred.store(ctx, nullptr, std::memory_order_relaxed);
+    nonnil.reset(ctx);
+    cs.reset(ctx);
+  }
+};
+
+}  // namespace rme::core

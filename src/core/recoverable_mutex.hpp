@@ -1,0 +1,69 @@
+// Public facade of the library.
+//
+//   rme::RecoverableMutex<P>  - n-process recoverable mutex with
+//                               O((1+f) log n / log log n) RMR per
+//                               super-passage (the paper's headline result,
+//                               Theorem 3). Thin veneer over
+//                               core::ArbitrationTree.
+//
+//   rme::FlatRecoverableMutex<P> - the k-ported single-node lock
+//                               (Theorem 2): O(1) RMR crash-free passages,
+//                               O(f k) with f crashes. Preferable when the
+//                               port count is small and crashes are rare.
+//
+// Both expose the same contract: pick a pid/port in your Remainder
+// section, call lock(); the critical section runs; call unlock(). The
+// recovery protocol after a crash at ANY point is to call lock() again -
+// if the crash happened inside the CS you re-enter immediately (wait-free
+// CSR); if it happened inside Exit, lock() completes the exit and runs a
+// fresh passage.
+#pragma once
+
+#include "core/arbitration_tree.hpp"
+#include "core/rme_lock.hpp"
+#include "platform/platform.hpp"
+#include "platform/process.hpp"
+
+namespace rme {
+
+template <class P = platform::Real>
+class RecoverableMutex {
+ public:
+  using Env = typename P::Env;
+  using Proc = platform::Process<P>;
+  using Options = typename core::ArbitrationTree<P>::Options;
+
+  RecoverableMutex(Env& env, int nprocs, Options opt = {})
+      : tree_(env, nprocs, opt) {}
+
+  void lock(Proc& h, int pid) { tree_.lock(h, pid); }
+  void unlock(Proc& h, int pid) { tree_.unlock(h, pid); }
+
+  int degree() const { return tree_.degree(); }
+  int height() const { return tree_.height(); }
+  core::ArbitrationTree<P>& tree() { return tree_; }
+
+  // RAII guard for crash-free (non-simulated) use.
+  class Guard {
+   public:
+    Guard(RecoverableMutex& m, Proc& h, int pid) : m_(m), h_(h), pid_(pid) {
+      m_.lock(h_, pid_);
+    }
+    ~Guard() { m_.unlock(h_, pid_); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    RecoverableMutex& m_;
+    Proc& h_;
+    int pid_;
+  };
+
+ private:
+  core::ArbitrationTree<P> tree_;
+};
+
+template <class P = platform::Real>
+using FlatRecoverableMutex = core::RmeLock<P>;
+
+}  // namespace rme

@@ -1,0 +1,124 @@
+// Path graph for queue repair (paper Figure 4, Lines 37-41).
+//
+// The repairing process scans the Node array and builds a directed graph
+// whose vertices are queue nodes and whose edges point from a node to its
+// predecessor. The algorithm's invariant (Conditions 23, 27) guarantees the
+// graph is a disjoint union of simple directed paths: every vertex has at
+// most one outgoing edge (its Pred) and at most one incoming edge (two
+// nodes share a real-node predecessor only transiently, excluded by the
+// mutual exclusion of repair). This helper materialises the maximal paths.
+//
+// Orientation matches the paper: an edge (v, u) means u = v.Pred, a path
+// runs tail-to-head, start(sigma) is the vertex nobody points to (queue
+// tail side), end(sigma) is the vertex with no outgoing edge (queue head
+// side).
+//
+// Purely local computation: O(k) time and space, no shared-memory accesses
+// (the "shallow exploration" of Section 1.5 that cuts GH's O(n^2) local
+// work and O(n)-word cache requirement down to O(n) work and O(1) cache).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rme::core {
+
+template <class Node>
+class PathGraph {
+ public:
+  struct Path {
+    Node* start = nullptr;  // tail-most vertex (in-degree 0)
+    Node* end = nullptr;    // head-most vertex (out-degree 0)
+    int length = 0;
+  };
+
+  explicit PathGraph(int max_vertices) {
+    verts_.reserve(static_cast<size_t>(max_vertices));
+    out_.reserve(static_cast<size_t>(max_vertices));
+    in_deg_.reserve(static_cast<size_t>(max_vertices));
+  }
+
+  // Add a vertex with no (known) outgoing edge. Idempotent.
+  int add_vertex(Node* v) {
+    const int id = find(v);
+    if (id >= 0) return id;
+    verts_.push_back(v);
+    out_.push_back(-1);
+    in_deg_.push_back(0);
+    return static_cast<int>(verts_.size()) - 1;
+  }
+
+  // Add edge v -> u (u = v.Pred). Adds both vertices as needed. A second
+  // edge out of v is a fatal invariant violation.
+  void add_edge(Node* v, Node* u) {
+    const int vi = add_vertex(v);
+    const int ui = add_vertex(u);
+    RME_ASSERT(out_[static_cast<size_t>(vi)] == -1,
+               "PathGraph: vertex with two predecessors");
+    out_[static_cast<size_t>(vi)] = ui;
+    ++in_deg_[static_cast<size_t>(ui)];
+  }
+
+  bool contains(Node* v) const { return find(v) >= 0; }
+
+  // Compute the set of maximal paths (paper Line 39).
+  void compute() {
+    paths_.clear();
+    path_of_.assign(verts_.size(), -1);
+    for (size_t i = 0; i < verts_.size(); ++i) {
+      if (in_deg_[i] != 0) continue;  // not a path start
+      Path p;
+      p.start = verts_[i];
+      int cur = static_cast<int>(i);
+      int steps = 0;
+      for (;;) {
+        path_of_[static_cast<size_t>(cur)] =
+            static_cast<int>(paths_.size());
+        ++steps;
+        RME_ASSERT(steps <= static_cast<int>(verts_.size()),
+                   "PathGraph: cycle detected (invariant violation)");
+        const int nxt = out_[static_cast<size_t>(cur)];
+        if (nxt < 0) {
+          p.end = verts_[static_cast<size_t>(cur)];
+          break;
+        }
+        cur = nxt;
+      }
+      p.length = steps;
+      paths_.push_back(p);
+    }
+    // Every vertex must lie on exactly one maximal path (DAG of paths).
+    for (size_t i = 0; i < verts_.size(); ++i) {
+      RME_ASSERT(path_of_[i] >= 0,
+                 "PathGraph: vertex on no path (cycle?)");
+    }
+  }
+
+  // Path containing v; compute() must have run. Null if v is unknown.
+  const Path* path_of(Node* v) const {
+    const int id = find(v);
+    if (id < 0) return nullptr;
+    return &paths_[static_cast<size_t>(path_of_[static_cast<size_t>(id)])];
+  }
+
+  const std::vector<Path>& paths() const { return paths_; }
+  size_t vertex_count() const { return verts_.size(); }
+
+ private:
+  int find(Node* v) const {
+    for (size_t i = 0; i < verts_.size(); ++i) {
+      if (verts_[i] == v) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  std::vector<Node*> verts_;
+  std::vector<int> out_;     // index of pred vertex, -1 if none
+  std::vector<int> in_deg_;
+  std::vector<Path> paths_;
+  std::vector<int> path_of_;
+};
+
+}  // namespace rme::core

@@ -1,0 +1,288 @@
+// RmeLock: the paper's k-ported recoverable mutual exclusion algorithm
+// (Figures 3-4), the core contribution of the reproduction.
+//
+// Guarantees (paper Theorem 2), all validated by the test suite:
+//   * Mutual exclusion, starvation freedom.
+//   * Wait-free Exit (Lines 27-29, no loops).
+//   * Wait-free critical-section re-entry (crash in CS -> Line 20 fast
+//     path), which with mutual exclusion implies CSR.
+//   * O(1) RMR per crash-free passage on CC and DSM; O(f k) RMR for a
+//     super-passage with f crashes.
+//   * The only read-modify-write instruction issued is FAS (exchange).
+//
+// Usage contract (the paper's port model, Section 3): a process picks a
+// port p in its Remainder section and uses it for the whole super-passage;
+// no two processes use the same port concurrently. Recovery protocol after
+// a crash anywhere: simply call lock(port) again - the Try section is the
+// recovery code. unlock(port) is the Exit section; calling lock() after a
+// crash inside the CS returns immediately into the CS (Line 20).
+//
+// Line numbers in comments refer to the paper's Figures 3-4 throughout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/qnode.hpp"
+#include "core/repair.hpp"
+#include "nvm/qsbr_pool.hpp"
+#include "platform/platform.hpp"
+#include "platform/process.hpp"
+#include "rlock/tournament.hpp"
+#include "util/assert.hpp"
+
+namespace rme::core {
+
+// RLockT: the k-ported starvation-free RME lock serialising repair
+// (paper Figure 3, Line 24). The paper treats it as a pluggable black box
+// with an interface contract; the default is the Signal-based tournament
+// (O(log k) RMR waits local on both CC and DSM). See
+// rlock/peterson_rw.hpp for the read/write alternative.
+template <class P, class RLockT = rlock::TournamentRLock<P>>
+class RmeLock {
+ public:
+  using Ctx = typename P::Context;
+  using Env = typename P::Env;
+  using Proc = platform::Process<P>;
+  using Node = QNode<P>;
+
+  struct Options {
+    // false = verbatim-paper mode: every passage gets a fresh node and
+    // retired nodes are never reused (memory grows with the run).
+    bool recycle = true;
+  };
+
+  struct Stats {
+    uint64_t acquisitions = 0;   // completed Try sections
+    uint64_t repairs = 0;        // repair bodies executed (Line 31 reached)
+    uint64_t repair_fas = 0;     // repairs resolved by Line 47 (FAS on Tail)
+    uint64_t repair_headpath = 0;  // Line 48, headpath branch
+    uint64_t repair_special = 0;   // Line 48, SpecialNode branch
+    uint64_t exit_completions = 0;  // Lines 28-29 run from Line 22
+  };
+
+  RmeLock(Env& env, int ports, Options opt = {})
+      : ports_(ports),
+        opt_(opt),
+        pool_(env, ports, opt.recycle),
+        rlock_(env, ports),
+        node_(static_cast<size_t>(ports)),
+        staged_(static_cast<size_t>(ports), nullptr),
+        stats_(static_cast<size_t>(ports)) {
+    RME_ASSERT(ports >= 1, "RmeLock: need >= 1 port");
+    // Sentinels (Figure 3, Shared objects). They live in global memory
+    // (no DSM partition): processes only ever compare their addresses or
+    // read fields that never change after setup.
+    crash_.attach(env, rmr::kNoOwner);
+    incs_.attach(env, rmr::kNoOwner);
+    exit_.attach(env, rmr::kNoOwner);
+    special_.attach(env, rmr::kNoOwner);
+    crash_.pred.init(&crash_);
+    incs_.pred.init(&incs_);
+    exit_.pred.init(&exit_);
+    special_.pred.init(&exit_);       // SpecialNode.Pred = &Exit
+    special_.nonnil.init_set();       // SpecialNode.NonNil_Signal = 1
+    special_.cs.init_set();           // SpecialNode.CS_Signal = 1
+    crash_.nonnil.init_set();         // sentinels are never waited on, but
+    incs_.nonnil.init_set();          // keep their signals consistent
+    exit_.nonnil.init_set();
+
+    tail_.attach(env, rmr::kNoOwner);
+    tail_.init(&special_);            // Tail initially &SpecialNode
+    for (int p = 0; p < ports; ++p) {
+      node_[static_cast<size_t>(p)].attach(env, rmr::kNoOwner);
+      node_[static_cast<size_t>(p)].init(nullptr);  // Node[i] = NIL
+    }
+    pool_.set_tail_probe(&tail_);
+  }
+
+  // ------------------------------------------------------------------
+  // Try section (Figure 3 Lines 10-26 + Figure 4). Returns in the CS.
+  // ------------------------------------------------------------------
+  void lock(Proc& h, int p) {
+    check_port(p);
+    Ctx& ctx = h.ctx;
+    pool_.on_passage_begin(ctx, p);
+
+    for (;;) {  // re-entry point for "go to Line 10" (Line 22)
+      Node* mynode = node_slot(p).load(ctx);                        // L10
+      Node* mypred = nullptr;
+      if (mynode == nullptr) {
+        mynode = acquire_node(h, p);                                // L11
+        node_slot(p).store(ctx, mynode);                            // L12
+        staged_[static_cast<size_t>(p)] = nullptr;
+        mypred = tail_.exchange(ctx, mynode);                       // L13
+        mynode->pred.store(ctx, mypred);                            // L14
+        mynode->nonnil.set(ctx);                                    // L15
+      } else {                                                      // L16-17
+        // Node[p] is live, so any staged node is either this very node
+        // (crash between L12 and the staged-clear below) or stale
+        // bookkeeping; either way Node[p] is the single source of truth.
+        staged_[static_cast<size_t>(p)] = nullptr;
+        if (mynode->pred.load(ctx) == nullptr) {                    // L18
+          mynode->pred.store(ctx, &crash_);
+        }
+        mypred = mynode->pred.load(ctx);                            // L19
+        if (mypred == &incs_) {                                     // L20
+          return;  // crashed in CS: wait-free re-entry
+        }
+        if (mypred == &exit_) {                                     // L21
+          // L22: execute Lines 28-29 of Exit, then go to Line 10.
+          mynode->cs.set(ctx);                                      // L28
+          node_slot(p).store(ctx, nullptr);                         // L29
+          pool_.retire(ctx, p, mynode);
+          ++stat(p).exit_completions;
+          continue;
+        }
+        mynode->nonnil.set(ctx);                                    // L23
+        rlock_.lock(h, p);                                          // L24
+        mypred = repair_cs(h, p, mynode);                           // L30-49
+        rlock_.unlock(h, p);
+      }
+      mypred->cs.wait(ctx, h.ring);                                 // L25
+      mynode->pred.store(ctx, &incs_);                              // L26
+      ++stat(p).acquisitions;
+      return;  // Critical Section
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Exit section (Lines 27-29). Wait-free: straight-line code; set() is
+  // bounded (Theorem 1 (iii)). Idempotent: a second call, or a call after
+  // a crash part-way through, completes or no-ops.
+  // ------------------------------------------------------------------
+  void unlock(Proc& h, int p) {
+    check_port(p);
+    Ctx& ctx = h.ctx;
+    Node* mynode = node_slot(p).load(ctx);
+    if (mynode != nullptr) {
+      mynode->pred.store(ctx, &exit_);                              // L27
+      mynode->cs.set(ctx);                                          // L28
+      node_slot(p).store(ctx, nullptr);                             // L29
+      pool_.retire(ctx, p, mynode);
+    }
+    pool_.on_passage_end(ctx, p);
+  }
+
+  // --- introspection (tests, benches, invariant checks) ---
+  int ports() const { return ports_; }
+  const Stats& stats(int p) const { return stats_[static_cast<size_t>(p)]; }
+  Stats total_stats() const {
+    Stats t;
+    for (const Stats& s : stats_) {
+      t.acquisitions += s.acquisitions;
+      t.repairs += s.repairs;
+      t.repair_fas += s.repair_fas;
+      t.repair_headpath += s.repair_headpath;
+      t.repair_special += s.repair_special;
+      t.exit_completions += s.exit_completions;
+    }
+    return t;
+  }
+  uint64_t nodes_allocated() const { return pool_.allocated(); }
+  uint64_t nodes_reclaimed(int p) const { return pool_.reclaimed(p); }
+
+  // Raw probes for whitebox tests (read through a context so the RMR
+  // accounting stays consistent).
+  Node* debug_tail(Ctx& ctx) { return tail_.load(ctx); }
+  Node* debug_node(Ctx& ctx, int p) { return node_slot(p).load(ctx); }
+  const Node* sentinel_crash() const { return &crash_; }
+  const Node* sentinel_incs() const { return &incs_; }
+  const Node* sentinel_exit() const { return &exit_; }
+  const Node* sentinel_special() const { return &special_; }
+
+ private:
+  // ------------------------------------------------------------------
+  // Critical section of RLock: queue repair (Figure 4, Lines 30-49).
+  // Returns the value of mynode->Pred that Line 25 should wait on.
+  // ------------------------------------------------------------------
+  Node* repair_cs(Proc& h, int p, Node* mynode) {
+    Ctx& ctx = h.ctx;
+    Node* mypred = mynode->pred.load(ctx);                          // L30
+    if (mypred != &crash_) {
+      return mypred;  // already linked; go to Exit section of RLock
+    }
+    ++stat(p).repairs;
+
+    Node* tail = tail_.load(ctx);                                   // L31
+    PathGraph<Node> g(2 * ports_);
+    for (int i = 0; i < ports_; ++i) {                              // L32
+      Node* cur = node_slot(i).load(ctx);                           // L33
+      if (cur == nullptr) continue;                                 // L34
+      cur->nonnil.wait(ctx, h.ring);                                // L35
+      Node* curpred = cur->pred.load(ctx);                          // L36
+      if (curpred == &crash_ || curpred == &incs_ || curpred == &exit_) {
+        g.add_vertex(cur);                                          // L37
+      } else {
+        g.add_edge(cur, curpred);                                   // L38
+      }
+    }
+    g.compute();                                                    // L39
+
+    const auto* mypath = g.path_of(mynode);                         // L40
+    RME_ASSERT(mypath != nullptr, "repair: my node not in graph");
+    const auto* tailpath = g.contains(tail) ? g.path_of(tail) : nullptr;  // L41
+
+    const typename PathGraph<Node>::Path* headpath = nullptr;
+    for (const auto& sigma : g.paths()) {                           // L42
+      Node* endpred = sigma.end->pred.load(ctx);                    // L43
+      if (endpred == &incs_ || endpred == &exit_) {
+        Node* startpred = sigma.start->pred.load(ctx);              // L44
+        if (startpred != &exit_) {
+          headpath = &sigma;                                        // L45
+        }
+      }
+    }
+
+    bool tail_done = tailpath == nullptr;                           // L46
+    if (!tail_done) {
+      Node* tp = tailpath->end->pred.load(ctx);
+      tail_done = (tp == &incs_ || tp == &exit_);
+    }
+    Node* mypred_new = nullptr;
+    if (tail_done) {
+      mypred_new = tail_.exchange(ctx, mypath->start);              // L47
+      ++stat(p).repair_fas;
+    } else if (headpath != nullptr) {                               // L48
+      mypred_new = headpath->start;
+      ++stat(p).repair_headpath;
+    } else {
+      mypred_new = &special_;
+      ++stat(p).repair_special;
+    }
+    mynode->pred.store(ctx, mypred_new);                            // L49
+    return mypred_new;
+  }
+
+  // Line 11: "new QNode". Prefer a node staged by a passage that crashed
+  // between pool acquisition and the Node[p] write (plugging that leak),
+  // then the recycling pool, then a fresh allocation.
+  Node* acquire_node(Proc& h, int p) {
+    Node*& staged = staged_[static_cast<size_t>(p)];
+    Node* n = staged != nullptr ? staged : pool_.acquire(h.ctx, p);
+    staged = n;
+    n->reset_for_passage(h.ctx);
+    return n;
+  }
+
+  typename P::template Atomic<Node*>& node_slot(int p) {
+    return node_[static_cast<size_t>(p)];
+  }
+  Stats& stat(int p) { return stats_[static_cast<size_t>(p)]; }
+  void check_port(int p) const {
+    RME_ASSERT(p >= 0 && p < ports_, "RmeLock: bad port");
+  }
+
+  int ports_;
+  Options opt_;
+  nvm::QsbrPool<Node, P> pool_;
+  RLockT rlock_;
+
+  Node crash_, incs_, exit_, special_;  // sentinel QNodes
+  typename P::template Atomic<Node*> tail_;
+  std::vector<typename P::template Atomic<Node*>> node_;  // Node[0..k-1]
+  std::vector<Node*> staged_;  // per-port node taken from pool, pre-L12
+  std::vector<Stats> stats_;
+};
+
+}  // namespace rme::core

@@ -1,0 +1,223 @@
+// SimRun: deterministic multi-process execution with crash injection.
+//
+// Spawns one worker thread per simulated process, but execution is
+// strictly serialised by sim::Scheduler: exactly one process advances at a
+// time and control changes hands only at shared-memory operations, so a
+// (policy, seed, crash-plan) triple fully determines the interleaving -
+// the paper's model of runs as sequences of normal and crash steps.
+//
+// Each process repeatedly executes a caller-supplied body (canonically one
+// super-passage: lock -> critical section -> unlock). A crash step throws
+// sim::ProcessCrashed out of the body; the driver catches it and re-enters
+// the body from the top - exactly "the program counter is reset to the
+// default location" (Section 1.1). Locals are lost because the body's
+// stack unwinds; NVM state (the lock structures) survives.
+//
+// ExclusionChecker hooks validate, on every run:
+//   * mutual exclusion (at most one process between on_enter/on_exit),
+//   * CSR (after a crash in the CS, nobody else may enter until the
+//     crashed process re-enters),
+//   * scratch-cell write/read-back inside the CS (catches overlap that the
+//     bookkeeping alone could miss).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "harness/world.hpp"
+#include "platform/process.hpp"
+#include "sim/crash_plan.hpp"
+#include "sim/scheduler.hpp"
+#include "util/assert.hpp"
+
+namespace rme::harness {
+
+using SimP = platform::Counted;
+using SimProc = platform::Process<SimP>;
+
+// Serial-access property checker (only the baton holder touches it).
+class ExclusionChecker {
+ public:
+  void on_enter(int pid) {
+    if (in_cs_) ++me_violations_;
+    in_cs_ = true;
+    owner_ = pid;
+    if (csr_pending_) {
+      if (pid == csr_pid_) {
+        csr_pending_ = false;  // crashed process re-entered first: OK
+      } else {
+        ++csr_violations_;
+      }
+    }
+    ++entries_;
+  }
+  void on_exit(int pid) {
+    if (!in_cs_ || owner_ != pid) ++me_violations_;
+    in_cs_ = false;
+    owner_ = -1;
+  }
+  // The body crashed while logically inside the CS.
+  void on_crash_in_cs(int pid) {
+    in_cs_ = false;
+    owner_ = -1;
+    csr_pending_ = true;
+    csr_pid_ = pid;
+  }
+
+  uint64_t me_violations() const { return me_violations_; }
+  uint64_t csr_violations() const { return csr_violations_; }
+  uint64_t entries() const { return entries_; }
+  bool in_cs() const { return in_cs_; }
+  int owner() const { return owner_; }
+
+ private:
+  bool in_cs_ = false;
+  int owner_ = -1;
+  bool csr_pending_ = false;
+  int csr_pid_ = -1;
+  uint64_t me_violations_ = 0;
+  uint64_t csr_violations_ = 0;
+  uint64_t entries_ = 0;
+};
+
+class SimRun {
+ public:
+  // Body runs one super-passage; it must be re-entrant from the top after
+  // a ProcessCrashed unwind (that is the recovery contract under test).
+  using Body = std::function<void(SimProc&, int pid)>;
+
+  struct Result {
+    std::vector<uint64_t> completions;  // per pid
+    std::vector<uint64_t> crashes;      // per pid
+    uint64_t steps = 0;
+    bool exhausted = false;  // hit max_steps with work remaining
+  };
+
+  SimRun(ModelKind kind, int nprocs, size_t ring_slots = 256)
+      : world_(kind, nprocs, ring_slots), nprocs_(nprocs) {}
+
+  CountedWorld& world() { return world_; }
+  ExclusionChecker& checker() { return checker_; }
+
+  // Run every process for `iterations` completed bodies (0 = this pid does
+  // not participate), under `policy` and `crash`, bounded by max_steps.
+  Result run(sim::SchedulePolicy& policy, sim::CrashPlan& crash,
+             const std::vector<uint64_t>& iterations, uint64_t max_steps) {
+    RME_ASSERT(static_cast<int>(iterations.size()) == nprocs_,
+               "SimRun: iterations size mismatch");
+    sim::Scheduler sched(nprocs_, &policy);
+    Result res;
+    res.completions.assign(static_cast<size_t>(nprocs_), 0);
+    res.crashes.assign(static_cast<size_t>(nprocs_), 0);
+
+    sched.begin(nprocs_);
+    for (int pid = 0; pid < nprocs_; ++pid) {
+      SimProc& h = world_.proc(pid);
+      h.ctx.sched = &sched;
+      h.ctx.crash = &crash;
+      sched.set_live(pid, iterations[static_cast<size_t>(pid)] > 0);
+    }
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(nprocs_));
+    for (int pid = 0; pid < nprocs_; ++pid) {
+      workers.emplace_back([&, pid] {
+        worker(sched, pid, iterations[static_cast<size_t>(pid)], res);
+      });
+    }
+
+    res.steps = sched.run(max_steps);
+    // Work remaining?
+    for (int pid = 0; pid < nprocs_; ++pid) {
+      if (res.completions[static_cast<size_t>(pid)] <
+          iterations[static_cast<size_t>(pid)]) {
+        res.exhausted = true;
+      }
+    }
+    sched.stop();
+    for (auto& t : workers) t.join();
+    for (int pid = 0; pid < nprocs_; ++pid) {
+      world_.proc(pid).ctx.sched = nullptr;
+      world_.proc(pid).ctx.crash = nullptr;
+    }
+    return res;
+  }
+
+  void set_body(Body body) { body_ = std::move(body); }
+
+ private:
+  void worker(sim::Scheduler& sched, int pid, uint64_t iterations,
+              Result& res) {
+    SimProc& h = world_.proc(pid);
+    sched.acquire_baton(pid);
+    try {
+      uint64_t done = 0;
+      while (!sched.stopping() && done < iterations) {
+        try {
+          body_(h, pid);
+          ++done;
+          ++res.completions[static_cast<size_t>(pid)];
+        } catch (const sim::ProcessCrashed&) {
+          ++res.crashes[static_cast<size_t>(pid)];
+          // PC reset to Remainder; loop re-enters the body (Try).
+        }
+      }
+    } catch (const sim::RunTornDown&) {
+      return;  // run ended while this process was mid-body
+    }
+    if (!sched.stopping()) sched.park(pid, /*final_exit=*/true);
+  }
+
+  CountedWorld world_;
+  ExclusionChecker checker_;
+  Body body_;
+  int nprocs_;
+};
+
+// Canonical lock-exercising body: lock, verified critical section with a
+// few shared operations (so the CS spans scheduling points), unlock.
+// Works for any lock exposing lock(Proc&, int)/unlock(Proc&, int).
+template <class Lock>
+class LockBody {
+ public:
+  LockBody(Lock& lock, CountedWorld& w, ExclusionChecker& chk, int cs_ops = 2)
+      : lock_(lock), chk_(chk), cs_ops_(cs_ops) {
+    scratch_.attach(w.env, rmr::kNoOwner);
+    scratch_.init(-1);
+  }
+
+  void operator()(SimProc& h, int pid) {
+    lock_.lock(h, pid);
+    chk_.on_enter(pid);
+    bool crashed_in_cs = true;  // until we reach on_exit
+    try {
+      for (int i = 0; i < cs_ops_; ++i) {
+        scratch_.store(h.ctx, pid);
+        const int seen = scratch_.load(h.ctx);
+        if (seen != pid) {
+          // Someone else wrote while we were in the CS.
+          RME_ASSERT(false, "LockBody: CS scratch overwritten - ME broken");
+        }
+      }
+      crashed_in_cs = false;
+      chk_.on_exit(pid);
+      lock_.unlock(h, pid);
+    } catch (const sim::ProcessCrashed&) {
+      if (crashed_in_cs) {
+        chk_.on_crash_in_cs(pid);
+      }
+      throw;
+    }
+  }
+
+ private:
+  Lock& lock_;
+  ExclusionChecker& chk_;
+  typename SimP::template Atomic<int> scratch_;
+  int cs_ops_;
+};
+
+}  // namespace rme::harness

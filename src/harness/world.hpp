@@ -1,0 +1,62 @@
+// World: wiring helper that owns the platform environment and one Process
+// handle per pid. Tests, benches and examples build a World, then hand
+// world.proc(pid) to the lock APIs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "platform/process.hpp"
+#include "rmr/model.hpp"
+
+namespace rme::harness {
+
+// Real-platform world: no model.
+struct RealWorld {
+  using P = platform::Real;
+  typename P::Env env;
+  std::vector<platform::Process<P>> procs;
+
+  explicit RealWorld(int nprocs, size_t ring_slots = 128)
+      : procs(static_cast<size_t>(nprocs)) {
+    for (int i = 0; i < nprocs; ++i) {
+      procs[static_cast<size_t>(i)].attach(env, i, ring_slots);
+    }
+  }
+  platform::Process<P>& proc(int pid) {
+    return procs[static_cast<size_t>(pid)];
+  }
+};
+
+// Counted world: owns a CC or DSM model.
+enum class ModelKind { kCc, kDsm };
+
+struct CountedWorld {
+  using P = platform::Counted;
+  std::unique_ptr<rmr::Model> model;
+  typename P::Env env;
+  std::vector<platform::Process<P>> procs;
+
+  CountedWorld(ModelKind kind, int nprocs, size_t ring_slots = 128)
+      : procs(static_cast<size_t>(nprocs)) {
+    if (kind == ModelKind::kCc) {
+      model = std::make_unique<rmr::CcModel>(nprocs);
+    } else {
+      model = std::make_unique<rmr::DsmModel>(nprocs);
+    }
+    env.model = model.get();
+    for (int i = 0; i < nprocs; ++i) {
+      procs[static_cast<size_t>(i)].attach(env, i, ring_slots);
+    }
+  }
+  platform::Process<P>& proc(int pid) {
+    return procs[static_cast<size_t>(pid)];
+  }
+  rmr::Counters& counters(int pid) {
+    return procs[static_cast<size_t>(pid)].ctx.counters;
+  }
+  rmr::CcModel* cc() { return dynamic_cast<rmr::CcModel*>(model.get()); }
+};
+
+}  // namespace rme::harness

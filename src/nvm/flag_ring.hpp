@@ -1,0 +1,86 @@
+// Go-flag rings: per-port pools of local-spin cells for the DSM Signal
+// implementation (paper Figure 2, Line 5: "go <- new Boolean").
+//
+// The paper allocates a fresh boolean in the waiter's memory partition for
+// every wait() call and never reclaims it. A real library must reuse these
+// cells, which creates an ABA hazard: a laggard setter that still holds the
+// address of an old flag could wake a *later* wait that recycled the cell.
+//
+// We close the hazard with tags instead of booleans: each wait attempt gets
+// a fresh 64-bit tag (a per-slot monotone counter, persisted in NVM), the
+// waiter spins until the cell holds *exactly its tag*, and set() writes the
+// (slot, tag) pair it observed. A stale setter writes a stale tag, which no
+// current waiter is waiting for, so stale wakes are ignored by construction.
+// Tags never repeat on a slot, so the scheme is crash-safe: a waiter that
+// crashes mid-wait simply takes a new slot+tag on re-execution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "util/assert.hpp"
+
+namespace rme::nvm {
+
+// One spin cell. Lives in the owning port's DSM partition, so spinning on
+// it is local (0 RMR per iteration) on DSM, and cache-local on CC.
+template <class P>
+struct GoFlag {
+  typename P::template Atomic<uint64_t> value;  // last tag written by a setter
+
+  void attach(typename P::Env& env, int owner) { value.attach(env, owner); }
+};
+
+// A fixed ring of GoFlags plus per-slot tag counters for one port.
+// Only the owning port's process ever calls begin_wait(), so the cursor and
+// tag bumps are single-writer; both survive crashes (they are "NVM"), and
+// even if they did not, tag freshness is the only property correctness
+// needs, and it is monotone.
+template <class P>
+class FlagRing {
+ public:
+  using Ctx = typename P::Context;
+
+  FlagRing() = default;
+
+  void attach(typename P::Env& env, int owner_pid, size_t slots) {
+    RME_ASSERT(slots >= 2, "FlagRing: need at least 2 slots");
+    // Slots hold atomics (immovable); build in place and steal the buffer.
+    slots_ = std::vector<Slot>(slots);
+    for (Slot& s : slots_) {
+      s.flag.attach(env, owner_pid);
+      s.next_tag.attach(env, owner_pid);
+      s.next_tag.init(1);  // tag 0 is reserved as "never signalled"
+    }
+  }
+
+  struct Wait {
+    GoFlag<P>* flag = nullptr;
+    uint64_t tag = 0;
+  };
+
+  // Claim a slot and a fresh tag for one wait() execution.
+  Wait begin_wait(Ctx& ctx) {
+    Slot& s = slots_[cursor_];
+    cursor_ = (cursor_ + 1) % slots_.size();
+    // Single-writer bump; persists across crashes. If we crash between the
+    // load and the store we may burn a tag value - tags are 64-bit, fine.
+    const uint64_t tag = s.next_tag.load(ctx, std::memory_order_relaxed);
+    s.next_tag.store(ctx, tag + 1, std::memory_order_relaxed);
+    return Wait{&s.flag, tag};
+  }
+
+  size_t size() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    GoFlag<P> flag;
+    typename P::template Atomic<uint64_t> next_tag;
+  };
+
+  std::vector<Slot> slots_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace rme::nvm

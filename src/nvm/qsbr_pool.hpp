@@ -1,0 +1,204 @@
+// Quiescent-state-based reclamation (QSBR) pool for QNodes.
+//
+// The paper's Try section allocates a fresh QNode per passage (Figure 3,
+// Line 11) and never frees it: memory grows without bound. A production
+// library must recycle nodes, but a retired node X can still be referenced
+//   (a) by its successor, which holds &X as mypred and is waiting on
+//       X.CS_Signal,
+//   (b) through Tail, if Tail still points at X: a later arrival can FAS
+//       Tail and obtain &X as its predecessor,
+//   (c) by a repairing process that read &X out of some Node[q].Pred.
+//
+// All three kinds of reference are acquired during a *passage* that was
+// already active when the reference was obtained, with one exception: (b)
+// can mint new references as long as Tail == &X. Once Tail moves off X it
+// never returns to X (Tail only ever receives nodes of currently-active
+// passages). This yields the reclamation rule:
+//
+//   X (retired at its owner's Exit) may be reused once
+//     1. Tail != &X has been observed, and
+//     2. every port has passed through a quiescent point (passage boundary)
+//        *after* that observation.
+//
+// Ports announce quiescence by writing the current global epoch into their
+// announce cell at passage begin and kIdle at passage end: O(1) shared ops
+// per passage, preserving the lock's O(1) crash-free passage RMR bound (the
+// constant grows by 3). Reclamation scans are amortised: they run only when
+// a port's retired list exceeds a threshold, costing O(k) every Θ(k)
+// passages. Strict verbatim-paper mode (Options::recycle = false) skips
+// retirement entirely and always hands out fresh nodes.
+//
+// If grace never arrives (a peer crashed and never returned), the pool
+// falls back to allocating fresh nodes, matching the paper's unbounded
+// allocation in the worst case while staying bounded in the common case.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "util/assert.hpp"
+
+namespace rme::nvm {
+
+inline constexpr uint64_t kIdle = ~uint64_t{0};
+
+// T must provide: attach(Env&, int owner_pid).
+template <class T, class P>
+class QsbrPool {
+ public:
+  using Ctx = typename P::Context;
+  using Env = typename P::Env;
+
+  // `tail` is consulted for rule 1 (may be null when the client structure
+  // has no tail pointer; then rule 1 is skipped).
+  QsbrPool(Env& env, int ports, bool recycle)
+      : env_(env), ports_(ports), recycle_(recycle),
+        per_port_(static_cast<size_t>(ports)) {
+    epoch_.attach(env_, rmr::kNoOwner);
+    epoch_.init(1);
+    for (int p = 0; p < ports; ++p) {
+      per_port_[static_cast<size_t>(p)].announce.attach(env_, p);
+      per_port_[static_cast<size_t>(p)].announce.init(kIdle);
+    }
+  }
+
+  // Observer the pool asks "is this node still the structure's tail?".
+  // Set once at wiring time, before any acquire.
+  void set_tail_probe(typename P::template Atomic<T*>* tail) { tail_ = tail; }
+
+  void on_passage_begin(Ctx& ctx, int port) {
+    const uint64_t e = epoch_.load(ctx, std::memory_order_acquire);
+    per(port).announce.store(ctx, e, std::memory_order_release);
+  }
+
+  void on_passage_end(Ctx& ctx, int port) {
+    per(port).announce.store(ctx, kIdle, std::memory_order_release);
+  }
+
+  // Hand out a node. Prefers the port's free list; falls back to a fresh
+  // allocation. The caller must reset the node's algorithmic fields.
+  // The O(k) reclamation scan only runs once the retired list has Theta(k)
+  // entries - never on every passage - preserving the lock's O(1)
+  // amortised (O(k) worst-case, every Theta(k) passages) RMR bound.
+  T* acquire(Ctx& ctx, int port) {
+    PerPort& pp = per(port);
+    if (!pp.free.empty()) {
+      T* n = pp.free.back();
+      pp.free.pop_back();
+      return n;
+    }
+    if (pp.retired.size() >= reclaim_threshold()) {
+      maybe_reclaim(ctx, port);
+      if (!pp.free.empty()) {
+        T* n = pp.free.back();
+        pp.free.pop_back();
+        return n;
+      }
+    }
+    return fresh(port);
+  }
+
+  // Retire a node at the end of a passage.
+  void retire(Ctx& ctx, int port, T* node) {
+    if (!recycle_) return;  // verbatim-paper mode: leak (bounded by run)
+    PerPort& pp = per(port);
+    pp.retired.push_back(Retired{node, 0});
+    if (pp.retired.size() >= reclaim_threshold()) maybe_reclaim(ctx, port);
+  }
+
+  // --- statistics (tests / benches) ---
+  uint64_t allocated() const { return allocated_; }
+  uint64_t reclaimed(int port) const { return per_c(port).reclaimed; }
+  size_t retired_count(int port) const { return per_c(port).retired.size(); }
+
+ private:
+  struct Retired {
+    T* node;
+    uint64_t stamp;  // epoch at first Tail!=node observation; 0 = not yet
+  };
+  struct PerPort {
+    typename P::template Atomic<uint64_t> announce;
+    std::vector<T*> free;
+    std::deque<Retired> retired;
+    uint64_t reclaimed = 0;
+  };
+
+  PerPort& per(int p) { return per_port_[static_cast<size_t>(p)]; }
+  const PerPort& per_c(int p) const { return per_port_[static_cast<size_t>(p)]; }
+
+  size_t reclaim_threshold() const {
+    return 2 * static_cast<size_t>(ports_) + 4;
+  }
+
+  T* fresh(int port) {
+    auto node = std::make_unique<T>();
+    node->attach(env_, port);
+    T* raw = node.get();
+    {
+      std::lock_guard<std::mutex> g(arena_mu_);  // arena shared across ports
+      arena_.push_back(std::move(node));
+      ++allocated_;
+    }
+    return raw;
+  }
+
+  // Amortised reclamation pass for `port`. Steps:
+  //   1. bump the global epoch (so future announces can exceed past stamps),
+  //   2. observe Tail, then read the epoch *after* that observation and
+  //      stamp un-stamped retirees that are not the observed tail with it.
+  //      Reading the stamp after the Tail observation is essential: any
+  //      process that obtained a reference to the node via Tail did so
+  //      before the observation, hence announced an epoch <= the stamp; the
+  //      grace condition (min announce > stamp) therefore waits for it.
+  //   3. compute the min announce over non-idle ports and free everything
+  //      stamped strictly below it.
+  void maybe_reclaim(Ctx& ctx, int port) {
+    PerPort& pp = per(port);
+    if (pp.retired.empty()) return;
+
+    const uint64_t e = epoch_.load(ctx, std::memory_order_acquire);
+    epoch_.store(ctx, e + 1, std::memory_order_release);
+
+    T* tail_now = tail_ != nullptr
+                      ? tail_->load(ctx, std::memory_order_acquire)
+                      : nullptr;
+    const uint64_t stamp_epoch = epoch_.load(ctx, std::memory_order_acquire);
+    for (Retired& r : pp.retired) {
+      if (r.stamp == 0 && r.node != tail_now) r.stamp = stamp_epoch;
+    }
+
+    uint64_t min_announce = kIdle;
+    for (int q = 0; q < ports_; ++q) {
+      const uint64_t a = per(q).announce.load(ctx, std::memory_order_acquire);
+      if (a != kIdle && a < min_announce) min_announce = a;
+    }
+    // A retiree stamped s is safe once every active port announced an epoch
+    // > s (its current passage began after the stamping scan); idle ports
+    // are quiescent by definition.
+    while (!pp.retired.empty()) {
+      Retired& r = pp.retired.front();
+      const bool safe = r.stamp != 0 &&
+                        (min_announce == kIdle || min_announce > r.stamp);
+      if (!safe) break;
+      pp.free.push_back(r.node);
+      ++pp.reclaimed;
+      pp.retired.pop_front();
+    }
+  }
+
+  Env& env_;
+  int ports_;
+  bool recycle_;
+  typename P::template Atomic<uint64_t> epoch_;
+  typename P::template Atomic<T*>* tail_ = nullptr;
+  std::vector<PerPort> per_port_;
+  std::mutex arena_mu_;
+  std::vector<std::unique_ptr<T>> arena_;
+  uint64_t allocated_ = 0;
+};
+
+}  // namespace rme::nvm

@@ -1,0 +1,224 @@
+// Platform policies.
+//
+// All algorithms in this library (Signal, R2Lock, RLock tournament, the
+// JJJ RmeLock, the arbitration tree, the baselines) are templated on a
+// Platform `P` supplying:
+//
+//   P::Env                      - per-world memory environment (cost model)
+//   P::Context                  - per-process execution context (pid, RMR
+//                                 counters, scheduler & crash-plan hooks)
+//   P::Atomic<T>                - an atomic cell; every op takes a Context&
+//   P::pause()                  - spin-loop relaxation hint
+//
+// Two platforms are provided:
+//
+//   platform::Real     std::atomic with explicit memory orders and an empty
+//                      Env; zero overhead. Used for wall-clock benches and
+//                      as the production configuration.
+//
+//   platform::Counted  routes every operation through an rmr::Model (CC or
+//                      DSM) for exact RMR accounting, and through optional
+//                      sim::Scheduler / sim::CrashPlan hooks for
+//                      deterministic interleaving and crash-step injection.
+//
+// Memory-order discipline (applies to both platforms; Counted forwards the
+// order to the underlying std::atomic so real-thread counted runs are still
+// correct):
+//   * FAS (exchange) on queue tails: acq_rel - it both publishes our node
+//     (release) and acquires the predecessor's published fields (acquire).
+//   * publication stores (Pred, Node[p], Bit): release
+//   * reads of published fields / spins: acquire
+//   * Dekker-style handshakes (Signal Bit vs GoAddr, R2Lock flag vs turn):
+//     seq_cst, flagged explicitly at the call sites that need it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#include "rmr/model.hpp"
+#include "sim/crash_plan.hpp"
+#include "sim/scheduler.hpp"
+#include "util/assert.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace rme::platform {
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(_M_X64)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Real platform
+// ---------------------------------------------------------------------------
+struct Real {
+  static constexpr bool kCounted = false;
+
+  struct Env {};  // no model state
+
+  struct Context {
+    int pid = 0;
+    explicit Context(int p = 0) : pid(p) {}
+    // Hook point; nothing to do on the real platform.
+    void before_op(rmr::Op) {}
+    void account(rmr::Op, bool) {}
+  };
+
+  template <class T>
+  class Atomic {
+   public:
+    Atomic() : v_{} {}
+    explicit Atomic(T init) : v_{init} {}
+
+    // Register this cell with the environment; `owner` is the DSM partition
+    // (rmr::kNoOwner = global memory). No-op on the real platform.
+    void attach(Env&, int /*owner*/) {}
+
+    T load(Context& c, std::memory_order mo = std::memory_order_acquire) const {
+      c.before_op(rmr::Op::kRead);
+      return v_.load(mo);
+    }
+    void store(Context& c, T val, std::memory_order mo = std::memory_order_release) {
+      c.before_op(rmr::Op::kWrite);
+      v_.store(val, mo);
+    }
+    T exchange(Context& c, T val, std::memory_order mo = std::memory_order_acq_rel) {
+      c.before_op(rmr::Op::kFas);
+      return v_.exchange(val, mo);
+    }
+    // Fetch-and-increment; provided for baseline locks only (the core
+    // algorithm uses FAS exclusively - experiment E8 audits this).
+    T fetch_add(Context& c, T delta, std::memory_order mo = std::memory_order_acq_rel)
+      requires std::is_integral_v<T>
+    {
+      c.before_op(rmr::Op::kFai);
+      return v_.fetch_add(delta, mo);
+    }
+    // CAS; baselines only (MCS release path).
+    bool compare_exchange(Context& c, T& expected, T desired,
+                          std::memory_order mo = std::memory_order_acq_rel) {
+      c.before_op(rmr::Op::kCas);
+      return v_.compare_exchange_strong(expected, desired, mo,
+                                        std::memory_order_acquire);
+    }
+    // Raw initialisation outside any process (world setup); not an RMR.
+    void init(T val) { v_.store(val, std::memory_order_relaxed); }
+
+   private:
+    std::atomic<T> v_;
+  };
+
+  static void pause() { cpu_pause(); }
+};
+
+// ---------------------------------------------------------------------------
+// Counted platform
+// ---------------------------------------------------------------------------
+// Template parameter purely as a tag so CC and DSM instantiations are
+// distinct types (tests/benches instantiate both in one binary).
+struct Counted {
+  static constexpr bool kCounted = true;
+
+  struct Env {
+    rmr::Model* model = nullptr;  // required before any attach()
+  };
+
+  struct Context {
+    int pid = 0;
+    Env* env = nullptr;
+    rmr::Counters counters;
+    sim::Scheduler* sched = nullptr;   // optional deterministic interleaving
+    sim::CrashPlan* crash = nullptr;   // optional crash-step injection
+    uint64_t step_index = 0;           // per-process op counter (monotone)
+
+    Context() = default;
+    Context(int p, Env* e) : pid(p), env(e) {}
+
+    // Called before each shared-memory operation: maybe crash (a crash step
+    // replaces the op), then maybe yield to the deterministic scheduler.
+    void before_op(rmr::Op op) {
+      const uint64_t s = step_index++;
+      if (crash != nullptr && crash->should_crash(pid, s, op)) {
+        if (env != nullptr && env->model != nullptr) env->model->on_crash(pid);
+        throw sim::ProcessCrashed{};
+      }
+      if (sched != nullptr) {
+        sched->yield(pid);
+        if (sched->stopping()) throw sim::RunTornDown{};
+      }
+    }
+
+    void account(rmr::Op op, bool remote) {
+      counters.note_op(op);
+      if (remote) ++counters.rmrs;
+    }
+  };
+
+  template <class T>
+  class Atomic {
+   public:
+    Atomic() : v_{} {}
+    explicit Atomic(T init) : v_{init} {}
+
+    void attach(Env& env, int owner) {
+      RME_ASSERT(env.model != nullptr, "Counted::attach before Env.model set");
+      model_ = env.model;
+      cell_ = model_->register_cell(owner);
+      attached_ = true;
+    }
+
+    T load(Context& c, std::memory_order mo = std::memory_order_acquire) const {
+      c.before_op(rmr::Op::kRead);
+      c.account(rmr::Op::kRead, charge(c, rmr::Op::kRead));
+      return v_.load(mo);
+    }
+    void store(Context& c, T val, std::memory_order mo = std::memory_order_release) {
+      c.before_op(rmr::Op::kWrite);
+      c.account(rmr::Op::kWrite, charge(c, rmr::Op::kWrite));
+      v_.store(val, mo);
+    }
+    T exchange(Context& c, T val, std::memory_order mo = std::memory_order_acq_rel) {
+      c.before_op(rmr::Op::kFas);
+      c.account(rmr::Op::kFas, charge(c, rmr::Op::kFas));
+      return v_.exchange(val, mo);
+    }
+    T fetch_add(Context& c, T delta, std::memory_order mo = std::memory_order_acq_rel)
+      requires std::is_integral_v<T>
+    {
+      c.before_op(rmr::Op::kFai);
+      c.account(rmr::Op::kFai, charge(c, rmr::Op::kFai));
+      return v_.fetch_add(delta, mo);
+    }
+    bool compare_exchange(Context& c, T& expected, T desired,
+                          std::memory_order mo = std::memory_order_acq_rel) {
+      c.before_op(rmr::Op::kCas);
+      c.account(rmr::Op::kCas, charge(c, rmr::Op::kCas));
+      return v_.compare_exchange_strong(expected, desired, mo,
+                                        std::memory_order_acquire);
+    }
+    void init(T val) { v_.store(val, std::memory_order_relaxed); }
+
+   private:
+    bool charge(Context& c, rmr::Op op) const {
+      RME_DCHECK(attached_, "Counted::Atomic used before attach()");
+      if (!attached_) return true;
+      return model_->charge(c.pid, cell_, op);
+    }
+
+    std::atomic<T> v_;
+    rmr::Model* model_ = nullptr;
+    rmr::CellId cell_ = 0;
+    bool attached_ = false;
+  };
+
+  static void pause() { cpu_pause(); }
+};
+
+}  // namespace rme::platform

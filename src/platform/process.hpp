@@ -1,0 +1,42 @@
+// Process handle: the per-process bundle every lock API takes.
+//
+// It pairs the platform execution context (pid, RMR counters, scheduler and
+// crash hooks) with the process's go-flag ring - the pool of local-spin
+// cells living in this process's DSM partition, from which every wait()
+// draws its spin variable (paper Figure 2, Line 5). Keeping the ring with
+// the process (not with the lock) is what makes spinning local on DSM.
+#pragma once
+
+#include "nvm/flag_ring.hpp"
+#include "platform/platform.hpp"
+
+namespace rme::platform {
+
+template <class P>
+struct Process {
+  typename P::Context ctx;
+  nvm::FlagRing<P> ring;
+
+  Process() = default;
+
+  // `ring_slots` bounds how many wait() publications can be outstanding
+  // before a slot is reused; tags make reuse safe regardless, so this is a
+  // performance knob only.
+  void attach(typename P::Env& env, int pid, size_t ring_slots = 64) {
+    ctx = typename P::Context{};
+    set_pid(ctx, pid, env);
+    ring.attach(env, pid, ring_slots);
+  }
+
+ private:
+  static void set_pid(typename Real::Context& c, int pid, Real::Env&) {
+    c.pid = pid;
+  }
+  static void set_pid(typename Counted::Context& c, int pid,
+                      Counted::Env& env) {
+    c.pid = pid;
+    c.env = &env;
+  }
+};
+
+}  // namespace rme::platform

@@ -1,0 +1,77 @@
+// PetersonR2: a 2-port recoverable lock using only reads and writes.
+//
+// Same recoverable structure as R2Lock (idempotent re-execution, OWN fast
+// path for CSR) but waiting is by spinning directly on the rival's flag
+// and the turn word instead of Signal-style local publication. This is
+// the Golab-Ramaraju-flavoured read/write alternative (paper Section 1.4:
+// O(log n) passage RMR is optimal for this instruction set):
+//
+//   * on CC the spin is cache-local after the first read - O(1) RMR per
+//     wait - so a tournament of these matches the classic read/write
+//     recoverable bound;
+//   * on DSM the spin variables live in global memory, so a blocked
+//     waiter incurs one RMR per spin iteration: unbounded. That is
+//     precisely the CC/DSM gap the paper's Signal object closes, and why
+//     the default RLock is the Signal-based R2Lock.
+//
+// Provided as a drop-in for TournamentRLock's lock2 parameter; used by
+// the ablation bench and as a demonstration that RmeLock's RLock is a
+// genuinely pluggable contract (the paper: "RLock is a k-ported
+// starvation-free RME algorithm" - any one will do).
+#pragma once
+
+#include "platform/platform.hpp"
+#include "platform/process.hpp"
+#include "util/assert.hpp"
+
+namespace rme::rlock {
+
+template <class P>
+class PetersonR2 {
+ public:
+  using Ctx = typename P::Context;
+  using Env = typename P::Env;
+  using Proc = platform::Process<P>;
+
+  enum : int { kIdle = 0, kWant = 1, kOwn = 2 };
+
+  PetersonR2() = default;
+
+  void attach(Env& env) {
+    flag_[0].attach(env, rmr::kNoOwner);
+    flag_[1].attach(env, rmr::kNoOwner);
+    turn_.attach(env, rmr::kNoOwner);
+  }
+
+  // Recoverable: after a crash anywhere, call lock(i) again.
+  void lock(Proc& h, int i) {
+    RME_DCHECK(i == 0 || i == 1, "PetersonR2: bad side");
+    Ctx& ctx = h.ctx;
+    const int j = 1 - i;
+    if (flag_[i].load(ctx, std::memory_order_seq_cst) == kOwn) {
+      return;  // crashed while owning (CSR fast path)
+    }
+    flag_[i].store(ctx, kWant, std::memory_order_seq_cst);
+    turn_.store(ctx, i, std::memory_order_seq_cst);
+    // Classic Peterson wait; every iteration re-reads shared state, so
+    // no wake-up protocol (and no lost-wake recovery) is needed - the
+    // trade is remote spinning on DSM.
+    while (flag_[j].load(ctx, std::memory_order_seq_cst) != kIdle &&
+           turn_.load(ctx, std::memory_order_seq_cst) == i) {
+      P::pause();
+    }
+    flag_[i].store(ctx, kOwn, std::memory_order_seq_cst);
+  }
+
+  // Idempotent release.
+  void unlock(Proc& h, int i) {
+    RME_DCHECK(i == 0 || i == 1, "PetersonR2: bad side");
+    flag_[i].store(h.ctx, kIdle, std::memory_order_seq_cst);
+  }
+
+ private:
+  typename P::template Atomic<int> flag_[2];
+  typename P::template Atomic<int> turn_;
+};
+
+}  // namespace rme::rlock

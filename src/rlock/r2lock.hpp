@@ -1,0 +1,126 @@
+// R2Lock: a 2-port recoverable mutual exclusion lock.
+//
+// Building block for the tournament RLock (rlock/tournament.hpp), which the
+// core algorithm uses to serialise queue repair (paper Figure 3, Line 24).
+// The paper requires RLock to be a k-ported starvation-free RME lock with
+// O(k) passage RMR on both CC and DSM and suggests Golab-Ramaraju's
+// recoverable extension of Yang-Anderson; any lock meeting the contract
+// works (see DESIGN.md "Substitutions"). R2Lock is a Peterson flag/turn
+// core made recoverable by construction:
+//
+//   * Every statement is idempotent under re-execution from the top, so
+//     the recovery protocol after a crash is simply "call lock() again".
+//   * A process that crashed inside its critical section finds its flag
+//     still OWN and re-enters immediately (wait-free CSR; this also gives
+//     plain CSR: the rival cannot get past flag == OWN).
+//   * Waiting is by publication of a tagged go-flag from the waiter's own
+//     partition (local spin on DSM); the unlocker writes the tag it read.
+//     Lost wakeups from crashes between the unlocker's flag[i]=IDLE store
+//     and its wake write are repaired by the help-wake at the top of
+//     lock(): any later step of the crashed process re-delivers a wake,
+//     and the woken side re-evaluates the Peterson condition (it never
+//     trusts a wake alone), so spurious wakes are harmless.
+//
+// Handshake discipline (all seq_cst):
+//   waiter:   publish (tag, slot)      then  read  flag[rival], turn
+//   unlocker: store   flag[self]=IDLE  then  read  (slot, tag), write wake
+// If the unlocker misses a publication, the publication happened after its
+// IDLE store, so the waiter's subsequent condition check observes IDLE and
+// does not sleep - the paper's own Bit/GoAddr argument (Theorem 1, Case 2).
+#pragma once
+
+#include <cstdint>
+
+#include "nvm/flag_ring.hpp"
+#include "platform/platform.hpp"
+#include "platform/process.hpp"
+#include "util/assert.hpp"
+
+namespace rme::rlock {
+
+template <class P>
+class R2Lock {
+ public:
+  using Ctx = typename P::Context;
+  using Env = typename P::Env;
+  using Proc = platform::Process<P>;
+
+  enum : int { kIdle = 0, kWant = 1, kOwn = 2 };
+
+  R2Lock() = default;
+
+  void attach(Env& env) {
+    for (int i = 0; i < 2; ++i) {
+      flag_[i].attach(env, rmr::kNoOwner);
+      go_slot_[i].attach(env, rmr::kNoOwner);
+      go_tag_[i].attach(env, rmr::kNoOwner);
+    }
+    turn_.attach(env, rmr::kNoOwner);
+  }
+
+  // Acquire side i (0 or 1). Recoverable: after a crash anywhere (including
+  // inside the CS or inside unlock), calling lock(i) again is the complete
+  // recovery protocol.
+  void lock(Proc& h, int i) {
+    RME_DCHECK(i == 0 || i == 1, "R2Lock: bad side");
+    Ctx& ctx = h.ctx;
+    const int j = 1 - i;
+
+    if (flag_[i].load(ctx, std::memory_order_seq_cst) == kOwn) {
+      return;  // crashed while owning: CSR fast path
+    }
+    flag_[i].store(ctx, kWant, std::memory_order_seq_cst);
+    turn_.store(ctx, i, std::memory_order_seq_cst);  // yield priority
+    // Help-wake: if a previous incarnation of this process crashed between
+    // its unlock's IDLE store and the wake write (or crashed mid-lock after
+    // retaking `turn`), the rival may be asleep on a condition that no
+    // longer holds. Waking it here makes every re-execution re-deliver the
+    // lost signal; the rival re-evaluates, so this is always safe.
+    wake(ctx, j);
+
+    for (;;) {
+      typename nvm::FlagRing<P>::Wait w = h.ring.begin_wait(ctx);
+      go_tag_[i].store(ctx, w.tag, std::memory_order_seq_cst);
+      go_slot_[i].store(ctx, w.flag, std::memory_order_seq_cst);
+      if (flag_[j].load(ctx, std::memory_order_seq_cst) == kIdle) break;
+      if (turn_.load(ctx, std::memory_order_seq_cst) != i) break;
+      while (w.flag->value.load(ctx, std::memory_order_acquire) != w.tag) {
+        P::pause();
+      }
+      // Woken: somebody released or yielded; re-evaluate from a fresh
+      // publication (wakes are hints, never permissions).
+    }
+    flag_[i].store(ctx, kOwn, std::memory_order_seq_cst);
+  }
+
+  // Release side i. Idempotent; spurious calls only produce spurious wakes,
+  // which the waiter re-evaluates.
+  void unlock(Proc& h, int i) {
+    RME_DCHECK(i == 0 || i == 1, "R2Lock: bad side");
+    Ctx& ctx = h.ctx;
+    flag_[i].store(ctx, kIdle, std::memory_order_seq_cst);
+    wake(ctx, 1 - i);
+  }
+
+  // Introspection for tests.
+  int flag_state(Ctx& ctx, int i) {
+    return flag_[i].load(ctx, std::memory_order_acquire);
+  }
+
+ private:
+  void wake(Ctx& ctx, int side) {
+    nvm::GoFlag<P>* slot =
+        go_slot_[side].load(ctx, std::memory_order_seq_cst);
+    const uint64_t tag = go_tag_[side].load(ctx, std::memory_order_seq_cst);
+    if (slot != nullptr) {
+      slot->value.store(ctx, tag, std::memory_order_release);
+    }
+  }
+
+  typename P::template Atomic<int> flag_[2];
+  typename P::template Atomic<int> turn_;
+  typename P::template Atomic<nvm::GoFlag<P>*> go_slot_[2];
+  typename P::template Atomic<uint64_t> go_tag_[2];
+};
+
+}  // namespace rme::rlock

@@ -1,0 +1,267 @@
+// RMR (remote memory reference) cost models for CC and DSM machines,
+// exactly as defined in Section 1.3 of the paper:
+//
+//   CC:  every process has a cache. A read of cell X is local iff a valid
+//        copy of X is in the reader's cache; the read installs a copy.
+//        Any non-read on X (write, FAS) invalidates all cached copies and
+//        is itself remote. A crash wipes the crashed process's cache.
+//
+//   DSM: shared memory is partitioned, each cell lives in exactly one
+//        partition. Any access (read or not) to a cell outside the
+//        caller's partition is remote.
+//
+// The models are driven by the Counted platform (src/platform/platform.hpp):
+// every atomic operation on a counted cell reports (pid, cell id, kind)
+// here and receives back "was this an RMR?". Counts are accumulated per
+// process so tests and benches can assert exact asymptotics.
+//
+// Thread safety: models are used both single-threaded (deterministic
+// simulator) and from concurrent real threads (counted benches). All
+// mutable shared state is atomic; per-process state (the CC cache) is
+// sharded by pid and only touched by that pid's thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rme::rmr {
+
+// Kind of shared-memory operation, for accounting and instruction-mix audits.
+enum class Op : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  kFas = 2,  // fetch-and-store (atomic exchange) - the only RMW the core lock uses
+  kCas = 3,  // available so baselines can be audited; the core lock never issues it
+  kFai = 4,  // fetch-and-increment (ticket-lock baseline only)
+};
+
+inline const char* op_name(Op op) {
+  switch (op) {
+    case Op::kRead: return "read";
+    case Op::kWrite: return "write";
+    case Op::kFas: return "fas";
+    case Op::kCas: return "cas";
+    case Op::kFai: return "fai";
+  }
+  return "?";
+}
+
+// Identifier of a shared cell. Cells register with the model on
+// construction; kNoOwner marks cells that live in no process's partition
+// (DSM: always remote; e.g. Tail and the Node array).
+using CellId = uint64_t;
+inline constexpr int kNoOwner = -1;
+
+// Per-process operation counters. "steps" counts every shared-memory
+// operation (local or remote) so wait-free bounds can be checked in
+// *steps*, not just RMRs.
+struct Counters {
+  uint64_t rmrs = 0;
+  uint64_t steps = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t fas = 0;
+  uint64_t cas = 0;
+  uint64_t fai = 0;
+
+  void note_op(Op op) {
+    ++steps;
+    switch (op) {
+      case Op::kRead: ++reads; break;
+      case Op::kWrite: ++writes; break;
+      case Op::kFas: ++fas; break;
+      case Op::kCas: ++cas; break;
+      case Op::kFai: ++fai; break;
+    }
+  }
+  void reset() { *this = Counters{}; }
+  Counters operator-(const Counters& o) const {
+    Counters r;
+    r.rmrs = rmrs - o.rmrs;
+    r.steps = steps - o.steps;
+    r.reads = reads - o.reads;
+    r.writes = writes - o.writes;
+    r.fas = fas - o.fas;
+    r.cas = cas - o.cas;
+    r.fai = fai - o.fai;
+    return r;
+  }
+};
+
+// Abstract cost model. `charge` returns true iff the access is an RMR.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  // Register a new cell owned by `owner_pid` (kNoOwner = unpartitioned /
+  // "global" memory). Returns the cell id.
+  virtual CellId register_cell(int owner_pid) = 0;
+
+  // Account one operation; returns whether it was remote.
+  virtual bool charge(int pid, CellId cell, Op op) = 0;
+
+  // A crash step of `pid`: CC loses the cache; DSM has no per-process
+  // volatile state (the partition itself is NVMM).
+  virtual void on_crash(int pid) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// CC model.
+//
+// Validity of cached copies is tracked with per-cell version counters:
+// a non-read bumps the cell version; a reader's copy is valid iff the
+// version it cached equals the current version. This is equivalent to
+// explicit invalidation but O(1) per write instead of O(processes).
+// ---------------------------------------------------------------------------
+class CcModel final : public Model {
+ public:
+  explicit CcModel(int nprocs) : caches_(static_cast<size_t>(nprocs)) {}
+
+  CellId register_cell(int /*owner_pid*/) override {
+    const CellId id = next_cell_.fetch_add(1, std::memory_order_relaxed);
+    return id;
+  }
+
+  bool charge(int pid, CellId cell, Op op) override {
+    RME_ASSERT(pid >= 0 && static_cast<size_t>(pid) < caches_.size(),
+               "CcModel: pid out of range");
+    Cache& cache = caches_[static_cast<size_t>(pid)];
+    std::atomic<uint64_t>& ver = version_slot(cell);
+    if (op == Op::kRead) {
+      const uint64_t cur = ver.load(std::memory_order_relaxed);
+      auto it = cache.lines.find(cell);
+      if (it != cache.lines.end() && it->second == cur) {
+        return false;  // cache hit: local
+      }
+      cache.lines[cell] = cur;  // install copy
+      cache.peak = std::max(cache.peak, cache.lines.size());
+      return true;
+    }
+    // Non-read: invalidate everyone (version bump), remote by definition.
+    const uint64_t nv = ver.fetch_add(1, std::memory_order_relaxed) + 1;
+    // The writer may keep its own copy valid (it has the line in M state);
+    // Sec 1.3 counts the op as an RMR regardless, but a subsequent read by
+    // the same process is a hit on real CC hardware. We model that.
+    cache.lines[cell] = nv;
+    cache.peak = std::max(cache.peak, cache.lines.size());
+    return true;
+  }
+
+  void on_crash(int pid) override {
+    caches_[static_cast<size_t>(pid)].lines.clear();
+  }
+
+  const char* name() const override { return "CC"; }
+
+  // Peak number of distinct cells simultaneously cached by `pid` since the
+  // last reset — the "cache of O(1) words" claim (experiment E7).
+  size_t peak_cache_words(int pid) const {
+    return caches_[static_cast<size_t>(pid)].peak;
+  }
+  void reset_cache_stats(int pid) {
+    caches_[static_cast<size_t>(pid)].peak =
+        caches_[static_cast<size_t>(pid)].lines.size();
+  }
+  // Drop all copies (e.g. between bench repetitions).
+  void flush_cache(int pid) {
+    caches_[static_cast<size_t>(pid)].lines.clear();
+    caches_[static_cast<size_t>(pid)].peak = 0;
+  }
+
+ private:
+  struct Cache {
+    std::unordered_map<CellId, uint64_t> lines;  // cell -> cached version
+    size_t peak = 0;
+  };
+
+  std::atomic<uint64_t>& version_slot(CellId cell) {
+    // Sharded growable version table: fixed-size chunks, lock-free lookup.
+    const size_t chunk = static_cast<size_t>(cell) / kChunk;
+    const size_t off = static_cast<size_t>(cell) % kChunk;
+    if (chunk >= kMaxChunks) {
+      util::panic(__FILE__, __LINE__, "CcModel: too many cells");
+    }
+    std::atomic<uint64_t>* p = chunks_[chunk].load(std::memory_order_acquire);
+    if (p == nullptr) {
+      auto* fresh = new std::atomic<uint64_t>[kChunk]();
+      std::atomic<uint64_t>* expected = nullptr;
+      if (chunks_[chunk].compare_exchange_strong(expected, fresh,
+                                                 std::memory_order_acq_rel)) {
+        p = fresh;
+      } else {
+        delete[] fresh;
+        p = expected;
+      }
+    }
+    return p[off];
+  }
+
+  static constexpr size_t kChunk = 4096;
+  static constexpr size_t kMaxChunks = 4096;
+
+  std::vector<Cache> caches_;
+  std::atomic<CellId> next_cell_{0};
+  std::atomic<std::atomic<uint64_t>*> chunks_[kMaxChunks] = {};
+};
+
+// ---------------------------------------------------------------------------
+// DSM model: remote iff the cell's partition is not the caller's.
+// ---------------------------------------------------------------------------
+class DsmModel final : public Model {
+ public:
+  explicit DsmModel(int nprocs) : nprocs_(nprocs) {}
+
+  CellId register_cell(int owner_pid) override {
+    RME_ASSERT(owner_pid == kNoOwner || (owner_pid >= 0 && owner_pid < nprocs_),
+               "DsmModel: bad owner pid");
+    const CellId id = next_cell_.fetch_add(1, std::memory_order_relaxed);
+    owner_slot(id).store(owner_pid, std::memory_order_relaxed);
+    return id;
+  }
+
+  bool charge(int pid, CellId cell, Op /*op*/) override {
+    return owner_slot(cell).load(std::memory_order_relaxed) != pid;
+  }
+
+  void on_crash(int /*pid*/) override {}
+
+  const char* name() const override { return "DSM"; }
+
+ private:
+  std::atomic<int>& owner_slot(CellId cell) {
+    const size_t chunk = static_cast<size_t>(cell) / kChunk;
+    const size_t off = static_cast<size_t>(cell) % kChunk;
+    if (chunk >= kMaxChunks) {
+      util::panic(__FILE__, __LINE__, "DsmModel: too many cells");
+    }
+    std::atomic<int>* p = chunks_[chunk].load(std::memory_order_acquire);
+    if (p == nullptr) {
+      auto* fresh = new std::atomic<int>[kChunk]();
+      std::atomic<int>* expected = nullptr;
+      if (chunks_[chunk].compare_exchange_strong(expected, fresh,
+                                                 std::memory_order_acq_rel)) {
+        p = fresh;
+      } else {
+        delete[] fresh;
+        p = expected;
+      }
+    }
+    return p[off];
+  }
+
+  static constexpr size_t kChunk = 4096;
+  static constexpr size_t kMaxChunks = 4096;
+
+  int nprocs_;
+  std::atomic<CellId> next_cell_{0};
+  std::atomic<std::atomic<int>*> chunks_[kMaxChunks] = {};
+};
+
+}  // namespace rme::rmr

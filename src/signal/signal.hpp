@@ -1,0 +1,134 @@
+// Signal object (paper Section 2).
+//
+//   Specification (Figure 1): X.State in {0,1}, initially 0.
+//     X.set()  - sets State to 1.          O(1) RMR, wait-free.
+//     X.wait() - returns once State is 1.  O(1) RMR on CC *and* DSM,
+//                provided no two wait() executions are concurrent.
+//
+//   Implementation (Figure 2, DSM-capable):
+//     set():  Bit <- 1; addr <- GoAddr; if addr != NIL then *addr <- true
+//     wait(): go <- new Boolean(false); GoAddr <- go;
+//             if Bit == 0 then wait till *go == true
+//
+// Differences from the paper, both forced by making the object reusable in
+// a long-running library (the paper allocates a fresh boolean per wait and
+// a fresh Signal per queue node, and never reclaims either):
+//
+//   1. The waiter's spin cell comes from a per-port FlagRing and carries a
+//      64-bit tag unique to this wait attempt (see nvm/flag_ring.hpp). The
+//      setter writes the tag it observed; the waiter spins for *its* tag,
+//      so a laggard setter addressing a recycled cell cannot produce a
+//      spurious wake.
+//   2. GoAddr is split into two cells (slot pointer + tag). They are not
+//      written atomically together, but the paper's own Bit handshake
+//      covers the race: the waiter publishes (tag, slot) *before* checking
+//      Bit, and the setter writes Bit *before* reading (slot, tag) - both
+//      with seq_cst, a Dekker handshake. If the setter reads a torn or
+//      stale pair, the waiter's publish must have overlapped the set, so
+//      the waiter's Bit check sees 1 and it never sleeps; the stray write
+//      lands on a tag nobody waits for.
+//
+// Crash-safety: both procedures are re-executable from the top. A waiter
+// that crashes mid-wait re-publishes a fresh slot+tag and re-checks Bit; a
+// setter that crashes mid-set re-runs all of set() (it re-reads GoAddr, so
+// a waiter that published after the first, incomplete set is still woken -
+// this is exactly why set() must NOT short-circuit on Bit == 1).
+#pragma once
+
+#include <atomic>
+
+#include "nvm/flag_ring.hpp"
+#include "platform/platform.hpp"
+
+namespace rme::signal {
+
+template <class P>
+class Signal {
+ public:
+  using Ctx = typename P::Context;
+  using Env = typename P::Env;
+  using Ring = nvm::FlagRing<P>;
+
+  Signal() = default;
+
+  void attach(Env& env, int owner_pid) {
+    bit_.attach(env, owner_pid);
+    go_slot_.attach(env, owner_pid);
+    go_tag_.attach(env, owner_pid);
+  }
+
+  // Raw (pre-run / recycling-time) state control. reset() may only be
+  // called when no process can reach this Signal (fresh node or a node
+  // whose QSBR grace period has elapsed).
+  void init_set() { bit_.init(1); }
+  void init_clear() {
+    bit_.init(0);
+    go_slot_.init(nullptr);
+    go_tag_.init(0);
+  }
+  // In-run reset through a context (counted as shared writes).
+  void reset(Ctx& ctx) {
+    bit_.store(ctx, 0, std::memory_order_relaxed);
+    go_slot_.store(ctx, nullptr, std::memory_order_relaxed);
+    go_tag_.store(ctx, 0, std::memory_order_relaxed);
+  }
+
+  // X.set() - Figure 2 Lines 1-4.
+  void set(Ctx& ctx) {
+    bit_.store(ctx, 1, std::memory_order_seq_cst);               // L1
+    nvm::GoFlag<P>* slot = go_slot_.load(ctx, std::memory_order_seq_cst);  // L2
+    const uint64_t tag = go_tag_.load(ctx, std::memory_order_seq_cst);
+    if (slot != nullptr) {                                       // L3
+      slot->value.store(ctx, tag, std::memory_order_release);    // L4
+    }
+  }
+
+  // X.wait() - Figure 2 Lines 5-9. `ring` must belong to the calling port.
+  void wait(Ctx& ctx, Ring& ring) {
+    typename Ring::Wait w = ring.begin_wait(ctx);                // L5-6
+    go_tag_.store(ctx, w.tag, std::memory_order_seq_cst);        // L7 (tag first:
+    go_slot_.store(ctx, w.flag, std::memory_order_seq_cst);      //  see header)
+    if (bit_.load(ctx, std::memory_order_seq_cst) == 1) return;  // L8
+    while (w.flag->value.load(ctx, std::memory_order_acquire) != w.tag) {
+      P::pause();                                                // L9
+    }
+  }
+
+  // Non-blocking probe (used by tests and by the CC fast path of callers
+  // that already know the state).
+  bool is_set(Ctx& ctx) const {
+    return bit_.load(ctx, std::memory_order_acquire) == 1;
+  }
+
+ private:
+  typename P::template Atomic<int> bit_;
+  typename P::template Atomic<nvm::GoFlag<P>*> go_slot_;
+  typename P::template Atomic<uint64_t> go_tag_;
+};
+
+// Trivial CC-only Signal (Section 2.1, first paragraph): a single bit; the
+// waiter spins on it, which is cache-local on CC but incurs unbounded RMRs
+// on DSM. Kept as the ablation baseline for experiment E1.
+template <class P>
+class BitSignal {
+ public:
+  using Ctx = typename P::Context;
+  using Env = typename P::Env;
+
+  void attach(Env& env, int owner_pid) { bit_.attach(env, owner_pid); }
+  void init_set() { bit_.init(1); }
+  void init_clear() { bit_.init(0); }
+
+  void set(Ctx& ctx) { bit_.store(ctx, 1, std::memory_order_seq_cst); }
+  void wait(Ctx& ctx) {
+    while (bit_.load(ctx, std::memory_order_acquire) == 0) P::pause();
+  }
+  bool is_set(Ctx& ctx) const {
+    return bit_.load(ctx, std::memory_order_acquire) == 1;
+  }
+
+ private:
+  typename P::template Atomic<int> bit_;
+};
+
+}  // namespace rme::signal

@@ -1,0 +1,135 @@
+// Crash plans: decide, at each shared-memory step of each process, whether
+// the process takes a crash step *instead* (Section 1.2: a crash step can
+// occur at any time; it wipes registers and resets the PC to Remainder).
+//
+// In the harness a crash is delivered by throwing ProcessCrashed from the
+// platform access hook; the per-process driver catches it, the CC cache is
+// flushed, and the process body is re-entered from the top.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <vector>
+
+#include "rmr/model.hpp"
+
+namespace rme::sim {
+
+// Thrown at an instrumented access point to model a crash step.
+struct ProcessCrashed {};
+
+// Thrown at an instrumented access point when the run is being torn down:
+// workers must unwind without touching any shared test state.
+struct RunTornDown {};
+
+// Interface consulted *before* every shared-memory operation.
+class CrashPlan {
+ public:
+  virtual ~CrashPlan() = default;
+  // `step` is the per-process count of shared-memory ops attempted so far
+  // (monotone across crashes within the run); `op` is the kind of the
+  // operation about to execute. Return true to crash now (the crash step
+  // replaces the operation).
+  virtual bool should_crash(int pid, uint64_t step, rmr::Op op) = 0;
+};
+
+// Never crashes.
+class NoCrash final : public CrashPlan {
+ public:
+  bool should_crash(int, uint64_t, rmr::Op) override { return false; }
+};
+
+// Crash `pid` relative to its n-th FAS instruction: kBefore models the
+// paper's "crashed at Line 13" (the FAS never executed), kAfter models
+// "crashed at Line 14" (the FAS executed but the Pred write was lost) -
+// the two queue-breaking crash shapes of Section 3.1.
+class CrashAroundFas final : public CrashPlan {
+ public:
+  enum When { kBefore, kAfter };
+  CrashAroundFas(int pid, int nth_fas, When when)
+      : pid_(pid), nth_(nth_fas), when_(when) {}
+
+  bool should_crash(int pid, uint64_t, rmr::Op op) override {
+    if (pid != pid_ || fired_) return false;
+    if (when_ == kBefore) {
+      if (op == rmr::Op::kFas && ++seen_ == nth_) {
+        fired_ = true;
+        return true;
+      }
+      return false;
+    }
+    // kAfter: crash at the first op following the n-th completed FAS.
+    if (armed_) {
+      fired_ = true;
+      return true;
+    }
+    if (op == rmr::Op::kFas && ++seen_ == nth_) armed_ = true;
+    return false;
+  }
+
+  bool fired() const { return fired_; }
+
+ private:
+  int pid_;
+  int nth_;
+  When when_;
+  int seen_ = 0;
+  bool armed_ = false;
+  bool fired_ = false;
+};
+
+// Crash process `pid` exactly when its step counter hits each value in
+// `steps` (sorted ascending). Used for systematic "crash at every point"
+// sweeps: run once to count steps, then re-run crashing at step i for all i.
+class CrashAtSteps final : public CrashPlan {
+ public:
+  CrashAtSteps(int pid, std::vector<uint64_t> steps)
+      : pid_(pid), steps_(std::move(steps)) {}
+
+  bool should_crash(int pid, uint64_t step, rmr::Op) override {
+    if (pid != pid_ || next_ >= steps_.size()) return false;
+    if (step == steps_[next_]) {
+      ++next_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  int pid_;
+  std::vector<uint64_t> steps_;
+  size_t next_ = 0;
+};
+
+// Independent per-access crash probability, optionally with a budget of at
+// most `max_crashes` total crashes (so runs terminate / starvation-freedom
+// preconditions hold: "total number of crashes in the run is finite").
+class RandomCrash final : public CrashPlan {
+ public:
+  RandomCrash(double p, uint64_t seed, uint64_t max_crashes)
+      : p_(p), rng_(seed), max_(max_crashes) {}
+
+  bool should_crash(int /*pid*/, uint64_t /*step*/, rmr::Op) override {
+    if (crashes_.load(std::memory_order_relaxed) >= max_) return false;
+    std::lock_guard<std::mutex> g(mu_);
+    if (dist_(rng_) < p_) {
+      crashes_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  uint64_t crashes() const { return crashes_.load(std::memory_order_relaxed); }
+
+ private:
+  double p_;
+  std::mutex mu_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> dist_{0.0, 1.0};
+  uint64_t max_;
+  std::atomic<uint64_t> crashes_{0};
+};
+
+}  // namespace rme::sim

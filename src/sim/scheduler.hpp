@@ -1,0 +1,253 @@
+// Deterministic cooperative scheduler.
+//
+// Each simulated process runs on its own OS thread but executes only
+// while it holds the baton: before every shared-memory operation the
+// Counted platform calls Scheduler::yield(pid), which picks the next
+// process and hands the baton *directly* to it (worker-to-worker; the
+// controlling thread is involved only at run start and end). Exactly one
+// process is runnable at a time, so a (policy, seed, crash-plan) triple
+// fully determines the interleaving - the paper's model of a run as a
+// sequence of normal and crash steps.
+//
+// Fast paths that keep big sweeps cheap:
+//   * if the policy picks the yielding process again, yield() returns
+//     without any context switch (single-process phases and scripted
+//     bursts cost a function call per step);
+//   * baton handoff is a spin-then-block binary semaphore: the hot
+//     ping-pong between two processes stays in user space.
+//
+// Policies:
+//   RoundRobin    - cycles over live processes (fair by construction)
+//   SeededRandom  - uniform over live processes (fair w.p. 1)
+//   Scripted      - explicit pid sequence, then round-robin; used to pin
+//                   exact schedules (repair branches, Figure 5, paper
+//                   Appendix A shapes)
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rme::sim {
+
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+  // Pick the next pid to run from `runnable` (non-empty, ascending).
+  virtual int pick(const std::vector<int>& runnable) = 0;
+};
+
+class RoundRobin final : public SchedulePolicy {
+ public:
+  int pick(const std::vector<int>& runnable) override {
+    for (int pid : runnable) {
+      if (pid > last_) {
+        last_ = pid;
+        return pid;
+      }
+    }
+    last_ = runnable.front();
+    return last_;
+  }
+
+ private:
+  int last_ = -1;
+};
+
+class SeededRandom final : public SchedulePolicy {
+ public:
+  explicit SeededRandom(uint64_t seed) : rng_(seed) {}
+  int pick(const std::vector<int>& runnable) override {
+    std::uniform_int_distribution<size_t> d(0, runnable.size() - 1);
+    return runnable[d(rng_)];
+  }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+// Follows `script` while it lasts (skipping entries whose pid is not
+// currently runnable), then falls back to round-robin.
+class Scripted final : public SchedulePolicy {
+ public:
+  explicit Scripted(std::vector<int> script) : script_(std::move(script)) {}
+  int pick(const std::vector<int>& runnable) override {
+    while (pos_ < script_.size()) {
+      const int want = script_[pos_];
+      ++pos_;
+      for (int pid : runnable) {
+        if (pid == want) return pid;
+      }
+    }
+    return fallback_.pick(runnable);
+  }
+  bool script_exhausted() const { return pos_ >= script_.size(); }
+
+ private:
+  std::vector<int> script_;
+  size_t pos_ = 0;
+  RoundRobin fallback_;
+};
+
+class Scheduler {
+ public:
+  Scheduler(int nprocs, SchedulePolicy* policy)
+      : nprocs_(nprocs),
+        policy_(policy),
+        gates_(static_cast<size_t>(nprocs)) {}
+
+  // --- controlling (test) thread ---
+
+  void begin(int nprocs) {
+    std::lock_guard<std::mutex> g(mu_);
+    live_.assign(static_cast<size_t>(nprocs), false);
+  }
+
+  void set_live(int pid, bool live) {
+    std::lock_guard<std::mutex> g(mu_);
+    live_[static_cast<size_t>(pid)] = live;
+  }
+
+  // Kick off the run and block until every live process finished or the
+  // step budget is exhausted. Returns scheduling steps taken.
+  uint64_t run(uint64_t max_steps) {
+    max_steps_ = max_steps;
+    int first = -1;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      build_runnable();
+      if (!runnable_.empty()) first = policy_->pick(runnable_);
+    }
+    if (first < 0) return 0;
+    grant(first);
+    std::unique_lock<std::mutex> lk(done_mu_);
+    done_cv_.wait(lk, [&] { return done_; });
+    return steps_.load(std::memory_order_relaxed);
+  }
+
+  void stop() {
+    stopping_.store(true, std::memory_order_release);
+    for (auto& gate : gates_) gate.open();
+    signal_done();
+  }
+
+  bool stopping() const {
+    return stopping_.load(std::memory_order_acquire);
+  }
+  bool exhausted() const { return exhausted_; }
+
+  // --- worker threads ---
+
+  // Block until first granted the baton (or the run is torn down).
+  void acquire_baton(int pid) {
+    gates_[static_cast<size_t>(pid)].wait();
+  }
+
+  // One scheduling step: maybe hand the baton to someone else.
+  void yield(int pid) {
+    if (stopping()) return;  // caller's before_op throws RunTornDown
+    const uint64_t s = steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (s >= max_steps_) {
+      exhausted_ = true;
+      stop();
+      return;
+    }
+    int next;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      build_runnable();
+      if (runnable_.empty()) {  // only possible mid-teardown
+        return;
+      }
+      next = policy_->pick(runnable_);
+    }
+    if (next == pid) return;  // self-continue: no context switch
+    grant(next);
+    gates_[static_cast<size_t>(pid)].wait();
+  }
+
+  // Worker announces it will take no more steps. `final_exit` false means
+  // "parked but revivable" - unused by the current driver, accepted for
+  // interface compatibility.
+  void park(int pid, bool final_exit) {
+    int next = -1;
+    bool empty;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      if (final_exit) live_[static_cast<size_t>(pid)] = false;
+      build_runnable();
+      empty = runnable_.empty();
+      if (!empty) next = policy_->pick(runnable_);
+    }
+    if (empty) {
+      signal_done();
+    } else {
+      grant(next);
+    }
+  }
+
+ private:
+  // Spin-then-block binary semaphore (one per process).
+  struct Gate {
+    std::atomic<bool> open_flag{false};
+    std::mutex mu;
+    std::condition_variable cv;
+
+    void open() {
+      open_flag.store(true, std::memory_order_release);
+      std::lock_guard<std::mutex> g(mu);
+      cv.notify_all();
+    }
+    void wait() {
+      for (int i = 0; i < 2048; ++i) {
+        if (open_flag.exchange(false, std::memory_order_acq_rel)) return;
+#if defined(__x86_64__) || defined(_M_X64)
+        asm volatile("pause");
+#endif
+      }
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] {
+        return open_flag.exchange(false, std::memory_order_acq_rel);
+      });
+    }
+  };
+
+  void grant(int pid) { gates_[static_cast<size_t>(pid)].open(); }
+
+  void signal_done() {
+    std::lock_guard<std::mutex> g(done_mu_);
+    done_ = true;
+    done_cv_.notify_all();
+  }
+
+  void build_runnable() {
+    runnable_.clear();
+    for (int i = 0; i < nprocs_; ++i) {
+      if (live_[static_cast<size_t>(i)]) runnable_.push_back(i);
+    }
+  }
+
+  int nprocs_;
+  SchedulePolicy* policy_;
+  std::vector<Gate> gates_;
+
+  std::mutex mu_;  // guards live_ / runnable_ / policy_
+  std::vector<bool> live_;
+  std::vector<int> runnable_;
+
+  std::atomic<uint64_t> steps_{0};
+  uint64_t max_steps_ = ~uint64_t{0};
+  std::atomic<bool> stopping_{false};
+  bool exhausted_ = false;
+
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  bool done_ = false;
+};
+
+}  // namespace rme::sim

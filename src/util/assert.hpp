@@ -1,0 +1,33 @@
+// Lightweight assertion and panic helpers used across the library.
+//
+// RME_ASSERT is active in all build types (the correctness of a mutual
+// exclusion library is worth a compare-and-branch), RME_DCHECK only in
+// debug builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rme::util {
+
+[[noreturn]] inline void panic(const char* file, int line, const char* msg) {
+  std::fprintf(stderr, "rme: panic at %s:%d: %s\n", file, line, msg);
+  std::abort();
+}
+
+}  // namespace rme::util
+
+#define RME_ASSERT(cond, msg)                         \
+  do {                                                \
+    if (!(cond)) {                                    \
+      ::rme::util::panic(__FILE__, __LINE__, (msg));  \
+    }                                                 \
+  } while (0)
+
+#ifndef NDEBUG
+#define RME_DCHECK(cond, msg) RME_ASSERT(cond, msg)
+#else
+#define RME_DCHECK(cond, msg) \
+  do {                        \
+  } while (0)
+#endif

@@ -1,0 +1,178 @@
+// Baseline lock tests: correctness of MCS/TAS/TTAS/ticket/CLH under the
+// simulator (crash-free - none of these are recoverable), plus the RMR
+// separations the paper's Section 1 narrative relies on:
+//   * MCS is O(1) RMR on CC and DSM but its release path issues CAS,
+//   * CLH is O(1) on CC but unbounded on DSM (remote predecessor spin),
+//   * TAS is unbounded on both under contention.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/mcs.hpp"
+#include "baselines/simple_locks.hpp"
+#include "harness/sim_run.hpp"
+#include "harness/world.hpp"
+
+namespace {
+
+using namespace rme;
+using harness::LockBody;
+using harness::ModelKind;
+using harness::SimProc;
+using harness::SimRun;
+using P = platform::Counted;
+
+template <class Lock, class Make>
+void exclusion_and_progress(Make make, int n, uint64_t seed) {
+  SimRun sim(ModelKind::kCc, n);
+  auto lk = make(sim);
+  LockBody<Lock> body(*lk, sim.world(), sim.checker());
+  sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
+  sim::SeededRandom pol(seed);
+  sim::NoCrash nc;
+  std::vector<uint64_t> iters(static_cast<size_t>(n), 10);
+  auto res = sim.run(pol, nc, iters, 20000000);
+  ASSERT_FALSE(res.exhausted);
+  EXPECT_EQ(sim.checker().entries(), 10u * static_cast<uint64_t>(n));
+  EXPECT_EQ(sim.checker().me_violations(), 0u);
+}
+
+TEST(Baselines, McsExclusionAndProgress) {
+  exclusion_and_progress<baselines::McsLock<P>>(
+      [](SimRun& s) {
+        return std::make_unique<baselines::McsLock<P>>(s.world().env, 4);
+      },
+      4, 11);
+}
+
+TEST(Baselines, TasExclusionAndProgress) {
+  exclusion_and_progress<baselines::TasLock<P>>(
+      [](SimRun& s) {
+        return std::make_unique<baselines::TasLock<P>>(s.world().env);
+      },
+      4, 12);
+}
+
+TEST(Baselines, TtasExclusionAndProgress) {
+  exclusion_and_progress<baselines::TtasLock<P>>(
+      [](SimRun& s) {
+        return std::make_unique<baselines::TtasLock<P>>(s.world().env);
+      },
+      4, 13);
+}
+
+TEST(Baselines, TicketExclusionAndProgress) {
+  exclusion_and_progress<baselines::TicketLock<P>>(
+      [](SimRun& s) {
+        return std::make_unique<baselines::TicketLock<P>>(s.world().env);
+      },
+      4, 14);
+}
+
+TEST(Baselines, ClhExclusionAndProgress) {
+  exclusion_and_progress<baselines::ClhLock<P>>(
+      [](SimRun& s) {
+        return std::make_unique<baselines::ClhLock<P>>(s.world().env, 4);
+      },
+      4, 15);
+}
+
+// Ticket lock is FIFO: entry order equals ticket order.
+TEST(Baselines, TicketIsFifo) {
+  SimRun sim(ModelKind::kCc, 3);
+  baselines::TicketLock<P> lk(sim.world().env);
+  std::vector<int> order;
+  sim.set_body([&](SimProc& h, int pid) {
+    lk.lock(h, pid);
+    order.push_back(pid);
+    lk.unlock(h, pid);
+  });
+  sim::RoundRobin rr;
+  sim::NoCrash nc;
+  auto res = sim.run(rr, nc, {5, 5, 5}, 2000000);
+  ASSERT_FALSE(res.exhausted);
+  // Under round-robin, tickets are taken 0,1,2,0,1,2,... so service order
+  // is exactly cyclic.
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int>(i % 3)) << i;
+  }
+}
+
+// MCS issues CAS (release path); the core lock never does - the E8
+// instruction-mix separation.
+TEST(Baselines, McsUsesCas) {
+  SimRun sim(ModelKind::kCc, 2);
+  baselines::McsLock<P> lk(sim.world().env, 2);
+  LockBody<baselines::McsLock<P>> body(lk, sim.world(), sim.checker());
+  sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
+  sim::RoundRobin rr;
+  sim::NoCrash nc;
+  auto res = sim.run(rr, nc, {10, 10}, 2000000);
+  ASSERT_FALSE(res.exhausted);
+  uint64_t cas = 0;
+  for (int p = 0; p < 2; ++p) cas += sim.world().counters(p).cas;
+  EXPECT_GT(cas, 0u);
+}
+
+// MCS blocked waiter spins locally on both models (the property the paper
+// recoverabilises); TAS spins remotely on both; CLH splits CC vs DSM.
+TEST(Baselines, BlockedSpinLocality) {
+  struct Probe {
+    uint64_t steps;
+    uint64_t rmrs;
+  };
+  auto blocked_probe = [](ModelKind kind, auto make_lock) -> Probe {
+    SimRun sim(kind, 2);
+    auto lk = make_lock(sim);
+    platform::Counted::Atomic<int> dummy;
+    dummy.attach(sim.world().env, rmr::kNoOwner);
+    dummy.init(0);
+    sim.set_body([&](SimProc& h, int pid) {
+      lk->lock(h, pid);
+      // p0 holds the lock across many *scheduled* shared ops, so p1 stays
+      // blocked for the whole probe window.
+      if (pid == 0) {
+        for (int i = 0; i < 100000; ++i) (void)dummy.load(h.ctx);
+      }
+      lk->unlock(h, pid);
+    });
+    std::vector<int> script;
+    for (int i = 0; i < 10; ++i) script.push_back(0);   // p0 acquires
+    for (int i = 0; i < 500; ++i) script.push_back(1);  // p1 blocks+spins
+    sim::Scripted pol(script);
+    sim::NoCrash nc;
+    auto res = sim.run(pol, nc, {1, 1}, 520);  // cut off while p1 spins
+    (void)res;
+    return Probe{sim.world().counters(1).steps, sim.world().counters(1).rmrs};
+  };
+
+  // MCS: local spin on both models.
+  for (ModelKind kind : {ModelKind::kCc, ModelKind::kDsm}) {
+    auto p = blocked_probe(kind, [](SimRun& s) {
+      return std::make_unique<baselines::McsLock<P>>(s.world().env, 2);
+    });
+    ASSERT_GT(p.steps, 300u);
+    EXPECT_LE(p.rmrs, 12u) << "MCS " << (kind == ModelKind::kCc ? "CC" : "DSM");
+  }
+  // TAS: remote spin on both models (every exchange is remote).
+  for (ModelKind kind : {ModelKind::kCc, ModelKind::kDsm}) {
+    auto p = blocked_probe(kind, [](SimRun& s) {
+      return std::make_unique<baselines::TasLock<P>>(s.world().env);
+    });
+    ASSERT_GT(p.steps, 300u);
+    EXPECT_GT(p.rmrs, 250u) << "TAS " << (kind == ModelKind::kCc ? "CC" : "DSM");
+  }
+  // CLH: local on CC (cache hit after first read), remote on DSM.
+  {
+    auto cc = blocked_probe(ModelKind::kCc, [](SimRun& s) {
+      return std::make_unique<baselines::ClhLock<P>>(s.world().env, 2);
+    });
+    EXPECT_LE(cc.rmrs, 12u);
+    auto dsm = blocked_probe(ModelKind::kDsm, [](SimRun& s) {
+      return std::make_unique<baselines::ClhLock<P>>(s.world().env, 2);
+    });
+    EXPECT_GT(dsm.rmrs, 250u);  // the CC/DSM separation
+  }
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Harness self-validation ("do the checkers have teeth?"): deliberately
+// broken locks must be *caught*. A verification suite that has never seen
+// a failure proves nothing about its own sensitivity; these mutation
+// tests pin that the ExclusionChecker, the CS scratch protocol, and the
+// exhaustion detector actually fire on the bug classes they exist for.
+#include <gtest/gtest.h>
+
+#include "harness/sim_run.hpp"
+#include "harness/world.hpp"
+
+namespace {
+
+using namespace rme;
+using harness::ExclusionChecker;
+using harness::ModelKind;
+using harness::SimProc;
+using harness::SimRun;
+using P = platform::Counted;
+
+// A "lock" that admits everyone: pure mutual-exclusion mutation.
+struct NoLock {
+  void lock(platform::Process<P>& h, int) {
+    // One shared op so the scheduler can interleave inside the "CS".
+    (void)cell->load(h.ctx);
+  }
+  void unlock(platform::Process<P>&, int) {}
+  P::Atomic<int>* cell;
+};
+
+TEST(CheckerTeeth, NoLockIsCaughtByExclusionChecker) {
+  SimRun sim(ModelKind::kCc, 3);
+  P::Atomic<int> cell;
+  cell.attach(sim.world().env, rmr::kNoOwner);
+  cell.init(0);
+  NoLock lk{&cell};
+  ExclusionChecker& chk = sim.checker();
+  sim.set_body([&](SimProc& h, int pid) {
+    lk.lock(h, pid);
+    chk.on_enter(pid);
+    // Two shared ops inside the CS window so overlap is observable.
+    (void)cell.load(h.ctx);
+    (void)cell.load(h.ctx);
+    chk.on_exit(pid);
+    lk.unlock(h, pid);
+  });
+  sim::RoundRobin rr;
+  sim::NoCrash nc;
+  auto res = sim.run(rr, nc, {10, 10, 10}, 1000000);
+  ASSERT_FALSE(res.exhausted);
+  EXPECT_GT(chk.me_violations(), 0u)
+      << "a lock admitting everyone must be flagged";
+}
+
+// A lock that forgets waiters (never wakes them): liveness mutation, must
+// surface as exhaustion, not as a hang.
+struct LeakyLock {
+  void lock(platform::Process<P>& h, int pid) {
+    if (pid == 0) return;  // pid 0 "wins" instantly
+    // Everyone else waits on a flag nobody ever sets.
+    while (never->load(h.ctx) == 0) {
+    }
+  }
+  void unlock(platform::Process<P>&, int) {}
+  P::Atomic<int>* never;
+};
+
+TEST(CheckerTeeth, LostWakeupIsCaughtAsExhaustion) {
+  SimRun sim(ModelKind::kCc, 2);
+  P::Atomic<int> never;
+  never.attach(sim.world().env, rmr::kNoOwner);
+  never.init(0);
+  LeakyLock lk{&never};
+  sim.set_body([&](SimProc& h, int pid) {
+    lk.lock(h, pid);
+    lk.unlock(h, pid);
+  });
+  sim::RoundRobin rr;
+  sim::NoCrash nc;
+  auto res = sim.run(rr, nc, {3, 3}, 20000);
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_LT(res.completions[1], 3u);
+}
+
+// A lock that violates CSR: after a crash in the CS, it admits the rival
+// first. The CSR accounting must flag it.
+TEST(CheckerTeeth, CsrViolationIsCaught) {
+  ExclusionChecker chk;
+  chk.on_enter(0);
+  chk.on_crash_in_cs(0);  // p0 dies in the CS
+  chk.on_enter(1);        // rival enters before p0 re-enters: violation
+  chk.on_exit(1);
+  EXPECT_EQ(chk.csr_violations(), 1u);
+  EXPECT_EQ(chk.me_violations(), 0u);
+}
+
+TEST(CheckerTeeth, CsrReentryByOwnerIsClean) {
+  ExclusionChecker chk;
+  chk.on_enter(0);
+  chk.on_crash_in_cs(0);
+  chk.on_enter(0);  // owner re-enters first: fine
+  chk.on_exit(0);
+  chk.on_enter(1);
+  chk.on_exit(1);
+  EXPECT_EQ(chk.csr_violations(), 0u);
+  EXPECT_EQ(chk.me_violations(), 0u);
+}
+
+TEST(CheckerTeeth, DoubleEntryAndForeignExitAreCounted) {
+  ExclusionChecker chk;
+  chk.on_enter(0);
+  chk.on_enter(1);  // overlap
+  EXPECT_EQ(chk.me_violations(), 1u);
+  chk.on_exit(0);   // exit by non-owner (owner is now 1)
+  EXPECT_EQ(chk.me_violations(), 2u);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Crash matrix: every combination of two processes crashing around their
+// FAS instructions (the queue-breaking crash shapes of Section 3.1), in
+// every before/after combination, across several schedules. This is the
+// pairwise closure of the scenarios Figure 5 illustrates: fragments
+// created by both "crashed at Line 13" and "crashed at Line 14"
+// processes must be repaired no matter how the two recoveries and the
+// live traffic interleave.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/rme_lock.hpp"
+#include "harness/sim_run.hpp"
+#include "harness/world.hpp"
+
+namespace {
+
+using namespace rme;
+using harness::LockBody;
+using harness::ModelKind;
+using harness::SimProc;
+using harness::SimRun;
+using P = platform::Counted;
+using Lock = core::RmeLock<P>;
+using When = sim::CrashAroundFas::When;
+
+struct MatrixParam {
+  When first;
+  When second;
+  int nth_a;  // which FAS of process A
+  int nth_b;  // which FAS of process B
+  uint64_t seed;
+};
+
+class CrashMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(CrashMatrix, PairwiseFasCrashesRepair) {
+  const auto [wa, wb, na, nb, seed] = GetParam();
+  constexpr int k = 4;
+  SimRun sim(ModelKind::kCc, k);
+  Lock lk(sim.world().env, k);
+  LockBody<Lock> body(lk, sim.world(), sim.checker());
+  sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
+
+  struct Pair final : sim::CrashPlan {
+    sim::CrashAroundFas a, b;
+    Pair(When wa, When wb, int na, int nb)
+        : a(0, na, wa), b(1, nb, wb) {}
+    bool should_crash(int pid, uint64_t step, rmr::Op op) override {
+      return a.should_crash(pid, step, op) || b.should_crash(pid, step, op);
+    }
+  } plan(wa, wb, na, nb);
+
+  sim::SeededRandom pol(seed);
+  std::vector<uint64_t> iters(k, 5);
+  auto res = sim.run(pol, plan, iters, 40000000);
+  ASSERT_FALSE(res.exhausted);
+  EXPECT_EQ(sim.checker().me_violations(), 0u);
+  EXPECT_EQ(sim.checker().csr_violations(), 0u);
+  for (int pid = 0; pid < k; ++pid) {
+    EXPECT_EQ(res.completions[static_cast<size_t>(pid)], 5u) << pid;
+  }
+  // Both crashed processes went through recovery.
+  EXPECT_GE(res.crashes[0], 1u);
+  EXPECT_GE(res.crashes[1], 1u);
+}
+
+std::vector<MatrixParam> matrix() {
+  std::vector<MatrixParam> out;
+  for (When wa : {When::kBefore, When::kAfter}) {
+    for (When wb : {When::kBefore, When::kAfter}) {
+      for (int na : {1, 2}) {
+        for (int nb : {1, 3}) {
+          for (uint64_t seed : {11u, 12u, 13u}) {
+            out.push_back({wa, wb, na, nb, seed});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, CrashMatrix, ::testing::ValuesIn(matrix()),
+    [](const auto& info) {
+      const auto& p = info.param;
+      std::string s;
+      s += p.first == When::kBefore ? "B" : "A";
+      s += p.second == When::kBefore ? "B" : "A";
+      s += "_f" + std::to_string(p.nth_a) + std::to_string(p.nth_b);
+      s += "_s" + std::to_string(p.seed);
+      return s;
+    });
+
+// Three simultaneous FAS-crashers (half the ports) - beyond pairwise.
+TEST(CrashMatrix, ThreeSimultaneousFasCrashes) {
+  constexpr int k = 6;
+  for (uint64_t seed = 50; seed < 56; ++seed) {
+    SimRun sim(ModelKind::kCc, k);
+    Lock lk(sim.world().env, k);
+    LockBody<Lock> body(lk, sim.world(), sim.checker());
+    sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
+    struct Trio final : sim::CrashPlan {
+      sim::CrashAroundFas a{0, 1, When::kAfter};
+      sim::CrashAroundFas b{2, 1, When::kBefore};
+      sim::CrashAroundFas c{4, 1, When::kAfter};
+      bool should_crash(int pid, uint64_t step, rmr::Op op) override {
+        return a.should_crash(pid, step, op) ||
+               b.should_crash(pid, step, op) ||
+               c.should_crash(pid, step, op);
+      }
+    } plan;
+    sim::SeededRandom pol(seed);
+    std::vector<uint64_t> iters(k, 4);
+    auto res = sim.run(pol, plan, iters, 40000000);
+    EXPECT_FALSE(res.exhausted) << "seed " << seed;
+    EXPECT_EQ(sim.checker().me_violations(), 0u) << "seed " << seed;
+    EXPECT_EQ(lk.total_stats().repairs, 3u) << "seed " << seed;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Public facade tests: RecoverableMutex wiring, Guard RAII, degree/height
+// selection, and the port-mapping algebra of the arbitration tree (the
+// no-two-concurrent-users-per-port contract, checked structurally).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/arbitration_tree.hpp"
+#include "core/recoverable_mutex.hpp"
+#include "harness/sim_run.hpp"
+#include "harness/world.hpp"
+
+namespace {
+
+using namespace rme;
+using harness::ModelKind;
+using harness::RealWorld;
+using harness::SimProc;
+using harness::SimRun;
+
+TEST(Facade, GuardAcquiresAndReleases) {
+  RealWorld w(2);
+  RecoverableMutex<platform::Real> m(w.env, 2);
+  {
+    RecoverableMutex<platform::Real>::Guard g(m, w.proc(0), 0);
+    // While held, another port's trylock equivalent: we can't non-block,
+    // so just assert structure is sane.
+    EXPECT_GE(m.height(), 1);
+  }
+  // Released: a second guard on another pid succeeds (would deadlock
+  // otherwise since this is single-threaded).
+  RecoverableMutex<platform::Real>::Guard g2(m, w.proc(1), 1);
+  SUCCEED();
+}
+
+TEST(Facade, AutoDegreeMatchesFormula) {
+  RealWorld w(1);
+  for (int n : {2, 8, 64, 300, 5000}) {
+    RecoverableMutex<platform::Real> m(w.env, n);
+    EXPECT_EQ(m.degree(), core::arbitration_degree(n)) << n;
+    // height = ceil(log_d n)
+    int64_t span = 1;
+    int h = 0;
+    while (span < n) {
+      span *= m.degree();
+      ++h;
+    }
+    EXPECT_EQ(m.height(), std::max(1, h)) << n;
+  }
+}
+
+TEST(Facade, FlatAliasIsRmeLock) {
+  RealWorld w(2);
+  rme::FlatRecoverableMutex<platform::Real> lk(w.env, 2);
+  lk.lock(w.proc(0), 0);
+  lk.unlock(w.proc(0), 0);
+  EXPECT_EQ(lk.total_stats().acquisitions, 1u);
+}
+
+// Structural port-exclusivity: for every pair of distinct pids mapping to
+// the same (level, node, port), they must share the same (level-1) node -
+// the serialisation witness used in the tree's correctness argument.
+TEST(Facade, TreePortMappingIsSerialisedByLowerLevels) {
+  for (int n : {4, 9, 27, 64}) {
+    for (int d : {2, 3}) {
+      // Reproduce the mapping arithmetic from the implementation.
+      auto node_of = [&](int l, int pid) {
+        int64_t v = pid;
+        for (int i = 0; i <= l; ++i) v /= d;
+        return v;
+      };
+      auto port_of = [&](int l, int pid) {
+        int64_t v = pid;
+        for (int i = 0; i < l; ++i) v /= d;
+        return static_cast<int>(v % d);
+      };
+      int height = 1;
+      {
+        int64_t span = d;
+        while (span < n) {
+          span *= d;
+          ++height;
+        }
+      }
+      for (int l = 1; l < height; ++l) {
+        for (int a = 0; a < n; ++a) {
+          for (int b = a + 1; b < n; ++b) {
+            if (node_of(l, a) == node_of(l, b) &&
+                port_of(l, a) == port_of(l, b)) {
+              // Same (node, port) at level l => same node at level l-1:
+              // only the holder of that lower node can be at level l.
+              EXPECT_EQ(node_of(l - 1, a), node_of(l - 1, b))
+                  << "n=" << n << " d=" << d << " l=" << l << " pids " << a
+                  << "," << b;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Distinct pids never collide on level-0 ports (their leaf node/port pair
+// is unique).
+TEST(Facade, LeafPortsAreUniquePerPid) {
+  for (int n : {4, 9, 27}) {
+    for (int d : {2, 3}) {
+      std::set<std::pair<int64_t, int>> seen;
+      for (int pid = 0; pid < n; ++pid) {
+        const int64_t node = pid / d;
+        const int port = pid % d;
+        EXPECT_TRUE(seen.insert({node, port}).second)
+            << "n=" << n << " d=" << d << " pid=" << pid;
+      }
+    }
+  }
+}
+
+// Counted facade: the tree works identically under the counted platform
+// (used by all complexity experiments).
+TEST(Facade, CountedTreeBasicPassage) {
+  SimRun sim(ModelKind::kDsm, 4);
+  RecoverableMutex<platform::Counted> m(sim.world().env, 4);
+  int entries = 0;
+  sim.set_body([&](SimProc& h, int pid) {
+    m.lock(h, pid);
+    ++entries;
+    m.unlock(h, pid);
+  });
+  sim::RoundRobin rr;
+  sim::NoCrash nc;
+  auto res = sim.run(rr, nc, {3, 3, 3, 3}, 2000000);
+  EXPECT_FALSE(res.exhausted);
+  EXPECT_EQ(entries, 12);
+}
+
+}  // namespace

@@ -1,0 +1,208 @@
+// Runtime invariant checking: executable spot-checks of the paper's
+// inductive invariant (Figures 8-11) against live queue state.
+//
+// The checker runs between scheduling steps (while holding the baton, so
+// it sees an atomic configuration) and validates the structural
+// conditions that the proof relies on:
+//
+//   I1 (Cond. 19 observation): at most one node has Pred == &InCS.
+//   I2 (Cond. 4): every Pred chain from a live node reaches a sentinel
+//       within k+1 hops - fragments are acyclic and bounded.
+//   I3 (Cond. 3): no two distinct live nodes share a *real-node*
+//       predecessor (only sentinel Preds may coincide).
+//   I4 (Cond. 16): Tail is the tail of its fragment - no live node's
+//       Pred points at the Tail node.
+//   I5 (setup): sentinel self-links and SpecialNode.Pred == &Exit are
+//       never disturbed.
+//
+// Violations are counted, not asserted mid-run, so a failure reports the
+// configuration that broke rather than tearing down the scheduler.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/rme_lock.hpp"
+#include "harness/sim_run.hpp"
+#include "harness/world.hpp"
+
+namespace {
+
+using namespace rme;
+using harness::LockBody;
+using harness::ModelKind;
+using harness::SimProc;
+using harness::SimRun;
+using P = platform::Counted;
+using Lock = core::RmeLock<P>;
+using Node = core::QNode<P>;
+
+class InvariantChecker {
+ public:
+  // The checker must observe an *atomic* configuration: it runs while the
+  // calling process holds the scheduler baton, but its own loads must not
+  // yield (a yielding load would let other processes mutate the queue
+  // mid-snapshot). It therefore reads through a ghost context with no
+  // scheduler or crash hooks attached.
+  InvariantChecker(Lock& lk, int k, typename P::Env& env) : lk_(lk), k_(k) {
+    ghost_.pid = 0;
+    ghost_.env = &env;
+  }
+
+  void check(typename P::Context& /*caller*/) {
+    typename P::Context& ctx = ghost_;
+    ++checks_;
+    const Node* crash = lk_.sentinel_crash();
+    const Node* incs = lk_.sentinel_incs();
+    const Node* exit = lk_.sentinel_exit();
+    const Node* special = lk_.sentinel_special();
+
+    // I5: sentinel structure intact.
+    Node* sp = const_cast<Node*>(special)->pred.load(ctx);
+    if (sp != exit) { ++violations_; ++v_[5]; }
+
+    std::vector<Node*> live;
+    for (int q = 0; q < k_; ++q) {
+      Node* n = lk_.debug_node(ctx, q);
+      if (n != nullptr) live.push_back(n);
+    }
+
+    // I1: at most one InCS owner.
+    int in_cs = 0;
+    for (Node* n : live) {
+      if (n->pred.load(ctx) == incs) ++in_cs;
+    }
+    if (in_cs > 1) { ++violations_; ++v_[1]; }
+
+    // I2: bounded acyclic chains.
+    for (Node* n : live) {
+      Node* cur = n;
+      int hops = 0;
+      while (hops <= k_ + 1) {
+        Node* p = cur->pred.load(ctx);
+        if (p == nullptr || p == crash || p == incs || p == exit) break;
+        if (p == special) break;  // special's pred is &Exit
+        // p is a real node; continue. Retired nodes keep Pred == &Exit,
+        // so chains through them terminate too.
+        cur = p;
+        ++hops;
+      }
+      if (hops > k_ + 1) { ++violations_; ++v_[2]; }
+    }
+
+    // I3: distinct live nodes never share a real-node predecessor.
+    for (size_t i = 0; i < live.size(); ++i) {
+      for (size_t j = i + 1; j < live.size(); ++j) {
+        Node* pi = live[i]->pred.load(ctx);
+        Node* pj = live[j]->pred.load(ctx);
+        if (pi != nullptr && pi == pj && pi != crash && pi != incs &&
+            pi != exit) {
+          // Sharing &SpecialNode is also a violation (it is a real node
+          // with CS_Signal == 1: two waiters would both enter).
+          ++violations_;
+          ++v_[3];
+        }
+      }
+    }
+
+    // I4: nobody's Pred points at the current Tail node.
+    Node* tail = lk_.debug_tail(ctx);
+    for (Node* n : live) {
+      if (n != tail && n->pred.load(ctx) == tail &&
+          tail != const_cast<Node*>(special)) {
+        // Legal only transiently? No: Condition 16 says Tail =
+        // tail(fragment(Tail)) in *every* configuration.
+        ++violations_;
+        ++v_[4];
+      }
+    }
+  }
+
+  uint64_t violations() const { return violations_; }
+  uint64_t checks() const { return checks_; }
+  std::string breakdown() const {
+    std::string out;
+    for (int i = 1; i <= 5; ++i) {
+      out += "I" + std::to_string(i) + "=" + std::to_string(v_[i]) + " ";
+    }
+    return out;
+  }
+
+ private:
+  Lock& lk_;
+  int k_;
+  typename P::Context ghost_;
+  uint64_t violations_ = 0;
+  uint64_t checks_ = 0;
+  uint64_t v_[6] = {};
+};
+
+struct Param {
+  int ports;
+  uint64_t seed;
+  double crash_p;
+  uint64_t crash_budget;
+};
+
+class InvariantSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(InvariantSweep, StructuralInvariantsHoldThroughoutRun) {
+  const auto [ports, seed, crash_p, budget] = GetParam();
+  SimRun sim(ModelKind::kCc, ports);
+  Lock lk(sim.world().env, ports);
+  InvariantChecker inv(lk, ports, sim.world().env);
+  LockBody<Lock> body(lk, sim.world(), sim.checker());
+  sim.set_body([&](SimProc& h, int pid) {
+    // Check the global structure before and after every passage of every
+    // process (we hold the scheduler baton at these points, so the
+    // snapshot is a real configuration of the run).
+    inv.check(h.ctx);
+    body(h, pid);
+    inv.check(h.ctx);
+  });
+  sim::SeededRandom pol(seed);
+  sim::RandomCrash crash(crash_p, seed * 13 + 5, budget);
+  std::vector<uint64_t> iters(static_cast<size_t>(ports), 10);
+  auto res = sim.run(pol, crash, iters, 40000000);
+  EXPECT_FALSE(res.exhausted);
+  EXPECT_EQ(inv.violations(), 0u)
+      << "violations across " << inv.checks() << " checks: "
+      << inv.breakdown();
+  EXPECT_GT(inv.checks(), 0u);
+  EXPECT_EQ(sim.checker().me_violations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InvariantSweep,
+    ::testing::Values(Param{2, 1, 0.0, 0}, Param{4, 2, 0.0, 0},
+                      Param{8, 3, 0.0, 0}, Param{2, 4, 0.01, 30},
+                      Param{4, 5, 0.01, 30}, Param{4, 6, 0.02, 50},
+                      Param{8, 7, 0.005, 40}, Param{8, 8, 0.02, 60},
+                      Param{6, 9, 0.01, 50}, Param{3, 10, 0.03, 40}),
+    [](const auto& info) {
+      return "k" + std::to_string(info.param.ports) + "_s" +
+             std::to_string(info.param.seed) +
+             (info.param.crash_budget > 0 ? "_crash" : "_clean");
+    });
+
+// Mid-passage invariant density: also check *between* the lock and unlock
+// (i.e., while inside the CS), where the queue contains an InCS node.
+TEST(Invariants, HoldWhileInCs) {
+  constexpr int k = 4;
+  SimRun sim(ModelKind::kCc, k);
+  Lock lk(sim.world().env, k);
+  InvariantChecker inv(lk, k, sim.world().env);
+  sim.set_body([&](SimProc& h, int pid) {
+    lk.lock(h, pid);
+    inv.check(h.ctx);  // we are in the CS right now
+    lk.unlock(h, pid);
+  });
+  sim::SeededRandom pol(77);
+  sim::RandomCrash crash(0.01, 3, 40);
+  std::vector<uint64_t> iters(k, 12);
+  auto res = sim.run(pol, crash, iters, 40000000);
+  EXPECT_FALSE(res.exhausted);
+  EXPECT_EQ(inv.violations(), 0u);
+  EXPECT_GT(inv.checks(), 40u);
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+// NVM substrate tests: FlagRing tag discipline and QsbrPool reclamation
+// safety rules (Tail probe, grace epochs, verbatim mode, leak bounds).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/sim_run.hpp"
+#include "harness/world.hpp"
+#include "nvm/flag_ring.hpp"
+#include "nvm/qsbr_pool.hpp"
+
+namespace {
+
+using namespace rme;
+using harness::CountedWorld;
+using harness::ModelKind;
+using harness::SimProc;
+using harness::SimRun;
+using P = platform::Counted;
+
+TEST(FlagRing, TagsAreFreshAcrossReuse) {
+  CountedWorld w(ModelKind::kDsm, 1);
+  nvm::FlagRing<P> ring;
+  ring.attach(w.env, 0, 3);
+  auto& ctx = w.proc(0).ctx;
+  std::set<std::pair<nvm::GoFlag<P>*, uint64_t>> seen;
+  for (int i = 0; i < 30; ++i) {
+    auto wt = ring.begin_wait(ctx);
+    // (slot, tag) pairs never repeat even though only 3 slots exist.
+    EXPECT_TRUE(seen.insert({wt.flag, wt.tag}).second) << i;
+    EXPECT_NE(wt.tag, 0u);  // 0 is the never-signalled sentinel
+  }
+}
+
+TEST(FlagRing, SlotsCycleRoundRobin) {
+  CountedWorld w(ModelKind::kDsm, 1);
+  nvm::FlagRing<P> ring;
+  ring.attach(w.env, 0, 4);
+  auto& ctx = w.proc(0).ctx;
+  auto a = ring.begin_wait(ctx).flag;
+  auto b = ring.begin_wait(ctx).flag;
+  auto c = ring.begin_wait(ctx).flag;
+  auto d = ring.begin_wait(ctx).flag;
+  EXPECT_EQ(ring.begin_wait(ctx).flag, a);  // wrapped
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_NE(c, d);
+}
+
+TEST(FlagRing, FlagCellsAreLocalToOwnerOnDsm) {
+  CountedWorld w(ModelKind::kDsm, 2);
+  nvm::FlagRing<P> ring;
+  ring.attach(w.env, 1, 4);  // owned by pid 1
+  auto& c1 = w.proc(1).ctx;
+  const uint64_t before = c1.counters.rmrs;
+  auto wt = ring.begin_wait(c1);
+  (void)wt.flag->value.load(c1);
+  EXPECT_EQ(c1.counters.rmrs, before);  // all local
+  auto& c0 = w.proc(0).ctx;
+  const uint64_t b0 = c0.counters.rmrs;
+  wt.flag->value.store(c0, wt.tag);  // remote for anyone else
+  EXPECT_EQ(c0.counters.rmrs, b0 + 1);
+}
+
+// Minimal pool item.
+struct Item {
+  typename P::Atomic<int> cell;
+  void attach(P::Env& env, int owner) { cell.attach(env, owner); }
+};
+
+TEST(QsbrPool, VerbatimModeNeverRecycles) {
+  CountedWorld w(ModelKind::kCc, 2);
+  nvm::QsbrPool<Item, P> pool(w.env, 2, /*recycle=*/false);
+  auto& ctx = w.proc(0).ctx;
+  std::set<Item*> seen;
+  for (int i = 0; i < 10; ++i) {
+    pool.on_passage_begin(ctx, 0);
+    Item* it = pool.acquire(ctx, 0);
+    EXPECT_TRUE(seen.insert(it).second) << "item reused in verbatim mode";
+    pool.retire(ctx, 0, it);
+    pool.on_passage_end(ctx, 0);
+  }
+  EXPECT_EQ(pool.allocated(), 10u);
+  EXPECT_EQ(pool.reclaimed(0), 0u);
+}
+
+TEST(QsbrPool, RecyclesAfterGraceWhenAllPortsQuiesce) {
+  CountedWorld w(ModelKind::kCc, 2);
+  nvm::QsbrPool<Item, P> pool(w.env, 2, /*recycle=*/true);
+  auto& ctx = w.proc(0).ctx;
+  // Many sequential passages by port 0, port 1 idle: everything quiesces
+  // between passages, so allocation must plateau well below passage count.
+  for (int i = 0; i < 100; ++i) {
+    pool.on_passage_begin(ctx, 0);
+    Item* it = pool.acquire(ctx, 0);
+    pool.retire(ctx, 0, it);
+    pool.on_passage_end(ctx, 0);
+  }
+  EXPECT_LT(pool.allocated(), 30u);
+  EXPECT_GT(pool.reclaimed(0), 50u);
+}
+
+TEST(QsbrPool, ActivePortBlocksReclamation) {
+  CountedWorld w(ModelKind::kCc, 2);
+  nvm::QsbrPool<Item, P> pool(w.env, 2, /*recycle=*/true);
+  auto& c0 = w.proc(0).ctx;
+  auto& c1 = w.proc(1).ctx;
+  // Port 1 enters a passage and never quiesces.
+  pool.on_passage_begin(c1, 1);
+  uint64_t reclaimed_before = pool.reclaimed(0);
+  for (int i = 0; i < 50; ++i) {
+    pool.on_passage_begin(c0, 0);
+    Item* it = pool.acquire(c0, 0);
+    pool.retire(c0, 0, it);
+    pool.on_passage_end(c0, 0);
+  }
+  // Stamping requires one scan and grace a later one; with port 1 stuck
+  // at its old epoch, nothing stamped after its announce may be freed.
+  // Port 1's announce was taken *before* any retirement here, so all of
+  // port 0's retirees are blocked: zero reclamation.
+  EXPECT_EQ(pool.reclaimed(0), reclaimed_before);
+  // The pool fell back to fresh allocation rather than deadlocking.
+  EXPECT_GE(pool.allocated(), 50u);
+  // Port 1 finally quiesces: reclamation resumes.
+  pool.on_passage_end(c1, 1);
+  for (int i = 0; i < 50; ++i) {
+    pool.on_passage_begin(c0, 0);
+    Item* it = pool.acquire(c0, 0);
+    pool.retire(c0, 0, it);
+    pool.on_passage_end(c0, 0);
+  }
+  EXPECT_GT(pool.reclaimed(0), 0u);
+}
+
+TEST(QsbrPool, TailProbeDefersReclamationOfTheTailNode) {
+  CountedWorld w(ModelKind::kCc, 1);
+  nvm::QsbrPool<Item, P> pool(w.env, 1, /*recycle=*/true);
+  typename P::Atomic<Item*> tail;
+  tail.attach(w.env, rmr::kNoOwner);
+  pool.set_tail_probe(&tail);
+  auto& ctx = w.proc(0).ctx;
+
+  // Retire a batch with the *first* retiree pinned as tail.
+  std::vector<Item*> items;
+  for (int i = 0; i < 12; ++i) {
+    pool.on_passage_begin(ctx, 0);
+    items.push_back(pool.acquire(ctx, 0));
+    pool.on_passage_end(ctx, 0);
+  }
+  tail.init(items[0]);
+  for (auto* it : items) {
+    pool.on_passage_begin(ctx, 0);
+    pool.retire(ctx, 0, it);
+    pool.on_passage_end(ctx, 0);
+  }
+  // Drive reclamation scans via acquire cycles.
+  for (int i = 0; i < 40; ++i) {
+    pool.on_passage_begin(ctx, 0);
+    Item* it = pool.acquire(ctx, 0);
+    pool.retire(ctx, 0, it);
+    pool.on_passage_end(ctx, 0);
+  }
+  // items[0] must never have been handed out again while tail points at
+  // it. Retirement list order is FIFO, so if it were reclaimable it would
+  // have been first; instead reclamation skipped... verify by acquiring
+  // everything free and checking items[0] is absent.
+  std::set<Item*> handed;
+  for (int i = 0; i < 64; ++i) {
+    pool.on_passage_begin(ctx, 0);
+    Item* it = pool.acquire(ctx, 0);
+    handed.insert(it);
+    // don't retire: drain the free list
+    pool.on_passage_end(ctx, 0);
+  }
+  EXPECT_EQ(handed.count(items[0]), 0u);
+}
+
+}  // namespace

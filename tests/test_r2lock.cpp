@@ -1,0 +1,221 @@
+// R2Lock tests: the 2-port recoverable Peterson core under deterministic
+// schedules, random schedules, and crash injection at every shared-memory
+// step. R2Lock is the foundation of the RLock tournament, which serialises
+// queue repair in the main algorithm - its mutual exclusion, starvation
+// freedom and recoverability are load-bearing for everything above it.
+#include <gtest/gtest.h>
+
+#include "harness/sim_run.hpp"
+#include "harness/world.hpp"
+#include "rlock/r2lock.hpp"
+
+namespace {
+
+using namespace rme;
+using harness::ExclusionChecker;
+using harness::LockBody;
+using harness::ModelKind;
+using harness::SimProc;
+using harness::SimRun;
+
+using R2 = rlock::R2Lock<platform::Counted>;
+
+TEST(R2Lock, UncontendedAcquireRelease) {
+  SimRun sim(ModelKind::kCc, 2);
+  R2 lk;
+  lk.attach(sim.world().env);
+  LockBody<R2> body(lk, sim.world(), sim.checker());
+  sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
+  sim::RoundRobin rr;
+  sim::NoCrash nc;
+  auto res = sim.run(rr, nc, {10, 0}, 100000);
+  EXPECT_FALSE(res.exhausted);
+  EXPECT_EQ(sim.checker().entries(), 10u);
+  EXPECT_EQ(sim.checker().me_violations(), 0u);
+}
+
+TEST(R2Lock, ContendedRoundRobinIsExclusiveAndLive) {
+  SimRun sim(ModelKind::kCc, 2);
+  R2 lk;
+  lk.attach(sim.world().env);
+  LockBody<R2> body(lk, sim.world(), sim.checker());
+  sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
+  sim::RoundRobin rr;
+  sim::NoCrash nc;
+  auto res = sim.run(rr, nc, {50, 50}, 1000000);
+  EXPECT_FALSE(res.exhausted);
+  EXPECT_EQ(sim.checker().entries(), 100u);
+  EXPECT_EQ(sim.checker().me_violations(), 0u);
+  EXPECT_EQ(sim.checker().csr_violations(), 0u);
+}
+
+// Property sweep: random schedules, no crashes.
+class R2RandomSchedules : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(R2RandomSchedules, ExclusionAndProgress) {
+  SimRun sim(ModelKind::kDsm, 2);
+  R2 lk;
+  lk.attach(sim.world().env);
+  LockBody<R2> body(lk, sim.world(), sim.checker());
+  sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
+  sim::SeededRandom pol(GetParam());
+  sim::NoCrash nc;
+  auto res = sim.run(pol, nc, {40, 40}, 2000000);
+  EXPECT_FALSE(res.exhausted) << "seed " << GetParam();
+  EXPECT_EQ(sim.checker().entries(), 80u);
+  EXPECT_EQ(sim.checker().me_violations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, R2RandomSchedules,
+                         ::testing::Range<uint64_t>(0, 16));
+
+// Systematic single-crash sweep: crash process 0 at every possible shared
+// memory step index and verify ME/CSR/liveness each time. This is the
+// "crash step can occur at any time" quantifier of Section 1.2 made
+// executable.
+TEST(R2Lock, CrashAtEveryStepOfAContendedRun) {
+  // Pass 1: count process 0's steps in a crash-free reference run.
+  uint64_t total_steps;
+  {
+    SimRun sim(ModelKind::kCc, 2);
+    R2 lk;
+    lk.attach(sim.world().env);
+    LockBody<R2> body(lk, sim.world(), sim.checker());
+    sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
+    sim::RoundRobin rr;
+    sim::NoCrash nc;
+    auto res = sim.run(rr, nc, {6, 6}, 1000000);
+    ASSERT_FALSE(res.exhausted);
+    total_steps = sim.world().proc(0).ctx.step_index;
+  }
+  ASSERT_GT(total_steps, 20u);
+
+  // Pass 2: one run per crash point.
+  for (uint64_t s = 0; s < total_steps; ++s) {
+    SimRun sim(ModelKind::kCc, 2);
+    R2 lk;
+    lk.attach(sim.world().env);
+    LockBody<R2> body(lk, sim.world(), sim.checker());
+    sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
+    sim::RoundRobin rr;
+    sim::CrashAtSteps plan(0, {s});
+    auto res = sim.run(rr, plan, {6, 6}, 2000000);
+    EXPECT_FALSE(res.exhausted) << "crash step " << s;
+    EXPECT_EQ(sim.checker().me_violations(), 0u) << "crash step " << s;
+    EXPECT_EQ(sim.checker().csr_violations(), 0u) << "crash step " << s;
+    EXPECT_EQ(res.completions[0], 6u) << "crash step " << s;
+    EXPECT_EQ(res.completions[1], 6u) << "crash step " << s;
+  }
+}
+
+// Double-crash storms with random schedules: both processes crash
+// repeatedly; with a finite crash budget everyone finishes (starvation
+// freedom under the paper's finite-crash precondition).
+class R2CrashStorm : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(R2CrashStorm, BothSidesCrashRepeatedly) {
+  SimRun sim(ModelKind::kDsm, 2);
+  R2 lk;
+  lk.attach(sim.world().env);
+  LockBody<R2> body(lk, sim.world(), sim.checker());
+  sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
+  sim::SeededRandom pol(GetParam() * 1337 + 1);
+  sim::RandomCrash crash(0.01, GetParam(), 60);
+  auto res = sim.run(pol, crash, {30, 30}, 4000000);
+  EXPECT_FALSE(res.exhausted) << "seed " << GetParam();
+  EXPECT_EQ(sim.checker().me_violations(), 0u);
+  EXPECT_EQ(sim.checker().csr_violations(), 0u);
+  EXPECT_EQ(res.completions[0], 30u);
+  EXPECT_EQ(res.completions[1], 30u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, R2CrashStorm,
+                         ::testing::Range<uint64_t>(0, 12));
+
+// Crash inside the critical section: the owner re-enters via the OWN fast
+// path in bounded steps while the rival stays out (CSR + wait-free CSR).
+TEST(R2Lock, CrashInCsReentersBeforeRival) {
+  SimRun sim(ModelKind::kCc, 2);
+  R2 lk;
+  lk.attach(sim.world().env);
+  LockBody<R2> body(lk, sim.world(), sim.checker());
+  sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
+  // Find a step index inside p0's CS: LockBody does scratch ops between
+  // on_enter and on_exit; crash p0 broadly across the run and rely on the
+  // checker to flag any CSR violation.
+  for (uint64_t s = 4; s < 40; s += 3) {
+    SimRun sim2(ModelKind::kCc, 2);
+    R2 lk2;
+    lk2.attach(sim2.world().env);
+    LockBody<R2> body2(lk2, sim2.world(), sim2.checker());
+    sim2.set_body([&](SimProc& h, int pid) { body2(h, pid); });
+    sim::SeededRandom pol(s);
+    sim::CrashAtSteps plan(0, {s});
+    auto res = sim2.run(pol, plan, {8, 8}, 2000000);
+    EXPECT_FALSE(res.exhausted) << "crash step " << s;
+    EXPECT_EQ(sim2.checker().csr_violations(), 0u) << "crash step " << s;
+    EXPECT_EQ(sim2.checker().me_violations(), 0u) << "crash step " << s;
+  }
+}
+
+// RMR accounting: an uncontended passage is O(1) on both models.
+TEST(R2Lock, UncontendedPassageRmrIsConstant) {
+  for (ModelKind kind : {ModelKind::kCc, ModelKind::kDsm}) {
+    SimRun sim(kind, 2);
+    R2 lk;
+    lk.attach(sim.world().env);
+    sim.set_body([&](SimProc& h, int pid) {
+      lk.lock(h, pid);
+      lk.unlock(h, pid);
+    });
+    sim::RoundRobin rr;
+    sim::NoCrash nc;
+    auto res = sim.run(rr, nc, {20, 0}, 1000000);
+    ASSERT_FALSE(res.exhausted);
+    const auto& c = sim.world().counters(0);
+    // 20 passages; allow a generous constant per passage.
+    EXPECT_LE(c.rmrs, 20u * 16u)
+        << (kind == ModelKind::kCc ? "CC" : "DSM");
+  }
+}
+
+// A blocked waiter spins locally: its RMRs stay O(1) while the owner sits
+// in the CS for a long time (DSM local-spin property).
+TEST(R2Lock, BlockedWaiterSpinsLocallyOnDsm) {
+  SimRun sim(ModelKind::kDsm, 2);
+  R2 lk;
+  lk.attach(sim.world().env);
+  platform::Counted::Atomic<int> release;
+  release.attach(sim.world().env, rmr::kNoOwner);
+  release.init(0);
+  sim.set_body([&](SimProc& h, int pid) {
+    if (pid == 0) {
+      lk.lock(h, 0);
+      // Hold the lock until told to release.
+      while (release.load(h.ctx) == 0) {
+      }
+      lk.unlock(h, 0);
+    } else {
+      lk.lock(h, 1);
+      lk.unlock(h, 1);
+      release.store(h.ctx, 1);  // only reached after winning the lock
+    }
+  });
+  // p0 takes the lock, then alternate for a while: p1 blocks, spins...
+  std::vector<int> script;
+  for (int i = 0; i < 12; ++i) script.push_back(0);   // p0 acquires, holds
+  for (int i = 0; i < 400; ++i) script.push_back(1);  // p1 spins blocked
+  // then release: let p0 see release==0 loop... p0 still waits on release,
+  // deadlock unless p1 eventually wins; give p0 the release by hand:
+  sim::Scripted pol(script);
+  sim::NoCrash nc;
+  // p0 can never finish (release never set while p1 blocked) - bound steps
+  // and inspect counters instead of completion.
+  auto res = sim.run(pol, nc, {1, 1}, 3000);
+  (void)res;
+  const auto& c1 = sim.world().counters(1);
+  EXPECT_GT(c1.steps, 300u);  // p1 did spin a lot
+  EXPECT_LE(c1.rmrs, 16u);    // ...locally
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// PathGraph unit tests (the local computation of Figure 4, Lines 39-41):
+// maximal-path extraction over the disjoint-path graphs the repair scan
+// produces, including every degenerate shape the invariant allows.
+#include <gtest/gtest.h>
+
+#include "core/repair.hpp"
+
+namespace {
+
+using rme::core::PathGraph;
+
+struct N {};  // vertices are just distinct addresses
+
+TEST(PathGraph, EmptyGraphHasNoPaths) {
+  PathGraph<N> g(8);
+  g.compute();
+  EXPECT_TRUE(g.paths().empty());
+  EXPECT_EQ(g.vertex_count(), 0u);
+}
+
+TEST(PathGraph, SingletonVertexIsItsOwnPath) {
+  PathGraph<N> g(8);
+  N a;
+  g.add_vertex(&a);
+  g.compute();
+  ASSERT_EQ(g.paths().size(), 1u);
+  EXPECT_EQ(g.paths()[0].start, &a);
+  EXPECT_EQ(g.paths()[0].end, &a);
+  EXPECT_EQ(g.paths()[0].length, 1);
+}
+
+TEST(PathGraph, AddVertexIsIdempotent) {
+  PathGraph<N> g(8);
+  N a;
+  g.add_vertex(&a);
+  g.add_vertex(&a);
+  g.add_vertex(&a);
+  g.compute();
+  EXPECT_EQ(g.vertex_count(), 1u);
+  EXPECT_EQ(g.paths().size(), 1u);
+}
+
+TEST(PathGraph, SimpleChain) {
+  PathGraph<N> g(8);
+  N a, b, c;  // a -> b -> c (a's pred is b, b's pred is c)
+  g.add_edge(&a, &b);
+  g.add_edge(&b, &c);
+  g.compute();
+  ASSERT_EQ(g.paths().size(), 1u);
+  EXPECT_EQ(g.paths()[0].start, &a);  // tail-most: nobody points to a
+  EXPECT_EQ(g.paths()[0].end, &c);    // head-most: c has no pred edge
+  EXPECT_EQ(g.paths()[0].length, 3);
+}
+
+TEST(PathGraph, EdgeInsertionOrderIrrelevant) {
+  PathGraph<N> g(8);
+  N a, b, c;
+  g.add_edge(&b, &c);  // middle edge first
+  g.add_edge(&a, &b);
+  g.compute();
+  ASSERT_EQ(g.paths().size(), 1u);
+  EXPECT_EQ(g.paths()[0].start, &a);
+  EXPECT_EQ(g.paths()[0].end, &c);
+}
+
+TEST(PathGraph, MultipleDisjointFragments) {
+  PathGraph<N> g(16);
+  N a, b, c, d, e;
+  g.add_edge(&a, &b);  // fragment 1: a->b
+  g.add_edge(&c, &d);  // fragment 2: c->d
+  g.add_vertex(&e);    // fragment 3: singleton
+  g.compute();
+  EXPECT_EQ(g.paths().size(), 3u);
+  EXPECT_EQ(g.path_of(&a), g.path_of(&b));
+  EXPECT_EQ(g.path_of(&c), g.path_of(&d));
+  EXPECT_NE(g.path_of(&a), g.path_of(&c));
+  EXPECT_EQ(g.path_of(&e)->length, 1);
+}
+
+TEST(PathGraph, PathOfUnknownVertexIsNull) {
+  PathGraph<N> g(4);
+  N a, b;
+  g.add_vertex(&a);
+  g.compute();
+  EXPECT_NE(g.path_of(&a), nullptr);
+  EXPECT_EQ(g.path_of(&b), nullptr);
+  EXPECT_FALSE(g.contains(&b));
+}
+
+TEST(PathGraph, FigureFiveShape) {
+  // The paper's Figure 5 initial state as a graph: fragments
+  // (pi1,pi2), (pi3,pi4), (pi5,pi6), (pi7), (pi8) - where pi2's pred is
+  // pi1 etc., and pi1/pi3/pi5 crashed (vertex-only, pred=&Crash).
+  PathGraph<N> g(16);
+  N n1, n2, n3, n4, n5, n6, n7, n8;
+  g.add_vertex(&n1);
+  g.add_edge(&n2, &n1);
+  g.add_vertex(&n3);
+  g.add_edge(&n4, &n3);
+  g.add_vertex(&n5);
+  g.add_edge(&n6, &n5);
+  g.add_vertex(&n7);
+  g.add_vertex(&n8);
+  g.compute();
+  ASSERT_EQ(g.paths().size(), 5u);
+  EXPECT_EQ(g.path_of(&n2)->start, &n2);
+  EXPECT_EQ(g.path_of(&n2)->end, &n1);
+  EXPECT_EQ(g.path_of(&n7)->length, 1);
+  EXPECT_EQ(g.path_of(&n8)->length, 1);
+}
+
+TEST(PathGraph, LongChainNoCycleFalsePositive) {
+  PathGraph<N> g(64);
+  constexpr int kLen = 32;
+  N nodes[kLen];
+  for (int i = 0; i + 1 < kLen; ++i) g.add_edge(&nodes[i], &nodes[i + 1]);
+  g.compute();
+  ASSERT_EQ(g.paths().size(), 1u);
+  EXPECT_EQ(g.paths()[0].length, kLen);
+  EXPECT_EQ(g.paths()[0].start, &nodes[0]);
+  EXPECT_EQ(g.paths()[0].end, &nodes[kLen - 1]);
+}
+
+TEST(PathGraphDeath, TwoOutEdgesIsInvariantViolation) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  PathGraph<N> g(8);
+  N a, b, c;
+  g.add_edge(&a, &b);
+  EXPECT_DEATH(g.add_edge(&a, &c), "two predecessors");
+}
+
+TEST(PathGraphDeath, CycleIsDetected) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  PathGraph<N> g(8);
+  N a, b;
+  g.add_edge(&a, &b);
+  g.add_edge(&b, &a);  // cycle: allowed to insert, caught at compute
+  EXPECT_DEATH(g.compute(), "cycle");
+}
+
+}  // namespace

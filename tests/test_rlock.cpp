@@ -1,0 +1,155 @@
+// TournamentRLock tests: the k-ported recoverable lock used to serialise
+// queue repair (paper Figure 3, Line 24). The paper's requirements on
+// RLock: k-ported, starvation-free, recoverable, O(k) RMR per passage on
+// CC and DSM. All validated here, including re-execution recovery through
+// partial climbs and partial releases.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/sim_run.hpp"
+#include "harness/world.hpp"
+#include "rlock/tournament.hpp"
+
+namespace {
+
+using namespace rme;
+using harness::LockBody;
+using harness::ModelKind;
+using harness::SimProc;
+using harness::SimRun;
+
+using RLock = rlock::TournamentRLock<platform::Counted>;
+
+TEST(RLock, LevelsAreCeilLog2) {
+  harness::CountedWorld w(ModelKind::kCc, 1);
+  EXPECT_EQ(RLock(w.env, 1).levels(), 1);
+  EXPECT_EQ(RLock(w.env, 2).levels(), 1);
+  EXPECT_EQ(RLock(w.env, 3).levels(), 2);
+  EXPECT_EQ(RLock(w.env, 4).levels(), 2);
+  EXPECT_EQ(RLock(w.env, 5).levels(), 3);
+  EXPECT_EQ(RLock(w.env, 8).levels(), 3);
+  EXPECT_EQ(RLock(w.env, 9).levels(), 4);
+  EXPECT_EQ(RLock(w.env, 16).levels(), 4);
+}
+
+class RLockSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RLockSweep, ExclusionAndProgressCrashFree) {
+  const int k = GetParam();
+  SimRun sim(ModelKind::kDsm, k);
+  auto lk = std::make_unique<RLock>(sim.world().env, k);
+  LockBody<RLock> body(*lk, sim.world(), sim.checker());
+  sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
+  sim::SeededRandom pol(static_cast<uint64_t>(k) * 17);
+  sim::NoCrash nc;
+  std::vector<uint64_t> iters(static_cast<size_t>(k), 10);
+  auto res = sim.run(pol, nc, iters, 20000000);
+  EXPECT_FALSE(res.exhausted) << "k=" << k;
+  EXPECT_EQ(sim.checker().entries(), 10u * static_cast<uint64_t>(k));
+  EXPECT_EQ(sim.checker().me_violations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(K, RLockSweep, ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16));
+
+// Crash at every step of one port's contended run.
+TEST(RLock, CrashAtEveryStep) {
+  constexpr int k = 4;
+  uint64_t total_steps;
+  {
+    SimRun sim(ModelKind::kCc, k);
+    auto lk = std::make_unique<RLock>(sim.world().env, k);
+    LockBody<RLock> body(*lk, sim.world(), sim.checker());
+    sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
+    sim::RoundRobin rr;
+    sim::NoCrash nc;
+    auto res = sim.run(rr, nc, {3, 3, 3, 3}, 4000000);
+    ASSERT_FALSE(res.exhausted);
+    total_steps = sim.world().proc(0).ctx.step_index;
+  }
+  for (uint64_t s = 0; s < total_steps; s += 1) {
+    SimRun sim(ModelKind::kCc, k);
+    auto lk = std::make_unique<RLock>(sim.world().env, k);
+    LockBody<RLock> body(*lk, sim.world(), sim.checker());
+    sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
+    sim::RoundRobin rr;
+    sim::CrashAtSteps plan(0, {s});
+    auto res = sim.run(rr, plan, {3, 3, 3, 3}, 8000000);
+    EXPECT_FALSE(res.exhausted) << "crash step " << s;
+    EXPECT_EQ(sim.checker().me_violations(), 0u) << "crash step " << s;
+    EXPECT_EQ(sim.checker().csr_violations(), 0u) << "crash step " << s;
+    EXPECT_EQ(res.completions[0], 3u) << "crash step " << s;
+  }
+}
+
+// Crash storms across several ports at once.
+class RLockStorm : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RLockStorm, SurvivesRandomCrashes) {
+  constexpr int k = 6;
+  SimRun sim(ModelKind::kDsm, k);
+  auto lk = std::make_unique<RLock>(sim.world().env, k);
+  LockBody<RLock> body(*lk, sim.world(), sim.checker());
+  sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
+  sim::SeededRandom pol(GetParam() * 31 + 5);
+  sim::RandomCrash crash(0.006, GetParam(), 50);
+  std::vector<uint64_t> iters(k, 8);
+  auto res = sim.run(pol, crash, iters, 30000000);
+  EXPECT_FALSE(res.exhausted) << "seed " << GetParam();
+  EXPECT_EQ(sim.checker().me_violations(), 0u);
+  EXPECT_EQ(sim.checker().csr_violations(), 0u);
+  for (int pid = 0; pid < k; ++pid) {
+    EXPECT_EQ(res.completions[static_cast<size_t>(pid)], 8u) << pid;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RLockStorm, ::testing::Range<uint64_t>(0, 10));
+
+// Passage RMR is O(log k) (within the paper's O(k) budget): for k = 16
+// an uncontended passage costs at most ~c*log2(16) RMRs.
+TEST(RLock, UncontendedPassageRmrLogK) {
+  for (ModelKind kind : {ModelKind::kCc, ModelKind::kDsm}) {
+    SimRun sim(kind, 16);
+    auto lk = std::make_unique<RLock>(sim.world().env, 16);
+    sim.set_body([&](SimProc& h, int pid) {
+      lk->lock(h, pid);
+      lk->unlock(h, pid);
+    });
+    sim::RoundRobin rr;
+    sim::NoCrash nc;
+    std::vector<uint64_t> iters(16, 0);
+    iters[0] = 10;
+    auto res = sim.run(rr, nc, iters, 2000000);
+    ASSERT_FALSE(res.exhausted);
+    const auto& c = sim.world().counters(0);
+    // 10 passages, 4 levels each; ~<= 16 RMRs per level-passage.
+    EXPECT_LE(c.rmrs, 10u * 4u * 16u);
+  }
+}
+
+// Recoverability shape: crash while holding some levels (mid-climb), then
+// re-execute; the OWN fast paths must short-circuit and the process must
+// end up holding the lock exactly once.
+TEST(RLock, MidClimbCrashReexecutionIsIdempotent) {
+  constexpr int k = 8;  // 3 levels
+  SimRun sim(ModelKind::kCc, k);
+  auto lk = std::make_unique<RLock>(sim.world().env, k);
+  LockBody<RLock> body(*lk, sim.world(), sim.checker());
+  sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
+  // Crash p0 at a spread of points covering each tournament level.
+  for (uint64_t s : {2u, 5u, 9u, 13u, 17u, 21u, 26u, 31u}) {
+    SimRun sim2(ModelKind::kCc, k);
+    auto lk2 = std::make_unique<RLock>(sim2.world().env, k);
+    LockBody<RLock> body2(*lk2, sim2.world(), sim2.checker());
+    sim2.set_body([&](SimProc& h, int pid) { body2(h, pid); });
+    sim::SeededRandom pol(s);
+    sim::CrashAtSteps plan(0, {s});
+    std::vector<uint64_t> iters(k, 4);
+    auto res = sim2.run(pol, plan, iters, 20000000);
+    EXPECT_FALSE(res.exhausted) << "s=" << s;
+    EXPECT_EQ(sim2.checker().me_violations(), 0u) << "s=" << s;
+    EXPECT_EQ(res.completions[0], 4u) << "s=" << s;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// Exact-count regression pins: canonical mini-scenarios whose RMR and
+// step counts are fully deterministic (fixed schedule, fixed crash plan).
+// Any change to the algorithm's shared-memory access pattern shows up
+// here as an exact-number diff - much sharper than the asymptotic suites.
+//
+// If an intentional change shifts these numbers, update them after
+// checking the new access pattern against Figures 3-4 line by line.
+#include <gtest/gtest.h>
+
+#include "core/rme_lock.hpp"
+#include "harness/sim_run.hpp"
+#include "harness/world.hpp"
+#include "signal/signal.hpp"
+
+namespace {
+
+using namespace rme;
+using harness::ModelKind;
+using harness::SimProc;
+using harness::SimRun;
+using P = platform::Counted;
+
+// One solo passage, DSM: every write to global cells is remote, the
+// local-spin cells are free, QSBR announces are local to the port.
+TEST(RmrExact, SoloPassageDsm) {
+  SimRun sim(ModelKind::kDsm, 1);
+  core::RmeLock<P> lk(sim.world().env, 1);
+  sim.set_body([&](SimProc& h, int pid) {
+    lk.lock(h, pid);
+    lk.unlock(h, pid);
+  });
+  sim::RoundRobin rr;
+  sim::NoCrash nc;
+  auto res = sim.run(rr, nc, {1}, 100000);
+  ASSERT_FALSE(res.exhausted);
+  const auto& c = sim.world().counters(0);
+  // Pin the exact profile of the first-ever passage.
+  EXPECT_EQ(c.fas, 1u);            // the Line 13 FAS, nothing else
+  EXPECT_EQ(c.cas, 0u);
+  EXPECT_EQ(c.fai, 0u);
+  EXPECT_EQ(c.rmrs, 9u) << "steps=" << c.steps;
+  EXPECT_EQ(c.steps, 29u);
+}
+
+TEST(RmrExact, SoloPassageCc) {
+  SimRun sim(ModelKind::kCc, 1);
+  core::RmeLock<P> lk(sim.world().env, 1);
+  sim.set_body([&](SimProc& h, int pid) {
+    lk.lock(h, pid);
+    lk.unlock(h, pid);
+  });
+  sim::RoundRobin rr;
+  sim::NoCrash nc;
+  auto res = sim.run(rr, nc, {1}, 100000);
+  ASSERT_FALSE(res.exhausted);
+  const auto& c = sim.world().counters(0);
+  EXPECT_EQ(c.fas, 1u);
+  EXPECT_EQ(c.steps, 29u);
+  // CC: all writes are RMRs; reads mostly miss on a cold cache.
+  EXPECT_EQ(c.rmrs, 24u) << "steps=" << c.steps;
+}
+
+// Second solo passage on the same port costs the same (steady state, no
+// allocation difference visible in shared ops).
+TEST(RmrExact, SteadyStatePassagesAreUniform) {
+  SimRun sim(ModelKind::kDsm, 1);
+  core::RmeLock<P> lk(sim.world().env, 1);
+  std::vector<uint64_t> per_passage;
+  uint64_t last = 0;
+  sim.set_body([&](SimProc& h, int pid) {
+    lk.lock(h, pid);
+    lk.unlock(h, pid);
+    per_passage.push_back(h.ctx.counters.rmrs - last);
+    last = h.ctx.counters.rmrs;
+  });
+  sim::RoundRobin rr;
+  sim::NoCrash nc;
+  auto res = sim.run(rr, nc, {6}, 100000);
+  ASSERT_FALSE(res.exhausted);
+  ASSERT_EQ(per_passage.size(), 6u);
+  // Steady state is near-uniform: the only variation is the amortised
+  // QSBR reclamation pass (threshold 2k+4 = 6 here), worth a few extra
+  // shared ops every few passages.
+  for (size_t i = 1; i < per_passage.size(); ++i) {
+    EXPECT_GE(per_passage[i], 5u) << "passage " << i;
+    EXPECT_LE(per_passage[i], 14u) << "passage " << i;
+  }
+}
+
+// Signal handoff, DSM, fixed schedule: exact costs for both sides.
+TEST(RmrExact, SignalHandoffDsm) {
+  SimRun sim(ModelKind::kDsm, 2);
+  signal::Signal<P> s;
+  s.attach(sim.world().env, rmr::kNoOwner);
+  s.init_clear();
+  sim.set_body([&](SimProc& h, int pid) {
+    if (pid == 0) {
+      s.wait(h.ctx, h.ring);
+    } else {
+      s.set(h.ctx);
+    }
+  });
+  std::vector<int> script(8, 0);  // waiter publishes and sleeps first
+  sim::Scripted pol(script);
+  sim::NoCrash nc;
+  auto res = sim.run(pol, nc, {1, 1}, 100000);
+  ASSERT_FALSE(res.exhausted);
+  // Waiter: ring bookkeeping (local) + GoTag/GoSlot stores (remote, 2) +
+  // Bit read (remote, 1) = 3; spins are local.
+  EXPECT_EQ(sim.world().counters(0).rmrs, 3u);
+  // Setter: Bit store + GoSlot read + GoTag read (remote, 3) + go-flag
+  // write into the waiter's partition (remote, 1) = 4.
+  EXPECT_EQ(sim.world().counters(1).rmrs, 4u);
+}
+
+// A crash-at-FAS recovery with one idle peer, fixed schedule: the full
+// recovery passage cost is deterministic.
+TEST(RmrExact, SoloRecoveryDsm) {
+  SimRun sim(ModelKind::kDsm, 1);
+  core::RmeLock<P> lk(sim.world().env, 1);
+  uint64_t recovery_rmrs = 0;
+  uint64_t mark = 0;
+  sim::CrashAroundFas plan(0, 1, sim::CrashAroundFas::kAfter);
+  sim.set_body([&](SimProc& h, int pid) {
+    mark = h.ctx.counters.rmrs;
+    lk.lock(h, pid);
+    if (plan.fired() && recovery_rmrs == 0) {
+      recovery_rmrs = h.ctx.counters.rmrs - mark;
+    }
+    lk.unlock(h, pid);
+  });
+  sim::RoundRobin rr;
+  auto res = sim.run(rr, plan, {2}, 100000);
+  ASSERT_FALSE(res.exhausted);
+  ASSERT_TRUE(plan.fired());
+  EXPECT_GT(recovery_rmrs, 0u);
+  // Deterministic: the recovery ran Lines 17-24, the RLock, the repair
+  // scan over one port, and the SpecialNode branch.
+  EXPECT_EQ(lk.total_stats().repair_special, 1u);
+  EXPECT_GT(lk.total_stats().repairs, 0u);
+}
+
+}  // namespace

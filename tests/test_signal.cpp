@@ -1,0 +1,303 @@
+// Signal object tests (paper Section 2, Theorem 1).
+//
+// Covers the specification (Figure 1), the DSM implementation (Figure 2),
+// O(1) RMR bounds on both CC and DSM, crash-re-execution of both set() and
+// wait() (including the lost-wake scenario that motivates set() never
+// short-circuiting), and the BitSignal ablation showing why naive spinning
+// is unbounded on DSM.
+#include <gtest/gtest.h>
+
+#include "harness/sim_run.hpp"
+#include "harness/world.hpp"
+#include "signal/signal.hpp"
+
+namespace {
+
+using namespace rme;
+using harness::CountedWorld;
+using harness::ModelKind;
+using harness::SimProc;
+using harness::SimRun;
+
+using Sig = signal::Signal<platform::Counted>;
+
+TEST(Signal, SetThenWaitReturnsImmediately_Dsm) {
+  CountedWorld w(ModelKind::kDsm, 2);
+  Sig s;
+  s.attach(w.env, 0);
+  s.init_clear();
+  s.set(w.proc(1).ctx);
+  s.wait(w.proc(0).ctx, w.proc(0).ring);  // must not block
+  EXPECT_TRUE(s.is_set(w.proc(0).ctx));
+}
+
+TEST(Signal, SetThenWaitReturnsImmediately_Cc) {
+  CountedWorld w(ModelKind::kCc, 2);
+  Sig s;
+  s.attach(w.env, 0);
+  s.init_clear();
+  s.set(w.proc(1).ctx);
+  s.wait(w.proc(0).ctx, w.proc(0).ring);
+  EXPECT_TRUE(s.is_set(w.proc(0).ctx));
+}
+
+TEST(Signal, SetIsIdempotent) {
+  CountedWorld w(ModelKind::kDsm, 2);
+  Sig s;
+  s.attach(w.env, 0);
+  s.init_clear();
+  for (int i = 0; i < 5; ++i) s.set(w.proc(1).ctx);
+  s.wait(w.proc(0).ctx, w.proc(0).ring);
+  EXPECT_TRUE(s.is_set(w.proc(0).ctx));
+}
+
+TEST(Signal, InitSetMatchesSpecialNodeSemantics) {
+  CountedWorld w(ModelKind::kDsm, 1);
+  Sig s;
+  s.attach(w.env, 0);
+  s.init_set();  // SpecialNode.CS_Signal = 1 (Figure 3, Shared objects)
+  s.wait(w.proc(0).ctx, w.proc(0).ring);
+  SUCCEED();
+}
+
+// Blocking handoff: p0 waits, p1 sets later; p0 must wake (both models).
+class HandoffFixture : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(HandoffFixture, WaitThenSetWakes) {
+  SimRun sim(GetParam(), 2);
+  Sig s;
+  s.attach(sim.world().env, 0);
+  s.init_clear();
+  bool woke = false;
+  sim.set_body([&](SimProc& h, int pid) {
+    if (pid == 0) {
+      s.wait(h.ctx, h.ring);
+      woke = true;
+    } else {
+      s.set(h.ctx);
+    }
+  });
+  // Let the waiter publish and sleep before the setter runs at all.
+  sim::Scripted pol({0, 0, 0, 0, 0, 0, 0, 0});
+  sim::NoCrash nc;
+  auto res = sim.run(pol, nc, {1, 1}, 100000);
+  EXPECT_FALSE(res.exhausted);
+  EXPECT_TRUE(woke);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModels, HandoffFixture,
+                         ::testing::Values(ModelKind::kCc, ModelKind::kDsm),
+                         [](const auto& info) {
+                           return info.param == ModelKind::kCc ? "CC" : "DSM";
+                         });
+
+// Theorem 1 (v): O(1) RMR per operation. On DSM the waiter's spin cell is
+// in its own partition, so even a long blocked wait costs O(1) RMRs.
+TEST(Signal, WaitRmrIsO1OnDsmEvenWhenBlockedLong) {
+  SimRun sim(ModelKind::kDsm, 2);
+  Sig s;
+  s.attach(sim.world().env, 0);  // signal cells in waiter's partition
+  s.init_clear();
+  sim.set_body([&](SimProc& h, int pid) {
+    if (pid == 0) {
+      s.wait(h.ctx, h.ring);
+    } else {
+      s.set(h.ctx);
+    }
+  });
+  // Waiter spins alone for 500 scheduling slots before the setter runs.
+  std::vector<int> script(500, 0);
+  sim::Scripted pol(script);
+  sim::NoCrash nc;
+  auto res = sim.run(pol, nc, {1, 1}, 100000);
+  ASSERT_FALSE(res.exhausted);
+
+  const auto& wc = sim.world().counters(0);
+  EXPECT_GT(wc.steps, 400u);  // it really did spin a lot...
+  EXPECT_LE(wc.rmrs, 8u);     // ...but spinning was partition-local
+  const auto& sc = sim.world().counters(1);
+  EXPECT_LE(sc.rmrs, 8u);  // set() is a constant number of remote ops
+}
+
+TEST(Signal, WaitRmrIsO1OnCcEvenWhenBlockedLong) {
+  SimRun sim(ModelKind::kCc, 2);
+  Sig s;
+  s.attach(sim.world().env, 0);
+  s.init_clear();
+  sim.set_body([&](SimProc& h, int pid) {
+    if (pid == 0) {
+      s.wait(h.ctx, h.ring);
+    } else {
+      s.set(h.ctx);
+    }
+  });
+  std::vector<int> script(500, 0);
+  sim::Scripted pol(script);
+  sim::NoCrash nc;
+  auto res = sim.run(pol, nc, {1, 1}, 100000);
+  ASSERT_FALSE(res.exhausted);
+  const auto& wc = sim.world().counters(0);
+  EXPECT_GT(wc.steps, 400u);
+  // Spin reads hit the cache; the wake invalidation costs one extra miss.
+  EXPECT_LE(wc.rmrs, 10u);
+}
+
+// Ablation (E1): the trivial bit-spin Signal is O(1) on CC but unbounded
+// on DSM - precisely why Figure 2 exists.
+TEST(Signal, BitSignalSpinIsUnboundedOnDsm) {
+  SimRun sim(ModelKind::kDsm, 2);
+  signal::BitSignal<platform::Counted> s;
+  s.attach(sim.world().env, 1);  // bit lives in the *setter's* partition
+  s.init_clear();
+  sim.set_body([&](SimProc& h, int pid) {
+    if (pid == 0) {
+      s.wait(h.ctx);
+    } else {
+      s.set(h.ctx);
+    }
+  });
+  std::vector<int> script(300, 0);
+  sim::Scripted pol(script);
+  sim::NoCrash nc;
+  auto res = sim.run(pol, nc, {1, 1}, 100000);
+  ASSERT_FALSE(res.exhausted);
+  // Every spin iteration was a remote read: RMRs grow with waiting time.
+  EXPECT_GT(sim.world().counters(0).rmrs, 250u);
+}
+
+TEST(Signal, BitSignalSpinIsO1OnCc) {
+  SimRun sim(ModelKind::kCc, 2);
+  signal::BitSignal<platform::Counted> s;
+  s.attach(sim.world().env, 1);
+  s.init_clear();
+  sim.set_body([&](SimProc& h, int pid) {
+    if (pid == 0) {
+      s.wait(h.ctx);
+    } else {
+      s.set(h.ctx);
+    }
+  });
+  std::vector<int> script(300, 0);
+  sim::Scripted pol(script);
+  sim::NoCrash nc;
+  auto res = sim.run(pol, nc, {1, 1}, 100000);
+  ASSERT_FALSE(res.exhausted);
+  EXPECT_LE(sim.world().counters(0).rmrs, 4u);
+}
+
+// Crash-re-execution of wait(): the waiter crashes mid-spin, re-runs
+// wait() from the top (fresh slot + tag), and still completes.
+TEST(Signal, WaiterCrashMidSpinRecovers) {
+  SimRun sim(ModelKind::kDsm, 2);
+  Sig s;
+  s.attach(sim.world().env, 0);
+  s.init_clear();
+  int wait_completions = 0;
+  sim.set_body([&](SimProc& h, int pid) {
+    if (pid == 0) {
+      s.wait(h.ctx, h.ring);
+      ++wait_completions;
+    } else {
+      s.set(h.ctx);
+    }
+  });
+  // Waiter publishes (ops 0..3), checks Bit (4), spins (5..); crash it at
+  // its 8th op, well into the spin.
+  sim::CrashAtSteps plan(0, {8});
+  std::vector<int> script(20, 0);  // waiter first: publish, spin, crash
+  sim::Scripted pol(script);
+  auto res = sim.run(pol, plan, {1, 1}, 100000);
+  EXPECT_FALSE(res.exhausted);
+  EXPECT_EQ(res.crashes[0], 1u);
+  EXPECT_EQ(wait_completions, 1);
+}
+
+// The lost-wake scenario: the setter crashes after writing Bit but before
+// the go-flag write, while the waiter is already asleep. A set() that
+// short-circuited on Bit==1 would deadlock here; the paper's set() re-runs
+// all four lines and wakes the waiter.
+TEST(Signal, SetterCrashBetweenBitAndWakeIsRepairedByRerun) {
+  SimRun sim(ModelKind::kDsm, 2);
+  Sig s;
+  s.attach(sim.world().env, 0);
+  s.init_clear();
+  sim.set_body([&](SimProc& h, int pid) {
+    if (pid == 0) {
+      s.wait(h.ctx, h.ring);
+    } else {
+      s.set(h.ctx);
+    }
+  });
+  // Waiter: ops 0-4 publish + check Bit(=0), then sleeps. Setter: op 0 is
+  // the Bit store; crash at its op 1 (the GoAddr read) - Bit is 1, no wake
+  // sent. The setter's re-executed set() must deliver the wake.
+  sim::CrashAtSteps plan(1, {1});
+  std::vector<int> script = {0, 0, 0, 0, 0, 0};  // waiter publishes+sleeps
+  sim::Scripted pol(script);
+  auto res = sim.run(pol, plan, {1, 1}, 100000);
+  EXPECT_FALSE(res.exhausted);
+  EXPECT_EQ(res.crashes[1], 1u);
+}
+
+// Ring-slot reuse with tags: many sequential wait/set rounds on a tiny
+// ring; every round must complete even though slots are recycled rapidly
+// and stale setters may write into recycled slots.
+TEST(Signal, RingReuseAcrossManyRoundsIsSafe) {
+  SimRun sim(ModelKind::kDsm, 2, /*ring_slots=*/2);
+  constexpr int kRounds = 40;
+  std::vector<std::unique_ptr<Sig>> sigs;
+  for (int i = 0; i < kRounds; ++i) {
+    sigs.push_back(std::make_unique<Sig>());
+    sigs.back()->attach(sim.world().env, 0);
+    sigs.back()->init_clear();
+  }
+  int wdone = 0, sdone = 0;
+  sim.set_body([&](SimProc& h, int pid) {
+    if (pid == 0) {
+      sigs[static_cast<size_t>(wdone)]->wait(h.ctx, h.ring);
+      ++wdone;
+    } else {
+      sigs[static_cast<size_t>(sdone)]->set(h.ctx);
+      ++sdone;
+    }
+  });
+  sim::SeededRandom pol(2024);
+  sim::NoCrash nc;
+  auto res = sim.run(pol, nc, {kRounds, kRounds}, 1000000);
+  EXPECT_FALSE(res.exhausted);
+  EXPECT_EQ(wdone, kRounds);
+}
+
+// Random crash storms over repeated handoffs: liveness and state hold.
+class SignalCrashStorm : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SignalCrashStorm, HandoffsSurviveRandomCrashes) {
+  SimRun sim(ModelKind::kDsm, 2);
+  constexpr int kRounds = 25;
+  std::vector<std::unique_ptr<Sig>> sigs;
+  for (int i = 0; i < kRounds; ++i) {
+    sigs.push_back(std::make_unique<Sig>());
+    sigs.back()->attach(sim.world().env, 0);
+    sigs.back()->init_clear();
+  }
+  int wdone = 0, sdone = 0;
+  sim.set_body([&](SimProc& h, int pid) {
+    if (pid == 0) {
+      sigs[static_cast<size_t>(wdone)]->wait(h.ctx, h.ring);
+      ++wdone;
+    } else {
+      sigs[static_cast<size_t>(sdone)]->set(h.ctx);
+      ++sdone;
+    }
+  });
+  sim::SeededRandom pol(GetParam());
+  sim::RandomCrash crash(0.02, GetParam() * 31 + 7, 30);
+  auto res = sim.run(pol, crash, {kRounds, kRounds}, 2000000);
+  EXPECT_FALSE(res.exhausted) << "seed " << GetParam();
+  EXPECT_EQ(wdone, kRounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SignalCrashStorm,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace

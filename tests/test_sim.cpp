@@ -1,0 +1,258 @@
+// Tests for the deterministic simulator substrate: scheduler policies,
+// crash plans, SimRun driver semantics, determinism and deadlock
+// detection. Everything else in the suite builds on these guarantees.
+#include <gtest/gtest.h>
+
+#include "harness/sim_run.hpp"
+#include "harness/world.hpp"
+#include "sim/crash_plan.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace rme;
+using harness::CountedWorld;
+using harness::ModelKind;
+using harness::SimProc;
+using harness::SimRun;
+
+// A tiny body: a few shared ops on a per-run scratch cell.
+class CounterBody {
+ public:
+  explicit CounterBody(CountedWorld& w) {
+    cell_.attach(w.env, rmr::kNoOwner);
+    cell_.init(0);
+  }
+  void operator()(SimProc& h, int) {
+    const int v = cell_.load(h.ctx);
+    cell_.store(h.ctx, v + 1);
+  }
+  int value(SimProc& h) { return cell_.load(h.ctx); }
+
+ private:
+  platform::Counted::Atomic<int> cell_;
+};
+
+TEST(Scheduler, RoundRobinCyclesFairly) {
+  sim::RoundRobin rr;
+  std::vector<int> runnable = {0, 1, 2};
+  EXPECT_EQ(rr.pick(runnable), 0);
+  EXPECT_EQ(rr.pick(runnable), 1);
+  EXPECT_EQ(rr.pick(runnable), 2);
+  EXPECT_EQ(rr.pick(runnable), 0);  // wraps
+}
+
+TEST(Scheduler, RoundRobinSkipsDeadPids) {
+  sim::RoundRobin rr;
+  std::vector<int> runnable = {1, 3};
+  EXPECT_EQ(rr.pick(runnable), 1);
+  EXPECT_EQ(rr.pick(runnable), 3);
+  EXPECT_EQ(rr.pick(runnable), 1);
+}
+
+TEST(Scheduler, SeededRandomIsDeterministic) {
+  std::vector<int> runnable = {0, 1, 2, 3};
+  sim::SeededRandom a(42), b(42), c(43);
+  std::vector<int> seq_a, seq_b, seq_c;
+  for (int i = 0; i < 64; ++i) {
+    seq_a.push_back(a.pick(runnable));
+    seq_b.push_back(b.pick(runnable));
+    seq_c.push_back(c.pick(runnable));
+  }
+  EXPECT_EQ(seq_a, seq_b);
+  EXPECT_NE(seq_a, seq_c);  // different seed, different schedule (w.h.p.)
+}
+
+TEST(Scheduler, ScriptedFollowsScriptThenFallsBack) {
+  sim::Scripted s({2, 2, 0});
+  std::vector<int> runnable = {0, 1, 2};
+  EXPECT_EQ(s.pick(runnable), 2);
+  EXPECT_EQ(s.pick(runnable), 2);
+  EXPECT_EQ(s.pick(runnable), 0);
+  EXPECT_TRUE(s.script_exhausted());
+  // Fallback is round-robin over runnable.
+  const int nxt = s.pick(runnable);
+  EXPECT_TRUE(nxt >= 0 && nxt <= 2);
+}
+
+TEST(Scheduler, ScriptedSkipsNonRunnableEntries) {
+  sim::Scripted s({7, 1});
+  std::vector<int> runnable = {0, 1};
+  EXPECT_EQ(s.pick(runnable), 1);  // 7 not runnable, skipped
+}
+
+TEST(CrashPlan, CrashAtStepsFiresExactlyAtRequestedSteps) {
+  sim::CrashAtSteps plan(0, {3, 5});
+  int fired = 0;
+  for (uint64_t s = 0; s < 10; ++s) {
+    if (plan.should_crash(0, s, rmr::Op::kRead)) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(plan.should_crash(1, 3, rmr::Op::kRead));  // other pid unaffected
+}
+
+TEST(CrashPlan, RandomCrashRespectsBudget) {
+  sim::RandomCrash plan(1.0, 7, 5);  // p=1: crash every time, budget 5
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (plan.should_crash(0, static_cast<uint64_t>(i), rmr::Op::kRead)) ++fired;
+  }
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(plan.crashes(), 5u);
+}
+
+TEST(SimRun, AllProcessesCompleteTheirIterations) {
+  SimRun sim(ModelKind::kCc, 3);
+  CounterBody body(sim.world());
+  sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
+  sim::RoundRobin rr;
+  sim::NoCrash nc;
+  auto res = sim.run(rr, nc, {5, 5, 5}, 100000);
+  EXPECT_FALSE(res.exhausted);
+  EXPECT_EQ(res.completions, (std::vector<uint64_t>{5, 5, 5}));
+  // The increment is deliberately non-atomic (load, yield, store): the
+  // scheduler interleaves processes between the two ops, so updates may be
+  // lost - evidence the simulator really does interleave at op granularity.
+  const int v = body.value(sim.world().proc(0));
+  EXPECT_GE(v, 5);
+  EXPECT_LE(v, 15);
+}
+
+TEST(SimRun, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [](uint64_t seed) {
+    SimRun sim(ModelKind::kCc, 4);
+    CounterBody body(sim.world());
+    sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
+    sim::SeededRandom pol(seed);
+    sim::NoCrash nc;
+    auto res = sim.run(pol, nc, {10, 10, 10, 10}, 100000);
+    return res.steps;
+  };
+  EXPECT_EQ(run_once(123), run_once(123));
+  EXPECT_EQ(run_once(9), run_once(9));
+}
+
+TEST(SimRun, CrashStepUnwindsAndReentersBody) {
+  SimRun sim(ModelKind::kCc, 1);
+  int attempts = 0;
+  CounterBody body(sim.world());
+  sim.set_body([&](SimProc& h, int pid) {
+    ++attempts;
+    body(h, pid);
+  });
+  sim::RoundRobin rr;
+  sim::CrashAtSteps plan(0, {1});  // crash at the 2nd shared op ever
+  auto res = sim.run(rr, plan, {3}, 100000);
+  EXPECT_FALSE(res.exhausted);
+  EXPECT_EQ(res.completions[0], 3u);
+  EXPECT_EQ(res.crashes[0], 1u);
+  EXPECT_EQ(attempts, 4);  // 3 completions + 1 crashed attempt
+}
+
+TEST(SimRun, CcCacheIsWipedByCrash) {
+  SimRun sim(ModelKind::kCc, 1);
+  // Body: read the same cell twice. Without a crash the second read is a
+  // cache hit; a crash between them forces a re-read RMR.
+  platform::Counted::Atomic<int> cell;
+  cell.attach(sim.world().env, rmr::kNoOwner);
+  cell.init(7);
+  sim.set_body([&](SimProc& h, int) {
+    (void)cell.load(h.ctx);
+    (void)cell.load(h.ctx);
+  });
+  sim::RoundRobin rr;
+  {
+    sim::NoCrash nc;
+    auto res = sim.run(rr, nc, {1}, 1000);
+    EXPECT_FALSE(res.exhausted);
+  }
+  const uint64_t rmrs_clean = sim.world().counters(0).rmrs;
+  EXPECT_EQ(rmrs_clean, 1u);  // first read remote, second cached
+
+  SimRun sim2(ModelKind::kCc, 1);
+  platform::Counted::Atomic<int> cell2;
+  cell2.attach(sim2.world().env, rmr::kNoOwner);
+  cell2.init(7);
+  sim2.set_body([&](SimProc& h, int) {
+    (void)cell2.load(h.ctx);
+    (void)cell2.load(h.ctx);
+  });
+  sim::CrashAtSteps plan(0, {1});  // crash before the 2nd read
+  auto res = sim2.run(rr, plan, {1}, 1000);
+  EXPECT_FALSE(res.exhausted);
+  // Attempt 1: read(remote), crash; attempt 2: read(remote again - cache
+  // was wiped), read(hit). Total 2 RMRs.
+  EXPECT_EQ(sim2.world().counters(0).rmrs, 2u);
+}
+
+TEST(SimRun, ExhaustionDetectedOnDeadlock) {
+  SimRun sim(ModelKind::kCc, 1);
+  platform::Counted::Atomic<int> never;
+  never.attach(sim.world().env, rmr::kNoOwner);
+  never.init(0);
+  sim.set_body([&](SimProc& h, int) {
+    while (never.load(h.ctx) == 0) {
+    }  // spins forever
+  });
+  sim::RoundRobin rr;
+  sim::NoCrash nc;
+  auto res = sim.run(rr, nc, {1}, 2000);
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_EQ(res.steps, 2000u);
+}
+
+TEST(SimRun, ZeroIterationProcessesDoNotRun) {
+  SimRun sim(ModelKind::kCc, 2);
+  CounterBody body(sim.world());
+  sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
+  sim::RoundRobin rr;
+  sim::NoCrash nc;
+  auto res = sim.run(rr, nc, {4, 0}, 10000);
+  EXPECT_FALSE(res.exhausted);
+  EXPECT_EQ(res.completions[0], 4u);
+  EXPECT_EQ(res.completions[1], 0u);
+  EXPECT_EQ(sim.world().counters(1).steps, 0u);
+}
+
+TEST(RmrModel, DsmChargesByPartition) {
+  rmr::DsmModel m(2);
+  const auto mine = m.register_cell(0);
+  const auto theirs = m.register_cell(1);
+  const auto global = m.register_cell(rmr::kNoOwner);
+  EXPECT_FALSE(m.charge(0, mine, rmr::Op::kRead));
+  EXPECT_TRUE(m.charge(0, theirs, rmr::Op::kRead));
+  EXPECT_TRUE(m.charge(0, global, rmr::Op::kRead));
+  EXPECT_FALSE(m.charge(0, mine, rmr::Op::kFas));  // local RMW is local
+  EXPECT_TRUE(m.charge(1, mine, rmr::Op::kWrite));
+}
+
+TEST(RmrModel, CcReadCachesAndWritesInvalidate) {
+  rmr::CcModel m(2);
+  const auto c = m.register_cell(rmr::kNoOwner);
+  EXPECT_TRUE(m.charge(0, c, rmr::Op::kRead));    // cold miss
+  EXPECT_FALSE(m.charge(0, c, rmr::Op::kRead));   // hit
+  EXPECT_TRUE(m.charge(1, c, rmr::Op::kWrite));   // write: remote, invalidates
+  EXPECT_TRUE(m.charge(0, c, rmr::Op::kRead));    // miss again
+  EXPECT_FALSE(m.charge(1, c, rmr::Op::kRead));   // writer kept its copy
+}
+
+TEST(RmrModel, CcCrashWipesCache) {
+  rmr::CcModel m(1);
+  const auto c = m.register_cell(rmr::kNoOwner);
+  EXPECT_TRUE(m.charge(0, c, rmr::Op::kRead));
+  EXPECT_FALSE(m.charge(0, c, rmr::Op::kRead));
+  m.on_crash(0);
+  EXPECT_TRUE(m.charge(0, c, rmr::Op::kRead));
+}
+
+TEST(RmrModel, CcPeakCacheWordsTracksWorkingSet) {
+  rmr::CcModel m(1);
+  std::vector<rmr::CellId> cells;
+  for (int i = 0; i < 5; ++i) cells.push_back(m.register_cell(rmr::kNoOwner));
+  for (auto c : cells) m.charge(0, c, rmr::Op::kRead);
+  EXPECT_EQ(m.peak_cache_words(0), 5u);
+  m.flush_cache(0);
+  EXPECT_EQ(m.peak_cache_words(0), 0u);
+}
+
+}  // namespace
