@@ -104,6 +104,11 @@ int main() {
       const double rec = tree_recovery_rmr(ModelKind::kDsm, 64, d);
       t.row({fmt("%d", d), fmt("%d", height), fmt("%.1f", pass),
              fmt("%.0f", rec)});
+      json_line("ablation_tree_degree",
+                {{"model", "DSM"}, {"n", "64"}, {"degree", fmt("%d", d)}},
+                {{"height", static_cast<double>(height)},
+                 {"passage_rmr", pass},
+                 {"recovery_rmr", rec}});
     }
     std::printf(
         "Reading: passage RMR ~ height (favours big d); recovery RMR ~ "
@@ -135,6 +140,11 @@ int main() {
       t.row({fmt("%llu", (unsigned long long)(4 * iters)),
              fmt("%llu", (unsigned long long)alloc_on),
              fmt("%llu", (unsigned long long)alloc_off)});
+      json_line("ablation_qsbr",
+                {{"model", "CC"}, {"k", "4"},
+                 {"passages", fmt("%llu", (unsigned long long)(4 * iters))}},
+                {{"alloc_recycle", static_cast<double>(alloc_on)},
+                 {"alloc_verbatim", static_cast<double>(alloc_off)}});
     }
     std::printf(
         "Reading: verbatim mode allocates one node per passage (the "

@@ -74,8 +74,12 @@ int main() {
 
   Table t({"k", "crash-free", "repair passage"});
   for (int k : {2, 4, 8, 16, 32, 64}) {
-    t.row({fmt("%d", k), fmt("%zu", crash_free_footprint(k)),
-           fmt("%zu", repair_footprint(k))});
+    const size_t cf = crash_free_footprint(k);
+    const size_t rp = repair_footprint(k);
+    t.row({fmt("%d", k), fmt("%zu", cf), fmt("%zu", rp)});
+    json_line("cache_footprint", {{"model", "CC"}, {"k", fmt("%d", k)}},
+              {{"crash_free_words", static_cast<double>(cf)},
+               {"repair_words", static_cast<double>(rp)}});
   }
   std::printf(
       "\nReading: the crash-free column is exactly flat (O(1) words - the "

@@ -12,8 +12,8 @@
 using namespace rme;
 using namespace rme::bench;
 using harness::ModelKind;
+using harness::Scenario;
 using harness::SimProc;
-using harness::SimRun;
 using P = platform::Counted;
 
 namespace {
@@ -51,18 +51,19 @@ struct SuperCost {
 };
 
 SuperCost super_passage_cost(ModelKind kind, int k, int f) {
-  SimRun sim(kind, k);
-  core::RmeLock<P> lk(sim.world().env, k);
-  sim.set_body([&](SimProc& h, int pid) {
+  Scenario<P> s(kind, k);
+  core::RmeLock<P> lk(s.world().env, k);
+  s.set_body([&](SimProc& h, int pid) {
     lk.lock(h, pid);
     lk.unlock(h, pid);
   });
-  RepeatCrash plan(f, 12);
-  sim::SeededRandom pol(7);
-  std::vector<uint64_t> iters(static_cast<size_t>(k), 1);
-  auto res = sim.run(pol, plan, iters, 80000000);
-  RME_ASSERT(!res.exhausted, "E3 run exhausted");
-  return SuperCost{static_cast<double>(sim.world().counters(0).rmrs),
+  s.set_crash_plan(std::make_unique<RepeatCrash>(f, 12));
+  s.use_random_schedule(7);
+  s.set_iterations(1);
+  s.set_max_steps(80000000);
+  auto res = s.run();
+  RME_ASSERT(res.ok(), "E3 run exhausted");
+  return SuperCost{static_cast<double>(s.world().counters(0).rmrs),
                    res.crashes[0]};
 }
 
@@ -83,6 +84,11 @@ int main() {
         t.row({m, fmt("%d", k), fmt("%d", f),
                fmt("%llu", (unsigned long long)c.crashes),
                fmt("%.0f", c.rmrs), fmt("%.2f", norm)});
+        json_line("crash_rmr",
+                  {{"model", m}, {"k", fmt("%d", k)}, {"f", fmt("%d", f)}},
+                  {{"crashes", static_cast<double>(c.crashes)},
+                   {"rmrs", c.rmrs},
+                   {"rmr_per_1pf_k", norm}});
       }
     }
   }

@@ -81,6 +81,8 @@ int main() {
           },
           &h);
       t.row({m, "flat", fmt("%d", k), "1", fmt("%llu", (unsigned long long)s)});
+      json_line("csr_steps", {{"model", m}, {"lock", "flat"}, {"n", fmt("%d", k)}},
+                {{"height", 1.0}, {"reentry_steps", static_cast<double>(s)}});
     }
     for (int n : {4, 16, 64, 256}) {
       int h = 0;
@@ -95,6 +97,9 @@ int main() {
           &h);
       t.row({m, "tree", fmt("%d", n), fmt("%d", h),
              fmt("%llu", (unsigned long long)s)});
+      json_line("csr_steps", {{"model", m}, {"lock", "tree"}, {"n", fmt("%d", n)}},
+                {{"height", static_cast<double>(h)},
+                 {"reentry_steps", static_cast<double>(s)}});
     }
   }
   std::printf(

@@ -63,9 +63,17 @@ int main() {
       auto on = exit_steps(kind, k, true);
       t.row({m, fmt("%d", k), "on", fmt("%.1f", on.mean_steps),
              fmt("%llu", (unsigned long long)on.max_steps)});
+      json_line("exit_steps",
+                {{"model", m}, {"k", fmt("%d", k)}, {"recycle", "on"}},
+                {{"mean_steps", on.mean_steps},
+                 {"max_steps", static_cast<double>(on.max_steps)}});
       auto off = exit_steps(kind, k, false);
       t.row({m, fmt("%d", k), "off", fmt("%.1f", off.mean_steps),
              fmt("%llu", (unsigned long long)off.max_steps)});
+      json_line("exit_steps",
+                {{"model", m}, {"k", fmt("%d", k)}, {"recycle", "off"}},
+                {{"mean_steps", off.mean_steps},
+                 {"max_steps", static_cast<double>(off.max_steps)}});
     }
   }
   std::printf(

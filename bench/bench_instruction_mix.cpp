@@ -67,6 +67,13 @@ int main() {
     t.row({name, crashes ? "yes" : "no", fmt("%llu", (unsigned long long)m.reads),
            fmt("%llu", (unsigned long long)m.writes), yn(m.fas), yn(m.cas),
            yn(m.fai)});
+    json_line("instruction_mix",
+              {{"lock", name}, {"crashes", crashes ? "yes" : "no"}},
+              {{"reads", static_cast<double>(m.reads)},
+               {"writes", static_cast<double>(m.writes)},
+               {"fas", static_cast<double>(m.fas)},
+               {"cas", static_cast<double>(m.cas)},
+               {"fai", static_cast<double>(m.fai)}});
   };
 
   row("RmeLock", false, measure_mix(4, [](auto& sim) {

@@ -1,0 +1,148 @@
+// E11 - RecoverableLockTable throughput: the first many-lock workload.
+//
+// A KV-style update stream: each operation picks a key, locks the key's
+// shard through the table (port leased dynamically per passage), performs
+// a small critical section, unlocks. Two configurations:
+//
+//   Real     - hardware threads, wall-clock ops/sec vs shard count: the
+//              sharding payoff (single global lock -> striped table).
+//   Counted  - deterministic CC-model run: RMR per operation vs shard
+//              count at fixed processes; more shards = less contention =
+//              fewer RMRs per op (queue handoffs happen less often), while
+//              the O(1)-per-passage core bound keeps every row flat in k.
+//
+// Emits BENCH_JSON lines (shared bench_util helper) for the perf
+// trajectory.
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/lock_table.hpp"
+
+using namespace rme;
+using namespace rme::bench;
+using harness::ModelKind;
+using harness::Scenario;
+using harness::SimProc;
+
+namespace {
+
+constexpr int kRealThreads = 8;
+constexpr uint64_t kKeySpace = 4096;
+
+uint64_t scaled_real_iters() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= kRealThreads ? 20000 : 2000;  // oversubscribed CI boxes
+}
+
+// A tiny critical section that the optimiser cannot delete.
+volatile uint64_t g_cs_sink = 0;
+inline void benchmark_cs() { g_cs_sink = g_cs_sink + 1; }
+
+// Real platform: ops/sec over `shards`, all threads hammering a shared
+// key space.
+double real_throughput(int shards, uint64_t iters_per_thread) {
+  using R = platform::Real;
+  Scenario<R> s(kRealThreads);
+  core::RecoverableLockTable<R> table(s.world().env, shards,
+                                      /*ports_per_shard=*/kRealThreads,
+                                      kRealThreads);
+  s.set_body([&](platform::Process<R>& h, int pid) {
+    // Cheap per-thread LCG key stream; distinct streams per pid.
+    static thread_local uint64_t rng = 0;
+    if (rng == 0) rng = 0x9e3779b9u + static_cast<uint64_t>(pid) * 2654435761u;
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    const uint64_t key = (rng >> 33) % kKeySpace;
+    table.lock(h, pid, key);
+    benchmark_cs();
+    table.unlock(h, pid);
+  });
+  s.set_iterations(iters_per_thread);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto res = s.run();
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  RME_ASSERT(res.ok(), "lock-table real bench failed");
+  const double total =
+      static_cast<double>(iters_per_thread) * kRealThreads;
+  return dt.count() > 0 ? total / dt.count() : 0.0;
+}
+
+// Counted platform: mean RMR per operation on the CC model.
+double counted_rmr_per_op(int shards, int pids, uint64_t iters) {
+  using C = platform::Counted;
+  Scenario<C> s(ModelKind::kCc, pids);
+  core::RecoverableLockTable<C> table(s.world().env, shards,
+                                      /*ports_per_shard=*/pids, pids);
+  std::vector<uint64_t> done(static_cast<size_t>(pids), 0);
+  s.set_body([&](SimProc& h, int pid) {
+    const uint64_t key =
+        (static_cast<uint64_t>(pid) * 2654435761u + done[pid] * 40503u) %
+        kKeySpace;
+    table.lock(h, pid, key);
+    table.unlock(h, pid);
+    ++done[pid];
+  });
+  s.use_random_schedule(17);
+  s.set_iterations(iters);
+  s.set_max_steps(200000000);
+  auto res = s.run();
+  RME_ASSERT(res.ok(), "lock-table counted bench failed");
+  uint64_t rmrs = 0, ops = 0;
+  for (int p = 0; p < pids; ++p) {
+    rmrs += s.world().counters(p).rmrs;
+    ops += res.completions[static_cast<size_t>(p)];
+  }
+  return ops > 0 ? static_cast<double>(rmrs) / static_cast<double>(ops) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  header("E11", "sharded recoverable lock table (dynamic port leasing)",
+         "composition: per-shard O(1)-RMR passages + FAS-only port leases "
+         "=> contention falls with shard count while every passage keeps "
+         "the Theorem 2 bound");
+
+  std::printf("\n-- (a) Real platform: %d threads, wall-clock --\n",
+              kRealThreads);
+  {
+    const uint64_t iters = scaled_real_iters();
+    Table t({"shards", "ops/sec"});
+    for (int shards : {1, 4, 16, 64}) {
+      const double ops = real_throughput(shards, iters);
+      t.row({fmt("%d", shards), fmt("%.0f", ops)});
+      json_line("lock_table_throughput",
+                {{"platform", "real"},
+                 {"threads", fmt("%d", kRealThreads)},
+                 {"shards", fmt("%d", shards)}},
+                {{"ops_per_sec", ops}});
+    }
+  }
+
+  std::printf("\n-- (b) Counted platform (CC model): RMR per op --\n");
+  {
+    constexpr int kPids = 8;
+    Table t({"shards", "RMR/op"});
+    for (int shards : {1, 4, 16, 64}) {
+      const double rmr = counted_rmr_per_op(shards, kPids, 6);
+      t.row({fmt("%d", shards), fmt("%.1f", rmr)});
+      json_line("lock_table_rmr",
+                {{"platform", "counted"},
+                 {"model", "CC"},
+                 {"pids", fmt("%d", kPids)},
+                 {"shards", fmt("%d", shards)}},
+                {{"rmr_per_op", rmr}});
+    }
+  }
+
+  std::printf(
+      "\nReading: (a) ops/sec rises with shard count until the machine "
+      "runs out of parallelism;\n(b) RMR/op falls as shards dilute "
+      "contention - the per-passage RMR bound is unchanged, only\nqueue "
+      "handoff frequency drops.\n");
+  return 0;
+}

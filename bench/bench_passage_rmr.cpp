@@ -42,6 +42,10 @@ int main() {
              fmt("%.1f", mcs.rmr_per_passage),
              fmt("%.1f", tourn.rmr_per_passage),
              fmt("%.2f", tourn.rmr_per_passage / ours.rmr_per_passage)});
+      json_line("passage_rmr", {{"model", m}, {"k", fmt("%d", k)}},
+                {{"rme_rmr_per_passage", ours.rmr_per_passage},
+                 {"mcs_rmr_per_passage", mcs.rmr_per_passage},
+                 {"tournament_rmr_per_passage", tourn.rmr_per_passage}});
     }
   }
   std::printf(

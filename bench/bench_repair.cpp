@@ -85,6 +85,9 @@ int main() {
       auto c = repair_cost(kind, k);
       t.row({m, fmt("%d", k), fmt("%.0f", c.rmrs), fmt("%.0f", c.steps),
              fmt("%.2f", c.rmrs / k), c.branch});
+      json_line("repair",
+                {{"model", m}, {"k", fmt("%d", k)}, {"branch", c.branch}},
+                {{"rmrs", c.rmrs}, {"steps", c.steps}});
     }
   }
   std::printf(

@@ -92,20 +92,24 @@ int main() {
   Table t({"model", "impl", "scenario", "set RMR", "wait RMR", "wait steps"});
   for (ModelKind kind : {ModelKind::kCc, ModelKind::kDsm}) {
     const char* m = kind == ModelKind::kCc ? "CC" : "DSM";
+    auto emit = [&](const char* impl, const std::string& scenario, Cost c) {
+      t.row({m, impl, scenario, fmt("%.0f", c.set_rmr),
+             fmt("%.0f", c.wait_rmr),
+             fmt("%llu", (unsigned long long)c.wait_steps)});
+      json_line("signal",
+                {{"model", m}, {"impl", impl}, {"scenario", scenario}},
+                {{"set_rmr", c.set_rmr},
+                 {"wait_rmr", c.wait_rmr},
+                 {"wait_steps", static_cast<double>(c.wait_steps)}});
+    };
     for (int spins : {50, 500, 5000}) {
-      auto c = blocked_handoff<SigG>(kind, spins, wait_g);
-      t.row({m, "Fig.2", fmt("blocked~%d", spins), fmt("%.0f", c.set_rmr),
-             fmt("%.0f", c.wait_rmr), fmt("%llu", (unsigned long long)c.wait_steps)});
+      emit("Fig.2", fmt("blocked~%d", spins),
+           blocked_handoff<SigG>(kind, spins, wait_g));
     }
-    {
-      auto c = preset_wait<SigG>(kind, wait_g);
-      t.row({m, "Fig.2", "pre-set", fmt("%.0f", c.set_rmr),
-             fmt("%.0f", c.wait_rmr), fmt("%llu", (unsigned long long)c.wait_steps)});
-    }
+    emit("Fig.2", "pre-set", preset_wait<SigG>(kind, wait_g));
     for (int spins : {50, 500, 5000}) {
-      auto c = blocked_handoff<SigB>(kind, spins, wait_b);
-      t.row({m, "bit-spin", fmt("blocked~%d", spins), fmt("%.0f", c.set_rmr),
-             fmt("%.0f", c.wait_rmr), fmt("%llu", (unsigned long long)c.wait_steps)});
+      emit("bit-spin", fmt("blocked~%d", spins),
+           blocked_handoff<SigB>(kind, spins, wait_b));
     }
   }
   std::printf(

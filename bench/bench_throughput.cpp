@@ -9,11 +9,13 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 
 #include "baselines/mcs.hpp"
 #include "baselines/simple_locks.hpp"
+#include "bench_util.hpp"
 #include "core/arbitration_tree.hpp"
 #include "core/rme_lock.hpp"
 #include "harness/world.hpp"
@@ -39,7 +41,7 @@ struct Fix {
 
 template <class Lock, class Make>
 void run_lock_bench(benchmark::State& state, std::atomic<Fix<Lock>*>& fix,
-                    Make make) {
+                    const char* bench_name, Make make) {
   {
     static std::mutex setup_mu;
     std::lock_guard<std::mutex> g(setup_mu);
@@ -56,22 +58,40 @@ void run_lock_bench(benchmark::State& state, std::atomic<Fix<Lock>*>& fix,
   auto& h = f->world.proc(my_pid);
 
   uint64_t local = 0;
+  const auto t0 = std::chrono::steady_clock::now();
   for (auto _ : state) {
     f->lock->lock(h, my_pid);
     ++f->shared_counter;  // the critical section
     f->lock->unlock(h, my_pid);
     ++local;
   }
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
   state.SetItemsProcessed(static_cast<int64_t>(local));
   if (state.thread_index() == 0) {
     state.counters["cs_total"] = static_cast<double>(f->shared_counter);
+    // Thread-0's rate scaled by the (symmetric) thread count: the
+    // machine-readable trajectory line alongside gbench's own report.
+    // Google-benchmark re-invokes this function with tiny iteration
+    // counts while calibrating; only the final measured pass runs close
+    // to --benchmark_min_time, so gate on elapsed time to emit exactly
+    // the real measurement (scrapers should still take the last line
+    // per configuration).
+    if (dt.count() >= 0.1) {
+      rme::bench::json_line(
+          "throughput",
+          {{"lock", bench_name},
+           {"threads", rme::bench::fmt("%d", state.threads())}},
+          {{"ops_per_sec_est",
+            static_cast<double>(local) / dt.count() * state.threads()}});
+    }
   }
 }
 
 #define LOCK_BENCH(NAME, LOCKTYPE, MAKE)                              \
   void NAME(benchmark::State& state) {                               \
     static std::atomic<Fix<LOCKTYPE>*> fix{nullptr};                 \
-    run_lock_bench<LOCKTYPE>(state, fix, MAKE);                      \
+    run_lock_bench<LOCKTYPE>(state, fix, #NAME, MAKE);               \
   }                                                                  \
   BENCHMARK(NAME)->ThreadRange(1, kMaxThreads)->UseRealTime();
 
@@ -106,12 +126,24 @@ void BM_StdMutex(benchmark::State& state) {
   static std::mutex mu;
   static uint64_t counter = 0;
   uint64_t local = 0;
+  const auto t0 = std::chrono::steady_clock::now();
   for (auto _ : state) {
     std::lock_guard<std::mutex> g(mu);
     ++counter;
     ++local;
   }
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
   state.SetItemsProcessed(static_cast<int64_t>(local));
+  // Same calibration gate as run_lock_bench.
+  if (state.thread_index() == 0 && dt.count() >= 0.1) {
+    rme::bench::json_line(
+        "throughput",
+        {{"lock", "BM_StdMutex"},
+         {"threads", rme::bench::fmt("%d", state.threads())}},
+        {{"ops_per_sec_est",
+          static_cast<double>(local) / dt.count() * state.threads()}});
+  }
 }
 BENCHMARK(BM_StdMutex)->ThreadRange(1, kMaxThreads)->UseRealTime();
 

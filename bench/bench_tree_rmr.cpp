@@ -82,6 +82,12 @@ int main() {
         t.row({m, fmt("%d", n), fmt("%d", degree), fmt("%d", height),
                fmt("%.1f", tree), fmt("%.1f", tourn),
                fmt("%.2f", tree / norm), fmt("%.2f", tourn / logn)});
+        json_line("tree_rmr",
+                  {{"model", m}, {"mode", "solo"}, {"n", fmt("%d", n)}},
+                  {{"degree", static_cast<double>(degree)},
+                   {"height", static_cast<double>(height)},
+                   {"tree_rmr_per_passage", tree},
+                   {"tournament_rmr_per_passage", tourn}});
       }
     }
   }
@@ -105,6 +111,10 @@ int main() {
         t.row({m, fmt("%d", n), fmt("%.1f", tree.rmr_per_passage),
                fmt("%.1f", tourn.rmr_per_passage),
                fmt("%.2f", tourn.rmr_per_passage / tree.rmr_per_passage)});
+        json_line("tree_rmr",
+                  {{"model", m}, {"mode", "contended"}, {"n", fmt("%d", n)}},
+                  {{"tree_rmr_per_passage", tree.rmr_per_passage},
+                   {"tournament_rmr_per_passage", tourn.rmr_per_passage}});
       }
     }
   }

@@ -1,14 +1,22 @@
 // Shared helpers for the experiment binaries (E1-E10, see DESIGN.md /
-// EXPERIMENTS.md). Each bench prints a self-describing table; run
-// `build/bench/<name>` directly, no arguments needed.
+// EXPERIMENTS.md). Each bench prints a self-describing table for humans
+// AND one machine-readable JSON line per measurement (prefixed
+// "BENCH_JSON ") so the perf trajectory can be scraped:
+//
+//   BENCH_JSON {"bench":"passage_rmr","model":"CC","k":8,"rmr_per_passage":7.00}
+//
+// Run `build/bench/<name>` directly, no arguments needed.
 #pragma once
 
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "harness/scenario.hpp"
 #include "harness/sim_run.hpp"
 #include "harness/world.hpp"
 
@@ -46,8 +54,69 @@ inline std::string fmt(const char* f, ...) {
   return buf;
 }
 
-// Run `iters` lock/unlock passages per port on a fresh sim world and
-// return mean RMRs per passage (plus optional per-port breakdown).
+// ---------------------------------------------------------------------------
+// Machine-readable output. One call per measurement:
+//
+//   json_line("passage_rmr",
+//             {{"model", "CC"}, {"k", "8"}},          // params (strings)
+//             {{"rmr_per_passage", 7.0}});            // metrics (numbers)
+// ---------------------------------------------------------------------------
+using JsonParams = std::vector<std::pair<std::string, std::string>>;
+using JsonMetrics = std::vector<std::pair<std::string, double>>;
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// True when the string is a plain number, so params like {"k","8"} emit
+// unquoted and stay numbers for downstream tooling.
+inline bool json_is_number(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+inline void json_line(const std::string& bench, const JsonParams& params,
+                      const JsonMetrics& metrics) {
+  std::string out = "BENCH_JSON {\"bench\":\"" + json_escape(bench) + "\"";
+  for (const auto& [k, v] : params) {
+    out += ",\"" + json_escape(k) + "\":";
+    if (json_is_number(v)) {
+      out += v;
+    } else {
+      out += "\"" + json_escape(v) + "\"";
+    }
+  }
+  for (const auto& [k, v] : metrics) {
+    out += ",\"" + json_escape(k) + "\":" + fmt("%.6g", v);
+  }
+  out += "}";
+  std::printf("%s\n", out.c_str());
+}
+
+// Non-owning crash-plan adapter: Scenario owns its plan, benches often
+// stack-allocate theirs.
+class BorrowedCrashPlan final : public sim::CrashPlan {
+ public:
+  explicit BorrowedCrashPlan(sim::CrashPlan* inner) : inner_(inner) {}
+  bool should_crash(int pid, uint64_t step, rmr::Op op) override {
+    return inner_->should_crash(pid, step, op);
+  }
+
+ private:
+  sim::CrashPlan* inner_;
+};
+
+// Run `iters` lock/unlock passages per port on a fresh scenario world and
+// return mean RMRs per passage. The lock factory receives the Scenario
+// (its world().env builds the lock), matching the Scenario harness the
+// tests use.
 struct PassageCost {
   double rmr_per_passage = 0;
   double steps_per_passage = 0;
@@ -60,22 +129,25 @@ PassageCost measure_passages(harness::ModelKind kind, int n, uint64_t iters,
                              uint64_t seed, MakeLock make,
                              sim::CrashPlan* crash = nullptr,
                              uint64_t max_steps = 80000000) {
-  harness::SimRun sim(kind, n);
-  auto lk = make(sim);
-  sim.set_body([&](harness::SimProc& h, int pid) {
+  harness::Scenario<platform::Counted> s(kind, n);
+  auto lk = make(s);
+  s.set_body([&](harness::SimProc& h, int pid) {
     lk->lock(h, pid);
     lk->unlock(h, pid);
   });
-  sim::SeededRandom pol(seed);
-  sim::NoCrash nc;
-  std::vector<uint64_t> per(static_cast<size_t>(n), iters);
-  auto res = sim.run(pol, crash != nullptr ? *crash : nc, per, max_steps);
+  s.use_random_schedule(seed);
+  if (crash != nullptr) {
+    s.set_crash_plan(std::make_unique<BorrowedCrashPlan>(crash));
+  }
+  s.set_iterations(iters);
+  s.set_max_steps(max_steps);
+  auto res = s.run();
   PassageCost out;
-  out.ok = !res.exhausted;
+  out.ok = res.ok();
   uint64_t rmrs = 0, steps = 0;
   for (int p = 0; p < n; ++p) {
-    rmrs += sim.world().counters(p).rmrs;
-    steps += sim.world().counters(p).steps;
+    rmrs += s.world().counters(p).rmrs;
+    steps += s.world().counters(p).steps;
     out.passages += res.completions[static_cast<size_t>(p)];
   }
   if (out.passages > 0) {

@@ -40,8 +40,9 @@ class McsLock {
     if (pred != nullptr) {
       pred->next.store(ctx, me, std::memory_order_release);
       // Local spin: `locked` lives in port p's partition / cache line.
+      platform::Backoff bo;
       while (me->locked.load(ctx, std::memory_order_acquire) != 0) {
-        P::pause();
+        bo.spin();
       }
     }
   }
@@ -56,9 +57,10 @@ class McsLock {
         return;  // no successor
       }
       // Successor mid-enqueue: wait for its next-pointer write.
+      platform::Backoff bo;
       while ((next = me->next.load(ctx, std::memory_order_acquire)) ==
              nullptr) {
-        P::pause();
+        bo.spin();
       }
     }
     next->locked.store(ctx, 0, std::memory_order_release);

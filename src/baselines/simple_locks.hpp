@@ -33,8 +33,9 @@ class TasLock {
     word_.init(0);
   }
   void lock(Proc& h, int /*p*/) {
+    platform::Backoff bo;
     while (word_.exchange(h.ctx, 1, std::memory_order_acquire) != 0) {
-      P::pause();
+      bo.spin();
     }
   }
   void unlock(Proc& h, int /*p*/) {
@@ -57,8 +58,9 @@ class TtasLock {
     word_.init(0);
   }
   void lock(Proc& h, int /*p*/) {
+    platform::Backoff bo;
     for (;;) {
-      while (word_.load(h.ctx, std::memory_order_relaxed) != 0) P::pause();
+      while (word_.load(h.ctx, std::memory_order_relaxed) != 0) bo.spin();
       if (word_.exchange(h.ctx, 1, std::memory_order_acquire) == 0) return;
     }
   }
@@ -85,8 +87,9 @@ class TicketLock {
   }
   void lock(Proc& h, int /*p*/) {
     const uint64_t my = next_.fetch_add(h.ctx, 1);
+    platform::Backoff bo;
     while (serving_.load(h.ctx, std::memory_order_acquire) != my) {
-      P::pause();
+      bo.spin();
     }
   }
   void unlock(Proc& h, int /*p*/) {
@@ -132,8 +135,9 @@ class ClhLock {
     s.pred = pred;
     // Spin on the predecessor's cell: CC-local after first read, but a
     // remote cell on DSM - the structural flaw the paper's Signal fixes.
+    platform::Backoff bo;
     while (pred->flag.load(ctx, std::memory_order_acquire) != 0) {
-      P::pause();
+      bo.spin();
     }
   }
 

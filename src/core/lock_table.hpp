@@ -1,0 +1,171 @@
+// RecoverableLockTable: many independent recoverable locks behind one
+// key-addressed API - the first many-lock workload shape on the road from
+// the paper's single k-ported lock to a production service.
+//
+// Structure: N shards, each a full RmeLock plus its own PortLease pool.
+// Keys map to shards by striped hashing (splitmix64), so a KV-style
+// workload spreads across shards and the per-shard port pools stay small:
+// with `ports_per_shard < npids` the memory is O(shards * ports), not
+// O(shards * clients), and lock() blocks in the lease sweep while a
+// shard's pool is exhausted.
+//
+// Crash recovery composes from the layers below:
+//   * shard_of[pid] (persisted, pid's DSM partition) records which shard
+//     the pid's in-flight super-passage targets, written BEFORE the port
+//     is leased (an intent record).
+//   * the shard's PortLease re-binds a recovering pid to the port of its
+//     interrupted passage; the shard's RmeLock Try section is the paper's
+//     recovery code, including wait-free CS re-entry after a crash in the
+//     critical section.
+//
+// Recovery protocol: call lock(pid, key) again with the SAME key the
+// interrupted operation targeted (idempotent redo logs make this natural;
+// see examples/recoverable_kv_log.cpp). If the new key maps elsewhere,
+// lock() first finishes the stale super-passage - re-entering and exiting
+// the old shard's critical section - via recover(); pass a visitor to
+// recover() when application state must be repaired inside that CS.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/port_lease.hpp"
+#include "core/rme_lock.hpp"
+#include "platform/platform.hpp"
+#include "platform/process.hpp"
+#include "util/assert.hpp"
+
+namespace rme::core {
+
+template <class P, class LockT = RmeLock<P>>
+class RecoverableLockTable {
+ public:
+  using Ctx = typename P::Context;
+  using Env = typename P::Env;
+  using Proc = platform::Process<P>;
+
+  static constexpr int kNoShard = -1;
+
+  struct Options {
+    typename LockT::Options lock{};
+  };
+
+  RecoverableLockTable(Env& env, int shards, int ports_per_shard, int npids,
+                       Options opt = {})
+      : npids_(npids), shard_of_(static_cast<size_t>(npids)) {
+    RME_ASSERT(shards >= 1, "LockTable: need >= 1 shard");
+    shards_.reserve(static_cast<size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      shards_.push_back(
+          std::make_unique<Shard>(env, ports_per_shard, npids, opt));
+    }
+    for (int pid = 0; pid < npids; ++pid) {
+      shard_of_[static_cast<size_t>(pid)].attach(env, pid);  // local on DSM
+      shard_of_[static_cast<size_t>(pid)].init(kNoShard);
+    }
+  }
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  int shard_for_key(uint64_t key) const {
+    return static_cast<int>(mix(key) % static_cast<uint64_t>(shards_.size()));
+  }
+
+  // Acquire the lock guarding `key`. Returns the shard index (stable for
+  // the key) so callers can address per-shard state.
+  int lock(Proc& h, int pid, uint64_t key) {
+    check_pid(pid);
+    const int target = shard_for_key(key);
+    const int stale = shard_of_[static_cast<size_t>(pid)].load(h.ctx);
+    if (stale != kNoShard && stale != target) {
+      // A previous super-passage (interrupted by a crash, then retried
+      // under a different key) still owns a port elsewhere: finish it.
+      recover(h, pid);
+    }
+    // Intent first: a crash after this store but before the lease is
+    // claimed leaves a harmless record that recover() clears.
+    shard_of_[static_cast<size_t>(pid)].store(h.ctx, target);
+    Shard& sh = *shards_[static_cast<size_t>(target)];
+    const int port = sh.lease.acquire(h.ctx, pid);
+    sh.lock.lock(h, port);
+    return target;
+  }
+
+  void unlock(Proc& h, int pid) {
+    check_pid(pid);
+    const int s = shard_of_[static_cast<size_t>(pid)].load(h.ctx);
+    RME_ASSERT(s != kNoShard, "LockTable: unlock without a shard");
+    Shard& sh = *shards_[static_cast<size_t>(s)];
+    const int port = sh.lease.held(h.ctx, pid);
+    RME_ASSERT(port != kNoLease, "LockTable: unlock without a lease");
+    sh.lock.unlock(h, port);
+    sh.lease.release(h.ctx, pid);
+    // Cleared last: a crash before this store is caught by the
+    // lease-not-held check in recover().
+    shard_of_[static_cast<size_t>(pid)].store(h.ctx, kNoShard);
+  }
+
+  // Finish any super-passage this pid left behind (crash recovery when the
+  // retried operation targets a different shard, or explicit repair on
+  // process restart). The visitor, if any, runs inside the re-entered
+  // critical section so the application can redo/undo its own state.
+  using RecoveryVisitor = std::function<void(Proc&, int shard)>;
+  void recover(Proc& h, int pid, const RecoveryVisitor& visit = nullptr) {
+    check_pid(pid);
+    const int s = shard_of_[static_cast<size_t>(pid)].load(h.ctx);
+    if (s == kNoShard) return;
+    Shard& sh = *shards_[static_cast<size_t>(s)];
+    if (sh.lease.held(h.ctx, pid) != kNoLease) {
+      const int port = sh.lease.acquire(h.ctx, pid);  // re-bind, no claim
+      sh.lock.lock(h, port);  // Try section = recovery; may re-enter CS
+      if (visit) visit(h, s);
+      sh.lock.unlock(h, port);
+      sh.lease.release(h.ctx, pid);
+    }
+    shard_of_[static_cast<size_t>(pid)].store(h.ctx, kNoShard);
+  }
+
+  // Which shard pid's in-flight passage targets (kNoShard when idle).
+  int current_shard(Ctx& ctx, int pid) const {
+    check_pid(pid);
+    return shard_of_[static_cast<size_t>(pid)].load(ctx);
+  }
+
+  LockT& shard_lock(int s) { return shards_[static_cast<size_t>(s)]->lock; }
+  PortLease<P>& shard_lease(int s) {
+    return shards_[static_cast<size_t>(s)]->lease;
+  }
+
+  // Aggregate acquisition count across shards (tests/benches).
+  uint64_t total_acquisitions() {
+    uint64_t n = 0;
+    for (auto& sh : shards_) n += sh->lock.total_stats().acquisitions;
+    return n;
+  }
+
+ private:
+  struct Shard {
+    LockT lock;
+    PortLease<P> lease;
+    Shard(Env& env, int ports, int npids, const Options& opt)
+        : lock(env, ports, opt.lock), lease(env, ports, npids) {}
+  };
+
+  void check_pid(int pid) const {
+    RME_ASSERT(pid >= 0 && pid < npids_, "LockTable: bad pid");
+  }
+
+  static uint64_t mix(uint64_t x) {  // splitmix64 finaliser
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  int npids_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<typename P::template Atomic<int>> shard_of_;
+};
+
+}  // namespace rme::core

@@ -1,0 +1,261 @@
+// PortLease: a crash-recoverable dynamic port manager.
+//
+// The paper's port model (Section 3) is static: a process picks a port in
+// its Remainder section and no two processes may use one port
+// concurrently. This component makes the pick dynamic while preserving
+// that contract across crashes, using only the primitives the paper's
+// lock itself uses (reads, writes, FAS) - no CAS.
+//
+// Layout (all cells in NVM, i.e. crash-surviving platform atomics):
+//
+//   slots[k]   the free pool. Slot values are port numbers or kEmptySlot.
+//              Initially slot i holds port i. Ports move in and out of
+//              slots exclusively by FAS (exchange), so port numbers behave
+//              like conserved tokens: an exchange that returns a port has
+//              removed it from the pool atomically, and an exchange that
+//              deposits a port has published it atomically. Two processes
+//              can therefore never obtain the same port - the uniqueness
+//              argument needs no locks and no CAS.
+//
+//   lease[pid] the per-process persisted lease word (DSM: in pid's own
+//              partition, so the recovery probe is a local read). Holds
+//              the port held by pid, or kNoLease.
+//
+// acquire(pid):  1. if lease[pid] != kNoLease, return it - this is the
+//                   whole recovery protocol: a process that crashed
+//                   anywhere in its super-passage re-finds exactly the
+//                   port it held, then re-runs the lock's Try section,
+//                   which is the paper's recovery code.
+//                2. otherwise sweep the slots from a pid-dependent start
+//                   (reads first; FAS only on a slot that was seen
+//                   non-empty), write the claimed port to lease[pid], and
+//                   return it. Blocks (sweeping) while all ports are out.
+//
+// release(pid): clear lease[pid] FIRST, then deposit the port back into
+//              an empty slot. A deposit that races with another depositor
+//              may swap out the other port; the displaced port is simply
+//              carried on and deposited in the next empty slot (token
+//              conservation again).
+//
+// Crash windows (deliberate, in the spirit of the paper's own crashed-FAS
+// analysis): a crash between a slot FAS and the adjacent lease write can
+// LEAK a port - the port is then in no slot and no lease - but can never
+// duplicate one. Mutual exclusion is therefore never at risk; only
+// capacity decays, and scavenge() rebuilds the pool from the lease words
+// when the caller can guarantee quiescence (no acquire/release in
+// flight), e.g. after joining threads or between workload phases.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rme_lock.hpp"
+#include "platform/platform.hpp"
+#include "platform/process.hpp"
+#include "util/assert.hpp"
+
+namespace rme::core {
+
+inline constexpr int kNoLease = -1;
+
+template <class P>
+class PortLease {
+ public:
+  using Ctx = typename P::Context;
+  using Env = typename P::Env;
+
+  static constexpr int kEmptySlot = -1;
+
+  PortLease(Env& env, int ports, int npids)
+      : ports_(ports),
+        npids_(npids),
+        slots_(static_cast<size_t>(ports)),
+        lease_(static_cast<size_t>(npids)) {
+    RME_ASSERT(ports >= 1, "PortLease: need >= 1 port");
+    RME_ASSERT(npids >= 1, "PortLease: need >= 1 pid");
+    for (int s = 0; s < ports; ++s) {
+      slots_[static_cast<size_t>(s)].attach(env, rmr::kNoOwner);
+      slots_[static_cast<size_t>(s)].init(s);  // pool starts full
+    }
+    for (int pid = 0; pid < npids; ++pid) {
+      lease_[static_cast<size_t>(pid)].attach(env, pid);  // local on DSM
+      lease_[static_cast<size_t>(pid)].init(kNoLease);
+    }
+  }
+
+  // Returns the pid's port, re-finding a persisted lease after a crash or
+  // claiming a free port otherwise. Blocks while every port is leased.
+  int acquire(Ctx& ctx, int pid) {
+    check_pid(pid);
+    const int held = lease_[static_cast<size_t>(pid)].load(ctx);
+    if (held != kNoLease) {
+      return held;  // crash recovery: same port, same lock state
+    }
+    platform::Backoff bo;
+    for (;;) {
+      const int port = try_claim(ctx, pid);
+      if (port != kNoLease) return port;
+      bo.spin();  // pool empty: sweep again (slot loads keep the
+                  // deterministic scheduler cycling)
+    }
+  }
+
+  // One sweep over the slots; kNoLease if every slot was empty.
+  int try_claim(Ctx& ctx, int pid) {
+    check_pid(pid);
+    const int start = static_cast<int>(mix(static_cast<uint64_t>(pid)) %
+                                       static_cast<uint64_t>(ports_));
+    for (int i = 0; i < ports_; ++i) {
+      auto& slot = slots_[static_cast<size_t>((start + i) % ports_)];
+      if (slot.load(ctx) == kEmptySlot) continue;  // cheap probe first
+      const int got = slot.exchange(ctx, kEmptySlot);
+      if (got == kEmptySlot) continue;  // lost the race
+      // Port in hand. Persist the lease; a crash before this store leaks
+      // the port (see header comment) but cannot duplicate it.
+      lease_[static_cast<size_t>(pid)].store(ctx, got);
+      return got;
+    }
+    return kNoLease;
+  }
+
+  // The port currently leased by pid, or kNoLease. Local on DSM.
+  int held(Ctx& ctx, int pid) const {
+    check_pid(pid);
+    return lease_[static_cast<size_t>(pid)].load(ctx);
+  }
+
+  // Idempotent: releasing without a lease is a no-op (so recovery code can
+  // call it unconditionally).
+  void release(Ctx& ctx, int pid) {
+    check_pid(pid);
+    const int port = lease_[static_cast<size_t>(pid)].load(ctx);
+    if (port == kNoLease) return;
+    // Clear the lease BEFORE the deposit: a crash in between leaks the
+    // port, but the reverse order could let this pid recover a port
+    // another process has meanwhile claimed from the pool.
+    lease_[static_cast<size_t>(pid)].store(ctx, kNoLease);
+    deposit(ctx, port);
+  }
+
+  // Rebuild the pool from ground truth. QUIESCENT CALLERS ONLY: no
+  // acquire/release may be in flight anywhere (ports held in a live
+  // process's registers would be misread as leaked and duplicated).
+  // Returns the number of leaked ports recovered.
+  int scavenge(Ctx& ctx) {
+    std::vector<bool> seen(static_cast<size_t>(ports_), false);
+    for (int s = 0; s < ports_; ++s) {
+      const int v = slots_[static_cast<size_t>(s)].load(ctx);
+      if (v != kEmptySlot) seen[static_cast<size_t>(v)] = true;
+    }
+    for (int pid = 0; pid < npids_; ++pid) {
+      const int v = lease_[static_cast<size_t>(pid)].load(ctx);
+      if (v != kNoLease) seen[static_cast<size_t>(v)] = true;
+    }
+    int recovered = 0;
+    for (int port = 0; port < ports_; ++port) {
+      if (!seen[static_cast<size_t>(port)]) {
+        deposit(ctx, port);
+        ++recovered;
+      }
+    }
+    return recovered;
+  }
+
+  int ports() const { return ports_; }
+  int npids() const { return npids_; }
+
+  // Number of ports currently in the pool (racy snapshot; exact under
+  // quiescence). Tests use it to assert leak accounting.
+  int free_ports(Ctx& ctx) const {
+    int n = 0;
+    for (int s = 0; s < ports_; ++s) {
+      if (slots_[static_cast<size_t>(s)].load(ctx) != kEmptySlot) ++n;
+    }
+    return n;
+  }
+
+ private:
+  void deposit(Ctx& ctx, int port) {
+    // Swap the port into the first slot observed empty. If the FAS
+    // displaces a concurrently-deposited port, carry the displaced port
+    // forward - conservation keeps this loop terminating: there are at
+    // most `ports_` tokens for `ports_` slots.
+    platform::Backoff bo;
+    for (;;) {
+      for (int i = 0; i < ports_; ++i) {
+        auto& slot = slots_[static_cast<size_t>(i)];
+        if (slot.load(ctx) != kEmptySlot) continue;
+        const int displaced = slot.exchange(ctx, port);
+        if (displaced == kEmptySlot) return;
+        port = displaced;
+      }
+      bo.spin();
+    }
+  }
+
+  void check_pid(int pid) const {
+    RME_ASSERT(pid >= 0 && pid < npids_, "PortLease: bad pid");
+  }
+
+  static uint64_t mix(uint64_t x) {  // splitmix64 finaliser
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  int ports_;
+  int npids_;
+  std::vector<typename P::template Atomic<int>> slots_;
+  std::vector<typename P::template Atomic<int>> lease_;
+};
+
+// ---------------------------------------------------------------------------
+// RecoverableMutexFacade: RmeLock with transparent port leasing.
+//
+// Callers present only their pid; the facade leases a port on lock() and
+// returns it on unlock(). With ports < npids the lock structure stays
+// small and acquire() blocks while all ports are out - the production
+// shape where a k-ported lock serves many clients.
+//
+// Recovery contract is unchanged: after a crash anywhere, call lock(pid)
+// again. The persisted lease re-binds the process to the port of its
+// interrupted super-passage and the lock's Try section does the rest
+// (wait-free CS re-entry included).
+// ---------------------------------------------------------------------------
+template <class P, class LockT = RmeLock<P>>
+class RecoverableMutexFacade {
+ public:
+  using Ctx = typename P::Context;
+  using Env = typename P::Env;
+  using Proc = platform::Process<P>;
+
+  struct Options {
+    typename LockT::Options lock{};
+  };
+
+  RecoverableMutexFacade(Env& env, int ports, int npids, Options opt = {})
+      : lock_(env, ports, opt.lock), lease_(env, ports, npids) {}
+
+  void lock(Proc& h, int pid) {
+    const int port = lease_.acquire(h.ctx, pid);
+    lock_.lock(h, port);
+  }
+
+  void unlock(Proc& h, int pid) {
+    const int port = lease_.held(h.ctx, pid);
+    RME_ASSERT(port != kNoLease, "facade unlock without a lease");
+    lock_.unlock(h, port);
+    lease_.release(h.ctx, pid);
+  }
+
+  LockT& raw_lock() { return lock_; }
+  PortLease<P>& lease() { return lease_; }
+  int ports() const { return lease_.ports(); }
+
+ private:
+  LockT lock_;
+  PortLease<P> lease_;
+};
+
+}  // namespace rme::core

@@ -1,0 +1,262 @@
+// Audits: pluggable run-time property checkers for the Scenario harness.
+//
+// An audit observes a run through hooks invoked by the workload body
+// (enter/exit of a critical section, crash inside the CS, completed body)
+// and renders a verdict afterwards. Scenarios hold an ordered AuditSet and
+// fan every hook out to each audit, so one run can be checked for mutual
+// exclusion, critical-section re-entry (CSR) and RMR bounds at once.
+//
+// Multi-lock workloads (the sharded lock table) pass the lock index as
+// `slot`; single-lock workloads use the default slot 0. All audit state is
+// guarded by a per-audit mutex: in the deterministic simulator the lock is
+// uncontended, and on real threads the hooks are called concurrently.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "harness/world.hpp"
+#include "platform/platform.hpp"
+#include "util/assert.hpp"
+
+namespace rme::harness {
+
+class Audit {
+ public:
+  virtual ~Audit() = default;
+  virtual const char* name() const = 0;
+
+  // Hooks (defaults: ignore). `slot` identifies the lock for sharded runs.
+  virtual void on_enter(int /*pid*/, int /*slot*/ = 0) {}
+  virtual void on_exit(int /*pid*/, int /*slot*/ = 0) {}
+  virtual void on_crash_in_cs(int /*pid*/, int /*slot*/ = 0) {}
+  virtual void on_body_complete(int /*pid*/) {}
+
+  // Verdict after the run. Append human-readable findings to `failures`
+  // and return false on violation.
+  virtual bool check(std::vector<std::string>& failures) const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ExclusionAudit: mutual exclusion + CSR, per slot.
+//
+//   * ME: at most one process between on_enter/on_exit of a slot, and only
+//     the owner may exit.
+//   * CSR: after a crash inside the CS of a slot, no other process may
+//     enter that slot until the crashed process has re-entered.
+//
+// This is the historical ExclusionChecker, generalised to multiple slots;
+// the old name survives as an alias and the old single-slot calls hit the
+// defaulted-slot overloads unchanged.
+// ---------------------------------------------------------------------------
+class ExclusionAudit final : public Audit {
+ public:
+  explicit ExclusionAudit(int slots = 1)
+      : slots_(static_cast<size_t>(slots)) {}
+
+  const char* name() const override { return "exclusion"; }
+
+  void on_enter(int pid, int slot = 0) override {
+    std::lock_guard<std::mutex> g(mu_);
+    Slot& s = at(slot);
+    if (s.in_cs) ++me_violations_;
+    s.in_cs = true;
+    s.owner = pid;
+    if (s.csr_pending) {
+      if (pid == s.csr_pid) {
+        s.csr_pending = false;  // crashed process re-entered first: OK
+      } else {
+        ++csr_violations_;
+      }
+    }
+    ++entries_;
+  }
+
+  void on_exit(int pid, int slot = 0) override {
+    std::lock_guard<std::mutex> g(mu_);
+    Slot& s = at(slot);
+    if (!s.in_cs || s.owner != pid) ++me_violations_;
+    s.in_cs = false;
+    s.owner = -1;
+  }
+
+  // The body crashed while logically inside the CS of `slot`.
+  void on_crash_in_cs(int pid, int slot = 0) override {
+    std::lock_guard<std::mutex> g(mu_);
+    Slot& s = at(slot);
+    s.in_cs = false;
+    s.owner = -1;
+    s.csr_pending = true;
+    s.csr_pid = pid;
+  }
+
+  bool check(std::vector<std::string>& failures) const override {
+    std::lock_guard<std::mutex> g(mu_);
+    if (me_violations_ != 0) {
+      failures.push_back("exclusion: " + std::to_string(me_violations_) +
+                         " mutual-exclusion violation(s)");
+    }
+    if (csr_violations_ != 0) {
+      failures.push_back("exclusion: " + std::to_string(csr_violations_) +
+                         " CSR violation(s)");
+    }
+    return me_violations_ == 0 && csr_violations_ == 0;
+  }
+
+  uint64_t me_violations() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return me_violations_;
+  }
+  uint64_t csr_violations() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return csr_violations_;
+  }
+  uint64_t entries() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return entries_;
+  }
+  bool in_cs(int slot = 0) const {
+    std::lock_guard<std::mutex> g(mu_);
+    return const_cast<ExclusionAudit*>(this)->at(slot).in_cs;
+  }
+  int owner(int slot = 0) const {
+    std::lock_guard<std::mutex> g(mu_);
+    return const_cast<ExclusionAudit*>(this)->at(slot).owner;
+  }
+
+ private:
+  struct Slot {
+    bool in_cs = false;
+    int owner = -1;
+    bool csr_pending = false;
+    int csr_pid = -1;
+  };
+
+  Slot& at(int slot) {
+    RME_ASSERT(slot >= 0 && static_cast<size_t>(slot) < slots_.size(),
+               "ExclusionAudit: slot out of range - size the audit to the "
+               "lock table (emplace<ExclusionAudit>(shards))");
+    return slots_[static_cast<size_t>(slot)];
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+  uint64_t me_violations_ = 0;
+  uint64_t csr_violations_ = 0;
+  uint64_t entries_ = 0;
+};
+
+// Historical name (pre-Scenario harness).
+using ExclusionChecker = ExclusionAudit;
+
+// ---------------------------------------------------------------------------
+// RmrBoundAudit: mean RMRs per completed body stay under a bound.
+//
+// Counted platforms only: reads the per-process counters of the bound
+// world. Completions are counted via on_body_complete, so the audit works
+// for any body shape (plain passages, KV updates, multi-shard traffic).
+// ---------------------------------------------------------------------------
+class RmrBoundAudit final : public Audit {
+ public:
+  RmrBoundAudit(CountedWorld& world, double max_rmr_per_body)
+      : world_(world), bound_(max_rmr_per_body) {}
+
+  const char* name() const override { return "rmr-bound"; }
+
+  void on_body_complete(int /*pid*/) override {
+    std::lock_guard<std::mutex> g(mu_);
+    ++completions_;
+  }
+
+  bool check(std::vector<std::string>& failures) const override {
+    uint64_t completions;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      completions = completions_;
+    }
+    if (completions == 0) {
+      failures.push_back("rmr-bound: no completed bodies to audit");
+      return false;
+    }
+    uint64_t rmrs = 0;
+    for (int pid = 0; pid < world_.nprocs(); ++pid) {
+      rmrs += world_.counters(pid).rmrs;
+    }
+    const double mean =
+        static_cast<double>(rmrs) / static_cast<double>(completions);
+    if (mean > bound_) {
+      failures.push_back("rmr-bound: " + std::to_string(mean) +
+                         " RMR/body exceeds bound " + std::to_string(bound_));
+      return false;
+    }
+    return true;
+  }
+
+  double mean_rmr_per_body() const {
+    uint64_t completions;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      completions = completions_;
+    }
+    if (completions == 0) return 0.0;
+    uint64_t rmrs = 0;
+    for (int pid = 0; pid < world_.nprocs(); ++pid) {
+      rmrs += world_.counters(pid).rmrs;
+    }
+    return static_cast<double>(rmrs) / static_cast<double>(completions);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  CountedWorld& world_;
+  double bound_;
+  uint64_t completions_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// AuditSet: ordered fan-out. Owned by the Scenario; bodies call the hook
+// fan-outs, the Scenario calls check_all() after the run.
+// ---------------------------------------------------------------------------
+class AuditSet {
+ public:
+  Audit* add(std::unique_ptr<Audit> a) {
+    audits_.push_back(std::move(a));
+    return audits_.back().get();
+  }
+  template <class A, class... Args>
+  A* emplace(Args&&... args) {
+    auto a = std::make_unique<A>(std::forward<Args>(args)...);
+    A* raw = a.get();
+    audits_.push_back(std::move(a));
+    return raw;
+  }
+
+  void on_enter(int pid, int slot = 0) {
+    for (auto& a : audits_) a->on_enter(pid, slot);
+  }
+  void on_exit(int pid, int slot = 0) {
+    for (auto& a : audits_) a->on_exit(pid, slot);
+  }
+  void on_crash_in_cs(int pid, int slot = 0) {
+    for (auto& a : audits_) a->on_crash_in_cs(pid, slot);
+  }
+  void on_body_complete(int pid) {
+    for (auto& a : audits_) a->on_body_complete(pid);
+  }
+
+  bool check_all(std::vector<std::string>& failures) const {
+    bool ok = true;
+    for (const auto& a : audits_) ok = a->check(failures) && ok;
+    return ok;
+  }
+
+  size_t size() const { return audits_.size(); }
+  Audit& at(size_t i) { return *audits_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Audit>> audits_;
+};
+
+}  // namespace rme::harness

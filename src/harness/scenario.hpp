@@ -1,0 +1,448 @@
+// Scenario: the harness layer every test, bench and example builds on.
+//
+// A Scenario owns a World<P>, an ordered list of Components and an
+// AuditSet. Components are set_up() in order before the run and
+// tear_down() in reverse order after it (the CTS pattern); audits observe
+// the run through hooks and render verdicts afterwards. The same Scenario
+// API drives both platforms:
+//
+//   Scenario<platform::Counted>  - deterministic simulation via SimRun:
+//       schedule policy, crash plan and step budget are scenario knobs.
+//   Scenario<platform::Real>     - one OS thread per pid, no crash
+//       injection: the wall-clock / memory-ordering configuration.
+//
+// Canonical use:
+//
+//   Scenario<platform::Counted> s(ModelKind::kCc, 8);
+//   auto* fix = s.add_component<LockFixture<platform::Counted, Lock>>(
+//       [](auto& w) { return std::make_unique<Lock>(w.env, 8); });
+//   auto* chk = s.audits().emplace<ExclusionAudit>();
+//   s.add_component<FasCrashComponent<platform::Counted>>(
+//       std::vector<FasCrashSpec>{{0, 1, sim::CrashAroundFas::kAfter}});
+//   s.set_iterations(3);
+//   auto res = s.run();
+//   ASSERT_TRUE(res.ok()) << res.summary();
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "harness/audit.hpp"
+#include "harness/sim_run.hpp"
+#include "harness/world.hpp"
+#include "platform/platform.hpp"
+#include "platform/process.hpp"
+#include "sim/crash_plan.hpp"
+#include "sim/scheduler.hpp"
+#include "util/assert.hpp"
+
+namespace rme::harness {
+
+template <class P>
+class Scenario;
+
+// One ordered setup/teardown unit of a Scenario (a lock under test, a
+// crash choreography, a store, a schedule script, ...).
+template <class P>
+class Component {
+ public:
+  virtual ~Component() = default;
+  virtual const char* name() const = 0;
+  // Return false to abort the scenario (already-set-up components are
+  // torn down in reverse order).
+  virtual bool set_up(Scenario<P>& s) = 0;
+  virtual void tear_down(Scenario<P>& /*s*/) {}
+};
+
+template <class P>
+class Scenario {
+ public:
+  using Proc = platform::Process<P>;
+  using Body = std::function<void(Proc&, int pid)>;
+
+  struct Result {
+    std::vector<uint64_t> completions;  // per pid
+    std::vector<uint64_t> crashes;      // per pid
+    uint64_t steps = 0;
+    bool exhausted = false;   // counted: hit max_steps with work remaining
+    bool set_up_ok = true;    // every component set up successfully
+    bool audits_ok = true;    // every audit passed
+    std::vector<std::string> failures;
+
+    bool ok() const { return set_up_ok && !exhausted && audits_ok; }
+    std::string summary() const {
+      if (!set_up_ok) return "component set-up failed";
+      std::string s = exhausted ? "run exhausted (step budget); " : "";
+      for (const auto& f : failures) s += f + "; ";
+      return s.empty() ? "ok" : s;
+    }
+  };
+
+  // Counted: deterministic simulation under an RMR model.
+  Scenario(ModelKind kind, int nprocs, size_t ring_slots = 256)
+    requires(P::kCounted)
+      : engine_(kind, nprocs, ring_slots), nprocs_(nprocs) {}
+
+  // Real: hardware threads.
+  explicit Scenario(int nprocs, size_t ring_slots = 128)
+    requires(!P::kCounted)
+      : engine_(nprocs, ring_slots), nprocs_(nprocs) {}
+
+  // --- wiring ---
+  World<P>& world() {
+    if constexpr (P::kCounted) {
+      return engine_.world();
+    } else {
+      return engine_;
+    }
+  }
+  SimRun& sim()
+    requires(P::kCounted)
+  {
+    return engine_;
+  }
+  int nprocs() const { return nprocs_; }
+  AuditSet& audits() { return audits_; }
+
+  Component<P>* add_component(std::unique_ptr<Component<P>> c) {
+    components_.push_back(std::move(c));
+    return components_.back().get();
+  }
+  template <class C, class... Args>
+  C* add_component(Args&&... args) {
+    auto c = std::make_unique<C>(std::forward<Args>(args)...);
+    C* raw = c.get();
+    components_.push_back(std::move(c));
+    return raw;
+  }
+
+  // --- run knobs (components may set these from set_up) ---
+  void set_body(Body body) { body_ = std::move(body); }
+  void set_iterations(std::vector<uint64_t> per_pid) {
+    iterations_ = std::move(per_pid);
+  }
+  void set_iterations(uint64_t each) {
+    iterations_.assign(static_cast<size_t>(nprocs_), each);
+  }
+  void set_max_steps(uint64_t steps)
+    requires(P::kCounted)
+  {
+    max_steps_ = steps;
+  }
+  void set_policy(std::unique_ptr<sim::SchedulePolicy> p)
+    requires(P::kCounted)
+  {
+    policy_ = std::move(p);
+  }
+  void use_random_schedule(uint64_t seed)
+    requires(P::kCounted)
+  {
+    policy_ = std::make_unique<sim::SeededRandom>(seed);
+  }
+  void use_round_robin_schedule()
+    requires(P::kCounted)
+  {
+    policy_ = std::make_unique<sim::RoundRobin>();
+  }
+  void set_crash_plan(std::unique_ptr<sim::CrashPlan> c)
+    requires(P::kCounted)
+  {
+    crash_ = std::move(c);
+  }
+  sim::CrashPlan* crash_plan()
+    requires(P::kCounted)
+  {
+    return crash_.get();
+  }
+
+  // --- execution ---
+  Result run() {
+    Result res;
+    res.completions.assign(static_cast<size_t>(nprocs_), 0);
+    res.crashes.assign(static_cast<size_t>(nprocs_), 0);
+
+    size_t ready = 0;
+    for (; ready < components_.size(); ++ready) {
+      if (!components_[ready]->set_up(*this)) break;
+    }
+    if (ready < components_.size()) {
+      res.set_up_ok = false;
+      res.failures.push_back(std::string("set_up failed: ") +
+                             components_[ready]->name());
+      tear_down_from(ready);
+      return res;
+    }
+    RME_ASSERT(static_cast<bool>(body_), "Scenario: no body set");
+    if (iterations_.empty()) set_iterations(1);
+
+    if constexpr (P::kCounted) {
+      run_sim(res);
+    } else {
+      run_threads(res);
+    }
+
+    tear_down_from(components_.size());
+    res.audits_ok = audits_.check_all(res.failures);
+    return res;
+  }
+
+ private:
+  void tear_down_from(size_t count) {
+    for (size_t i = count; i-- > 0;) {
+      components_[i]->tear_down(*this);
+    }
+  }
+
+  void run_sim(Result& res)
+    requires(P::kCounted)
+  {
+    if (policy_ == nullptr) policy_ = std::make_unique<sim::SeededRandom>(1);
+    if (crash_ == nullptr) crash_ = std::make_unique<sim::NoCrash>();
+    AuditSet& audits = audits_;
+    Body body = body_;  // keep the scenario's body unwrapped for reruns
+    engine_.set_body([&audits, body](SimProc& h, int pid) {
+      body(h, pid);
+      audits.on_body_complete(pid);
+    });
+    auto r = engine_.run(*policy_, *crash_, iterations_, max_steps_);
+    res.completions = std::move(r.completions);
+    res.crashes = std::move(r.crashes);
+    res.steps = r.steps;
+    res.exhausted = r.exhausted;
+  }
+
+  void run_threads(Result& res)
+    requires(!P::kCounted)
+  {
+    std::vector<std::thread> ts;
+    ts.reserve(static_cast<size_t>(nprocs_));
+    for (int pid = 0; pid < nprocs_; ++pid) {
+      ts.emplace_back([this, pid, &res] {
+        Proc& h = world().proc(pid);
+        const uint64_t iters = iterations_[static_cast<size_t>(pid)];
+        for (uint64_t i = 0; i < iters; ++i) {
+          body_(h, pid);
+          audits_.on_body_complete(pid);
+          ++res.completions[static_cast<size_t>(pid)];
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+  }
+
+  // SimRun (which owns the counted world) or the real world itself.
+  std::conditional_t<P::kCounted, SimRun, World<P>> engine_;
+  int nprocs_;
+
+  std::vector<std::unique_ptr<Component<P>>> components_;
+  AuditSet audits_;
+  Body body_;
+  std::vector<uint64_t> iterations_;
+  uint64_t max_steps_ = 40000000;
+
+  // Counted-only knobs (cheap empty members on Real).
+  std::unique_ptr<sim::SchedulePolicy> policy_;
+  std::unique_ptr<sim::CrashPlan> crash_;
+};
+
+// ---------------------------------------------------------------------------
+// The canonical audited critical section, shared by every fixture: the
+// caller has just acquired the lock guarding `slot`; run the verified CS
+// (a few shared scratch operations, so the CS spans scheduling points,
+// plus an optional caller hook), fire the audit hooks, and release via
+// `unlock`. A crash anywhere inside unwinds as ProcessCrashed and is
+// reported as a crash-in-CS iff it happened before on_exit.
+// ---------------------------------------------------------------------------
+template <class P, class UnlockFn>
+void audited_cs(AuditSet& audits, platform::Process<P>& h, int pid, int slot,
+                typename P::template Atomic<int>& scratch, int cs_ops,
+                const std::function<void(int)>& cs_hook, UnlockFn unlock) {
+  audits.on_enter(pid, slot);
+  bool crashed_in_cs = true;  // until we reach on_exit
+  try {
+    for (int i = 0; i < cs_ops; ++i) {
+      scratch.store(h.ctx, pid);
+      const int seen = scratch.load(h.ctx);
+      // A foreign write inside our CS means mutual exclusion broke in a
+      // way the enter/exit bookkeeping alone could miss.
+      RME_ASSERT(seen == pid, "audited_cs: CS scratch overwritten");
+    }
+    if (cs_hook) cs_hook(pid);
+    crashed_in_cs = false;
+    audits.on_exit(pid, slot);
+    unlock();
+  } catch (const sim::ProcessCrashed&) {
+    if (crashed_in_cs) audits.on_crash_in_cs(pid, slot);
+    throw;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LockFixture: owns a lock built in set_up and installs the canonical
+// audited body - lock, verified critical section spanning a few shared
+// operations, unlock - with every audit hook wired. Works for any lock
+// exposing lock(Proc&, int)/unlock(Proc&, int) where the second argument
+// is the pid/port (one port per pid, the paper's static port model).
+// ---------------------------------------------------------------------------
+template <class P, class Lock>
+class LockFixture : public Component<P> {
+ public:
+  using Factory = std::function<std::unique_ptr<Lock>(World<P>&)>;
+
+  explicit LockFixture(Factory factory, int cs_ops = 2)
+      : factory_(std::move(factory)), cs_ops_(cs_ops) {}
+
+  const char* name() const override { return "lock-fixture"; }
+
+  // Optional extra work executed inside the critical section (e.g. the
+  // classic unprotected-counter increment whose final total witnesses
+  // that unlock() publishes plain data with release semantics).
+  void set_cs_hook(std::function<void(int pid)> hook) {
+    cs_hook_ = std::move(hook);
+  }
+
+  bool set_up(Scenario<P>& s) override {
+    lock_ = factory_(s.world());
+    if (lock_ == nullptr) return false;
+    scratch_.attach(s.world().env, rmr::kNoOwner);
+    scratch_.init(-1);
+    AuditSet& audits = s.audits();
+    s.set_body([this, &audits](typename Scenario<P>::Proc& h, int pid) {
+      lock_->lock(h, pid);
+      audited_cs<P>(audits, h, pid, /*slot=*/0, scratch_, cs_ops_, cs_hook_,
+                    [&] { lock_->unlock(h, pid); });
+    });
+    return true;
+  }
+
+  // The lock outlives tear_down on purpose: post-run assertions routinely
+  // inspect lock stats. It is freed with the fixture.
+  void tear_down(Scenario<P>& /*s*/) override {}
+
+  Lock& lock() { return *lock_; }
+
+ private:
+  Factory factory_;
+  int cs_ops_;
+  std::function<void(int)> cs_hook_;
+  std::unique_ptr<Lock> lock_;
+  typename P::template Atomic<int> scratch_;
+};
+
+// ---------------------------------------------------------------------------
+// KeyedLockFixture: the sharded analogue of LockFixture for key-addressed
+// lock tables (any type exposing lock(Proc&, pid, key) -> shard,
+// unlock(Proc&, pid), shards()). Each body derives its key from
+// (pid, completed-count), so a crashed body retries the SAME key - the
+// paper's recovery contract applied per shard: the recovering process
+// returns to the shard of its interrupted super-passage, where CSR then
+// holds. Audit hooks carry the shard index as the slot.
+// ---------------------------------------------------------------------------
+template <class P, class Table>
+class KeyedLockFixture : public Component<P> {
+ public:
+  using Factory = std::function<std::unique_ptr<Table>(World<P>&)>;
+  using KeyFn = std::function<uint64_t(int pid, uint64_t completed)>;
+
+  explicit KeyedLockFixture(Factory factory, KeyFn key_fn = nullptr,
+                            int cs_ops = 2)
+      : factory_(std::move(factory)),
+        key_fn_(key_fn ? std::move(key_fn) : default_key),
+        cs_ops_(cs_ops) {}
+
+  const char* name() const override { return "keyed-lock-fixture"; }
+
+  bool set_up(Scenario<P>& s) override {
+    table_ = factory_(s.world());
+    if (table_ == nullptr) return false;
+    completed_.assign(static_cast<size_t>(s.nprocs()), 0);
+    // vector(n) constructs the (immovable) atomics in place; the vector
+    // move-assign just adopts the buffer.
+    scratch_ = std::vector<typename P::template Atomic<int>>(
+        static_cast<size_t>(table_->shards()));
+    for (auto& cell : scratch_) {
+      cell.attach(s.world().env, rmr::kNoOwner);
+      cell.init(-1);
+    }
+    AuditSet& audits = s.audits();
+    s.set_body([this, &audits](typename Scenario<P>::Proc& h, int pid) {
+      body(audits, h, pid);
+    });
+    return true;
+  }
+
+  void tear_down(Scenario<P>& /*s*/) override {}
+
+  Table& table() { return *table_; }
+  uint64_t completed(int pid) const {
+    return completed_[static_cast<size_t>(pid)];
+  }
+
+ private:
+  static uint64_t default_key(int pid, uint64_t completed) {
+    return static_cast<uint64_t>(pid) * 7919u + completed;
+  }
+
+  void body(AuditSet& audits, platform::Process<P>& h, int pid) {
+    uint64_t& done = completed_[static_cast<size_t>(pid)];
+    const uint64_t key = key_fn_(pid, done);  // stable across crash retries
+    const int shard = table_->lock(h, pid, key);
+    audited_cs<P>(audits, h, pid, shard, scratch_[static_cast<size_t>(shard)],
+                  cs_ops_, /*cs_hook=*/nullptr,
+                  [&] { table_->unlock(h, pid); });
+    ++done;
+  }
+
+  Factory factory_;
+  KeyFn key_fn_;
+  int cs_ops_;
+  std::unique_ptr<Table> table_;
+  std::vector<uint64_t> completed_;
+  std::vector<typename P::template Atomic<int>> scratch_;
+};
+
+// ---------------------------------------------------------------------------
+// FasCrashComponent: installs a MultiPlan of CrashAroundFas plans - the
+// paper's two queue-breaking crash shapes (Section 3.1) - from a spec
+// list. The shared choreography of the scenario and crash-matrix suites.
+// ---------------------------------------------------------------------------
+struct FasCrashSpec {
+  int pid;
+  int nth_fas;
+  sim::CrashAroundFas::When when;
+};
+
+template <class P>
+class FasCrashComponent : public Component<P> {
+  static_assert(P::kCounted, "crash injection requires the counted platform");
+
+ public:
+  explicit FasCrashComponent(std::vector<FasCrashSpec> specs)
+      : specs_(std::move(specs)) {}
+
+  const char* name() const override { return "fas-crashes"; }
+
+  bool set_up(Scenario<P>& s) override {
+    auto plan = std::make_unique<sim::MultiPlan>();
+    for (const FasCrashSpec& spec : specs_) {
+      plan->emplace<sim::CrashAroundFas>(spec.pid, spec.nth_fas, spec.when);
+    }
+    s.set_crash_plan(std::move(plan));
+    return true;
+  }
+
+ private:
+  std::vector<FasCrashSpec> specs_;
+};
+
+// Convenience aliases for the two platform configurations.
+using SimScenario = Scenario<platform::Counted>;
+using RealScenario = Scenario<platform::Real>;
+
+}  // namespace rme::harness

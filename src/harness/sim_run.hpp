@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "harness/audit.hpp"
 #include "harness/world.hpp"
 #include "platform/process.hpp"
 #include "sim/crash_plan.hpp"
@@ -38,50 +39,10 @@ namespace rme::harness {
 using SimP = platform::Counted;
 using SimProc = platform::Process<SimP>;
 
-// Serial-access property checker (only the baton holder touches it).
-class ExclusionChecker {
- public:
-  void on_enter(int pid) {
-    if (in_cs_) ++me_violations_;
-    in_cs_ = true;
-    owner_ = pid;
-    if (csr_pending_) {
-      if (pid == csr_pid_) {
-        csr_pending_ = false;  // crashed process re-entered first: OK
-      } else {
-        ++csr_violations_;
-      }
-    }
-    ++entries_;
-  }
-  void on_exit(int pid) {
-    if (!in_cs_ || owner_ != pid) ++me_violations_;
-    in_cs_ = false;
-    owner_ = -1;
-  }
-  // The body crashed while logically inside the CS.
-  void on_crash_in_cs(int pid) {
-    in_cs_ = false;
-    owner_ = -1;
-    csr_pending_ = true;
-    csr_pid_ = pid;
-  }
-
-  uint64_t me_violations() const { return me_violations_; }
-  uint64_t csr_violations() const { return csr_violations_; }
-  uint64_t entries() const { return entries_; }
-  bool in_cs() const { return in_cs_; }
-  int owner() const { return owner_; }
-
- private:
-  bool in_cs_ = false;
-  int owner_ = -1;
-  bool csr_pending_ = false;
-  int csr_pid_ = -1;
-  uint64_t me_violations_ = 0;
-  uint64_t csr_violations_ = 0;
-  uint64_t entries_ = 0;
-};
+// The serial-access ME/CSR property checker now lives in harness/audit.hpp
+// as ExclusionAudit (re-exported here under its historical name
+// ExclusionChecker): the Scenario framework fans the same hooks out to an
+// arbitrary audit set, and SimRun keeps one built in for direct users.
 
 class SimRun {
  public:

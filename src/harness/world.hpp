@@ -1,6 +1,12 @@
-// World: wiring helper that owns the platform environment and one Process
-// handle per pid. Tests, benches and examples build a World, then hand
-// world.proc(pid) to the lock APIs.
+// World<P>: wiring helper that owns the platform environment and one
+// Process handle per pid. Tests, benches and examples build a World, then
+// hand world.proc(pid) to the lock APIs.
+//
+// One template serves both platforms:
+//   World<platform::Real>     (alias RealWorld)    - empty Env, no model.
+//   World<platform::Counted>  (alias CountedWorld) - owns the rmr::Model
+//                                                    (CC or DSM) the Env
+//                                                    routes through.
 #pragma once
 
 #include <memory>
@@ -12,33 +18,26 @@
 
 namespace rme::harness {
 
-// Real-platform world: no model.
-struct RealWorld {
-  using P = platform::Real;
-  typename P::Env env;
-  std::vector<platform::Process<P>> procs;
-
-  explicit RealWorld(int nprocs, size_t ring_slots = 128)
-      : procs(static_cast<size_t>(nprocs)) {
-    for (int i = 0; i < nprocs; ++i) {
-      procs[static_cast<size_t>(i)].attach(env, i, ring_slots);
-    }
-  }
-  platform::Process<P>& proc(int pid) {
-    return procs[static_cast<size_t>(pid)];
-  }
-};
-
-// Counted world: owns a CC or DSM model.
+// Which RMR cost model a counted world runs under.
 enum class ModelKind { kCc, kDsm };
 
-struct CountedWorld {
-  using P = platform::Counted;
-  std::unique_ptr<rmr::Model> model;
+template <class P>
+struct World {
   typename P::Env env;
   std::vector<platform::Process<P>> procs;
+  // Only set on counted platforms; empty on Real.
+  std::unique_ptr<rmr::Model> model;
 
-  CountedWorld(ModelKind kind, int nprocs, size_t ring_slots = 128)
+  // Real-platform constructor: no cost model.
+  explicit World(int nprocs, size_t ring_slots = 128)
+    requires(!P::kCounted)
+      : procs(static_cast<size_t>(nprocs)) {
+    attach_all(nprocs, ring_slots);
+  }
+
+  // Counted-platform constructor: owns a CC or DSM model.
+  World(ModelKind kind, int nprocs, size_t ring_slots = 128)
+    requires(P::kCounted)
       : procs(static_cast<size_t>(nprocs)) {
     if (kind == ModelKind::kCc) {
       model = std::make_unique<rmr::CcModel>(nprocs);
@@ -46,17 +45,37 @@ struct CountedWorld {
       model = std::make_unique<rmr::DsmModel>(nprocs);
     }
     env.model = model.get();
+    attach_all(nprocs, ring_slots);
+  }
+
+  int nprocs() const { return static_cast<int>(procs.size()); }
+
+  platform::Process<P>& proc(int pid) {
+    return procs[static_cast<size_t>(pid)];
+  }
+
+  // --- counted-only introspection ---
+  rmr::Counters& counters(int pid)
+    requires(P::kCounted)
+  {
+    return procs[static_cast<size_t>(pid)].ctx.counters;
+  }
+  rmr::CcModel* cc()
+    requires(P::kCounted)
+  {
+    return dynamic_cast<rmr::CcModel*>(model.get());
+  }
+
+ private:
+  void attach_all(int nprocs, size_t ring_slots) {
     for (int i = 0; i < nprocs; ++i) {
       procs[static_cast<size_t>(i)].attach(env, i, ring_slots);
     }
   }
-  platform::Process<P>& proc(int pid) {
-    return procs[static_cast<size_t>(pid)];
-  }
-  rmr::Counters& counters(int pid) {
-    return procs[static_cast<size_t>(pid)].ctx.counters;
-  }
-  rmr::CcModel* cc() { return dynamic_cast<rmr::CcModel*>(model.get()); }
 };
+
+// The historical names survive only as thin aliases.
+using RealWorld = World<platform::Real>;
+using CountedWorld = World<platform::Counted>;
 
 }  // namespace rme::harness

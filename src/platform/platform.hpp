@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 #include <type_traits>
 
 #include "rmr/model.hpp"
@@ -54,6 +55,29 @@ inline void cpu_pause() {
   asm volatile("yield");
 #endif
 }
+
+// Spin-wait pacing for wait loops: a bounded burst of pause() (the
+// low-latency path when the awaited writer runs on another core), then
+// std::this_thread::yield() so oversubscribed hosts - fewer cores than
+// spinning processes - still make progress at OS-scheduler speed. Neither
+// branch is a shared-memory operation, so RMR accounting and the
+// deterministic simulator are unaffected.
+class Backoff {
+ public:
+  void spin() {
+    if (spins_ < kSpinLimit) {
+      ++spins_;
+      cpu_pause();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  void reset() { spins_ = 0; }
+
+ private:
+  static constexpr int kSpinLimit = 128;
+  int spins_ = 0;
+};
 
 // ---------------------------------------------------------------------------
 // Real platform

@@ -84,8 +84,9 @@ class R2Lock {
       go_slot_[i].store(ctx, w.flag, std::memory_order_seq_cst);
       if (flag_[j].load(ctx, std::memory_order_seq_cst) == kIdle) break;
       if (turn_.load(ctx, std::memory_order_seq_cst) != i) break;
+      platform::Backoff bo;
       while (w.flag->value.load(ctx, std::memory_order_acquire) != w.tag) {
-        P::pause();
+        bo.spin();
       }
       // Woken: somebody released or yielded; re-evaluate from a fresh
       // publication (wakes are hints, never permissions).

@@ -9,8 +9,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <random>
+#include <utility>
 #include <vector>
 
 #include "rmr/model.hpp"
@@ -101,6 +103,37 @@ class CrashAtSteps final : public CrashPlan {
   int pid_;
   std::vector<uint64_t> steps_;
   size_t next_ = 0;
+};
+
+// Compose independent crash plans: the process crashes when any
+// constituent plan says so. Every constituent is consulted on every step
+// so stateful plans (CrashAroundFas arming, budgets) advance uniformly.
+class MultiPlan final : public CrashPlan {
+ public:
+  MultiPlan() = default;
+
+  void add(std::unique_ptr<CrashPlan> p) { plans_.push_back(std::move(p)); }
+
+  template <class Plan, class... Args>
+  Plan* emplace(Args&&... args) {
+    auto p = std::make_unique<Plan>(std::forward<Args>(args)...);
+    Plan* raw = p.get();
+    plans_.push_back(std::move(p));
+    return raw;
+  }
+
+  bool should_crash(int pid, uint64_t step, rmr::Op op) override {
+    bool crash = false;
+    for (auto& p : plans_) {
+      crash = p->should_crash(pid, step, op) || crash;
+    }
+    return crash;
+  }
+
+  size_t size() const { return plans_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<CrashPlan>> plans_;
 };
 
 // Independent per-access crash probability, optionally with a budget of at

@@ -1,30 +1,42 @@
 // Crash matrix: every combination of two processes crashing around their
 // FAS instructions (the queue-breaking crash shapes of Section 3.1), in
-// every before/after combination, across several schedules. This is the
-// pairwise closure of the scenarios Figure 5 illustrates: fragments
-// created by both "crashed at Line 13" and "crashed at Line 14"
-// processes must be repaired no matter how the two recoveries and the
-// live traffic interleave.
+// every before/after combination, across several schedules - the
+// pairwise closure of the scenarios Figure 5 illustrates.
+//
+// The matrix is generated twice: once against the bare k-ported RmeLock
+// (a FAS is the queue FAS or the repair FAS) and once against the
+// RecoverableMutexFacade, whose port-leasing layer adds its own FAS
+// instructions (pool claim and deposit) - so the same (nth, when) specs
+// land on lease-layer crash points too: crashes between the pool claim
+// and the lease write, at the deposit, and inside the lock proper, all
+// interleaved with live traffic.
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "core/port_lease.hpp"
 #include "core/rme_lock.hpp"
-#include "harness/sim_run.hpp"
-#include "harness/world.hpp"
+#include "harness/scenario.hpp"
 
 namespace {
 
 using namespace rme;
-using harness::LockBody;
+using harness::ExclusionAudit;
+using harness::FasCrashSpec;
+using harness::LockFixture;
 using harness::ModelKind;
-using harness::SimProc;
-using harness::SimRun;
-using P = platform::Counted;
-using Lock = core::RmeLock<P>;
+using harness::Scenario;
+using C = platform::Counted;
+using Lock = core::RmeLock<C>;
+using Facade = core::RecoverableMutexFacade<C>;
 using When = sim::CrashAroundFas::When;
 
+enum class LockKind { kFlat, kFacade };
+
 struct MatrixParam {
+  LockKind lock;
   When first;
   When second;
   int nth_a;  // which FAS of process A
@@ -34,29 +46,30 @@ struct MatrixParam {
 
 class CrashMatrix : public ::testing::TestWithParam<MatrixParam> {};
 
-TEST_P(CrashMatrix, PairwiseFasCrashesRepair) {
-  const auto [wa, wb, na, nb, seed] = GetParam();
+// Shared driver: build the scenario for `kind`, inject the pair of FAS
+// crashes, require full completion plus clean ME/CSR audits.
+void run_pairwise(LockKind kind, When wa, When wb, int na, int nb,
+                  uint64_t seed) {
   constexpr int k = 4;
-  SimRun sim(ModelKind::kCc, k);
-  Lock lk(sim.world().env, k);
-  LockBody<Lock> body(lk, sim.world(), sim.checker());
-  sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
-
-  struct Pair final : sim::CrashPlan {
-    sim::CrashAroundFas a, b;
-    Pair(When wa, When wb, int na, int nb)
-        : a(0, na, wa), b(1, nb, wb) {}
-    bool should_crash(int pid, uint64_t step, rmr::Op op) override {
-      return a.should_crash(pid, step, op) || b.should_crash(pid, step, op);
-    }
-  } plan(wa, wb, na, nb);
-
-  sim::SeededRandom pol(seed);
-  std::vector<uint64_t> iters(k, 5);
-  auto res = sim.run(pol, plan, iters, 40000000);
+  Scenario<C> s(ModelKind::kCc, k);
+  if (kind == LockKind::kFlat) {
+    s.add_component<LockFixture<C, Lock>>([=](harness::World<C>& w) {
+      return std::make_unique<Lock>(w.env, k);
+    });
+  } else {
+    s.add_component<LockFixture<C, Facade>>([=](harness::World<C>& w) {
+      return std::make_unique<Facade>(w.env, k, k);
+    });
+  }
+  auto* chk = s.audits().emplace<ExclusionAudit>();
+  s.add_component<harness::FasCrashComponent<C>>(
+      std::vector<FasCrashSpec>{{0, na, wa}, {1, nb, wb}});
+  s.use_random_schedule(seed);
+  s.set_iterations(5);
+  auto res = s.run();
   ASSERT_FALSE(res.exhausted);
-  EXPECT_EQ(sim.checker().me_violations(), 0u);
-  EXPECT_EQ(sim.checker().csr_violations(), 0u);
+  EXPECT_EQ(chk->me_violations(), 0u);
+  EXPECT_EQ(chk->csr_violations(), 0u);
   for (int pid = 0; pid < k; ++pid) {
     EXPECT_EQ(res.completions[static_cast<size_t>(pid)], 5u) << pid;
   }
@@ -65,14 +78,21 @@ TEST_P(CrashMatrix, PairwiseFasCrashesRepair) {
   EXPECT_GE(res.crashes[1], 1u);
 }
 
+TEST_P(CrashMatrix, PairwiseFasCrashesRepair) {
+  const auto [kind, wa, wb, na, nb, seed] = GetParam();
+  run_pairwise(kind, wa, wb, na, nb, seed);
+}
+
 std::vector<MatrixParam> matrix() {
   std::vector<MatrixParam> out;
-  for (When wa : {When::kBefore, When::kAfter}) {
-    for (When wb : {When::kBefore, When::kAfter}) {
-      for (int na : {1, 2}) {
-        for (int nb : {1, 3}) {
-          for (uint64_t seed : {11u, 12u, 13u}) {
-            out.push_back({wa, wb, na, nb, seed});
+  for (LockKind kind : {LockKind::kFlat, LockKind::kFacade}) {
+    for (When wa : {When::kBefore, When::kAfter}) {
+      for (When wb : {When::kBefore, When::kAfter}) {
+        for (int na : {1, 2}) {
+          for (int nb : {1, 3}) {
+            for (uint64_t seed : {11u, 12u, 13u}) {
+              out.push_back({kind, wa, wb, na, nb, seed});
+            }
           }
         }
       }
@@ -85,7 +105,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllPairs, CrashMatrix, ::testing::ValuesIn(matrix()),
     [](const auto& info) {
       const auto& p = info.param;
-      std::string s;
+      std::string s = p.lock == LockKind::kFlat ? "Flat_" : "Facade_";
       s += p.first == When::kBefore ? "B" : "A";
       s += p.second == When::kBefore ? "B" : "A";
       s += "_f" + std::to_string(p.nth_a) + std::to_string(p.nth_b);
@@ -97,26 +117,55 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(CrashMatrix, ThreeSimultaneousFasCrashes) {
   constexpr int k = 6;
   for (uint64_t seed = 50; seed < 56; ++seed) {
-    SimRun sim(ModelKind::kCc, k);
-    Lock lk(sim.world().env, k);
-    LockBody<Lock> body(lk, sim.world(), sim.checker());
-    sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
-    struct Trio final : sim::CrashPlan {
-      sim::CrashAroundFas a{0, 1, When::kAfter};
-      sim::CrashAroundFas b{2, 1, When::kBefore};
-      sim::CrashAroundFas c{4, 1, When::kAfter};
-      bool should_crash(int pid, uint64_t step, rmr::Op op) override {
-        return a.should_crash(pid, step, op) ||
-               b.should_crash(pid, step, op) ||
-               c.should_crash(pid, step, op);
-      }
-    } plan;
-    sim::SeededRandom pol(seed);
-    std::vector<uint64_t> iters(k, 4);
-    auto res = sim.run(pol, plan, iters, 40000000);
-    EXPECT_FALSE(res.exhausted) << "seed " << seed;
-    EXPECT_EQ(sim.checker().me_violations(), 0u) << "seed " << seed;
-    EXPECT_EQ(lk.total_stats().repairs, 3u) << "seed " << seed;
+    Scenario<C> s(ModelKind::kCc, k);
+    auto* fix = s.add_component<LockFixture<C, Lock>>(
+        [=](harness::World<C>& w) { return std::make_unique<Lock>(w.env, k); });
+    auto* chk = s.audits().emplace<ExclusionAudit>();
+    s.add_component<harness::FasCrashComponent<C>>(std::vector<FasCrashSpec>{
+        {0, 1, When::kAfter}, {2, 1, When::kBefore}, {4, 1, When::kAfter}});
+    s.use_random_schedule(seed);
+    s.set_iterations(4);
+    auto res = s.run();
+    EXPECT_TRUE(res.ok()) << "seed " << seed << ": " << res.summary();
+    EXPECT_EQ(chk->me_violations(), 0u) << "seed " << seed;
+    EXPECT_EQ(fix->lock().total_stats().repairs, 3u) << "seed " << seed;
+  }
+}
+
+// Facade flavour of the same shape: three pids crash around FAS
+// instructions that now include the lease pool's claim and deposit, with
+// fewer ports than pids so the pool is contended throughout.
+TEST(CrashMatrix, ThreeSimultaneousCrashersThroughTheFacade) {
+  constexpr int k = 6;
+  constexpr int kPorts = 4;
+  for (uint64_t seed = 60; seed < 66; ++seed) {
+    Scenario<C> s(ModelKind::kCc, k);
+    auto* fix = s.add_component<LockFixture<C, Facade>>(
+        [=](harness::World<C>& w) {
+          return std::make_unique<Facade>(w.env, kPorts, k);
+        });
+    auto* chk = s.audits().emplace<ExclusionAudit>();
+    s.add_component<harness::FasCrashComponent<C>>(std::vector<FasCrashSpec>{
+        {0, 1, When::kAfter}, {2, 2, When::kBefore}, {4, 2, When::kAfter}});
+    s.use_random_schedule(seed);
+    s.set_iterations(4);
+    s.set_max_steps(80000000);
+    auto res = s.run();
+    EXPECT_TRUE(res.ok()) << "seed " << seed << ": " << res.summary();
+    EXPECT_EQ(chk->me_violations(), 0u) << "seed " << seed;
+    EXPECT_EQ(chk->csr_violations(), 0u) << "seed " << seed;
+    for (int pid = 0; pid < k; ++pid) {
+      EXPECT_EQ(res.completions[static_cast<size_t>(pid)], 4u)
+          << "seed " << seed << " pid " << pid;
+    }
+    // Quiescent accounting: held leases are all returned; anything a
+    // crash leaked is recoverable, never duplicated.
+    auto& ctx = s.world().proc(0).ctx;
+    auto& lease = fix->lock().lease();
+    const int free_now = lease.free_ports(ctx);
+    EXPECT_LE(free_now, kPorts);
+    const int scavenged = lease.scavenge(ctx);
+    EXPECT_EQ(free_now + scavenged, kPorts) << "seed " << seed;
   }
 }
 

@@ -1,0 +1,218 @@
+// RecoverableLockTable under the scenario harness: many locks, dynamic
+// per-shard port leasing, crash injection on the Counted platform.
+// Mutual exclusion and CSR are audited per shard; crash recovery re-binds
+// a process to the shard/port of its interrupted super-passage.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/lock_table.hpp"
+#include "harness/scenario.hpp"
+
+namespace {
+
+using namespace rme;
+using harness::ExclusionAudit;
+using harness::FasCrashSpec;
+using harness::KeyedLockFixture;
+using harness::ModelKind;
+using harness::RmrBoundAudit;
+using harness::Scenario;
+using C = platform::Counted;
+using R = platform::Real;
+using TableC = core::RecoverableLockTable<C>;
+using TableR = core::RecoverableLockTable<R>;
+
+TEST(LockTable, KeysMapToStableShardsAndLockRoundTrips) {
+  harness::RealWorld w(2);
+  TableR table(w.env, 8, 2, 2);
+  EXPECT_EQ(table.shards(), 8);
+  const std::vector<uint64_t> keys = {0, 1, 42, 1u << 20, ~0ull};
+  for (uint64_t key : keys) {
+    const int s1 = table.shard_for_key(key);
+    const int s2 = table.shard_for_key(key);
+    EXPECT_EQ(s1, s2);
+    EXPECT_GE(s1, 0);
+    EXPECT_LT(s1, 8);
+  }
+  auto& h = w.proc(0);
+  const int s = table.lock(h, 0, 42);
+  EXPECT_EQ(s, table.shard_for_key(42));
+  EXPECT_EQ(table.current_shard(h.ctx, 0), s);
+  table.unlock(h, 0);
+  EXPECT_EQ(table.current_shard(h.ctx, 0), TableR::kNoShard);
+  EXPECT_EQ(table.total_acquisitions(), 1u);
+}
+
+// The "crashed, then retried under a different key" shape: a pid that
+// still owns a port on shard A must finish that super-passage before it
+// may lock shard B. Exercised directly (no simulator) because the state
+// is exactly what a crash leaves behind: a held lease + shard intent.
+TEST(LockTable, StaleSuperPassageIsFinishedBeforeLockingElsewhere) {
+  harness::RealWorld w(1);
+  TableR table(w.env, 4, 1, 1);
+  auto& h = w.proc(0);
+
+  uint64_t key_a = 0;
+  uint64_t key_b = 1;
+  while (table.shard_for_key(key_b) == table.shard_for_key(key_a)) ++key_b;
+  const int sa = table.shard_for_key(key_a);
+  const int sb = table.shard_for_key(key_b);
+
+  const int got_a = table.lock(h, 0, key_a);
+  EXPECT_EQ(got_a, sa);
+  // "Crash": simply never unlock; the lease and intent persist.
+  const int got_b = table.lock(h, 0, key_b);
+  EXPECT_EQ(got_b, sb);
+  // Shard A's passage was completed and its port returned to the pool.
+  EXPECT_EQ(table.shard_lease(sa).free_ports(h.ctx), 1);
+  EXPECT_EQ(table.shard_lease(sb).free_ports(h.ctx), 0);
+  table.unlock(h, 0);
+  EXPECT_EQ(table.shard_lease(sb).free_ports(h.ctx), 1);
+  // The stale-finish re-entered shard A's still-held CS wait-free (the
+  // paper's Line 20 fast path), so no second acquisition is counted.
+  EXPECT_EQ(table.shard_lock(sa).total_stats().acquisitions, 1u);
+}
+
+TEST(LockTable, RecoverRunsTheVisitorInsideTheReenteredCs) {
+  harness::RealWorld w(1);
+  TableR table(w.env, 4, 1, 1);
+  auto& h = w.proc(0);
+  const int s = table.lock(h, 0, 7);
+  int visited_shard = -1;
+  table.recover(h, 0, [&](platform::Process<R>&, int shard) {
+    visited_shard = shard;
+  });
+  EXPECT_EQ(visited_shard, s);
+  EXPECT_EQ(table.current_shard(h.ctx, 0), TableR::kNoShard);
+  // recover() with nothing pending is a no-op.
+  visited_shard = -1;
+  table.recover(h, 0, [&](platform::Process<R>&, int shard) {
+    visited_shard = shard;
+  });
+  EXPECT_EQ(visited_shard, -1);
+}
+
+// Acceptance shape: ME + CSR audits pass with crash injection on the
+// Counted platform, ports_per_shard < pids (leasing on the hot path).
+TEST(LockTable, CrashInjectionPassesExclusionAndCsrAudits) {
+  constexpr int kPids = 6;
+  constexpr int kShards = 8;
+  constexpr int kPortsPerShard = 3;
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Scenario<C> s(ModelKind::kCc, kPids);
+    auto* fix = s.add_component<KeyedLockFixture<C, TableC>>(
+        [&](harness::World<C>& w) {
+          return std::make_unique<TableC>(w.env, kShards, kPortsPerShard,
+                                          kPids);
+        });
+    auto* chk = s.audits().emplace<ExclusionAudit>(kShards);
+    // Generous bound: crash-free passages are O(1) RMR but lease sweeps,
+    // repairs and CC cache wipes all add up; this audits sanity, not the
+    // exact constant.
+    auto* rmr = s.audits().emplace<RmrBoundAudit>(s.world(), 400.0);
+    s.add_component<harness::FasCrashComponent<C>>(std::vector<FasCrashSpec>{
+        {0, 2, sim::CrashAroundFas::kBefore},  // at the first queue FAS
+        {2, 3, sim::CrashAroundFas::kAfter},   // after the deposit FAS
+        {4, 4, sim::CrashAroundFas::kAfter}});  // inside passage two
+    s.use_random_schedule(seed);
+    s.set_iterations(4);
+    s.set_max_steps(80000000);
+    auto res = s.run();
+    ASSERT_TRUE(res.ok()) << "seed " << seed << ": " << res.summary();
+    EXPECT_EQ(chk->me_violations(), 0u) << "seed " << seed;
+    EXPECT_EQ(chk->csr_violations(), 0u) << "seed " << seed;
+    EXPECT_GT(res.crashes[0] + res.crashes[2] + res.crashes[4], 0u)
+        << "seed " << seed;
+    for (int pid = 0; pid < kPids; ++pid) {
+      EXPECT_EQ(res.completions[static_cast<size_t>(pid)], 4u)
+          << "seed " << seed << " pid " << pid;
+    }
+    // A crash inside Exit completes on recovery and then runs a fresh
+    // passage for the retried body, so acquisitions can exceed
+    // completions - but never undershoot them.
+    EXPECT_GE(fix->table().total_acquisitions(), 4u * kPids);
+    EXPECT_GT(rmr->mean_rmr_per_body(), 0.0);
+  }
+}
+
+// Crash-at-every-point sweep on one pid: whatever instruction the crash
+// replaces - lease claim, queue FAS, signal publication, CS scratch op,
+// exit write, deposit - the audits must hold and the run must complete.
+// Crashes inside the CS are the CSR cases: the crashed pid re-enters
+// wait-free before any rival.
+TEST(LockTable, CrashSweepHoldsAuditsAtEveryPoint) {
+  constexpr int kPids = 3;
+  constexpr int kShards = 4;
+
+  // Probe run: how many shared-memory ops does pid 0 issue in total?
+  uint64_t probe_steps = 0;
+  {
+    Scenario<C> s(ModelKind::kCc, kPids);
+    s.add_component<KeyedLockFixture<C, TableC>>([&](harness::World<C>& w) {
+      return std::make_unique<TableC>(w.env, kShards, kPids, kPids);
+    });
+    s.audits().emplace<ExclusionAudit>(kShards);
+    s.use_random_schedule(11);
+    s.set_iterations(3);
+    auto res = s.run();
+    ASSERT_TRUE(res.ok()) << res.summary();
+    probe_steps = s.world().proc(0).ctx.step_index;
+    ASSERT_GT(probe_steps, 20u);
+  }
+
+  for (uint64_t at = 1; at < probe_steps; at += 7) {
+    Scenario<C> s(ModelKind::kCc, kPids);
+    s.add_component<KeyedLockFixture<C, TableC>>([&](harness::World<C>& w) {
+      return std::make_unique<TableC>(w.env, kShards, kPids, kPids);
+    });
+    auto* chk = s.audits().emplace<ExclusionAudit>(kShards);
+    s.set_crash_plan(std::make_unique<sim::CrashAtSteps>(
+        0, std::vector<uint64_t>{at}));
+    s.use_random_schedule(11);
+    s.set_iterations(3);
+    s.set_max_steps(80000000);
+    auto res = s.run();
+    EXPECT_TRUE(res.ok()) << "crash step " << at << ": " << res.summary();
+    EXPECT_EQ(chk->me_violations(), 0u) << "crash step " << at;
+    EXPECT_EQ(chk->csr_violations(), 0u) << "crash step " << at;
+    EXPECT_EQ(res.completions[0], 3u) << "crash step " << at;
+  }
+}
+
+// DSM model smoke: the table's intent/lease words live in the owning
+// pid's partition, so the idle-path probes stay local.
+TEST(LockTable, DsmModelCompletesUnderChurn) {
+  constexpr int kPids = 4;
+  Scenario<C> s(ModelKind::kDsm, kPids);
+  auto* fix = s.add_component<KeyedLockFixture<C, TableC>>(
+      [&](harness::World<C>& w) {
+        return std::make_unique<TableC>(w.env, 16, 2, kPids);
+      });
+  s.audits().emplace<ExclusionAudit>(16);
+  s.use_random_schedule(3);
+  s.set_iterations(6);
+  auto res = s.run();
+  ASSERT_TRUE(res.ok()) << res.summary();
+  EXPECT_EQ(fix->table().total_acquisitions(), 6u * kPids);
+}
+
+// Real threads across shards: the facade-of-many-locks in its production
+// configuration (hardware concurrency, no instrumentation).
+TEST(LockTable, RealThreadsManyShards) {
+  constexpr int kThreads = 4;
+  Scenario<R> s(kThreads);
+  auto* fix = s.add_component<KeyedLockFixture<R, TableR>>(
+      [&](harness::World<R>& w) {
+        return std::make_unique<TableR>(w.env, 16, 2, kThreads);
+      });
+  auto* chk = s.audits().emplace<ExclusionAudit>(16);
+  s.set_iterations(300);
+  auto res = s.run();
+  ASSERT_TRUE(res.ok()) << res.summary();
+  EXPECT_EQ(chk->me_violations(), 0u);
+  EXPECT_EQ(fix->table().total_acquisitions(), 300u * kThreads);
+}
+
+}  // namespace

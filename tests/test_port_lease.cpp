@@ -1,0 +1,211 @@
+// Port leasing under crashes (dynamic port model, src/core/port_lease.hpp):
+//
+//   * a process that crashes mid-super-passage must reclaim the SAME port
+//     on recovery (the persisted lease word is the recovery record);
+//   * no two live processes ever hold the same lease (FAS token
+//     conservation);
+//   * a crash in the one unprotected window (between the pool FAS and the
+//     lease write) leaks the port but never duplicates it, and scavenge()
+//     recovers it under quiescence.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/port_lease.hpp"
+#include "core/rme_lock.hpp"
+#include "harness/scenario.hpp"
+
+namespace {
+
+using namespace rme;
+using harness::ExclusionAudit;
+using harness::FasCrashSpec;
+using harness::LockFixture;
+using harness::ModelKind;
+using harness::Scenario;
+using C = platform::Counted;
+using R = platform::Real;
+using Facade = core::RecoverableMutexFacade<C>;
+
+// --- pool mechanics, no crashes ---
+
+TEST(PortLease, ClaimsAreUniqueAndExhaustible) {
+  harness::RealWorld w(4);
+  core::PortLease<R> lease(w.env, 3, 4);
+  auto& ctx = w.proc(0).ctx;
+  std::set<int> got;
+  for (int pid = 0; pid < 3; ++pid) {
+    const int p = lease.acquire(w.proc(pid).ctx, pid);
+    EXPECT_TRUE(got.insert(p).second) << "duplicate port " << p;
+  }
+  EXPECT_EQ(lease.free_ports(ctx), 0);
+  EXPECT_EQ(lease.try_claim(w.proc(3).ctx, 3), core::kNoLease);
+  lease.release(w.proc(1).ctx, 1);
+  EXPECT_EQ(lease.free_ports(ctx), 1);
+  const int p = lease.acquire(w.proc(3).ctx, 3);
+  EXPECT_NE(p, core::kNoLease);
+  EXPECT_EQ(lease.free_ports(ctx), 0);
+}
+
+TEST(PortLease, AcquireIsIdempotentAcrossRecovery) {
+  harness::RealWorld w(2);
+  core::PortLease<R> lease(w.env, 2, 2);
+  auto& ctx = w.proc(0).ctx;
+  const int p1 = lease.acquire(ctx, 0);
+  // "Recovery": the same pid asks again without releasing - the persisted
+  // lease word must re-bind it to the same port, claiming nothing new.
+  const int p2 = lease.acquire(ctx, 0);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(lease.free_ports(ctx), 1);
+  lease.release(ctx, 0);
+  lease.release(ctx, 0);  // idempotent no-op
+  EXPECT_EQ(lease.free_ports(ctx), 2);
+}
+
+TEST(PortLease, ScavengeIsANoOpOnAHealthyPool) {
+  harness::RealWorld w(3);
+  core::PortLease<R> lease(w.env, 3, 3);
+  auto& ctx = w.proc(0).ctx;
+  (void)lease.acquire(ctx, 0);
+  (void)lease.acquire(w.proc(1).ctx, 1);
+  EXPECT_EQ(lease.scavenge(ctx), 0);
+  EXPECT_EQ(lease.free_ports(ctx), 1);
+}
+
+// --- crash recovery through the facade, deterministic simulation ---
+
+// Crash at the lock's queue FAS (the 2nd FAS of the super-passage: the
+// 1st is the lease claim). Recovery must re-find the identical port.
+TEST(PortLease, CrashMidSuperPassageReclaimsSamePort) {
+  Scenario<C> s(ModelKind::kCc, 1);
+  auto fa = std::make_unique<Facade>(s.world().env, 2, 1);
+  Facade* facade = fa.get();
+  // (pre-lock lease, post-lock port) per completed body.
+  std::vector<std::pair<int, int>> trace;
+  s.set_body([&](harness::SimProc& h, int pid) {
+    const int pre = facade->lease().held(h.ctx, pid);
+    facade->lock(h, pid);
+    const int port = facade->lease().held(h.ctx, pid);
+    facade->unlock(h, pid);
+    trace.emplace_back(pre, port);
+  });
+  s.add_component<harness::FasCrashComponent<C>>(std::vector<FasCrashSpec>{
+      {0, 2, sim::CrashAroundFas::kBefore}});  // FAS #2 = RmeLock Tail FAS
+  s.use_round_robin_schedule();
+  s.set_iterations(2);
+  auto res = s.run();
+  ASSERT_TRUE(res.ok()) << res.summary();
+  EXPECT_EQ(res.crashes[0], 1u);
+  ASSERT_EQ(trace.size(), 2u);
+  // First completed body is the recovered passage: the lease survived the
+  // crash and re-bound the process to the port it already held.
+  EXPECT_NE(trace[0].first, core::kNoLease);
+  EXPECT_EQ(trace[0].first, trace[0].second);
+  // Clean second passage started from no lease.
+  EXPECT_EQ(trace[1].first, core::kNoLease);
+  // Nothing leaked: the crash hit inside the lock protocol, not the pool.
+  auto& ctx = s.world().proc(0).ctx;
+  EXPECT_EQ(facade->lease().free_ports(ctx), 2);
+}
+
+// Crash in the unprotected window: kAfter on FAS #1 fires at the lease
+// write that follows the pool claim, so the port leaks. The process must
+// recover on a DIFFERENT port, finish its work, and scavenge() must
+// repatriate the leaked port afterwards.
+TEST(PortLease, CrashBetweenClaimAndLeaseWriteLeaksNotDuplicates) {
+  Scenario<C> s(ModelKind::kCc, 2);
+  auto fa = std::make_unique<Facade>(s.world().env, 3, 2);
+  Facade* facade = fa.get();
+  auto* fix = s.add_component<LockFixture<C, Facade>>(
+      [&](harness::World<C>&) { return std::move(fa); });
+  auto* chk = s.audits().emplace<ExclusionAudit>();
+  s.add_component<harness::FasCrashComponent<C>>(
+      std::vector<FasCrashSpec>{{0, 1, sim::CrashAroundFas::kAfter}});
+  s.use_random_schedule(7);
+  s.set_iterations(3);
+  auto res = s.run();
+  ASSERT_TRUE(res.ok()) << res.summary();
+  EXPECT_EQ(res.crashes[0], 1u);
+  EXPECT_EQ(res.completions[0], 3u);
+  EXPECT_EQ(res.completions[1], 3u);
+  EXPECT_EQ(chk->me_violations(), 0u);
+  auto& ctx = s.world().proc(0).ctx;
+  // Quiescent now: one port leaked, conservation held.
+  EXPECT_EQ(facade->lease().free_ports(ctx), 2);
+  EXPECT_EQ(facade->lease().scavenge(ctx), 1);
+  EXPECT_EQ(facade->lease().free_ports(ctx), 3);
+  EXPECT_EQ(fix->lock().raw_lock().total_stats().acquisitions, 6u);
+}
+
+// Under a crash storm with fewer ports than processes, every completed
+// acquire must hold a lease no other live process shares - checked
+// directly inside the critical section - and ME/CSR must hold throughout.
+TEST(PortLease, NoTwoLiveProcessesShareALease) {
+  constexpr int kPids = 4;
+  constexpr int kPorts = 2;  // contended pool: leasing is on the hot path
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Scenario<C> s(ModelKind::kCc, kPids);
+    Facade facade(s.world().env, kPorts, kPids);
+    auto* chk = s.audits().emplace<ExclusionAudit>();
+    uint64_t lease_overlaps = 0;
+    s.set_body([&](harness::SimProc& h, int pid) {
+      facade.lock(h, pid);
+      chk->on_enter(pid);
+      bool crashed_in_cs = true;
+      try {
+        const int mine = facade.lease().held(h.ctx, pid);
+        for (int q = 0; q < kPids; ++q) {
+          if (q != pid && facade.lease().held(h.ctx, q) == mine) {
+            ++lease_overlaps;
+          }
+        }
+        crashed_in_cs = false;
+        chk->on_exit(pid);
+        facade.unlock(h, pid);
+      } catch (const sim::ProcessCrashed&) {
+        if (crashed_in_cs) chk->on_crash_in_cs(pid);
+        throw;
+      }
+    });
+    s.add_component<harness::FasCrashComponent<C>>(std::vector<FasCrashSpec>{
+        {1, 3, sim::CrashAroundFas::kAfter},
+        {2, 2, sim::CrashAroundFas::kBefore}});
+    s.use_random_schedule(seed);
+    s.set_iterations(4);
+    s.set_max_steps(80000000);
+    auto res = s.run();
+    ASSERT_TRUE(res.ok()) << "seed " << seed << ": " << res.summary();
+    EXPECT_EQ(lease_overlaps, 0u) << "seed " << seed;
+    EXPECT_EQ(chk->csr_violations(), 0u) << "seed " << seed;
+    for (int pid = 0; pid < kPids; ++pid) {
+      EXPECT_EQ(res.completions[static_cast<size_t>(pid)], 4u)
+          << "seed " << seed << " pid " << pid;
+    }
+  }
+}
+
+// The facade on real hardware threads: pids outnumber ports, so every
+// passage exercises the blocking lease sweep under true concurrency.
+TEST(PortLease, FacadeRealThreadsContendedPool) {
+  constexpr int kThreads = 4;
+  constexpr int kPorts = 2;
+  Scenario<R> s(kThreads);
+  core::RecoverableMutexFacade<R> facade(s.world().env, kPorts, kThreads);
+  auto* chk = s.audits().emplace<ExclusionAudit>();
+  s.set_body([&](platform::Process<R>& h, int pid) {
+    facade.lock(h, pid);
+    chk->on_enter(pid);
+    chk->on_exit(pid);
+    facade.unlock(h, pid);
+  });
+  s.set_iterations(500);
+  auto res = s.run();
+  ASSERT_TRUE(res.ok()) << res.summary();
+  EXPECT_EQ(chk->entries(), 4u * 500u);
+  auto& ctx = s.world().proc(0).ctx;
+  EXPECT_EQ(facade.lease().free_ports(ctx), kPorts);
+}
+
+}  // namespace

@@ -4,9 +4,16 @@
 // cannot (the simulator serialises everything, so it only explores
 // sequentially-consistent interleavings; here the hardware is free to
 // reorder within the orders we specified).
+//
+// Every lock goes through the same Scenario<Real> harness: LockFixture
+// provides the verified-critical-section body, ExclusionAudit checks ME
+// under true concurrency, and Scenario::run() owns thread setup/join.
+// Iteration counts scale down on machines with fewer cores than threads
+// (CI boxes): the spin-then-yield Backoff keeps oversubscribed runs
+// correct, but wall-clock budgets still apply.
 #include <gtest/gtest.h>
 
-#include <atomic>
+#include <algorithm>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -15,115 +22,138 @@
 #include "core/arbitration_tree.hpp"
 #include "core/recoverable_mutex.hpp"
 #include "core/rme_lock.hpp"
-#include "harness/world.hpp"
+#include "harness/scenario.hpp"
 #include "rlock/tournament.hpp"
 #include "signal/signal.hpp"
 
 namespace {
 
 using namespace rme;
+using harness::ExclusionAudit;
+using harness::LockFixture;
 using harness::RealWorld;
+using harness::Scenario;
 using R = platform::Real;
 
-// Canonical counter race: with a correct lock, zero lost updates.
+uint64_t stress_iters(uint64_t want, int threads) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (hw >= static_cast<unsigned>(threads)) return want;
+  // Oversubscribed: every handoff costs an OS reschedule, not a cache
+  // miss. Keep the interleaving pressure, shrink the wall clock.
+  return std::max<uint64_t>(200, want / 10);
+}
+
+// Canonical counter race, harness edition: the audit sees no overlapping
+// critical sections, and a PLAIN (non-atomic) counter incremented inside
+// the CS loses no updates - the latter catches a lock whose unlock is
+// missing its release fence even when the CSs never overlap in time.
 template <class Lock>
-void counter_stress(Lock& lk, RealWorld& w, int threads, int iters) {
-  uint64_t counter = 0;
-  std::atomic<uint64_t> in_cs{0};
-  std::atomic<uint64_t> violations{0};
-  std::vector<std::thread> ts;
-  for (int pid = 0; pid < threads; ++pid) {
-    ts.emplace_back([&, pid] {
-      auto& h = w.proc(pid);
-      for (int i = 0; i < iters; ++i) {
-        lk.lock(h, pid);
-        if (in_cs.fetch_add(1, std::memory_order_acq_rel) != 0) {
-          violations.fetch_add(1, std::memory_order_relaxed);
-        }
-        ++counter;
-        in_cs.fetch_sub(1, std::memory_order_acq_rel);
-        lk.unlock(h, pid);
-      }
-    });
-  }
-  for (auto& t : ts) t.join();
-  EXPECT_EQ(violations.load(), 0u);
-  EXPECT_EQ(counter, static_cast<uint64_t>(threads) * iters);
+void counter_stress(typename LockFixture<R, Lock>::Factory make, int threads,
+                    uint64_t iters) {
+  Scenario<R> s(threads);
+  auto* fix = s.add_component<LockFixture<R, Lock>>(std::move(make));
+  uint64_t plain_counter = 0;  // protected only by the lock under test
+  fix->set_cs_hook([&plain_counter](int) { ++plain_counter; });
+  auto* chk = s.audits().emplace<ExclusionAudit>();
+  s.set_iterations(stress_iters(iters, threads));
+  auto res = s.run();
+  ASSERT_TRUE(res.ok()) << res.summary();
+  EXPECT_EQ(chk->me_violations(), 0u);
+  uint64_t total = 0;
+  for (uint64_t c : res.completions) total += c;
+  EXPECT_EQ(total, stress_iters(iters, threads) * threads);
+  EXPECT_EQ(chk->entries(), total);
+  EXPECT_EQ(plain_counter, total) << "lost updates: unlock not publishing";
 }
 
 TEST(RealThreads, RmeLockCounterStress) {
   constexpr int kThreads = 8;
-  RealWorld w(kThreads);
-  core::RmeLock<R> lk(w.env, kThreads);
-  counter_stress(lk, w, kThreads, 20000);
+  counter_stress<core::RmeLock<R>>(
+      [=](RealWorld& w) {
+        return std::make_unique<core::RmeLock<R>>(w.env, kThreads);
+      },
+      kThreads, 20000);
 }
 
 TEST(RealThreads, RmeLockManyPortsFewIterations) {
   constexpr int kThreads = 16;
-  RealWorld w(kThreads);
-  core::RmeLock<R> lk(w.env, kThreads);
-  counter_stress(lk, w, kThreads, 4000);
+  counter_stress<core::RmeLock<R>>(
+      [=](RealWorld& w) {
+        return std::make_unique<core::RmeLock<R>>(w.env, kThreads);
+      },
+      kThreads, 4000);
 }
 
 TEST(RealThreads, ArbitrationTreeCounterStress) {
   constexpr int kThreads = 12;
-  RealWorld w(kThreads);
-  core::ArbitrationTree<R> t(w.env, kThreads, {.degree = 3});
-  counter_stress(t, w, kThreads, 10000);
+  counter_stress<core::ArbitrationTree<R>>(
+      [=](RealWorld& w) {
+        return std::make_unique<core::ArbitrationTree<R>>(w.env, kThreads,
+                                                          core::ArbitrationTree<R>::Options{.degree = 3});
+      },
+      kThreads, 10000);
 }
 
 TEST(RealThreads, RecoverableMutexFacadeStress) {
   constexpr int kThreads = 8;
-  RealWorld w(kThreads);
-  RecoverableMutex<R> m(w.env, kThreads);
-  counter_stress(m, w, kThreads, 15000);
+  counter_stress<RecoverableMutex<R>>(
+      [=](RealWorld& w) {
+        return std::make_unique<RecoverableMutex<R>>(w.env, kThreads);
+      },
+      kThreads, 15000);
 }
 
 TEST(RealThreads, TournamentRLockCounterStress) {
   constexpr int kThreads = 8;
-  RealWorld w(kThreads);
-  rlock::TournamentRLock<R> lk(w.env, kThreads);
-  counter_stress(lk, w, kThreads, 15000);
+  counter_stress<rlock::TournamentRLock<R>>(
+      [=](RealWorld& w) {
+        return std::make_unique<rlock::TournamentRLock<R>>(w.env, kThreads);
+      },
+      kThreads, 15000);
 }
 
 TEST(RealThreads, McsBaselineCounterStress) {
   constexpr int kThreads = 8;
-  RealWorld w(kThreads);
-  baselines::McsLock<R> lk(w.env, kThreads);
-  counter_stress(lk, w, kThreads, 30000);
+  counter_stress<baselines::McsLock<R>>(
+      [=](RealWorld& w) {
+        return std::make_unique<baselines::McsLock<R>>(w.env, kThreads);
+      },
+      kThreads, 30000);
 }
 
 // Signal handoff chain across two real threads, many rounds: checks the
-// Bit/GoAddr seq_cst handshake under hardware reordering.
+// Bit/GoAddr seq_cst handshake under hardware reordering. Custom body
+// (no lock, no CS): each scenario iteration is one ping-pong round over
+// a pair of fresh signals.
 TEST(RealThreads, SignalHandoffChain) {
-  constexpr int kRounds = 30000;
-  RealWorld w(2);
+  const uint64_t kRounds = stress_iters(30000, 2);
+  Scenario<R> s(2);
   std::vector<std::unique_ptr<signal::Signal<R>>> sigs;
   sigs.reserve(2 * kRounds);
-  for (int i = 0; i < 2 * kRounds; ++i) {
+  for (uint64_t i = 0; i < 2 * kRounds; ++i) {
     sigs.push_back(std::make_unique<signal::Signal<R>>());
-    sigs.back()->attach(w.env, i % 2);
+    sigs.back()->attach(s.world().env, static_cast<int>(i % 2));
     sigs.back()->init_clear();
   }
-  // Ping-pong: thread A waits on even signals and sets odd ones; thread B
-  // does the reverse. Any lost wake deadlocks (test would time out).
-  std::thread a([&] {
-    auto& h = w.proc(0);
-    for (int i = 0; i < kRounds; ++i) {
+  // Ping-pong: pid 0 waits on even signals and sets odd ones; pid 1 does
+  // the reverse. Any lost wake deadlocks (test would time out). One
+  // scenario iteration = one round; each pid keeps its own round index.
+  uint64_t round[2] = {0, 0};
+  s.set_body([&](platform::Process<R>& h, int pid) {
+    const uint64_t i = round[pid]++;
+    if (pid == 0) {
       sigs[2 * i]->wait(h.ctx, h.ring);
       sigs[2 * i + 1]->set(h.ctx);
-    }
-  });
-  std::thread b([&] {
-    auto& h = w.proc(1);
-    for (int i = 0; i < kRounds; ++i) {
+    } else {
       sigs[2 * i]->set(h.ctx);
       sigs[2 * i + 1]->wait(h.ctx, h.ring);
     }
   });
-  a.join();
-  b.join();
-  SUCCEED();
+  s.set_iterations(kRounds);
+  auto res = s.run();
+  ASSERT_TRUE(res.ok()) << res.summary();
+  EXPECT_EQ(res.completions[0], kRounds);
+  EXPECT_EQ(res.completions[1], kRounds);
 }
 
 // Sequential port reuse on the real platform: one lock, threads take

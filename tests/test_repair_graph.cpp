@@ -122,7 +122,7 @@ TEST(PathGraph, LongChainNoCycleFalsePositive) {
 }
 
 TEST(PathGraphDeath, TwoOutEdgesIsInvariantViolation) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   PathGraph<N> g(8);
   N a, b, c;
   g.add_edge(&a, &b);
@@ -130,7 +130,7 @@ TEST(PathGraphDeath, TwoOutEdgesIsInvariantViolation) {
 }
 
 TEST(PathGraphDeath, CycleIsDetected) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   PathGraph<N> g(8);
   N a, b;
   g.add_edge(&a, &b);

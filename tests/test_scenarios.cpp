@@ -4,38 +4,39 @@
 // several processes crashed around their FAS simultaneously, fragments
 // repaired one at a time under RLock, correct processes concurrently
 // mutating the queue during repair.
+//
+// All choreographies run on the Scenario harness: the lock and its
+// audited body come from LockFixture, the crash choreography from
+// FasCrashComponent (or a custom plan), and set-up/tear-down and audit
+// evaluation from Scenario::run().
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "core/rme_lock.hpp"
-#include "harness/sim_run.hpp"
-#include "harness/world.hpp"
+#include "harness/scenario.hpp"
 
 namespace {
 
 using namespace rme;
-using harness::LockBody;
+using harness::ExclusionAudit;
+using harness::FasCrashSpec;
+using harness::LockFixture;
 using harness::ModelKind;
+using harness::Scenario;
 using harness::SimProc;
-using harness::SimRun;
+using C = platform::Counted;
+using Lock = core::RmeLock<C>;
+using When = sim::CrashAroundFas::When;
 
-using Lock = core::RmeLock<platform::Counted>;
+using Fixture = LockFixture<C, Lock>;
 
-// Compose independent per-pid crash plans.
-class MultiPlan final : public sim::CrashPlan {
- public:
-  void add(std::unique_ptr<sim::CrashPlan> p) { plans_.push_back(std::move(p)); }
-  bool should_crash(int pid, uint64_t step, rmr::Op op) override {
-    for (auto& p : plans_) {
-      if (p->should_crash(pid, step, op)) return true;
-    }
-    return false;
-  }
-
- private:
-  std::vector<std::unique_ptr<sim::CrashPlan>> plans_;
-};
+Fixture::Factory make_lock(int ports) {
+  return [ports](harness::World<C>& w) {
+    return std::make_unique<Lock>(w.env, ports);
+  };
+}
 
 // Figure 5 shape: 8 ports; even ports crash around their FAS (alternating
 // before/after), odd ports enqueue normally and wait. All crashed ports
@@ -43,33 +44,29 @@ class MultiPlan final : public sim::CrashPlan {
 // eventually completes; ME and CSR hold throughout.
 TEST(Scenario, FigureFiveCrashChoreography) {
   constexpr int k = 8;
-  SimRun sim(ModelKind::kCc, k);
-  auto lk = std::make_unique<Lock>(sim.world().env, k);
-  LockBody<Lock> body(*lk, sim.world(), sim.checker());
-  sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
-
-  MultiPlan plan;
-  // pi1, pi3, pi5 of the figure: crash just after FAS (Line 14 crash).
-  plan.add(std::make_unique<sim::CrashAroundFas>(0, 1, sim::CrashAroundFas::kAfter));
-  plan.add(std::make_unique<sim::CrashAroundFas>(2, 1, sim::CrashAroundFas::kAfter));
-  plan.add(std::make_unique<sim::CrashAroundFas>(4, 1, sim::CrashAroundFas::kAfter));
-  // pi7, pi8 of the figure: crash at the FAS itself (Line 13 crash).
-  plan.add(std::make_unique<sim::CrashAroundFas>(6, 1, sim::CrashAroundFas::kBefore));
-  plan.add(std::make_unique<sim::CrashAroundFas>(7, 1, sim::CrashAroundFas::kBefore));
-
-  // Enqueue in pid order first (round-robin start), then free-for-all.
-  sim::SeededRandom pol(424242);
-  std::vector<uint64_t> iters(k, 3);
-  auto res = sim.run(pol, plan, iters, 40000000);
-  ASSERT_FALSE(res.exhausted);
-  EXPECT_EQ(sim.checker().me_violations(), 0u);
-  EXPECT_EQ(sim.checker().csr_violations(), 0u);
+  Scenario<C> s(ModelKind::kCc, k);
+  auto* fix = s.add_component<Fixture>(make_lock(k));
+  auto* chk = s.audits().emplace<ExclusionAudit>();
+  s.add_component<harness::FasCrashComponent<C>>(std::vector<FasCrashSpec>{
+      // pi1, pi3, pi5 of the figure: crash just after FAS (Line 14 crash).
+      {0, 1, When::kAfter},
+      {2, 1, When::kAfter},
+      {4, 1, When::kAfter},
+      // pi7, pi8 of the figure: crash at the FAS itself (Line 13 crash).
+      {6, 1, When::kBefore},
+      {7, 1, When::kBefore}});
+  s.use_random_schedule(424242);
+  s.set_iterations(3);
+  auto res = s.run();
+  ASSERT_TRUE(res.ok()) << res.summary();
   for (int pid = 0; pid < k; ++pid) {
     EXPECT_EQ(res.completions[static_cast<size_t>(pid)], 3u) << pid;
   }
+  EXPECT_EQ(chk->me_violations(), 0u);
+  EXPECT_EQ(chk->csr_violations(), 0u);
   // All five crashed processes went through repair.
-  EXPECT_EQ(lk->total_stats().repairs, 5u);
-  const auto st = lk->total_stats();
+  const auto st = fix->lock().total_stats();
+  EXPECT_EQ(st.repairs, 5u);
   EXPECT_EQ(st.repair_fas + st.repair_headpath + st.repair_special, 5u);
 }
 
@@ -82,20 +79,18 @@ TEST(Scenario, FigureFiveCrashChoreography) {
 TEST(Scenario, ConcurrentRecoveriesDoNotDeadlock) {
   constexpr int k = 4;
   for (uint64_t seed = 0; seed < 8; ++seed) {
-    SimRun sim(ModelKind::kCc, k);
-    auto lk = std::make_unique<Lock>(sim.world().env, k);
-    LockBody<Lock> body(*lk, sim.world(), sim.checker());
-    sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
-    MultiPlan plan;
+    Scenario<C> s(ModelKind::kCc, k);
+    s.add_component<Fixture>(make_lock(k));
+    auto* chk = s.audits().emplace<ExclusionAudit>();
     // Two processes crash after FAS in their *second* passage, so the
     // queue contains both live traffic and two broken fragments.
-    plan.add(std::make_unique<sim::CrashAroundFas>(1, 2, sim::CrashAroundFas::kAfter));
-    plan.add(std::make_unique<sim::CrashAroundFas>(3, 2, sim::CrashAroundFas::kAfter));
-    sim::SeededRandom pol(seed);
-    std::vector<uint64_t> iters(k, 4);
-    auto res = sim.run(pol, plan, iters, 40000000);
-    EXPECT_FALSE(res.exhausted) << "seed " << seed;
-    EXPECT_EQ(sim.checker().me_violations(), 0u) << "seed " << seed;
+    s.add_component<harness::FasCrashComponent<C>>(std::vector<FasCrashSpec>{
+        {1, 2, When::kAfter}, {3, 2, When::kAfter}});
+    s.use_random_schedule(seed);
+    s.set_iterations(4);
+    auto res = s.run();
+    EXPECT_TRUE(res.ok()) << "seed " << seed << ": " << res.summary();
+    EXPECT_EQ(chk->me_violations(), 0u) << "seed " << seed;
     for (int pid = 0; pid < k; ++pid) {
       EXPECT_EQ(res.completions[static_cast<size_t>(pid)], 4u)
           << "seed " << seed << " pid " << pid;
@@ -113,18 +108,17 @@ TEST(Scenario, ConcurrentRecoveriesDoNotDeadlock) {
 TEST(Scenario, RepairUnderChurnDoesNotStarve) {
   constexpr int k = 4;
   for (uint64_t seed = 100; seed < 112; ++seed) {
-    SimRun sim(ModelKind::kCc, k);
-    auto lk = std::make_unique<Lock>(sim.world().env, k);
-    LockBody<Lock> body(*lk, sim.world(), sim.checker());
-    sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
-    MultiPlan plan;
-    plan.add(std::make_unique<sim::CrashAroundFas>(0, 1, sim::CrashAroundFas::kAfter));
-    sim::SeededRandom pol(seed);
+    Scenario<C> s(ModelKind::kCc, k);
+    s.add_component<Fixture>(make_lock(k));
+    auto* chk = s.audits().emplace<ExclusionAudit>();
+    s.add_component<harness::FasCrashComponent<C>>(
+        std::vector<FasCrashSpec>{{0, 1, When::kAfter}});
+    s.use_random_schedule(seed);
     // Heavy churn: the non-crashing ports run many more passages.
-    std::vector<uint64_t> iters = {3, 12, 12, 12};
-    auto res = sim.run(pol, plan, iters, 40000000);
-    EXPECT_FALSE(res.exhausted) << "seed " << seed;
-    EXPECT_EQ(sim.checker().me_violations(), 0u) << "seed " << seed;
+    s.set_iterations(std::vector<uint64_t>{3, 12, 12, 12});
+    auto res = s.run();
+    EXPECT_TRUE(res.ok()) << "seed " << seed << ": " << res.summary();
+    EXPECT_EQ(chk->me_violations(), 0u) << "seed " << seed;
     EXPECT_EQ(res.completions[0], 3u) << "seed " << seed;
     EXPECT_EQ(res.completions[1], 12u) << "seed " << seed;
   }
@@ -134,65 +128,59 @@ TEST(Scenario, RepairUnderChurnDoesNotStarve) {
 // repair must leave a queue the next crash can still break and re-repair.
 TEST(Scenario, RepeatCrasherEventuallyCompletes) {
   constexpr int k = 3;
-  SimRun sim(ModelKind::kCc, k);
-  auto lk = std::make_unique<Lock>(sim.world().env, k);
-  LockBody<Lock> body(*lk, sim.world(), sim.checker());
-  sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
-  MultiPlan plan;
-  // p0 crashes after FAS on three successive passages.
-  plan.add(std::make_unique<sim::CrashAroundFas>(0, 1, sim::CrashAroundFas::kAfter));
-  plan.add(std::make_unique<sim::CrashAroundFas>(0, 2, sim::CrashAroundFas::kAfter));
-  plan.add(std::make_unique<sim::CrashAroundFas>(0, 3, sim::CrashAroundFas::kBefore));
-  sim::SeededRandom pol(7);
-  std::vector<uint64_t> iters = {5, 5, 5};
-  auto res = sim.run(pol, plan, iters, 40000000);
-  ASSERT_FALSE(res.exhausted);
+  Scenario<C> s(ModelKind::kCc, k);
+  auto* fix = s.add_component<Fixture>(make_lock(k));
+  auto* chk = s.audits().emplace<ExclusionAudit>();
+  // p0 crashes around its FAS on three successive passages.
+  s.add_component<harness::FasCrashComponent<C>>(std::vector<FasCrashSpec>{
+      {0, 1, When::kAfter}, {0, 2, When::kAfter}, {0, 3, When::kBefore}});
+  s.use_random_schedule(7);
+  s.set_iterations(5);
+  auto res = s.run();
+  ASSERT_TRUE(res.ok()) << res.summary();
   EXPECT_EQ(res.crashes[0], 3u);
-  EXPECT_EQ(lk->total_stats().repairs, 3u);
-  EXPECT_EQ(sim.checker().me_violations(), 0u);
   EXPECT_EQ(res.completions[0], 5u);
+  EXPECT_EQ(fix->lock().total_stats().repairs, 3u);
+  EXPECT_EQ(chk->me_violations(), 0u);
 }
 
 // Crash *during* repair: the repairing process dies inside its RLock CS
 // (mid-scan) and must recover, re-acquire RLock, and finish the repair.
 TEST(Scenario, CrashDuringRepairIsRecoverable) {
   constexpr int k = 3;
-  // Find repair-phase steps by first running a single-crash run and
-  // noting p0's step count at repair time; then sweep crash points after
-  // the first crash.
-  for (uint64_t extra = 2; extra < 60; extra += 3) {
-    SimRun sim(ModelKind::kCc, k);
-    auto lk = std::make_unique<Lock>(sim.world().env, k);
-    LockBody<Lock> body(*lk, sim.world(), sim.checker());
-    sim.set_body([&](SimProc& h, int pid) { body(h, pid); });
-    // First crash: after FAS. Second crash: `extra` steps into recovery,
-    // which for small `extra` lands inside Lines 17-24 / the RLock / the
-    // repair scan.
-    struct TwoPhase final : sim::CrashPlan {
-      sim::CrashAroundFas first{0, 1, sim::CrashAroundFas::kAfter};
-      uint64_t second_at = 0;
-      uint64_t extra;
-      bool second_done = false;
-      explicit TwoPhase(uint64_t e) : extra(e) {}
-      bool should_crash(int pid, uint64_t step, rmr::Op op) override {
-        if (pid != 0) return false;
-        if (first.should_crash(pid, step, op)) {
-          second_at = step + extra;
-          return true;
-        }
-        if (!second_done && second_at != 0 && step >= second_at) {
-          second_done = true;
-          return true;
-        }
-        return false;
+  // First crash: after FAS. Second crash: `extra` steps into recovery,
+  // which for small `extra` lands inside Lines 17-24 / the RLock / the
+  // repair scan.
+  struct TwoPhase final : sim::CrashPlan {
+    sim::CrashAroundFas first{0, 1, When::kAfter};
+    uint64_t second_at = 0;
+    uint64_t extra;
+    bool second_done = false;
+    explicit TwoPhase(uint64_t e) : extra(e) {}
+    bool should_crash(int pid, uint64_t step, rmr::Op op) override {
+      if (pid != 0) return false;
+      if (first.should_crash(pid, step, op)) {
+        second_at = step + extra;
+        return true;
       }
-    } plan(extra);
-    sim::SeededRandom pol(extra);
-    std::vector<uint64_t> iters = {4, 4, 4};
-    auto res = sim.run(pol, plan, iters, 40000000);
-    EXPECT_FALSE(res.exhausted) << "extra " << extra;
-    EXPECT_EQ(sim.checker().me_violations(), 0u) << "extra " << extra;
-    EXPECT_EQ(sim.checker().csr_violations(), 0u) << "extra " << extra;
+      if (!second_done && second_at != 0 && step >= second_at) {
+        second_done = true;
+        return true;
+      }
+      return false;
+    }
+  };
+  for (uint64_t extra = 2; extra < 60; extra += 3) {
+    Scenario<C> s(ModelKind::kCc, k);
+    s.add_component<Fixture>(make_lock(k));
+    auto* chk = s.audits().emplace<ExclusionAudit>();
+    s.set_crash_plan(std::make_unique<TwoPhase>(extra));
+    s.use_random_schedule(extra);
+    s.set_iterations(4);
+    auto res = s.run();
+    EXPECT_TRUE(res.ok()) << "extra " << extra << ": " << res.summary();
+    EXPECT_EQ(chk->me_violations(), 0u) << "extra " << extra;
+    EXPECT_EQ(chk->csr_violations(), 0u) << "extra " << extra;
     EXPECT_EQ(res.completions[0], 4u) << "extra " << extra;
   }
 }
@@ -200,29 +188,30 @@ TEST(Scenario, CrashDuringRepairIsRecoverable) {
 // Port handover across super-passages: a process completes, a *different*
 // process adopts the same port later (the paper's port model allows this
 // as long as uses don't overlap). State left by the first user must not
-// confuse the second.
+// confuse the second. Custom body, so no LockFixture: the two sim
+// processes strictly alternate on port 0 via a token.
 TEST(Scenario, PortReuseAcrossProcesses) {
   constexpr int k = 2;
-  SimRun sim(ModelKind::kCc, k);
-  auto lk = std::make_unique<Lock>(sim.world().env, k);
-  // Both sim processes share port 0, strictly alternating via a token.
+  Scenario<C> s(ModelKind::kCc, k);
+  Lock lk(s.world().env, k);
   int token = 0;
   int done[2] = {0, 0};
-  sim.set_body([&](SimProc& h, int pid) {
+  s.set_body([&](SimProc& h, int pid) {
     // Busy-hand the port back and forth; only the token holder runs.
     while (token != pid) {
       // A shared read keeps the scheduler cycling fairly.
-      (void)lk->debug_tail(h.ctx);
+      (void)lk.debug_tail(h.ctx);
     }
-    lk->lock(h, 0);
-    lk->unlock(h, 0);
+    lk.lock(h, 0);
+    lk.unlock(h, 0);
     ++done[pid];
     token = 1 - pid;
   });
-  sim::RoundRobin rr;
-  sim::NoCrash nc;
-  auto res = sim.run(rr, nc, {6, 6}, 4000000);
-  ASSERT_FALSE(res.exhausted);
+  s.use_round_robin_schedule();
+  s.set_iterations(6);
+  s.set_max_steps(4000000);
+  auto res = s.run();
+  ASSERT_TRUE(res.ok()) << res.summary();
   EXPECT_EQ(done[0], 6);
   EXPECT_EQ(done[1], 6);
 }
