@@ -1,8 +1,11 @@
-// E11 - RecoverableLockTable throughput: the first many-lock workload.
+// E11 - keyed lock-table throughput: the first many-lock workload.
 //
-// A KV-style update stream: each operation picks a key, locks the key's
-// shard through the table (port leased dynamically per passage), performs
-// a small critical section, unlocks. Two configurations:
+// Registry-driven: iterates every KEYED entry of the rme::api registry
+// (capability filter Addressing::kKeyed) and drives it through the
+// uniform KeyGuard surface. A KV-style update stream: each operation
+// picks a key, locks the key's shard (port leased dynamically per
+// passage), performs a small critical section, releases. Two
+// configurations:
 //
 //   Real     - hardware threads, wall-clock ops/sec vs shard count: the
 //              sharding payoff (single global lock -> striped table).
@@ -11,16 +14,16 @@
 //              fewer RMRs per op (queue handoffs happen less often), while
 //              the O(1)-per-passage core bound keeps every row flat in k.
 //
-// Emits BENCH_JSON lines (shared bench_util helper) for the perf
-// trajectory.
+// Every BENCH_JSON line carries lock=<registry-name> so rows share one
+// schema with bench_throughput and stay comparable across PRs.
 #include <chrono>
 #include <cstdint>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "api/api.hpp"
 #include "bench_util.hpp"
-#include "core/lock_table.hpp"
 
 using namespace rme;
 using namespace rme::bench;
@@ -43,22 +46,21 @@ volatile uint64_t g_cs_sink = 0;
 inline void benchmark_cs() { g_cs_sink = g_cs_sink + 1; }
 
 // Real platform: ops/sec over `shards`, all threads hammering a shared
-// key space.
+// key space through the uniform KeyGuard surface.
+template <class T>
 double real_throughput(int shards, uint64_t iters_per_thread) {
   using R = platform::Real;
   Scenario<R> s(kRealThreads);
-  core::RecoverableLockTable<R> table(s.world().env, shards,
-                                      /*ports_per_shard=*/kRealThreads,
-                                      kRealThreads);
+  T table(s.world().env, shards, /*ports_per_shard=*/kRealThreads,
+          kRealThreads);
   s.set_body([&](platform::Process<R>& h, int pid) {
     // Cheap per-thread LCG key stream; distinct streams per pid.
     static thread_local uint64_t rng = 0;
     if (rng == 0) rng = 0x9e3779b9u + static_cast<uint64_t>(pid) * 2654435761u;
     rng = rng * 6364136223846793005ull + 1442695040888963407ull;
     const uint64_t key = (rng >> 33) % kKeySpace;
-    table.lock(h, pid, key);
+    api::KeyGuard<T> g(table, h, pid, key);
     benchmark_cs();
-    table.unlock(h, pid);
   });
   s.set_iterations(iters_per_thread);
   const auto t0 = std::chrono::steady_clock::now();
@@ -72,18 +74,17 @@ double real_throughput(int shards, uint64_t iters_per_thread) {
 }
 
 // Counted platform: mean RMR per operation on the CC model.
+template <class T>
 double counted_rmr_per_op(int shards, int pids, uint64_t iters) {
   using C = platform::Counted;
   Scenario<C> s(ModelKind::kCc, pids);
-  core::RecoverableLockTable<C> table(s.world().env, shards,
-                                      /*ports_per_shard=*/pids, pids);
+  T table(s.world().env, shards, /*ports_per_shard=*/pids, pids);
   std::vector<uint64_t> done(static_cast<size_t>(pids), 0);
   s.set_body([&](SimProc& h, int pid) {
     const uint64_t key =
         (static_cast<uint64_t>(pid) * 2654435761u + done[pid] * 40503u) %
         kKeySpace;
-    table.lock(h, pid, key);
-    table.unlock(h, pid);
+    api::KeyGuard<T> g(table, h, pid, key);
     ++done[pid];
   });
   s.use_random_schedule(17);
@@ -99,6 +100,10 @@ double counted_rmr_per_op(int shards, int pids, uint64_t iters) {
   return ops > 0 ? static_cast<double>(rmrs) / static_cast<double>(ops) : 0.0;
 }
 
+constexpr auto kKeyedPred = [](const api::Traits& t) {
+  return t.addressing == api::Addressing::kKeyed;
+};
+
 }  // namespace
 
 int main() {
@@ -107,37 +112,46 @@ int main() {
          "=> contention falls with shard count while every passage keeps "
          "the Theorem 2 bound");
 
+  // Iterate the keyed registry entries per platform; the Real and Counted
+  // instantiations of an entry share a registry name by construction, so
+  // the BENCH_JSON rows join on lock=<name>.
   std::printf("\n-- (a) Real platform: %d threads, wall-clock --\n",
               kRealThreads);
-  {
+  api::for_each_lock_if<platform::Real>(kKeyedPred, [](auto tag) {
+    using T = typename decltype(tag)::type;
     const uint64_t iters = scaled_real_iters();
+    std::printf("lock=%s\n", T::kName);
     Table t({"shards", "ops/sec"});
     for (int shards : {1, 4, 16, 64}) {
-      const double ops = real_throughput(shards, iters);
+      const double ops = real_throughput<T>(shards, iters);
       t.row({fmt("%d", shards), fmt("%.0f", ops)});
       json_line("lock_table_throughput",
-                {{"platform", "real"},
+                {{"lock", T::kName},
+                 {"platform", "real"},
                  {"threads", fmt("%d", kRealThreads)},
                  {"shards", fmt("%d", shards)}},
                 {{"ops_per_sec", ops}});
     }
-  }
+  });
 
   std::printf("\n-- (b) Counted platform (CC model): RMR per op --\n");
-  {
+  api::for_each_lock_if<platform::Counted>(kKeyedPred, [](auto tag) {
+    using T = typename decltype(tag)::type;
     constexpr int kPids = 8;
+    std::printf("lock=%s\n", T::kName);
     Table t({"shards", "RMR/op"});
     for (int shards : {1, 4, 16, 64}) {
-      const double rmr = counted_rmr_per_op(shards, kPids, 6);
+      const double rmr = counted_rmr_per_op<T>(shards, kPids, 6);
       t.row({fmt("%d", shards), fmt("%.1f", rmr)});
       json_line("lock_table_rmr",
-                {{"platform", "counted"},
+                {{"lock", T::kName},
+                 {"platform", "counted"},
                  {"model", "CC"},
                  {"pids", fmt("%d", kPids)},
                  {"shards", fmt("%d", shards)}},
                 {{"rmr_per_op", rmr}});
     }
-  }
+  });
 
   std::printf(
       "\nReading: (a) ops/sec rises with shard count until the machine "

@@ -2,10 +2,12 @@
 // plain std::atomic, zero instrumentation).
 //
 // Not a claim from the paper (its model counts RMRs, not nanoseconds) but
-// the practicality check a systems reader expects: the recoverable lock's
-// crash-free fast path against classic non-recoverable locks and
-// std::mutex. Uses google-benchmark's threaded fixtures; each thread is
-// bound to one port/pid.
+// the practicality check a systems reader expects. Registry-driven: every
+// non-keyed rme::api registry entry is registered as a benchmark under its
+// stable registry name (the keyed table has its own workload shape in
+// bench_lock_table), plus a std::mutex reference. Each thread is bound to
+// one port/pid; BENCH_JSON rows carry lock=<registry-name> so the perf
+// trajectory is comparable across PRs.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -13,11 +15,8 @@
 #include <memory>
 #include <mutex>
 
-#include "baselines/mcs.hpp"
-#include "baselines/simple_locks.hpp"
+#include "api/api.hpp"
 #include "bench_util.hpp"
-#include "core/arbitration_tree.hpp"
-#include "core/rme_lock.hpp"
 #include "harness/world.hpp"
 
 namespace {
@@ -27,31 +26,36 @@ using R = platform::Real;
 
 constexpr int kMaxThreads = 16;
 
+template <class L>
+constexpr int max_threads_for() {
+  return api::clamp_processes(api::lock_traits_v<L>, kMaxThreads);
+}
+
 // Shared fixture state; created once per lock type and reused across
 // thread-count variants (the locks are designed for arbitrary reuse).
 // Never deleted mid-process: google-benchmark may still be running other
 // threads' loops when thread 0 finishes, so teardown inside the benchmark
 // function would be a use-after-free.
-template <class Lock>
+template <class L>
 struct Fix {
   harness::RealWorld world{kMaxThreads};
-  std::unique_ptr<Lock> lock;
+  std::unique_ptr<L> lock;
   uint64_t shared_counter = 0;  // protected by the lock
 };
 
-template <class Lock, class Make>
-void run_lock_bench(benchmark::State& state, std::atomic<Fix<Lock>*>& fix,
-                    const char* bench_name, Make make) {
+template <class L>
+void run_lock_bench(benchmark::State& state) {
+  static std::atomic<Fix<L>*> fix{nullptr};
   {
     static std::mutex setup_mu;
     std::lock_guard<std::mutex> g(setup_mu);
     if (fix.load(std::memory_order_acquire) == nullptr) {
-      auto* f = new Fix<Lock>();
-      f->lock = make(f->world);
+      auto* f = new Fix<L>();
+      f->lock = std::make_unique<L>(f->world.env, max_threads_for<L>());
       fix.store(f, std::memory_order_release);
     }
   }
-  Fix<Lock>* f = fix.load(std::memory_order_acquire);
+  Fix<L>* f = fix.load(std::memory_order_acquire);
   // One port per benchmark thread: thread_index is stable for the run and
   // distinct across concurrent threads - the paper's port contract.
   const int my_pid = state.thread_index();
@@ -60,9 +64,9 @@ void run_lock_bench(benchmark::State& state, std::atomic<Fix<Lock>*>& fix,
   uint64_t local = 0;
   const auto t0 = std::chrono::steady_clock::now();
   for (auto _ : state) {
-    f->lock->lock(h, my_pid);
+    f->lock->acquire(h, my_pid);
     ++f->shared_counter;  // the critical section
-    f->lock->unlock(h, my_pid);
+    f->lock->release(h, my_pid);
     ++local;
   }
   const std::chrono::duration<double> dt =
@@ -80,46 +84,13 @@ void run_lock_bench(benchmark::State& state, std::atomic<Fix<Lock>*>& fix,
     if (dt.count() >= 0.1) {
       rme::bench::json_line(
           "throughput",
-          {{"lock", bench_name},
+          {{"lock", L::kName},
            {"threads", rme::bench::fmt("%d", state.threads())}},
           {{"ops_per_sec_est",
             static_cast<double>(local) / dt.count() * state.threads()}});
     }
   }
 }
-
-#define LOCK_BENCH(NAME, LOCKTYPE, MAKE)                              \
-  void NAME(benchmark::State& state) {                               \
-    static std::atomic<Fix<LOCKTYPE>*> fix{nullptr};                 \
-    run_lock_bench<LOCKTYPE>(state, fix, #NAME, MAKE);               \
-  }                                                                  \
-  BENCHMARK(NAME)->ThreadRange(1, kMaxThreads)->UseRealTime();
-
-LOCK_BENCH(BM_RmeLock_Flat, core::RmeLock<R>, [](harness::RealWorld& w) {
-  return std::make_unique<core::RmeLock<R>>(w.env, kMaxThreads);
-})
-
-LOCK_BENCH(BM_RmeLock_Tree, core::ArbitrationTree<R>,
-           [](harness::RealWorld& w) {
-             return std::make_unique<core::ArbitrationTree<R>>(w.env,
-                                                               kMaxThreads);
-           })
-
-LOCK_BENCH(BM_Mcs, baselines::McsLock<R>, [](harness::RealWorld& w) {
-  return std::make_unique<baselines::McsLock<R>>(w.env, kMaxThreads);
-})
-
-LOCK_BENCH(BM_Ttas, baselines::TtasLock<R>, [](harness::RealWorld& w) {
-  return std::make_unique<baselines::TtasLock<R>>(w.env);
-})
-
-LOCK_BENCH(BM_Ticket, baselines::TicketLock<R>, [](harness::RealWorld& w) {
-  return std::make_unique<baselines::TicketLock<R>>(w.env);
-})
-
-LOCK_BENCH(BM_Clh, baselines::ClhLock<R>, [](harness::RealWorld& w) {
-  return std::make_unique<baselines::ClhLock<R>>(w.env, kMaxThreads);
-})
 
 // std::mutex reference.
 void BM_StdMutex(benchmark::State& state) {
@@ -139,14 +110,36 @@ void BM_StdMutex(benchmark::State& state) {
   if (state.thread_index() == 0 && dt.count() >= 0.1) {
     rme::bench::json_line(
         "throughput",
-        {{"lock", "BM_StdMutex"},
+        {{"lock", "std_mutex"},
          {"threads", rme::bench::fmt("%d", state.threads())}},
         {{"ops_per_sec_est",
           static_cast<double>(local) / dt.count() * state.threads()}});
   }
 }
-BENCHMARK(BM_StdMutex)->ThreadRange(1, kMaxThreads)->UseRealTime();
+
+void register_benches() {
+  api::for_each_lock_if<R>(
+      [](const api::Traits& t) {
+        return t.addressing != api::Addressing::kKeyed;
+      },
+      [](auto tag) {
+        using L = typename decltype(tag)::type;
+        benchmark::RegisterBenchmark(L::kName, run_lock_bench<L>)
+            ->ThreadRange(1, max_threads_for<L>())
+            ->UseRealTime();
+      });
+  benchmark::RegisterBenchmark("std_mutex", BM_StdMutex)
+      ->ThreadRange(1, kMaxThreads)
+      ->UseRealTime();
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_benches();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,11 +1,16 @@
-// Quickstart: the recoverable mutex on real threads.
+// Quickstart: the public rme::api surface on real threads.
 //
 // Build & run:  ./build/examples/quickstart
 //
-// Demonstrates the public API surface:
-//   * RealWorld      - owns the (empty) environment and per-process handles
-//   * RecoverableMutex<platform::Real> - the n-process lock (Theorem 3)
-//   * lock / unlock with an explicit pid, or the RAII Guard
+// Three API levels, all through the uniform concept + RAII layer
+// (api/api.hpp - acquire/release/recover, Guard/KeyGuard):
+//
+//   1. rme::RecoverableMutex      - n-process arbitration tree (Theorem 3),
+//                                   pid-addressed, with api::Guard.
+//   2. rme::api::LeasedLock       - RmeLock behind dynamic port leasing:
+//                                   more clients than ports, with api::Guard.
+//   3. rme::api::TableLock        - sharded key-addressed lock table, with
+//                                   api::KeyGuard.
 //
 // On the Real platform there is no crash injection - this is the
 // production configuration: plain std::atomic, zero instrumentation. See
@@ -14,36 +19,101 @@
 #include <thread>
 #include <vector>
 
-#include "core/recoverable_mutex.hpp"
+#include "api/api.hpp"
 #include "harness/world.hpp"
+
+namespace {
+
+using Real = rme::platform::Real;
+
+bool check(const char* what, uint64_t got, uint64_t expect) {
+  std::printf("%-28s %llu (expected %llu) -> %s\n", what,
+              (unsigned long long)got, (unsigned long long)expect,
+              got == expect ? "OK" : "LOST UPDATES");
+  return got == expect;
+}
+
+}  // namespace
 
 int main() {
   constexpr int kThreads = 8;
-  constexpr int kItersPerThread = 100000;
+  constexpr int kItersPerThread = 50000;
+  constexpr uint64_t kExpect =
+      static_cast<uint64_t>(kThreads) * kItersPerThread;
 
   rme::harness::RealWorld world(kThreads);
-  rme::RecoverableMutex<rme::platform::Real> mutex(world.env, kThreads);
-  std::printf("arbitration tree: degree %d, height %d\n", mutex.degree(),
-              mutex.height());
+  bool ok = true;
 
-  uint64_t counter = 0;  // protected by the mutex
-
-  std::vector<std::thread> threads;
-  for (int pid = 0; pid < kThreads; ++pid) {
-    threads.emplace_back([&, pid] {
-      auto& h = world.proc(pid);
-      for (int i = 0; i < kItersPerThread; ++i) {
-        rme::RecoverableMutex<rme::platform::Real>::Guard g(mutex, h, pid);
-        ++counter;
-      }
-    });
+  // -- 1. The n-process recoverable mutex (pid-addressed) ----------------
+  {
+    rme::RecoverableMutex<Real> mutex(world.env, kThreads);
+    std::printf("arbitration tree: degree %d, height %d\n", mutex.degree(),
+                mutex.height());
+    uint64_t counter = 0;  // protected by the mutex
+    std::vector<std::thread> threads;
+    for (int pid = 0; pid < kThreads; ++pid) {
+      threads.emplace_back([&, pid] {
+        auto& h = world.proc(pid);
+        for (int i = 0; i < kItersPerThread; ++i) {
+          rme::api::Guard g(mutex, h, pid);
+          ++counter;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    ok = check("tree mutex counter:", counter, kExpect) && ok;
   }
-  for (auto& t : threads) t.join();
 
-  const uint64_t expect =
-      static_cast<uint64_t>(kThreads) * kItersPerThread;
-  std::printf("counter = %llu (expected %llu) -> %s\n",
-              (unsigned long long)counter, (unsigned long long)expect,
-              counter == expect ? "OK" : "LOST UPDATES");
-  return counter == expect ? 0 : 1;
+  // -- 2. Dynamic port leasing: 8 clients share 4 ports ------------------
+  {
+    rme::api::LeasedLock<Real> lock(world.env, /*ports=*/kThreads / 2,
+                                    /*npids=*/kThreads);
+    uint64_t counter = 0;  // protected by the lock
+    std::vector<std::thread> threads;
+    for (int pid = 0; pid < kThreads; ++pid) {
+      threads.emplace_back([&, pid] {
+        auto& h = world.proc(pid);
+        for (int i = 0; i < kItersPerThread; ++i) {
+          rme::api::Guard g(lock, h, pid);
+          ++counter;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    ok = check("leased lock counter:", counter, kExpect) && ok;
+    // All leases returned to the pool; under quiescence scavenge() finds
+    // nothing to repair (no crashes happened on the Real platform).
+    auto& ctx = world.proc(0).ctx;
+    ok = check("ports back in pool:",
+               (uint64_t)lock.underlying().lease().free_ports(ctx),
+               kThreads / 2) &&
+         ok;
+  }
+
+  // -- 3. The sharded lock table: a tiny account bank, key-addressed -----
+  {
+    constexpr int kAccounts = 64;
+    rme::api::TableLock<Real> table(world.env, /*shards=*/8,
+                                    /*ports_per_shard=*/kThreads, kThreads);
+    uint64_t balance[kAccounts] = {};  // each guarded by its key's shard
+    std::vector<std::thread> threads;
+    for (int pid = 0; pid < kThreads; ++pid) {
+      threads.emplace_back([&, pid] {
+        auto& h = world.proc(pid);
+        uint64_t rng = 0x9e3779b9u + static_cast<uint64_t>(pid);
+        for (int i = 0; i < kItersPerThread; ++i) {
+          rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+          const uint64_t account = (rng >> 33) % kAccounts;
+          rme::api::KeyGuard g(table, h, pid, account);
+          ++balance[account];
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    uint64_t total = 0;
+    for (uint64_t b : balance) total += b;
+    ok = check("table bank total:", total, kExpect) && ok;
+  }
+
+  return ok ? 0 : 1;
 }

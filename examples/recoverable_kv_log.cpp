@@ -1,24 +1,32 @@
-// Recoverable key-value log: the paper's motivating scenario end-to-end.
+// Recoverable key-value log: the paper's motivating scenario end-to-end,
+// on the public rme::api surface - a sharded api::TableLock guards the
+// store per key, acquired through the RAII api::KeyGuard.
 //
 // Build & run:  ./build/examples/recoverable_kv_log
 //
 // A tiny persistent store lives in "NVM" (crash-surviving memory): a
-// fixed array of slots plus a write-ahead intent record per process. Each
-// update is:   lock -> write intent -> apply to slots -> clear intent ->
-// unlock. Processes crash at random shared-memory steps (including inside
-// the lock's own protocol, inside the CS, and mid-exit). Recovery is the
-// paper's contract: just call lock() again - if the crash was inside the
-// CS the process re-enters immediately (wait-free CSR) and completes its
-// intent (redo log); otherwise it starts a fresh update.
+// fixed array of slots (each slot a KV cell, keyed by its index across
+// the table's shards) plus a write-ahead intent record per process. Each
+// update is: KeyGuard(slot) -> write intent -> apply to slot -> clear
+// intent -> release (guard scope exit). Processes crash at random
+// shared-memory steps - inside the lease claim, the lock's own protocol,
+// the CS, or mid-exit. A crash unwinds through the KeyGuard WITHOUT
+// releasing (guard.hpp crash semantics); recovery is the paper's
+// contract: retry the operation with the SAME key - the persisted shard
+// intent and port lease re-bind the process, and a crash inside the CS
+// re-enters wait-free (CSR) to complete the redo log before any rival
+// touches that shard.
 //
-// At the end we verify: the sum over slots equals the number of applied
-// updates, no intent is left dangling, and the lock never admitted two
-// processes at once (checked throughout by the scratch protocol).
+// At the end we verify from the NVM image: every slot matches its paired
+// mirror cell (the redo log replayed atomically), no intent dangles, the
+// slot total is consistent with the completed-update count, and the
+// leases leaked by claim-window crashes are repatriated by scavenge()
+// under quiescence.
 #include <cstdio>
 #include <memory>
 #include <vector>
 
-#include "core/rme_lock.hpp"
+#include "api/api.hpp"
 #include "harness/sim_run.hpp"
 
 using namespace rme;
@@ -30,37 +38,41 @@ using P = platform::Counted;
 namespace {
 
 constexpr int kProcs = 4;
+constexpr int kShards = 4;
 constexpr int kSlots = 8;
 constexpr uint64_t kUpdatesPerProc = 50;
 
 // All fields are platform atomics: they live in NVM and survive crashes.
 struct Store {
   typename P::Atomic<uint64_t> slot[kSlots];
+  // Paired cell written in the same critical section with the same
+  // absolute value; slot == mirror at quiescence witnesses that the redo
+  // log replays atomically across crashes.
+  typename P::Atomic<uint64_t> mirror[kSlots];
   // Per-process intent record: a 1-entry redo log holding the *absolute*
-  // post-state (slot value and applied counter), which makes replay
-  // idempotent: any number of re-applications writes the same values.
+  // post-state, which makes replay idempotent: any number of
+  // re-applications writes the same values.
   struct Intent {
     typename P::Atomic<int> pending;
     typename P::Atomic<int> slot;
-    typename P::Atomic<uint64_t> value;    // new slot contents
-    typename P::Atomic<uint64_t> applied;  // new applied-counter value
+    typename P::Atomic<uint64_t> value;  // new slot contents
   } intent[kProcs];
-  typename P::Atomic<uint64_t> applied;  // committed update count
 
   void attach(P::Env& env) {
     for (auto& s : slot) {
       s.attach(env, rmr::kNoOwner);
       s.init(0);
     }
+    for (auto& m : mirror) {
+      m.attach(env, rmr::kNoOwner);
+      m.init(0);
+    }
     for (auto& i : intent) {
       i.pending.attach(env, rmr::kNoOwner);
       i.slot.attach(env, rmr::kNoOwner);
       i.value.attach(env, rmr::kNoOwner);
-      i.applied.attach(env, rmr::kNoOwner);
       i.pending.init(0);
     }
-    applied.attach(env, rmr::kNoOwner);
-    applied.init(0);
   }
 };
 
@@ -68,7 +80,8 @@ struct Store {
 
 int main() {
   SimRun sim(ModelKind::kCc, kProcs);
-  core::RmeLock<P> lock(sim.world().env, kProcs);
+  api::TableLock<P> table(sim.world().env, kShards,
+                          /*ports_per_shard=*/kProcs, kProcs);
   Store store;
   store.attach(sim.world().env);
 
@@ -76,38 +89,45 @@ int main() {
 
   sim.set_body([&](SimProc& h, int pid) {
     auto& ctx = h.ctx;
-    // ---- Try section (doubles as recovery code) ----
-    lock.lock(h, pid);
+    // The slot doubles as the lock key; derived from (pid, committed) so
+    // a crashed update retries the SAME key - the recovery contract that
+    // re-binds the process to the shard and port of its interrupted
+    // super-passage.
+    const int s = static_cast<int>((pid * 31 + committed[pid]) % kSlots);
+
+    // ---- Try section (doubles as recovery) + RAII session ----
+    api::KeyGuard g(table, h, pid, static_cast<uint64_t>(s));
 
     // ---- Critical section: write-ahead redo log ----
-    // CSR guarantees that after a crash in here *we* re-enter before any
-    // other process, so the intent cannot interleave with other updates.
+    // CSR guarantees that after a crash in here *we* re-enter this
+    // shard's CS before any other process, so the intent cannot
+    // interleave with other updates to the shard.
     auto& in = store.intent[pid];
     if (in.pending.load(ctx) == 0) {
       // Fresh update: compute the absolute post-state, then publish the
       // intent (pending flag last - the intent's commit point).
-      const int s = static_cast<int>((pid * 31 + committed[pid]) % kSlots);
       in.slot.store(ctx, s);
       in.value.store(ctx, store.slot[s].load(ctx) + 1);
-      in.applied.store(ctx, store.applied.load(ctx) + 1);
       in.pending.store(ctx, 1);
     }
     // Replay the intent. Absolute values make this idempotent: a crash
     // anywhere below just causes the same writes to be issued again.
-    const int s = in.slot.load(ctx);
-    store.slot[s].store(ctx, in.value.load(ctx));
-    store.applied.store(ctx, in.applied.load(ctx));
+    const int rs = in.slot.load(ctx);
+    const uint64_t v = in.value.load(ctx);
+    store.slot[rs].store(ctx, v);
+    store.mirror[rs].store(ctx, v);
     in.pending.store(ctx, 0);
 
-    // ---- Exit section ----
-    lock.unlock(h, pid);
+    // ---- Exit section: KeyGuard scope end. A crash before release
+    // completes leaves the shard held; the retry finishes it. ----
     ++committed[pid];
   });
 
   sim::SeededRandom pol(2027);
   // Random crash storm plus two surgically placed crashes around FAS
-  // instructions (the paper's queue-breaking shapes, Section 3.1), so the
-  // run demonstrably exercises the repair machinery.
+  // instructions (the paper's queue-breaking shapes, Section 3.1, plus
+  // the lease claim window), so the run demonstrably exercises both the
+  // queue repair machinery and the port-lease recovery.
   struct Storm final : sim::CrashPlan {
     sim::RandomCrash random{0.002, 1234, 120};
     sim::CrashAroundFas fas_a{1, 3, sim::CrashAroundFas::kAfter};
@@ -126,28 +146,59 @@ int main() {
     return 1;
   }
 
-  uint64_t total_crashes = 0;
-  for (int p = 0; p < kProcs; ++p) total_crashes += res.crashes[p];
+  uint64_t total_crashes = 0, total_completed = 0;
+  for (int p = 0; p < kProcs; ++p) {
+    total_crashes += res.crashes[p];
+    total_completed += res.completions[p];
+  }
 
   // Verify consistency from the NVM image.
   auto& ctx = sim.world().proc(0).ctx;
   uint64_t slot_sum = 0;
-  for (auto& s : store.slot) slot_sum += s.load(ctx);
-  const uint64_t applied = store.applied.load(ctx);
+  int mirror_mismatches = 0;
+  for (int s = 0; s < kSlots; ++s) {
+    const uint64_t v = store.slot[s].load(ctx);
+    slot_sum += v;
+    if (store.mirror[s].load(ctx) != v) ++mirror_mismatches;
+  }
   int dangling = 0;
   for (auto& in : store.intent) dangling += in.pending.load(ctx);
 
+  uint64_t repairs = 0;
+  for (int s = 0; s < kShards; ++s) {
+    repairs += table.underlying().shard_lock(s).total_stats().repairs;
+  }
+  // Quiescent now: repatriate any ports leaked by claim-window crashes.
+  int scavenged = 0;
+  int free_ports = 0;
+  for (int s = 0; s < kShards; ++s) {
+    const int r = table.underlying().shard_lease(s).scavenge(ctx);
+    if (r > 0) scavenged += r;
+    free_ports += table.underlying().shard_lease(s).free_ports(ctx);
+  }
+
   std::printf("processes:            %d\n", kProcs);
-  std::printf("updates committed:    %llu\n", (unsigned long long)applied);
+  std::printf("updates committed:    %llu\n",
+              (unsigned long long)total_completed);
   std::printf("crashes survived:     %llu\n",
               (unsigned long long)total_crashes);
-  std::printf("repairs performed:    %llu\n",
-              (unsigned long long)lock.total_stats().repairs);
+  std::printf("queue repairs:        %llu\n", (unsigned long long)repairs);
   std::printf("slot sum:             %llu\n", (unsigned long long)slot_sum);
+  std::printf("mirror mismatches:    %d\n", mirror_mismatches);
   std::printf("dangling intents:     %d\n", dangling);
+  std::printf("leases scavenged:     %d\n", scavenged);
+  std::printf("ports back in pools:  %d/%d\n", free_ports,
+              kShards * kProcs);
 
-  const bool ok = slot_sum == applied && dangling == 0 &&
-                  applied >= kProcs * kUpdatesPerProc;
+  // A crash between intent-clear and release can double-apply one update
+  // on retry, so slot_sum may exceed the completion count by at most the
+  // crash count - but never fall short, never desync the mirror, and
+  // never leave an intent dangling.
+  const bool ok = mirror_mismatches == 0 && dangling == 0 &&
+                  slot_sum >= total_completed &&
+                  slot_sum <= total_completed + total_crashes &&
+                  total_completed >= kProcs * kUpdatesPerProc &&
+                  free_ports == kShards * kProcs;
   std::printf("consistency:          %s\n", ok ? "OK" : "VIOLATED");
   return ok ? 0 : 1;
 }

@@ -1,0 +1,268 @@
+// Thin adapters lifting every lock in the library onto the uniform
+// rme::api surface (acquire/release/recover + LockTraits), without
+// touching the underlying hot paths: each method is a single inlined
+// forward to the implementation's lock()/unlock() (the paper's Try/Exit
+// verbs - see lock_concept.hpp for the canonical-verb mapping).
+//
+// Uniform construction contract, relied on by the registry-driven
+// conformance suite and benches:
+//   L(env, nprocs)  - ready for ids 0..nprocs-1 (clamped to
+//                     LockTraits<L>::value.max_processes when non-zero).
+// Keyed adapters additionally expose the sharded constructor
+//   L(env, shards, ports_per_shard, npids).
+//
+// recover(h, id) completes any super-passage `id` left interrupted and
+// returns with the lock idle for `id`. For port/pid/leased locks that is
+// exactly the paper's recovery protocol followed by Exit (acquire then
+// release - an empty passage when nothing was interrupted); the keyed
+// table has a native recover() that also clears its persisted shard
+// intent. Non-recoverable baselines still expose recover() so the concept
+// is uniform, but it is only meaningful crash-free.
+//
+// Most entries are instances of PortAdapter<...> (one shared forwarding
+// body, parameterised by underlying type, registry name and traits);
+// only the adapters with genuinely distinct surfaces - LeasedLock's
+// recover, TableLock's keyed addressing, PairLock's 2-port assert - are
+// hand-written.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+
+#include "api/lock_concept.hpp"
+#include "baselines/mcs.hpp"
+#include "baselines/simple_locks.hpp"
+#include "core/lock_table.hpp"
+#include "core/port_lease.hpp"
+#include "core/recoverable_mutex.hpp"
+#include "core/rme_lock.hpp"
+#include "rlock/peterson_rw.hpp"
+#include "rlock/r2lock.hpp"
+#include "rlock/tournament.hpp"
+
+namespace rme::api {
+
+// Structural string so a registry name can be a template parameter.
+template <size_t N>
+struct FixedName {
+  char s[N] = {};
+  constexpr FixedName(const char (&str)[N]) {
+    for (size_t i = 0; i < N; ++i) s[i] = str[i];
+  }
+};
+
+// ---------------------------------------------------------------------------
+// PortAdapter: the shared adapter body for every lock whose surface is
+// plain lock(h, id)/unlock(h, id). try_acquire is exposed iff the
+// underlying lock offers try_lock.
+// ---------------------------------------------------------------------------
+template <class P, class U, FixedName kN, Traits kT>
+class PortAdapter {
+ public:
+  using Platform = P;
+  using Env = typename P::Env;
+  using Proc = platform::Process<P>;
+  using Underlying = U;
+
+  static constexpr const char* kName = kN.s;
+  static constexpr Traits kTraits = kT;
+
+  PortAdapter(Env& env, int nprocs)
+    requires std::constructible_from<U, Env&, int>
+      : impl_(env, nprocs) {}
+  PortAdapter(Env& env, int /*nprocs*/)
+    requires(!std::constructible_from<U, Env&, int> &&
+             std::constructible_from<U, Env&>)
+      : impl_(env) {}
+
+  void acquire(Proc& h, int id) { impl_.lock(h, id); }
+  void release(Proc& h, int id) { impl_.unlock(h, id); }
+  // Recoverable locks: Try section = recovery code (wait-free CSR), so
+  // an interrupted super-passage is finished by an acquire/release pair.
+  void recover(Proc& h, int id) {
+    impl_.lock(h, id);
+    impl_.unlock(h, id);
+  }
+  bool try_acquire(Proc& h, int id)
+    requires requires(U& u, Proc& hh, int ii) {
+      { u.try_lock(hh, ii) } -> std::same_as<bool>;
+    }
+  {
+    return impl_.try_lock(h, id);
+  }
+
+  Underlying& underlying() { return impl_; }
+
+ private:
+  Underlying impl_;
+};
+
+// Paper core: the k-ported RmeLock (Theorem 2). Port-addressed: the
+// caller owns port assignment per the paper's Section 3 contract.
+template <class P>
+using FlatLock = PortAdapter<P, core::RmeLock<P>, "rme_flat",
+                             Traits{Addressing::kPort, /*recoverable=*/true,
+                                    Rmw::kFasOnly, /*max_processes=*/0}>;
+
+// Repair-serialising recoverable locks (the paper's pluggable RLock):
+// tournament of Signal-based R2Locks (default) and the read/write
+// Peterson ablation.
+template <class P>
+using TournamentLock =
+    PortAdapter<P, rlock::TournamentRLock<P>, "rlock_tournament",
+                Traits{Addressing::kPort, /*recoverable=*/true, Rmw::kNone,
+                       /*max_processes=*/0}>;
+
+template <class P>
+using PetersonTournamentLock =
+    PortAdapter<P, rlock::TournamentRLock<P, rlock::PetersonR2<P>>,
+                "rlock_peterson",
+                Traits{Addressing::kPort, /*recoverable=*/true, Rmw::kNone,
+                       /*max_processes=*/0}>;
+
+// Non-recoverable baselines (RMR/throughput anchors).
+template <class P>
+using McsBaseline =
+    PortAdapter<P, baselines::McsLock<P>, "mcs",
+                Traits{Addressing::kPort, /*recoverable=*/false, Rmw::kCas,
+                       /*max_processes=*/0}>;
+
+template <class P>
+using TasBaseline =
+    PortAdapter<P, baselines::TasLock<P>, "tas",
+                Traits{Addressing::kPort, /*recoverable=*/false,
+                       Rmw::kFasOnly, /*max_processes=*/0}>;
+
+template <class P>
+using TtasBaseline =
+    PortAdapter<P, baselines::TtasLock<P>, "ttas",
+                Traits{Addressing::kPort, /*recoverable=*/false,
+                       Rmw::kFasOnly, /*max_processes=*/0}>;
+
+template <class P>
+using TicketBaseline =
+    PortAdapter<P, baselines::TicketLock<P>, "ticket",
+                Traits{Addressing::kPort, /*recoverable=*/false, Rmw::kFai,
+                       /*max_processes=*/0}>;
+
+template <class P>
+using ClhBaseline =
+    PortAdapter<P, baselines::ClhLock<P>, "clh",
+                Traits{Addressing::kPort, /*recoverable=*/false,
+                       Rmw::kFasOnly, /*max_processes=*/0}>;
+
+// ---------------------------------------------------------------------------
+// Leased: RmeLock behind the FAS-only PortLease pool. Pid-addressed; the
+// persisted lease word re-binds a recovering pid to the port of its
+// interrupted super-passage. Hand-written for its recover(): an idle pid
+// must not run a full passage, and a pid that crashed inside the claim
+// window (no lease persisted) must still be declared quiescent so the
+// leaked port stays scavengeable.
+// ---------------------------------------------------------------------------
+template <class P>
+class LeasedLock {
+ public:
+  using Platform = P;
+  using Env = typename P::Env;
+  using Proc = platform::Process<P>;
+  using Underlying = core::RecoverableMutexFacade<P>;
+
+  static constexpr const char* kName = "rme_leased";
+  static constexpr Traits kTraits{Addressing::kLeased, /*recoverable=*/true,
+                                  Rmw::kFasOnly, /*max_processes=*/0};
+
+  LeasedLock(Env& env, int nprocs) : impl_(env, nprocs, nprocs) {}
+  LeasedLock(Env& env, int ports, int npids) : impl_(env, ports, npids) {}
+
+  void acquire(Proc& h, int pid) { impl_.lock(h, pid); }
+  void release(Proc& h, int pid) { impl_.unlock(h, pid); }
+  void recover(Proc& h, int pid) {
+    if (impl_.lease().held(h.ctx, pid) == core::kNoLease) {
+      // No persisted lease: either truly idle, or the crash hit inside
+      // the claim window (port leaked, lease never written). Declare the
+      // pid quiescent so the leak stays scavengeable.
+      impl_.lease().quiesce(h.ctx, pid);
+      return;
+    }
+    impl_.lock(h, pid);
+    impl_.unlock(h, pid);
+  }
+
+  Underlying& underlying() { return impl_; }
+
+ private:
+  Underlying impl_;
+};
+
+// ---------------------------------------------------------------------------
+// Keyed: the sharded RecoverableLockTable. acquire(h, pid, key) locks the
+// shard guarding `key` and returns the shard index; recover() is native
+// (finishes a stale super-passage and clears the persisted shard intent).
+// ---------------------------------------------------------------------------
+template <class P>
+class TableLock {
+ public:
+  using Platform = P;
+  using Env = typename P::Env;
+  using Proc = platform::Process<P>;
+  using Underlying = core::RecoverableLockTable<P>;
+
+  static constexpr const char* kName = "rme_keyed";
+  static constexpr Traits kTraits{Addressing::kKeyed, /*recoverable=*/true,
+                                  Rmw::kFasOnly, /*max_processes=*/0};
+
+  TableLock(Env& env, int nprocs)
+      : impl_(env, /*shards=*/4, /*ports_per_shard=*/nprocs, nprocs) {}
+  TableLock(Env& env, int shards, int ports_per_shard, int npids)
+      : impl_(env, shards, ports_per_shard, npids) {}
+
+  int acquire(Proc& h, int pid, uint64_t key) {
+    return impl_.lock(h, pid, key);
+  }
+  void release(Proc& h, int pid) { impl_.unlock(h, pid); }
+  void recover(Proc& h, int pid) { impl_.recover(h, pid); }
+
+  int shards() const { return impl_.shards(); }
+  int shard_for_key(uint64_t key) const { return impl_.shard_for_key(key); }
+  Underlying& underlying() { return impl_; }
+
+ private:
+  Underlying impl_;
+};
+
+// ---------------------------------------------------------------------------
+// The bare 2-ported R2Lock. Hand-written for its construction shape
+// (default-construct + attach) and the max-2-ports assert.
+// ---------------------------------------------------------------------------
+template <class P>
+class PairLock {
+ public:
+  using Platform = P;
+  using Env = typename P::Env;
+  using Proc = platform::Process<P>;
+  using Underlying = rlock::R2Lock<P>;
+
+  static constexpr const char* kName = "rlock_r2";
+  static constexpr Traits kTraits{Addressing::kPort, /*recoverable=*/true,
+                                  Rmw::kNone, /*max_processes=*/2};
+
+  PairLock(Env& env, int nprocs) {
+    RME_ASSERT(nprocs >= 1 && nprocs <= 2, "PairLock: R2Lock has 2 ports");
+    impl_.attach(env);
+  }
+
+  void acquire(Proc& h, int side) { impl_.lock(h, side); }
+  void release(Proc& h, int side) { impl_.unlock(h, side); }
+  void recover(Proc& h, int side) {
+    impl_.lock(h, side);
+    impl_.unlock(h, side);
+  }
+
+  Underlying& underlying() { return impl_; }
+
+ private:
+  Underlying impl_;
+};
+
+}  // namespace rme::api

@@ -1,0 +1,24 @@
+// Umbrella header for the public rme::api surface:
+//
+//   lock_concept.hpp - canonical verbs, Traits, LockTraits, concepts
+//   guard.hpp        - Guard / TryGuard / KeyGuard (crash-consistent RAII)
+//   adapters.hpp     - adapters lifting every lock onto the concept
+//   registry.hpp     - the named type-list registry + for_each_lock
+//
+// Typical use:
+//
+//   #include "api/api.hpp"
+//
+//   rme::harness::RealWorld world(n);
+//   rme::api::LeasedLock<rme::platform::Real> lock(world.env, ports, n);
+//   {
+//     rme::api::Guard g(lock, world.proc(pid), pid);
+//     ... critical section ...
+//   }  // released on scope exit; crash unwinds leave the lock held for
+//      // recovery (acquire again) - see guard.hpp
+#pragma once
+
+#include "api/adapters.hpp"    // IWYU pragma: export
+#include "api/guard.hpp"       // IWYU pragma: export
+#include "api/lock_concept.hpp"  // IWYU pragma: export
+#include "api/registry.hpp"    // IWYU pragma: export

@@ -1,0 +1,69 @@
+// Compile-time conformance of the registry, built as its own TU with
+// -Wall -Wextra -Werror (see CMakeLists.txt): every entry must satisfy
+// Lock or KeyedLock on BOTH platforms, registry names must be unique, and
+// keyed addressing must line up with the KeyedLock concept. Runtime
+// behaviour is covered by tests/test_api_conformance.cpp.
+#include "api/api.hpp"
+
+namespace {
+
+using namespace rme;
+
+constexpr bool str_eq(const char* a, const char* b) {
+  for (; *a != '\0' && *b != '\0'; ++a, ++b) {
+    if (*a != *b) return false;
+  }
+  return *a == *b;
+}
+
+template <class... Ls>
+constexpr bool all_conforming(api::TypeList<Ls...>) {
+  return ((api::Lock<Ls> || api::KeyedLock<Ls>) && ...);
+}
+
+template <class... Ls>
+constexpr bool keyed_trait_matches_concept(api::TypeList<Ls...>) {
+  return ((api::KeyedLock<Ls> ==
+           (api::lock_traits_v<Ls>.addressing == api::Addressing::kKeyed)) &&
+          ...);
+}
+
+template <class... Ls>
+constexpr bool names_unique(api::TypeList<Ls...>) {
+  const char* names[] = {Ls::kName...};
+  constexpr int n = static_cast<int>(sizeof...(Ls));
+  for (int i = 0; i < n; ++i) {
+    if (str_eq(names[i], "")) return false;
+    for (int j = i + 1; j < n; ++j) {
+      if (str_eq(names[i], names[j])) return false;
+    }
+  }
+  return true;
+}
+
+template <class P>
+constexpr bool check_platform() {
+  static_assert(all_conforming(api::Registry<P>{}),
+                "registry entry does not satisfy Lock/KeyedLock");
+  static_assert(keyed_trait_matches_concept(api::Registry<P>{}),
+                "keyed trait disagrees with KeyedLock concept");
+  static_assert(names_unique(api::Registry<P>{}),
+                "registry names must be unique and non-empty");
+  static_assert(api::registry_size<P>() >= 8,
+                "registry shrank below the conformance floor");
+  // Spot-check capability refinements.
+  static_assert(api::RecoverableLock<api::FlatLock<P>>);
+  static_assert(api::RecoverableLock<rme::RecoverableMutex<P>>);
+  static_assert(!api::RecoverableLock<api::McsBaseline<P>>);
+  static_assert(api::TryLock<api::TasBaseline<P>>);
+  static_assert(api::TryLock<api::McsBaseline<P>>);
+  static_assert(!api::TryLock<api::FlatLock<P>>);
+  static_assert(api::KeyedLock<api::TableLock<P>>);
+  return true;
+}
+
+[[maybe_unused]] constexpr bool kRealOk = check_platform<platform::Real>();
+[[maybe_unused]] constexpr bool kCountedOk =
+    check_platform<platform::Counted>();
+
+}  // namespace

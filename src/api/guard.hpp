@@ -1,0 +1,152 @@
+// RAII session layer over the rme::api lock concept.
+//
+//   Guard<L>     - acquire on construction, release on normal scope exit.
+//   TryGuard<L>  - one bounded attempt; test with operator bool.
+//   KeyGuard<L>  - keyed tables: acquires the shard guarding a key and
+//                  remembers the shard index.
+//
+// Crash-consistent unwinding: in the deterministic simulator a crash step
+// is delivered as an exception (sim::ProcessCrashed) unwinding the process
+// body. A crashed process must NOT run Exit - the whole point of
+// recoverable mutual exclusion is that the lock state survives as-is and
+// the recovery protocol (acquire again) repairs it. Every guard therefore
+// skips release() when its scope unwinds exceptionally; on the Real
+// platform (no crash injection) this means an exception thrown inside a
+// guarded critical section leaves the lock held, and for a recoverable
+// lock the documented response is the same recovery protocol: acquire
+// again (or recover()) from the catch site.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+
+#include "api/lock_concept.hpp"
+
+namespace rme::api {
+
+// Deliberately unconstrained at class level (the concept is enforced in
+// the constructor): a lock class may declare `using Guard =
+// api::Guard<Self>` as a member alias while still incomplete - a
+// class-level constraint would be evaluated against the incomplete type
+// and cache a false verdict.
+template <class L>
+class Guard {
+ public:
+  using Proc = typename L::Proc;
+
+  Guard(L& l, Proc& h, int id)
+      : lock_(&l), h_(&h), id_(id), unwind_(std::uncaught_exceptions()) {
+    static_assert(Lock<L>, "api::Guard requires an api::Lock");
+    l.acquire(h, id);
+  }
+
+  // noexcept(false): in the simulator release() itself is a crash point
+  // (sim::ProcessCrashed may be thrown mid-Exit); the crash must
+  // propagate to the driver, not terminate. The unwind check above this
+  // release guarantees we never throw while another exception is active.
+  ~Guard() noexcept(false) {
+    if (lock_ == nullptr) return;
+    if (std::uncaught_exceptions() > unwind_) return;  // crash unwind
+    lock_->release(*h_, id_);
+  }
+
+  // Release before scope end (the guard becomes inert; idempotent).
+  // The guard goes inert BEFORE the lock release runs: if a simulated
+  // crash fires mid-Exit the destructor must not re-release.
+  void release() {
+    L* l = lock_;
+    if (l == nullptr) return;
+    lock_ = nullptr;
+    l->release(*h_, id_);
+  }
+
+  int id() const { return id_; }
+
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+ private:
+  L* lock_;
+  Proc* h_;
+  int id_;
+  int unwind_;
+};
+
+template <TryLock L>
+class TryGuard {
+ public:
+  using Proc = typename L::Proc;
+
+  TryGuard(L& l, Proc& h, int id)
+      : lock_(&l),
+        h_(&h),
+        id_(id),
+        unwind_(std::uncaught_exceptions()),
+        held_(l.try_acquire(h, id)) {}
+
+  ~TryGuard() noexcept(false) {  // see ~Guard()
+    if (!held_) return;
+    if (std::uncaught_exceptions() > unwind_) return;  // crash unwind
+    lock_->release(*h_, id_);
+  }
+
+  explicit operator bool() const { return held_; }
+  bool held() const { return held_; }
+
+  void release() {
+    if (!held_) return;
+    held_ = false;
+    lock_->release(*h_, id_);
+  }
+
+  TryGuard(const TryGuard&) = delete;
+  TryGuard& operator=(const TryGuard&) = delete;
+
+ private:
+  L* lock_;
+  Proc* h_;
+  int id_;
+  int unwind_;
+  bool held_;
+};
+
+template <KeyedLock L>
+class KeyGuard {
+ public:
+  using Proc = typename L::Proc;
+
+  KeyGuard(L& l, Proc& h, int pid, uint64_t key)
+      : lock_(&l), h_(&h), pid_(pid), unwind_(std::uncaught_exceptions()) {
+    shard_ = l.acquire(h, pid, key);
+  }
+
+  ~KeyGuard() noexcept(false) {  // see ~Guard()
+    if (lock_ == nullptr) return;
+    if (std::uncaught_exceptions() > unwind_) return;  // crash unwind
+    lock_->release(*h_, pid_);
+  }
+
+  // Release before scope end (the guard becomes inert; idempotent).
+  void release() {
+    L* l = lock_;
+    if (l == nullptr) return;
+    lock_ = nullptr;
+    l->release(*h_, pid_);
+  }
+
+  // The shard the key mapped to (stable for the key).
+  int shard() const { return shard_; }
+  int pid() const { return pid_; }
+
+  KeyGuard(const KeyGuard&) = delete;
+  KeyGuard& operator=(const KeyGuard&) = delete;
+
+ private:
+  L* lock_;
+  Proc* h_;
+  int pid_;
+  int unwind_;
+  int shard_ = -1;
+};
+
+}  // namespace rme::api

@@ -1,0 +1,152 @@
+// rme::api - the unified lock concept and capability descriptor that every
+// public lock surface of this library conforms to.
+//
+// Canonical verbs (THE naming authority for the whole repo; underlying
+// implementations keep the paper's lock()/unlock() = Try/Exit sections,
+// and the api adapters route them here):
+//
+//   acquire(h, id)       - the Try section: blocks until the caller is in
+//                          the critical section. For recoverable locks this
+//                          doubles as the complete recovery protocol: after
+//                          a crash ANYWHERE (mid-Try, inside the CS, or
+//                          mid-Exit), call acquire with the same id again.
+//   release(h, id)       - the Exit section: wait-free straight-line code,
+//                          idempotent for recoverable locks.
+//   recover(h, id)       - finish any super-passage `id` left interrupted
+//                          and return with the lock idle for `id` (a full
+//                          empty passage when nothing was interrupted).
+//   try_acquire(h, id)   - optional (TryLock concept): one bounded attempt,
+//                          true iff the CS was entered.
+//   acquire(h, id, key)  - keyed locks (KeyedLock concept): lock the shard
+//                          guarding `key`; returns the shard index.
+//
+// `h` is the per-process handle (platform::Process<P>), `id` the caller's
+// identity in the lock's addressing mode - see Traits::addressing.
+//
+// Every conforming lock carries a LockTraits<L> capability descriptor so
+// generic code (the conformance suite, the registry-driven benches, the
+// guards) can select behaviour by capability instead of by type name.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "platform/process.hpp"
+
+namespace rme::api {
+
+// How the `id` argument of acquire/release is interpreted.
+enum class Addressing : uint8_t {
+  kPort,    // paper's static port model: caller owns port assignment and
+            // guarantees no two processes use one port concurrently
+  kPid,     // process id 0..n-1; the lock owns any internal port mapping
+  kLeased,  // pid-addressed with dynamic port leasing (persisted lease
+            // words re-bind a recovering process to its interrupted port)
+  kKeyed,   // pid + key: the lock is a table of shards striped by key
+};
+
+// The strongest read-modify-write instruction the lock issues. The paper's
+// core result needs only FAS (exchange); baselines document what they cost.
+enum class Rmw : uint8_t {
+  kNone,     // reads and writes only
+  kFasOnly,  // fetch-and-store (exchange), the paper's instruction set
+  kFai,      // fetch-and-increment (ticket baseline)
+  kCas,      // compare-and-swap (MCS release path)
+};
+
+// Capability descriptor: one constexpr value per lock type.
+struct Traits {
+  Addressing addressing = Addressing::kPort;
+  // Full recoverability: mutual exclusion + starvation freedom survive
+  // crash steps at any instruction, with wait-free critical-section
+  // re-entry (CSR). false = a crash can deadlock or corrupt the lock.
+  bool recoverable = false;
+  Rmw rmw = Rmw::kNone;
+  // Hard bound on concurrent processes/ports (0 = any count chosen at
+  // construction). E.g. the bare 2-ported R2Lock reports 2.
+  int max_processes = 0;
+};
+
+// Processes/ports to drive a lock with, honouring its max_processes
+// capability (the single home of this clamp - registry consumers use it
+// rather than re-deriving the rule).
+constexpr int clamp_processes(const Traits& t, int want) {
+  return t.max_processes > 0 && t.max_processes < want ? t.max_processes
+                                                       : want;
+}
+
+constexpr const char* to_string(Addressing a) {
+  switch (a) {
+    case Addressing::kPort: return "port";
+    case Addressing::kPid: return "pid";
+    case Addressing::kLeased: return "leased";
+    case Addressing::kKeyed: return "keyed";
+  }
+  return "?";
+}
+
+constexpr const char* to_string(Rmw r) {
+  switch (r) {
+    case Rmw::kNone: return "read/write";
+    case Rmw::kFasOnly: return "FAS";
+    case Rmw::kFai: return "FAI";
+    case Rmw::kCas: return "CAS";
+  }
+  return "?";
+}
+
+// LockTraits<L>: the capability lookup generic code uses. Conforming locks
+// declare a `static constexpr Traits kTraits`; third-party locks that
+// cannot be edited may specialise LockTraits instead.
+template <class L>
+struct LockTraits;  // primary: undefined (specialised below or by users)
+
+template <class L>
+  requires requires { { L::kTraits } -> std::convertible_to<Traits>; }
+struct LockTraits<L> {
+  static constexpr Traits value = L::kTraits;
+};
+
+template <class L>
+inline constexpr Traits lock_traits_v = LockTraits<L>::value;
+
+// True when LockTraits<L>::value is available.
+template <class L>
+concept Described = requires {
+  { LockTraits<L>::value } -> std::convertible_to<Traits>;
+};
+
+// The uniform surface: acquire/release/recover over (handle, id).
+template <class L>
+concept Lock = Described<L> && requires(L& l, typename L::Proc& h, int id) {
+  typename L::Platform;
+  { l.acquire(h, id) } -> std::same_as<void>;
+  { l.release(h, id) } -> std::same_as<void>;
+  { l.recover(h, id) } -> std::same_as<void>;
+};
+
+// A Lock whose traits promise full crash recoverability; the conformance
+// suite adds a crash-injection sweep for exactly these.
+template <class L>
+concept RecoverableLock = Lock<L> && LockTraits<L>::value.recoverable;
+
+// A Lock with a bounded single-attempt entry.
+template <class L>
+concept TryLock = Lock<L> && requires(L& l, typename L::Proc& h, int id) {
+  { l.try_acquire(h, id) } -> std::same_as<bool>;
+};
+
+// Key-addressed lock tables: acquire takes (pid, key) and reports the
+// shard; release/recover are pid-addressed (the table persists which shard
+// a pid's in-flight super-passage targets).
+template <class L>
+concept KeyedLock =
+    Described<L> && LockTraits<L>::value.addressing == Addressing::kKeyed &&
+    requires(L& l, typename L::Proc& h, int pid, uint64_t key) {
+      typename L::Platform;
+      { l.acquire(h, pid, key) } -> std::convertible_to<int>;
+      { l.release(h, pid) } -> std::same_as<void>;
+      { l.recover(h, pid) } -> std::same_as<void>;
+    };
+
+}  // namespace rme::api

@@ -1,0 +1,106 @@
+// The lock registry: a compile-time type list pairing every public lock
+// with a stable string name (L::kName) and its capability descriptor
+// (LockTraits<L>). One conformance suite and one bench loop iterate this
+// list instead of hand-wiring each lock:
+//
+//   rme::api::for_each_lock<platform::Counted>([&](auto tag) {
+//     using L = typename decltype(tag)::type;
+//     if constexpr (rme::api::KeyedLock<L>) { ... } else { ... }
+//   });
+//
+//   rme::api::for_each_lock_if<platform::Real>(
+//       [](const rme::api::Traits& t) { return t.recoverable; },
+//       [&](auto tag) { ... });
+//
+// Registry names are STABLE identifiers: benches key their BENCH_JSON
+// rows on them (lock=<name>), so renaming an entry breaks trajectory
+// comparability across PRs - don't.
+#pragma once
+
+#include <type_traits>
+#include <vector>
+
+#include "api/adapters.hpp"
+#include "api/lock_concept.hpp"
+
+namespace rme::api {
+
+template <class... Ls>
+struct TypeList {
+  static constexpr int size = static_cast<int>(sizeof...(Ls));
+};
+
+template <class L>
+struct TypeTag {
+  using type = L;
+};
+
+// The registry. Every entry satisfies Lock or KeyedLock (statically
+// checked in api_check.cpp for both platforms).
+template <class P>
+using Registry =
+    TypeList<FlatLock<P>,               // paper Theorem 2, port-addressed
+             rme::RecoverableMutex<P>,  // Theorem 3 tree, pid-addressed
+             LeasedLock<P>,             // dynamic port leasing
+             TableLock<P>,              // sharded key-addressed table
+             TournamentLock<P>,         // Signal-based RLock tournament
+             PetersonTournamentLock<P>, // read/write ablation
+             PairLock<P>,               // bare 2-ported R2Lock
+             McsBaseline<P>, TasBaseline<P>, TtasBaseline<P>,
+             TicketBaseline<P>, ClhBaseline<P>>;
+
+template <class P>
+constexpr int registry_size() {
+  return Registry<P>::size;
+}
+
+namespace detail {
+template <class Fn, class... Ls>
+constexpr void for_each_impl(TypeList<Ls...>, Fn&& fn) {
+  (fn(TypeTag<Ls>{}), ...);
+}
+}  // namespace detail
+
+// Visit every registry entry: fn(TypeTag<L>) for each lock type L.
+template <class P, class Fn>
+constexpr void for_each_lock(Fn&& fn) {
+  detail::for_each_impl(Registry<P>{}, static_cast<Fn&&>(fn));
+}
+
+// Visit the entries whose Traits satisfy `pred` (capability filter).
+// `pred` must be a stateless constexpr callable over Traits (a
+// captureless lambda): filtering happens at COMPILE time, so `fn` is only
+// instantiated for the selected entries - e.g. a KeyGuard-using body
+// passed with a keyed-addressing filter never has to compile against
+// port-addressed locks.
+template <class P, class Pred, class Fn>
+constexpr void for_each_lock_if(Pred&&, Fn&& fn) {
+  static_assert(std::is_empty_v<std::remove_cvref_t<Pred>>,
+                "for_each_lock_if: predicate must be stateless "
+                "(captureless lambda) - it is evaluated at compile time");
+  for_each_lock<P>([&](auto tag) {
+    using L = typename decltype(tag)::type;
+    if constexpr (std::remove_cvref_t<Pred>{}(lock_traits_v<L>)) {
+      fn(tag);
+    }
+  });
+}
+
+// Runtime self-description of the registry (docs, test output, tooling).
+struct Description {
+  const char* name;
+  Traits traits;
+};
+
+template <class P>
+std::vector<Description> describe_registry() {
+  std::vector<Description> out;
+  out.reserve(static_cast<size_t>(registry_size<P>()));
+  for_each_lock<P>([&](auto tag) {
+    using L = typename decltype(tag)::type;
+    out.push_back(Description{L::kName, lock_traits_v<L>});
+  });
+  return out;
+}
+
+}  // namespace rme::api

@@ -47,6 +47,17 @@ class McsLock {
     }
   }
 
+  // One bounded attempt: CAS the tail from empty to our node; never
+  // enqueues behind a holder, so unlock() composes unchanged.
+  bool try_lock(Proc& h, int p) {
+    Ctx& ctx = h.ctx;
+    MNode* me = &nodes_[static_cast<size_t>(p)];
+    me->next.store(ctx, nullptr, std::memory_order_relaxed);
+    me->locked.store(ctx, 1, std::memory_order_relaxed);
+    MNode* expected = nullptr;
+    return tail_.compare_exchange(ctx, expected, me);
+  }
+
   void unlock(Proc& h, int p) {
     Ctx& ctx = h.ctx;
     MNode* me = &nodes_[static_cast<size_t>(p)];

@@ -38,6 +38,10 @@ class TasLock {
       bo.spin();
     }
   }
+  // One bounded attempt: a single exchange.
+  bool try_lock(Proc& h, int /*p*/) {
+    return word_.exchange(h.ctx, 1, std::memory_order_acquire) == 0;
+  }
   void unlock(Proc& h, int /*p*/) {
     word_.store(h.ctx, 0, std::memory_order_release);
   }
@@ -63,6 +67,11 @@ class TtasLock {
       while (word_.load(h.ctx, std::memory_order_relaxed) != 0) bo.spin();
       if (word_.exchange(h.ctx, 1, std::memory_order_acquire) == 0) return;
     }
+  }
+  // One bounded attempt: probe, then a single exchange if it looked free.
+  bool try_lock(Proc& h, int /*p*/) {
+    if (word_.load(h.ctx, std::memory_order_relaxed) != 0) return false;
+    return word_.exchange(h.ctx, 1, std::memory_order_acquire) == 0;
   }
   void unlock(Proc& h, int /*p*/) {
     word_.store(h.ctx, 0, std::memory_order_release);

@@ -122,6 +122,11 @@ class RecoverableLockTable {
       if (visit) visit(h, s);
       sh.lock.unlock(h, port);
       sh.lease.release(h.ctx, pid);
+    } else {
+      // Crash inside the claim window: intent recorded, no lease written
+      // (port possibly leaked). Declare the pid quiescent so the shard's
+      // pool stays scavengeable.
+      sh.lease.quiesce(h.ctx, pid);
     }
     shard_of_[static_cast<size_t>(pid)].store(h.ctx, kNoShard);
   }

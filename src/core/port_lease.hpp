@@ -44,6 +44,17 @@
 // capacity decays, and scavenge() rebuilds the pool from the lease words
 // when the caller can guarantee quiescence (no acquire/release in
 // flight), e.g. after joining threads or between workload phases.
+//
+// scavenge() VERIFIES that quiescence claim instead of trusting it: each
+// pid keeps a seqlock-style epoch word (odd = a claim/release is in
+// flight, so a port may exist only in that process's registers), bumped
+// with plain pid-local reads and writes - the FAS-only instruction budget
+// is untouched. scavenge() snapshots the epochs, scans, then re-validates;
+// any in-flight or intervening operation makes it REFUSE (return
+// kScavengeRefused) rather than risk depositing a duplicate of a port a
+// live process is holding. A pid that crashed mid-operation leaves its
+// epoch odd until its recovery re-runs the operation, so scavenge also
+// refuses while a crashed process has not yet recovered.
 #pragma once
 
 #include <cstdint>
@@ -58,6 +69,9 @@ namespace rme::core {
 
 inline constexpr int kNoLease = -1;
 
+// scavenge() result when the pool was observably not quiescent.
+inline constexpr int kScavengeRefused = -1;
+
 template <class P>
 class PortLease {
  public:
@@ -70,7 +84,8 @@ class PortLease {
       : ports_(ports),
         npids_(npids),
         slots_(static_cast<size_t>(ports)),
-        lease_(static_cast<size_t>(npids)) {
+        lease_(static_cast<size_t>(npids)),
+        epoch_(static_cast<size_t>(npids)) {
     RME_ASSERT(ports >= 1, "PortLease: need >= 1 port");
     RME_ASSERT(npids >= 1, "PortLease: need >= 1 pid");
     for (int s = 0; s < ports; ++s) {
@@ -80,7 +95,11 @@ class PortLease {
     for (int pid = 0; pid < npids; ++pid) {
       lease_[static_cast<size_t>(pid)].attach(env, pid);  // local on DSM
       lease_[static_cast<size_t>(pid)].init(kNoLease);
+      epoch_[static_cast<size_t>(pid)].attach(env, pid);  // local on DSM
+      epoch_[static_cast<size_t>(pid)].init(0);
     }
+    scavenging_.attach(env, rmr::kNoOwner);
+    scavenging_.init(0);
   }
 
   // Returns the pid's port, re-finding a persisted lease after a crash or
@@ -89,7 +108,11 @@ class PortLease {
     check_pid(pid);
     const int held = lease_[static_cast<size_t>(pid)].load(ctx);
     if (held != kNoLease) {
-      return held;  // crash recovery: same port, same lock state
+      // Crash recovery: same port, same lock state. A crash between the
+      // lease store and op_end strands the epoch odd; the persisted lease
+      // proves no port lives only in registers, so normalise it here.
+      op_end(ctx, pid);
+      return held;
     }
     platform::Backoff bo;
     for (;;) {
@@ -103,6 +126,7 @@ class PortLease {
   // One sweep over the slots; kNoLease if every slot was empty.
   int try_claim(Ctx& ctx, int pid) {
     check_pid(pid);
+    op_begin(ctx, pid);
     const int start = static_cast<int>(mix(static_cast<uint64_t>(pid)) %
                                        static_cast<uint64_t>(ports_));
     for (int i = 0; i < ports_; ++i) {
@@ -113,8 +137,10 @@ class PortLease {
       // Port in hand. Persist the lease; a crash before this store leaks
       // the port (see header comment) but cannot duplicate it.
       lease_[static_cast<size_t>(pid)].store(ctx, got);
+      op_end(ctx, pid);
       return got;
     }
+    op_end(ctx, pid);
     return kNoLease;
   }
 
@@ -130,18 +156,56 @@ class PortLease {
     check_pid(pid);
     const int port = lease_[static_cast<size_t>(pid)].load(ctx);
     if (port == kNoLease) return;
+    op_begin(ctx, pid);
     // Clear the lease BEFORE the deposit: a crash in between leaks the
     // port, but the reverse order could let this pid recover a port
     // another process has meanwhile claimed from the pool.
     lease_[static_cast<size_t>(pid)].store(ctx, kNoLease);
     deposit(ctx, port);
+    op_end(ctx, pid);
   }
 
-  // Rebuild the pool from ground truth. QUIESCENT CALLERS ONLY: no
-  // acquire/release may be in flight anywhere (ports held in a live
-  // process's registers would be misread as leaked and duplicated).
-  // Returns the number of leaked ports recovered.
+  // Rebuild the pool from ground truth. Requires quiescence (no
+  // acquire/release in flight anywhere: a port held only in a live
+  // process's registers would be misread as leaked and DUPLICATED), and
+  // verifies it via the per-pid epoch words: returns kScavengeRefused -
+  // having deposited nothing - when any operation was in flight at the
+  // snapshot or ran during the scan. Otherwise returns the number of
+  // leaked ports recovered.
   int scavenge(Ctx& ctx) {
+    // One scavenger at a time: two concurrent scans could each deem the
+    // same port leaked and both deposit it - a duplication. FAS-claim a
+    // guard word; a rival scavenge in flight is itself a quiescence
+    // violation, so refuse. (A crash inside scavenge leaves the guard
+    // held and every later call refused - conservative: capacity decays
+    // but duplication stays impossible; quiesce-and-rebuild is the
+    // operator remedy, as for any other non-quiescent state.)
+    if (scavenging_.exchange(ctx, 1) != 0) return kScavengeRefused;
+    const int result = scavenge_locked(ctx);
+    scavenging_.store(ctx, 0);
+    return result;
+  }
+
+  // Declare, from `pid`'s own recovery path, that none of its
+  // claim/release operations is in flight anywhere: clears the odd epoch
+  // bit a crash mid-operation leaves behind (which otherwise makes
+  // scavenge() refuse until the pid claims again). Never moves ports.
+  // Callers: recovery code only - a live concurrent operation by this
+  // pid would invalidate the declaration.
+  void quiesce(Ctx& ctx, int pid) {
+    check_pid(pid);
+    op_end(ctx, pid);
+  }
+
+ private:
+  int scavenge_locked(Ctx& ctx) {
+    // Snapshot: every epoch must be even (no claim/release mid-flight).
+    std::vector<uint64_t> before(static_cast<size_t>(npids_));
+    for (int pid = 0; pid < npids_; ++pid) {
+      const uint64_t e = epoch_[static_cast<size_t>(pid)].load(ctx);
+      if ((e & 1) != 0) return kScavengeRefused;
+      before[static_cast<size_t>(pid)] = e;
+    }
     std::vector<bool> seen(static_cast<size_t>(ports_), false);
     for (int s = 0; s < ports_; ++s) {
       const int v = slots_[static_cast<size_t>(s)].load(ctx);
@@ -150,6 +214,14 @@ class PortLease {
     for (int pid = 0; pid < npids_; ++pid) {
       const int v = lease_[static_cast<size_t>(pid)].load(ctx);
       if (v != kNoLease) seen[static_cast<size_t>(v)] = true;
+    }
+    // Validate: the scan is only trustworthy if no operation ran while it
+    // was taken (seqlock read protocol).
+    for (int pid = 0; pid < npids_; ++pid) {
+      if (epoch_[static_cast<size_t>(pid)].load(ctx) !=
+          before[static_cast<size_t>(pid)]) {
+        return kScavengeRefused;
+      }
     }
     int recovered = 0;
     for (int port = 0; port < ports_; ++port) {
@@ -161,6 +233,7 @@ class PortLease {
     return recovered;
   }
 
+ public:
   int ports() const { return ports_; }
   int npids() const { return npids_; }
 
@@ -175,6 +248,24 @@ class PortLease {
   }
 
  private:
+  // Seqlock writer protocol around the windows where a port can live only
+  // in this process's registers. Single-writer (pid-local) cells, plain
+  // reads/writes only; seq_cst so the epoch transition is ordered against
+  // the slot/lease operations it brackets. Re-entry after a crash finds
+  // the epoch odd and keeps it odd (while still bumping it, so a
+  // concurrent scavenge scan is invalidated either way); only a cleanly
+  // completed operation returns it to even.
+  void op_begin(Ctx& ctx, int pid) {
+    auto& e = epoch_[static_cast<size_t>(pid)];
+    const uint64_t v = e.load(ctx, std::memory_order_seq_cst);
+    e.store(ctx, v + 1 + (v & 1), std::memory_order_seq_cst);  // -> odd
+  }
+  void op_end(Ctx& ctx, int pid) {
+    auto& e = epoch_[static_cast<size_t>(pid)];
+    const uint64_t v = e.load(ctx, std::memory_order_seq_cst);
+    e.store(ctx, v + (v & 1), std::memory_order_seq_cst);  // -> even
+  }
+
   void deposit(Ctx& ctx, int port) {
     // Swap the port into the first slot observed empty. If the FAS
     // displaces a concurrently-deposited port, carry the displaced port
@@ -208,6 +299,8 @@ class PortLease {
   int npids_;
   std::vector<typename P::template Atomic<int>> slots_;
   std::vector<typename P::template Atomic<int>> lease_;
+  std::vector<typename P::template Atomic<uint64_t>> epoch_;
+  typename P::template Atomic<int> scavenging_;  // scavenge mutual exclusion
 };
 
 // ---------------------------------------------------------------------------

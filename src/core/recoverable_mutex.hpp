@@ -12,13 +12,25 @@
 //                               port count is small and crashes are rare.
 //
 // Both expose the same contract: pick a pid/port in your Remainder
-// section, call lock(); the critical section runs; call unlock(). The
-// recovery protocol after a crash at ANY point is to call lock() again -
+// section, call acquire(); the critical section runs; call release(). The
+// recovery protocol after a crash at ANY point is to call acquire() again -
 // if the crash happened inside the CS you re-enter immediately (wait-free
-// CSR); if it happened inside Exit, lock() completes the exit and runs a
-// fresh passage.
+// CSR); if it happened inside Exit, acquire() completes the exit and runs
+// a fresh passage.
+//
+// RecoverableMutex conforms to the rme::api lock concept directly (it is
+// a registry entry, name "rme_tree"): acquire/release/recover are the
+// canonical verbs; lock/unlock survive as aliases for the paper's
+// Try/Exit vocabulary.
+//
+// Layering note: api/lock_concept.hpp and api/guard.hpp are vocabulary
+// headers depending only on platform/ (never on core), so this facade may
+// use them without a cycle; the api layers that sit ABOVE core are
+// adapters.hpp and registry.hpp, which this header must not include.
 #pragma once
 
+#include "api/guard.hpp"
+#include "api/lock_concept.hpp"
 #include "core/arbitration_tree.hpp"
 #include "core/rme_lock.hpp"
 #include "platform/platform.hpp"
@@ -29,35 +41,44 @@ namespace rme {
 template <class P = platform::Real>
 class RecoverableMutex {
  public:
+  using Platform = P;
   using Env = typename P::Env;
   using Proc = platform::Process<P>;
   using Options = typename core::ArbitrationTree<P>::Options;
 
+  static constexpr const char* kName = "rme_tree";
+  static constexpr api::Traits kTraits{api::Addressing::kPid,
+                                       /*recoverable=*/true,
+                                       api::Rmw::kFasOnly,
+                                       /*max_processes=*/0};
+
   RecoverableMutex(Env& env, int nprocs, Options opt = {})
       : tree_(env, nprocs, opt) {}
 
-  void lock(Proc& h, int pid) { tree_.lock(h, pid); }
-  void unlock(Proc& h, int pid) { tree_.unlock(h, pid); }
+  void acquire(Proc& h, int pid) { tree_.lock(h, pid); }
+  void release(Proc& h, int pid) { tree_.unlock(h, pid); }
+  // Finish an interrupted super-passage (no-op passage when idle).
+  void recover(Proc& h, int pid) {
+    tree_.lock(h, pid);
+    tree_.unlock(h, pid);
+  }
+
+  // The paper's Try/Exit vocabulary, kept as aliases.
+  void lock(Proc& h, int pid) { acquire(h, pid); }
+  void unlock(Proc& h, int pid) { release(h, pid); }
 
   int degree() const { return tree_.degree(); }
   int height() const { return tree_.height(); }
   core::ArbitrationTree<P>& tree() { return tree_; }
 
-  // RAII guard for crash-free (non-simulated) use.
-  class Guard {
-   public:
-    Guard(RecoverableMutex& m, Proc& h, int pid) : m_(m), h_(h), pid_(pid) {
-      m_.lock(h_, pid_);
-    }
-    ~Guard() { m_.unlock(h_, pid_); }
-    Guard(const Guard&) = delete;
-    Guard& operator=(const Guard&) = delete;
-
-   private:
-    RecoverableMutex& m_;
-    Proc& h_;
-    int pid_;
-  };
+  // The bespoke RAII guard this class used to carry is replaced by the
+  // uniform api::Guard; this alias keeps old call sites compiling for one
+  // release. BEHAVIOUR CHANGE at those call sites: api::Guard skips the
+  // release when an exception unwinds the guarded scope (crash-consistent
+  // unwinding, see api/guard.hpp) - the old guard always released. If a
+  // critical section can throw and must not keep the mutex, catch at the
+  // call site and run the recovery protocol (acquire again / recover()).
+  using Guard = api::Guard<RecoverableMutex<P>>;
 
  private:
   core::ArbitrationTree<P> tree_;

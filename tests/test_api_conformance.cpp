@@ -1,0 +1,449 @@
+// Conformance suite for the rme::api registry: every registry entry is
+// driven through the SAME Guard/KeyGuard-based audited body and must pass
+// the ME+CSR Scenario audits
+//
+//   * in the deterministic simulator on BOTH RMR models (CC and DSM),
+//   * on real hardware threads,
+//   * and - for entries whose traits claim recoverability - under a
+//     crash-injection sweep (crash shape selected by the traits: FAS
+//     crashes for FAS-based locks, random crash storms for read/write
+//     locks that never issue a FAS).
+//
+// The suite never names a lock type explicitly: it iterates
+// api::for_each_lock / for_each_lock_if, so adding a registry entry
+// automatically extends coverage and a non-conforming entry fails here.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "harness/scenario.hpp"
+
+namespace {
+
+using namespace rme;
+using harness::ExclusionAudit;
+using harness::ModelKind;
+using harness::Scenario;
+using C = platform::Counted;
+using R = platform::Real;
+
+// ---------------------------------------------------------------------------
+// The shared audited body: acquire via the RAII layer, run a verified
+// critical section (scratch writes that a rival's presence would corrupt),
+// fire the audit hooks, release via scope exit. Crash unwinds report
+// crash-in-CS and leave the lock held (guard.hpp semantics), which is
+// exactly what the CSR audit then checks.
+// ---------------------------------------------------------------------------
+template <class P, api::Lock L>
+void guarded_audited_body(harness::AuditSet& audits,
+                          platform::Process<P>& h, int pid, L& lock,
+                          typename P::template Atomic<int>& scratch) {
+  api::Guard<L> g(lock, h, pid);
+  audits.on_enter(pid);
+  bool crashed_in_cs = true;
+  try {
+    for (int i = 0; i < 2; ++i) {
+      scratch.store(h.ctx, pid);
+      RME_ASSERT(scratch.load(h.ctx) == pid,
+                 "api conformance: CS scratch overwritten");
+    }
+    crashed_in_cs = false;
+    audits.on_exit(pid);
+  } catch (const sim::ProcessCrashed&) {
+    if (crashed_in_cs) audits.on_crash_in_cs(pid);
+    throw;
+  }
+}
+
+template <class P, api::KeyedLock L>
+void keyed_audited_body(harness::AuditSet& audits, platform::Process<P>& h,
+                        int pid, L& lock, uint64_t key,
+                        std::vector<typename P::template Atomic<int>>& scratch) {
+  api::KeyGuard<L> g(lock, h, pid, key);
+  const int shard = g.shard();
+  audits.on_enter(pid, shard);
+  bool crashed_in_cs = true;
+  try {
+    auto& cell = scratch[static_cast<size_t>(shard)];
+    for (int i = 0; i < 2; ++i) {
+      cell.store(h.ctx, pid);
+      RME_ASSERT(cell.load(h.ctx) == pid,
+                 "api conformance: shard scratch overwritten");
+    }
+    crashed_in_cs = false;
+    audits.on_exit(pid, shard);
+  } catch (const sim::ProcessCrashed&) {
+    if (crashed_in_cs) audits.on_crash_in_cs(pid, shard);
+    throw;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Body wiring shared by the sim and real-thread runs (the suite's claim
+// is that BOTH platforms drive the SAME guarded body): scratch cells plus
+// an ExclusionAudit sized to the lock's shape, and a set_body dispatching
+// on the KeyedLock capability. The state must outlive Scenario::run().
+// ---------------------------------------------------------------------------
+template <class P>
+struct ConformanceState {
+  typename P::template Atomic<int> scratch;
+  std::vector<typename P::template Atomic<int>> shard_scratch;
+};
+
+template <class P, class L>
+ExclusionAudit* install_conformance_body(Scenario<P>& s, L& lock,
+                                         ConformanceState<P>& st) {
+  auto& audits = s.audits();
+  if constexpr (api::KeyedLock<L>) {
+    auto* chk = audits.template emplace<ExclusionAudit>(lock.shards());
+    st.shard_scratch = std::vector<typename P::template Atomic<int>>(
+        static_cast<size_t>(lock.shards()));
+    for (auto& cell : st.shard_scratch) {
+      cell.attach(s.world().env, rmr::kNoOwner);
+      cell.init(-1);
+    }
+    std::vector<uint64_t> done(static_cast<size_t>(s.nprocs()), 0);
+    s.set_body([&lock, &audits, &st, done](platform::Process<P>& h,
+                                           int pid) mutable {
+      // Key stable across crash retries of the same logical operation.
+      const uint64_t key =
+          static_cast<uint64_t>(pid) * 7919u + done[static_cast<size_t>(pid)];
+      keyed_audited_body<P>(audits, h, pid, lock, key, st.shard_scratch);
+      ++done[static_cast<size_t>(pid)];
+    });
+    return chk;
+  } else {
+    auto* chk = audits.template emplace<ExclusionAudit>();
+    st.scratch.attach(s.world().env, rmr::kNoOwner);
+    st.scratch.init(-1);
+    s.set_body([&lock, &audits, &st](platform::Process<P>& h, int pid) {
+      guarded_audited_body<P>(audits, h, pid, lock, st.scratch);
+    });
+    return chk;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// One simulated conformance run of a registry entry: ME + CSR audits,
+// optional trait-selected crash injection.
+// ---------------------------------------------------------------------------
+template <class L>
+void sim_conformance_run(ModelKind kind, uint64_t seed, bool with_crashes) {
+  constexpr api::Traits t = api::lock_traits_v<L>;
+  const int n = api::clamp_processes(t, 4);
+  constexpr uint64_t kIters = 3;
+
+  Scenario<C> s(kind, n);
+  L lock(s.world().env, n);
+  ConformanceState<C> st;
+  ExclusionAudit* chk = install_conformance_body(s, lock, st);
+
+  if (with_crashes) {
+    ASSERT_TRUE(t.recoverable) << L::kName;
+    auto plan = std::make_unique<sim::MultiPlan>();
+    if (t.rmw == api::Rmw::kFasOnly) {
+      // The paper's queue-breaking shapes, around the lock's own FAS ops.
+      plan->emplace<sim::CrashAroundFas>(0, 1, sim::CrashAroundFas::kAfter);
+      if (n >= 2) {
+        plan->emplace<sim::CrashAroundFas>(1, 2,
+                                           sim::CrashAroundFas::kBefore);
+      }
+    } else {
+      // Read/write locks never execute a FAS; storm them instead.
+      plan->emplace<sim::RandomCrash>(0.004, seed * 31 + 7, 8);
+    }
+    s.set_crash_plan(std::move(plan));
+  }
+
+  s.use_random_schedule(seed);
+  s.set_iterations(kIters);
+  s.set_max_steps(80000000);
+  auto res = s.run();
+  EXPECT_TRUE(res.ok()) << L::kName << ": " << res.summary();
+  for (int pid = 0; pid < n; ++pid) {
+    EXPECT_EQ(res.completions[static_cast<size_t>(pid)], kIters)
+        << L::kName << " pid " << pid;
+  }
+  EXPECT_EQ(chk->me_violations(), 0u) << L::kName;
+  EXPECT_EQ(chk->csr_violations(), 0u) << L::kName;
+}
+
+// One real-thread conformance run (no crash injection on hardware).
+template <class L>
+void real_conformance_run(uint64_t iters) {
+  const int n = api::clamp_processes(api::lock_traits_v<L>, 4);
+
+  Scenario<R> s(n);
+  L lock(s.world().env, n);
+  ConformanceState<R> st;
+  ExclusionAudit* chk = install_conformance_body(s, lock, st);
+
+  s.set_iterations(iters);
+  auto res = s.run();
+  EXPECT_TRUE(res.ok()) << L::kName << ": " << res.summary();
+  EXPECT_EQ(chk->entries(), static_cast<uint64_t>(n) * iters) << L::kName;
+  EXPECT_EQ(chk->me_violations(), 0u) << L::kName;
+}
+
+// ---------------------------------------------------------------------------
+// Registry shape: at least 8 entries, unique stable names, coherent traits.
+// ---------------------------------------------------------------------------
+TEST(ApiRegistry, EnumeratesAtLeastEightLocks) {
+  int count = 0;
+  std::set<std::string> names;
+  api::for_each_lock<C>([&](auto tag) {
+    using L = typename decltype(tag)::type;
+    ++count;
+    EXPECT_TRUE(names.insert(L::kName).second)
+        << "duplicate registry name " << L::kName;
+  });
+  EXPECT_GE(count, 8);
+  EXPECT_EQ(count, api::registry_size<C>());
+  EXPECT_EQ(count, api::registry_size<R>());
+
+  // The registry self-describes (this is what the README traits table is
+  // generated from); print it so the ctest log documents the surface.
+  for (const auto& d : api::describe_registry<C>()) {
+    std::printf("  %-18s addressing=%-7s recoverable=%d rmw=%-10s max=%d\n",
+                d.name, api::to_string(d.traits.addressing),
+                d.traits.recoverable ? 1 : 0, api::to_string(d.traits.rmw),
+                d.traits.max_processes);
+  }
+}
+
+TEST(ApiRegistry, CapabilityFilterPartitionsTheRegistry) {
+  int recoverable = 0, baseline = 0, keyed = 0, fas_only = 0;
+  api::for_each_lock_if<C>(
+      [](const api::Traits& t) { return t.recoverable; },
+      [&](auto) { ++recoverable; });
+  api::for_each_lock_if<C>(
+      [](const api::Traits& t) { return !t.recoverable; },
+      [&](auto) { ++baseline; });
+  api::for_each_lock_if<C>(
+      [](const api::Traits& t) {
+        return t.addressing == api::Addressing::kKeyed;
+      },
+      [&](auto) { ++keyed; });
+  api::for_each_lock_if<C>(
+      [](const api::Traits& t) { return t.rmw == api::Rmw::kFasOnly; },
+      [&](auto) { ++fas_only; });
+  EXPECT_EQ(recoverable + baseline, api::registry_size<C>());
+  EXPECT_GE(recoverable, 5);
+  EXPECT_GE(baseline, 4);
+  EXPECT_GE(keyed, 1);
+  // The paper's instruction-set claim holds across the whole core surface:
+  // every recoverable rme_* entry is FAS-only or read/write, never CAS.
+  api::for_each_lock_if<C>(
+      [](const api::Traits& t) { return t.recoverable; },
+      [&](auto tag) {
+        using L = typename decltype(tag)::type;
+        EXPECT_NE(api::lock_traits_v<L>.rmw, api::Rmw::kCas) << L::kName;
+      });
+  EXPECT_GE(fas_only, 4);
+}
+
+// ---------------------------------------------------------------------------
+// ME + CSR, crash-free, every entry, both RMR models.
+// ---------------------------------------------------------------------------
+TEST(ApiConformance, SimMeCsrAllEntriesBothModels) {
+  api::for_each_lock<C>([&](auto tag) {
+    using L = typename decltype(tag)::type;
+    SCOPED_TRACE(L::kName);
+    for (ModelKind kind : {ModelKind::kCc, ModelKind::kDsm}) {
+      for (uint64_t seed : {11u, 137u}) {
+        sim_conformance_run<L>(kind, seed, /*with_crashes=*/false);
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Crash-injection sweep: exactly the entries whose traits say recoverable.
+// ---------------------------------------------------------------------------
+TEST(ApiConformance, CrashSweepRecoverableEntriesBothModels) {
+  int swept = 0;
+  api::for_each_lock_if<C>(
+      [](const api::Traits& t) { return t.recoverable; },
+      [&](auto tag) {
+        using L = typename decltype(tag)::type;
+        SCOPED_TRACE(L::kName);
+        ++swept;
+        for (ModelKind kind : {ModelKind::kCc, ModelKind::kDsm}) {
+          for (uint64_t seed : {3u, 71u}) {
+            sim_conformance_run<L>(kind, seed, /*with_crashes=*/true);
+          }
+        }
+      });
+  EXPECT_GE(swept, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Real hardware threads, every entry.
+// ---------------------------------------------------------------------------
+TEST(ApiConformance, RealThreadsAllEntries) {
+  api::for_each_lock<R>([&](auto tag) {
+    using L = typename decltype(tag)::type;
+    SCOPED_TRACE(L::kName);
+    real_conformance_run<L>(/*iters=*/400);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// TryGuard over every TryLock entry: an uncontended attempt succeeds, an
+// attempt against a held lock fails without blocking, and release makes
+// the next attempt succeed again.
+// ---------------------------------------------------------------------------
+template <api::TryLock L>
+void try_guard_roundtrip() {
+  harness::RealWorld w(2);
+  L lock(w.env, 2);
+  auto& h0 = w.proc(0);
+  auto& h1 = w.proc(1);
+  {
+    api::TryGuard<L> g0(lock, h0, 0);
+    ASSERT_TRUE(g0) << L::kName;
+    api::TryGuard<L> g1(lock, h1, 1);
+    EXPECT_FALSE(g1) << L::kName << ": entered a held lock";
+  }
+  api::TryGuard<L> g2(lock, h1, 1);
+  EXPECT_TRUE(g2) << L::kName << ": lock not released by TryGuard";
+}
+
+TEST(ApiConformance, TryGuardBaselines) {
+  int tried = 0;
+  api::for_each_lock<R>([&](auto tag) {
+    using L = typename decltype(tag)::type;
+    if constexpr (api::TryLock<L>) {
+      SCOPED_TRACE(L::kName);
+      ++tried;
+      try_guard_roundtrip<L>();
+    }
+  });
+  EXPECT_GE(tried, 3);  // tas, ttas, mcs
+}
+
+// ---------------------------------------------------------------------------
+// Crash-consistent RAII: a crash unwinding through a Guard must NOT run
+// Exit - the lock stays held (pred == &InCS), recover() then completes the
+// interrupted super-passage, and the next passage starts fresh.
+// ---------------------------------------------------------------------------
+TEST(ApiConformance, GuardCrashUnwindLeavesLockHeldForRecovery) {
+  harness::CountedWorld w(ModelKind::kCc, 1);
+  api::FlatLock<C> lock(w.env, 1);
+  auto& h = w.proc(0);
+  typename C::Atomic<int> cell;
+  cell.attach(w.env, rmr::kNoOwner);
+  cell.init(0);
+
+  sim::CrashAtSteps plan(0, {0});  // patched below to the in-CS step
+  bool crashed = false;
+  try {
+    api::Guard g(lock, h, 0);
+    // Crash at the very next shared-memory op: inside the CS.
+    plan = sim::CrashAtSteps(0, {h.ctx.step_index});
+    h.ctx.crash = &plan;
+    cell.store(h.ctx, 1);
+    FAIL() << "crash step did not fire";
+  } catch (const sim::ProcessCrashed&) {
+    crashed = true;
+  }
+  h.ctx.crash = nullptr;
+  ASSERT_TRUE(crashed);
+
+  // The guard skipped Exit: the node still marks us inside the CS.
+  auto* node = lock.underlying().debug_node(h.ctx, 0);
+  ASSERT_NE(node, nullptr) << "Guard released the lock during crash unwind";
+  EXPECT_EQ(node->pred.load(h.ctx), lock.underlying().sentinel_incs());
+  // The crashed store never executed (a crash step replaces the op).
+  EXPECT_EQ(cell.load(h.ctx), 0);
+
+  // Recovery protocol: recover() re-enters wait-free and exits.
+  lock.recover(h, 0);
+  EXPECT_EQ(lock.underlying().debug_node(h.ctx, 0), nullptr);
+
+  // Fresh passage afterwards, via the guard's normal path this time.
+  {
+    api::Guard g(lock, h, 0);
+    cell.store(h.ctx, 2);
+  }
+  EXPECT_EQ(cell.load(h.ctx), 2);
+  EXPECT_EQ(lock.underlying().debug_node(h.ctx, 0), nullptr);
+}
+
+// Early release() is idempotent and leaves the lock re-acquirable; a
+// second call (error paths, crash-recovery retries) must be a no-op.
+TEST(ApiConformance, GuardReleaseIsIdempotent) {
+  harness::RealWorld w(1);
+  api::FlatLock<R> lock(w.env, 1);
+  auto& h = w.proc(0);
+  api::Guard g(lock, h, 0);
+  g.release();
+  g.release();  // no-op, not a double Exit
+  api::Guard g2(lock, h, 0);
+
+  api::TableLock<R> table(w.env, 1);
+  api::KeyGuard kg(table, h, 0, /*key=*/9);
+  kg.release();
+  kg.release();  // no-op
+  api::KeyGuard kg2(table, h, 0, /*key=*/9);
+}
+
+// A crash inside the lease-claim window leaves no lease but an in-flight
+// epoch. recover() must declare the pid quiescent (PortLease::quiesce) so
+// scavenge() can repatriate the leaked port instead of refusing forever.
+TEST(ApiConformance, LeasedRecoverAfterClaimCrashUnblocksScavenge) {
+  harness::CountedWorld w(ModelKind::kCc, 2);
+  api::LeasedLock<C> lock(w.env, 2, 2);
+  auto& h = w.proc(0);
+
+  // Crash at the op after the first FAS = the lease write: port leaked.
+  sim::CrashAroundFas plan(0, 1, sim::CrashAroundFas::kAfter);
+  h.ctx.crash = &plan;
+  bool crashed = false;
+  try {
+    lock.acquire(h, 0);
+  } catch (const sim::ProcessCrashed&) {
+    crashed = true;
+  }
+  h.ctx.crash = nullptr;
+  ASSERT_TRUE(crashed);
+
+  auto& lease = lock.underlying().lease();
+  auto& sctx = w.proc(1).ctx;
+  EXPECT_EQ(lease.held(h.ctx, 0), core::kNoLease);
+  EXPECT_EQ(lease.scavenge(sctx), core::kScavengeRefused);
+
+  lock.recover(h, 0);  // no lease held: declares the pid quiescent
+  EXPECT_EQ(lease.scavenge(sctx), 1);  // leaked port repatriated
+  EXPECT_EQ(lease.free_ports(sctx), 2);
+}
+
+// recover() on every recoverable entry is harmless when nothing was
+// interrupted: it must leave the lock acquirable and count as an empty
+// passage (keyed recover additionally clears the persisted shard intent).
+TEST(ApiConformance, RecoverIsIdempotentWhenIdle) {
+  api::for_each_lock_if<R>(
+      [](const api::Traits& t) { return t.recoverable; },
+      [&](auto tag) {
+        using L = typename decltype(tag)::type;
+        SCOPED_TRACE(L::kName);
+        const int n = api::clamp_processes(api::lock_traits_v<L>, 2);
+        harness::RealWorld w(n);
+        L lock(w.env, n);
+        auto& h = w.proc(0);
+        if constexpr (api::KeyedLock<L>) {
+          lock.recover(h, 0);
+          api::KeyGuard<L> g(lock, h, 0, /*key=*/42);
+          EXPECT_EQ(g.shard(), lock.shard_for_key(42));
+        } else {
+          lock.recover(h, 0);
+          api::Guard<L> g(lock, h, 0);
+        }
+      });
+}
+
+}  // namespace
