@@ -120,6 +120,7 @@ int main() {
   {
     Table t({"passages", "alloc (recycle)", "alloc (verbatim)"});
     for (uint64_t iters : {10u, 40u, 160u}) {
+      if (rme::bench::smoke_mode() && iters > 40u) continue;
       uint64_t alloc_on = 0, alloc_off = 0;
       for (bool recycle : {true, false}) {
         SimRun sim(ModelKind::kCc, 4);

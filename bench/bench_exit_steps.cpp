@@ -60,6 +60,7 @@ int main() {
   for (ModelKind kind : {ModelKind::kCc, ModelKind::kDsm}) {
     const char* m = kind == ModelKind::kCc ? "CC" : "DSM";
     for (int k : {2, 4, 8, 16, 32}) {
+      if (rme::bench::smoke_mode() && k > 16) continue;
       auto on = exit_steps(kind, k, true);
       t.row({m, fmt("%d", k), "on", fmt("%.1f", on.mean_steps),
              fmt("%llu", (unsigned long long)on.max_steps)});

@@ -24,6 +24,7 @@
 
 #include "api/api.hpp"
 #include "bench_util.hpp"
+#include "svc/svc.hpp"
 
 using namespace rme;
 using namespace rme::bench;
@@ -38,7 +39,8 @@ constexpr uint64_t kKeySpace = 4096;
 
 uint64_t scaled_real_iters() {
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw >= kRealThreads ? 20000 : 2000;  // oversubscribed CI boxes
+  return smoke_iters(hw >= kRealThreads ? 20000 : 2000,
+                     50);  // oversubscribed CI boxes / smoke mode
 }
 
 // A tiny critical section that the optimiser cannot delete.
@@ -46,20 +48,22 @@ volatile uint64_t g_cs_sink = 0;
 inline void benchmark_cs() { g_cs_sink = g_cs_sink + 1; }
 
 // Real platform: ops/sec over `shards`, all threads hammering a shared
-// key space through the uniform KeyGuard surface.
+// key space through session-minted key guards.
 template <class T>
 double real_throughput(int shards, uint64_t iters_per_thread) {
   using R = platform::Real;
   Scenario<R> s(kRealThreads);
   T table(s.world().env, shards, /*ports_per_shard=*/kRealThreads,
           kRealThreads);
+  auto sessions = svc::open_sessions(table, s.world(), kRealThreads);
   s.set_body([&](platform::Process<R>& h, int pid) {
+    (void)h;
     // Cheap per-thread LCG key stream; distinct streams per pid.
     static thread_local uint64_t rng = 0;
     if (rng == 0) rng = 0x9e3779b9u + static_cast<uint64_t>(pid) * 2654435761u;
     rng = rng * 6364136223846793005ull + 1442695040888963407ull;
     const uint64_t key = (rng >> 33) % kKeySpace;
-    api::KeyGuard<T> g(table, h, pid, key);
+    auto g = sessions[static_cast<size_t>(pid)]->acquire(key);
     benchmark_cs();
   });
   s.set_iterations(iters_per_thread);
@@ -79,12 +83,14 @@ double counted_rmr_per_op(int shards, int pids, uint64_t iters) {
   using C = platform::Counted;
   Scenario<C> s(ModelKind::kCc, pids);
   T table(s.world().env, shards, /*ports_per_shard=*/pids, pids);
+  auto sessions = svc::open_sessions(table, s.world(), pids);
   std::vector<uint64_t> done(static_cast<size_t>(pids), 0);
   s.set_body([&](SimProc& h, int pid) {
+    (void)h;
     const uint64_t key =
         (static_cast<uint64_t>(pid) * 2654435761u + done[pid] * 40503u) %
         kKeySpace;
-    api::KeyGuard<T> g(table, h, pid, key);
+    auto g = sessions[static_cast<size_t>(pid)]->acquire(key);
     ++done[pid];
   });
   s.use_random_schedule(17);
@@ -141,7 +147,7 @@ int main() {
     std::printf("lock=%s\n", T::kName);
     Table t({"shards", "RMR/op"});
     for (int shards : {1, 4, 16, 64}) {
-      const double rmr = counted_rmr_per_op<T>(shards, kPids, 6);
+      const double rmr = counted_rmr_per_op<T>(shards, kPids, smoke_iters(6));
       t.row({fmt("%d", shards), fmt("%.1f", rmr)});
       json_line("lock_table_rmr",
                 {{"lock", T::kName},

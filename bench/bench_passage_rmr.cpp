@@ -22,11 +22,12 @@ int main() {
          "Theorem 2: O(1) RMR per crash-free passage on CC and DSM, "
          "independent of k");
 
-  constexpr uint64_t kIters = 12;
+  const uint64_t kIters = smoke_iters(12, 3);
   Table t({"model", "k", "RmeLock", "MCS", "tournament", "tourn/Rme"});
   for (ModelKind kind : {ModelKind::kCc, ModelKind::kDsm}) {
     const char* m = kind == ModelKind::kCc ? "CC" : "DSM";
     for (int k : {2, 4, 8, 16, 32, 64}) {
+      if (smoke_mode() && k > 16) continue;  // the big-k tournament is slow
       auto ours = measure_passages(kind, k, kIters, 42, [&](auto& sim) {
         return std::make_unique<core::RmeLock<P>>(sim.world().env, k);
       });

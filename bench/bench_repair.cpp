@@ -82,6 +82,7 @@ int main() {
   for (ModelKind kind : {ModelKind::kCc, ModelKind::kDsm}) {
     const char* m = kind == ModelKind::kCc ? "CC" : "DSM";
     for (int k : {2, 4, 8, 16, 32, 64}) {
+      if (rme::bench::smoke_mode() && k > 16) continue;
       auto c = repair_cost(kind, k);
       t.row({m, fmt("%d", k), fmt("%.0f", c.rmrs), fmt("%.0f", c.steps),
              fmt("%.2f", c.rmrs / k), c.branch});

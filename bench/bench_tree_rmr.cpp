@@ -62,6 +62,7 @@ int main() {
     for (ModelKind kind : {ModelKind::kCc, ModelKind::kDsm}) {
       const char* m = kind == ModelKind::kCc ? "CC" : "DSM";
       for (int n : {4, 16, 64, 256, 1024}) {
+        if (rme::bench::smoke_mode() && n > 64) continue;
         int degree = 0, height = 0;
         const double tree = solo_rmr(
             kind, n, 10,
@@ -99,6 +100,7 @@ int main() {
     for (ModelKind kind : {ModelKind::kCc, ModelKind::kDsm}) {
       const char* m = kind == ModelKind::kCc ? "CC" : "DSM";
       for (int n : {4, 8, 16, 32}) {
+        if (rme::bench::smoke_mode() && n > 16) continue;
         auto tree = measure_passages(kind, n, kIters, 11, [&](auto& sim) {
           return std::make_unique<core::ArbitrationTree<P>>(sim.world().env,
                                                             n);

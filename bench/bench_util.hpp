@@ -28,6 +28,21 @@ inline void header(const char* exp_id, const char* title,
   std::printf("   paper claim: %s\n", claim);
 }
 
+// ---------------------------------------------------------------------------
+// Smoke mode: RME_BENCH_SMOKE=1 shrinks every bench to a seconds-long
+// sanity run (CI runs all benches this way and validates the BENCH_JSON
+// schema; numbers are meaningless, plumbing is not). Benches route their
+// iteration constants through smoke_iters().
+// ---------------------------------------------------------------------------
+inline bool smoke_mode() {
+  const char* e = std::getenv("RME_BENCH_SMOKE");
+  return e != nullptr && *e != '\0' && *e != '0';
+}
+
+inline uint64_t smoke_iters(uint64_t full, uint64_t smoke = 4) {
+  return smoke_mode() ? (full < smoke ? full : smoke) : full;
+}
+
 class Table {
  public:
   explicit Table(std::vector<std::string> cols) : cols_(std::move(cols)) {

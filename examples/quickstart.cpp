@@ -1,30 +1,38 @@
-// Quickstart: the public rme::api surface on real threads.
+// Quickstart: the rme::svc session layer on real threads.
 //
 // Build & run:  ./build/examples/quickstart
 //
-// Three API levels, all through the uniform concept + RAII layer
-// (api/api.hpp - acquire/release/recover, Guard/KeyGuard):
+// Sessions are the public acquisition surface (svc/svc.hpp): a Session
+// binds one caller identity to one lock, installs its wait policy, mints
+// RAII guards, and keeps per-session telemetry. Four stops:
 //
-//   1. rme::RecoverableMutex      - n-process arbitration tree (Theorem 3),
-//                                   pid-addressed, with api::Guard.
-//   2. rme::api::LeasedLock       - RmeLock behind dynamic port leasing:
-//                                   more clients than ports, with api::Guard.
-//   3. rme::api::TableLock        - sharded key-addressed lock table, with
-//                                   api::KeyGuard.
+//   1. rme::RecoverableMutex + Session  - n-process arbitration tree
+//      (Theorem 3), pid-addressed, guards minted per passage.
+//   2. rme::api::LeasedLock + Session   - RmeLock behind dynamic port
+//      leasing (more clients than ports), with a shared ParkPolicy so
+//      blocked sessions release their cores.
+//   3. Deadline verbs                   - acquire_for on a TryLock entry,
+//      expected-style results (kTimeout vs a minted guard).
+//   4. rme::api::TableLock + BatchGuard - a tiny account bank with atomic
+//      multi-account transfers (sorted two-phase locking).
 //
 // On the Real platform there is no crash injection - this is the
 // production configuration: plain std::atomic, zero instrumentation. See
 // recoverable_kv_log.cpp for crash-recovery in action.
+#include <chrono>
 #include <cstdio>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "api/api.hpp"
 #include "harness/world.hpp"
+#include "svc/svc.hpp"
 
 namespace {
 
 using Real = rme::platform::Real;
+using namespace std::chrono_literals;
 
 bool check(const char* what, uint64_t got, uint64_t expect) {
   std::printf("%-28s %llu (expected %llu) -> %s\n", what,
@@ -44,37 +52,44 @@ int main() {
   rme::harness::RealWorld world(kThreads);
   bool ok = true;
 
-  // -- 1. The n-process recoverable mutex (pid-addressed) ----------------
+  // -- 1. The n-process recoverable mutex, session per thread ------------
   {
     rme::RecoverableMutex<Real> mutex(world.env, kThreads);
     std::printf("arbitration tree: degree %d, height %d\n", mutex.degree(),
                 mutex.height());
     uint64_t counter = 0;  // protected by the mutex
+    uint64_t contended = 0;
     std::vector<std::thread> threads;
     for (int pid = 0; pid < kThreads; ++pid) {
       threads.emplace_back([&, pid] {
-        auto& h = world.proc(pid);
+        rme::svc::Session session(mutex, world.proc(pid), pid);
         for (int i = 0; i < kItersPerThread; ++i) {
-          rme::api::Guard g(mutex, h, pid);
+          auto g = session.acquire();
           ++counter;
         }
+        static std::mutex agg;
+        std::lock_guard<std::mutex> lk(agg);
+        contended += session.stats().contended_acquires;
       });
     }
     for (auto& t : threads) t.join();
     ok = check("tree mutex counter:", counter, kExpect) && ok;
+    std::printf("   (telemetry: %llu of %llu acquires were contended)\n",
+                (unsigned long long)contended, (unsigned long long)kExpect);
   }
 
-  // -- 2. Dynamic port leasing: 8 clients share 4 ports ------------------
+  // -- 2. Dynamic port leasing + a shared ParkPolicy ---------------------
   {
     rme::api::LeasedLock<Real> lock(world.env, /*ports=*/kThreads / 2,
                                     /*npids=*/kThreads);
-    uint64_t counter = 0;  // protected by the lock
+    rme::platform::ParkPolicy park;  // shared: releases unpark waiters
+    uint64_t counter = 0;            // protected by the lock
     std::vector<std::thread> threads;
     for (int pid = 0; pid < kThreads; ++pid) {
       threads.emplace_back([&, pid] {
-        auto& h = world.proc(pid);
+        rme::svc::Session session(lock, world.proc(pid), pid, &park);
         for (int i = 0; i < kItersPerThread; ++i) {
-          rme::api::Guard g(lock, h, pid);
+          auto g = session.acquire();
           ++counter;
         }
       });
@@ -90,29 +105,52 @@ int main() {
          ok;
   }
 
-  // -- 3. The sharded lock table: a tiny account bank, key-addressed -----
+  // -- 3. Deadline verbs on a TryLock entry ------------------------------
+  {
+    rme::api::TasBaseline<Real> lock(world.env, 2);
+    rme::svc::Session holder(lock, world.proc(0), 0);
+    rme::svc::Session impatient(lock, world.proc(1), 1);
+    auto held = holder.acquire();
+    auto r = impatient.acquire_for(1ms);  // lock is held: must time out
+    const bool timed_out = !r.has_value() && r.error() == rme::svc::Errc::kTimeout;
+    std::printf("%-28s %s\n", "deadline verb on held lock:",
+                timed_out ? "kTimeout (OK)" : "UNEXPECTED");
+    ok = timed_out && ok;
+    held.release();
+    auto r2 = impatient.acquire_for(100ms);  // free now: guard minted
+    ok = (r2.has_value() && r2->held()) && ok;
+  }
+
+  // -- 4. The sharded lock table: an account bank with atomic transfers --
   {
     constexpr int kAccounts = 64;
     rme::api::TableLock<Real> table(world.env, /*shards=*/8,
                                     /*ports_per_shard=*/kThreads, kThreads);
-    uint64_t balance[kAccounts] = {};  // each guarded by its key's shard
+    int64_t balance[kAccounts];  // each guarded by its key's shard
+    for (auto& b : balance) b = 1000;
     std::vector<std::thread> threads;
     for (int pid = 0; pid < kThreads; ++pid) {
       threads.emplace_back([&, pid] {
-        auto& h = world.proc(pid);
+        rme::svc::Session session(table, world.proc(pid), pid);
         uint64_t rng = 0x9e3779b9u + static_cast<uint64_t>(pid);
         for (int i = 0; i < kItersPerThread; ++i) {
           rng = rng * 6364136223846793005ull + 1442695040888963407ull;
-          const uint64_t account = (rng >> 33) % kAccounts;
-          rme::api::KeyGuard g(table, h, pid, account);
-          ++balance[account];
+          const uint64_t from = (rng >> 33) % kAccounts;
+          const uint64_t to = (rng >> 13) % kAccounts;
+          // Both accounts' shards held at once - crash-consistent sorted
+          // 2PL; with single-key guards this transfer would race.
+          rme::svc::BatchGuard g(session, {from, to});
+          balance[from] -= 1;
+          balance[to] += 1;
         }
       });
     }
     for (auto& t : threads) t.join();
-    uint64_t total = 0;
-    for (uint64_t b : balance) total += b;
-    ok = check("table bank total:", total, kExpect) && ok;
+    int64_t total = 0;
+    for (int64_t b : balance) total += b;
+    ok = check("bank conservation:", (uint64_t)total,
+               (uint64_t)kAccounts * 1000) &&
+         ok;
   }
 
   return ok ? 0 : 1;

@@ -1,6 +1,6 @@
 // Recoverable key-value log: the paper's motivating scenario end-to-end,
-// on the public rme::api surface - a sharded api::TableLock guards the
-// store per key, acquired through the RAII api::KeyGuard.
+// on the public surface - a sharded api::TableLock guards the store per
+// key, acquired through session-minted guards (rme::svc).
 //
 // Build & run:  ./build/examples/recoverable_kv_log
 //
@@ -28,6 +28,7 @@
 
 #include "api/api.hpp"
 #include "harness/sim_run.hpp"
+#include "svc/svc.hpp"
 
 using namespace rme;
 using harness::ModelKind;
@@ -85,6 +86,10 @@ int main() {
   Store store;
   store.attach(sim.world().env);
 
+  // One session per process: the acquisition surface (and the recovery
+  // surface - a crashed process simply acquires through it again).
+  auto sessions = svc::open_sessions(table, sim.world(), kProcs);
+
   uint64_t committed[kProcs] = {};
 
   sim.set_body([&](SimProc& h, int pid) {
@@ -95,8 +100,9 @@ int main() {
     // super-passage.
     const int s = static_cast<int>((pid * 31 + committed[pid]) % kSlots);
 
-    // ---- Try section (doubles as recovery) + RAII session ----
-    api::KeyGuard g(table, h, pid, static_cast<uint64_t>(s));
+    // ---- Try section (doubles as recovery), session-minted guard ----
+    auto g = sessions[static_cast<size_t>(pid)]->acquire(
+        static_cast<uint64_t>(s));
 
     // ---- Critical section: write-ahead redo log ----
     // CSR guarantees that after a crash in here *we* re-enter this

@@ -223,6 +223,15 @@ class TableLock {
   void release(Proc& h, int pid) { impl_.unlock(h, pid); }
   void recover(Proc& h, int pid) { impl_.recover(h, pid); }
 
+  // Multi-key batches (api::BatchKeyedLock): hold every shard guarding
+  // `keys` at once; sorted two-phase locking underneath, crash recovery
+  // replays partial batches (core/lock_table.hpp).
+  uint64_t acquire_batch(Proc& h, int pid, const uint64_t* keys,
+                         size_t nkeys) {
+    return impl_.lock_batch(h, pid, keys, nkeys);
+  }
+  void release_batch(Proc& h, int pid) { impl_.unlock_batch(h, pid); }
+
   int shards() const { return impl_.shards(); }
   int shard_for_key(uint64_t key) const { return impl_.shard_for_key(key); }
   Underlying& underlying() { return impl_; }

@@ -45,8 +45,11 @@ enum class Addressing : uint8_t {
   kKeyed,   // pid + key: the lock is a table of shards striped by key
 };
 
-// The strongest read-modify-write instruction the lock issues. The paper's
-// core result needs only FAS (exchange); baselines document what they cost.
+// The strongest read-modify-write instruction the lock's blocking
+// acquire/release paths issue. The paper's core result needs only FAS
+// (exchange); baselines document what they cost. Bounded try_acquire
+// attempts are excluded: the ticket and CLH baselines need one CAS there
+// (an unconditional FAI/exchange could not be abandoned).
 enum class Rmw : uint8_t {
   kNone,     // reads and writes only
   kFasOnly,  // fetch-and-store (exchange), the paper's instruction set
@@ -147,6 +150,19 @@ concept KeyedLock =
       { l.acquire(h, pid, key) } -> std::convertible_to<int>;
       { l.release(h, pid) } -> std::same_as<void>;
       { l.recover(h, pid) } -> std::same_as<void>;
+    };
+
+// A KeyedLock that can additionally hold the shards of N keys at once,
+// crash-consistently (sorted two-phase locking; recovery replays partial
+// batches). acquire_batch returns the shard bitmask; release_batch is
+// pid-addressed like release. The RAII surface is rme::svc::BatchGuard.
+template <class L>
+concept BatchKeyedLock =
+    KeyedLock<L> &&
+    requires(L& l, typename L::Proc& h, int pid, const uint64_t* keys,
+             size_t nkeys) {
+      { l.acquire_batch(h, pid, keys, nkeys) } -> std::same_as<uint64_t>;
+      { l.release_batch(h, pid) } -> std::same_as<void>;
     };
 
 }  // namespace rme::api

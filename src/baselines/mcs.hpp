@@ -40,9 +40,9 @@ class McsLock {
     if (pred != nullptr) {
       pred->next.store(ctx, me, std::memory_order_release);
       // Local spin: `locked` lives in port p's partition / cache line.
-      platform::Backoff bo;
+      platform::Waiter wtr;
       while (me->locked.load(ctx, std::memory_order_acquire) != 0) {
-        bo.spin();
+        wtr.pause(ctx, &me->locked);
       }
     }
   }
@@ -68,10 +68,10 @@ class McsLock {
         return;  // no successor
       }
       // Successor mid-enqueue: wait for its next-pointer write.
-      platform::Backoff bo;
+      platform::Waiter wtr;
       while ((next = me->next.load(ctx, std::memory_order_acquire)) ==
              nullptr) {
-        bo.spin();
+        wtr.pause(ctx, &me->next);
       }
     }
     next->locked.store(ctx, 0, std::memory_order_release);

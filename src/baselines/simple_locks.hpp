@@ -12,6 +12,12 @@
 //            unbounded on DSM (the predecessor's cell is remote) - the
 //            textbook CC/DSM separation the paper's Signal object exists
 //            to avoid.
+//
+// All four expose try_lock (one bounded attempt) so they participate in
+// the TryLock conformance suite and the rme::svc deadline verbs. The
+// blocking paths keep their canonical instruction mixes; the ticket and
+// CLH try paths additionally need one CAS (an unconditional FAI/exchange
+// could not be abandoned).
 #pragma once
 
 #include <vector>
@@ -33,9 +39,9 @@ class TasLock {
     word_.init(0);
   }
   void lock(Proc& h, int /*p*/) {
-    platform::Backoff bo;
+    platform::Waiter wtr;
     while (word_.exchange(h.ctx, 1, std::memory_order_acquire) != 0) {
-      bo.spin();
+      wtr.pause(h.ctx, &word_);
     }
   }
   // One bounded attempt: a single exchange.
@@ -62,9 +68,11 @@ class TtasLock {
     word_.init(0);
   }
   void lock(Proc& h, int /*p*/) {
-    platform::Backoff bo;
+    platform::Waiter wtr;
     for (;;) {
-      while (word_.load(h.ctx, std::memory_order_relaxed) != 0) bo.spin();
+      while (word_.load(h.ctx, std::memory_order_relaxed) != 0) {
+        wtr.pause(h.ctx, &word_);
+      }
       if (word_.exchange(h.ctx, 1, std::memory_order_acquire) == 0) return;
     }
   }
@@ -96,11 +104,22 @@ class TicketLock {
   }
   void lock(Proc& h, int /*p*/) {
     const uint64_t my = next_.fetch_add(h.ctx, 1);
-    platform::Backoff bo;
+    platform::Waiter wtr;
     while (serving_.load(h.ctx, std::memory_order_acquire) != my) {
-      bo.spin();
+      wtr.pause(h.ctx, &serving_);
     }
   }
+  // One bounded attempt: take ticket `s` only when it is already being
+  // served, via CAS on the dispenser. The blocking path stays pure FAI;
+  // a failed CAS means someone interleaved, and we leave no ticket
+  // behind (the unconditional FAI could not be abandoned).
+  bool try_lock(Proc& h, int /*p*/) {
+    const uint64_t s = serving_.load(h.ctx, std::memory_order_acquire);
+    if (next_.load(h.ctx, std::memory_order_relaxed) != s) return false;
+    uint64_t expected = s;
+    return next_.compare_exchange(h.ctx, expected, s + 1);
+  }
+
   void unlock(Proc& h, int /*p*/) {
     const uint64_t s = serving_.load(h.ctx, std::memory_order_relaxed);
     serving_.store(h.ctx, s + 1, std::memory_order_release);
@@ -111,6 +130,13 @@ class TicketLock {
   typename P::template Atomic<uint64_t> serving_;
 };
 
+// The tail word packs (cell index, per-cell enqueue generation) instead
+// of a raw pointer so try_lock's load/CAS window is ABA-safe: a cell that
+// was recycled and re-enqueued between the load and the CAS carries a
+// fresh generation, so the CAS fails instead of adopting a busy
+// predecessor. (The generation is 32 bits; wrap needs 2^32 re-enqueues of
+// one cell inside a single try window.) The blocking path is the classic
+// exchange and is unaffected.
 template <class P>
 class ClhLock {
  public:
@@ -126,49 +152,80 @@ class ClhLock {
       c.flag.attach(env, rmr::kNoOwner);
       c.flag.init(0);
     }
-    // Dummy released node seeds the queue.
-    owned_[0].flag.init(0);
-    tail_.init(&owned_[0]);
-    size_t next = 1;
+    // Dummy released node (index 0) seeds the queue.
+    tail_.init(pack(0, 0));
+    uint32_t next = 1;
     for (auto& s : slots_) {
-      s.mine = &owned_[next++];
-      s.mine->flag.init(1);
+      s.mine = next++;
+      cell(s.mine).flag.init(1);
     }
   }
 
   void lock(Proc& h, int p) {
     Ctx& ctx = h.ctx;
     Slot& s = slots_[static_cast<size_t>(p)];
-    s.mine->flag.store(ctx, 1, std::memory_order_relaxed);
-    Cell* pred = tail_.exchange(ctx, s.mine);
-    s.pred = pred;
+    Cell& mine = cell(s.mine);
+    mine.flag.store(ctx, 1, std::memory_order_relaxed);
+    // gen is owner-written: exclusive until the exchange publishes it,
+    // and adoption (unlock) happens-after via the exchange's acq_rel.
+    const uint64_t prev = tail_.exchange(ctx, pack(s.mine, ++mine.gen));
+    s.pred = index_of(prev);
+    Cell& pred = cell(s.pred);
     // Spin on the predecessor's cell: CC-local after first read, but a
     // remote cell on DSM - the structural flaw the paper's Signal fixes.
-    platform::Backoff bo;
-    while (pred->flag.load(ctx, std::memory_order_acquire) != 0) {
-      bo.spin();
+    platform::Waiter wtr;
+    while (pred.flag.load(ctx, std::memory_order_acquire) != 0) {
+      wtr.pause(ctx, &pred.flag);
     }
+  }
+
+  // One bounded attempt: succeed only when the tail cell is already
+  // released, by CASing the tail from that released cell to ours - we
+  // then hold the lock immediately, so unlock() composes unchanged. A
+  // failed CAS (someone enqueued, or the tail cell was recycled - the
+  // generation catches that) leaves us out of the queue entirely.
+  bool try_lock(Proc& h, int p) {
+    Ctx& ctx = h.ctx;
+    Slot& s = slots_[static_cast<size_t>(p)];
+    uint64_t t = tail_.load(ctx, std::memory_order_acquire);
+    if (cell(index_of(t)).flag.load(ctx, std::memory_order_acquire) != 0) {
+      return false;  // holder or waiter at the tail
+    }
+    Cell& mine = cell(s.mine);
+    mine.flag.store(ctx, 1, std::memory_order_relaxed);
+    if (!tail_.compare_exchange(ctx, t, pack(s.mine, ++mine.gen))) {
+      return false;  // lost the race; our cell was never published
+    }
+    s.pred = index_of(t);
+    return true;
   }
 
   void unlock(Proc& h, int p) {
     Ctx& ctx = h.ctx;
     Slot& s = slots_[static_cast<size_t>(p)];
-    Cell* mine = s.mine;
-    mine->flag.store(ctx, 0, std::memory_order_release);
+    cell(s.mine).flag.store(ctx, 0, std::memory_order_release);
     s.mine = s.pred;  // recycle predecessor's cell (classic CLH)
-    s.pred = nullptr;
   }
 
  private:
   struct Cell {
     typename P::template Atomic<int> flag;
+    uint32_t gen = 0;  // enqueue count; written only by the cell's owner
   };
   struct Slot {
-    Cell* mine = nullptr;
-    Cell* pred = nullptr;
+    uint32_t mine = 0;
+    uint32_t pred = 0;
   };
 
-  typename P::template Atomic<Cell*> tail_;
+  static uint64_t pack(uint32_t idx, uint32_t gen) {
+    return (static_cast<uint64_t>(idx) << 32) | gen;
+  }
+  static uint32_t index_of(uint64_t word) {
+    return static_cast<uint32_t>(word >> 32);
+  }
+  Cell& cell(uint32_t idx) { return owned_[idx]; }
+
+  typename P::template Atomic<uint64_t> tail_;
   std::vector<Slot> slots_;
   std::vector<Cell> owned_;
 };

@@ -24,6 +24,12 @@
 // lock() first finishes the stale super-passage - re-entering and exiting
 // the old shard's critical section - via recover(); pass a visitor to
 // recover() when application state must be repaired inside that CS.
+//
+// Multi-key transactions: lock_batch/unlock_batch hold ALL shards
+// guarding a key set at once via sorted two-phase locking (deadlock-free
+// by construction); a persisted per-pid shard bitmask lets recover_batch
+// replay partially-held batches after a crash. See the batch section
+// below and rme::svc::BatchGuard for the RAII surface.
 #pragma once
 
 #include <cstdint>
@@ -54,7 +60,9 @@ class RecoverableLockTable {
 
   RecoverableLockTable(Env& env, int shards, int ports_per_shard, int npids,
                        Options opt = {})
-      : npids_(npids), shard_of_(static_cast<size_t>(npids)) {
+      : npids_(npids),
+        shard_of_(static_cast<size_t>(npids)),
+        batch_mask_(static_cast<size_t>(npids)) {
     RME_ASSERT(shards >= 1, "LockTable: need >= 1 shard");
     shards_.reserve(static_cast<size_t>(shards));
     for (int s = 0; s < shards; ++s) {
@@ -64,6 +72,8 @@ class RecoverableLockTable {
     for (int pid = 0; pid < npids; ++pid) {
       shard_of_[static_cast<size_t>(pid)].attach(env, pid);  // local on DSM
       shard_of_[static_cast<size_t>(pid)].init(kNoShard);
+      batch_mask_[static_cast<size_t>(pid)].attach(env, pid);
+      batch_mask_[static_cast<size_t>(pid)].init(0);
     }
   }
 
@@ -77,6 +87,10 @@ class RecoverableLockTable {
   int lock(Proc& h, int pid, uint64_t key) {
     check_pid(pid);
     const int target = shard_for_key(key);
+    if (batch_mask_[static_cast<size_t>(pid)].load(h.ctx) != 0) {
+      // A crashed batch super-passage still owns ports: replay it first.
+      recover_batch(h, pid);
+    }
     const int stale = shard_of_[static_cast<size_t>(pid)].load(h.ctx);
     if (stale != kNoShard && stale != target) {
       // A previous super-passage (interrupted by a crash, then retried
@@ -106,13 +120,119 @@ class RecoverableLockTable {
     shard_of_[static_cast<size_t>(pid)].store(h.ctx, kNoShard);
   }
 
+  // -------------------------------------------------------------------------
+  // Batch acquisition: hold the locks of ALL shards guarding `keys` at
+  // once, crash-consistently - the multi-key transaction shape (move
+  // between accounts, multi-row update). Deadlock-free by construction:
+  // every batch acquires its shards in ascending shard order (sorted
+  // two-phase locking), so hold-and-wait cycles cannot form, even when a
+  // shard's port pool is exhausted and the lease sweep blocks.
+  //
+  // Crash protocol: the full target-shard set is persisted as a bitmask
+  // in the pid's DSM partition BEFORE any port is leased (an intent
+  // record, like shard_of_ for single-key passages). After a crash
+  // anywhere - mid-acquire with a partial prefix held, inside the CS, or
+  // mid-release - calling lock_batch/lock/recover again replays the
+  // batch: every shard named by the mask is re-entered through the
+  // paper's recovery protocol (re-binding the persisted lease, wait-free
+  // CSR if the crash was in the CS) and exited, then the mask is
+  // cleared. No hold is leaked and none can be duplicated; the only
+  // decay is PortLease's documented port-leak window, which scavenge()
+  // repairs.
+  // -------------------------------------------------------------------------
+  static constexpr int kMaxBatchShards = 64;  // bitmask width
+
+  // Acquire the locks guarding every key in [keys, keys+nkeys) (duplicate
+  // keys and same-shard keys collapse). Returns the shard bitmask.
+  uint64_t lock_batch(Proc& h, int pid, const uint64_t* keys, size_t nkeys) {
+    check_pid(pid);
+    RME_ASSERT(nkeys >= 1, "LockTable: empty batch");
+    RME_ASSERT(shards() <= kMaxBatchShards,
+               "LockTable: batch ops need <= 64 shards");
+    if (batch_mask_[static_cast<size_t>(pid)].load(h.ctx) != 0) {
+      recover_batch(h, pid);  // replay a crashed batch first
+    }
+    if (shard_of_[static_cast<size_t>(pid)].load(h.ctx) != kNoShard) {
+      recover(h, pid);  // finish a crashed single-key passage first
+    }
+    uint64_t mask = 0;
+    for (size_t i = 0; i < nkeys; ++i) {
+      mask |= uint64_t{1} << shard_for_key(keys[i]);
+    }
+    // Intent first: a crash after this store replays (finishes) whatever
+    // prefix of the batch was acquired.
+    batch_mask_[static_cast<size_t>(pid)].store(h.ctx, mask);
+    for (int s = 0; s < shards(); ++s) {
+      if ((mask & (uint64_t{1} << s)) == 0) continue;
+      Shard& sh = *shards_[static_cast<size_t>(s)];
+      const int port = sh.lease.acquire(h.ctx, pid);
+      sh.lock.lock(h, port);
+    }
+    return mask;
+  }
+
+  // Release every shard lock the pid's in-flight batch holds, then clear
+  // the persisted intent. A crash mid-release is caught by recover_batch:
+  // already-released shards have no lease left and are skipped.
+  void unlock_batch(Proc& h, int pid) {
+    check_pid(pid);
+    const uint64_t mask = batch_mask_[static_cast<size_t>(pid)].load(h.ctx);
+    RME_ASSERT(mask != 0, "LockTable: unlock_batch without a batch");
+    for (int s = 0; s < shards(); ++s) {
+      if ((mask & (uint64_t{1} << s)) == 0) continue;
+      Shard& sh = *shards_[static_cast<size_t>(s)];
+      const int port = sh.lease.held(h.ctx, pid);
+      RME_ASSERT(port != kNoLease, "LockTable: batch shard without a lease");
+      sh.lock.unlock(h, port);
+      sh.lease.release(h.ctx, pid);
+    }
+    batch_mask_[static_cast<size_t>(pid)].store(h.ctx, 0);
+  }
+
+  // The shard bitmask of pid's in-flight batch (0 when none).
+  uint64_t current_batch(Ctx& ctx, int pid) const {
+    check_pid(pid);
+    return batch_mask_[static_cast<size_t>(pid)].load(ctx);
+  }
+
   // Finish any super-passage this pid left behind (crash recovery when the
   // retried operation targets a different shard, or explicit repair on
   // process restart). The visitor, if any, runs inside the re-entered
   // critical section so the application can redo/undo its own state.
   using RecoveryVisitor = std::function<void(Proc&, int shard)>;
+
+  // Replay a partially-held batch: every shard named by the persisted
+  // mask is recovered independently in ascending order - re-bind the
+  // lease and run a recovery passage if one is held (finishing an
+  // interrupted Try, CS, or Exit on that shard), or declare the pid
+  // quiescent if the crash hit that shard's claim window. Shards the
+  // batch never reached, or already released, fall into the quiesce arm,
+  // which is harmless. Idempotent; a no-op when no batch is in flight.
+  void recover_batch(Proc& h, int pid, const RecoveryVisitor& visit = nullptr) {
+    check_pid(pid);
+    const uint64_t mask = batch_mask_[static_cast<size_t>(pid)].load(h.ctx);
+    if (mask == 0) return;
+    for (int s = 0; s < shards(); ++s) {
+      if ((mask & (uint64_t{1} << s)) == 0) continue;
+      Shard& sh = *shards_[static_cast<size_t>(s)];
+      if (sh.lease.held(h.ctx, pid) != kNoLease) {
+        const int port = sh.lease.acquire(h.ctx, pid);  // re-bind, no claim
+        sh.lock.lock(h, port);  // Try section = recovery; may re-enter CS
+        if (visit) visit(h, s);
+        sh.lock.unlock(h, port);
+        sh.lease.release(h.ctx, pid);
+      } else {
+        sh.lease.quiesce(h.ctx, pid);
+      }
+    }
+    batch_mask_[static_cast<size_t>(pid)].store(h.ctx, 0);
+  }
+
   void recover(Proc& h, int pid, const RecoveryVisitor& visit = nullptr) {
     check_pid(pid);
+    if (batch_mask_[static_cast<size_t>(pid)].load(h.ctx) != 0) {
+      recover_batch(h, pid, visit);
+    }
     const int s = shard_of_[static_cast<size_t>(pid)].load(h.ctx);
     if (s == kNoShard) return;
     Shard& sh = *shards_[static_cast<size_t>(s)];
@@ -171,6 +291,9 @@ class RecoverableLockTable {
   int npids_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<typename P::template Atomic<int>> shard_of_;
+  // Persisted batch intent, one bit per target shard (pid's DSM
+  // partition, like shard_of_). Written BEFORE the first lease claim.
+  std::vector<typename P::template Atomic<uint64_t>> batch_mask_;
 };
 
 }  // namespace rme::core

@@ -114,12 +114,12 @@ class PortLease {
       op_end(ctx, pid);
       return held;
     }
-    platform::Backoff bo;
+    platform::Waiter wtr;
     for (;;) {
       const int port = try_claim(ctx, pid);
       if (port != kNoLease) return port;
-      bo.spin();  // pool empty: sweep again (slot loads keep the
-                  // deterministic scheduler cycling)
+      wtr.pause(ctx, this);  // pool empty: sweep again (slot loads keep
+                             // the deterministic scheduler cycling)
     }
   }
 
@@ -271,7 +271,7 @@ class PortLease {
     // displaces a concurrently-deposited port, carry the displaced port
     // forward - conservation keeps this loop terminating: there are at
     // most `ports_` tokens for `ports_` slots.
-    platform::Backoff bo;
+    platform::Waiter wtr;
     for (;;) {
       for (int i = 0; i < ports_; ++i) {
         auto& slot = slots_[static_cast<size_t>(i)];
@@ -280,7 +280,7 @@ class PortLease {
         if (displaced == kEmptySlot) return;
         port = displaced;
       }
-      bo.spin();
+      wtr.pause(ctx, this);
     }
   }
 

@@ -71,14 +71,10 @@ class RecoverableMutex {
   int height() const { return tree_.height(); }
   core::ArbitrationTree<P>& tree() { return tree_; }
 
-  // The bespoke RAII guard this class used to carry is replaced by the
-  // uniform api::Guard; this alias keeps old call sites compiling for one
-  // release. BEHAVIOUR CHANGE at those call sites: api::Guard skips the
-  // release when an exception unwinds the guarded scope (crash-consistent
-  // unwinding, see api/guard.hpp) - the old guard always released. If a
-  // critical section can throw and must not keep the mutex, catch at the
-  // call site and run the recovery protocol (acquire again / recover()).
-  using Guard = api::Guard<RecoverableMutex<P>>;
+  // The bespoke RAII guard this class used to carry (and the
+  // `RecoverableMutex::Guard` alias that bridged one release) is gone:
+  // use api::Guard<RecoverableMutex<P>> directly, or - preferred - mint
+  // guards from an rme::svc::Session (svc/svc.hpp).
 
  private:
   core::ArbitrationTree<P> tree_;

@@ -1,0 +1,94 @@
+// Futex-style parking for wait loops: park(key) puts the calling OS
+// thread to sleep until unpark_all(key) or a timeout, without any
+// shared-memory traffic in the lock algorithms themselves.
+//
+// The locks in this library wake waiters by WRITING MEMORY (go-flags,
+// lock words) - the paper's model has no syscall channel - so a parked
+// thread cannot rely on the releaser knowing its key. Parking is
+// therefore always TIMED here: a parker that is not explicitly unparked
+// wakes after its timeout and re-checks its condition. unpark_all() is
+// the cooperative fast path the rme::svc session layer drives from its
+// release hooks (WaitPolicy::on_release).
+//
+// Implementation: a static array of buckets, each a mutex + condvar +
+// epoch counter, keyed by pointer hash. Hash collisions and batch wakes
+// only cause spurious wakeups; every woken waiter re-evaluates its wait
+// condition, so correctness never depends on precision. A global parked
+// count makes unpark_all() a single relaxed load when nobody sleeps.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace rme::platform {
+
+class ParkingLot {
+ public:
+  static ParkingLot& instance() {
+    static ParkingLot lot;
+    return lot;
+  }
+
+  // Sleep until unpark_all(key) (or a colliding key's wake) or until
+  // `timeout` elapses. Returns true when explicitly woken.
+  bool park_for(const void* key, std::chrono::nanoseconds timeout) {
+    Bucket& b = bucket_for(key);
+    std::unique_lock<std::mutex> lk(b.mu);
+    const uint64_t epoch = b.epoch;
+    parked_.fetch_add(1, std::memory_order_relaxed);
+    const bool woken =
+        b.cv.wait_for(lk, timeout, [&] { return b.epoch != epoch; });
+    parked_.fetch_sub(1, std::memory_order_relaxed);
+    return woken;
+  }
+
+  // Wake every thread parked on `key` (and, harmlessly, on colliding
+  // keys). Cheap when nobody is parked anywhere.
+  void unpark_all(const void* key) {
+    if (parked_.load(std::memory_order_relaxed) == 0) return;
+    Bucket& b = bucket_for(key);
+    {
+      std::lock_guard<std::mutex> lk(b.mu);
+      ++b.epoch;
+    }
+    b.cv.notify_all();
+  }
+
+  uint64_t parked_count() const {
+    return parked_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ParkingLot() = default;
+
+  struct Bucket {
+    std::mutex mu;
+    std::condition_variable cv;
+    uint64_t epoch = 0;  // bumped by every unpark_all on this bucket
+  };
+
+  Bucket& bucket_for(const void* key) {
+    uint64_t x = reinterpret_cast<uintptr_t>(key);
+    x += 0x9e3779b97f4a7c15ull;  // splitmix64 finaliser
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return buckets_[(x ^ (x >> 31)) % kBuckets];
+  }
+
+  static constexpr size_t kBuckets = 64;
+  Bucket buckets_[kBuckets];
+  std::atomic<uint64_t> parked_{0};
+};
+
+inline bool park_for(const void* key, std::chrono::nanoseconds timeout) {
+  return ParkingLot::instance().park_for(key, timeout);
+}
+
+inline void unpark_all(const void* key) {
+  ParkingLot::instance().unpark_all(key);
+}
+
+}  // namespace rme::platform

@@ -56,27 +56,65 @@ inline void cpu_pause() {
 #endif
 }
 
-// Spin-wait pacing for wait loops: a bounded burst of pause() (the
-// low-latency path when the awaited writer runs on another core), then
-// std::this_thread::yield() so oversubscribed hosts - fewer cores than
-// spinning processes - still make progress at OS-scheduler speed. Neither
-// branch is a shared-memory operation, so RMR accounting and the
-// deterministic simulator are unaffected.
-class Backoff {
+// ---------------------------------------------------------------------------
+// WaitPolicy: the injectable pacing strategy behind every wait loop.
+//
+// Every spin site in the library routes through a Waiter (below) instead
+// of hand-rolled pause loops. A Waiter consults the per-process context's
+// installed WaitPolicy; when none is installed it falls back to the
+// historical spin-then-yield pacing. The rme::svc session layer installs
+// policies (platform/wait.hpp: SpinPolicy, SpinYieldPolicy, ParkPolicy)
+// per session, so callers choose who waits and how without touching any
+// lock's hot path. Pacing is never a shared-memory operation: RMR
+// accounting and the deterministic simulator are unaffected.
+// ---------------------------------------------------------------------------
+class WaitPolicy {
  public:
-  void spin() {
-    if (spins_ < kSpinLimit) {
-      ++spins_;
+  virtual ~WaitPolicy() = default;
+  // One pacing step of a wait loop. `addr` identifies the awaited
+  // location (a parking/diagnostic key, never dereferenced); `spins` is
+  // the iteration count at this wait site so far (1 on the first pause).
+  virtual void pause(const void* addr, uint32_t spins) = 0;
+  // Hint that the caller just released a lock: a parking policy wakes its
+  // sleepers here so they re-check their conditions. Default: no-op.
+  virtual void on_release() {}
+};
+
+// Per-wait-site helper (one per wait loop, like the old Backoff): counts
+// iterations, credits the context's wait-cycle telemetry, and delegates
+// pacing to the installed policy. Under the deterministic simulator the
+// scheduler itself serialises progress at every shared-memory op, so the
+// policy is bypassed - parking the single runnable OS thread would
+// deadlock the baton.
+class Waiter {
+ public:
+  template <class Ctx>
+  void pause(Ctx& ctx, const void* addr = nullptr) {
+    ++ctx.wait_cycles;
+    if constexpr (requires { ctx.sched; }) {
+      if (ctx.sched != nullptr) return;  // sim scheduler drives interleaving
+    }
+    ++spins_;
+    if (WaitPolicy* p = ctx.wait_policy; p != nullptr) {
+      p->pause(addr, spins_);
+      return;
+    }
+    // Default pacing: a bounded burst of pause() (the low-latency path
+    // when the awaited writer runs on another core), then yield() so
+    // oversubscribed hosts still make progress at OS-scheduler speed.
+    if (spins_ <= kDefaultSpinLimit) {
       cpu_pause();
     } else {
       std::this_thread::yield();
     }
   }
   void reset() { spins_ = 0; }
+  uint32_t spins() const { return spins_; }
+
+  static constexpr uint32_t kDefaultSpinLimit = 128;
 
  private:
-  static constexpr int kSpinLimit = 128;
-  int spins_ = 0;
+  uint32_t spins_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -89,6 +127,8 @@ struct Real {
 
   struct Context {
     int pid = 0;
+    WaitPolicy* wait_policy = nullptr;  // installed by rme::svc sessions
+    uint64_t wait_cycles = 0;           // Waiter pauses on behalf of this pid
     explicit Context(int p = 0) : pid(p) {}
     // Hook point; nothing to do on the real platform.
     void before_op(rmr::Op) {}
@@ -161,6 +201,8 @@ struct Counted {
     sim::Scheduler* sched = nullptr;   // optional deterministic interleaving
     sim::CrashPlan* crash = nullptr;   // optional crash-step injection
     uint64_t step_index = 0;           // per-process op counter (monotone)
+    WaitPolicy* wait_policy = nullptr;  // installed by rme::svc sessions
+    uint64_t wait_cycles = 0;           // Waiter pauses on behalf of this pid
 
     Context() = default;
     Context(int p, Env* e) : pid(p), env(e) {}

@@ -1,0 +1,101 @@
+// Concrete WaitPolicy implementations (the policy interface itself lives
+// in platform/platform.hpp next to Waiter, so lock headers need no new
+// includes):
+//
+//   SpinPolicy       - pure busy-wait (cpu pause every iteration). The
+//                      lowest-latency choice when every waiter owns a
+//                      core; pathological when oversubscribed.
+//   SpinYieldPolicy  - bounded spin burst then sched_yield (the library's
+//                      historical Backoff pacing and the default when no
+//                      policy is installed).
+//   ParkPolicy       - spin, then yield, then timed futex-style parking
+//                      (platform/park.hpp) with exponentially escalating
+//                      nap times. The locks wake waiters by writing
+//                      memory, not by syscall, so parks are always timed
+//                      and the waiter re-checks its condition on wake;
+//                      on_release() (driven by rme::svc sessions) unparks
+//                      this policy's sleepers early, which restores
+//                      near-futex wake latency whenever the contending
+//                      sessions share the policy instance.
+//
+// All three are stateless per wait-site (per-site iteration counts live
+// in the caller's Waiter), so ONE policy instance may be shared by any
+// number of sessions and threads - sharing is exactly what lets
+// ParkPolicy::on_release wake rival waiters.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "platform/park.hpp"
+#include "platform/platform.hpp"
+
+namespace rme::platform {
+
+class SpinPolicy final : public WaitPolicy {
+ public:
+  static constexpr const char* kName = "spin";
+  void pause(const void* /*addr*/, uint32_t /*spins*/) override {
+    cpu_pause();
+  }
+};
+
+class SpinYieldPolicy final : public WaitPolicy {
+ public:
+  static constexpr const char* kName = "spin_yield";
+  explicit SpinYieldPolicy(uint32_t spin_limit = Waiter::kDefaultSpinLimit)
+      : spin_limit_(spin_limit) {}
+  void pause(const void* /*addr*/, uint32_t spins) override {
+    if (spins <= spin_limit_) {
+      cpu_pause();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  uint32_t spin_limit_;
+};
+
+class ParkPolicy final : public WaitPolicy {
+ public:
+  static constexpr const char* kName = "park";
+
+  struct Options {
+    uint32_t spin_limit = 64;    // cpu_pause() for the first N iterations
+    uint32_t yield_limit = 128;  // then yield() until this iteration
+    std::chrono::nanoseconds min_park{std::chrono::microseconds(50)};
+    std::chrono::nanoseconds max_park{std::chrono::microseconds(500)};
+  };
+
+  ParkPolicy() : opt_() {}
+  explicit ParkPolicy(Options opt) : opt_(opt) {}
+
+  void pause(const void* /*addr*/, uint32_t spins) override {
+    if (spins <= opt_.spin_limit) {
+      cpu_pause();
+      return;
+    }
+    if (spins <= opt_.yield_limit) {
+      std::this_thread::yield();
+      return;
+    }
+    // Escalate the nap geometrically from min_park to max_park. The park
+    // key is the policy object itself: on_release() cannot know which
+    // cell a rival waiter spins on (go-flags are per-process), so wakes
+    // are policy-wide and every woken waiter re-checks its condition.
+    const uint32_t naps = std::min<uint32_t>(spins - opt_.yield_limit, 21);
+    const auto nap =
+        std::min(opt_.max_park, opt_.min_park * (1u << (naps - 1)));
+    park_for(this, nap);
+  }
+
+  void on_release() override { unpark_all(this); }
+
+ private:
+  Options opt_;
+};
+
+}  // namespace rme::platform

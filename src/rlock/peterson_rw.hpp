@@ -56,10 +56,10 @@ class PetersonR2 {
     // Classic Peterson wait; every iteration re-reads shared state, so
     // no wake-up protocol (and no lost-wake recovery) is needed - the
     // trade is remote spinning on DSM.
-    platform::Backoff bo;
+    platform::Waiter wtr;
     while (flag_[j].load(ctx, std::memory_order_seq_cst) != kIdle &&
            turn_.load(ctx, std::memory_order_seq_cst) == i) {
-      bo.spin();
+      wtr.pause(ctx, this);
     }
     flag_[i].store(ctx, kOwn, std::memory_order_seq_cst);
   }

@@ -84,9 +84,9 @@ class R2Lock {
       go_slot_[i].store(ctx, w.flag, std::memory_order_seq_cst);
       if (flag_[j].load(ctx, std::memory_order_seq_cst) == kIdle) break;
       if (turn_.load(ctx, std::memory_order_seq_cst) != i) break;
-      platform::Backoff bo;
+      platform::Waiter wtr;
       while (w.flag->value.load(ctx, std::memory_order_acquire) != w.tag) {
-        bo.spin();
+        wtr.pause(ctx, w.flag);
       }
       // Woken: somebody released or yielded; re-evaluate from a fresh
       // publication (wakes are hints, never permissions).

@@ -89,9 +89,9 @@ class Signal {
     go_tag_.store(ctx, w.tag, std::memory_order_seq_cst);        // L7 (tag first:
     go_slot_.store(ctx, w.flag, std::memory_order_seq_cst);      //  see header)
     if (bit_.load(ctx, std::memory_order_seq_cst) == 1) return;  // L8
-    platform::Backoff bo;
+    platform::Waiter wtr;
     while (w.flag->value.load(ctx, std::memory_order_acquire) != w.tag) {
-      bo.spin();                                                 // L9
+      wtr.pause(ctx, w.flag);                                    // L9
     }
   }
 

@@ -1,0 +1,95 @@
+// BatchGuard: crash-consistent atomic acquisition of N keys on a
+// batch-capable keyed table (api::BatchKeyedLock, i.e. TableLock /
+// core::RecoverableLockTable).
+//
+//   svc::Session s(table, world.proc(pid), pid);
+//   {
+//     svc::BatchGuard g(s, {from_acct, to_acct});
+//     ... critical section holding BOTH accounts' shards ...
+//   }  // all shards released on scope exit
+//
+// Underneath: sorted two-phase locking (every batch acquires its shards
+// in ascending shard order), so batches are deadlock-free by
+// construction no matter how they overlap. The full target-shard set is
+// persisted BEFORE the first port lease; after a crash anywhere -
+// partial prefix held, inside the CS, mid-release - the recovery
+// protocol (session.recover(), or any later acquisition by the same
+// identity) REPLAYS the batch: each persisted shard is re-entered via
+// the paper's recovery code (wait-free CSR included) and exited, so no
+// hold is leaked and none can be duplicated.
+//
+// Like every guard in this library, a crash unwinding through the scope
+// skips release - the shards stay held for recovery.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <exception>
+#include <initializer_list>
+#include <memory>
+#include <span>
+
+#include "api/lock_concept.hpp"
+#include "svc/session.hpp"
+
+namespace rme::svc {
+
+template <api::BatchKeyedLock L>
+class BatchGuard {
+ public:
+  // Acquires on construction (blocking; paced by the session's policy).
+  BatchGuard(Session<L>& s, std::span<const uint64_t> keys)
+      : core_(SessionAccess::core(s)), unwind_(std::uncaught_exceptions()) {
+    const uint64_t w0 = core_->proc->ctx.wait_cycles;
+    mask_ = core_->lock->acquire_batch(*core_->proc, core_->id, keys.data(),
+                                       keys.size());
+    core_->note_acquire(w0, /*batch=*/true);
+  }
+  BatchGuard(Session<L>& s, std::initializer_list<uint64_t> keys)
+      : BatchGuard(s, std::span<const uint64_t>(keys.begin(), keys.size())) {}
+
+  BatchGuard(const BatchGuard&) = delete;
+  BatchGuard& operator=(const BatchGuard&) = delete;
+  BatchGuard(BatchGuard&& o) noexcept
+      : core_(std::move(o.core_)),
+        mask_(o.mask_),
+        unwind_(o.unwind_),
+        held_(o.held_) {
+    o.held_ = false;
+  }
+
+  ~BatchGuard() noexcept(false) {  // see svc::Guard
+    if (!held_) return;
+    if (std::uncaught_exceptions() > unwind_) return;  // crash unwind
+    held_ = false;
+    do_release();
+  }
+
+  // Idempotent early release of the whole batch.
+  void release() {
+    if (!held_) return;
+    held_ = false;
+    do_release();
+  }
+
+  bool held() const { return held_; }
+  // The shards this batch holds (ascending acquisition order).
+  uint64_t shard_mask() const { return mask_; }
+  int shard_count() const { return std::popcount(mask_); }
+  bool holds_shard(int s) const {
+    return (mask_ & (uint64_t{1} << s)) != 0;
+  }
+
+ private:
+  void do_release() {
+    core_->lock->release_batch(*core_->proc, core_->id);
+    core_->note_release();
+  }
+
+  std::shared_ptr<detail::SessionCore<L>> core_;
+  uint64_t mask_ = 0;
+  int unwind_ = 0;
+  bool held_ = true;
+};
+
+}  // namespace rme::svc

@@ -1,0 +1,88 @@
+// Expected-style results for the rme::svc service verbs.
+//
+// The deadline verbs (Session::acquire_for/acquire_until) and bounded
+// attempts (Session::try_acquire) need to say WHY an acquisition did not
+// happen, not just that it didn't - a bool loses the distinction between
+// "would block right now" and "deadline passed". std::expected is C++23;
+// this library is C++20, so svc carries its own minimal equivalent.
+#pragma once
+
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace rme::svc {
+
+enum class Errc : uint8_t {
+  kWouldBlock = 1,  // single bounded attempt failed; retry is reasonable
+  kTimeout,         // deadline passed before the lock was acquired
+};
+
+constexpr const char* to_string(Errc e) {
+  switch (e) {
+    case Errc::kWouldBlock: return "would-block";
+    case Errc::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+// Either a value (a minted guard) or an Errc. Move-only values are fine;
+// accessing the wrong arm asserts.
+//
+// Storage is a manual union rather than std::optional on purpose: the
+// guards this carries have noexcept(false) destructors (release() is a
+// crash point under the Counted simulator - sim::ProcessCrashed must
+// propagate, see api/guard.hpp), and std::optional's noexcept destructor
+// would turn that crash step into std::terminate. ~Expected inherits T's
+// destructor noexcept-ness instead.
+template <class T>
+class Expected {
+ public:
+  Expected(T&& v) : has_(true) {  // NOLINT(runtime/explicit)
+    ::new (static_cast<void*>(&val_)) T(std::move(v));
+  }
+  Expected(Errc e) : has_(false), err_(e) {}  // NOLINT(runtime/explicit)
+
+  Expected(Expected&& o) noexcept(std::is_nothrow_move_constructible_v<T>)
+      : has_(o.has_), err_(o.err_) {
+    if (has_) ::new (static_cast<void*>(&val_)) T(std::move(o.val_));
+  }
+  Expected(const Expected&) = delete;
+  Expected& operator=(const Expected&) = delete;
+  Expected& operator=(Expected&&) = delete;
+
+  ~Expected() noexcept(std::is_nothrow_destructible_v<T>) {
+    if (has_) val_.~T();  // a held guard releases here (crash point)
+  }
+
+  bool has_value() const { return has_; }
+  explicit operator bool() const { return has_; }
+
+  T& value() & {
+    RME_ASSERT(has_, "svc::Expected: value() on an error");
+    return val_;
+  }
+  T&& value() && {
+    RME_ASSERT(has_, "svc::Expected: value() on an error");
+    return std::move(val_);
+  }
+  T* operator->() { return &value(); }
+  T& operator*() & { return value(); }
+
+  Errc error() const {
+    RME_ASSERT(!has_, "svc::Expected: error() on a value");
+    return err_;
+  }
+
+ private:
+  union {
+    T val_;  // engaged iff has_
+  };
+  bool has_;
+  Errc err_{};
+};
+
+}  // namespace rme::svc

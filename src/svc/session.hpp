@@ -1,0 +1,319 @@
+// rme::svc - the session-oriented service layer over the rme::api lock
+// concept: the surface a traffic-serving system builds on.
+//
+// A Session binds one caller identity (pid/port/side, per the lock's
+// Traits::addressing) to one lock and one Process handle, and is the sole
+// entry point for acquisition:
+//
+//   svc::Session s(lock, world.proc(pid), pid, &policy);
+//   {
+//     auto g = s.acquire();              // session-minted guard
+//     ... critical section ...
+//   }                                    // released on scope exit
+//
+//   auto r = s.acquire_for(5ms);         // TryLock entries: deadline verbs
+//   if (r) { ... use *r ... } else if (r.error() == svc::Errc::kTimeout) ...
+//
+// What sessions add over bare api::Guard:
+//
+//   * WaitPolicy injection: the session installs its policy into the
+//     process context for its lifetime, so EVERY wait loop the caller
+//     enters - inside any lock's Try section, the port-lease sweep, the
+//     deadline retry loop - paces via that policy (platform/wait.hpp:
+//     SpinPolicy, SpinYieldPolicy, ParkPolicy). Sessions sharing a
+//     ParkPolicy wake each other's parked waiters on release.
+//   * Telemetry: acquires, contended acquires (paused at least once),
+//     wait cycles, timeouts, crash recoveries, releases - per session,
+//     maintained with plain host-memory writes (never a shared-memory op,
+//     so RMR accounting and the simulator are unaffected).
+//   * Deadline verbs returning expected-style results (svc/result.hpp).
+//   * Multi-key batch guards on batch-capable keyed tables (svc/batch.hpp).
+//
+// Lifetime: guards share ownership of the session's core state, so a
+// guard remains valid - and still releases correctly - even if the
+// Session object is destroyed while the guard is held (the core outlives
+// it). The injected WaitPolicy is caller-owned and must outlive the
+// session AND any guards it minted. Sessions on one Process handle nest
+// LIFO (destruction restores the previously installed policy).
+//
+// Crash-consistent unwinding: like api::Guard, a session-minted guard
+// skips release() when its scope unwinds exceptionally (a simulated crash
+// step, sim::ProcessCrashed). The recovery protocol is unchanged: call
+// session.acquire() (or session.recover()) again from the same identity.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "api/lock_concept.hpp"
+#include "platform/platform.hpp"
+#include "platform/process.hpp"
+#include "svc/result.hpp"
+#include "util/assert.hpp"
+
+namespace rme::svc {
+
+// Per-session telemetry. Plain counters, written single-threaded (a
+// session serves one caller by construction).
+struct SessionStats {
+  uint64_t acquires = 0;            // successful acquisitions (incl. batches)
+  uint64_t contended_acquires = 0;  // acquisitions that paused >= 1 time
+  uint64_t batch_acquires = 0;      // of which: multi-key batches
+  uint64_t wait_cycles = 0;         // Waiter pauses spent in session verbs
+  uint64_t timeouts = 0;            // deadline verbs that expired
+  uint64_t crash_recoveries = 0;    // recover() replays via this session
+  uint64_t releases = 0;            // guard releases (incl. batches)
+};
+
+namespace detail {
+
+// The state a Session shares with every guard it mints. shared_ptr-owned
+// so guards keep it (and the telemetry) alive past Session destruction.
+template <class L>
+struct SessionCore {
+  using P = typename L::Platform;
+
+  L* lock;
+  platform::Process<P>* proc;
+  int id;
+  platform::WaitPolicy* policy;  // caller-owned; may be null
+  SessionStats stats;
+
+  SessionCore(L* l, platform::Process<P>* h, int i,
+              platform::WaitPolicy* pol)
+      : lock(l), proc(h), id(i), policy(pol) {}
+
+  void note_acquire(uint64_t wait_cycles_before, bool batch = false) {
+    ++stats.acquires;
+    if (batch) ++stats.batch_acquires;
+    const uint64_t waited = proc->ctx.wait_cycles - wait_cycles_before;
+    stats.wait_cycles += waited;
+    if (waited > 0) ++stats.contended_acquires;
+  }
+
+  void note_release() {
+    ++stats.releases;
+    if (policy != nullptr) policy->on_release();
+  }
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Guard: the session-minted RAII hold. One type serves plain and keyed
+// entries (their release verbs have the same shape); keyed acquisitions
+// additionally remember the shard. Move-only, returned by value from the
+// session verbs - never constructed directly.
+// ---------------------------------------------------------------------------
+template <class L>
+class Guard {
+ public:
+  Guard(Guard&& o) noexcept
+      : core_(std::move(o.core_)),
+        shard_(o.shard_),
+        unwind_(o.unwind_),
+        held_(o.held_) {
+    o.held_ = false;
+  }
+  Guard& operator=(Guard&& o) noexcept(false) {
+    if (this != &o) {
+      release();
+      core_ = std::move(o.core_);
+      shard_ = o.shard_;
+      unwind_ = o.unwind_;
+      held_ = o.held_;
+      o.held_ = false;
+    }
+    return *this;
+  }
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+  // noexcept(false): release() is a crash point in the simulator; see
+  // api/guard.hpp. The unwind check guarantees no throw-during-throw.
+  ~Guard() noexcept(false) {
+    if (!held_) return;
+    if (std::uncaught_exceptions() > unwind_) return;  // crash unwind
+    held_ = false;  // inert BEFORE Exit: a crash mid-Exit must not re-release
+    do_release();
+  }
+
+  // Release before scope end. Idempotent: a second call (error paths,
+  // crash-recovery retries) is a no-op.
+  void release() {
+    if (!held_) return;
+    held_ = false;
+    do_release();
+  }
+
+  bool held() const { return held_; }
+  explicit operator bool() const { return held_; }
+  int id() const { return core_->id; }
+  // Keyed acquisitions: the shard the key mapped to; -1 otherwise.
+  int shard() const { return shard_; }
+
+ private:
+  template <class>
+  friend class Session;
+
+  explicit Guard(std::shared_ptr<detail::SessionCore<L>> core,
+                 int shard = -1)
+      : core_(std::move(core)),
+        shard_(shard),
+        unwind_(std::uncaught_exceptions()) {}
+
+  void do_release() {
+    core_->lock->release(*core_->proc, core_->id);
+    core_->note_release();
+  }
+
+  std::shared_ptr<detail::SessionCore<L>> core_;
+  int shard_ = -1;
+  int unwind_ = 0;
+  bool held_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+template <class L>
+class Session {
+ public:
+  using Platform = typename L::Platform;
+  using Proc = platform::Process<Platform>;
+  using Clock = std::chrono::steady_clock;
+
+  static_assert(api::Lock<L> || api::KeyedLock<L>,
+                "svc::Session requires an api::Lock or api::KeyedLock");
+
+  // `policy` (optional) is installed into the process context for the
+  // session's lifetime and drives every wait loop this caller enters.
+  Session(L& lock, Proc& proc, int id,
+          platform::WaitPolicy* policy = nullptr)
+      : core_(std::make_shared<detail::SessionCore<L>>(&lock, &proc, id,
+                                                       policy)),
+        prev_policy_(proc.ctx.wait_policy) {
+    if (policy != nullptr) proc.ctx.wait_policy = policy;
+  }
+
+  ~Session() { core_->proc->ctx.wait_policy = prev_policy_; }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // --- blocking acquisition ---
+
+  Guard<L> acquire()
+    requires api::Lock<L>
+  {
+    const uint64_t w0 = ctx().wait_cycles;
+    core_->lock->acquire(*core_->proc, core_->id);
+    core_->note_acquire(w0);
+    return Guard<L>(core_);
+  }
+
+  // Keyed entries: acquire the shard guarding `key`.
+  Guard<L> acquire(uint64_t key)
+    requires api::KeyedLock<L>
+  {
+    const uint64_t w0 = ctx().wait_cycles;
+    const int shard = core_->lock->acquire(*core_->proc, core_->id, key);
+    core_->note_acquire(w0);
+    return Guard<L>(core_, shard);
+  }
+
+  // --- bounded / deadline acquisition (TryLock-capable entries) ---
+
+  Expected<Guard<L>> try_acquire()
+    requires api::TryLock<L>
+  {
+    if (!core_->lock->try_acquire(*core_->proc, core_->id)) {
+      return Errc::kWouldBlock;
+    }
+    core_->note_acquire(ctx().wait_cycles);
+    return Guard<L>(core_);
+  }
+
+  // Bounded attempts paced by the wait policy until the deadline. The
+  // deadline bounds the WAIT, not the hold: on success the guard is
+  // yours as long as you keep it.
+  Expected<Guard<L>> acquire_until(Clock::time_point deadline)
+    requires api::TryLock<L>
+  {
+    const uint64_t w0 = ctx().wait_cycles;
+    platform::Waiter wtr;
+    for (;;) {
+      if (core_->lock->try_acquire(*core_->proc, core_->id)) {
+        core_->note_acquire(w0);
+        return Guard<L>(core_);
+      }
+      if (Clock::now() >= deadline) {
+        ++core_->stats.timeouts;
+        core_->stats.wait_cycles += ctx().wait_cycles - w0;
+        return Errc::kTimeout;
+      }
+      wtr.pause(ctx(), core_->lock);
+    }
+  }
+
+  Expected<Guard<L>> acquire_for(std::chrono::nanoseconds timeout)
+    requires api::TryLock<L>
+  {
+    return acquire_until(Clock::now() + timeout);
+  }
+
+  // --- recovery ---
+
+  // Finish any super-passage this identity left interrupted (a full empty
+  // passage when nothing was). The session-level recovery protocol after
+  // a crash: call this, or simply acquire() again.
+  void recover() {
+    core_->lock->recover(*core_->proc, core_->id);
+    ++core_->stats.crash_recoveries;
+  }
+
+  // --- introspection ---
+
+  const SessionStats& stats() const { return core_->stats; }
+  int id() const { return core_->id; }
+  L& lock() { return *core_->lock; }
+  platform::WaitPolicy* policy() const { return core_->policy; }
+
+ private:
+  friend struct SessionAccess;
+
+  typename Platform::Context& ctx() { return core_->proc->ctx; }
+
+  std::shared_ptr<detail::SessionCore<L>> core_;
+  platform::WaitPolicy* prev_policy_;
+};
+
+// Internal hook for svc components that mint guards (svc/batch.hpp).
+struct SessionAccess {
+  template <class L>
+  static std::shared_ptr<detail::SessionCore<L>> core(Session<L>& s) {
+    return s.core_;
+  }
+};
+
+// Open one session per pid 0..n-1 against `world` (anything exposing
+// proc(pid) -> Process&, e.g. harness::World). The canonical fleet
+// set-up of tests, benches and examples; `policy`, when given, is
+// shared by every session (by design - see platform/wait.hpp).
+template <class L, class WorldT>
+std::vector<std::unique_ptr<Session<L>>> open_sessions(
+    L& lock, WorldT& world, int n,
+    platform::WaitPolicy* policy = nullptr) {
+  std::vector<std::unique_ptr<Session<L>>> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int pid = 0; pid < n; ++pid) {
+    out.push_back(
+        std::make_unique<Session<L>>(lock, world.proc(pid), pid, policy));
+  }
+  return out;
+}
+
+}  // namespace rme::svc

@@ -1,0 +1,32 @@
+// Umbrella header for the rme::svc service layer - the session-oriented
+// public surface over the rme::api lock concept:
+//
+//   result.hpp   - Errc + Expected (expected-style verb results)
+//   session.hpp  - Session, session-minted Guard, deadline verbs,
+//                  per-session telemetry, WaitPolicy installation
+//   batch.hpp    - BatchGuard (multi-key sorted-2PL batches)
+//
+// plus the injectable wait policies from platform/wait.hpp (SpinPolicy,
+// SpinYieldPolicy, ParkPolicy), re-exported here because choosing one is
+// part of opening a session.
+//
+// Typical use:
+//
+//   #include "svc/svc.hpp"
+//
+//   rme::harness::RealWorld world(n);
+//   rme::api::LeasedLock<rme::platform::Real> lock(world.env, ports, n);
+//   rme::platform::ParkPolicy park;                 // shared by sessions
+//   rme::svc::Session s(lock, world.proc(pid), pid, &park);
+//   {
+//     auto g = s.acquire();
+//     ... critical section ...
+//   }
+//   auto r = s.acquire_for(std::chrono::milliseconds(5));
+//   if (!r) handle(r.error());                      // kTimeout
+#pragma once
+
+#include "platform/wait.hpp"  // IWYU pragma: export
+#include "svc/batch.hpp"      // IWYU pragma: export
+#include "svc/result.hpp"     // IWYU pragma: export
+#include "svc/session.hpp"    // IWYU pragma: export

@@ -1,6 +1,7 @@
 // Conformance suite for the rme::api registry: every registry entry is
-// driven through the SAME Guard/KeyGuard-based audited body and must pass
-// the ME+CSR Scenario audits
+// driven through the SAME session-minted-guard audited body (rme::svc -
+// the public acquisition surface) and must pass the ME+CSR Scenario
+// audits
 //
 //   * in the deterministic simulator on BOTH RMR models (CC and DSM),
 //   * on real hardware threads,
@@ -21,6 +22,7 @@
 
 #include "api/api.hpp"
 #include "harness/scenario.hpp"
+#include "svc/svc.hpp"
 
 namespace {
 
@@ -32,17 +34,19 @@ using C = platform::Counted;
 using R = platform::Real;
 
 // ---------------------------------------------------------------------------
-// The shared audited body: acquire via the RAII layer, run a verified
-// critical section (scratch writes that a rival's presence would corrupt),
-// fire the audit hooks, release via scope exit. Crash unwinds report
-// crash-in-CS and leave the lock held (guard.hpp semantics), which is
+// The shared audited body: acquire via a session-minted guard (the
+// rme::svc RAII layer), run a verified critical section (scratch writes
+// that a rival's presence would corrupt), fire the audit hooks, release
+// via scope exit. Crash unwinds report crash-in-CS and leave the lock
+// held (svc guard semantics, same contract as api::Guard), which is
 // exactly what the CSR audit then checks.
 // ---------------------------------------------------------------------------
 template <class P, api::Lock L>
 void guarded_audited_body(harness::AuditSet& audits,
-                          platform::Process<P>& h, int pid, L& lock,
+                          platform::Process<P>& h, int pid,
+                          svc::Session<L>& session,
                           typename P::template Atomic<int>& scratch) {
-  api::Guard<L> g(lock, h, pid);
+  auto g = session.acquire();
   audits.on_enter(pid);
   bool crashed_in_cs = true;
   try {
@@ -61,9 +65,9 @@ void guarded_audited_body(harness::AuditSet& audits,
 
 template <class P, api::KeyedLock L>
 void keyed_audited_body(harness::AuditSet& audits, platform::Process<P>& h,
-                        int pid, L& lock, uint64_t key,
+                        int pid, svc::Session<L>& session, uint64_t key,
                         std::vector<typename P::template Atomic<int>>& scratch) {
-  api::KeyGuard<L> g(lock, h, pid, key);
+  auto g = session.acquire(key);
   const int shard = g.shard();
   audits.on_enter(pid, shard);
   bool crashed_in_cs = true;
@@ -84,9 +88,11 @@ void keyed_audited_body(harness::AuditSet& audits, platform::Process<P>& h,
 
 // ---------------------------------------------------------------------------
 // Body wiring shared by the sim and real-thread runs (the suite's claim
-// is that BOTH platforms drive the SAME guarded body): scratch cells plus
-// an ExclusionAudit sized to the lock's shape, and a set_body dispatching
-// on the KeyedLock capability. The state must outlive Scenario::run().
+// is that BOTH platforms drive the SAME guarded body): one svc::Session
+// per pid (sessions are the sole acquisition entry point), scratch cells
+// plus an ExclusionAudit sized to the lock's shape, and a set_body
+// dispatching on the KeyedLock capability. The state must outlive
+// Scenario::run().
 // ---------------------------------------------------------------------------
 template <class P>
 struct ConformanceState {
@@ -98,6 +104,9 @@ template <class P, class L>
 ExclusionAudit* install_conformance_body(Scenario<P>& s, L& lock,
                                          ConformanceState<P>& st) {
   auto& audits = s.audits();
+  auto sessions =
+      std::make_shared<std::vector<std::unique_ptr<svc::Session<L>>>>(
+          svc::open_sessions(lock, s.world(), s.nprocs()));
   if constexpr (api::KeyedLock<L>) {
     auto* chk = audits.template emplace<ExclusionAudit>(lock.shards());
     st.shard_scratch = std::vector<typename P::template Atomic<int>>(
@@ -107,12 +116,14 @@ ExclusionAudit* install_conformance_body(Scenario<P>& s, L& lock,
       cell.init(-1);
     }
     std::vector<uint64_t> done(static_cast<size_t>(s.nprocs()), 0);
-    s.set_body([&lock, &audits, &st, done](platform::Process<P>& h,
-                                           int pid) mutable {
+    s.set_body([sessions, &audits, &st, done](platform::Process<P>& h,
+                                              int pid) mutable {
       // Key stable across crash retries of the same logical operation.
       const uint64_t key =
           static_cast<uint64_t>(pid) * 7919u + done[static_cast<size_t>(pid)];
-      keyed_audited_body<P>(audits, h, pid, lock, key, st.shard_scratch);
+      keyed_audited_body<P>(audits, h, pid,
+                            *(*sessions)[static_cast<size_t>(pid)], key,
+                            st.shard_scratch);
       ++done[static_cast<size_t>(pid)];
     });
     return chk;
@@ -120,8 +131,10 @@ ExclusionAudit* install_conformance_body(Scenario<P>& s, L& lock,
     auto* chk = audits.template emplace<ExclusionAudit>();
     st.scratch.attach(s.world().env, rmr::kNoOwner);
     st.scratch.init(-1);
-    s.set_body([&lock, &audits, &st](platform::Process<P>& h, int pid) {
-      guarded_audited_body<P>(audits, h, pid, lock, st.scratch);
+    s.set_body([sessions, &audits, &st](platform::Process<P>& h, int pid) {
+      guarded_audited_body<P>(audits, h, pid,
+                              *(*sessions)[static_cast<size_t>(pid)],
+                              st.scratch);
     });
     return chk;
   }
@@ -293,9 +306,10 @@ TEST(ApiConformance, RealThreadsAllEntries) {
 }
 
 // ---------------------------------------------------------------------------
-// TryGuard over every TryLock entry: an uncontended attempt succeeds, an
-// attempt against a held lock fails without blocking, and release makes
-// the next attempt succeed again.
+// Bounded attempts over every TryLock entry, through BOTH surfaces (the
+// low-level api::TryGuard and the session verb): an uncontended attempt
+// succeeds, an attempt against a held lock fails without blocking, and
+// release makes the next attempt succeed again.
 // ---------------------------------------------------------------------------
 template <api::TryLock L>
 void try_guard_roundtrip() {
@@ -311,6 +325,20 @@ void try_guard_roundtrip() {
   }
   api::TryGuard<L> g2(lock, h1, 1);
   EXPECT_TRUE(g2) << L::kName << ": lock not released by TryGuard";
+  g2.release();
+
+  // Same roundtrip through sessions (expected-style results).
+  svc::Session<L> s0(lock, h0, 0);
+  svc::Session<L> s1(lock, h1, 1);
+  {
+    auto g3 = s0.try_acquire();
+    ASSERT_TRUE(g3.has_value()) << L::kName;
+    auto g4 = s1.try_acquire();
+    ASSERT_FALSE(g4.has_value()) << L::kName << ": entered a held lock";
+    EXPECT_EQ(g4.error(), svc::Errc::kWouldBlock) << L::kName;
+  }
+  auto g5 = s1.try_acquire();
+  EXPECT_TRUE(g5.has_value()) << L::kName << ": lock not released by guard";
 }
 
 TEST(ApiConformance, TryGuardBaselines) {
@@ -323,7 +351,7 @@ TEST(ApiConformance, TryGuardBaselines) {
       try_guard_roundtrip<L>();
     }
   });
-  EXPECT_GE(tried, 3);  // tas, ttas, mcs
+  EXPECT_GE(tried, 5);  // tas, ttas, mcs, ticket, clh
 }
 
 // ---------------------------------------------------------------------------

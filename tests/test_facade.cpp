@@ -10,6 +10,7 @@
 #include "core/recoverable_mutex.hpp"
 #include "harness/sim_run.hpp"
 #include "harness/world.hpp"
+#include "svc/svc.hpp"
 
 namespace {
 
@@ -19,18 +20,23 @@ using harness::RealWorld;
 using harness::SimProc;
 using harness::SimRun;
 
-TEST(Facade, GuardAcquiresAndReleases) {
+TEST(Facade, SessionGuardAcquiresAndReleases) {
   RealWorld w(2);
   RecoverableMutex<platform::Real> m(w.env, 2);
+  svc::Session s0(m, w.proc(0), 0);
   {
-    RecoverableMutex<platform::Real>::Guard g(m, w.proc(0), 0);
+    auto g = s0.acquire();
     // While held, another port's trylock equivalent: we can't non-block,
     // so just assert structure is sane.
     EXPECT_GE(m.height(), 1);
+    EXPECT_TRUE(g.held());
   }
+  EXPECT_EQ(s0.stats().acquires, 1u);
+  EXPECT_EQ(s0.stats().releases, 1u);
   // Released: a second guard on another pid succeeds (would deadlock
   // otherwise since this is single-threaded).
-  RecoverableMutex<platform::Real>::Guard g2(m, w.proc(1), 1);
+  svc::Session s1(m, w.proc(1), 1);
+  auto g2 = s1.acquire();
   SUCCEED();
 }
 

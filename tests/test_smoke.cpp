@@ -11,6 +11,7 @@
 #include "harness/world.hpp"
 #include "rlock/tournament.hpp"
 #include "signal/signal.hpp"
+#include "svc/svc.hpp"
 
 namespace {
 
@@ -52,7 +53,8 @@ TEST(Smoke, TreeAndFacade) {
   rme::RecoverableMutex<rme::platform::Real> m(w.env, 8);
   EXPECT_GE(m.degree(), 2);
   for (int pid = 0; pid < 8; ++pid) {
-    rme::RecoverableMutex<rme::platform::Real>::Guard g(m, w.proc(pid), pid);
+    rme::svc::Session s(m, w.proc(pid), pid);
+    auto g = s.acquire();
   }
 }
 

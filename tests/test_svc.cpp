@@ -1,0 +1,598 @@
+// rme::svc service-layer suite: sessions, session-minted guards,
+// wait-policy injection, deadline verbs, and multi-key BatchGuards.
+//
+// The acceptance-critical pieces:
+//   * double-release() idempotence and session-destruction-while-held
+//     across EVERY registry entry, on real threads and on the counted
+//     platform (single-process sim configuration);
+//   * the BatchGuard crash-injection sweep: partial batches crashed
+//     mid-acquire and mid-release must pass the ME+CSR audits with zero
+//     leaked or duplicated holds (lease pools fully repatriated after
+//     recovery + scavenge).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "api/api.hpp"
+#include "harness/scenario.hpp"
+#include "svc/svc.hpp"
+
+namespace {
+
+using namespace rme;
+using namespace std::chrono_literals;
+using harness::ExclusionAudit;
+using harness::ModelKind;
+using harness::Scenario;
+using C = platform::Counted;
+using R = platform::Real;
+
+// ---------------------------------------------------------------------------
+// Session basics & telemetry
+// ---------------------------------------------------------------------------
+
+TEST(SvcSession, TelemetryCountsUncontendedTraffic) {
+  harness::RealWorld w(1);
+  api::FlatLock<R> lock(w.env, 1);
+  svc::Session s(lock, w.proc(0), 0);
+  for (int i = 0; i < 5; ++i) {
+    auto g = s.acquire();
+    EXPECT_TRUE(g.held());
+  }
+  const svc::SessionStats& st = s.stats();
+  EXPECT_EQ(st.acquires, 5u);
+  EXPECT_EQ(st.releases, 5u);
+  EXPECT_EQ(st.contended_acquires, 0u);  // single-threaded: never paused
+  EXPECT_EQ(st.wait_cycles, 0u);
+  EXPECT_EQ(st.timeouts, 0u);
+  EXPECT_EQ(st.crash_recoveries, 0u);
+}
+
+TEST(SvcSession, RecoverCountsAsCrashRecovery) {
+  harness::RealWorld w(1);
+  api::FlatLock<R> lock(w.env, 1);
+  svc::Session s(lock, w.proc(0), 0);
+  s.recover();  // idle: a full empty passage
+  EXPECT_EQ(s.stats().crash_recoveries, 1u);
+  auto g = s.acquire();  // still acquirable afterwards
+}
+
+TEST(SvcSession, EarlyReleaseIsIdempotentAndGuardGoesInert) {
+  harness::RealWorld w(1);
+  api::FlatLock<R> lock(w.env, 1);
+  svc::Session s(lock, w.proc(0), 0);
+  auto g = s.acquire();
+  g.release();
+  EXPECT_FALSE(g.held());
+  g.release();  // no-op, not a double Exit
+  EXPECT_EQ(s.stats().releases, 1u);
+  auto g2 = s.acquire();  // re-acquirable
+}
+
+TEST(SvcSession, MovedFromGuardDoesNotDoubleRelease) {
+  harness::RealWorld w(1);
+  api::FlatLock<R> lock(w.env, 1);
+  svc::Session s(lock, w.proc(0), 0);
+  auto g = s.acquire();
+  svc::Guard<api::FlatLock<R>> g2 = std::move(g);
+  EXPECT_FALSE(g.held());  // NOLINT(bugprone-use-after-move): inert by contract
+  EXPECT_TRUE(g2.held());
+  g2.release();
+  EXPECT_EQ(s.stats().releases, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline verbs
+// ---------------------------------------------------------------------------
+
+TEST(SvcSession, DeadlineVerbsOnHeldLockTimeOut) {
+  harness::RealWorld w(2);
+  api::TasBaseline<R> lock(w.env, 2);
+  svc::Session s0(lock, w.proc(0), 0);
+  svc::Session s1(lock, w.proc(1), 1);
+
+  auto held = s0.acquire();
+
+  auto r1 = s1.try_acquire();
+  ASSERT_FALSE(r1.has_value());
+  EXPECT_EQ(r1.error(), svc::Errc::kWouldBlock);
+
+  auto r2 = s1.acquire_for(2ms);
+  ASSERT_FALSE(r2.has_value());
+  EXPECT_EQ(r2.error(), svc::Errc::kTimeout);
+  EXPECT_EQ(s1.stats().timeouts, 1u);
+  EXPECT_GT(s1.stats().wait_cycles, 0u);  // the retry loop paused
+
+  // A deadline already in the past: exactly one bounded attempt.
+  auto r3 = s1.acquire_until(svc::Session<api::TasBaseline<R>>::Clock::now() -
+                             1ms);
+  ASSERT_FALSE(r3.has_value());
+  EXPECT_EQ(r3.error(), svc::Errc::kTimeout);
+
+  held.release();
+  auto r4 = s1.acquire_for(500ms);
+  ASSERT_TRUE(r4.has_value());
+  EXPECT_TRUE(r4->held());
+  EXPECT_EQ(s1.stats().acquires, 1u);
+}
+
+// Every TryLock registry entry speaks the deadline verbs: an uncontended
+// acquire_for succeeds and mints a working guard.
+TEST(SvcSession, DeadlineVerbsAcrossRegistry) {
+  int covered = 0;
+  api::for_each_lock<R>([&](auto tag) {
+    using L = typename decltype(tag)::type;
+    if constexpr (api::TryLock<L>) {
+      SCOPED_TRACE(L::kName);
+      ++covered;
+      const int n = api::clamp_processes(api::lock_traits_v<L>, 2);
+      harness::RealWorld w(n);
+      L lock(w.env, n);
+      svc::Session<L> s(lock, w.proc(0), 0);
+      auto r = s.acquire_for(500ms);
+      ASSERT_TRUE(r.has_value()) << L::kName;
+      r->release();
+      auto r2 = s.acquire_until(svc::Session<L>::Clock::now() + 500ms);
+      ASSERT_TRUE(r2.has_value()) << L::kName;
+    }
+  });
+  EXPECT_GE(covered, 5);  // tas, ttas, mcs, ticket, clh
+}
+
+// ---------------------------------------------------------------------------
+// Wait policies: the same audited contended workload runs correctly under
+// every policy, sessions installing them per pid.
+// ---------------------------------------------------------------------------
+
+template <class L>
+void run_audited_policy_scenario(platform::WaitPolicy* policy) {
+  constexpr int kProcs = 4;
+  constexpr uint64_t kIters = 300;
+  Scenario<R> s(kProcs);
+  L lock(s.world().env, kProcs);
+  auto* chk = s.audits().emplace<ExclusionAudit>();
+  auto sessions =
+      std::make_shared<std::vector<std::unique_ptr<svc::Session<L>>>>(
+          svc::open_sessions(lock, s.world(), kProcs, policy));
+  auto& audits = s.audits();
+  s.set_body([sessions, &audits](platform::Process<R>& h, int pid) {
+    (void)h;
+    auto g = (*sessions)[static_cast<size_t>(pid)]->acquire();
+    audits.on_enter(pid);
+    audits.on_exit(pid);
+  });
+  s.set_iterations(kIters);
+  auto res = s.run();
+  EXPECT_TRUE(res.ok()) << res.summary();
+  EXPECT_EQ(chk->entries(), kProcs * kIters);
+  EXPECT_EQ(chk->me_violations(), 0u);
+  uint64_t acquires = 0;
+  for (auto& sess : *sessions) acquires += sess->stats().acquires;
+  EXPECT_EQ(acquires, kProcs * kIters);
+}
+
+TEST(SvcWaitPolicy, SpinPolicyDrivesContendedTraffic) {
+  platform::SpinPolicy spin;
+  run_audited_policy_scenario<api::FlatLock<R>>(&spin);
+}
+
+TEST(SvcWaitPolicy, SpinYieldPolicyDrivesContendedTraffic) {
+  platform::SpinYieldPolicy sy;
+  run_audited_policy_scenario<api::FlatLock<R>>(&sy);
+}
+
+TEST(SvcWaitPolicy, SharedParkPolicyDrivesContendedTraffic) {
+  // Aggressive parking (tiny spin/yield budgets) shared across sessions:
+  // releases unpark rival waiters (WaitPolicy::on_release), and the timed
+  // park guarantees progress even for wakes that race.
+  platform::ParkPolicy::Options opt;
+  opt.spin_limit = 4;
+  opt.yield_limit = 8;
+  opt.min_park = 20us;
+  opt.max_park = 200us;
+  platform::ParkPolicy park(opt);
+  run_audited_policy_scenario<api::FlatLock<R>>(&park);
+  EXPECT_EQ(platform::ParkingLot::instance().parked_count(), 0u);
+}
+
+TEST(SvcWaitPolicy, TimedParkMakesProgressWithoutCooperativeUnpark) {
+  // The holder's session has NO policy, so its release never unparks:
+  // the parked waiter must wake by timeout alone and still acquire.
+  harness::RealWorld w(2);
+  api::TasBaseline<R> lock(w.env, 2);
+  platform::ParkPolicy::Options opt;
+  opt.spin_limit = 2;
+  opt.yield_limit = 4;
+  opt.min_park = 20us;
+  opt.max_park = 200us;
+  platform::ParkPolicy park(opt);
+
+  svc::Session holder(lock, w.proc(0), 0);
+  auto held = std::make_optional(holder.acquire());
+  std::thread t([&] {
+    svc::Session waiter(lock, w.proc(1), 1, &park);
+    auto g = waiter.acquire();  // parks, wakes by timeout, acquires
+    EXPECT_GT(waiter.stats().contended_acquires, 0u);
+  });
+  std::this_thread::sleep_for(3ms);
+  held.reset();  // release without unparking
+  t.join();
+  EXPECT_EQ(platform::ParkingLot::instance().parked_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Double-release idempotence and session-destruction-while-held, across
+// EVERY registry entry, real threads and counted platforms.
+// ---------------------------------------------------------------------------
+
+template <class P, class L>
+void double_release_and_orphan_roundtrip(typename P::Env& env,
+                                         platform::Process<P>& h) {
+  L lock(env, api::clamp_processes(api::lock_traits_v<L>, 2));
+
+  // Double release through a live session.
+  {
+    svc::Session<L> s(lock, h, 0);
+    std::optional<svc::Guard<L>> g;
+    if constexpr (api::KeyedLock<L>) {
+      g.emplace(s.acquire(/*key=*/7));
+    } else {
+      g.emplace(s.acquire());
+    }
+    g->release();
+    g->release();  // no-op
+    EXPECT_EQ(s.stats().releases, 1u) << L::kName;
+  }
+
+  // Session destroyed while the guard is held: the shared core keeps the
+  // guard valid; release still runs exactly once and the lock stays
+  // usable afterwards.
+  std::optional<svc::Guard<L>> orphan;
+  {
+    auto s = std::make_unique<svc::Session<L>>(lock, h, 0);
+    if constexpr (api::KeyedLock<L>) {
+      orphan.emplace(s->acquire(/*key=*/7));
+    } else {
+      orphan.emplace(s->acquire());
+    }
+  }  // session gone, guard held
+  EXPECT_TRUE(orphan->held()) << L::kName;
+  orphan->release();
+  orphan->release();  // idempotent on the orphan too
+  EXPECT_FALSE(orphan->held()) << L::kName;
+
+  // Re-acquirable through a fresh session.
+  svc::Session<L> s2(lock, h, 0);
+  if constexpr (api::KeyedLock<L>) {
+    auto g2 = s2.acquire(/*key=*/7);
+    EXPECT_EQ(g2.shard(), lock.shard_for_key(7)) << L::kName;
+  } else {
+    auto g2 = s2.acquire();
+    EXPECT_TRUE(g2.held()) << L::kName;
+  }
+}
+
+TEST(SvcGuards, DoubleReleaseAndOrphanAcrossRegistryRealThreads) {
+  api::for_each_lock<R>([&](auto tag) {
+    using L = typename decltype(tag)::type;
+    SCOPED_TRACE(L::kName);
+    harness::RealWorld w(2);
+    double_release_and_orphan_roundtrip<R, L>(w.env, w.proc(0));
+  });
+}
+
+TEST(SvcGuards, DoubleReleaseAndOrphanAcrossRegistrySim) {
+  for (ModelKind kind : {ModelKind::kCc, ModelKind::kDsm}) {
+    api::for_each_lock<C>([&](auto tag) {
+      using L = typename decltype(tag)::type;
+      SCOPED_TRACE(L::kName);
+      harness::CountedWorld w(kind, 2);
+      double_release_and_orphan_roundtrip<C, L>(w.env, w.proc(0));
+    });
+  }
+}
+
+// BatchGuard versions of the same two properties.
+TEST(SvcGuards, BatchGuardDoubleReleaseAndOrphan) {
+  harness::RealWorld w(2);
+  api::TableLock<R> table(w.env, /*shards=*/4, /*ports_per_shard=*/2,
+                          /*npids=*/2);
+  const uint64_t keys[3] = {1, 2, 3};
+  {
+    svc::Session s(table, w.proc(0), 0);
+    svc::BatchGuard g(s, std::span<const uint64_t>(keys, 3));
+    EXPECT_GE(g.shard_count(), 1);
+    g.release();
+    g.release();  // no-op
+    EXPECT_EQ(s.stats().releases, 1u);
+    EXPECT_EQ(s.stats().batch_acquires, 1u);
+  }
+  std::optional<svc::BatchGuard<api::TableLock<R>>> orphan;
+  {
+    auto s = std::make_unique<svc::Session<api::TableLock<R>>>(table,
+                                                               w.proc(0), 0);
+    orphan.emplace(svc::BatchGuard(*s, std::span<const uint64_t>(keys, 3)));
+  }
+  EXPECT_TRUE(orphan->held());
+  orphan->release();
+  orphan->release();
+  // All shards free again: a rival batch over the same keys succeeds.
+  svc::Session s2(table, w.proc(1), 1);
+  svc::BatchGuard g2(s2, std::span<const uint64_t>(keys, 3));
+  EXPECT_TRUE(g2.held());
+}
+
+// ---------------------------------------------------------------------------
+// BatchGuard semantics
+// ---------------------------------------------------------------------------
+
+TEST(SvcBatch, MaskCoversEveryKeyShardAndCollapsesDuplicates) {
+  harness::RealWorld w(1);
+  api::TableLock<R> table(w.env, 8, 1, 1);
+  svc::Session s(table, w.proc(0), 0);
+  const uint64_t keys[4] = {10, 11, 10, 12};  // dup key collapses
+  svc::BatchGuard g(s, std::span<const uint64_t>(keys, 4));
+  for (uint64_t k : keys) {
+    EXPECT_TRUE(g.holds_shard(table.shard_for_key(k))) << k;
+  }
+  EXPECT_LE(g.shard_count(), 3);
+}
+
+// Overlapping batches from real threads: sorted two-phase locking means
+// no deadlock regardless of key order, and per-shard ME holds.
+TEST(SvcBatch, OverlappingBatchesRealThreadsNoDeadlock) {
+  constexpr int kProcs = 4;
+  constexpr uint64_t kIters = 150;
+  constexpr int kShards = 4;
+  Scenario<R> s(kProcs);
+  api::TableLock<R> table(s.world().env, kShards, kProcs, kProcs);
+  auto* chk = s.audits().emplace<ExclusionAudit>(kShards);
+  auto sessions = std::make_shared<
+      std::vector<std::unique_ptr<svc::Session<api::TableLock<R>>>>>(
+      svc::open_sessions(table, s.world(), kProcs));
+  auto& audits = s.audits();
+  std::vector<uint64_t> done(kProcs, 0);
+  s.set_body([sessions, &audits, &table, done](platform::Process<R>& h,
+                                               int pid) mutable {
+    (void)h;
+    uint64_t& n = done[static_cast<size_t>(pid)];
+    // Deliberately UNsorted key pairs that overlap across pids.
+    const uint64_t keys[2] = {n + static_cast<uint64_t>(pid),
+                              n + static_cast<uint64_t>(pid) * 31 + 1};
+    svc::BatchGuard g(*(*sessions)[static_cast<size_t>(pid)],
+                      std::span<const uint64_t>(keys, 2));
+    for (int sh = 0; sh < table.shards(); ++sh) {
+      if (g.holds_shard(sh)) audits.on_enter(pid, sh);
+    }
+    for (int sh = 0; sh < table.shards(); ++sh) {
+      if (g.holds_shard(sh)) audits.on_exit(pid, sh);
+    }
+    ++n;
+  });
+  s.set_iterations(kIters);
+  auto res = s.run();
+  EXPECT_TRUE(res.ok()) << res.summary();
+  EXPECT_EQ(chk->me_violations(), 0u);
+  uint64_t batches = 0;
+  for (auto& sess : *sessions) batches += sess->stats().batch_acquires;
+  EXPECT_EQ(batches, kProcs * kIters);
+}
+
+// ---------------------------------------------------------------------------
+// BatchGuard crash consistency.
+//
+// Whitebox sweep: crash a single process at EVERY shared-memory step of
+// unlock_batch (mid-release) in turn, and at every step of lock_batch
+// (mid-acquire) via a fresh world per crash point. After each crash:
+// recover through the session, then verify zero leaked or duplicated
+// holds - every shard's pool repatriates to full after scavenge and every
+// shard lock is re-acquirable.
+// ---------------------------------------------------------------------------
+
+// Drive one crash at `crash_step` ops after the probe point inside the
+// given phase ("acquire" or "release"); returns false when the phase
+// completed before the crash step fired (sweep exhausted).
+bool batch_crash_roundtrip(uint64_t crash_offset, bool crash_in_acquire) {
+  harness::CountedWorld w(ModelKind::kCc, 2);
+  api::TableLock<C> table(w.env, /*shards=*/3, /*ports_per_shard=*/2,
+                          /*npids=*/2);
+  auto& h = w.proc(0);
+  const uint64_t keys[2] = {0, 1};  // usually 2 distinct shards
+
+  svc::Session s(table, h, 0);
+  bool crashed = false;
+  std::optional<sim::CrashAtSteps> plan;
+  if (crash_in_acquire) {
+    plan.emplace(0, std::vector<uint64_t>{h.ctx.step_index + crash_offset});
+    h.ctx.crash = &*plan;
+  }
+  try {
+    svc::BatchGuard g(s, std::span<const uint64_t>(keys, 2));
+    if (!crash_in_acquire) {
+      plan.emplace(0, std::vector<uint64_t>{h.ctx.step_index + crash_offset});
+      h.ctx.crash = &*plan;
+    }
+    g.release();
+  } catch (const sim::ProcessCrashed&) {
+    crashed = true;
+  }
+  h.ctx.crash = nullptr;
+
+  // Recovery protocol: the session replays whatever the crash left.
+  s.recover();
+  EXPECT_EQ(table.underlying().current_batch(h.ctx, 0), 0u);
+
+  // Zero leaked or duplicated holds: after scavenging, every shard pool
+  // is full again, and a rival can batch-acquire everything.
+  auto& sctx = w.proc(1).ctx;
+  for (int sh = 0; sh < table.shards(); ++sh) {
+    auto& lease = table.underlying().shard_lease(sh);
+    EXPECT_EQ(lease.held(h.ctx, 0), core::kNoLease) << "shard " << sh;
+    const int scavenged = lease.scavenge(sctx);
+    EXPECT_NE(scavenged, core::kScavengeRefused) << "shard " << sh;
+    EXPECT_EQ(lease.free_ports(sctx), lease.ports()) << "shard " << sh;
+  }
+  svc::Session s1(table, w.proc(1), 1);
+  svc::BatchGuard g1(s1, std::span<const uint64_t>(keys, 2));
+  EXPECT_TRUE(g1.held());
+  return crashed;
+}
+
+TEST(SvcBatch, CrashSweepMidAcquireZeroLeakedOrDuplicatedHolds) {
+  int crashes = 0;
+  for (uint64_t off = 0; off < 200; ++off) {
+    if (batch_crash_roundtrip(off, /*crash_in_acquire=*/true)) {
+      ++crashes;
+    } else {
+      break;  // acquisition completed before the crash step: swept all
+    }
+  }
+  EXPECT_GT(crashes, 10);  // the sweep really covered the acquire path
+}
+
+TEST(SvcBatch, CrashSweepMidReleaseZeroLeakedOrDuplicatedHolds) {
+  int crashes = 0;
+  for (uint64_t off = 0; off < 200; ++off) {
+    if (batch_crash_roundtrip(off, /*crash_in_acquire=*/false)) {
+      ++crashes;
+    } else {
+      break;  // release completed before the crash step: swept all
+    }
+  }
+  EXPECT_GT(crashes, 5);  // the sweep really covered the release path
+}
+
+// ---------------------------------------------------------------------------
+// Scheduled multi-process crash storms over batches, with full ME+CSR
+// audits: the audited replay protocol re-enters every still-held shard
+// (crashed pid first - CSR) before the batch ends.
+// ---------------------------------------------------------------------------
+
+template <class L>
+void audited_batch_body(harness::AuditSet& audits, platform::Process<C>& h,
+                        int pid, svc::Session<L>& session,
+                        std::vector<typename C::template Atomic<int>>& scratch,
+                        uint64_t iteration) {
+  auto& table = session.lock().underlying();
+  if (table.current_batch(h.ctx, pid) != 0) {
+    // A crashed batch is pending: audited replay. The visitor runs
+    // inside each re-entered critical section, so the audit observes the
+    // crashed pid re-entering every still-held shard FIRST (the CSR
+    // contract), after which the interrupted batch super-passage ends.
+    table.recover_batch(h, pid, [&](platform::Process<C>&, int shard) {
+      audits.on_enter(pid, shard);
+      audits.on_exit(pid, shard);
+    });
+  }
+  // Keys stable across crash retries of the same logical operation.
+  const uint64_t base = static_cast<uint64_t>(pid) * 7919u + iteration;
+  const uint64_t keys[2] = {base, base * 31u + 5u};
+  svc::BatchGuard<L> g(session, std::span<const uint64_t>(keys, 2));
+  bool crashed_in_cs = true;
+  try {
+    const int shards = table.shards();
+    for (int sh = 0; sh < shards; ++sh) {
+      if (g.holds_shard(sh)) audits.on_enter(pid, sh);
+    }
+    for (int sh = 0; sh < shards; ++sh) {
+      if (!g.holds_shard(sh)) continue;
+      auto& cell = scratch[static_cast<size_t>(sh)];
+      cell.store(h.ctx, pid);
+      RME_ASSERT(cell.load(h.ctx) == pid,
+                 "svc batch: shard scratch overwritten");
+    }
+    crashed_in_cs = false;
+    for (int sh = 0; sh < shards; ++sh) {
+      if (g.holds_shard(sh)) audits.on_exit(pid, sh);
+    }
+    g.release();
+  } catch (const sim::ProcessCrashed&) {
+    if (crashed_in_cs) {
+      for (int sh = 0; sh < table.shards(); ++sh) {
+        if (g.holds_shard(sh)) audits.on_crash_in_cs(pid, sh);
+      }
+    }
+    throw;
+  }
+}
+
+void run_batch_crash_scenario(ModelKind kind, uint64_t seed, int nth_fas,
+                              sim::CrashAroundFas::When when) {
+  constexpr int kProcs = 3;
+  constexpr int kShards = 3;
+  constexpr uint64_t kIters = 3;
+  Scenario<C> s(kind, kProcs);
+  using L = api::TableLock<C>;
+  L table(s.world().env, kShards, /*ports_per_shard=*/kProcs, kProcs);
+  auto* chk = s.audits().emplace<ExclusionAudit>(kShards);
+  auto sessions =
+      std::make_shared<std::vector<std::unique_ptr<svc::Session<L>>>>(
+          svc::open_sessions(table, s.world(), kProcs));
+  auto scratch = std::make_shared<std::vector<typename C::Atomic<int>>>(
+      static_cast<size_t>(kShards));
+  for (auto& cell : *scratch) {
+    cell.attach(s.world().env, rmr::kNoOwner);
+    cell.init(-1);
+  }
+  auto& audits = s.audits();
+  std::vector<uint64_t> done(kProcs, 0);
+  s.set_body([sessions, &audits, scratch, done](platform::Process<C>& h,
+                                                int pid) mutable {
+    uint64_t& n = done[static_cast<size_t>(pid)];
+    audited_batch_body<L>(audits, h, pid,
+                          *(*sessions)[static_cast<size_t>(pid)], *scratch,
+                          n);
+    ++n;
+  });
+
+  auto plan = std::make_unique<sim::MultiPlan>();
+  plan->emplace<sim::CrashAroundFas>(0, nth_fas, when);
+  if (kProcs >= 2) {
+    plan->emplace<sim::CrashAroundFas>(1, nth_fas + 2, when);
+  }
+  s.set_crash_plan(std::move(plan));
+  s.use_random_schedule(seed);
+  s.set_iterations(kIters);
+  s.set_max_steps(80000000);
+
+  auto res = s.run();
+  EXPECT_TRUE(res.ok()) << res.summary();
+  for (int pid = 0; pid < kProcs; ++pid) {
+    EXPECT_EQ(res.completions[static_cast<size_t>(pid)], kIters) << pid;
+  }
+  EXPECT_EQ(chk->me_violations(), 0u);
+  EXPECT_EQ(chk->csr_violations(), 0u);
+
+  // No pid left anything behind, and no port leaked for good: scavenge
+  // repatriates every pool (zero leaked or duplicated holds).
+  auto& ctx0 = s.world().proc(0).ctx;
+  for (int pid = 0; pid < kProcs; ++pid) {
+    EXPECT_EQ(table.underlying().current_batch(ctx0, pid), 0u) << pid;
+  }
+  for (int sh = 0; sh < kShards; ++sh) {
+    auto& lease = table.underlying().shard_lease(sh);
+    EXPECT_NE(lease.scavenge(ctx0), core::kScavengeRefused) << sh;
+    EXPECT_EQ(lease.free_ports(ctx0), lease.ports()) << sh;
+  }
+}
+
+TEST(SvcBatch, AuditedCrashStormSweepBothModels) {
+  for (ModelKind kind : {ModelKind::kCc, ModelKind::kDsm}) {
+    for (int nth : {1, 2, 3, 5, 8, 12}) {
+      for (auto when :
+           {sim::CrashAroundFas::kBefore, sim::CrashAroundFas::kAfter}) {
+        SCOPED_TRACE(testing::Message()
+                     << "kind=" << static_cast<int>(kind) << " nth=" << nth
+                     << " when=" << static_cast<int>(when));
+        run_batch_crash_scenario(kind, 17u + static_cast<uint64_t>(nth), nth,
+                                 when);
+      }
+    }
+  }
+}
+
+}  // namespace

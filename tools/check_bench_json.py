@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Validate the BENCH_JSON trajectory schema emitted by the benches.
+
+Usage: check_bench_json.py <bench-output-file>...
+
+Every line prefixed "BENCH_JSON " must parse as JSON and carry a "bench"
+key. Rows from the registry-driven benches must additionally carry the
+keys that make them joinable across PRs:
+
+  * lock=<registry-name>  on throughput / lock-table / svc rows;
+  * policy=<policy-name> plus p50_ns/p99_ns on svc_latency rows.
+
+Exits non-zero (listing offenders) on any violation, or when an output
+file contains no BENCH_JSON lines at all.
+"""
+import json
+import sys
+
+PREFIX = "BENCH_JSON "
+
+# bench-field value -> additionally required keys.
+REQUIRED_KEYS = {
+    "throughput": ["lock"],
+    "lock_table_throughput": ["lock"],
+    "lock_table_rmr": ["lock"],
+    "svc_latency": ["lock", "policy", "p50_ns", "p99_ns"],
+}
+
+
+def check_file(path):
+    errors = []
+    rows = 0
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if not line.startswith(PREFIX):
+                continue
+            rows += 1
+            where = f"{path}:{lineno}"
+            try:
+                row = json.loads(line[len(PREFIX):])
+            except json.JSONDecodeError as e:
+                errors.append(f"{where}: unparseable BENCH_JSON ({e})")
+                continue
+            bench = row.get("bench")
+            if bench is None:
+                errors.append(f"{where}: missing 'bench' key")
+                continue
+            for key in REQUIRED_KEYS.get(bench, []):
+                if key not in row:
+                    errors.append(f"{where}: bench={bench} missing '{key}'")
+    if rows == 0:
+        errors.append(f"{path}: no BENCH_JSON lines emitted")
+    return rows, errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    total_rows = 0
+    all_errors = []
+    for path in argv[1:]:
+        rows, errors = check_file(path)
+        total_rows += rows
+        all_errors.extend(errors)
+    for e in all_errors:
+        print(f"ERROR: {e}", file=sys.stderr)
+    print(f"checked {len(argv) - 1} file(s), {total_rows} BENCH_JSON row(s), "
+          f"{len(all_errors)} error(s)")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
