@@ -63,7 +63,7 @@ double real_throughput(int shards, uint64_t iters_per_thread) {
     if (rng == 0) rng = 0x9e3779b9u + static_cast<uint64_t>(pid) * 2654435761u;
     rng = rng * 6364136223846793005ull + 1442695040888963407ull;
     const uint64_t key = (rng >> 33) % kKeySpace;
-    auto g = sessions[static_cast<size_t>(pid)]->acquire(key);
+    auto g = sessions[static_cast<size_t>(pid)]->acquire(key).value();
     benchmark_cs();
   });
   s.set_iterations(iters_per_thread);
@@ -90,7 +90,7 @@ double counted_rmr_per_op(int shards, int pids, uint64_t iters) {
     const uint64_t key =
         (static_cast<uint64_t>(pid) * 2654435761u + done[pid] * 40503u) %
         kKeySpace;
-    auto g = sessions[static_cast<size_t>(pid)]->acquire(key);
+    auto g = sessions[static_cast<size_t>(pid)]->acquire(key).value();
     ++done[pid];
   });
   s.use_random_schedule(17);

@@ -1,21 +1,30 @@
 // E12 - service-layer acquire latency under open-loop load, per wait
-// policy.
+// policy, plus the admission-control overload scenario (shed vs
+// collapse).
 //
 // Not a paper claim: this measures the rme::svc boundary the library now
-// exposes - who waits, how long, under which pacing policy. Each thread
-// owns a Session and issues acquisitions on an OPEN-LOOP arrival
+// exposes - who waits, how long, under which pacing policy, and what the
+// session's admission gate buys once arrivals exceed capacity. Each
+// thread owns a Session and issues acquisitions on an OPEN-LOOP arrival
 // schedule (arrival i is due at start + i*interval regardless of when
 // arrival i-1 completed, the traffic model of a serving system), so the
 // recorded latency of an acquisition includes the queueing delay a
 // saturated lock builds up, not just the service time.
 //
-// Swept: {spin, spin_yield, park} x {FAS-only non-keyed registry entries
-// + the mcs baseline} x one thread count. Every BENCH_JSON row carries
-// lock=<registry-name> AND policy=<policy-name> plus p50_ns/p99_ns - the
+// Part 1 (svc_latency): {spin, spin_yield, park, adaptive} x {FAS-only
+// non-keyed registry entries + the mcs baseline} at a sustainable
+// arrival rate. Part 2 (svc_overload): one lock, arrivals well beyond
+// capacity, admission=none vs admission=wait_trend - the no-admission
+// baseline's p99 collapses with the queue while the wait_trend gate
+// sheds arrivals (Errc::kOverloaded) and keeps the admitted tail
+// bounded. Every BENCH_JSON row carries lock=<registry-name>,
+// policy=<policy-name> AND admission=<admission-name> plus
+// p50_ns/p99_ns (overload rows add shed_rate and handoff counts) - the
 // schema the CI bench-smoke job validates.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -41,22 +50,47 @@ struct NamedPolicy {
 // A tiny critical section the optimiser cannot delete.
 volatile uint64_t g_cs_sink = 0;
 
+// Burn roughly `spins` pause iterations inside the critical section (the
+// overload scenario needs a service time big enough that the offered
+// load exceeds capacity).
+inline void burn_cs(int spins) {
+  for (int i = 0; i < spins; ++i) {
+    g_cs_sink = g_cs_sink + 1;
+    platform::cpu_pause();
+  }
+}
+
 struct LatencySummary {
   int threads = 0;  // actual count (kThreads clamped to the lock's max)
   double p50_ns = 0;
   double p99_ns = 0;
   double max_ns = 0;
   double achieved_ops_per_sec = 0;
+  uint64_t admitted = 0;
+  uint64_t sheds = 0;
+  uint64_t handoffs = 0;  // sum of SessionStats::handoff_rmrs
+  uint64_t releases = 0;
+  double shed_rate() const {
+    const uint64_t offered = admitted + sheds;
+    return offered > 0 ? static_cast<double>(sheds) /
+                             static_cast<double>(offered)
+                       : 0.0;
+  }
 };
 
+// One open-loop run. `gated` installs a per-session WaitTrendAdmission;
+// shed arrivals are counted but produce no latency sample (the caller
+// got an immediate kOverloaded instead of queueing).
 template <class L>
 LatencySummary run_open_loop(platform::WaitPolicy* policy, uint64_t ops,
-                             std::chrono::nanoseconds interval) {
+                             std::chrono::nanoseconds interval, bool gated,
+                             int cs_spins) {
   const int n = api::clamp_processes(api::lock_traits_v<L>, kThreads);
   harness::RealWorld w(n);
   L lock(w.env, n);
 
   std::vector<std::vector<double>> lat(static_cast<size_t>(n));
+  std::vector<svc::SessionStats> stats(static_cast<size_t>(n));
   const Clock::time_point start = Clock::now() + std::chrono::milliseconds(2);
 
   std::vector<std::thread> ts;
@@ -65,22 +99,27 @@ LatencySummary run_open_loop(platform::WaitPolicy* policy, uint64_t ops,
     ts.emplace_back([&, pid] {
       auto& mine = lat[static_cast<size_t>(pid)];
       mine.reserve(ops);
-      svc::Session<L> session(lock, w.proc(pid), pid, policy);
+      // Admission is per-session state: one estimator per thread.
+      std::unique_ptr<svc::WaitTrendAdmission> gate;
+      if (gated) gate = std::make_unique<svc::WaitTrendAdmission>();
+      svc::Session<L> session(lock, w.proc(pid), pid, policy, gate.get());
       // Stagger streams so arrivals interleave instead of phase-locking.
       const auto offset = interval * pid / n;
       for (uint64_t i = 0; i < ops; ++i) {
         const Clock::time_point due = start + offset + interval * i;
         while (Clock::now() < due) platform::cpu_pause();
         auto g = session.acquire();
+        if (!g.has_value()) continue;  // kOverloaded: shed, no sample
         const Clock::time_point got = Clock::now();
-        g_cs_sink = g_cs_sink + 1;
-        g.release();
+        burn_cs(cs_spins);
+        g->release();
         mine.push_back(
             std::chrono::duration_cast<std::chrono::nanoseconds>(due < got
                                                                      ? got - due
                                                                      : Clock::duration::zero())
                 .count());
       }
+      stats[static_cast<size_t>(pid)] = session.stats();
     });
   }
   for (auto& t : ts) t.join();
@@ -90,6 +129,12 @@ LatencySummary run_open_loop(platform::WaitPolicy* policy, uint64_t ops,
   std::sort(all.begin(), all.end());
   LatencySummary out;
   out.threads = n;
+  for (const auto& st : stats) {
+    out.admitted += st.acquires;
+    out.sheds += st.sheds;
+    out.handoffs += st.handoff_rmrs;
+    out.releases += st.releases;
+  }
   if (all.empty()) return out;
   out.p50_ns = all[all.size() / 2];
   out.p99_ns = all[(all.size() * 99) / 100];
@@ -102,45 +147,86 @@ LatencySummary run_open_loop(platform::WaitPolicy* policy, uint64_t ops,
 }
 
 template <class L>
-void bench_entry(const std::vector<NamedPolicy>& policies, uint64_t ops,
-                 std::chrono::nanoseconds interval) {
+void bench_entry(uint64_t ops, std::chrono::nanoseconds interval) {
+  // Fresh policy objects per entry: AdaptivePolicy's spin-to-park latch
+  // is one-way, so a shared instance would label pure-parking runs
+  // "adaptive" for every entry after the first contended one.
+  platform::SpinPolicy spin;
+  platform::SpinYieldPolicy spin_yield;
+  platform::ParkPolicy park;  // shared by the entry's sessions: fair handoff
+  platform::AdaptivePolicy adaptive;
+  const std::vector<NamedPolicy> policies = {
+      {platform::SpinPolicy::kName, &spin},
+      {platform::SpinYieldPolicy::kName, &spin_yield},
+      {platform::ParkPolicy::kName, &park},
+      {platform::AdaptivePolicy::kName, &adaptive},
+  };
   std::printf("lock=%s\n", L::kName);
-  Table t({"policy", "p50(ns)", "p99(ns)", "max(ns)"});
+  Table t({"policy", "p50(ns)", "p99(ns)", "max(ns)", "handoffs"});
   for (const NamedPolicy& np : policies) {
-    const LatencySummary s = run_open_loop<L>(np.policy, ops, interval);
+    const LatencySummary s =
+        run_open_loop<L>(np.policy, ops, interval, /*gated=*/false,
+                         /*cs_spins=*/1);
     t.row({np.name, fmt("%.0f", s.p50_ns), fmt("%.0f", s.p99_ns),
-           fmt("%.0f", s.max_ns)});
+           fmt("%.0f", s.max_ns), fmt("%llu", (unsigned long long)s.handoffs)});
     json_line("svc_latency",
               {{"lock", L::kName},
                {"policy", np.name},
+               {"admission", "none"},
                {"threads", fmt("%d", s.threads)},
                {"interval_ns", fmt("%lld", static_cast<long long>(
                                                interval.count()))}},
               {{"p50_ns", s.p50_ns},
                {"p99_ns", s.p99_ns},
-               {"ops_per_sec", s.achieved_ops_per_sec}});
+               {"ops_per_sec", s.achieved_ops_per_sec},
+               {"handoff_rmrs", static_cast<double>(s.handoffs)}});
+  }
+}
+
+// Part 2: offered load far beyond capacity; admission=none vs
+// admission=wait_trend on the same lock+policy.
+template <class L>
+void bench_overload(platform::WaitPolicy* policy, const char* policy_name,
+                    uint64_t ops, std::chrono::nanoseconds interval,
+                    int cs_spins) {
+  std::printf("\n-- overload: lock=%s policy=%s (%lldns inter-arrival, "
+              "heavy CS) --\n",
+              L::kName, policy_name,
+              static_cast<long long>(interval.count()));
+  Table t({"admission", "p50(ns)", "p99(ns)", "max(ns)", "shed%"});
+  for (const bool gated : {false, true}) {
+    const LatencySummary s =
+        run_open_loop<L>(policy, ops, interval, gated, cs_spins);
+    const char* admission = gated ? svc::WaitTrendAdmission::kName : "none";
+    t.row({admission, fmt("%.0f", s.p50_ns), fmt("%.0f", s.p99_ns),
+           fmt("%.0f", s.max_ns), fmt("%.1f", 100.0 * s.shed_rate())});
+    json_line("svc_overload",
+              {{"lock", L::kName},
+               {"policy", policy_name},
+               {"admission", admission},
+               {"threads", fmt("%d", s.threads)},
+               {"interval_ns", fmt("%lld", static_cast<long long>(
+                                               interval.count()))}},
+              {{"p50_ns", s.p50_ns},
+               {"p99_ns", s.p99_ns},
+               {"shed_rate", s.shed_rate()},
+               {"admitted_ops_per_sec", s.achieved_ops_per_sec},
+               {"handoff_rmrs", static_cast<double>(s.handoffs)}});
   }
 }
 
 }  // namespace
 
 int main() {
-  header("E12", "session acquire latency per wait policy (open-loop load)",
+  header("E12", "session acquire latency per wait policy + admission "
+         "(open-loop load)",
          "service-boundary cost model: spin buys tail latency with cores, "
-         "park buys cores with tail latency; the lock underneath keeps its "
-         "RMR bound either way");
+         "park buys cores with tail latency, admission buys bounded tails "
+         "with shed arrivals; the lock underneath keeps its RMR bound "
+         "either way");
 
   const uint64_t ops = smoke_iters(2000, 50);
   const auto interval = std::chrono::microseconds(5);
-
-  platform::SpinPolicy spin;
-  platform::SpinYieldPolicy spin_yield;
-  platform::ParkPolicy park;  // shared: releases unpark rival waiters
-  const std::vector<NamedPolicy> policies = {
-      {platform::SpinPolicy::kName, &spin},
-      {platform::SpinYieldPolicy::kName, &spin_yield},
-      {platform::ParkPolicy::kName, &park},
-  };
 
   std::printf(
       "\n-- %d threads, one open-loop stream each (%lldus inter-arrival) "
@@ -158,20 +244,43 @@ int main() {
       },
       [&](auto tag) {
         using L = typename decltype(tag)::type;
-        bench_entry<L>(policies, ops, interval);
+        bench_entry<L>(ops, interval);
       });
   // ...and the classical non-recoverable floor for contrast.
   api::for_each_lock_if<R>(
       [](const api::Traits& t) { return t.rmw == api::Rmw::kCas; },
       [&](auto tag) {
         using L = typename decltype(tag)::type;
-        bench_entry<L>(policies, ops, interval);
+        bench_entry<L>(ops, interval);
       });
+
+  // Overload: arrivals every 2us/thread against a multi-microsecond
+  // critical section = offered load far beyond capacity. ParkPolicy on
+  // purpose: waiters sleep instead of burning cores, so the lock's own
+  // queue is the system's queue and the session-visible wait IS the
+  // queueing delay the wait_trend gate judges. Without admission that
+  // queue (and the recorded delay) grows for the whole run; with the
+  // gate most arrivals shed (kOverloaded) and the admitted p99 stays
+  // bounded. The fair handoff is visible here too: handoff_rmrs counts
+  // one unpark per release with parked rivals.
+  {
+    platform::ParkPolicy::Options popt;
+    popt.spin_limit = 4;  // park early: the queue is long by construction,
+    popt.yield_limit = 8;  // so spinning longer only burns the CS's core
+    platform::ParkPolicy overload_policy(popt);
+    bench_overload<api::LeasedLock<R>>(
+        &overload_policy, platform::ParkPolicy::kName,
+        smoke_iters(1500, 40), std::chrono::microseconds(2),
+        /*cs_spins=*/600);
+  }
 
   std::printf(
       "\nReading: p50 is service time (mostly policy-independent); p99 is "
       "where the\npolicies separate - spin holds the tail down while cores "
       "last, park trades\ntail latency for freed cores (timed parks bound "
-      "the damage; shared-policy\nunparks reclaim most of it).\n");
+      "the damage; the fair handoff\nwakes exactly one waiter per release - "
+      "handoff_rmrs in the rows). In the\noverload section the no-admission "
+      "row's p99 is queueing collapse; the\nwait_trend row sheds "
+      "(kOverloaded) and keeps the admitted tail bounded.\n");
   return 0;
 }

@@ -4,17 +4,23 @@
 //
 // Sessions are the public acquisition surface (svc/svc.hpp): a Session
 // binds one caller identity to one lock, installs its wait policy, mints
-// RAII guards, and keeps per-session telemetry. Four stops:
+// RAII guards, and keeps per-session telemetry. Every acquisition verb
+// returns an expected-style result (svc::Expected): the value arm is the
+// guard, the error arm says WHY not (kTimeout, kOverloaded, ...). Five
+// stops:
 //
 //   1. rme::RecoverableMutex + Session  - n-process arbitration tree
 //      (Theorem 3), pid-addressed, guards minted per passage.
 //   2. rme::api::LeasedLock + Session   - RmeLock behind dynamic port
-//      leasing (more clients than ports), with a shared ParkPolicy so
-//      blocked sessions release their cores.
+//      leasing (more clients than ports), with a shared ParkPolicy: a
+//      release hands off to ONE parked waiter, in park order.
 //   3. Deadline verbs                   - acquire_for on a TryLock entry,
 //      expected-style results (kTimeout vs a minted guard).
 //   4. rme::api::TableLock + BatchGuard - a tiny account bank with atomic
-//      multi-account transfers (sorted two-phase locking).
+//      multi-account transfers (sorted two-phase locking) and a deadline
+//      batch that sheds instead of waiting forever.
+//   5. submit() + AcquireRequest        - the async surface: poll between
+//      other work, completion callback, caller-controlled waiting.
 //
 // On the Real platform there is no crash injection - this is the
 // production configuration: plain std::atomic, zero instrumentation. See
@@ -64,7 +70,7 @@ int main() {
       threads.emplace_back([&, pid] {
         rme::svc::Session session(mutex, world.proc(pid), pid);
         for (int i = 0; i < kItersPerThread; ++i) {
-          auto g = session.acquire();
+          auto g = session.acquire().value();  // no admission gate installed
           ++counter;
         }
         static std::mutex agg;
@@ -89,7 +95,7 @@ int main() {
       threads.emplace_back([&, pid] {
         rme::svc::Session session(lock, world.proc(pid), pid, &park);
         for (int i = 0; i < kItersPerThread; ++i) {
-          auto g = session.acquire();
+          auto g = session.acquire().value();
           ++counter;
         }
       });
@@ -110,7 +116,7 @@ int main() {
     rme::api::TasBaseline<Real> lock(world.env, 2);
     rme::svc::Session holder(lock, world.proc(0), 0);
     rme::svc::Session impatient(lock, world.proc(1), 1);
-    auto held = holder.acquire();
+    auto held = holder.acquire().value();
     auto r = impatient.acquire_for(1ms);  // lock is held: must time out
     const bool timed_out = !r.has_value() && r.error() == rme::svc::Errc::kTimeout;
     std::printf("%-28s %s\n", "deadline verb on held lock:",
@@ -151,6 +157,39 @@ int main() {
     ok = check("bank conservation:", (uint64_t)total,
                (uint64_t)kAccounts * 1000) &&
          ok;
+
+    // A deadline batch against a held shard sheds cleanly: the acquired
+    // prefix is backed out, nothing is left behind.
+    rme::svc::Session s0(table, world.proc(0), 0);
+    rme::svc::Session s1(table, world.proc(1), 1);
+    auto held = s0.acquire(uint64_t{0}).value();
+    auto late = s1.acquire_batch_for({uint64_t{0}, uint64_t{1}}, 2ms);
+    const bool batch_timed_out =
+        !late.has_value() && late.error() == rme::svc::Errc::kTimeout;
+    std::printf("%-28s %s\n", "deadline batch on held key:",
+                batch_timed_out ? "kTimeout (OK)" : "UNEXPECTED");
+    ok = batch_timed_out && ok;
+  }
+
+  // -- 5. The async surface: submit() + AcquireRequest -------------------
+  {
+    rme::api::TasBaseline<Real> lock(world.env, 2);
+    rme::svc::Session session(lock, world.proc(0), 0);
+    auto request = session.submit().value();  // admission runs at submit
+    bool completed = false;
+    request.on_complete(
+        [&](rme::svc::Guard<rme::api::TasBaseline<Real>>&) {
+          completed = true;  // fires inline at the completing poll/wait
+        });
+    uint64_t other_work = 0;
+    while (request.poll() == rme::svc::RequestState::kPending) {
+      ++other_work;  // the caller is NOT captive inside acquire()
+    }
+    auto g = request.take();
+    const bool async_ok = completed && g.has_value() && g->held();
+    std::printf("%-28s %s\n", "async submit/poll/take:",
+                async_ok ? "completed (OK)" : "UNEXPECTED");
+    ok = async_ok && ok;
   }
 
   return ok ? 0 : 1;

@@ -101,8 +101,11 @@ int main() {
     const int s = static_cast<int>((pid * 31 + committed[pid]) % kSlots);
 
     // ---- Try section (doubles as recovery), session-minted guard ----
+    // (no Admission gate installed, so the Expected always carries the
+    // guard; the scope still releases it - or skips release on a crash
+    // unwind, exactly like a bare guard.)
     auto g = sessions[static_cast<size_t>(pid)]->acquire(
-        static_cast<uint64_t>(s));
+        static_cast<uint64_t>(s)).value();
 
     // ---- Critical section: write-ahead redo log ----
     // CSR guarantees that after a crash in here *we* re-enter this

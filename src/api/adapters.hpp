@@ -29,6 +29,7 @@
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "api/lock_concept.hpp"
 #include "baselines/mcs.hpp"
@@ -223,6 +224,12 @@ class TableLock {
   void release(Proc& h, int pid) { impl_.unlock(h, pid); }
   void recover(Proc& h, int pid) { impl_.recover(h, pid); }
 
+  // Bounded single attempt (api::TryKeyedLock): the shard index on
+  // success, negative when the shard is busy or its pool exhausted.
+  int try_acquire(Proc& h, int pid, uint64_t key) {
+    return impl_.try_lock(h, pid, key);
+  }
+
   // Multi-key batches (api::BatchKeyedLock): hold every shard guarding
   // `keys` at once; sorted two-phase locking underneath, crash recovery
   // replays partial batches (core/lock_table.hpp).
@@ -232,8 +239,20 @@ class TableLock {
   }
   void release_batch(Proc& h, int pid) { impl_.unlock_batch(h, pid); }
 
+  // Deadline batches (api::DeadlineBatchKeyedLock): bounded per-shard
+  // attempts until `expired`; 0 after sorted prefix backout.
+  uint64_t acquire_batch_until(Proc& h, int pid, const uint64_t* keys,
+                               size_t nkeys,
+                               const std::function<bool()>& expired) {
+    return impl_.lock_batch_until(h, pid, keys, nkeys, expired);
+  }
+
   int shards() const { return impl_.shards(); }
   int shard_for_key(uint64_t key) const { return impl_.shard_for_key(key); }
+  // Per-shard wake site for the fair-handoff protocol: the table's wait
+  // loops park under the shard lock's address (core/lock_table.hpp pins
+  // it), so a release must hand off under the same key.
+  const void* shard_wait_site(int shard) { return &impl_.shard_lock(shard); }
   Underlying& underlying() { return impl_; }
 
  private:

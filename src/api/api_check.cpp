@@ -59,6 +59,9 @@ constexpr bool check_platform() {
   static_assert(api::TryLock<api::McsBaseline<P>>);
   static_assert(!api::TryLock<api::FlatLock<P>>);
   static_assert(api::KeyedLock<api::TableLock<P>>);
+  static_assert(api::TryKeyedLock<api::TableLock<P>>);
+  static_assert(api::BatchKeyedLock<api::TableLock<P>>);
+  static_assert(api::DeadlineBatchKeyedLock<api::TableLock<P>>);
   return true;
 }
 

@@ -30,6 +30,7 @@
 
 #include <concepts>
 #include <cstdint>
+#include <functional>
 
 #include "platform/process.hpp"
 
@@ -152,6 +153,18 @@ concept KeyedLock =
       { l.recover(h, pid) } -> std::same_as<void>;
     };
 
+// A KeyedLock with a bounded single-attempt entry per key: one sweep,
+// returns the shard index on success or a negative value when the
+// acquisition would block (shard busy, or its port pool exhausted).
+// Like std::mutex::try_lock, the attempt may fail spuriously when it
+// races another bounded attempt on the same shard.
+template <class L>
+concept TryKeyedLock =
+    KeyedLock<L> &&
+    requires(L& l, typename L::Proc& h, int pid, uint64_t key) {
+      { l.try_acquire(h, pid, key) } -> std::convertible_to<int>;
+    };
+
 // A KeyedLock that can additionally hold the shards of N keys at once,
 // crash-consistently (sorted two-phase locking; recovery replays partial
 // batches). acquire_batch returns the shard bitmask; release_batch is
@@ -163,6 +176,23 @@ concept BatchKeyedLock =
              size_t nkeys) {
       { l.acquire_batch(h, pid, keys, nkeys) } -> std::same_as<uint64_t>;
       { l.release_batch(h, pid) } -> std::same_as<void>;
+    };
+
+// A BatchKeyedLock whose batch acquisition can be bounded by a deadline:
+// acquire_batch_until takes an `expired` predicate polled between
+// bounded per-shard attempts and returns the held shard bitmask, or 0
+// after SORTED PREFIX BACKOUT - every shard of the partial prefix is
+// released again (in ascending order) and the persisted batch intent
+// cleared, so a timed-out batch leaves no residue. The RAII surface is
+// rme::svc::Session::acquire_batch_for/_until.
+template <class L>
+concept DeadlineBatchKeyedLock =
+    BatchKeyedLock<L> &&
+    requires(L& l, typename L::Proc& h, int pid, const uint64_t* keys,
+             size_t nkeys, const std::function<bool()>& expired) {
+      {
+        l.acquire_batch_until(h, pid, keys, nkeys, expired)
+      } -> std::same_as<uint64_t>;
     };
 
 }  // namespace rme::api

@@ -101,8 +101,45 @@ class RecoverableLockTable {
     // claimed leaves a harmless record that recover() clears.
     shard_of_[static_cast<size_t>(pid)].store(h.ctx, target);
     Shard& sh = *shards_[static_cast<size_t>(target)];
+    // Park under the SHARD lock's key: a parking policy's waiters are
+    // then woken by releases of this shard, not of the whole table.
+    platform::WaitSiteScope site(h.ctx, &sh.lock);
     const int port = sh.lease.acquire(h.ctx, pid);
     sh.lock.lock(h, port);
+    return target;
+  }
+
+  // Bounded single attempt on the shard guarding `key`: one lease sweep
+  // plus a busy probe. Returns the shard index on success, kNoShard when
+  // the acquisition would block. The probe exploits the lease discipline
+  // (a lease is held for the ENTIRE passage, Try through Exit, and only
+  // released after unlock): if after claiming our own port every other
+  // port of the shard is back in the pool, nobody else is anywhere in
+  // the shard's lock, so the enqueue below runs uncontended. A rival
+  // claiming concurrently can still slip in between probe and enqueue -
+  // the attempt then blocks behind at most that rival's passage - so
+  // this is a bounded attempt in expectation, not a hard wait-freedom
+  // guarantee (the paper's lock has no abandonable Try section: once the
+  // FAS on Tail is issued, the process is committed to the queue).
+  int try_lock(Proc& h, int pid, uint64_t key) {
+    check_pid(pid);
+    if (batch_mask_[static_cast<size_t>(pid)].load(h.ctx) != 0) {
+      recover_batch(h, pid);  // replay a crashed batch first
+    }
+    const int target = shard_for_key(key);
+    const int stale = shard_of_[static_cast<size_t>(pid)].load(h.ctx);
+    if (stale != kNoShard && stale != target) {
+      recover(h, pid);  // finish a crashed single-key passage first
+    }
+    // Intent first, exactly like lock(): a crash between this store and
+    // the outcome leaves a record recover() clears (quiesce arm when the
+    // lease was never claimed, replay arm when it was).
+    shard_of_[static_cast<size_t>(pid)].store(h.ctx, target);
+    Shard& sh = *shards_[static_cast<size_t>(target)];
+    if (try_enter_shard(h, pid, sh) == kNoLease) {
+      shard_of_[static_cast<size_t>(pid)].store(h.ctx, kNoShard);
+      return kNoShard;
+    }
     return target;
   }
 
@@ -165,8 +202,75 @@ class RecoverableLockTable {
     for (int s = 0; s < shards(); ++s) {
       if ((mask & (uint64_t{1} << s)) == 0) continue;
       Shard& sh = *shards_[static_cast<size_t>(s)];
+      platform::WaitSiteScope site(h.ctx, &sh.lock);  // per-shard parking
       const int port = sh.lease.acquire(h.ctx, pid);
       sh.lock.lock(h, port);
+    }
+    return mask;
+  }
+
+  // Deadline batches: acquire the shards guarding `keys` in ascending
+  // shard order via bounded per-shard attempts, polling `expired`
+  // between attempts. Returns the full mask on success. On expiry the
+  // held PREFIX is backed out - released in the same ascending order -
+  // the persisted intent cleared, and 0 returned: a timed-out batch
+  // leaves no residue. Crash consistency is the same protocol as
+  // lock_batch: the full mask is persisted before the first lease, and a
+  // crash anywhere (mid-acquire, mid-backout) is replayed by
+  // recover_batch - shards with a persisted lease are re-entered and
+  // exited, shards already backed out (or never reached) quiesce.
+  uint64_t lock_batch_until(Proc& h, int pid, const uint64_t* keys,
+                            size_t nkeys,
+                            const std::function<bool()>& expired) {
+    check_pid(pid);
+    RME_ASSERT(nkeys >= 1, "LockTable: empty batch");
+    RME_ASSERT(shards() <= kMaxBatchShards,
+               "LockTable: batch ops need <= 64 shards");
+    if (batch_mask_[static_cast<size_t>(pid)].load(h.ctx) != 0) {
+      recover_batch(h, pid);  // replay a crashed batch first
+    }
+    if (shard_of_[static_cast<size_t>(pid)].load(h.ctx) != kNoShard) {
+      recover(h, pid);  // finish a crashed single-key passage first
+    }
+    uint64_t mask = 0;
+    for (size_t i = 0; i < nkeys; ++i) {
+      mask |= uint64_t{1} << shard_for_key(keys[i]);
+    }
+    // Intent first (full mask, like lock_batch): a crash below replays
+    // whatever prefix was acquired at that point.
+    batch_mask_[static_cast<size_t>(pid)].store(h.ctx, mask);
+    uint64_t held = 0;
+    platform::Waiter wtr;
+    for (int s = 0; s < shards(); ++s) {
+      if ((mask & (uint64_t{1} << s)) == 0) continue;
+      Shard& sh = *shards_[static_cast<size_t>(s)];
+      // Covers the retry pauses too: the waiter parks under the shard
+      // it is actually blocked on, the key that shard's release wakes.
+      platform::WaitSiteScope site(h.ctx, &sh.lock);
+      for (;;) {
+        if (try_enter_shard(h, pid, sh) != kNoLease) {
+          held |= uint64_t{1} << s;
+          break;
+        }
+        if (expired()) {
+          // Sorted prefix backout: release the held prefix in the same
+          // ascending order it was acquired, then clear the intent. A
+          // crash mid-backout is caught by recover_batch (released
+          // shards have no lease and quiesce; still-held ones replay).
+          for (int t = 0; t < shards(); ++t) {
+            if ((held & (uint64_t{1} << t)) == 0) continue;
+            Shard& bh = *shards_[static_cast<size_t>(t)];
+            const int port = bh.lease.held(h.ctx, pid);
+            RME_ASSERT(port != kNoLease,
+                       "LockTable: backout shard without a lease");
+            bh.lock.unlock(h, port);
+            bh.lease.release(h.ctx, pid);
+          }
+          batch_mask_[static_cast<size_t>(pid)].store(h.ctx, 0);
+          return 0;
+        }
+        wtr.pause(h.ctx, this);
+      }
     }
     return mask;
   }
@@ -215,6 +319,7 @@ class RecoverableLockTable {
     for (int s = 0; s < shards(); ++s) {
       if ((mask & (uint64_t{1} << s)) == 0) continue;
       Shard& sh = *shards_[static_cast<size_t>(s)];
+      platform::WaitSiteScope site(h.ctx, &sh.lock);  // per-shard parking
       if (sh.lease.held(h.ctx, pid) != kNoLease) {
         const int port = sh.lease.acquire(h.ctx, pid);  // re-bind, no claim
         sh.lock.lock(h, port);  // Try section = recovery; may re-enter CS
@@ -236,6 +341,7 @@ class RecoverableLockTable {
     const int s = shard_of_[static_cast<size_t>(pid)].load(h.ctx);
     if (s == kNoShard) return;
     Shard& sh = *shards_[static_cast<size_t>(s)];
+    platform::WaitSiteScope site(h.ctx, &sh.lock);  // per-shard parking
     if (sh.lease.held(h.ctx, pid) != kNoLease) {
       const int port = sh.lease.acquire(h.ctx, pid);  // re-bind, no claim
       sh.lock.lock(h, port);  // Try section = recovery; may re-enter CS
@@ -276,6 +382,39 @@ class RecoverableLockTable {
     Shard(Env& env, int ports, int npids, const Options& opt)
         : lock(env, ports, opt.lock), lease(env, ports, npids) {}
   };
+
+  // One bounded attempt to enter `sh`'s critical section: claim a port
+  // without blocking, verify via the lease pool that nobody else is
+  // inside the shard (every live passage holds its lease from Try entry
+  // to after Exit), then enqueue - uncontended unless a rival slipped in
+  // between probe and enqueue. Returns the held port, or kNoLease after
+  // depositing the claim back (the would-block arm). Like
+  // std::mutex::try_lock, the attempt may fail SPURIOUSLY: two probers
+  // racing on a free shard each see the other's claimed port and both
+  // back out (neither can tell a prober's transient claim from a real
+  // passage without committing to the queue). Retry loops absorb this -
+  // their pacing desynchronises the rivals - and the deadline bounds
+  // the pathological lock-step case. A pid with a persisted lease
+  // (crashed passage) re-binds and replays instead - recovery is this
+  // pid's own obligation and cannot be refused.
+  int try_enter_shard(Proc& h, int pid, Shard& sh) {
+    platform::WaitSiteScope site(h.ctx, &sh.lock);  // per-shard parking
+    if (sh.lease.held(h.ctx, pid) != kNoLease) {
+      const int port = sh.lease.acquire(h.ctx, pid);  // re-bind, no claim
+      sh.lock.lock(h, port);  // Try section = recovery; may re-enter CS
+      return port;
+    }
+    const int port = sh.lease.try_claim(h.ctx, pid);
+    if (port == kNoLease) return kNoLease;  // pool exhausted: would block
+    if (sh.lease.free_ports(h.ctx) < sh.lease.ports() - 1) {
+      // Another port is out: a rival is somewhere in Try/CS/Exit. Put
+      // the claim back rather than committing to a wait in the queue.
+      sh.lease.release(h.ctx, pid);
+      return kNoLease;
+    }
+    sh.lock.lock(h, port);
+    return port;
+  }
 
   void check_pid(int pid) const {
     RME_ASSERT(pid >= 0 && pid < npids_, "LockTable: bad pid");

@@ -1,20 +1,25 @@
-// Futex-style parking for wait loops: park(key) puts the calling OS
-// thread to sleep until unpark_all(key) or a timeout, without any
-// shared-memory traffic in the lock algorithms themselves.
+// Fair futex-style parking for wait loops: park(key) puts the calling OS
+// thread to sleep until it is granted a wake - unpark_one(key) hands off
+// to the OLDEST waiter parked on exactly that key - or until a timeout,
+// without any shared-memory traffic in the lock algorithms themselves.
 //
 // The locks in this library wake waiters by WRITING MEMORY (go-flags,
 // lock words) - the paper's model has no syscall channel - so a parked
 // thread cannot rely on the releaser knowing its key. Parking is
-// therefore always TIMED here: a parker that is not explicitly unparked
-// wakes after its timeout and re-checks its condition. unpark_all() is
+// therefore always TIMED here: a parker that is not explicitly granted
+// wakes after its timeout and re-checks its condition. unpark_one() is
 // the cooperative fast path the rme::svc session layer drives from its
-// release hooks (WaitPolicy::on_release).
+// release hooks (WaitPolicy::on_release): one release grants exactly one
+// waiter, in park order - the single-waiter handoff that replaces the
+// historical unpark_all thundering herd.
 //
-// Implementation: a static array of buckets, each a mutex + condvar +
-// epoch counter, keyed by pointer hash. Hash collisions and batch wakes
-// only cause spurious wakeups; every woken waiter re-evaluates its wait
-// condition, so correctness never depends on precision. A global parked
-// count makes unpark_all() a single relaxed load when nobody sleeps.
+// Implementation: a static array of buckets, each a mutex guarding an
+// intrusive FIFO of stack-allocated waiter nodes (one condvar per node,
+// so a grant wakes precisely its target). Keys are 64-bit values (the
+// svc layer mixes (policy, lock address) into one - see
+// platform/wait.hpp); nodes record their exact key, so bucket collisions
+// never cause cross-key grants, only mutex sharing. A global parked
+// count makes unpark a single relaxed load when nobody sleeps.
 #pragma once
 
 #include <atomic>
@@ -25,6 +30,20 @@
 
 namespace rme::platform {
 
+// splitmix64 finaliser; the repo-wide pointer/key mixer.
+constexpr uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Mix two pointers into one park key (used as (policy, wait site)).
+inline uint64_t park_key(const void* a, const void* b) {
+  return mix64(reinterpret_cast<uintptr_t>(a) ^
+               mix64(reinterpret_cast<uintptr_t>(b)));
+}
+
 class ParkingLot {
  public:
   static ParkingLot& instance() {
@@ -32,63 +51,150 @@ class ParkingLot {
     return lot;
   }
 
-  // Sleep until unpark_all(key) (or a colliding key's wake) or until
-  // `timeout` elapses. Returns true when explicitly woken.
-  bool park_for(const void* key, std::chrono::nanoseconds timeout) {
+  // Sleep until a grant arrives for `key` or until `timeout` elapses.
+  // Returns true when explicitly granted (never spuriously: a grant is a
+  // targeted unpark_one/unpark_all decision taken under the bucket lock).
+  bool park_for(uint64_t key, std::chrono::nanoseconds timeout) {
     Bucket& b = bucket_for(key);
+    Node me{key};
     std::unique_lock<std::mutex> lk(b.mu);
-    const uint64_t epoch = b.epoch;
+    enqueue(b, &me);
     parked_.fetch_add(1, std::memory_order_relaxed);
-    const bool woken =
-        b.cv.wait_for(lk, timeout, [&] { return b.epoch != epoch; });
+    me.cv.wait_for(lk, timeout, [&] { return me.granted; });
+    if (!me.granted) {
+      remove(b, &me);  // timed out while still queued
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+    }
     parked_.fetch_sub(1, std::memory_order_relaxed);
-    return woken;
+    return me.granted;
   }
 
-  // Wake every thread parked on `key` (and, harmlessly, on colliding
-  // keys). Cheap when nobody is parked anywhere.
-  void unpark_all(const void* key) {
-    if (parked_.load(std::memory_order_relaxed) == 0) return;
+  // Hand off to the oldest waiter parked on exactly `key`. Returns the
+  // number of waiters granted (0 or 1). Cheap when nobody is parked.
+  size_t unpark_one(uint64_t key) {
+    if (parked_.load(std::memory_order_relaxed) == 0) return 0;
     Bucket& b = bucket_for(key);
-    {
-      std::lock_guard<std::mutex> lk(b.mu);
-      ++b.epoch;
+    std::lock_guard<std::mutex> lk(b.mu);
+    for (Node* n = b.head; n != nullptr; n = n->next) {
+      if (n->key != key) continue;
+      remove(b, n);
+      n->granted = true;
+      n->cv.notify_one();
+      grants_.fetch_add(1, std::memory_order_relaxed);
+      return 1;
     }
-    b.cv.notify_all();
+    return 0;
+  }
+
+  // Grant every waiter parked on exactly `key` (recovery/shutdown paths;
+  // the fair handoff path is unpark_one). Returns the number granted.
+  size_t unpark_all(uint64_t key) {
+    if (parked_.load(std::memory_order_relaxed) == 0) return 0;
+    Bucket& b = bucket_for(key);
+    std::lock_guard<std::mutex> lk(b.mu);
+    size_t granted = 0;
+    Node* n = b.head;
+    while (n != nullptr) {
+      Node* next = n->next;
+      if (n->key == key) {
+        remove(b, n);
+        n->granted = true;
+        n->cv.notify_one();
+        ++granted;
+      }
+      n = next;
+    }
+    grants_.fetch_add(granted, std::memory_order_relaxed);
+    return granted;
   }
 
   uint64_t parked_count() const {
     return parked_.load(std::memory_order_relaxed);
   }
 
+  // Waiters currently parked on exactly `key` (test sequencing helper).
+  uint64_t parked_count(uint64_t key) {
+    Bucket& b = bucket_for(key);
+    std::lock_guard<std::mutex> lk(b.mu);
+    uint64_t n = 0;
+    for (Node* w = b.head; w != nullptr; w = w->next) {
+      if (w->key == key) ++n;
+    }
+    return n;
+  }
+
+  // Cumulative explicit grants / park timeouts (monotone; tests compare
+  // deltas, since the lot is a process-wide singleton).
+  uint64_t grants() const { return grants_.load(std::memory_order_relaxed); }
+  uint64_t timeouts() const {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
+
  private:
   ParkingLot() = default;
 
-  struct Bucket {
-    std::mutex mu;
+  // Stack-allocated per-parked-thread node; lives inside park_for's
+  // frame. Granters unlink it under the bucket mutex before notifying,
+  // so the frame can never die while the node is still queued.
+  struct Node {
+    explicit Node(uint64_t k) : key(k) {}
+    uint64_t key;
+    Node* prev = nullptr;
+    Node* next = nullptr;
     std::condition_variable cv;
-    uint64_t epoch = 0;  // bumped by every unpark_all on this bucket
+    bool granted = false;
   };
 
-  Bucket& bucket_for(const void* key) {
-    uint64_t x = reinterpret_cast<uintptr_t>(key);
-    x += 0x9e3779b97f4a7c15ull;  // splitmix64 finaliser
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-    return buckets_[(x ^ (x >> 31)) % kBuckets];
+  struct Bucket {
+    std::mutex mu;
+    Node* head = nullptr;  // oldest waiter (grant order)
+    Node* tail = nullptr;
+  };
+
+  static void enqueue(Bucket& b, Node* n) {
+    n->prev = b.tail;
+    n->next = nullptr;
+    if (b.tail != nullptr) {
+      b.tail->next = n;
+    } else {
+      b.head = n;
+    }
+    b.tail = n;
   }
+
+  static void remove(Bucket& b, Node* n) {
+    if (n->prev != nullptr) {
+      n->prev->next = n->next;
+    } else {
+      b.head = n->next;
+    }
+    if (n->next != nullptr) {
+      n->next->prev = n->prev;
+    } else {
+      b.tail = n->prev;
+    }
+    n->prev = n->next = nullptr;
+  }
+
+  Bucket& bucket_for(uint64_t key) { return buckets_[mix64(key) % kBuckets]; }
 
   static constexpr size_t kBuckets = 64;
   Bucket buckets_[kBuckets];
   std::atomic<uint64_t> parked_{0};
+  std::atomic<uint64_t> grants_{0};
+  std::atomic<uint64_t> timeouts_{0};
 };
 
-inline bool park_for(const void* key, std::chrono::nanoseconds timeout) {
+inline bool park_for(uint64_t key, std::chrono::nanoseconds timeout) {
   return ParkingLot::instance().park_for(key, timeout);
 }
 
-inline void unpark_all(const void* key) {
-  ParkingLot::instance().unpark_all(key);
+inline size_t unpark_one(uint64_t key) {
+  return ParkingLot::instance().unpark_one(key);
+}
+
+inline size_t unpark_all(uint64_t key) {
+  return ParkingLot::instance().unpark_all(key);
 }
 
 }  // namespace rme::platform

@@ -74,10 +74,48 @@ class WaitPolicy {
   // One pacing step of a wait loop. `addr` identifies the awaited
   // location (a parking/diagnostic key, never dereferenced); `spins` is
   // the iteration count at this wait site so far (1 on the first pause).
+  // During an rme::svc session verb the Waiter overrides `addr` with the
+  // session's wait site (the lock address), so parkers and the releaser
+  // agree on one key per (policy, lock) pair.
   virtual void pause(const void* addr, uint32_t spins) = 0;
-  // Hint that the caller just released a lock: a parking policy wakes its
-  // sleepers here so they re-check their conditions. Default: no-op.
-  virtual void on_release() {}
+  // Hint that the caller just released the lock at `site`: a parking
+  // policy hands off to ONE waiter parked on (policy, site) here - the
+  // fair single-waiter handoff. Returns how many waiters were granted
+  // (the rme::svc layer books this as SessionStats::handoff_rmrs, the
+  // wake-chain cost attribution). Default: no-op, nobody woken.
+  virtual size_t on_release(const void* site) {
+    (void)site;
+    return 0;
+  }
+  // Telemetry feedback from the session layer after each acquisition:
+  // total acquires and contended acquires of the observing session. An
+  // adaptive policy (platform/wait.hpp: AdaptivePolicy) demotes itself
+  // from spinning to parking on this signal. Default: ignore.
+  virtual void observe(uint64_t acquires, uint64_t contended_acquires) {
+    (void)acquires;
+    (void)contended_acquires;
+  }
+};
+
+// Pins the context's wait site - the park-key half a releaser can
+// address - for the current scope, restoring the previous site on any
+// exit (including crash unwinds). The rme::svc session layer pins the
+// lock address per verb; shard-granular locks (core::RecoverableLockTable)
+// re-pin the SHARD lock around each per-shard wait so a shard's release
+// wakes that shard's waiters, not the oldest waiter of any shard.
+template <class Ctx>
+class WaitSiteScope {
+ public:
+  WaitSiteScope(Ctx& ctx, const void* site) : ctx_(ctx), prev_(ctx.wait_site) {
+    ctx_.wait_site = site;
+  }
+  ~WaitSiteScope() { ctx_.wait_site = prev_; }
+  WaitSiteScope(const WaitSiteScope&) = delete;
+  WaitSiteScope& operator=(const WaitSiteScope&) = delete;
+
+ private:
+  Ctx& ctx_;
+  const void* prev_;
 };
 
 // Per-wait-site helper (one per wait loop, like the old Backoff): counts
@@ -96,6 +134,11 @@ class Waiter {
     }
     ++spins_;
     if (WaitPolicy* p = ctx.wait_policy; p != nullptr) {
+      // Inside a session verb the session pins the wait site (the lock
+      // address) in the context, so every pause of the verb - whichever
+      // cell it actually spins on - parks under the key the releaser's
+      // on_release(site) will target.
+      if (ctx.wait_site != nullptr) addr = ctx.wait_site;
       p->pause(addr, spins_);
       return;
     }
@@ -128,6 +171,7 @@ struct Real {
   struct Context {
     int pid = 0;
     WaitPolicy* wait_policy = nullptr;  // installed by rme::svc sessions
+    const void* wait_site = nullptr;    // pinned per-verb park key (svc)
     uint64_t wait_cycles = 0;           // Waiter pauses on behalf of this pid
     explicit Context(int p = 0) : pid(p) {}
     // Hook point; nothing to do on the real platform.
@@ -202,6 +246,7 @@ struct Counted {
     sim::CrashPlan* crash = nullptr;   // optional crash-step injection
     uint64_t step_index = 0;           // per-process op counter (monotone)
     WaitPolicy* wait_policy = nullptr;  // installed by rme::svc sessions
+    const void* wait_site = nullptr;    // pinned per-verb park key (svc)
     uint64_t wait_cycles = 0;           // Waiter pauses on behalf of this pid
 
     Context() = default;

@@ -10,21 +10,42 @@
 //                      policy is installed).
 //   ParkPolicy       - spin, then yield, then timed futex-style parking
 //                      (platform/park.hpp) with exponentially escalating
-//                      nap times. The locks wake waiters by writing
-//                      memory, not by syscall, so parks are always timed
-//                      and the waiter re-checks its condition on wake;
-//                      on_release() (driven by rme::svc sessions) unparks
-//                      this policy's sleepers early, which restores
-//                      near-futex wake latency whenever the contending
-//                      sessions share the policy instance.
+//                      nap times. Parks are keyed by (policy, wait site):
+//                      during a session verb the site is the lock address
+//                      (platform.hpp Waiter), so on_release(site) - driven
+//                      by rme::svc sessions - is a targeted single-waiter
+//                      handoff in park order (unpark_one), and releases of
+//                      one lock never wake waiters of another lock that
+//                      happens to share the policy object. The locks wake
+//                      waiters by writing memory, not by syscall, so parks
+//                      stay timed and every woken waiter re-checks its
+//                      condition.
+//   AdaptivePolicy   - starts as spin-then-yield and demotes itself to
+//                      parking when the sessions driving it report a
+//                      contended_acquires/acquires ratio above a
+//                      threshold (WaitPolicy::observe). One-way: once the
+//                      workload has proven oversubscribed, parking's
+//                      freed cores beat spin's latency for the rest of
+//                      the run.
 //
-// All three are stateless per wait-site (per-site iteration counts live
-// in the caller's Waiter), so ONE policy instance may be shared by any
-// number of sessions and threads - sharing is exactly what lets
-// ParkPolicy::on_release wake rival waiters.
+// All per-wait-site iteration state lives in the caller's Waiter, so ONE
+// policy instance may be shared by any number of sessions and threads -
+// sharing is exactly what lets a release hand off to a rival session's
+// parked waiter. (AdaptivePolicy's demotion latch is an atomic for the
+// same reason.)
+//
+// Caveat for NON-session waits: a parking policy's cooperative wake
+// requires the parker and the releaser to agree on the (policy, site)
+// key, which sessions arrange by pinning the lock address per verb.
+// A wait loop entered OUTSIDE any session verb while a parking policy
+// is installed (e.g. a bare api::Guard acquire on a second lock) parks
+// under its own spin-cell address, which no release targets - it still
+// makes progress (parks are always timed) but pays up to max_park per
+// wake. Acquire through a session when a parking policy is installed.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <thread>
@@ -33,6 +54,22 @@
 #include "platform/platform.hpp"
 
 namespace rme::platform {
+
+namespace detail {
+
+// The shared park-mode tail of the parking policies: escalate the nap
+// geometrically from min_park to max_park, parked under the
+// (policy, site) key the releaser's on_release(site) targets.
+inline void escalating_park(const void* policy, const void* addr,
+                            uint32_t naps_so_far,
+                            std::chrono::nanoseconds min_park,
+                            std::chrono::nanoseconds max_park) {
+  const uint32_t naps = std::min<uint32_t>(naps_so_far, 21);
+  const auto nap = std::min(max_park, min_park * (1u << (naps - 1)));
+  park_for(park_key(policy, addr), nap);
+}
+
+}  // namespace detail
 
 class SpinPolicy final : public WaitPolicy {
  public:
@@ -73,7 +110,7 @@ class ParkPolicy final : public WaitPolicy {
   ParkPolicy() : opt_() {}
   explicit ParkPolicy(Options opt) : opt_(opt) {}
 
-  void pause(const void* /*addr*/, uint32_t spins) override {
+  void pause(const void* addr, uint32_t spins) override {
     if (spins <= opt_.spin_limit) {
       cpu_pause();
       return;
@@ -82,20 +119,80 @@ class ParkPolicy final : public WaitPolicy {
       std::this_thread::yield();
       return;
     }
-    // Escalate the nap geometrically from min_park to max_park. The park
-    // key is the policy object itself: on_release() cannot know which
-    // cell a rival waiter spins on (go-flags are per-process), so wakes
-    // are policy-wide and every woken waiter re-checks its condition.
-    const uint32_t naps = std::min<uint32_t>(spins - opt_.yield_limit, 21);
-    const auto nap =
-        std::min(opt_.max_park, opt_.min_park * (1u << (naps - 1)));
-    park_for(this, nap);
+    // The park key pairs this policy with the wait site (the lock
+    // address during a session verb), so the releaser's unpark_one
+    // targets exactly the FIFO of waiters blocked on that lock under
+    // this policy.
+    detail::escalating_park(this, addr, spins - opt_.yield_limit,
+                            opt_.min_park, opt_.max_park);
   }
 
-  void on_release() override { unpark_all(this); }
+  // Fair handoff: grant the oldest waiter parked on (policy, site) - at
+  // most ONE waiter per release, matching the lock's own one-successor
+  // handoff instead of the historical policy-wide thundering herd.
+  size_t on_release(const void* site) override {
+    return unpark_one(park_key(this, site));
+  }
 
  private:
   Options opt_;
+};
+
+// Policy-adaptive pacing (ROADMAP): spin while the workload is polite,
+// park once it demonstrably is not. Sessions report their telemetry via
+// WaitPolicy::observe after every acquisition; when any observing
+// session's contended ratio crosses `demote_ratio` (with at least
+// `min_acquires` samples) the policy latches into parking mode for all
+// its users.
+class AdaptivePolicy final : public WaitPolicy {
+ public:
+  static constexpr const char* kName = "adaptive";
+
+  struct Options {
+    uint32_t spin_limit = 64;     // spin-mode: pause() budget per site
+    uint32_t yield_limit = 128;   // spin-mode: then yield() forever
+    double demote_ratio = 0.5;    // contended/acquires that flips to parking
+    uint64_t min_acquires = 64;   // samples before the ratio is trusted
+    std::chrono::nanoseconds min_park{std::chrono::microseconds(50)};
+    std::chrono::nanoseconds max_park{std::chrono::microseconds(500)};
+  };
+
+  AdaptivePolicy() : opt_() {}
+  explicit AdaptivePolicy(Options opt) : opt_(opt) {}
+
+  void pause(const void* addr, uint32_t spins) override {
+    if (spins <= opt_.spin_limit) {
+      cpu_pause();
+      return;
+    }
+    if (!parking_.load(std::memory_order_relaxed) ||
+        spins <= opt_.yield_limit) {
+      std::this_thread::yield();
+      return;
+    }
+    detail::escalating_park(this, addr, spins - opt_.yield_limit,
+                            opt_.min_park, opt_.max_park);
+  }
+
+  size_t on_release(const void* site) override {
+    if (!parking_.load(std::memory_order_relaxed)) return 0;
+    return unpark_one(park_key(this, site));
+  }
+
+  void observe(uint64_t acquires, uint64_t contended_acquires) override {
+    if (parking_.load(std::memory_order_relaxed)) return;  // latched
+    if (acquires < opt_.min_acquires) return;
+    if (static_cast<double>(contended_acquires) >=
+        opt_.demote_ratio * static_cast<double>(acquires)) {
+      parking_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  bool parking() const { return parking_.load(std::memory_order_relaxed); }
+
+ private:
+  Options opt_;
+  std::atomic<bool> parking_{false};  // one-way spin -> park latch
 };
 
 }  // namespace rme::platform

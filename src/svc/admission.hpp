@@ -1,0 +1,117 @@
+// Session-level admission control: shed load at the service boundary
+// BEFORE a doomed acquisition joins the queue.
+//
+// Open-loop traffic has no natural backpressure: once the arrival rate
+// exceeds the lock's service rate, every additional admitted acquisition
+// only lengthens the queue everyone else waits in, and latency grows
+// without bound (queueing collapse - bench_svc's overload scenario shows
+// the curve). The two-timescale admission idea (Chen et al., PAPERS.md)
+// is that the decision signal must separate "load is momentarily high"
+// from "load is persistently above capacity": compare a FAST estimate of
+// the current cost against a SLOW estimate of the sustainable baseline,
+// and reject new work while the fast estimate has detached from the slow
+// one. Sessions already own the perfect cost signal - wait_cycles per
+// acquisition - so admission composes from telemetry the layer keeps
+// anyway.
+//
+// An Admission object is consulted by every session acquisition verb
+// (acquire, try/deadline verbs, submit, batch verbs); rejection surfaces
+// as Errc::kOverloaded without touching the lock - the queue never sees
+// the shed arrival. Unlike WaitPolicy, an Admission instance is
+// per-session state (its estimators are written from the session's own
+// verbs, which are single-caller by contract): give each session its own
+// instance, do not share one across threads.
+#pragma once
+
+#include <cstdint>
+
+namespace rme::svc {
+
+// The decision interface. admit() runs before the lock is touched;
+// on_acquired feeds back the observed WALL-CLOCK cost (nanoseconds from
+// verb entry to acquisition) of each successful acquisition; on_shed is
+// called for every rejection. Wall time rather than the session's
+// wait_cycles iteration count on purpose: under yielding/parking
+// policies a collapsing queue does not add ITERATIONS (each yield or
+// park just takes longer), so the iteration count is blind to exactly
+// the condition admission exists to catch. The gated path pays two
+// steady_clock reads per verb; ungated sessions pay nothing.
+class Admission {
+ public:
+  virtual ~Admission() = default;
+  virtual bool admit() = 0;
+  virtual void on_acquired(uint64_t wait_ns) { (void)wait_ns; }
+  virtual void on_shed() {}
+  // Stable name for telemetry rows (bench_svc emits admission=<name>).
+  virtual const char* name() const = 0;
+};
+
+// Default estimator: two-timescale EWMA over per-acquire wait time.
+//
+//   fast  - tracks the wait cost of the last few acquisitions
+//   slow  - the SUSTAINABLE baseline: adapts quickly downward (an
+//           improvement is believed immediately) but only glacially
+//           upward (sustained degradation must not be normalised into
+//           the baseline - that is exactly the queueing-collapse signal
+//           a symmetric EWMA would absorb within its own timescale)
+//
+// Overload is declared while fast > trend_factor * slow + floor_ns: the
+// current cost has detached from the sustainable baseline by more than a
+// multiplicative trend (the additive floor keeps an idle lock's
+// near-zero baseline from making the first contended burst look like
+// collapse - waits under floor_ns never shed). While shedding, every
+// `probe_every`-th arrival is admitted anyway: shed arrivals produce no
+// samples, so without probes the fast estimate could never observe
+// recovery and the gate would latch shut.
+class WaitTrendAdmission final : public Admission {
+ public:
+  static constexpr const char* kName = "wait_trend";
+
+  struct Options {
+    double fast_alpha = 0.25;      // EWMA weight of the fast estimator
+    double slow_up_alpha = 0.001;  // baseline creep when waits degrade
+    double slow_down_alpha = 0.2;  // baseline snap when waits improve
+    double trend_factor = 4.0;     // fast/slow detachment that sheds
+    uint64_t floor_ns = 4000;      // additive slack below which never shed
+    uint64_t min_samples = 16;     // admit everything until warmed up
+    uint64_t probe_every = 16;     // admit every Nth shed candidate anyway
+  };
+
+  WaitTrendAdmission() : opt_() {}
+  explicit WaitTrendAdmission(Options opt) : opt_(opt) {}
+
+  bool admit() override {
+    if (samples_ < opt_.min_samples) return true;
+    if (fast_ <= opt_.trend_factor * slow_ +
+                     static_cast<double>(opt_.floor_ns)) {
+      return true;
+    }
+    // Overloaded: probe occasionally so the estimators can see recovery.
+    return ++shed_streak_ % opt_.probe_every == 0;
+  }
+
+  void on_acquired(uint64_t wait_ns) override {
+    const double w = static_cast<double>(wait_ns);
+    fast_ += opt_.fast_alpha * (w - fast_);
+    slow_ += (w < slow_ ? opt_.slow_down_alpha : opt_.slow_up_alpha) *
+             (w - slow_);
+    ++samples_;
+    shed_streak_ = 0;
+  }
+
+  const char* name() const override { return kName; }
+
+  // Introspection (tests, bench reporting).
+  double fast() const { return fast_; }
+  double slow() const { return slow_; }
+  uint64_t samples() const { return samples_; }
+
+ private:
+  Options opt_;
+  double fast_ = 0;
+  double slow_ = 0;
+  uint64_t samples_ = 0;
+  uint64_t shed_streak_ = 0;
+};
+
+}  // namespace rme::svc

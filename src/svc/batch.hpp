@@ -4,19 +4,27 @@
 //
 //   svc::Session s(table, world.proc(pid), pid);
 //   {
-//     svc::BatchGuard g(s, {from_acct, to_acct});
+//     auto g = s.acquire_batch({from_acct, to_acct}).value();
 //     ... critical section holding BOTH accounts' shards ...
 //   }  // all shards released on scope exit
+//
+//   auto r = s.acquire_batch_for({a, b, c}, 5ms);   // deadline batches
+//   if (!r) handle(r.error());   // kTimeout: prefix backed out, no residue
+//
+// (The direct `svc::BatchGuard g(session, {k1, k2})` constructor remains
+// for blocking call sites that want guard-on-construction; the session
+// verbs add admission control and the deadline variants.)
 //
 // Underneath: sorted two-phase locking (every batch acquires its shards
 // in ascending shard order), so batches are deadlock-free by
 // construction no matter how they overlap. The full target-shard set is
 // persisted BEFORE the first port lease; after a crash anywhere -
-// partial prefix held, inside the CS, mid-release - the recovery
-// protocol (session.recover(), or any later acquisition by the same
-// identity) REPLAYS the batch: each persisted shard is re-entered via
-// the paper's recovery code (wait-free CSR included) and exited, so no
-// hold is leaked and none can be duplicated.
+// partial prefix held, inside the CS, mid-release, or mid-BACKOUT of a
+// timed-out deadline batch - the recovery protocol (session.recover(),
+// or any later acquisition by the same identity) REPLAYS the batch: each
+// persisted shard is re-entered via the paper's recovery code (wait-free
+// CSR included) and exited, so no hold is leaked and none can be
+// duplicated.
 //
 // Like every guard in this library, a crash unwinding through the scope
 // skips release - the shards stay held for recovery.
@@ -34,16 +42,23 @@
 
 namespace rme::svc {
 
-template <api::BatchKeyedLock L>
+template <class L>
 class BatchGuard {
+  static_assert(api::BatchKeyedLock<L>,
+                "svc::BatchGuard requires an api::BatchKeyedLock");
+
  public:
-  // Acquires on construction (blocking; paced by the session's policy).
+  // Acquires on construction (blocking; paced by the session's policy;
+  // bypasses the session's Admission gate - use Session::acquire_batch
+  // for the gated verb).
   BatchGuard(Session<L>& s, std::span<const uint64_t> keys)
       : core_(SessionAccess::core(s)), unwind_(std::uncaught_exceptions()) {
     const uint64_t w0 = core_->proc->ctx.wait_cycles;
+    const uint64_t t0 = core_->gate_begin();
+    detail::SiteScope site(core_->proc->ctx, core_->site());
     mask_ = core_->lock->acquire_batch(*core_->proc, core_->id, keys.data(),
                                        keys.size());
-    core_->note_acquire(w0, /*batch=*/true);
+    core_->note_acquire(w0, t0, /*batch=*/true);
   }
   BatchGuard(Session<L>& s, std::initializer_list<uint64_t> keys)
       : BatchGuard(s, std::span<const uint64_t>(keys.begin(), keys.size())) {}
@@ -81,9 +96,27 @@ class BatchGuard {
   }
 
  private:
+  template <class>
+  friend class Session;
+
+  // Adopt an already-acquired batch (Session::acquire_batch*).
+  BatchGuard(std::shared_ptr<detail::SessionCore<L>> core, uint64_t mask)
+      : core_(std::move(core)),
+        mask_(mask),
+        unwind_(std::uncaught_exceptions()) {}
+
   void do_release() {
     core_->lock->release_batch(*core_->proc, core_->id);
-    core_->note_release();
+    if constexpr (detail::ShardSited<L>) {
+      // One targeted handoff per RELEASED SHARD (each freed shard can
+      // admit one waiter), still one release in the telemetry.
+      ++core_->stats.releases;
+      for (uint64_t m = mask_; m != 0; m &= m - 1) {
+        core_->wake_at(core_->lock->shard_wait_site(std::countr_zero(m)));
+      }
+    } else {
+      core_->note_release();
+    }
   }
 
   std::shared_ptr<detail::SessionCore<L>> core_;
@@ -91,5 +124,51 @@ class BatchGuard {
   int unwind_ = 0;
   bool held_ = true;
 };
+
+// --- Session batch verbs, defined here where BatchGuard is complete ---
+
+template <class L>
+Expected<BatchGuard<L>> Session<L>::acquire_batch(
+    std::span<const uint64_t> keys)
+  requires api::BatchKeyedLock<L>
+{
+  if (!core_->admitted()) return Errc::kOverloaded;
+  const uint64_t w0 = ctx().wait_cycles;
+  const uint64_t t0 = core_->gate_begin();
+  detail::SiteScope site(ctx(), core_->site());
+  const uint64_t mask = core_->lock->acquire_batch(*core_->proc, core_->id,
+                                                   keys.data(), keys.size());
+  core_->note_acquire(w0, t0, /*batch=*/true);
+  return BatchGuard<L>(core_, mask);
+}
+
+template <class L>
+Expected<BatchGuard<L>> Session<L>::acquire_batch_until(
+    std::span<const uint64_t> keys, Clock::time_point deadline)
+  requires api::DeadlineBatchKeyedLock<L>
+{
+  if (!core_->admitted()) return Errc::kOverloaded;
+  const uint64_t w0 = ctx().wait_cycles;
+  const uint64_t t0 = core_->gate_begin();
+  detail::SiteScope site(ctx(), core_->site());
+  const uint64_t mask = core_->lock->acquire_batch_until(
+      *core_->proc, core_->id, keys.data(), keys.size(),
+      [&] { return Clock::now() >= deadline; });
+  if (mask == 0) {
+    ++core_->stats.timeouts;
+    core_->stats.wait_cycles += ctx().wait_cycles - w0;
+    return Errc::kTimeout;
+  }
+  core_->note_acquire(w0, t0, /*batch=*/true);
+  return BatchGuard<L>(core_, mask);
+}
+
+template <class L>
+Expected<BatchGuard<L>> Session<L>::acquire_batch_for(
+    std::span<const uint64_t> keys, std::chrono::nanoseconds timeout)
+  requires api::DeadlineBatchKeyedLock<L>
+{
+  return acquire_batch_until(keys, Clock::now() + timeout);
+}
 
 }  // namespace rme::svc

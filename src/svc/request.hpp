@@ -1,0 +1,301 @@
+// AcquireRequest: the asynchronous half of the rme::svc acquisition
+// surface. Session::submit() runs admission and mints a move-only
+// request object; the CALLER then decides how to wait:
+//
+//   auto r = session.submit();               // Errc::kOverloaded on shed
+//   if (r) {
+//     r->on_complete([](svc::Guard<L>& g) { /* fires once, inline */ });
+//     while (r->poll() == svc::RequestState::kPending) do_other_work();
+//     auto g = r->take();                    // Expected<Guard<L>>
+//   }
+//
+//   auto g = r->wait();                      // or: block (policy-paced)
+//   auto g = r->wait_until(deadline);        // kTimeout leaves it pending
+//   r->cancel();                             // while pending only
+//
+// The request is driven entirely by the caller's thread - there is no
+// hidden helper thread, matching the library's process model (a pid is
+// one thread of control). poll() is one bounded attempt; wait*() are
+// policy-paced retry loops that park under the session's (policy, lock)
+// key, so a releaser's fair handoff wakes the oldest waiting REQUEST
+// exactly like it wakes a blocked acquire(). The completion callback
+// runs inline at the completing poll()/wait() call, before that call
+// returns.
+//
+// Lifetime & discipline: single-caller, like the session that minted it
+// (cancel() from another thread is a data race by contract). The request
+// shares the session core, so it stays valid after the Session object is
+// destroyed. A request destroyed while READY releases its guard; one
+// destroyed while PENDING simply evaporates (nothing was acquired - the
+// lock was never touched beyond bounded attempts).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "api/lock_concept.hpp"
+#include "platform/platform.hpp"
+#include "svc/result.hpp"
+#include "svc/session.hpp"
+#include "util/assert.hpp"
+
+namespace rme::svc {
+
+enum class RequestState : uint8_t {
+  kPending,    // submitted, not yet acquired
+  kReady,      // acquired; guard parked inside the request
+  kTaken,      // guard moved out via take()/wait*() (terminal)
+  kCancelled,  // cancelled while pending (terminal)
+};
+
+constexpr const char* to_string(RequestState s) {
+  switch (s) {
+    case RequestState::kPending: return "pending";
+    case RequestState::kReady: return "ready";
+    case RequestState::kTaken: return "taken";
+    case RequestState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+namespace detail {
+
+// Re-assignable guard storage. A manual union rather than std::optional
+// for the same reason as svc::Expected: the guard's destructor is
+// noexcept(false) (release is a crash point under the Counted
+// simulator), and std::optional's noexcept destructor would turn that
+// crash step into std::terminate.
+template <class T>
+class Slot {
+ public:
+  Slot() : has_(false) {}
+  Slot(Slot&& o) noexcept(std::is_nothrow_move_constructible_v<T>)
+      : has_(o.has_) {
+    if (has_) {
+      ::new (static_cast<void*>(&val_)) T(std::move(o.val_));
+      o.clear();
+    }
+  }
+  Slot(const Slot&) = delete;
+  Slot& operator=(const Slot&) = delete;
+  Slot& operator=(Slot&&) = delete;
+  ~Slot() noexcept(std::is_nothrow_destructible_v<T>) {
+    if (has_) val_.~T();  // a held guard releases here (crash point)
+  }
+
+  bool has() const { return has_; }
+  T& ref() {
+    RME_ASSERT(has_, "svc::detail::Slot: ref() on empty");
+    return val_;
+  }
+  void emplace(T&& v) {
+    RME_ASSERT(!has_, "svc::detail::Slot: emplace() on engaged");
+    ::new (static_cast<void*>(&val_)) T(std::move(v));
+    has_ = true;
+  }
+  T take() {
+    RME_ASSERT(has_, "svc::detail::Slot: take() on empty");
+    T out(std::move(val_));
+    clear();
+    return out;
+  }
+
+ private:
+  void clear() noexcept(std::is_nothrow_destructible_v<T>) {
+    if (has_) {
+      has_ = false;
+      val_.~T();
+    }
+  }
+
+  union {
+    T val_;  // engaged iff has_
+  };
+  bool has_;
+};
+
+}  // namespace detail
+
+template <class L>
+class AcquireRequest {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  AcquireRequest(AcquireRequest&& o) noexcept(
+      std::is_nothrow_move_constructible_v<Guard<L>>)
+      : core_(std::move(o.core_)),
+        slot_(std::move(o.slot_)),
+        cb_(std::move(o.cb_)),
+        state_(o.state_),
+        carried_cycles_(o.carried_cycles_),
+        gate_wait_ns_(o.gate_wait_ns_) {
+    o.state_ = RequestState::kCancelled;  // moved-from: inert
+    o.cb_ = nullptr;
+  }
+  AcquireRequest(const AcquireRequest&) = delete;
+  AcquireRequest& operator=(const AcquireRequest&) = delete;
+  AcquireRequest& operator=(AcquireRequest&&) = delete;
+  // Implicit destructor: a READY-but-untaken guard releases via the slot
+  // (noexcept(false), inherited - release is a crash point).
+
+  RequestState state() const { return state_; }
+  bool pending() const { return state_ == RequestState::kPending; }
+  bool ready() const { return state_ == RequestState::kReady; }
+
+  // One bounded attempt (when pending). Returns the resulting state; a
+  // transition to kReady fires the completion callback before returning.
+  RequestState poll() {
+    if (state_ != RequestState::kPending) return state_;
+    const uint64_t vt0 = core_->gate_begin();
+    detail::SiteScope site(ctx(), core_->site());
+    if (core_->lock->try_acquire(*core_->proc, core_->id)) {
+      complete(ctx().wait_cycles, vt0);  // single attempt: nothing to book
+    }
+    return state_;
+  }
+
+  // Block (policy-paced bounded attempts) until acquired. Parks under
+  // the session's (policy, lock) key, so fair handoff applies.
+  Expected<Guard<L>> wait() {
+    if (state_ == RequestState::kReady) return take();
+    if (state_ != RequestState::kPending) return Errc::kCancelled;
+    const uint64_t w0 = ctx().wait_cycles;
+    const uint64_t vt0 = core_->gate_begin();
+    detail::SiteScope site(ctx(), core_->site());
+    platform::Waiter wtr;
+    while (!core_->lock->try_acquire(*core_->proc, core_->id)) {
+      wtr.pause(ctx(), core_->lock);
+    }
+    complete(w0, vt0);
+    return take();
+  }
+
+  // Like wait(), but gives up at `deadline`: the request STAYS pending
+  // (books a timeout) and a later poll()/wait() may still complete it.
+  Expected<Guard<L>> wait_until(Clock::time_point deadline) {
+    if (state_ == RequestState::kReady) return take();
+    if (state_ != RequestState::kPending) return Errc::kCancelled;
+    const uint64_t w0 = ctx().wait_cycles;
+    const uint64_t vt0 = core_->gate_begin();
+    detail::SiteScope site(ctx(), core_->site());
+    platform::Waiter wtr;
+    for (;;) {
+      if (core_->lock->try_acquire(*core_->proc, core_->id)) {
+        complete(w0, vt0);
+        return take();
+      }
+      if (Clock::now() >= deadline) {
+        // Book this verb's pauses now; a later verb that completes the
+        // request books only its OWN span (each verb passes its local
+        // w0 to complete()), so timed-out waits are never re-counted -
+        // but they are CARRIED so the eventual acquisition still counts
+        // as contended, and their wall-clock span still reaches the
+        // admission gate.
+        ++core_->stats.timeouts;
+        const uint64_t waited = ctx().wait_cycles - w0;
+        core_->stats.wait_cycles += waited;
+        carried_cycles_ += waited;
+        if (vt0 != 0) gate_wait_ns_ += detail::SessionCore<L>::now_ns() - vt0;
+        return Errc::kTimeout;
+      }
+      wtr.pause(ctx(), core_->lock);
+    }
+  }
+
+  Expected<Guard<L>> wait_for(std::chrono::nanoseconds timeout) {
+    return wait_until(Clock::now() + timeout);
+  }
+
+  // Abandon a pending request. Returns true when the request moved to
+  // kCancelled; false when it was not pending (already ready/taken -
+  // the guard, if any, still releases on destruction or take()).
+  bool cancel() {
+    if (state_ != RequestState::kPending) return false;
+    state_ = RequestState::kCancelled;
+    ++core_->stats.cancels;
+    return true;
+  }
+
+  // Attach (or replace) the completion hook; fires exactly once, inline
+  // at the completing poll()/wait*() call. Attaching after completion
+  // fires immediately while the guard is still held by the request.
+  void on_complete(std::function<void(Guard<L>&)> cb) {
+    cb_ = std::move(cb);
+    if (state_ == RequestState::kReady && cb_) {
+      auto cb = std::move(cb_);
+      cb_ = nullptr;
+      cb(slot_.ref());
+    }
+  }
+
+  // Move the minted guard out (kReady -> kTaken). Any other state is an
+  // error arm: kCancelled for cancelled/moved-from requests, kWouldBlock
+  // while still pending.
+  Expected<Guard<L>> take() {
+    switch (state_) {
+      case RequestState::kReady:
+        state_ = RequestState::kTaken;
+        return slot_.take();
+      case RequestState::kPending:
+        return Errc::kWouldBlock;
+      default:
+        return Errc::kCancelled;
+    }
+  }
+
+ private:
+  template <class>
+  friend class Session;
+
+  explicit AcquireRequest(std::shared_ptr<detail::SessionCore<L>> core)
+      : core_(std::move(core)) {}
+
+  typename L::Platform::Context& ctx() { return core_->proc->ctx; }
+
+  // Transition kPending -> kReady: mint the guard, book telemetry for
+  // the completing verb's pause span (`w0_verb`; earlier timed-out
+  // verbs booked their own spans already and are carried only for the
+  // contended flag) and feed the admission gate the request's TOTAL
+  // IN-VERB wall time - the spans spent inside poll/wait calls, NOT the
+  // caller's unrelated work between them (idling between polls is not
+  // queueing delay) - then fire the callback.
+  void complete(uint64_t w0_verb, uint64_t verb_t0) {
+    uint64_t gate_t0 = 0;
+    if (verb_t0 != 0) {
+      gate_wait_ns_ += detail::SessionCore<L>::now_ns() - verb_t0;
+      gate_t0 = detail::SessionCore<L>::now_ns() - gate_wait_ns_;
+    }
+    core_->note_acquire(w0_verb, gate_t0, /*batch=*/false, carried_cycles_);
+    slot_.emplace(Guard<L>(core_));
+    state_ = RequestState::kReady;
+    if (cb_) {
+      auto cb = std::move(cb_);
+      cb_ = nullptr;
+      cb(slot_.ref());
+    }
+  }
+
+  std::shared_ptr<detail::SessionCore<L>> core_;
+  detail::Slot<Guard<L>> slot_;
+  std::function<void(Guard<L>&)> cb_;
+  RequestState state_ = RequestState::kPending;
+  uint64_t carried_cycles_ = 0;  // pauses booked by timed-out waits
+  uint64_t gate_wait_ns_ = 0;    // in-verb wall time (gated sessions)
+};
+
+// --- Session::submit, defined here where AcquireRequest is complete ---
+
+template <class L>
+Expected<AcquireRequest<L>> Session<L>::submit()
+  requires api::TryLock<L>
+{
+  if (!core_->admitted()) return Errc::kOverloaded;  // books the shed
+  ++core_->stats.submits;  // counts MINTED requests only
+  return AcquireRequest<L>(core_);
+}
+
+}  // namespace rme::svc

@@ -19,12 +19,16 @@ namespace rme::svc {
 enum class Errc : uint8_t {
   kWouldBlock = 1,  // single bounded attempt failed; retry is reasonable
   kTimeout,         // deadline passed before the lock was acquired
+  kOverloaded,      // shed by the session's Admission policy before queueing
+  kCancelled,       // the AcquireRequest was cancelled before completion
 };
 
 constexpr const char* to_string(Errc e) {
   switch (e) {
     case Errc::kWouldBlock: return "would-block";
     case Errc::kTimeout: return "timeout";
+    case Errc::kOverloaded: return "overloaded";
+    case Errc::kCancelled: return "cancelled";
   }
   return "?";
 }

@@ -3,38 +3,59 @@
 //
 // A Session binds one caller identity (pid/port/side, per the lock's
 // Traits::addressing) to one lock and one Process handle, and is the sole
-// entry point for acquisition:
+// entry point for acquisition. Acquisition is REQUEST-ORIENTED: every
+// verb returns an expected-style result (svc/result.hpp) so the session
+// can refuse work at admission time, and the asynchronous surface hands
+// the caller a request object instead of holding them captive:
 //
-//   svc::Session s(lock, world.proc(pid), pid, &policy);
-//   {
-//     auto g = s.acquire();              // session-minted guard
-//     ... critical section ...
-//   }                                    // released on scope exit
+//   svc::Session s(lock, world.proc(pid), pid, &policy, &admission);
 //
-//   auto r = s.acquire_for(5ms);         // TryLock entries: deadline verbs
-//   if (r) { ... use *r ... } else if (r.error() == svc::Errc::kTimeout) ...
+//   auto g = s.acquire();                // blocking; Expected<Guard>
+//   if (!g) shed(g.error());             // Errc::kOverloaded: admission shed
+//   ... critical section via *g ...
+//
+//   auto r = s.submit();                 // async: move-only AcquireRequest
+//   if (r) {
+//     r->on_complete([](auto& guard) { ... });
+//     while (r->poll() == svc::RequestState::kPending) do_other_work();
+//     auto g2 = r->take();               // or r->wait()/wait_until(d)
+//   }
+//
+//   auto b = s.acquire_batch_for({k1, k2}, 5ms);  // deadline batches with
+//   if (!b) handle(b.error());                    // sorted prefix backout
 //
 // What sessions add over bare api::Guard:
 //
-//   * WaitPolicy injection: the session installs its policy into the
-//     process context for its lifetime, so EVERY wait loop the caller
-//     enters - inside any lock's Try section, the port-lease sweep, the
-//     deadline retry loop - paces via that policy (platform/wait.hpp:
-//     SpinPolicy, SpinYieldPolicy, ParkPolicy). Sessions sharing a
-//     ParkPolicy wake each other's parked waiters on release.
-//   * Telemetry: acquires, contended acquires (paused at least once),
-//     wait cycles, timeouts, crash recoveries, releases - per session,
-//     maintained with plain host-memory writes (never a shared-memory op,
-//     so RMR accounting and the simulator are unaffected).
-//   * Deadline verbs returning expected-style results (svc/result.hpp).
-//   * Multi-key batch guards on batch-capable keyed tables (svc/batch.hpp).
+//   * WaitPolicy injection + fair handoff: the session installs its
+//     policy into the process context for its lifetime, and pins the
+//     WAIT SITE (the lock address) during each verb, so every pause the
+//     verb reaches - inside any lock's Try section, the port-lease
+//     sweep, the deadline retry loop - parks under the (policy, lock)
+//     key. On release the session drives WaitPolicy::on_release(lock):
+//     a parking policy grants exactly ONE waiter, in park order
+//     (platform/park.hpp unpark_one), and the grant count is booked as
+//     SessionStats::handoff_rmrs - the wake-chain cost attribution of
+//     Jayanti-Visweswara's generalized wake-up bounds (PAPERS.md).
+//   * Admission control: an optional svc::Admission policy (default
+//     estimator: WaitTrendAdmission, a two-timescale wait_cycles-trend
+//     gate) runs before the lock is touched; rejection returns
+//     Errc::kOverloaded and the queue never grows.
+//   * Telemetry: acquires, contended acquires, wait cycles, submits,
+//     sheds, cancels, handoff grants, timeouts, crash recoveries,
+//     releases - per session, maintained with plain host-memory writes
+//     (never a shared-memory op, so RMR accounting and the simulator are
+//     unaffected).
+//   * Deadline verbs (plain, keyed, and batch) and multi-key batch
+//     guards on batch-capable keyed tables (svc/batch.hpp).
 //
 // Lifetime: guards share ownership of the session's core state, so a
 // guard remains valid - and still releases correctly - even if the
 // Session object is destroyed while the guard is held (the core outlives
 // it). The injected WaitPolicy is caller-owned and must outlive the
-// session AND any guards it minted. Sessions on one Process handle nest
-// LIFO (destruction restores the previously installed policy).
+// session AND any guards it minted; the Admission object likewise, and -
+// unlike the policy - it must be PER SESSION (its estimators are fed
+// from this session's verbs). Sessions on one Process handle nest LIFO
+// (destruction restores the previously installed policy).
 //
 // Crash-consistent unwinding: like api::Guard, a session-minted guard
 // skips release() when its scope unwinds exceptionally (a simulated crash
@@ -45,16 +66,25 @@
 #include <chrono>
 #include <cstdint>
 #include <exception>
+#include <initializer_list>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "api/lock_concept.hpp"
 #include "platform/platform.hpp"
 #include "platform/process.hpp"
+#include "svc/admission.hpp"
 #include "svc/result.hpp"
 #include "util/assert.hpp"
 
 namespace rme::svc {
+
+template <class L>
+class AcquireRequest;  // svc/request.hpp
+
+template <class L>
+class BatchGuard;  // svc/batch.hpp
 
 // Per-session telemetry. Plain counters, written single-threaded (a
 // session serves one caller by construction).
@@ -63,12 +93,38 @@ struct SessionStats {
   uint64_t contended_acquires = 0;  // acquisitions that paused >= 1 time
   uint64_t batch_acquires = 0;      // of which: multi-key batches
   uint64_t wait_cycles = 0;         // Waiter pauses spent in session verbs
+  uint64_t submits = 0;             // AcquireRequests minted by submit()
+                                    // (a shed submit mints nothing and
+                                    // counts only under `sheds`)
+  uint64_t sheds = 0;               // verbs rejected by the Admission gate
+  uint64_t cancels = 0;             // AcquireRequests cancelled while pending
+  uint64_t handoff_rmrs = 0;        // waiters granted by this session's
+                                    // releases (wake-chain attribution).
+                                    // Fair-handoff contract: at most one
+                                    // grant per released LOCK - so
+                                    // <= releases for single-lock guards,
+                                    // and <= shards-released per batch
+                                    // release (each freed shard admits
+                                    // one waiter)
   uint64_t timeouts = 0;            // deadline verbs that expired
   uint64_t crash_recoveries = 0;    // recover() replays via this session
   uint64_t releases = 0;            // guard releases (incl. batches)
 };
 
 namespace detail {
+
+// Pins the context's wait site (the park-key half the releaser can
+// address) for the duration of one session verb.
+template <class Ctx>
+using SiteScope = platform::WaitSiteScope<Ctx>;
+
+// True when L can name a per-shard wake site (shard-granular locks like
+// TableLock): releases then hand off under the SHARD's key, matching
+// the per-shard parking the table's own wait loops use.
+template <class L>
+concept ShardSited = requires(L& l, int s) {
+  { l.shard_wait_site(s) } -> std::convertible_to<const void*>;
+};
 
 // The state a Session shares with every guard it mints. shared_ptr-owned
 // so guards keep it (and the telemetry) alive past Session destruction.
@@ -79,25 +135,66 @@ struct SessionCore {
   L* lock;
   platform::Process<P>* proc;
   int id;
-  platform::WaitPolicy* policy;  // caller-owned; may be null
+  platform::WaitPolicy* policy;  // caller-owned; may be null; shareable
+  Admission* admission;          // caller-owned; may be null; PER SESSION
   SessionStats stats;
 
   SessionCore(L* l, platform::Process<P>* h, int i,
-              platform::WaitPolicy* pol)
-      : lock(l), proc(h), id(i), policy(pol) {}
+              platform::WaitPolicy* pol, Admission* adm)
+      : lock(l), proc(h), id(i), policy(pol), admission(adm) {}
 
-  void note_acquire(uint64_t wait_cycles_before, bool batch = false) {
+  // The park-key half a releaser can address: the lock itself.
+  const void* site() const { return lock; }
+
+  // Admission gate shared by every acquisition verb. Books the shed.
+  bool admitted() {
+    if (admission == nullptr || admission->admit()) return true;
+    ++stats.sheds;
+    admission->on_shed();
+    return false;
+  }
+
+  // The admission gate is fed WALL-CLOCK wait cost (see svc/admission.hpp
+  // for why iteration counts are blind to queueing collapse); the two
+  // clock reads are paid only on gated sessions.
+  static uint64_t now_ns() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+  // Timestamp a verb's entry for the gate; 0 when no gate is installed.
+  uint64_t gate_begin() const { return admission != nullptr ? now_ns() : 0; }
+
+  // `carried_wait_cycles`: pauses spent in EARLIER verbs of the same
+  // logical acquisition that already booked their own wait_cycles (an
+  // AcquireRequest's timed-out waits) - they still make the acquisition
+  // contended, but must not be booked twice.
+  void note_acquire(uint64_t wait_cycles_before, uint64_t gate_t0,
+                    bool batch = false, uint64_t carried_wait_cycles = 0) {
     ++stats.acquires;
     if (batch) ++stats.batch_acquires;
     const uint64_t waited = proc->ctx.wait_cycles - wait_cycles_before;
     stats.wait_cycles += waited;
-    if (waited > 0) ++stats.contended_acquires;
+    if (waited + carried_wait_cycles > 0) ++stats.contended_acquires;
+    if (policy != nullptr) {
+      policy->observe(stats.acquires, stats.contended_acquires);
+    }
+    if (admission != nullptr) admission->on_acquired(now_ns() - gate_t0);
   }
 
-  void note_release() {
-    ++stats.releases;
-    if (policy != nullptr) policy->on_release();
+  // Targeted handoff: at most one waiter parked on (policy, wake_site)
+  // is granted; the count is the release's wake-chain cost.
+  void wake_at(const void* wake_site) {
+    if (policy != nullptr) stats.handoff_rmrs += policy->on_release(wake_site);
   }
+
+  void note_release_at(const void* wake_site) {
+    ++stats.releases;
+    wake_at(wake_site);
+  }
+
+  void note_release() { note_release_at(lock); }
 };
 
 }  // namespace detail
@@ -158,6 +255,8 @@ class Guard {
  private:
   template <class>
   friend class Session;
+  template <class>
+  friend class AcquireRequest;
 
   explicit Guard(std::shared_ptr<detail::SessionCore<L>> core,
                  int shard = -1)
@@ -167,6 +266,14 @@ class Guard {
 
   void do_release() {
     core_->lock->release(*core_->proc, core_->id);
+    // Shard-granular locks hand off under the released SHARD's key, so
+    // the woken waiter is one actually blocked on the freed shard.
+    if constexpr (detail::ShardSited<L>) {
+      if (shard_ >= 0) {
+        core_->note_release_at(core_->lock->shard_wait_site(shard_));
+        return;
+      }
+    }
     core_->note_release();
   }
 
@@ -191,10 +298,12 @@ class Session {
 
   // `policy` (optional) is installed into the process context for the
   // session's lifetime and drives every wait loop this caller enters.
+  // `admission` (optional, per session) gates every acquisition verb.
   Session(L& lock, Proc& proc, int id,
-          platform::WaitPolicy* policy = nullptr)
+          platform::WaitPolicy* policy = nullptr,
+          Admission* admission = nullptr)
       : core_(std::make_shared<detail::SessionCore<L>>(&lock, &proc, id,
-                                                       policy)),
+                                                       policy, admission)),
         prev_policy_(proc.ctx.wait_policy) {
     if (policy != nullptr) proc.ctx.wait_policy = policy;
   }
@@ -206,34 +315,55 @@ class Session {
 
   // --- blocking acquisition ---
 
-  Guard<L> acquire()
+  // Blocks until held, or sheds with Errc::kOverloaded at admission time
+  // (only when an Admission policy is installed; plain sessions never
+  // see the error arm).
+  Expected<Guard<L>> acquire()
     requires api::Lock<L>
   {
+    if (!core_->admitted()) return Errc::kOverloaded;
     const uint64_t w0 = ctx().wait_cycles;
+    const uint64_t t0 = core_->gate_begin();
+    detail::SiteScope site(ctx(), core_->site());
     core_->lock->acquire(*core_->proc, core_->id);
-    core_->note_acquire(w0);
+    core_->note_acquire(w0, t0);
     return Guard<L>(core_);
   }
 
   // Keyed entries: acquire the shard guarding `key`.
-  Guard<L> acquire(uint64_t key)
+  Expected<Guard<L>> acquire(uint64_t key)
     requires api::KeyedLock<L>
   {
+    if (!core_->admitted()) return Errc::kOverloaded;
     const uint64_t w0 = ctx().wait_cycles;
+    const uint64_t t0 = core_->gate_begin();
+    detail::SiteScope site(ctx(), core_->site());
     const int shard = core_->lock->acquire(*core_->proc, core_->id, key);
-    core_->note_acquire(w0);
+    core_->note_acquire(w0, t0);
     return Guard<L>(core_, shard);
   }
+
+  // --- asynchronous acquisition (TryLock-capable entries) ---
+
+  // Mint a move-only AcquireRequest (svc/request.hpp): the caller drives
+  // completion via poll()/wait()/wait_until() and may cancel() while
+  // pending or attach an on_complete callback. Admission runs HERE -
+  // a shed request never exists, so the queue never sees it.
+  Expected<AcquireRequest<L>> submit()
+    requires api::TryLock<L>;
 
   // --- bounded / deadline acquisition (TryLock-capable entries) ---
 
   Expected<Guard<L>> try_acquire()
     requires api::TryLock<L>
   {
+    if (!core_->admitted()) return Errc::kOverloaded;
+    const uint64_t t0 = core_->gate_begin();
+    detail::SiteScope site(ctx(), core_->site());
     if (!core_->lock->try_acquire(*core_->proc, core_->id)) {
       return Errc::kWouldBlock;
     }
-    core_->note_acquire(ctx().wait_cycles);
+    core_->note_acquire(ctx().wait_cycles, t0);
     return Guard<L>(core_);
   }
 
@@ -243,11 +373,14 @@ class Session {
   Expected<Guard<L>> acquire_until(Clock::time_point deadline)
     requires api::TryLock<L>
   {
+    if (!core_->admitted()) return Errc::kOverloaded;
     const uint64_t w0 = ctx().wait_cycles;
+    const uint64_t t0 = core_->gate_begin();
+    detail::SiteScope site(ctx(), core_->site());
     platform::Waiter wtr;
     for (;;) {
       if (core_->lock->try_acquire(*core_->proc, core_->id)) {
-        core_->note_acquire(w0);
+        core_->note_acquire(w0, t0);
         return Guard<L>(core_);
       }
       if (Clock::now() >= deadline) {
@@ -265,12 +398,94 @@ class Session {
     return acquire_until(Clock::now() + timeout);
   }
 
+  // Keyed bounded attempt: one sweep over the shard guarding `key`.
+  Expected<Guard<L>> try_acquire(uint64_t key)
+    requires api::TryKeyedLock<L>
+  {
+    if (!core_->admitted()) return Errc::kOverloaded;
+    const uint64_t t0 = core_->gate_begin();
+    detail::SiteScope site(ctx(), core_->site());
+    const int shard = core_->lock->try_acquire(*core_->proc, core_->id, key);
+    if (shard < 0) return Errc::kWouldBlock;
+    core_->note_acquire(ctx().wait_cycles, t0);
+    return Guard<L>(core_, shard);
+  }
+
+  Expected<Guard<L>> acquire_until(uint64_t key, Clock::time_point deadline)
+    requires api::TryKeyedLock<L>
+  {
+    if (!core_->admitted()) return Errc::kOverloaded;
+    const uint64_t w0 = ctx().wait_cycles;
+    const uint64_t t0 = core_->gate_begin();
+    detail::SiteScope site(ctx(), core_->site());
+    platform::Waiter wtr;
+    for (;;) {
+      const int shard = core_->lock->try_acquire(*core_->proc, core_->id, key);
+      if (shard >= 0) {
+        core_->note_acquire(w0, t0);
+        return Guard<L>(core_, shard);
+      }
+      if (Clock::now() >= deadline) {
+        ++core_->stats.timeouts;
+        core_->stats.wait_cycles += ctx().wait_cycles - w0;
+        return Errc::kTimeout;
+      }
+      wtr.pause(ctx(), core_->lock);
+    }
+  }
+
+  Expected<Guard<L>> acquire_for(uint64_t key, std::chrono::nanoseconds timeout)
+    requires api::TryKeyedLock<L>
+  {
+    return acquire_until(key, Clock::now() + timeout);
+  }
+
+  // --- multi-key batches (svc/batch.hpp defines these) ---
+
+  // Blocking batch acquisition of every shard guarding `keys`.
+  Expected<BatchGuard<L>> acquire_batch(std::span<const uint64_t> keys)
+    requires api::BatchKeyedLock<L>;
+
+  // Deadline batches: per-shard bounded attempts in ascending shard
+  // order; on expiry the held prefix is backed out (released in the
+  // same sorted order) and Errc::kTimeout returned - no residue, crash
+  // recovery unchanged (the persisted batch mask covers the backout).
+  Expected<BatchGuard<L>> acquire_batch_until(std::span<const uint64_t> keys,
+                                              Clock::time_point deadline)
+    requires api::DeadlineBatchKeyedLock<L>;
+
+  Expected<BatchGuard<L>> acquire_batch_for(std::span<const uint64_t> keys,
+                                            std::chrono::nanoseconds timeout)
+    requires api::DeadlineBatchKeyedLock<L>;
+
+  // Brace-list conveniences for the batch verbs.
+  Expected<BatchGuard<L>> acquire_batch(std::initializer_list<uint64_t> keys)
+    requires api::BatchKeyedLock<L>
+  {
+    return acquire_batch(std::span<const uint64_t>(keys.begin(), keys.size()));
+  }
+  Expected<BatchGuard<L>> acquire_batch_until(
+      std::initializer_list<uint64_t> keys, Clock::time_point deadline)
+    requires api::DeadlineBatchKeyedLock<L>
+  {
+    return acquire_batch_until(
+        std::span<const uint64_t>(keys.begin(), keys.size()), deadline);
+  }
+  Expected<BatchGuard<L>> acquire_batch_for(
+      std::initializer_list<uint64_t> keys, std::chrono::nanoseconds timeout)
+    requires api::DeadlineBatchKeyedLock<L>
+  {
+    return acquire_batch_for(
+        std::span<const uint64_t>(keys.begin(), keys.size()), timeout);
+  }
+
   // --- recovery ---
 
   // Finish any super-passage this identity left interrupted (a full empty
   // passage when nothing was). The session-level recovery protocol after
   // a crash: call this, or simply acquire() again.
   void recover() {
+    detail::SiteScope site(ctx(), core_->site());
     core_->lock->recover(*core_->proc, core_->id);
     ++core_->stats.crash_recoveries;
   }
@@ -281,6 +496,7 @@ class Session {
   int id() const { return core_->id; }
   L& lock() { return *core_->lock; }
   platform::WaitPolicy* policy() const { return core_->policy; }
+  Admission* admission() const { return core_->admission; }
 
  private:
   friend struct SessionAccess;
@@ -291,7 +507,8 @@ class Session {
   platform::WaitPolicy* prev_policy_;
 };
 
-// Internal hook for svc components that mint guards (svc/batch.hpp).
+// Internal hook for svc components that mint guards (svc/batch.hpp,
+// svc/request.hpp).
 struct SessionAccess {
   template <class L>
   static std::shared_ptr<detail::SessionCore<L>> core(Session<L>& s) {
@@ -302,7 +519,9 @@ struct SessionAccess {
 // Open one session per pid 0..n-1 against `world` (anything exposing
 // proc(pid) -> Process&, e.g. harness::World). The canonical fleet
 // set-up of tests, benches and examples; `policy`, when given, is
-// shared by every session (by design - see platform/wait.hpp).
+// shared by every session (by design - see platform/wait.hpp). Admission
+// objects are per-session state, so fleet admission is wired by the
+// caller (see bench/bench_svc.cpp for the pattern).
 template <class L, class WorldT>
 std::vector<std::unique_ptr<Session<L>>> open_sessions(
     L& lock, WorldT& world, int n,

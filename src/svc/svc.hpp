@@ -1,14 +1,21 @@
-// Umbrella header for the rme::svc service layer - the session-oriented
-// public surface over the rme::api lock concept:
+// Umbrella header for the rme::svc service layer - the request-oriented
+// session surface over the rme::api lock concept:
 //
-//   result.hpp   - Errc + Expected (expected-style verb results)
-//   session.hpp  - Session, session-minted Guard, deadline verbs,
-//                  per-session telemetry, WaitPolicy installation
-//   batch.hpp    - BatchGuard (multi-key sorted-2PL batches)
+//   result.hpp    - Errc + Expected (expected-style verb results)
+//   admission.hpp - Admission gate + WaitTrendAdmission (two-timescale
+//                   wait_cycles-trend load shedding, Errc::kOverloaded)
+//   session.hpp   - Session, session-minted Guard, blocking + deadline
+//                   verbs, per-session telemetry (handoff_rmrs included),
+//                   WaitPolicy installation and per-verb wait-site pinning
+//   request.hpp   - AcquireRequest (Session::submit(): poll / wait /
+//                   wait_until / cancel / on_complete)
+//   batch.hpp     - BatchGuard + Session::acquire_batch/_for/_until
+//                   (multi-key sorted-2PL batches, deadline variant with
+//                   sorted prefix backout)
 //
 // plus the injectable wait policies from platform/wait.hpp (SpinPolicy,
-// SpinYieldPolicy, ParkPolicy), re-exported here because choosing one is
-// part of opening a session.
+// SpinYieldPolicy, ParkPolicy, AdaptivePolicy), re-exported here because
+// choosing one is part of opening a session.
 //
 // Typical use:
 //
@@ -16,17 +23,21 @@
 //
 //   rme::harness::RealWorld world(n);
 //   rme::api::LeasedLock<rme::platform::Real> lock(world.env, ports, n);
-//   rme::platform::ParkPolicy park;                 // shared by sessions
-//   rme::svc::Session s(lock, world.proc(pid), pid, &park);
-//   {
-//     auto g = s.acquire();
-//     ... critical section ...
+//   rme::platform::ParkPolicy park;        // shared: fair FIFO handoff
+//   rme::svc::WaitTrendAdmission gate;     // per session: load shedding
+//   rme::svc::Session s(lock, world.proc(pid), pid, &park, &gate);
+//   if (auto g = s.acquire()) {
+//     ... critical section via *g ...
+//   } else {
+//     shed(g.error());                     // Errc::kOverloaded
 //   }
-//   auto r = s.acquire_for(std::chrono::milliseconds(5));
-//   if (!r) handle(r.error());                      // kTimeout
+//   auto r = s.submit();                   // async: AcquireRequest
+//   if (r && r->wait_for(5ms)) { ... }
 #pragma once
 
-#include "platform/wait.hpp"  // IWYU pragma: export
-#include "svc/batch.hpp"      // IWYU pragma: export
-#include "svc/result.hpp"     // IWYU pragma: export
-#include "svc/session.hpp"    // IWYU pragma: export
+#include "platform/wait.hpp"   // IWYU pragma: export
+#include "svc/admission.hpp"   // IWYU pragma: export
+#include "svc/batch.hpp"       // IWYU pragma: export
+#include "svc/request.hpp"     // IWYU pragma: export
+#include "svc/result.hpp"      // IWYU pragma: export
+#include "svc/session.hpp"     // IWYU pragma: export

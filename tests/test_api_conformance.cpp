@@ -46,7 +46,7 @@ void guarded_audited_body(harness::AuditSet& audits,
                           platform::Process<P>& h, int pid,
                           svc::Session<L>& session,
                           typename P::template Atomic<int>& scratch) {
-  auto g = session.acquire();
+  auto g = session.acquire().value();  // no Admission gate: always a value
   audits.on_enter(pid);
   bool crashed_in_cs = true;
   try {
@@ -67,7 +67,7 @@ template <class P, api::KeyedLock L>
 void keyed_audited_body(harness::AuditSet& audits, platform::Process<P>& h,
                         int pid, svc::Session<L>& session, uint64_t key,
                         std::vector<typename P::template Atomic<int>>& scratch) {
-  auto g = session.acquire(key);
+  auto g = session.acquire(key).value();  // no Admission gate: always a value
   const int shard = g.shard();
   audits.on_enter(pid, shard);
   bool crashed_in_cs = true;

@@ -25,7 +25,7 @@ TEST(Facade, SessionGuardAcquiresAndReleases) {
   RecoverableMutex<platform::Real> m(w.env, 2);
   svc::Session s0(m, w.proc(0), 0);
   {
-    auto g = s0.acquire();
+    auto g = s0.acquire().value();  // no Admission gate: always a value
     // While held, another port's trylock equivalent: we can't non-block,
     // so just assert structure is sane.
     EXPECT_GE(m.height(), 1);

@@ -54,7 +54,7 @@ TEST(Smoke, TreeAndFacade) {
   EXPECT_GE(m.degree(), 2);
   for (int pid = 0; pid < 8; ++pid) {
     rme::svc::Session s(m, w.proc(pid), pid);
-    auto g = s.acquire();
+    auto g = s.acquire().value();
   }
 }
 

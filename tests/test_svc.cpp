@@ -1,20 +1,29 @@
 // rme::svc service-layer suite: sessions, session-minted guards,
-// wait-policy injection, deadline verbs, and multi-key BatchGuards.
+// wait-policy injection, fair parking-lot handoff, admission control,
+// AcquireRequest lifecycle, deadline verbs (plain, keyed, batch), and
+// multi-key BatchGuards.
 //
 // The acceptance-critical pieces:
 //   * double-release() idempotence and session-destruction-while-held
 //     across EVERY registry entry, on real threads and on the counted
 //     platform (single-process sim configuration);
-//   * the BatchGuard crash-injection sweep: partial batches crashed
-//     mid-acquire and mid-release must pass the ME+CSR audits with zero
-//     leaked or duplicated holds (lease pools fully repatriated after
-//     recovery + scavenge).
+//   * fair handoff: N parked waiters are granted in park order, a release
+//     performs AT MOST ONE unpark (SessionStats::handoff_rmrs <=
+//     releases), and a policy shared by two locks never wakes the other
+//     lock's waiters;
+//   * the BatchGuard crash-injection sweeps: partial batches crashed
+//     mid-acquire, mid-release AND mid-BACKOUT (deadline batches timing
+//     out) must pass the ME+CSR audits with zero leaked or duplicated
+//     holds (lease pools fully repatriated after recovery + scavenge).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "api/api.hpp"
@@ -41,7 +50,8 @@ TEST(SvcSession, TelemetryCountsUncontendedTraffic) {
   svc::Session s(lock, w.proc(0), 0);
   for (int i = 0; i < 5; ++i) {
     auto g = s.acquire();
-    EXPECT_TRUE(g.held());
+    ASSERT_TRUE(g.has_value());  // no Admission gate: always a value
+    EXPECT_TRUE(g->held());
   }
   const svc::SessionStats& st = s.stats();
   EXPECT_EQ(st.acquires, 5u);
@@ -49,6 +59,8 @@ TEST(SvcSession, TelemetryCountsUncontendedTraffic) {
   EXPECT_EQ(st.contended_acquires, 0u);  // single-threaded: never paused
   EXPECT_EQ(st.wait_cycles, 0u);
   EXPECT_EQ(st.timeouts, 0u);
+  EXPECT_EQ(st.sheds, 0u);
+  EXPECT_EQ(st.handoff_rmrs, 0u);  // no policy installed: nobody to wake
   EXPECT_EQ(st.crash_recoveries, 0u);
 }
 
@@ -59,25 +71,27 @@ TEST(SvcSession, RecoverCountsAsCrashRecovery) {
   s.recover();  // idle: a full empty passage
   EXPECT_EQ(s.stats().crash_recoveries, 1u);
   auto g = s.acquire();  // still acquirable afterwards
+  EXPECT_TRUE(g.has_value());
 }
 
 TEST(SvcSession, EarlyReleaseIsIdempotentAndGuardGoesInert) {
   harness::RealWorld w(1);
   api::FlatLock<R> lock(w.env, 1);
   svc::Session s(lock, w.proc(0), 0);
-  auto g = s.acquire();
+  auto g = s.acquire().value();
   g.release();
   EXPECT_FALSE(g.held());
   g.release();  // no-op, not a double Exit
   EXPECT_EQ(s.stats().releases, 1u);
   auto g2 = s.acquire();  // re-acquirable
+  EXPECT_TRUE(g2.has_value());
 }
 
 TEST(SvcSession, MovedFromGuardDoesNotDoubleRelease) {
   harness::RealWorld w(1);
   api::FlatLock<R> lock(w.env, 1);
   svc::Session s(lock, w.proc(0), 0);
-  auto g = s.acquire();
+  auto g = s.acquire().value();
   svc::Guard<api::FlatLock<R>> g2 = std::move(g);
   EXPECT_FALSE(g.held());  // NOLINT(bugprone-use-after-move): inert by contract
   EXPECT_TRUE(g2.held());
@@ -95,7 +109,7 @@ TEST(SvcSession, DeadlineVerbsOnHeldLockTimeOut) {
   svc::Session s0(lock, w.proc(0), 0);
   svc::Session s1(lock, w.proc(1), 1);
 
-  auto held = s0.acquire();
+  auto held = s0.acquire().value();
 
   auto r1 = s1.try_acquire();
   ASSERT_FALSE(r1.has_value());
@@ -145,11 +159,13 @@ TEST(SvcSession, DeadlineVerbsAcrossRegistry) {
 
 // ---------------------------------------------------------------------------
 // Wait policies: the same audited contended workload runs correctly under
-// every policy, sessions installing them per pid.
+// every policy, sessions installing them per pid. Returns the per-session
+// stats so callers can assert policy-specific bounds (fair handoff).
 // ---------------------------------------------------------------------------
 
 template <class L>
-void run_audited_policy_scenario(platform::WaitPolicy* policy) {
+std::vector<svc::SessionStats> run_audited_policy_scenario(
+    platform::WaitPolicy* policy) {
   constexpr int kProcs = 4;
   constexpr uint64_t kIters = 300;
   Scenario<R> s(kProcs);
@@ -161,7 +177,7 @@ void run_audited_policy_scenario(platform::WaitPolicy* policy) {
   auto& audits = s.audits();
   s.set_body([sessions, &audits](platform::Process<R>& h, int pid) {
     (void)h;
-    auto g = (*sessions)[static_cast<size_t>(pid)]->acquire();
+    auto g = (*sessions)[static_cast<size_t>(pid)]->acquire().value();
     audits.on_enter(pid);
     audits.on_exit(pid);
   });
@@ -171,8 +187,13 @@ void run_audited_policy_scenario(platform::WaitPolicy* policy) {
   EXPECT_EQ(chk->entries(), kProcs * kIters);
   EXPECT_EQ(chk->me_violations(), 0u);
   uint64_t acquires = 0;
-  for (auto& sess : *sessions) acquires += sess->stats().acquires;
+  std::vector<svc::SessionStats> stats;
+  for (auto& sess : *sessions) {
+    acquires += sess->stats().acquires;
+    stats.push_back(sess->stats());
+  }
   EXPECT_EQ(acquires, kProcs * kIters);
+  return stats;
 }
 
 TEST(SvcWaitPolicy, SpinPolicyDrivesContendedTraffic) {
@@ -187,16 +208,58 @@ TEST(SvcWaitPolicy, SpinYieldPolicyDrivesContendedTraffic) {
 
 TEST(SvcWaitPolicy, SharedParkPolicyDrivesContendedTraffic) {
   // Aggressive parking (tiny spin/yield budgets) shared across sessions:
-  // releases unpark rival waiters (WaitPolicy::on_release), and the timed
-  // park guarantees progress even for wakes that race.
+  // releases hand off to ONE parked rival (WaitPolicy::on_release ->
+  // unpark_one), and the timed park guarantees progress for wakes that
+  // race. The fair-handoff contract: at most one unpark per release,
+  // visible as handoff_rmrs <= releases per session.
+  const uint64_t grants_before = platform::ParkingLot::instance().grants();
   platform::ParkPolicy::Options opt;
   opt.spin_limit = 4;
   opt.yield_limit = 8;
   opt.min_park = 20us;
   opt.max_park = 200us;
   platform::ParkPolicy park(opt);
-  run_audited_policy_scenario<api::FlatLock<R>>(&park);
+  const auto stats = run_audited_policy_scenario<api::FlatLock<R>>(&park);
+  uint64_t handoffs = 0;
+  for (const auto& st : stats) {
+    EXPECT_LE(st.handoff_rmrs, st.releases);  // <= one unpark per release
+    handoffs += st.handoff_rmrs;
+  }
+  // Every explicit grant of this run was performed by some release hook.
+  EXPECT_EQ(platform::ParkingLot::instance().grants() - grants_before,
+            handoffs);
   EXPECT_EQ(platform::ParkingLot::instance().parked_count(), 0u);
+}
+
+TEST(SvcWaitPolicy, AdaptivePolicyDrivesContendedTraffic) {
+  platform::AdaptivePolicy::Options opt;
+  opt.demote_ratio = 0.25;
+  opt.min_acquires = 16;
+  opt.min_park = 20us;
+  opt.max_park = 200us;
+  platform::AdaptivePolicy adaptive(opt);
+  const auto stats =
+      run_audited_policy_scenario<api::FlatLock<R>>(&adaptive);
+  for (const auto& st : stats) {
+    EXPECT_LE(st.handoff_rmrs, st.releases);
+  }
+  EXPECT_EQ(platform::ParkingLot::instance().parked_count(), 0u);
+}
+
+TEST(SvcWaitPolicy, AdaptivePolicyDemotesOnContentionRatio) {
+  platform::AdaptivePolicy::Options opt;
+  opt.demote_ratio = 0.5;
+  opt.min_acquires = 8;
+  platform::AdaptivePolicy p(opt);
+  EXPECT_FALSE(p.parking());
+  p.observe(/*acquires=*/4, /*contended=*/4);  // below min_acquires: ignored
+  EXPECT_FALSE(p.parking());
+  p.observe(/*acquires=*/10, /*contended=*/2);  // ratio 0.2 < 0.5
+  EXPECT_FALSE(p.parking());
+  p.observe(/*acquires=*/10, /*contended=*/5);  // ratio hits the threshold
+  EXPECT_TRUE(p.parking());
+  p.observe(/*acquires=*/100, /*contended=*/0);  // latched: never promotes
+  EXPECT_TRUE(p.parking());
 }
 
 TEST(SvcWaitPolicy, TimedParkMakesProgressWithoutCooperativeUnpark) {
@@ -212,16 +275,412 @@ TEST(SvcWaitPolicy, TimedParkMakesProgressWithoutCooperativeUnpark) {
   platform::ParkPolicy park(opt);
 
   svc::Session holder(lock, w.proc(0), 0);
-  auto held = std::make_optional(holder.acquire());
+  std::optional<svc::Guard<api::TasBaseline<R>>> held(
+      holder.acquire().value());
   std::thread t([&] {
     svc::Session waiter(lock, w.proc(1), 1, &park);
-    auto g = waiter.acquire();  // parks, wakes by timeout, acquires
+    auto g = waiter.acquire().value();  // parks, wakes by timeout, acquires
     EXPECT_GT(waiter.stats().contended_acquires, 0u);
   });
   std::this_thread::sleep_for(3ms);
   held.reset();  // release without unparking
   t.join();
   EXPECT_EQ(platform::ParkingLot::instance().parked_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fair parking lot: wake order and per-lock key isolation.
+// ---------------------------------------------------------------------------
+
+// N waiters parked on one key are granted in park order, one per
+// unpark_one, and every unpark_one grants exactly one waiter.
+TEST(ParkFairness, GrantsFollowParkOrder) {
+  auto& lot = platform::ParkingLot::instance();
+  int anchor = 0;  // a key no other test parks on
+  const uint64_t key = platform::park_key(&anchor, &lot);
+  const uint64_t grants_before = lot.grants();
+
+  constexpr int kWaiters = 4;
+  std::vector<int> wake_order;
+  std::mutex mu;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kWaiters; ++i) {
+    ts.emplace_back([&, i] {
+      const bool granted = platform::park_for(key, 10s);
+      EXPECT_TRUE(granted) << "waiter " << i;
+      std::lock_guard<std::mutex> lk(mu);
+      wake_order.push_back(i);
+    });
+    // Sequence the park order: waiter i is queued before i+1 starts.
+    while (lot.parked_count(key) != static_cast<uint64_t>(i) + 1) {
+      std::this_thread::yield();
+    }
+  }
+  for (int i = 0; i < kWaiters; ++i) {
+    EXPECT_EQ(lot.unpark_one(key), 1u) << "grant " << i;
+    // Wait for the granted waiter to record itself before the next
+    // grant, so the recorded order is exactly the grant order.
+    for (;;) {
+      std::lock_guard<std::mutex> lk(mu);
+      if (wake_order.size() == static_cast<size_t>(i) + 1) break;
+    }
+  }
+  for (auto& t : ts) t.join();
+  ASSERT_EQ(wake_order.size(), static_cast<size_t>(kWaiters));
+  for (int i = 0; i < kWaiters; ++i) {
+    EXPECT_EQ(wake_order[static_cast<size_t>(i)], i) << "park order broken";
+  }
+  // Exactly one waiter per unpark_one, no collateral wakes.
+  EXPECT_EQ(lot.grants() - grants_before, static_cast<uint64_t>(kWaiters));
+  EXPECT_EQ(lot.unpark_one(key), 0u);  // queue drained
+}
+
+// A ParkPolicy shared by sessions of two DIFFERENT locks keys its parks
+// by (policy, lock): releases of lock A never grant waiters of lock B.
+TEST(ParkFairness, SharedPolicyDoesNotWakeRivalLocks) {
+  harness::RealWorld w(3);
+  api::TasBaseline<R> lock_a(w.env, 3);
+  api::TasBaseline<R> lock_b(w.env, 3);
+  platform::ParkPolicy::Options opt;
+  opt.spin_limit = 2;
+  opt.yield_limit = 4;
+  opt.min_park = 200ms;  // long naps: the waiter stays parked through the
+  opt.max_park = 500ms;  // whole lock-A hammering phase below
+  platform::ParkPolicy park(opt);
+
+  svc::Session holder_b(lock_b, w.proc(0), 0, &park);
+  std::optional<svc::Guard<api::TasBaseline<R>>> held_b(
+      holder_b.acquire().value());
+
+  std::thread waiter([&] {
+    svc::Session s(lock_b, w.proc(1), 1, &park);
+    auto g = s.acquire().value();  // blocks until holder_b releases
+    EXPECT_GT(s.stats().contended_acquires, 0u);
+  });
+  // Let the waiter reach its park.
+  while (platform::ParkingLot::instance().parked_count() == 0) {
+    std::this_thread::yield();
+  }
+
+  // Hammer lock A under the SAME policy object: none of these releases
+  // may grant the lock-B waiter (old bug: policy-wide unpark_all woke
+  // rivals of every lock sharing the policy).
+  const uint64_t grants_before = platform::ParkingLot::instance().grants();
+  svc::Session s_a(lock_a, w.proc(2), 2, &park);
+  for (int i = 0; i < 2000; ++i) {
+    auto g = s_a.acquire().value();
+  }
+  EXPECT_EQ(s_a.stats().handoff_rmrs, 0u);  // nobody waits on (policy, A)
+  EXPECT_EQ(platform::ParkingLot::instance().grants(), grants_before);
+
+  held_b.reset();  // release B: hands off to the parked B-waiter (or the
+                   // timed park completes the acquisition regardless)
+  waiter.join();
+  EXPECT_LE(holder_b.stats().handoff_rmrs, holder_b.stats().releases);
+  EXPECT_EQ(platform::ParkingLot::instance().parked_count(), 0u);
+}
+
+// Keyed tables hand off per SHARD: releasing one shard grants a waiter
+// of THAT shard, while waiters of other shards stay parked.
+TEST(ParkFairness, KeyedReleaseWakesOnlyThatShardsWaiter) {
+  harness::RealWorld w(4);
+  api::TableLock<R> table(w.env, /*shards=*/4, /*ports_per_shard=*/2,
+                          /*npids=*/4);
+  uint64_t ka = 0, kb = 0;
+  {
+    for (uint64_t b = 1; b < 1000; ++b) {
+      if (table.shard_for_key(b) != table.shard_for_key(ka)) {
+        kb = b;
+        break;
+      }
+    }
+  }
+  platform::ParkPolicy::Options opt;
+  opt.spin_limit = 2;
+  opt.yield_limit = 4;
+  opt.min_park = 300ms;  // parked waiters stay down for the whole check
+  opt.max_park = 600ms;
+  platform::ParkPolicy park(opt);
+
+  svc::Session h_a(table, w.proc(0), 0, &park);
+  svc::Session h_b(table, w.proc(1), 1, &park);
+  std::optional<svc::Guard<api::TableLock<R>>> held_a(
+      h_a.acquire(ka).value());
+  std::optional<svc::Guard<api::TableLock<R>>> held_b(
+      h_b.acquire(kb).value());
+
+  std::atomic<bool> a_done{false}, b_done{false};
+  std::thread wa([&] {
+    svc::Session s(table, w.proc(2), 2, &park);
+    auto g = s.acquire(ka).value();
+    a_done.store(true);
+  });
+  std::thread wb([&] {
+    svc::Session s(table, w.proc(3), 3, &park);
+    auto g = s.acquire(kb).value();
+    b_done.store(true);
+  });
+  while (platform::ParkingLot::instance().parked_count() < 2) {
+    std::this_thread::yield();
+  }
+
+  held_b.reset();  // free shard(kb): must wake the kb-waiter only
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!b_done.load() && std::chrono::steady_clock::now() - t0 < 5s) {
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(b_done.load());
+  // The kb release granted the kb-waiter; the ka-waiter was untouched
+  // (its 300ms park outlives this check) and ka is still held.
+  EXPECT_FALSE(a_done.load());
+  EXPECT_EQ(h_b.stats().handoff_rmrs, 1u);
+
+  held_a.reset();
+  wa.join();
+  wb.join();
+  EXPECT_TRUE(a_done.load());
+  EXPECT_EQ(platform::ParkingLot::instance().parked_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+struct NeverAdmit final : svc::Admission {
+  bool admit() override { return false; }
+  const char* name() const override { return "never"; }
+};
+
+TEST(SvcAdmission, RejectingGateShedsEveryVerbBeforeTheLock) {
+  harness::RealWorld w(2);
+  api::TasBaseline<R> lock(w.env, 2);
+  NeverAdmit gate;
+  svc::Session s(lock, w.proc(0), 0, /*policy=*/nullptr, &gate);
+
+  auto r1 = s.acquire();
+  ASSERT_FALSE(r1.has_value());
+  EXPECT_EQ(r1.error(), svc::Errc::kOverloaded);
+  auto r2 = s.try_acquire();
+  ASSERT_FALSE(r2.has_value());
+  EXPECT_EQ(r2.error(), svc::Errc::kOverloaded);
+  auto r3 = s.acquire_for(1ms);
+  ASSERT_FALSE(r3.has_value());
+  EXPECT_EQ(r3.error(), svc::Errc::kOverloaded);
+  auto r4 = s.submit();
+  ASSERT_FALSE(r4.has_value());
+  EXPECT_EQ(r4.error(), svc::Errc::kOverloaded);
+
+  EXPECT_EQ(s.stats().sheds, 4u);
+  EXPECT_EQ(s.stats().submits, 0u);  // a shed submit mints no request
+  EXPECT_EQ(s.stats().acquires, 0u);
+
+  // The lock was never touched: a rival acquires instantly.
+  svc::Session rival(lock, w.proc(1), 1);
+  auto g = rival.try_acquire();
+  EXPECT_TRUE(g.has_value());
+}
+
+TEST(SvcAdmission, WaitTrendShedsWhenFastDetachesAndProbesForRecovery) {
+  svc::WaitTrendAdmission::Options opt;
+  opt.min_samples = 8;
+  opt.probe_every = 4;
+  svc::WaitTrendAdmission gate(opt);
+
+  EXPECT_TRUE(gate.admit());  // cold: everything admitted
+  for (int i = 0; i < 16; ++i) gate.on_acquired(100);  // calm baseline
+  EXPECT_TRUE(gate.admit());
+
+  for (int i = 0; i < 8; ++i) gate.on_acquired(100000);  // load spike
+  EXPECT_GT(gate.fast(), gate.slow());
+  EXPECT_FALSE(gate.admit());  // fast detached: shed
+
+  // Probing: within probe_every attempts one is admitted anyway, so the
+  // estimators can observe recovery.
+  int admitted = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (gate.admit()) ++admitted;
+  }
+  EXPECT_EQ(admitted, 1);
+
+  // Recovery: cheap acquisitions pull the fast estimate back down.
+  for (int i = 0; i < 64; ++i) gate.on_acquired(100);
+  EXPECT_TRUE(gate.admit());
+}
+
+TEST(SvcAdmission, SessionFeedsTheEstimatorFromItsVerbs) {
+  harness::RealWorld w(1);
+  api::FlatLock<R> lock(w.env, 1);
+  svc::WaitTrendAdmission gate;
+  svc::Session s(lock, w.proc(0), 0, /*policy=*/nullptr, &gate);
+  for (int i = 0; i < 10; ++i) {
+    auto g = s.acquire();
+    ASSERT_TRUE(g.has_value());  // uncontended: the gate stays open
+  }
+  EXPECT_EQ(gate.samples(), 10u);
+  EXPECT_EQ(s.stats().sheds, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// AcquireRequest lifecycle
+// ---------------------------------------------------------------------------
+
+using TasReq = svc::AcquireRequest<api::TasBaseline<R>>;
+
+TEST(SvcRequest, PollWaitTimeoutCancelLifecycle) {
+  harness::RealWorld w(2);
+  api::TasBaseline<R> lock(w.env, 2);
+  svc::Session s0(lock, w.proc(0), 0);
+  svc::Session s1(lock, w.proc(1), 1);
+
+  auto held = s0.acquire().value();
+
+  auto r = s1.submit();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->state(), svc::RequestState::kPending);
+  EXPECT_EQ(r->poll(), svc::RequestState::kPending);  // lock held: no luck
+
+  auto w1 = r->wait_for(2ms);
+  ASSERT_FALSE(w1.has_value());
+  EXPECT_EQ(w1.error(), svc::Errc::kTimeout);
+  EXPECT_TRUE(r->pending());  // a timeout leaves the request retryable
+  EXPECT_EQ(s1.stats().timeouts, 1u);
+
+  auto t1 = r->take();
+  ASSERT_FALSE(t1.has_value());
+  EXPECT_EQ(t1.error(), svc::Errc::kWouldBlock);  // still pending
+
+  EXPECT_TRUE(r->cancel());
+  EXPECT_EQ(r->state(), svc::RequestState::kCancelled);
+  EXPECT_FALSE(r->cancel());  // second cancel is a no-op
+  auto t2 = r->take();
+  ASSERT_FALSE(t2.has_value());
+  EXPECT_EQ(t2.error(), svc::Errc::kCancelled);
+  EXPECT_EQ(s1.stats().cancels, 1u);
+
+  // A fresh request completes once the holder releases.
+  auto r2 = s1.submit();
+  ASSERT_TRUE(r2.has_value());
+  held.release();
+  auto g = r2->wait();
+  ASSERT_TRUE(g.has_value());
+  EXPECT_TRUE(g->held());
+  EXPECT_EQ(r2->state(), svc::RequestState::kTaken);
+  EXPECT_EQ(s1.stats().submits, 2u);
+  EXPECT_EQ(s1.stats().acquires, 1u);
+}
+
+TEST(SvcRequest, CompletionCallbackFiresOnceInline) {
+  harness::RealWorld w(1);
+  api::TasBaseline<R> lock(w.env, 1);
+  svc::Session s(lock, w.proc(0), 0);
+
+  auto r = s.submit();
+  ASSERT_TRUE(r.has_value());
+  int fired = 0;
+  r->on_complete([&](svc::Guard<api::TasBaseline<R>>& g) {
+    ++fired;
+    EXPECT_TRUE(g.held());  // the guard is live inside the callback
+  });
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(r->poll(), svc::RequestState::kReady);  // free lock: completes
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(r->poll(), svc::RequestState::kReady);  // poll is idempotent
+  EXPECT_EQ(fired, 1);
+  auto g = r->take();
+  ASSERT_TRUE(g.has_value());
+  g->release();
+
+  // Attaching after completion fires immediately (guard still parked).
+  auto r2 = s.submit();
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->poll(), svc::RequestState::kReady);
+  int late = 0;
+  r2->on_complete([&](svc::Guard<api::TasBaseline<R>>&) { ++late; });
+  EXPECT_EQ(late, 1);
+}
+
+TEST(SvcRequest, ReadyButUntakenReleasesOnDestruction) {
+  harness::RealWorld w(2);
+  api::TasBaseline<R> lock(w.env, 2);
+  svc::Session s(lock, w.proc(0), 0);
+  {
+    auto r = s.submit();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->poll(), svc::RequestState::kReady);
+  }  // request destroyed holding the guard: must release
+  EXPECT_EQ(s.stats().releases, 1u);
+  svc::Session rival(lock, w.proc(1), 1);
+  auto g = rival.try_acquire();
+  EXPECT_TRUE(g.has_value());  // lock is free again
+}
+
+TEST(SvcRequest, SurvivesSessionDestruction) {
+  harness::RealWorld w(1);
+  api::TasBaseline<R> lock(w.env, 1);
+  std::optional<svc::Expected<TasReq>> r;
+  {
+    svc::Session s(lock, w.proc(0), 0);
+    r.emplace(s.submit());
+  }  // session gone; the request shares the core and stays valid
+  ASSERT_TRUE(r->has_value());
+  auto g = (*r)->wait();
+  ASSERT_TRUE(g.has_value());
+  EXPECT_TRUE(g->held());
+}
+
+// ---------------------------------------------------------------------------
+// Keyed bounded attempts (TryKeyedLock) on the table
+// ---------------------------------------------------------------------------
+
+// Two keys guaranteed to live on different shards.
+std::pair<uint64_t, uint64_t> two_distinct_shard_keys(
+    const api::TableLock<R>& table) {
+  const uint64_t a = 0;
+  for (uint64_t b = 1; b < 1000; ++b) {
+    if (table.shard_for_key(b) != table.shard_for_key(a)) return {a, b};
+  }
+  ADD_FAILURE() << "no distinct-shard key found";
+  return {0, 0};
+}
+
+// Two keys with shard(first) < shard(second): an ascending batch over
+// them holds the first when it reaches (and possibly gives up on) the
+// second - the shape the prefix-backout assertions need.
+template <class TableT>
+std::pair<uint64_t, uint64_t> ordered_shard_keys(const TableT& table) {
+  for (uint64_t a = 0; a < 1000; ++a) {
+    for (uint64_t b = a + 1; b < 1000; ++b) {
+      if (table.shard_for_key(a) < table.shard_for_key(b)) return {a, b};
+    }
+  }
+  ADD_FAILURE() << "no ascending shard pair found";
+  return {0, 0};
+}
+
+TEST(SvcKeyedTry, TryAcquireKeyWouldBlockOnBusyShardOnly) {
+  harness::RealWorld w(2);
+  api::TableLock<R> table(w.env, /*shards=*/4, /*ports_per_shard=*/2,
+                          /*npids=*/2);
+  const auto [ka, kb] = two_distinct_shard_keys(table);
+
+  svc::Session s0(table, w.proc(0), 0);
+  svc::Session s1(table, w.proc(1), 1);
+
+  auto held = s0.acquire(ka).value();
+
+  auto r1 = s1.try_acquire(ka);  // same shard: busy
+  ASSERT_FALSE(r1.has_value());
+  EXPECT_EQ(r1.error(), svc::Errc::kWouldBlock);
+
+  auto r2 = s1.try_acquire(kb);  // different shard: free
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->shard(), table.shard_for_key(kb));
+  r2->release();
+
+  held.release();
+  auto r3 = s1.acquire_for(ka, 500ms);  // keyed deadline verb
+  ASSERT_TRUE(r3.has_value());
+  EXPECT_EQ(r3->shard(), table.shard_for_key(ka));
 }
 
 // ---------------------------------------------------------------------------
@@ -239,9 +698,9 @@ void double_release_and_orphan_roundtrip(typename P::Env& env,
     svc::Session<L> s(lock, h, 0);
     std::optional<svc::Guard<L>> g;
     if constexpr (api::KeyedLock<L>) {
-      g.emplace(s.acquire(/*key=*/7));
+      g.emplace(s.acquire(/*key=*/7).value());
     } else {
-      g.emplace(s.acquire());
+      g.emplace(s.acquire().value());
     }
     g->release();
     g->release();  // no-op
@@ -255,9 +714,9 @@ void double_release_and_orphan_roundtrip(typename P::Env& env,
   {
     auto s = std::make_unique<svc::Session<L>>(lock, h, 0);
     if constexpr (api::KeyedLock<L>) {
-      orphan.emplace(s->acquire(/*key=*/7));
+      orphan.emplace(s->acquire(/*key=*/7).value());
     } else {
-      orphan.emplace(s->acquire());
+      orphan.emplace(s->acquire().value());
     }
   }  // session gone, guard held
   EXPECT_TRUE(orphan->held()) << L::kName;
@@ -268,10 +727,10 @@ void double_release_and_orphan_roundtrip(typename P::Env& env,
   // Re-acquirable through a fresh session.
   svc::Session<L> s2(lock, h, 0);
   if constexpr (api::KeyedLock<L>) {
-    auto g2 = s2.acquire(/*key=*/7);
+    auto g2 = s2.acquire(/*key=*/7).value();
     EXPECT_EQ(g2.shard(), lock.shard_for_key(7)) << L::kName;
   } else {
-    auto g2 = s2.acquire();
+    auto g2 = s2.acquire().value();
     EXPECT_TRUE(g2.held()) << L::kName;
   }
 }
@@ -342,6 +801,25 @@ TEST(SvcBatch, MaskCoversEveryKeyShardAndCollapsesDuplicates) {
   EXPECT_LE(g.shard_count(), 3);
 }
 
+// The session verb mints the same batch through the admission gate.
+TEST(SvcBatch, SessionAcquireBatchVerbMintsAndSheds) {
+  harness::RealWorld w(1);
+  api::TableLock<R> table(w.env, 4, 1, 1);
+  {
+    svc::Session s(table, w.proc(0), 0);
+    auto g = s.acquire_batch({uint64_t{1}, uint64_t{2}});
+    ASSERT_TRUE(g.has_value());
+    EXPECT_GE(g->shard_count(), 1);
+    EXPECT_EQ(s.stats().batch_acquires, 1u);
+  }
+  NeverAdmit gate;
+  svc::Session s(table, w.proc(0), 0, /*policy=*/nullptr, &gate);
+  auto g = s.acquire_batch({uint64_t{1}, uint64_t{2}});
+  ASSERT_FALSE(g.has_value());
+  EXPECT_EQ(g.error(), svc::Errc::kOverloaded);
+  EXPECT_EQ(table.underlying().current_batch(w.proc(0).ctx, 0), 0u);
+}
+
 // Overlapping batches from real threads: sorted two-phase locking means
 // no deadlock regardless of key order, and per-shard ME holds.
 TEST(SvcBatch, OverlappingBatchesRealThreadsNoDeadlock) {
@@ -383,14 +861,55 @@ TEST(SvcBatch, OverlappingBatchesRealThreadsNoDeadlock) {
 }
 
 // ---------------------------------------------------------------------------
+// Deadline batches: timeout backs the prefix out, success covers the mask.
+// ---------------------------------------------------------------------------
+
+TEST(SvcBatchDeadline, TimesOutAndBacksOutThePrefix) {
+  harness::RealWorld w(2);
+  api::TableLock<R> table(w.env, /*shards=*/4, /*ports_per_shard=*/2,
+                          /*npids=*/2);
+  // shard(ka) < shard(kb), so the ascending batch really holds a prefix
+  // when it gives up on the rival-held shard(kb).
+  const auto [ka, kb] = ordered_shard_keys(table);
+
+  svc::Session s0(table, w.proc(0), 0);
+  svc::Session s1(table, w.proc(1), 1);
+
+  // pid0 blocks shard(kb); pid1's batch must acquire shard(ka) then time
+  // out on shard(kb) and back the prefix out.
+  auto held = s0.acquire(kb).value();
+  auto r = s1.acquire_batch_for({ka, kb}, 5ms);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), svc::Errc::kTimeout);
+  EXPECT_EQ(s1.stats().timeouts, 1u);
+  EXPECT_EQ(s1.stats().batch_acquires, 0u);
+
+  // No residue: the intent mask is cleared and the prefix shard is free
+  // again (its pool back to full).
+  auto& ctx = w.proc(1).ctx;
+  EXPECT_EQ(table.underlying().current_batch(ctx, 1), 0u);
+  auto& lease_a = table.underlying().shard_lease(table.shard_for_key(ka));
+  EXPECT_EQ(lease_a.free_ports(ctx), lease_a.ports());
+
+  // With the rival gone the same batch succeeds and covers both shards.
+  held.release();
+  auto r2 = s1.acquire_batch_for({ka, kb}, 500ms);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_TRUE(r2->holds_shard(table.shard_for_key(ka)));
+  EXPECT_TRUE(r2->holds_shard(table.shard_for_key(kb)));
+  EXPECT_EQ(s1.stats().batch_acquires, 1u);
+}
+
+// ---------------------------------------------------------------------------
 // BatchGuard crash consistency.
 //
-// Whitebox sweep: crash a single process at EVERY shared-memory step of
-// unlock_batch (mid-release) in turn, and at every step of lock_batch
-// (mid-acquire) via a fresh world per crash point. After each crash:
-// recover through the session, then verify zero leaked or duplicated
-// holds - every shard's pool repatriates to full after scavenge and every
-// shard lock is re-acquirable.
+// Whitebox sweeps: crash a single process at EVERY shared-memory step of
+// unlock_batch (mid-release), lock_batch (mid-acquire), and the deadline
+// path's sorted prefix BACKOUT (mid-backout), via a fresh world per
+// crash point. After each crash: recover through the session, then
+// verify zero leaked or duplicated holds - every shard's pool
+// repatriates to full after scavenge and every shard lock is
+// re-acquirable.
 // ---------------------------------------------------------------------------
 
 // Drive one crash at `crash_step` ops after the probe point inside the
@@ -464,6 +983,81 @@ TEST(SvcBatch, CrashSweepMidReleaseZeroLeakedOrDuplicatedHolds) {
     }
   }
   EXPECT_GT(crashes, 5);  // the sweep really covered the release path
+}
+
+// One crash at `crash_offset` ops into a deadline batch that is FORCED
+// to back out (a rival holds the batch's later shard and the deadline is
+// already expired): the sweep walks the crash through shard-A
+// acquisition, the backout's unlock/lease-release steps, and the intent
+// clear. Returns false once the whole timed-out batch ran to completion
+// before the crash step (sweep exhausted).
+bool batch_backout_crash_roundtrip(uint64_t crash_offset) {
+  harness::CountedWorld w(ModelKind::kCc, 3);
+  api::TableLock<C> table(w.env, /*shards=*/4, /*ports_per_shard=*/2,
+                          /*npids=*/3);
+  auto& h = w.proc(0);
+
+  const auto [ka, kb] = ordered_shard_keys(table);
+  // The rival (pid 2) holds shard(kb) while pid0's batch runs.
+  svc::Session rival(table, w.proc(2), 2);
+  auto held = rival.acquire(kb).value();
+
+  svc::Session s(table, h, 0);
+  const uint64_t keys[2] = {ka, kb};
+  bool crashed = false;
+  sim::CrashAtSteps plan(0, {h.ctx.step_index + crash_offset});
+  h.ctx.crash = &plan;
+  bool exhausted = false;
+  try {
+    // Deadline already expired: acquire shard(ka) (attempt precedes the
+    // expiry check), fail on the busy shard(kb), back out.
+    auto r = s.acquire_batch_until(std::span<const uint64_t>(keys, 2),
+                                   svc::Session<api::TableLock<C>>::Clock::
+                                       now() -
+                                       1ms);
+    EXPECT_FALSE(r.has_value());  // rival holds kb: must time out
+    exhausted = true;             // full backout ran without crashing
+  } catch (const sim::ProcessCrashed&) {
+    crashed = true;
+  }
+  h.ctx.crash = nullptr;
+
+  // Release the rival BEFORE recovering: if the crash hit between the
+  // lease claim on shard(kb) and its backout, the replay must re-enter
+  // that shard's critical section, which means waiting out the rival's
+  // hold - and the rival shares this test thread.
+  held.release();
+
+  // Recovery protocol: replay whatever the crash left (including a
+  // half-backed-out prefix).
+  s.recover();
+  EXPECT_EQ(table.underlying().current_batch(h.ctx, 0), 0u);
+
+  auto& sctx = w.proc(1).ctx;
+  for (int sh = 0; sh < table.shards(); ++sh) {
+    auto& lease = table.underlying().shard_lease(sh);
+    EXPECT_EQ(lease.held(h.ctx, 0), core::kNoLease) << "shard " << sh;
+    EXPECT_NE(lease.scavenge(sctx), core::kScavengeRefused) << "shard " << sh;
+    EXPECT_EQ(lease.free_ports(sctx), lease.ports()) << "shard " << sh;
+  }
+  // A rival batch over both keys succeeds afterwards.
+  svc::Session s1(table, w.proc(1), 1);
+  svc::BatchGuard g1(s1, std::span<const uint64_t>(keys, 2));
+  EXPECT_TRUE(g1.held());
+  EXPECT_TRUE(crashed || exhausted);
+  return crashed;
+}
+
+TEST(SvcBatchDeadline, CrashSweepMidBackoutZeroLeakedOrDuplicatedHolds) {
+  int crashes = 0;
+  for (uint64_t off = 0; off < 300; ++off) {
+    if (batch_backout_crash_roundtrip(off)) {
+      ++crashes;
+    } else {
+      break;  // timed-out batch completed before the crash step: swept all
+    }
+  }
+  EXPECT_GT(crashes, 10);  // the sweep really covered the backout path
 }
 
 // ---------------------------------------------------------------------------

@@ -8,7 +8,10 @@ key. Rows from the registry-driven benches must additionally carry the
 keys that make them joinable across PRs:
 
   * lock=<registry-name>  on throughput / lock-table / svc rows;
-  * policy=<policy-name> plus p50_ns/p99_ns on svc_latency rows.
+  * policy=<policy-name> AND admission=<admission-name> plus
+    p50_ns/p99_ns on every bench_svc row (svc_latency and the
+    svc_overload shed-vs-collapse scenario, which also reports its
+    shed_rate).
 
 Exits non-zero (listing offenders) on any violation, or when an output
 file contains no BENCH_JSON lines at all.
@@ -23,7 +26,9 @@ REQUIRED_KEYS = {
     "throughput": ["lock"],
     "lock_table_throughput": ["lock"],
     "lock_table_rmr": ["lock"],
-    "svc_latency": ["lock", "policy", "p50_ns", "p99_ns"],
+    "svc_latency": ["lock", "policy", "admission", "p50_ns", "p99_ns"],
+    "svc_overload": ["lock", "policy", "admission", "p50_ns", "p99_ns",
+                     "shed_rate"],
 }
 
 
