@@ -1,0 +1,160 @@
+// E13: cross-process contention - what does the shm boundary cost?
+//
+// Two arms, identical workload shape (two actors hammering one hot key of
+// a 4-shard TableLock; the measured actor times every acquire):
+//
+//   world=local  one process, two threads, heap-resident table - the
+//                single-process baseline every earlier bench used.
+//   world=shm    two PROCESSES (fork; the region mapping is inherited,
+//                which trivially satisfies the fixed-address contract):
+//                a region-resident table, the child claims its own pid
+//                slot and runs the rival load, the parent measures.
+//
+// The interesting delta is the p99: the lock words are the same
+// algorithm either way, but cross-process rivals cannot share a parking
+// lot (wakeups ride the always-timed parks) and every miss costs a real
+// scheduler round trip instead of an intra-process handoff.
+//
+// BENCH_JSON rows: bench=shm_contention, lock=rme_keyed, world=local|shm,
+// procs, p50_ns/p99_ns (schema enforced by tools/check_bench_json.py).
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/adapters.hpp"
+#include "bench_util.hpp"
+#include "shm/shm.hpp"
+#include "svc/svc.hpp"
+
+namespace {
+
+using namespace rme;
+using Clock = std::chrono::steady_clock;
+using Table = api::TableLock<platform::Real>;
+
+constexpr int kShards = 4;
+constexpr int kPortsPerShard = 2;
+constexpr int kNpids = 4;
+constexpr uint64_t kKey = 33;
+
+struct Lat {
+  double p50_ns = 0;
+  double p99_ns = 0;
+  uint64_t samples = 0;
+};
+
+Lat summarise(std::vector<uint64_t>& ns) {
+  Lat out;
+  if (ns.empty()) return out;
+  std::sort(ns.begin(), ns.end());
+  out.samples = ns.size();
+  out.p50_ns = static_cast<double>(ns[ns.size() / 2]);
+  out.p99_ns = static_cast<double>(ns[(ns.size() * 99) / 100]);
+  return out;
+}
+
+// The measured actor: `iters` timed passages through `session`.
+template <class SessionT>
+std::vector<uint64_t> measured_load(SessionT& session, uint64_t iters) {
+  std::vector<uint64_t> ns;
+  ns.reserve(iters);
+  for (uint64_t i = 0; i < iters; ++i) {
+    const auto t0 = Clock::now();
+    auto g = session.acquire(kKey).value();
+    const auto t1 = Clock::now();
+    g.release();
+    ns.push_back(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+  }
+  return ns;
+}
+
+Lat run_local(uint64_t iters) {
+  harness::RealWorld world(kNpids);
+  Table table(world.env, kShards, kPortsPerShard, kNpids);
+  svc::Session<Table> rival(table, world.proc(1), 1);
+  svc::Session<Table> meas(table, world.proc(0), 0);
+  std::atomic<bool> stop{false};
+  std::thread t([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto g = rival.acquire(kKey).value();
+      g.release();
+    }
+  });
+  auto ns = measured_load(meas, iters);
+  stop.store(true);
+  t.join();
+  return summarise(ns);
+}
+
+Lat run_shm(uint64_t iters) {
+  const std::string name =
+      "/rme_bench_shm_" + std::to_string(::getpid());
+  auto world = shm::ShmWorld::create(name, 32 << 20, kNpids);
+  Table& table = world.create_root<Table>(world.env, kShards,
+                                          kPortsPerShard, kNpids);
+  // Rival process: inherits the mapping across fork (same base address,
+  // contract satisfied), claims its own pid slot, hammers the key until
+  // the parent is done, then dies WITHOUT cleanup (_exit: the region and
+  // its registry belong to the parent).
+  const pid_t child = ::fork();
+  if (child == 0) {
+    // The header's ready word doubles as the stop signal: 1 = published,
+    // 2 = parent done measuring.
+    auto id = world.claim(1);
+    (void)id;
+    svc::Session<Table> rival(table, world.proc(1), 1);
+    while (world.region().header()->ready.load(std::memory_order_acquire) !=
+           2) {
+      auto g = rival.acquire(kKey).value();
+      g.release();
+    }
+    ::_exit(0);  // no destructors: the region belongs to the parent
+  }
+  shm::SessionLease<Table> meas(world, table, 0);
+  auto ns = measured_load(meas.session(), iters);
+  world.region().header()->ready.store(2, std::memory_order_release);
+  int status = 0;
+  ::waitpid(child, &status, 0);
+  return summarise(ns);
+}
+
+void emit(const char* worldname, const Lat& l) {
+  bench::json_line("shm_contention",
+                   {{"lock", "rme_keyed"},
+                    {"world", worldname},
+                    {"procs", "2"}},
+                   {{"p50_ns", l.p50_ns},
+                    {"p99_ns", l.p99_ns},
+                    {"samples", static_cast<double>(l.samples)}});
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E13", "cross-process shm contention",
+                "the shm boundary preserves the lock's passage costs; "
+                "cross-process p99 pays the scheduler, not the algorithm");
+  const uint64_t iters = bench::smoke_iters(200000, 2000);
+
+  const Lat local = run_local(iters);
+  const Lat shmlat = run_shm(iters);
+
+  bench::Table t({"world", "procs", "p50(ns)", "p99(ns)", "samples"});
+  t.row({"local", "2", bench::fmt("%.0f", local.p50_ns),
+         bench::fmt("%.0f", local.p99_ns),
+         bench::fmt("%llu", (unsigned long long)local.samples)});
+  t.row({"shm", "2", bench::fmt("%.0f", shmlat.p50_ns),
+         bench::fmt("%.0f", shmlat.p99_ns),
+         bench::fmt("%llu", (unsigned long long)shmlat.samples)});
+  emit("local", local);
+  emit("shm", shmlat);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Cross-process sessions in ~80 lines: a parent creates a shared-memory
+// world holding one RecoverableLockTable, forks a child (a REAL second
+// OS process), and both move money between two accounts under multi-key
+// batch guards - then the parent audits that no update was lost and no
+// lease leaked. The same code works across unrelated processes via
+// ShmWorld::attach(name); fork is used here only to keep the example
+// self-contained.
+//
+// Run: ./build/examples/shm_sessions
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "api/adapters.hpp"
+#include "shm/shm.hpp"
+#include "svc/svc.hpp"
+
+using Table = rme::api::TableLock<rme::platform::Real>;
+
+namespace {
+
+// The application state shares the region with the lock that guards it.
+struct Bank {
+  Table table;
+  int64_t balance[2] = {1000, 1000};
+  explicit Bank(rme::platform::Real::Env& env)
+      : table(env, /*shards=*/4, /*ports_per_shard=*/2, /*npids=*/2) {}
+};
+
+constexpr uint64_t kAcctA = 1, kAcctB = 2;
+constexpr int kTransfers = 2000;
+
+void run_transfers(rme::shm::ShmWorld& world, Bank& bank, int pid,
+                   int64_t amount) {
+  rme::shm::SessionLease<Table> lease(world, bank.table, pid);
+  for (int i = 0; i < kTransfers; ++i) {
+    // Both accounts' shards held at once: the transfer is atomic even
+    // against the OTHER PROCESS's transfers in the opposite direction.
+    auto b = lease->acquire_batch({kAcctA, kAcctB}).value();
+    bank.balance[0] -= amount;
+    bank.balance[1] += amount;
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::string name = "/rme_example_" + std::to_string(::getpid());
+  auto world = rme::shm::ShmWorld::create(name, 16 << 20, /*nprocs=*/2);
+  Bank& bank = world.create_root<Bank>(world.env);
+
+  const pid_t child = ::fork();
+  if (child == 0) {
+    // The child inherits the mapping (same base address - the fixed-
+    // address contract is trivially satisfied); it claims its own
+    // logical pid and contends for real.
+    run_transfers(world, bank, /*pid=*/1, /*amount=*/-7);
+    ::_exit(0);  // the region belongs to the parent
+  }
+  run_transfers(world, bank, /*pid=*/0, /*amount=*/+7);
+  int status = 0;
+  ::waitpid(child, &status, 0);
+
+  const int64_t total = bank.balance[0] + bank.balance[1];
+  std::printf("balances after %d cross-process transfers each way: "
+              "%lld + %lld = %lld\n",
+              kTransfers, (long long)bank.balance[0],
+              (long long)bank.balance[1], (long long)total);
+  // Conservation: equal opposite transfers must cancel exactly - any
+  // lost update would show up here.
+  if (total != 2000 || bank.balance[0] != 1000 || bank.balance[1] != 1000) {
+    std::printf("FAIL: lost update across the process boundary\n");
+    return 1;
+  }
+  auto& ctx = world.proc(0).ctx;
+  for (int s = 0; s < bank.table.underlying().shards(); ++s) {
+    if (bank.table.underlying().shard_lease(s).free_ports(ctx) != 2) {
+      std::printf("FAIL: leaked lease in shard %d\n", s);
+      return 1;
+    }
+  }
+  std::printf("OK: atomic cross-process batches, zero leaked leases\n");
+  return 0;
+}

@@ -44,7 +44,7 @@
 
 namespace rme::api {
 
-// Structural string so a registry name can be a template parameter.
+/// Structural string so a registry name can be a template parameter.
 template <size_t N>
 struct FixedName {
   char s[N] = {};
@@ -53,11 +53,11 @@ struct FixedName {
   }
 };
 
-// ---------------------------------------------------------------------------
-// PortAdapter: the shared adapter body for every lock whose surface is
-// plain lock(h, id)/unlock(h, id). try_acquire is exposed iff the
-// underlying lock offers try_lock.
-// ---------------------------------------------------------------------------
+/// ---------------------------------------------------------------------------
+/// PortAdapter: the shared adapter body for every lock whose surface is
+/// plain lock(h, id)/unlock(h, id). try_acquire is exposed iff the
+/// underlying lock offers try_lock.
+/// ---------------------------------------------------------------------------
 template <class P, class U, FixedName kN, Traits kT>
 class PortAdapter {
  public:
@@ -99,30 +99,33 @@ class PortAdapter {
   Underlying impl_;
 };
 
-// Paper core: the k-ported RmeLock (Theorem 2). Port-addressed: the
-// caller owns port assignment per the paper's Section 3 contract.
+/// Paper core: the k-ported RmeLock (Theorem 2). Port-addressed: the
+/// caller owns port assignment per the paper's Section 3 contract.
 template <class P>
 using FlatLock = PortAdapter<P, core::RmeLock<P>, "rme_flat",
                              Traits{Addressing::kPort, /*recoverable=*/true,
-                                    Rmw::kFasOnly, /*max_processes=*/0}>;
+                                    Rmw::kFasOnly, /*max_processes=*/0,
+                                    /*shm_placeable=*/true}>;
 
-// Repair-serialising recoverable locks (the paper's pluggable RLock):
-// tournament of Signal-based R2Locks (default) and the read/write
-// Peterson ablation.
+/// Repair-serialising recoverable locks (the paper's pluggable RLock):
+/// tournament of Signal-based R2Locks (default) and the read/write
+/// Peterson ablation.
 template <class P>
 using TournamentLock =
     PortAdapter<P, rlock::TournamentRLock<P>, "rlock_tournament",
                 Traits{Addressing::kPort, /*recoverable=*/true, Rmw::kNone,
-                       /*max_processes=*/0}>;
+                       /*max_processes=*/0, /*shm_placeable=*/true}>;
 
+/// The read/write Peterson ablation of the tournament RLock
+/// (Golab-Ramaraju-style: O(1) RMR on CC, unbounded on DSM).
 template <class P>
 using PetersonTournamentLock =
     PortAdapter<P, rlock::TournamentRLock<P, rlock::PetersonR2<P>>,
                 "rlock_peterson",
                 Traits{Addressing::kPort, /*recoverable=*/true, Rmw::kNone,
-                       /*max_processes=*/0}>;
+                       /*max_processes=*/0, /*shm_placeable=*/true}>;
 
-// Non-recoverable baselines (RMR/throughput anchors).
+/// Non-recoverable baselines (RMR/throughput anchors).
 template <class P>
 using McsBaseline =
     PortAdapter<P, baselines::McsLock<P>, "mcs",
@@ -153,14 +156,14 @@ using ClhBaseline =
                 Traits{Addressing::kPort, /*recoverable=*/false,
                        Rmw::kFasOnly, /*max_processes=*/0}>;
 
-// ---------------------------------------------------------------------------
-// Leased: RmeLock behind the FAS-only PortLease pool. Pid-addressed; the
-// persisted lease word re-binds a recovering pid to the port of its
-// interrupted super-passage. Hand-written for its recover(): an idle pid
-// must not run a full passage, and a pid that crashed inside the claim
-// window (no lease persisted) must still be declared quiescent so the
-// leaked port stays scavengeable.
-// ---------------------------------------------------------------------------
+/// ---------------------------------------------------------------------------
+/// Leased: RmeLock behind the FAS-only PortLease pool. Pid-addressed; the
+/// persisted lease word re-binds a recovering pid to the port of its
+/// interrupted super-passage. Hand-written for its recover(): an idle pid
+/// must not run a full passage, and a pid that crashed inside the claim
+/// window (no lease persisted) must still be declared quiescent so the
+/// leaked port stays scavengeable.
+/// ---------------------------------------------------------------------------
 template <class P>
 class LeasedLock {
  public:
@@ -171,7 +174,8 @@ class LeasedLock {
 
   static constexpr const char* kName = "rme_leased";
   static constexpr Traits kTraits{Addressing::kLeased, /*recoverable=*/true,
-                                  Rmw::kFasOnly, /*max_processes=*/0};
+                                  Rmw::kFasOnly, /*max_processes=*/0,
+                                  /*shm_placeable=*/true};
 
   LeasedLock(Env& env, int nprocs) : impl_(env, nprocs, nprocs) {}
   LeasedLock(Env& env, int ports, int npids) : impl_(env, ports, npids) {}
@@ -196,11 +200,11 @@ class LeasedLock {
   Underlying impl_;
 };
 
-// ---------------------------------------------------------------------------
-// Keyed: the sharded RecoverableLockTable. acquire(h, pid, key) locks the
-// shard guarding `key` and returns the shard index; recover() is native
-// (finishes a stale super-passage and clears the persisted shard intent).
-// ---------------------------------------------------------------------------
+/// ---------------------------------------------------------------------------
+/// Keyed: the sharded RecoverableLockTable. acquire(h, pid, key) locks the
+/// shard guarding `key` and returns the shard index; recover() is native
+/// (finishes a stale super-passage and clears the persisted shard intent).
+/// ---------------------------------------------------------------------------
 template <class P>
 class TableLock {
  public:
@@ -211,7 +215,8 @@ class TableLock {
 
   static constexpr const char* kName = "rme_keyed";
   static constexpr Traits kTraits{Addressing::kKeyed, /*recoverable=*/true,
-                                  Rmw::kFasOnly, /*max_processes=*/0};
+                                  Rmw::kFasOnly, /*max_processes=*/0,
+                                  /*shm_placeable=*/true};
 
   TableLock(Env& env, int nprocs)
       : impl_(env, /*shards=*/4, /*ports_per_shard=*/nprocs, nprocs) {}
@@ -259,10 +264,10 @@ class TableLock {
   Underlying impl_;
 };
 
-// ---------------------------------------------------------------------------
-// The bare 2-ported R2Lock. Hand-written for its construction shape
-// (default-construct + attach) and the max-2-ports assert.
-// ---------------------------------------------------------------------------
+/// ---------------------------------------------------------------------------
+/// The bare 2-ported R2Lock. Hand-written for its construction shape
+/// (default-construct + attach) and the max-2-ports assert.
+/// ---------------------------------------------------------------------------
 template <class P>
 class PairLock {
  public:
@@ -273,7 +278,8 @@ class PairLock {
 
   static constexpr const char* kName = "rlock_r2";
   static constexpr Traits kTraits{Addressing::kPort, /*recoverable=*/true,
-                                  Rmw::kNone, /*max_processes=*/2};
+                                  Rmw::kNone, /*max_processes=*/2,
+                                  /*shm_placeable=*/true};
 
   PairLock(Env& env, int nprocs) {
     RME_ASSERT(nprocs >= 1 && nprocs <= 2, "PairLock: R2Lock has 2 ports");

@@ -62,6 +62,16 @@ constexpr bool check_platform() {
   static_assert(api::TryKeyedLock<api::TableLock<P>>);
   static_assert(api::BatchKeyedLock<api::TableLock<P>>);
   static_assert(api::DeadlineBatchKeyedLock<api::TableLock<P>>);
+  // Shm placement capability: the paper-derived locks are region-
+  // placeable (their shared state is Seq-backed and arena-aware); the
+  // std::vector-backed baselines are not and must not claim to be.
+  static_assert(api::lock_traits_v<api::FlatLock<P>>.shm_placeable);
+  static_assert(api::lock_traits_v<api::LeasedLock<P>>.shm_placeable);
+  static_assert(api::lock_traits_v<api::TableLock<P>>.shm_placeable);
+  static_assert(api::lock_traits_v<api::TournamentLock<P>>.shm_placeable);
+  static_assert(!api::lock_traits_v<api::McsBaseline<P>>.shm_placeable);
+  static_assert(!api::lock_traits_v<api::TicketBaseline<P>>.shm_placeable);
+  static_assert(!api::lock_traits_v<rme::RecoverableMutex<P>>.shm_placeable);
   return true;
 }
 

@@ -24,11 +24,11 @@
 
 namespace rme::api {
 
-// Deliberately unconstrained at class level (the concept is enforced in
-// the constructor): a lock class may declare `using Guard =
-// api::Guard<Self>` as a member alias while still incomplete - a
-// class-level constraint would be evaluated against the incomplete type
-// and cache a false verdict.
+/// Deliberately unconstrained at class level (the concept is enforced in
+/// the constructor): a lock class may declare `using Guard =
+/// api::Guard<Self>` as a member alias while still incomplete - a
+/// class-level constraint would be evaluated against the incomplete type
+/// and cache a false verdict.
 template <class L>
 class Guard {
  public:
@@ -72,6 +72,9 @@ class Guard {
   int unwind_;
 };
 
+/// One bounded acquisition attempt on construction; test with
+/// operator bool. Held guards release on scope exit with the same
+/// crash-consistent unwinding contract as Guard.
 template <TryLock L>
 class TryGuard {
  public:
@@ -110,6 +113,9 @@ class TryGuard {
   bool held_;
 };
 
+/// Keyed-table guard: acquires the shard guarding `key` on
+/// construction and remembers the shard index. Same crash-consistent
+/// unwinding contract as Guard.
 template <KeyedLock L>
 class KeyGuard {
  public:

@@ -36,7 +36,7 @@
 
 namespace rme::api {
 
-// How the `id` argument of acquire/release is interpreted.
+/// How the `id` argument of acquire/release is interpreted.
 enum class Addressing : uint8_t {
   kPort,    // paper's static port model: caller owns port assignment and
             // guarantees no two processes use one port concurrently
@@ -46,11 +46,11 @@ enum class Addressing : uint8_t {
   kKeyed,   // pid + key: the lock is a table of shards striped by key
 };
 
-// The strongest read-modify-write instruction the lock's blocking
-// acquire/release paths issue. The paper's core result needs only FAS
-// (exchange); baselines document what they cost. Bounded try_acquire
-// attempts are excluded: the ticket and CLH baselines need one CAS there
-// (an unconditional FAI/exchange could not be abandoned).
+/// The strongest read-modify-write instruction the lock's blocking
+/// acquire/release paths issue. The paper's core result needs only FAS
+/// (exchange); baselines document what they cost. Bounded try_acquire
+/// attempts are excluded: the ticket and CLH baselines need one CAS there
+/// (an unconditional FAI/exchange could not be abandoned).
 enum class Rmw : uint8_t {
   kNone,     // reads and writes only
   kFasOnly,  // fetch-and-store (exchange), the paper's instruction set
@@ -58,7 +58,7 @@ enum class Rmw : uint8_t {
   kCas,      // compare-and-swap (MCS release path)
 };
 
-// Capability descriptor: one constexpr value per lock type.
+/// Capability descriptor: one constexpr value per lock type.
 struct Traits {
   Addressing addressing = Addressing::kPort;
   // Full recoverability: mutual exclusion + starvation freedom survive
@@ -69,16 +69,25 @@ struct Traits {
   // Hard bound on concurrent processes/ports (0 = any count chosen at
   // construction). E.g. the bare 2-ported R2Lock reports 2.
   int max_processes = 0;
+  // All shared state is placeable in an rme::shm region: constructed
+  // with an arena-backed Real Env, every word peers read or write lives
+  // in the region (nvm::Seq-backed arrays, region-allocated queue
+  // nodes), so processes attached under the fixed-address mapping
+  // contract (shm/region.hpp) can contend on one instance across
+  // address spaces. false = the lock parks state in private heap memory
+  // (std::vector baselines) and is single-process only.
+  bool shm_placeable = false;
 };
 
-// Processes/ports to drive a lock with, honouring its max_processes
-// capability (the single home of this clamp - registry consumers use it
-// rather than re-deriving the rule).
+/// Processes/ports to drive a lock with, honouring its max_processes
+/// capability (the single home of this clamp - registry consumers use it
+/// rather than re-deriving the rule).
 constexpr int clamp_processes(const Traits& t, int want) {
   return t.max_processes > 0 && t.max_processes < want ? t.max_processes
                                                        : want;
 }
 
+/// Stable display name of an Addressing mode (docs, test output).
 constexpr const char* to_string(Addressing a) {
   switch (a) {
     case Addressing::kPort: return "port";
@@ -89,6 +98,7 @@ constexpr const char* to_string(Addressing a) {
   return "?";
 }
 
+/// Stable display name of an Rmw level (docs, test output).
 constexpr const char* to_string(Rmw r) {
   switch (r) {
     case Rmw::kNone: return "read/write";
@@ -99,9 +109,9 @@ constexpr const char* to_string(Rmw r) {
   return "?";
 }
 
-// LockTraits<L>: the capability lookup generic code uses. Conforming locks
-// declare a `static constexpr Traits kTraits`; third-party locks that
-// cannot be edited may specialise LockTraits instead.
+/// LockTraits<L>: the capability lookup generic code uses. Conforming locks
+/// declare a `static constexpr Traits kTraits`; third-party locks that
+/// cannot be edited may specialise LockTraits instead.
 template <class L>
 struct LockTraits;  // primary: undefined (specialised below or by users)
 
@@ -114,13 +124,13 @@ struct LockTraits<L> {
 template <class L>
 inline constexpr Traits lock_traits_v = LockTraits<L>::value;
 
-// True when LockTraits<L>::value is available.
+/// True when LockTraits<L>::value is available.
 template <class L>
 concept Described = requires {
   { LockTraits<L>::value } -> std::convertible_to<Traits>;
 };
 
-// The uniform surface: acquire/release/recover over (handle, id).
+/// The uniform surface: acquire/release/recover over (handle, id).
 template <class L>
 concept Lock = Described<L> && requires(L& l, typename L::Proc& h, int id) {
   typename L::Platform;
@@ -129,20 +139,20 @@ concept Lock = Described<L> && requires(L& l, typename L::Proc& h, int id) {
   { l.recover(h, id) } -> std::same_as<void>;
 };
 
-// A Lock whose traits promise full crash recoverability; the conformance
-// suite adds a crash-injection sweep for exactly these.
+/// A Lock whose traits promise full crash recoverability; the conformance
+/// suite adds a crash-injection sweep for exactly these.
 template <class L>
 concept RecoverableLock = Lock<L> && LockTraits<L>::value.recoverable;
 
-// A Lock with a bounded single-attempt entry.
+/// A Lock with a bounded single-attempt entry.
 template <class L>
 concept TryLock = Lock<L> && requires(L& l, typename L::Proc& h, int id) {
   { l.try_acquire(h, id) } -> std::same_as<bool>;
 };
 
-// Key-addressed lock tables: acquire takes (pid, key) and reports the
-// shard; release/recover are pid-addressed (the table persists which shard
-// a pid's in-flight super-passage targets).
+/// Key-addressed lock tables: acquire takes (pid, key) and reports the
+/// shard; release/recover are pid-addressed (the table persists which shard
+/// a pid's in-flight super-passage targets).
 template <class L>
 concept KeyedLock =
     Described<L> && LockTraits<L>::value.addressing == Addressing::kKeyed &&
@@ -153,11 +163,11 @@ concept KeyedLock =
       { l.recover(h, pid) } -> std::same_as<void>;
     };
 
-// A KeyedLock with a bounded single-attempt entry per key: one sweep,
-// returns the shard index on success or a negative value when the
-// acquisition would block (shard busy, or its port pool exhausted).
-// Like std::mutex::try_lock, the attempt may fail spuriously when it
-// races another bounded attempt on the same shard.
+/// A KeyedLock with a bounded single-attempt entry per key: one sweep,
+/// returns the shard index on success or a negative value when the
+/// acquisition would block (shard busy, or its port pool exhausted).
+/// Like std::mutex::try_lock, the attempt may fail spuriously when it
+/// races another bounded attempt on the same shard.
 template <class L>
 concept TryKeyedLock =
     KeyedLock<L> &&
@@ -165,10 +175,10 @@ concept TryKeyedLock =
       { l.try_acquire(h, pid, key) } -> std::convertible_to<int>;
     };
 
-// A KeyedLock that can additionally hold the shards of N keys at once,
-// crash-consistently (sorted two-phase locking; recovery replays partial
-// batches). acquire_batch returns the shard bitmask; release_batch is
-// pid-addressed like release. The RAII surface is rme::svc::BatchGuard.
+/// A KeyedLock that can additionally hold the shards of N keys at once,
+/// crash-consistently (sorted two-phase locking; recovery replays partial
+/// batches). acquire_batch returns the shard bitmask; release_batch is
+/// pid-addressed like release. The RAII surface is rme::svc::BatchGuard.
 template <class L>
 concept BatchKeyedLock =
     KeyedLock<L> &&
@@ -178,13 +188,13 @@ concept BatchKeyedLock =
       { l.release_batch(h, pid) } -> std::same_as<void>;
     };
 
-// A BatchKeyedLock whose batch acquisition can be bounded by a deadline:
-// acquire_batch_until takes an `expired` predicate polled between
-// bounded per-shard attempts and returns the held shard bitmask, or 0
-// after SORTED PREFIX BACKOUT - every shard of the partial prefix is
-// released again (in ascending order) and the persisted batch intent
-// cleared, so a timed-out batch leaves no residue. The RAII surface is
-// rme::svc::Session::acquire_batch_for/_until.
+/// A BatchKeyedLock whose batch acquisition can be bounded by a deadline:
+/// acquire_batch_until takes an `expired` predicate polled between
+/// bounded per-shard attempts and returns the held shard bitmask, or 0
+/// after SORTED PREFIX BACKOUT - every shard of the partial prefix is
+/// released again (in ascending order) and the persisted batch intent
+/// cleared, so a timed-out batch leaves no residue. The RAII surface is
+/// rme::svc::Session::acquire_batch_for/_until.
 template <class L>
 concept DeadlineBatchKeyedLock =
     BatchKeyedLock<L> &&

@@ -25,18 +25,20 @@
 
 namespace rme::api {
 
+/// Compile-time list of lock types (the registry's representation).
 template <class... Ls>
 struct TypeList {
   static constexpr int size = static_cast<int>(sizeof...(Ls));
 };
 
+/// Value-carried type handle passed to for_each_lock visitors.
 template <class L>
 struct TypeTag {
   using type = L;
 };
 
-// The registry. Every entry satisfies Lock or KeyedLock (statically
-// checked in api_check.cpp for both platforms).
+/// The registry. Every entry satisfies Lock or KeyedLock (statically
+/// checked in api_check.cpp for both platforms).
 template <class P>
 using Registry =
     TypeList<FlatLock<P>,               // paper Theorem 2, port-addressed
@@ -61,18 +63,18 @@ constexpr void for_each_impl(TypeList<Ls...>, Fn&& fn) {
 }
 }  // namespace detail
 
-// Visit every registry entry: fn(TypeTag<L>) for each lock type L.
+/// Visit every registry entry: fn(TypeTag<L>) for each lock type L.
 template <class P, class Fn>
 constexpr void for_each_lock(Fn&& fn) {
   detail::for_each_impl(Registry<P>{}, static_cast<Fn&&>(fn));
 }
 
-// Visit the entries whose Traits satisfy `pred` (capability filter).
-// `pred` must be a stateless constexpr callable over Traits (a
-// captureless lambda): filtering happens at COMPILE time, so `fn` is only
-// instantiated for the selected entries - e.g. a KeyGuard-using body
-// passed with a keyed-addressing filter never has to compile against
-// port-addressed locks.
+/// Visit the entries whose Traits satisfy `pred` (capability filter).
+/// `pred` must be a stateless constexpr callable over Traits (a
+/// captureless lambda): filtering happens at COMPILE time, so `fn` is only
+/// instantiated for the selected entries - e.g. a KeyGuard-using body
+/// passed with a keyed-addressing filter never has to compile against
+/// port-addressed locks.
 template <class P, class Pred, class Fn>
 constexpr void for_each_lock_if(Pred&&, Fn&& fn) {
   static_assert(std::is_empty_v<std::remove_cvref_t<Pred>>,
@@ -86,12 +88,14 @@ constexpr void for_each_lock_if(Pred&&, Fn&& fn) {
   });
 }
 
-// Runtime self-description of the registry (docs, test output, tooling).
+/// Runtime self-description of the registry (docs, test output, tooling).
 struct Description {
   const char* name;
   Traits traits;
 };
 
+/// Runtime self-description of every registry entry (docs, test
+/// output, tooling).
 template <class P>
 std::vector<Description> describe_registry() {
   std::vector<Description> out;

@@ -34,11 +34,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <vector>
 
 #include "core/port_lease.hpp"
 #include "core/rme_lock.hpp"
+#include "nvm/seq.hpp"
 #include "platform/platform.hpp"
 #include "platform/process.hpp"
 #include "util/assert.hpp"
@@ -60,15 +59,17 @@ class RecoverableLockTable {
 
   RecoverableLockTable(Env& env, int shards, int ports_per_shard, int npids,
                        Options opt = {})
-      : npids_(npids),
-        shard_of_(static_cast<size_t>(npids)),
-        batch_mask_(static_cast<size_t>(npids)) {
+      : npids_(npids) {
     RME_ASSERT(shards >= 1, "LockTable: need >= 1 shard");
-    shards_.reserve(static_cast<size_t>(shards));
-    for (int s = 0; s < shards; ++s) {
-      shards_.push_back(
-          std::make_unique<Shard>(env, ports_per_shard, npids, opt));
-    }
+    // Seq-backed (arena-aware): shards and the persisted per-pid intent
+    // words are exactly the state cross-process sessions share, so shm
+    // worlds place the whole table in the region.
+    shards_.reset(env.arena, static_cast<size_t>(shards),
+                  [&](void* mem, size_t) {
+                    ::new (mem) Shard(env, ports_per_shard, npids, opt);
+                  });
+    shard_of_.reset(env.arena, static_cast<size_t>(npids));
+    batch_mask_.reset(env.arena, static_cast<size_t>(npids));
     for (int pid = 0; pid < npids; ++pid) {
       shard_of_[static_cast<size_t>(pid)].attach(env, pid);  // local on DSM
       shard_of_[static_cast<size_t>(pid)].init(kNoShard);
@@ -100,7 +101,7 @@ class RecoverableLockTable {
     // Intent first: a crash after this store but before the lease is
     // claimed leaves a harmless record that recover() clears.
     shard_of_[static_cast<size_t>(pid)].store(h.ctx, target);
-    Shard& sh = *shards_[static_cast<size_t>(target)];
+    Shard& sh = shards_[static_cast<size_t>(target)];
     // Park under the SHARD lock's key: a parking policy's waiters are
     // then woken by releases of this shard, not of the whole table.
     platform::WaitSiteScope site(h.ctx, &sh.lock);
@@ -135,7 +136,7 @@ class RecoverableLockTable {
     // the outcome leaves a record recover() clears (quiesce arm when the
     // lease was never claimed, replay arm when it was).
     shard_of_[static_cast<size_t>(pid)].store(h.ctx, target);
-    Shard& sh = *shards_[static_cast<size_t>(target)];
+    Shard& sh = shards_[static_cast<size_t>(target)];
     if (try_enter_shard(h, pid, sh) == kNoLease) {
       shard_of_[static_cast<size_t>(pid)].store(h.ctx, kNoShard);
       return kNoShard;
@@ -147,7 +148,7 @@ class RecoverableLockTable {
     check_pid(pid);
     const int s = shard_of_[static_cast<size_t>(pid)].load(h.ctx);
     RME_ASSERT(s != kNoShard, "LockTable: unlock without a shard");
-    Shard& sh = *shards_[static_cast<size_t>(s)];
+    Shard& sh = shards_[static_cast<size_t>(s)];
     const int port = sh.lease.held(h.ctx, pid);
     RME_ASSERT(port != kNoLease, "LockTable: unlock without a lease");
     sh.lock.unlock(h, port);
@@ -201,7 +202,7 @@ class RecoverableLockTable {
     batch_mask_[static_cast<size_t>(pid)].store(h.ctx, mask);
     for (int s = 0; s < shards(); ++s) {
       if ((mask & (uint64_t{1} << s)) == 0) continue;
-      Shard& sh = *shards_[static_cast<size_t>(s)];
+      Shard& sh = shards_[static_cast<size_t>(s)];
       platform::WaitSiteScope site(h.ctx, &sh.lock);  // per-shard parking
       const int port = sh.lease.acquire(h.ctx, pid);
       sh.lock.lock(h, port);
@@ -243,7 +244,7 @@ class RecoverableLockTable {
     platform::Waiter wtr;
     for (int s = 0; s < shards(); ++s) {
       if ((mask & (uint64_t{1} << s)) == 0) continue;
-      Shard& sh = *shards_[static_cast<size_t>(s)];
+      Shard& sh = shards_[static_cast<size_t>(s)];
       // Covers the retry pauses too: the waiter parks under the shard
       // it is actually blocked on, the key that shard's release wakes.
       platform::WaitSiteScope site(h.ctx, &sh.lock);
@@ -259,7 +260,7 @@ class RecoverableLockTable {
           // shards have no lease and quiesce; still-held ones replay).
           for (int t = 0; t < shards(); ++t) {
             if ((held & (uint64_t{1} << t)) == 0) continue;
-            Shard& bh = *shards_[static_cast<size_t>(t)];
+            Shard& bh = shards_[static_cast<size_t>(t)];
             const int port = bh.lease.held(h.ctx, pid);
             RME_ASSERT(port != kNoLease,
                        "LockTable: backout shard without a lease");
@@ -284,7 +285,7 @@ class RecoverableLockTable {
     RME_ASSERT(mask != 0, "LockTable: unlock_batch without a batch");
     for (int s = 0; s < shards(); ++s) {
       if ((mask & (uint64_t{1} << s)) == 0) continue;
-      Shard& sh = *shards_[static_cast<size_t>(s)];
+      Shard& sh = shards_[static_cast<size_t>(s)];
       const int port = sh.lease.held(h.ctx, pid);
       RME_ASSERT(port != kNoLease, "LockTable: batch shard without a lease");
       sh.lock.unlock(h, port);
@@ -318,7 +319,7 @@ class RecoverableLockTable {
     if (mask == 0) return;
     for (int s = 0; s < shards(); ++s) {
       if ((mask & (uint64_t{1} << s)) == 0) continue;
-      Shard& sh = *shards_[static_cast<size_t>(s)];
+      Shard& sh = shards_[static_cast<size_t>(s)];
       platform::WaitSiteScope site(h.ctx, &sh.lock);  // per-shard parking
       if (sh.lease.held(h.ctx, pid) != kNoLease) {
         const int port = sh.lease.acquire(h.ctx, pid);  // re-bind, no claim
@@ -340,7 +341,7 @@ class RecoverableLockTable {
     }
     const int s = shard_of_[static_cast<size_t>(pid)].load(h.ctx);
     if (s == kNoShard) return;
-    Shard& sh = *shards_[static_cast<size_t>(s)];
+    Shard& sh = shards_[static_cast<size_t>(s)];
     platform::WaitSiteScope site(h.ctx, &sh.lock);  // per-shard parking
     if (sh.lease.held(h.ctx, pid) != kNoLease) {
       const int port = sh.lease.acquire(h.ctx, pid);  // re-bind, no claim
@@ -363,15 +364,15 @@ class RecoverableLockTable {
     return shard_of_[static_cast<size_t>(pid)].load(ctx);
   }
 
-  LockT& shard_lock(int s) { return shards_[static_cast<size_t>(s)]->lock; }
+  LockT& shard_lock(int s) { return shards_[static_cast<size_t>(s)].lock; }
   PortLease<P>& shard_lease(int s) {
-    return shards_[static_cast<size_t>(s)]->lease;
+    return shards_[static_cast<size_t>(s)].lease;
   }
 
   // Aggregate acquisition count across shards (tests/benches).
   uint64_t total_acquisitions() {
     uint64_t n = 0;
-    for (auto& sh : shards_) n += sh->lock.total_stats().acquisitions;
+    for (auto& sh : shards_) n += sh.lock.total_stats().acquisitions;
     return n;
   }
 
@@ -428,11 +429,11 @@ class RecoverableLockTable {
   }
 
   int npids_;
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<typename P::template Atomic<int>> shard_of_;
+  nvm::Seq<Shard> shards_;
+  nvm::Seq<typename P::template Atomic<int>> shard_of_;
   // Persisted batch intent, one bit per target shard (pid's DSM
   // partition, like shard_of_). Written BEFORE the first lease claim.
-  std::vector<typename P::template Atomic<uint64_t>> batch_mask_;
+  nvm::Seq<typename P::template Atomic<uint64_t>> batch_mask_;
 };
 
 }  // namespace rme::core

@@ -61,6 +61,7 @@
 #include <vector>
 
 #include "core/rme_lock.hpp"
+#include "nvm/seq.hpp"
 #include "platform/platform.hpp"
 #include "platform/process.hpp"
 #include "util/assert.hpp"
@@ -80,14 +81,14 @@ class PortLease {
 
   static constexpr int kEmptySlot = -1;
 
-  PortLease(Env& env, int ports, int npids)
-      : ports_(ports),
-        npids_(npids),
-        slots_(static_cast<size_t>(ports)),
-        lease_(static_cast<size_t>(npids)),
-        epoch_(static_cast<size_t>(npids)) {
+  PortLease(Env& env, int ports, int npids) : ports_(ports), npids_(npids) {
     RME_ASSERT(ports >= 1, "PortLease: need >= 1 port");
     RME_ASSERT(npids >= 1, "PortLease: need >= 1 pid");
+    // Seq-backed (arena-aware): slots, leases and epochs are the words
+    // cross-process recovery reads, so shm worlds place them in the region.
+    slots_.reset(env.arena, static_cast<size_t>(ports));
+    lease_.reset(env.arena, static_cast<size_t>(npids));
+    epoch_.reset(env.arena, static_cast<size_t>(npids));
     for (int s = 0; s < ports; ++s) {
       slots_[static_cast<size_t>(s)].attach(env, rmr::kNoOwner);
       slots_[static_cast<size_t>(s)].init(s);  // pool starts full
@@ -297,9 +298,9 @@ class PortLease {
 
   int ports_;
   int npids_;
-  std::vector<typename P::template Atomic<int>> slots_;
-  std::vector<typename P::template Atomic<int>> lease_;
-  std::vector<typename P::template Atomic<uint64_t>> epoch_;
+  nvm::Seq<typename P::template Atomic<int>> slots_;
+  nvm::Seq<typename P::template Atomic<int>> lease_;
+  nvm::Seq<typename P::template Atomic<uint64_t>> epoch_;
   typename P::template Atomic<int> scavenging_;  // scavenge mutual exclusion
 };
 

@@ -21,11 +21,11 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "core/qnode.hpp"
 #include "core/repair.hpp"
 #include "nvm/qsbr_pool.hpp"
+#include "nvm/seq.hpp"
 #include "platform/platform.hpp"
 #include "platform/process.hpp"
 #include "rlock/tournament.hpp"
@@ -65,11 +65,15 @@ class RmeLock {
       : ports_(ports),
         opt_(opt),
         pool_(env, ports, opt.recycle),
-        rlock_(env, ports),
-        node_(static_cast<size_t>(ports)),
-        staged_(static_cast<size_t>(ports), nullptr),
-        stats_(static_cast<size_t>(ports)) {
+        rlock_(env, ports) {
     RME_ASSERT(ports >= 1, "RmeLock: need >= 1 port");
+    // Seq-backed (arena-aware): Node[], the staged-node records and the
+    // per-port stats are all reachable by peers (repair scans Node[],
+    // recovery reads staged_), so shm worlds place them in the region.
+    node_.reset(env.arena, static_cast<size_t>(ports));
+    staged_.reset(env.arena, static_cast<size_t>(ports),
+                  [](void* mem, size_t) { ::new (mem) Node*(nullptr); });
+    stats_.reset(env.arena, static_cast<size_t>(ports));
     // Sentinels (Figure 3, Shared objects). They live in global memory
     // (no DSM partition): processes only ever compare their addresses or
     // read fields that never change after setup.
@@ -280,9 +284,9 @@ class RmeLock {
 
   Node crash_, incs_, exit_, special_;  // sentinel QNodes
   typename P::template Atomic<Node*> tail_;
-  std::vector<typename P::template Atomic<Node*>> node_;  // Node[0..k-1]
-  std::vector<Node*> staged_;  // per-port node taken from pool, pre-L12
-  std::vector<Stats> stats_;
+  nvm::Seq<typename P::template Atomic<Node*>> node_;  // Node[0..k-1]
+  nvm::Seq<Node*> staged_;  // per-port node taken from pool, pre-L12
+  nvm::Seq<Stats> stats_;
 };
 
 }  // namespace rme::core

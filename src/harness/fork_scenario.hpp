@@ -1,0 +1,242 @@
+// ForkScenario: real-process crash harness - fork+exec's REAL child
+// processes against a shm::ShmWorld and kills them mid-critical-section,
+// so genuine whole-process death (SIGKILL, not a simulated crash step)
+// exercises the recovery protocol end to end.
+//
+// Three pieces:
+//
+//   ForkScenario  child-process management: spawn(exe, args) fork+execs,
+//                 kill() delivers a signal (default SIGKILL - the crash
+//                 model: no atexit, no destructors, no flushing), wait()
+//                 reaps and reports the exit. The parent stays the
+//                 auditor.
+//
+//   StageBoard    the choreography channel, living IN the region: one
+//                 cell per logical pid. A worker announces the stage it
+//                 has reached (at-entry, in-CS, released, batch-held...)
+//                 and then FREEZES, spinning on its go word; the parent
+//                 awaits the stage, kills the worker exactly there (or
+//                 releases it to continue). This turns "kill it somewhere
+//                 around the CS" into a deterministic kill MATRIX.
+//
+//   CsProbe       a cross-process mutual-exclusion witness for one lock/
+//                 shard: enter() FASes the owner word and counts a
+//                 collision if anyone else was inside; exit() clears it.
+//                 A SIGKILL'd holder leaves its id in the owner word -
+//                 exactly like the lock state itself - and the recovery
+//                 re-entry (same id) is recognised, so the probe also
+//                 witnesses CSR across process restarts.
+//
+// The worker side of the choreography is tools/shm_worker.cpp; the kill
+// matrix itself is tests/test_shm_fork.cpp.
+#pragma once
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "shm/region.hpp"
+#include "util/assert.hpp"
+
+namespace rme::harness {
+
+// ---------------------------------------------------------------------------
+// StageBoard
+// ---------------------------------------------------------------------------
+
+// Worker progress stages, announced via the StageBoard. The values are
+// protocol constants shared between the test binary and shm_worker.
+enum class Stage : uint32_t {
+  kIdle = 0,
+  kClaimed = 1,    // pid slot claimed, session open, lock untouched
+  kInCs = 2,       // holding the single-key lock, inside the CS
+  kReleased = 3,   // released cleanly, pid slot still claimed
+  kBatchHeld = 4,  // holding a multi-key batch (all shards)
+  kRecovered = 5,  // restart path: recovery replayed, before clean runs
+  kDone = 6,       // workload finished, about to detach cleanly
+};
+
+struct StageCell {
+  std::atomic<uint32_t> stage;   // last Stage the worker announced
+  std::atomic<uint32_t> go;      // parent sets 1 to release a frozen worker
+  std::atomic<uint64_t> beats;   // worker liveness ticks while frozen
+};
+
+// One cell per logical pid; placed in the region (via ShmWorld's arena)
+// so parent and workers see one board.
+struct StageBoard {
+  StageCell cells[shm::kMaxProcs];
+
+  // --- worker side ---
+
+  // Announce `s` and freeze until the parent sets go (or the process is
+  // killed - the point of freezing). Clears go on exit so the cell is
+  // reusable for the next stage.
+  void freeze_at(int pid, Stage s) {
+    StageCell& c = cells[pid];
+    c.stage.store(static_cast<uint32_t>(s), std::memory_order_release);
+    while (c.go.load(std::memory_order_acquire) == 0) {
+      c.beats.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    c.go.store(0, std::memory_order_release);
+  }
+  // Announce without freezing.
+  void announce(int pid, Stage s) {
+    cells[pid].stage.store(static_cast<uint32_t>(s),
+                           std::memory_order_release);
+  }
+
+  // --- parent side ---
+
+  Stage stage_of(int pid) const {
+    return static_cast<Stage>(
+        cells[pid].stage.load(std::memory_order_acquire));
+  }
+  // Wait until the worker announces `s`; false on timeout.
+  bool await(int pid, Stage s, std::chrono::milliseconds timeout =
+                                   std::chrono::milliseconds(10000)) const {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (stage_of(pid) != s) {
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return true;
+  }
+  // Release a frozen worker.
+  void release(int pid) {
+    cells[pid].go.store(1, std::memory_order_release);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// CsProbe
+// ---------------------------------------------------------------------------
+
+// Cross-process ME/CSR witness for one lock (or one table shard). Ids are
+// 1-based (0 = empty). enter() tolerates re-entry by the SAME id - that
+// is precisely the recovery CSR path after a crash inside the CS.
+struct CsProbe {
+  std::atomic<uint64_t> owner;       // current occupant id (0 = none)
+  std::atomic<uint64_t> entries;     // completed enter()s
+  std::atomic<uint64_t> collisions;  // ME violations observed
+
+  void enter(uint64_t id) {
+    const uint64_t prev = owner.exchange(id, std::memory_order_acq_rel);
+    if (prev != 0 && prev != id) {
+      collisions.fetch_add(1, std::memory_order_relaxed);
+    }
+    entries.fetch_add(1, std::memory_order_relaxed);
+  }
+  void exit(uint64_t id) {
+    const uint64_t prev = owner.exchange(0, std::memory_order_acq_rel);
+    if (prev != id && prev != 0) {
+      collisions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ShmKillFixture: the root object of the kill-matrix worlds - the lock
+// table under test plus the choreography board and one CsProbe per
+// shard. Templated on the table type so the harness stays independent of
+// the api layer; tools/shm_worker.cpp and tests/test_shm_fork.cpp
+// instantiate it with api::TableLock<platform::Real>.
+// ---------------------------------------------------------------------------
+
+template <class Table>
+struct ShmKillFixture {
+  Table table;
+  StageBoard board{};
+  CsProbe probes[shm::kMaxProcs]{};  // indexed by shard
+
+  template <class Env>
+  ShmKillFixture(Env& env, int shards, int ports_per_shard, int npids)
+      : table(env, shards, ports_per_shard, npids) {
+    RME_ASSERT(shards <= shm::kMaxProcs, "ShmKillFixture: too many shards");
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ForkScenario
+// ---------------------------------------------------------------------------
+
+class ForkScenario {
+ public:
+  struct Child {
+    pid_t os_pid = -1;
+    bool reaped = false;
+    int status = 0;  // waitpid status once reaped
+  };
+
+  ~ForkScenario() {
+    // Never leave stray children: kill and reap anything unreaped.
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (!children_[i].reaped) {
+        ::kill(children_[i].os_pid, SIGKILL);
+        (void)wait_child(static_cast<int>(i));
+      }
+    }
+  }
+
+  // fork+exec `exe argv...`. Returns the child index.
+  int spawn(const std::string& exe, const std::vector<std::string>& args) {
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(exe.c_str()));
+    for (const std::string& a : args) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    const pid_t pid = ::fork();
+    RME_ASSERT(pid >= 0, "ForkScenario: fork failed");
+    if (pid == 0) {
+      ::execv(exe.c_str(), argv.data());
+      // exec failed: die without running the parent's atexit/destructors.
+      ::_exit(127);
+    }
+    children_.push_back(Child{pid, false, 0});
+    return static_cast<int>(children_.size()) - 1;
+  }
+
+  pid_t os_pid(int idx) const { return children_[static_cast<size_t>(idx)].os_pid; }
+
+  // Deliver `sig` (default: the crash model - SIGKILL, no cleanup runs).
+  void kill_child(int idx, int sig = SIGKILL) {
+    ::kill(children_[static_cast<size_t>(idx)].os_pid, sig);
+  }
+
+  // Reap and return the waitpid status.
+  int wait_child(int idx) {
+    Child& c = children_[static_cast<size_t>(idx)];
+    if (!c.reaped) {
+      ::waitpid(c.os_pid, &c.status, 0);
+      c.reaped = true;
+    }
+    return c.status;
+  }
+
+  // True iff the child exited normally with code 0.
+  bool exited_clean(int idx) {
+    const int st = wait_child(idx);
+    return WIFEXITED(st) && WEXITSTATUS(st) == 0;
+  }
+  // True iff the child died by `sig` (the expected fate of a killed
+  // worker).
+  bool died_by(int idx, int sig) {
+    const int st = wait_child(idx);
+    return WIFSIGNALED(st) && WTERMSIG(st) == sig;
+  }
+
+ private:
+  std::vector<Child> children_;
+};
+
+}  // namespace rme::harness

@@ -13,11 +13,21 @@
 // current waiter is waiting for, so stale wakes are ignored by construction.
 // Tags never repeat on a slot, so the scheme is crash-safe: a waiter that
 // crashes mid-wait simply takes a new slot+tag on re-execution.
+//
+// Cross-process placement: the slot array is the half of the ring OTHER
+// processes write to (a setter stores the tag into the waiter's cell), so
+// for shm worlds it must live in the region. attach() sizes the array
+// through the Env's arena (nvm/seq.hpp); adopt() binds a ring handle to a
+// PRE-EXISTING in-region slot array instead - the restart path. Adoption
+// must never re-initialise the slots: the persisted next_tag counters are
+// what keeps tags fresh across a process's death and restart (a restarted
+// ring that restarted its tags at 1 could re-mint a tag a stale setter
+// still holds, resurrecting exactly the ABA wake the tags exist to kill).
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
+#include "nvm/seq.hpp"
 #include "platform/platform.hpp"
 #include "util/assert.hpp"
 
@@ -42,13 +52,43 @@ class FlagRing {
  public:
   using Ctx = typename P::Context;
 
+  // One ring slot: the setter-visible cell plus its persisted tag counter.
+  // Public so shm worlds can carve per-pid slot arrays out of a region and
+  // hand them to adopt().
+  struct Slot {
+    GoFlag<P> flag;
+    typename P::template Atomic<uint64_t> next_tag;
+  };
+
   FlagRing() = default;
 
+  // Create + initialise a fresh slot array (arena-aware via env.arena).
   void attach(typename P::Env& env, int owner_pid, size_t slots) {
-    RME_ASSERT(slots >= 2, "FlagRing: need at least 2 slots");
-    // Slots hold atomics (immovable); build in place and steal the buffer.
-    slots_ = std::vector<Slot>(slots);
-    for (Slot& s : slots_) {
+    RME_ASSERT(slots_ == nullptr, "FlagRing: attach on a bound ring");
+    owned_.reset(env.arena, slots);
+    init_slots(owned_.data(), slots, env, owner_pid);
+    slots_ = owned_.data();
+    n_ = slots;
+  }
+
+  // Bind to an EXISTING slot array (a restarted process re-entering its
+  // per-pid ring in a shm region). Never touches the slots: their tag
+  // counters must continue, not restart. The fresh cursor is harmless -
+  // the cursor is a rotation hint, tag freshness is per slot.
+  void adopt(Slot* slots, size_t n) {
+    RME_ASSERT(slots_ == nullptr, "FlagRing: adopt on a bound ring");
+    RME_ASSERT(n >= 2, "FlagRing: need at least 2 slots");
+    slots_ = slots;
+    n_ = n;
+    cursor_ = 0;
+  }
+
+  // Placement-initialise a raw slot array (the creator side of adopt()).
+  static void init_slots(Slot* slots, size_t n, typename P::Env& env,
+                         int owner_pid) {
+    RME_ASSERT(n >= 2, "FlagRing: need at least 2 slots");
+    for (size_t i = 0; i < n; ++i) {
+      Slot& s = slots[i];
       s.flag.attach(env, owner_pid);
       s.next_tag.attach(env, owner_pid);
       s.next_tag.init(1);  // tag 0 is reserved as "never signalled"
@@ -63,7 +103,7 @@ class FlagRing {
   // Claim a slot and a fresh tag for one wait() execution.
   Wait begin_wait(Ctx& ctx) {
     Slot& s = slots_[cursor_];
-    cursor_ = (cursor_ + 1) % slots_.size();
+    cursor_ = (cursor_ + 1) % n_;
     // Single-writer bump; persists across crashes. If we crash between the
     // load and the store we may burn a tag value - tags are 64-bit, fine.
     const uint64_t tag = s.next_tag.load(ctx, std::memory_order_relaxed);
@@ -71,15 +111,13 @@ class FlagRing {
     return Wait{&s.flag, tag};
   }
 
-  size_t size() const { return slots_.size(); }
+  size_t size() const { return n_; }
+  Slot* slots_data() { return slots_; }
 
  private:
-  struct Slot {
-    GoFlag<P> flag;
-    typename P::template Atomic<uint64_t> next_tag;
-  };
-
-  std::vector<Slot> slots_;
+  Seq<Slot> owned_;      // only populated by attach(); adopt() borrows
+  Slot* slots_ = nullptr;
+  size_t n_ = 0;
   size_t cursor_ = 0;
 };
 

@@ -31,14 +31,27 @@
 // If grace never arrives (a peer crashed and never returned), the pool
 // falls back to allocating fresh nodes, matching the paper's unbounded
 // allocation in the worst case while staying bounded in the common case.
+//
+// Shm placement: every pool structure a peer can reach - the announce
+// cells, the per-port free/retired lists, and the NODES themselves - is
+// sized through nvm::Seq, so under an arena-backed Env (rme::shm) the
+// whole pool lives in the region and fresh() bump-allocates nodes from
+// the region's shared cursor (safe from any attached process). The
+// per-port lists are fixed-capacity there: when a retired list fills
+// because grace never arrives, the NEWLY retired node is simply dropped
+// (leaked) - capacity decay, never reuse-before-grace. The pool deliberately
+// keeps no Env reference (a creator-private address would be garbage in an
+// attached process); only the Counted platform needs the Env at fresh()
+// time, and counted worlds are never region-resident.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "nvm/seq.hpp"
 #include "platform/platform.hpp"
 #include "util/assert.hpp"
 
@@ -56,13 +69,22 @@ class QsbrPool {
   // `tail` is consulted for rule 1 (may be null when the client structure
   // has no tail pointer; then rule 1 is skipped).
   QsbrPool(Env& env, int ports, bool recycle)
-      : env_(env), ports_(ports), recycle_(recycle),
-        per_port_(static_cast<size_t>(ports)) {
-    epoch_.attach(env_, rmr::kNoOwner);
+      : arena_(env.arena), ports_(ports), recycle_(recycle) {
+    if constexpr (P::kCounted) {
+      env_ = &env;
+      RME_ASSERT(!arena_.valid(),
+                 "QsbrPool: counted platforms are never region-resident");
+    }
+    epoch_.attach(env, rmr::kNoOwner);
     epoch_.init(1);
+    per_port_.reset(env.arena, static_cast<size_t>(ports));
+    const size_t cap = list_capacity();
     for (int p = 0; p < ports; ++p) {
-      per_port_[static_cast<size_t>(p)].announce.attach(env_, p);
-      per_port_[static_cast<size_t>(p)].announce.init(kIdle);
+      PerPort& pp = per(p);
+      pp.announce.attach(env, p);
+      pp.announce.init(kIdle);
+      pp.free.reset(env.arena, cap);
+      pp.retired.reset(env.arena, cap);
     }
   }
 
@@ -86,18 +108,10 @@ class QsbrPool {
   // amortised (O(k) worst-case, every Theta(k) passages) RMR bound.
   T* acquire(Ctx& ctx, int port) {
     PerPort& pp = per(port);
-    if (!pp.free.empty()) {
-      T* n = pp.free.back();
-      pp.free.pop_back();
-      return n;
-    }
+    if (pp.free_n > 0) return pp.free[--pp.free_n];
     if (pp.retired.size() >= reclaim_threshold()) {
       maybe_reclaim(ctx, port);
-      if (!pp.free.empty()) {
-        T* n = pp.free.back();
-        pp.free.pop_back();
-        return n;
-      }
+      if (pp.free_n > 0) return pp.free[--pp.free_n];
     }
     return fresh(port);
   }
@@ -106,12 +120,16 @@ class QsbrPool {
   void retire(Ctx& ctx, int port, T* node) {
     if (!recycle_) return;  // verbatim-paper mode: leak (bounded by run)
     PerPort& pp = per(port);
-    pp.retired.push_back(Retired{node, 0});
+    // A full retired list means grace has not arrived for a long time;
+    // dropping the node leaks it (capacity decay) but never risks reuse.
+    (void)pp.retired.push_back(Retired{node, 0});
     if (pp.retired.size() >= reclaim_threshold()) maybe_reclaim(ctx, port);
   }
 
   // --- statistics (tests / benches) ---
-  uint64_t allocated() const { return allocated_; }
+  uint64_t allocated() const {
+    return allocated_.load(std::memory_order_relaxed);
+  }
   uint64_t reclaimed(int port) const { return per_c(port).reclaimed; }
   size_t retired_count(int port) const { return per_c(port).retired.size(); }
 
@@ -122,8 +140,9 @@ class QsbrPool {
   };
   struct PerPort {
     typename P::template Atomic<uint64_t> announce;
-    std::vector<T*> free;
-    std::deque<Retired> retired;
+    Seq<T*> free;     // fixed-capacity stack, top at free_n
+    size_t free_n = 0;
+    BoundedDeque<Retired> retired;
     uint64_t reclaimed = 0;
   };
 
@@ -133,16 +152,33 @@ class QsbrPool {
   size_t reclaim_threshold() const {
     return 2 * static_cast<size_t>(ports_) + 4;
   }
+  // Fixed capacity of the per-port lists: several thresholds' worth, so
+  // reclamation has headroom before the drop-on-full decay kicks in.
+  size_t list_capacity() const { return 4 * reclaim_threshold(); }
 
   T* fresh(int port) {
+    if (arena_.valid()) {
+      // Region-resident pool: nodes come from the region's shared bump
+      // cursor (atomic, any attached process may allocate). Real platform
+      // only, where Atomic::attach is a no-op - nothing more to wire.
+      void* mem = arena_.allocate(sizeof(T), alignof(T));
+      T* raw = ::new (mem) T();
+      allocated_.fetch_add(1, std::memory_order_relaxed);
+      return raw;
+    }
     auto node = std::make_unique<T>();
-    node->attach(env_, port);
+    if constexpr (P::kCounted) {
+      node->attach(*env_, port);
+    } else {
+      typename P::Env dummy{};  // Real attach() is stateless
+      node->attach(dummy, port);
+    }
     T* raw = node.get();
     {
-      std::lock_guard<std::mutex> g(arena_mu_);  // arena shared across ports
-      arena_.push_back(std::move(node));
-      ++allocated_;
+      std::lock_guard<std::mutex> g(heap_mu_);  // heap arena shared across ports
+      heap_nodes_.push_back(std::move(node));
     }
+    allocated_.fetch_add(1, std::memory_order_relaxed);
     return raw;
   }
 
@@ -167,7 +203,8 @@ class QsbrPool {
                       ? tail_->load(ctx, std::memory_order_acquire)
                       : nullptr;
     const uint64_t stamp_epoch = epoch_.load(ctx, std::memory_order_acquire);
-    for (Retired& r : pp.retired) {
+    for (size_t i = 0; i < pp.retired.size(); ++i) {
+      Retired& r = pp.retired.at(i);
       if (r.stamp == 0 && r.node != tail_now) r.stamp = stamp_epoch;
     }
 
@@ -179,26 +216,30 @@ class QsbrPool {
     // A retiree stamped s is safe once every active port announced an epoch
     // > s (its current passage began after the stamping scan); idle ports
     // are quiescent by definition.
-    while (!pp.retired.empty()) {
+    while (!pp.retired.empty() && pp.free_n < pp.free.size()) {
       Retired& r = pp.retired.front();
       const bool safe = r.stamp != 0 &&
                         (min_announce == kIdle || min_announce > r.stamp);
       if (!safe) break;
-      pp.free.push_back(r.node);
+      pp.free[pp.free_n++] = r.node;
       ++pp.reclaimed;
       pp.retired.pop_front();
     }
   }
 
-  Env& env_;
+  platform::Arena arena_;     // by value: cross-process-valid snapshot
+  Env* env_ = nullptr;        // Counted only (attach needs the model)
   int ports_;
   bool recycle_;
   typename P::template Atomic<uint64_t> epoch_;
   typename P::template Atomic<T*>* tail_ = nullptr;
-  std::vector<PerPort> per_port_;
-  std::mutex arena_mu_;
-  std::vector<std::unique_ptr<T>> arena_;
-  uint64_t allocated_ = 0;
+  Seq<PerPort> per_port_;
+  // Heap-mode node ownership (arena mode: the region owns the nodes).
+  // Never touched when arena_ is valid, so the region-resident instances
+  // of these members stay inert.
+  std::mutex heap_mu_;
+  std::vector<std::unique_ptr<T>> heap_nodes_;
+  std::atomic<uint64_t> allocated_{0};
 };
 
 }  // namespace rme::nvm

@@ -1,0 +1,146 @@
+// Seq / BoundedDeque: fixed-capacity arrays that place their elements in
+// a platform::Arena when one is installed in the Env, and on the heap
+// otherwise.
+//
+// These replace std::vector/std::deque in every piece of SHARED lock
+// state (rme_lock, port_lease, lock_table, flag rings, the QSBR pool).
+// The reason is cross-process placement: a std::vector member of a
+// region-resident object keeps its control block in the region but its
+// DATA on the constructing process's private heap, so a second process
+// that maps the region would chase a pointer into memory it does not
+// have. Seq draws the element storage from the same arena the object
+// itself lives in, so under the fixed-address mapping contract
+// (shm/region.hpp) the whole structure is valid in every attached
+// process. Purely process-local state (the repair PathGraph, harness
+// bookkeeping, bench buffers) keeps using std::vector.
+//
+// Lifetime contract: arena-backed storage is never freed and element
+// destructors are not run for it - the region owns the memory, and the
+// region's lifetime is the state's lifetime (a creator destroying its
+// handle must not destroy state other processes still use). Heap-backed
+// storage behaves like std::vector: destructors run, memory is freed.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+#include "platform/arena.hpp"
+#include "util/assert.hpp"
+
+namespace rme::nvm {
+
+// Fixed-size array of T, sized once via reset(). Not movable/copyable:
+// elements routinely contain atomics, and the shared-state classes that
+// embed a Seq size it exactly once in their constructor.
+template <class T>
+class Seq {
+ public:
+  Seq() = default;
+  Seq(const Seq&) = delete;
+  Seq& operator=(const Seq&) = delete;
+  ~Seq() { destroy(); }
+
+  // Size to n default-constructed elements. May only be called on an
+  // empty Seq (construction-time sizing, not resizing).
+  void reset(const platform::Arena& a, size_t n) {
+    reset(a, n, [](void* mem, size_t) { ::new (mem) T(); });
+  }
+
+  // Size to n elements, constructing each via make(mem, index) - the
+  // in-place escape hatch for element types without a default
+  // constructor (e.g. the lock table's Shard).
+  template <class Make>
+  void reset(const platform::Arena& a, size_t n, Make&& make) {
+    RME_ASSERT(data_ == nullptr, "Seq::reset called twice");
+    if (n == 0) return;
+    if (a.valid()) {
+      data_ = static_cast<T*>(
+          const_cast<platform::Arena&>(a).allocate(n * sizeof(T), alignof(T)));
+      owned_ = false;
+    } else {
+      data_ = static_cast<T*>(
+          ::operator new(n * sizeof(T), std::align_val_t{alignof(T)}));
+      owned_ = true;
+    }
+    n_ = n;
+    for (size_t i = 0; i < n; ++i) {
+      make(static_cast<void*>(data_ + i), i);
+    }
+  }
+
+  size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  T& operator[](size_t i) {
+    RME_DCHECK(i < n_, "Seq: index out of range");
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    RME_DCHECK(i < n_, "Seq: index out of range");
+    return data_[i];
+  }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + n_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + n_; }
+
+ private:
+  void destroy() {
+    if (data_ == nullptr || !owned_) return;  // arena memory: region-owned
+    for (size_t i = n_; i > 0; --i) data_[i - 1].~T();
+    ::operator delete(static_cast<void*>(data_),
+                      std::align_val_t{alignof(T)});
+  }
+
+  T* data_ = nullptr;
+  size_t n_ = 0;
+  bool owned_ = false;
+};
+
+// Fixed-capacity FIFO ring over trivially-destructible T (the QSBR
+// retired list). push_back on a full deque reports failure and drops the
+// element - for the pool that means "permanently leak the node", which
+// is the documented decay mode when grace never arrives.
+template <class T>
+class BoundedDeque {
+ public:
+  void reset(const platform::Arena& a, size_t capacity) {
+    buf_.reset(a, capacity);
+  }
+
+  bool push_back(const T& v) {
+    if (n_ == buf_.size()) return false;
+    buf_[(head_ + n_) % buf_.size()] = v;
+    ++n_;
+    return true;
+  }
+  void pop_front() {
+    RME_DCHECK(n_ > 0, "BoundedDeque: pop_front on empty");
+    head_ = (head_ + 1) % buf_.size();
+    --n_;
+  }
+  T& front() {
+    RME_DCHECK(n_ > 0, "BoundedDeque: front on empty");
+    return buf_[head_];
+  }
+  // Logical indexing (0 = front), for in-place scans over the queue.
+  T& at(size_t i) {
+    RME_DCHECK(i < n_, "BoundedDeque: index out of range");
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  size_t size() const { return n_; }
+  size_t capacity() const { return buf_.size(); }
+  bool empty() const { return n_ == 0; }
+
+ private:
+  Seq<T> buf_;
+  size_t head_ = 0;
+  size_t n_ = 0;
+};
+
+}  // namespace rme::nvm

@@ -1,0 +1,72 @@
+// Arena: the shared-memory placement hook of the platform layer.
+//
+// The core lock state (RmeLock, PortLease, RecoverableLockTable, flag
+// rings, the QSBR node pool) historically parked its arrays in private
+// heap containers. For the cross-process service boundary (rme::shm) that
+// state must live INSIDE an mmap-backed region so two OS processes see
+// the same words. The Arena is the minimal mechanism that makes both
+// placements one code path:
+//
+//   * An Env carries an Arena VALUE (not a pointer to a per-process
+//     object): a bump cursor living in the region plus the region's
+//     base/limit. Every field is either a plain value or a pointer into
+//     the region itself, so a copy of the handle works identically in
+//     every process that maps the region - there is no per-process
+//     indirection to chase and no vtable.
+//   * nvm::Seq (nvm/seq.hpp) consults the Env's arena when sizing an
+//     array: a valid arena places the elements in the region; an invalid
+//     one (the default: every in-process World) allocates from the heap
+//     exactly as before.
+//   * Allocation is an atomic fetch-add on the in-region cursor, so
+//     runtime allocations (the QSBR pool's fresh-node fallback) are safe
+//     from any attached process. Arena memory is never freed: the region
+//     owns it, and region teardown reclaims everything at once.
+//
+// The cross-process validity of ORDINARY pointers stored in arena memory
+// (queue-node Pred fields, the lock-table's shard array) is guaranteed by
+// the fixed-address mapping contract of shm::Region: every process maps
+// the region at the address recorded in its header, so a region-resident
+// pointer to region-resident memory means the same thing everywhere.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace rme::platform {
+
+// Value-type allocation handle. Default-constructed = invalid = callers
+// fall back to heap allocation. Copies are cheap and cross-process safe
+// (all members are region addresses or plain values).
+struct Arena {
+  std::atomic<uint64_t>* cursor = nullptr;  // byte offset into base, in-region
+  char* base = nullptr;                     // region base (fixed mapping)
+  uint64_t limit = 0;                       // usable bytes from base
+
+  bool valid() const { return base != nullptr; }
+
+  // Bump-allocate `bytes` aligned to `align`. Lock-free (one fetch_add;
+  // worst-case `align` bytes of padding are consumed per call). Aborts on
+  // exhaustion: the region size is a capacity decision made at create
+  // time, and silently handing out overlapping memory would be far worse.
+  void* allocate(size_t bytes, size_t align) {
+    RME_ASSERT(valid(), "Arena::allocate on an invalid arena");
+    RME_ASSERT(align != 0 && (align & (align - 1)) == 0,
+               "Arena::allocate: alignment must be a power of two");
+    const uint64_t got = cursor->fetch_add(
+        static_cast<uint64_t>(bytes) + align, std::memory_order_relaxed);
+    const uint64_t aligned = (got + align - 1) & ~static_cast<uint64_t>(align - 1);
+    RME_ASSERT(aligned + bytes <= limit, "Arena exhausted: size the region up");
+    return base + aligned;
+  }
+
+  // Offset of a region-resident pointer (for header bookkeeping).
+  uint64_t offset_of(const void* p) const {
+    return static_cast<uint64_t>(static_cast<const char*>(p) - base);
+  }
+  void* at(uint64_t off) const { return base + off; }
+};
+
+}  // namespace rme::platform

@@ -37,6 +37,7 @@
 #include <thread>
 #include <type_traits>
 
+#include "platform/arena.hpp"
 #include "rmr/model.hpp"
 #include "sim/crash_plan.hpp"
 #include "sim/scheduler.hpp"
@@ -166,7 +167,12 @@ class Waiter {
 struct Real {
   static constexpr bool kCounted = false;
 
-  struct Env {};  // no model state
+  struct Env {
+    // When valid, shared lock state (nvm::Seq-backed arrays, QSBR nodes)
+    // is placed in this arena instead of the heap - the rme::shm worlds
+    // bind it to their mmap-backed region. Default: invalid, heap.
+    Arena arena{};
+  };
 
   struct Context {
     int pid = 0;
@@ -236,6 +242,9 @@ struct Counted {
 
   struct Env {
     rmr::Model* model = nullptr;  // required before any attach()
+    // Uniform with Real::Env so arena-aware containers compile for both
+    // platforms; counted (simulated) worlds never install one.
+    Arena arena{};
   };
 
   struct Context {

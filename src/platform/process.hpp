@@ -28,6 +28,17 @@ struct Process {
     ring.attach(env, pid, ring_slots);
   }
 
+  // Bind to an EXISTING ring slot array instead of allocating one - the
+  // shm worlds' path, where each pid's ring lives in the region and a
+  // restarted process must re-enter the same slots (tag counters continue;
+  // see nvm/flag_ring.hpp on why re-initialising them would be unsound).
+  void attach_adopted(typename P::Env& env, int pid,
+                      typename nvm::FlagRing<P>::Slot* slots, size_t n) {
+    ctx = typename P::Context{};
+    set_pid(ctx, pid, env);
+    ring.adopt(slots, n);
+  }
+
  private:
   static void set_pid(typename Real::Context& c, int pid, Real::Env&) {
     c.pid = pid;

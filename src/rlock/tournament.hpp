@@ -26,8 +26,8 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
+#include "nvm/seq.hpp"
 #include "platform/process.hpp"
 #include "rlock/r2lock.hpp"
 #include "util/assert.hpp"
@@ -51,15 +51,16 @@ class TournamentRLock {
     // 2-ported lock still has a root to arbitrate on.
     levels_ = 1;
     while ((1 << levels_) < ports_) ++levels_;
-    level_offset_.resize(static_cast<size_t>(levels_) + 1);
+    // Seq-backed (arena-aware): the offsets table is READ by every locker,
+    // so for shm worlds it must live in the region with the R2Lock nodes.
+    level_offset_.reset(env.arena, static_cast<size_t>(levels_) + 1);
     int total = 0;
     for (int l = 0; l < levels_; ++l) {
       level_offset_[static_cast<size_t>(l)] = total;
       total += nodes_at_level(l);
     }
     level_offset_[static_cast<size_t>(levels_)] = total;
-    // R2Lock holds atomics (immovable); build in place, steal the buffer.
-    nodes_ = std::vector<Lock2>(static_cast<size_t>(total));
+    nodes_.reset(env.arena, static_cast<size_t>(total));
     for (auto& n : nodes_) n.attach(env);
   }
 
@@ -100,8 +101,8 @@ class TournamentRLock {
 
   int ports_;
   int levels_;
-  std::vector<int> level_offset_;
-  std::vector<Lock2> nodes_;
+  nvm::Seq<int> level_offset_;
+  nvm::Seq<Lock2> nodes_;
 };
 
 }  // namespace rme::rlock

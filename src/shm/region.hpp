@@ -1,0 +1,338 @@
+// rme::shm - POSIX shared-memory regions with a fixed-address mapping
+// contract, the substrate of the cross-process service boundary.
+//
+// A Region wraps one shm_open'd object mapped MAP_SHARED into every
+// participating process. The region starts with a RegionHeader: layout
+// identification (magic/version/ABI), the arena bump cursor the
+// platform::Arena hands out region memory from, the root-object offset,
+// and the PID REGISTRY - one slot per logical pid, claimed by
+// fetch-and-store and carrying the per-process EPOCH word that fences a
+// restarted process (see PidSlot below and docs/recovery.md).
+//
+// THE FIXED-ADDRESS MAPPING CONTRACT. The lock state this library places
+// in regions is pointer-linked (queue nodes hold Node* predecessors, the
+// table's shards embed each other's addresses). Rather than rewrite the
+// verified core in offset arithmetic, the region is mapped at the SAME
+// virtual address in every process: the creator maps at a name-derived
+// hint in a rarely-used part of the address space and records the actual
+// base in the header; attach() maps MAP_FIXED_NOREPLACE at exactly that
+// base and fails loudly (kAddressBusy) if this process already occupies
+// it. In-region pointers to in-region memory then mean the same thing
+// everywhere, and the paper's algorithms run verbatim. The hint range
+// (0x5e00'0000'0000 + hash(name), 2 MiB aligned) sits between the
+// typical PIE heap (~0x55xx) and library mmap (~0x7fxx) zones, so
+// collisions are rare; a colliding attach is an error, never silent
+// relocation.
+//
+// Process death is the expected failure mode: a SIGKILL'd holder leaves
+// the region exactly as the paper's crash model leaves NVM, and the
+// restart path (shm::ShmWorld::claim takeover + lock-level recovery)
+// plays the role of the paper's recovery section.
+#pragma once
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace rme::shm {
+
+// Region-layer failures (name collisions, ABI mismatch, address-space
+// collisions, a busy pid slot). Exceptions rather than aborts: callers
+// (workers, tests, operators) can usually retry with a different name or
+// report which process holds a slot.
+class ShmError : public std::runtime_error {
+ public:
+  explicit ShmError(const std::string& what) : std::runtime_error(what) {}
+};
+
+inline constexpr uint32_t kMagic = 0x524d4531u;  // "RME1"
+inline constexpr uint32_t kVersion = 2;
+// Upper bound on logical pids per region; sized so the registry stays a
+// small fixed header array. (A logical pid is a session identity, not an
+// OS pid: one OS process may drive several - the auditing parent does.)
+inline constexpr int kMaxProcs = 64;
+
+// ---------------------------------------------------------------------------
+// PidSlot: one pid-registry entry.
+//
+// Claim protocol (FAS only, in the spirit of the paper's instruction
+// budget - no CAS anywhere in the handshake):
+//
+//   fresh claim:  state.exchange(kClaimed) returns kFree -> the slot is
+//                 ours exclusively; record our OS pid, bump the epoch.
+//   busy:         exchange returned kClaimed and the recorded OS pid is
+//                 LIVE -> hands off (the exchange changed nothing).
+//   takeover:     exchange returned kClaimed and the recorded owner is
+//                 dead -> serialise rivals through the `takeover` FAS
+//                 guard, re-verify the owner is still the same dead
+//                 process, install ourselves, bump the epoch, drop the
+//                 guard. The caller then REPLAYS RECOVERY (the lock
+//                 layer's persisted leases/intents name the work) before
+//                 doing anything else with the pid.
+//
+// The EPOCH word is the fence: it increments exactly once per
+// (re)incarnation of the pid, only ever under slot ownership (plain
+// read+write, single-writer by construction). A handle minted in
+// incarnation e is STALE once slot.epoch != e - its process was declared
+// dead and superseded, so its guards and sessions must not touch the
+// lock again (ShmWorld::fenced / SessionLease::fenced surface this).
+//
+// Liveness is kill(pid, 0): ESRCH = dead, anything else = assume live
+// (EPERM means the pid exists under another uid). OS pid reuse can make
+// a dead owner look live - the documented residual window; see
+// docs/recovery.md ("liveness and pid reuse").
+// ---------------------------------------------------------------------------
+struct PidSlot {
+  static constexpr uint32_t kFree = 0;
+  static constexpr uint32_t kClaimed = 1;
+
+  std::atomic<uint32_t> state;     // kFree / kClaimed; transitions by FAS
+  std::atomic<uint32_t> takeover;  // FAS guard serialising dead-owner takeover
+  std::atomic<int64_t> os_pid;     // OS pid of the current owner (0 = none)
+  std::atomic<uint64_t> epoch;     // incarnation count; monotone, never reset
+};
+
+struct RegionHeader {
+  // Atomic and written LAST by create() (release): the attach-side peek
+  // waits on it before trusting any other header field.
+  std::atomic<uint32_t> magic;
+  uint32_t version;
+  uint64_t abi_hash;  // layout fingerprint; attach refuses a mismatch
+  uint64_t base;      // creator's mapping address (the fixed-mapping contract)
+  uint64_t bytes;     // total region size
+  std::atomic<uint64_t> cursor;    // arena bump pointer (byte offset)
+  std::atomic<uint64_t> root_off;  // offset of the root object (0 = none)
+  uint64_t root_size;              // sizeof(root type): weak type check
+  std::atomic<uint32_t> ready;     // creator publishes after construction
+  int32_t nprocs;                  // logical pids the world was created for
+  int32_t ring_slots;              // per-pid flag-ring size
+  uint32_t pad_;
+  uint64_t ring_off[kMaxProcs];    // per-pid flag-ring slot arrays
+  PidSlot slots[kMaxProcs];        // the pid registry
+};
+
+inline uint64_t abi_hash() {
+  // Coarse fingerprint: enough to catch a 32/64-bit or header-layout skew
+  // between creator and attacher builds.
+  return (uint64_t{kVersion} << 48) ^ (sizeof(RegionHeader) << 16) ^
+         sizeof(void*);
+}
+
+inline uint64_t name_hash(const std::string& s) {  // FNV-1a
+  uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Name-derived mapping hint (2 MiB aligned) in a zone that is almost
+// always free under default Linux ASLR; deterministic, so the creator and
+// every attacher derive the same target independently of map timing.
+inline void* map_hint(const std::string& name) {
+  const uint64_t lane = name_hash(name) % (1ull << 16);
+  return reinterpret_cast<void*>(0x5e00'0000'0000ull + (lane << 21));
+}
+
+// True when the OS process is alive as far as signals can tell.
+inline bool os_pid_alive(int64_t pid) {
+  if (pid <= 0) return false;
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
+  return errno != ESRCH;
+}
+
+class Region {
+ public:
+  Region(const Region&) = delete;
+  Region& operator=(const Region&) = delete;
+  Region(Region&& o) noexcept
+      : name_(std::move(o.name_)),
+        base_(std::exchange(o.base_, nullptr)),
+        bytes_(std::exchange(o.bytes_, 0)),
+        creator_(std::exchange(o.creator_, false)),
+        unlink_(std::exchange(o.unlink_, false)) {}
+
+  ~Region() {
+    if (base_ != nullptr) ::munmap(base_, bytes_);
+    if (unlink_) ::shm_unlink(name_.c_str());
+  }
+
+  // Create a fresh region (fails if `name` exists). The header is
+  // initialised but NOT published: the creator constructs its world/root
+  // first, then ShmWorld publishes.
+  static Region create(const std::string& name, size_t bytes) {
+    RME_ASSERT(bytes >= sizeof(RegionHeader) + 4096, "Region: too small");
+    const int fd =
+        ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+    if (fd < 0) {
+      throw ShmError("shm_open(create " + name + "): " +
+                     std::strerror(errno));
+    }
+    if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+      const int e = errno;
+      ::close(fd);
+      ::shm_unlink(name.c_str());
+      throw ShmError("ftruncate(" + name + "): " + std::strerror(e));
+    }
+    void* base = ::mmap(map_hint(name), bytes, PROT_READ | PROT_WRITE,
+                        MAP_SHARED, fd, 0);
+    ::close(fd);  // the mapping keeps the object alive
+    if (base == MAP_FAILED) {
+      ::shm_unlink(name.c_str());
+      throw ShmError("mmap(create " + name + "): " + std::strerror(errno));
+    }
+    // Value-initialise in place: zeroes every field, including the
+    // registry's atomics (fresh shm pages are zero anyway; this keeps the
+    // types honest).
+    auto* hdr = ::new (base) RegionHeader();
+    hdr->version = kVersion;
+    hdr->abi_hash = abi_hash();
+    hdr->base = reinterpret_cast<uint64_t>(base);
+    hdr->bytes = bytes;
+    hdr->cursor.store(payload_offset(), std::memory_order_relaxed);
+    // Magic last, release: an attacher's peek trusts the fields above
+    // only after observing it.
+    hdr->magic.store(kMagic, std::memory_order_release);
+    Region r;
+    r.name_ = name;
+    r.base_ = base;
+    r.bytes_ = bytes;
+    r.creator_ = true;
+    r.unlink_ = true;
+    return r;
+  }
+
+  // Attach to an existing region at ITS recorded base address (the
+  // fixed-address contract). Waits up to `publish_timeout_ms` for the
+  // creator to publish the constructed world - including the earlier
+  // windows where the object exists but is not yet sized (ftruncate
+  // pending: touching the pages would SIGBUS) or sized but its header
+  // not yet written (reading it would look like an ABI mismatch).
+  static Region attach(const std::string& name,
+                       int publish_timeout_ms = 10000) {
+    const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+    if (fd < 0) {
+      throw ShmError("shm_open(attach " + name + "): " +
+                     std::strerror(errno));
+    }
+    // Wait for the creator's ftruncate: mapping past the object's end
+    // and touching it is SIGBUS, so never peek a short object.
+    int waited = 0;
+    struct stat st {};
+    for (;;) {
+      if (::fstat(fd, &st) != 0) {
+        const int e = errno;
+        ::close(fd);
+        throw ShmError("fstat(" + name + "): " + std::strerror(e));
+      }
+      if (static_cast<size_t>(st.st_size) >= sizeof(RegionHeader)) break;
+      if (waited++ >= publish_timeout_ms) {
+        ::close(fd);
+        throw ShmError("region " + name + ": creator never sized it");
+      }
+      ::usleep(1000);
+    }
+    // Peek the header through a throwaway mapping to learn the base
+    // address and size; wait for the magic (written directly after the
+    // header is zeroed) before trusting any field.
+    void* peek = ::mmap(nullptr, sizeof(RegionHeader), PROT_READ, MAP_SHARED,
+                        fd, 0);
+    if (peek == MAP_FAILED) {
+      const int e = errno;
+      ::close(fd);
+      throw ShmError("mmap(peek " + name + "): " + std::strerror(e));
+    }
+    const auto* ph = static_cast<const RegionHeader*>(peek);
+    while (ph->magic.load(std::memory_order_acquire) != kMagic) {
+      if (waited++ >= publish_timeout_ms) {
+        ::munmap(peek, sizeof(RegionHeader));
+        ::close(fd);
+        throw ShmError("region " + name + ": header never initialised");
+      }
+      ::usleep(1000);
+    }
+    if (ph->version != kVersion || ph->abi_hash != abi_hash()) {
+      ::munmap(peek, sizeof(RegionHeader));
+      ::close(fd);
+      throw ShmError("region " + name + ": version/ABI mismatch");
+    }
+    void* want = reinterpret_cast<void*>(ph->base);
+    const size_t bytes = ph->bytes;
+    ::munmap(peek, sizeof(RegionHeader));
+
+#if defined(MAP_FIXED_NOREPLACE)
+    void* base = ::mmap(want, bytes, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_FIXED_NOREPLACE, fd, 0);
+#else
+    void* base =
+        ::mmap(want, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    if (base != MAP_FAILED && base != want) {  // kernel relocated the hint
+      ::munmap(base, bytes);
+      base = MAP_FAILED;
+      errno = EEXIST;
+    }
+#endif
+    ::close(fd);
+    if (base == MAP_FAILED || base != want) {
+      if (base != MAP_FAILED) ::munmap(base, bytes);
+      throw ShmError("region " + name +
+                     ": fixed-address attach failed (address busy); "
+                     "the mapping contract requires the creator's base");
+    }
+    Region r;
+    r.name_ = name;
+    r.base_ = base;
+    r.bytes_ = bytes;
+    r.creator_ = false;
+    r.unlink_ = false;
+    // Wait for the creator to publish the constructed world.
+    auto* hdr = static_cast<RegionHeader*>(base);
+    for (int waited = 0; hdr->ready.load(std::memory_order_acquire) == 0;
+         waited += 1) {
+      if (waited >= publish_timeout_ms) {
+        throw ShmError("region " + name + ": creator never published");
+      }
+      ::usleep(1000);
+    }
+    return r;
+  }
+
+  RegionHeader* header() const { return static_cast<RegionHeader*>(base_); }
+  char* base() const { return static_cast<char*>(base_); }
+  size_t bytes() const { return bytes_; }
+  bool creator() const { return creator_; }
+  const std::string& name() const { return name_; }
+
+  // Creator-side knob: keep the shm object on destruction (hand-off to a
+  // successor process) instead of unlinking it.
+  void set_unlink_on_destroy(bool v) { unlink_ = v; }
+
+  // First allocatable byte: the header, rounded up to a cache line.
+  static constexpr uint64_t payload_offset() {
+    return (sizeof(RegionHeader) + 63) & ~uint64_t{63};
+  }
+
+ private:
+  Region() = default;
+
+  std::string name_;
+  void* base_ = nullptr;
+  size_t bytes_ = 0;
+  bool creator_ = false;
+  bool unlink_ = false;
+};
+
+}  // namespace rme::shm

@@ -1,0 +1,104 @@
+// SessionLease: the cross-process session handshake - how an OS process
+// turns "I map the region" into "I am logical pid p, recovered and safe
+// to enter the critical section".
+//
+// Construction performs, in order:
+//
+//   1. CLAIM the pid's registry slot (ShmWorld::claim: FAS claim of a
+//      free slot, or a verified takeover of a dead owner's slot).
+//   2. If the claim was a takeover (`restarted`), REPLAY RECOVERY before
+//      anything else: svc::Session::recover() finishes whatever
+//      super-passage the dead incarnation left behind - re-binding its
+//      persisted port lease, re-entering the critical section the paper's
+//      way (wait-free CSR if the crash was inside it), exiting, and
+//      clearing the persisted shard/batch intents. Only then is the
+//      session handed to the caller.
+//   3. Mint the svc::Session bound to the world's per-pid Process handle
+//      (adopted in-region flag ring, continuing tag counters).
+//
+// Destruction releases the pid slot - unless the lease is FENCED (the
+// slot's epoch moved past ours because some other process declared us
+// dead and took over), in which case the slot belongs to the successor
+// and we must not touch it. fenced() is also the caller's probe: a
+// long-running process should treat `fenced() == true` as "my identity
+// was revoked; stop issuing verbs with this session".
+//
+// SIGKILL anywhere in this lifecycle is safe by construction: the claim
+// leaves a dead-owner slot the next claimer takes over, and the lock
+// state's own persistence (leases, intents) names the recovery work.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "shm/world.hpp"
+#include "svc/session.hpp"
+#include "util/assert.hpp"
+
+namespace rme::shm {
+
+template <class L>
+class SessionLease {
+ public:
+  // Application hook run INSTEAD of the default Session::recover() when
+  // the claim took over a dead incarnation - for callers whose recovery
+  // must also repair application state inside the re-entered critical
+  // section (e.g. via RecoverableLockTable::recover's visitor). The hook
+  // MUST leave the identity quiescent (every persisted lease/intent of
+  // this pid finished), exactly like Session::recover() does.
+  using RecoverFn = std::function<void(svc::Session<L>&)>;
+
+  // Claims `pid`, replays recovery if a previous incarnation died holding
+  // it, and opens the session. Throws ShmError when the pid is held by a
+  // live process (the identity is simply busy; nothing was changed).
+  SessionLease(ShmWorld& world, L& lock, int pid,
+               platform::WaitPolicy* policy = nullptr,
+               svc::Admission* admission = nullptr,
+               RecoverFn recover_fn = {})
+      : world_(&world), id_(world.claim(pid)) {
+    // From here the slot is claimed: a throw below (a user recovery hook,
+    // session construction) must not strand it - the destructor will not
+    // run for a half-constructed lease, so release explicitly.
+    try {
+      session_.emplace(lock, world.proc(pid), pid, policy, admission);
+      if (id_.restarted) {
+        // Epoch-fenced re-entry: the previous incarnation's super-passage
+        // is finished BEFORE this one can issue its first verb.
+        if (recover_fn) {
+          recover_fn(*session_);
+        } else {
+          session_->recover();
+        }
+      }
+    } catch (...) {
+      session_.reset();
+      world_->release(id_);
+      throw;
+    }
+  }
+
+  SessionLease(const SessionLease&) = delete;
+  SessionLease& operator=(const SessionLease&) = delete;
+
+  ~SessionLease() {
+    session_.reset();        // guards must die before the identity does
+    world_->release(id_);    // no-op when fenced
+  }
+
+  svc::Session<L>& session() { return *session_; }
+  svc::Session<L>* operator->() { return &*session_; }
+
+  // The claimed incarnation.
+  const ShmWorld::Identity& identity() const { return id_; }
+  // True when the claim took over a dead predecessor (recovery replayed).
+  bool restarted() const { return id_.restarted; }
+  // True when THIS incarnation has been superseded; stop issuing verbs.
+  bool fenced() const { return world_->fenced(id_); }
+
+ private:
+  ShmWorld* world_;
+  ShmWorld::Identity id_;
+  std::optional<svc::Session<L>> session_;
+};
+
+}  // namespace rme::shm

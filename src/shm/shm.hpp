@@ -1,0 +1,30 @@
+// Umbrella header for rme::shm - the cross-process service boundary:
+//
+//   region.hpp  - Region (shm_open + fixed-address mmap contract),
+//                 RegionHeader, the FAS-claimed pid registry and its
+//                 per-process epoch words
+//   world.hpp   - ShmWorld (create/attach, in-region arena + per-pid
+//                 flag rings, root-object placement, claim/takeover/
+//                 fence protocol)
+//   session.hpp - SessionLease (claim -> replay recovery -> mint
+//                 svc::Session; fenced() stale-incarnation probe)
+//
+// Typical use - creator:
+//
+//   auto world = rme::shm::ShmWorld::create("/my_region", 16 << 20, 8);
+//   using Table = rme::api::TableLock<rme::platform::Real>;
+//   auto& table = world.create_root<Table>(world.env, 4, 2, 8);
+//   rme::shm::SessionLease<Table> lease(world, table, /*pid=*/0);
+//   auto g = lease->acquire(key);
+//
+// and attacher (another OS process):
+//
+//   auto world = rme::shm::ShmWorld::attach("/my_region");
+//   auto& table = world.root<Table>();
+//   rme::shm::SessionLease<Table> lease(world, table, /*pid=*/1);
+//   // lease.restarted() tells a restarted process its recovery replayed
+#pragma once
+
+#include "shm/region.hpp"   // IWYU pragma: export
+#include "shm/session.hpp"  // IWYU pragma: export
+#include "shm/world.hpp"    // IWYU pragma: export

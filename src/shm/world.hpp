@@ -1,0 +1,266 @@
+// ShmWorld: the cross-process World - an mmap-backed region holding the
+// lock state, per-pid flag rings and the pid registry, so sessions in
+// SEPARATE OS PROCESSES contend on one RmeLock / RecoverableLockTable.
+//
+// Roles:
+//
+//   creator   ShmWorld::create(name, bytes, nprocs) - creates the region,
+//             binds the Env's arena to it, initialises one flag ring per
+//             logical pid, then constructs the lock state IN the region
+//             via create_root<T>(...) (which publishes the world; from
+//             then on attachers proceed).
+//
+//   attacher  ShmWorld::attach(name) - maps the region at the creator's
+//             base (fixed-address contract, shm/region.hpp), re-binds the
+//             arena, and uses root<T>() to reach the same lock objects by
+//             the same addresses.
+//
+// Identity & the epoch fence: before driving a logical pid, a process
+// claims that pid's registry slot (claim(pid) - FAS claim, or a verified
+// takeover of a dead owner's slot). The claim returns the slot's bumped
+// EPOCH; `restarted` tells the claimer a previous incarnation died
+// holding this identity, which obliges it to REPLAY RECOVERY (the
+// persisted leases/intents in the lock state name the exact work - see
+// SessionLease in shm/session.hpp, which does this automatically) before
+// re-entering. A handle whose epoch no longer matches the slot is FENCED:
+// its process was declared dead and superseded, and it must not touch the
+// lock state again.
+//
+// Environment notes: the per-pid ring slots live in the region because
+// SETTERS (other processes) write them; each attaching process adopts
+// them into a private Process handle (tag counters continue across
+// incarnations - nvm/flag_ring.hpp explains why they must). Wait-policy
+// parking lots are per-process, so cross-process wakeups ride the always-
+// timed parks (platform/park.hpp): an ungranted waiter re-checks by
+// timeout. One OS process may drive several logical pids (the auditing
+// parent in the fork tests does).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nvm/flag_ring.hpp"
+#include "platform/platform.hpp"
+#include "platform/process.hpp"
+#include "shm/region.hpp"
+#include "util/assert.hpp"
+
+namespace rme::shm {
+
+class ShmWorld {
+ public:
+  // Shared-memory worlds are Real-platform by definition: the Counted
+  // platform's model/scheduler/crash hooks are process-private simulator
+  // state, meaningless across address spaces.
+  using P = platform::Real;
+  using Proc = platform::Process<P>;
+
+  // The claimed identity of one logical pid in THIS process: the slot
+  // epoch at claim time is the fence token.
+  struct Identity {
+    int pid = -1;
+    uint64_t epoch = 0;
+    bool restarted = false;  // a previous incarnation died holding the pid
+  };
+
+  platform::Real::Env env;  // env.arena is bound to the region
+
+  static ShmWorld create(const std::string& name, size_t bytes, int nprocs,
+                         int ring_slots = 128) {
+    RME_ASSERT(nprocs >= 1 && nprocs <= kMaxProcs,
+               "ShmWorld: nprocs out of range");
+    RME_ASSERT(ring_slots >= 2, "ShmWorld: ring_slots too small");
+    ShmWorld w(Region::create(name, bytes));
+    RegionHeader* hdr = w.region_.header();
+    hdr->nprocs = nprocs;
+    hdr->ring_slots = ring_slots;
+    // One flag ring per logical pid, slots in the region (the FlagRing
+    // handle is a throwaway: only the slot array persists; every process,
+    // the creator included, adopts it via proc()).
+    for (int pid = 0; pid < nprocs; ++pid) {
+      nvm::FlagRing<P> ring;
+      ring.attach(w.env, pid, static_cast<size_t>(ring_slots));
+      hdr->ring_off[pid] = w.env.arena.offset_of(ring.slots_data());
+    }
+    return w;
+  }
+
+  static ShmWorld attach(const std::string& name) {
+    return ShmWorld(Region::attach(name));
+  }
+
+  int nprocs() const { return region_.header()->nprocs; }
+  Region& region() { return region_; }
+  bool creator() const { return region_.creator(); }
+
+  // The per-process handle for a logical pid, bound to the pid's
+  // in-region ring. Lazily constructed; a process may hold several.
+  Proc& proc(int pid) {
+    check_pid(pid);
+    auto& slot = procs_[static_cast<size_t>(pid)];
+    if (!slot) {
+      RegionHeader* hdr = region_.header();
+      slot = std::make_unique<Proc>();
+      auto* slots = static_cast<typename nvm::FlagRing<P>::Slot*>(
+          env.arena.at(hdr->ring_off[pid]));
+      slot->attach_adopted(env, pid, slots,
+                           static_cast<size_t>(hdr->ring_slots));
+    }
+    return *slot;
+  }
+
+  // ------------------------------------------------------------------
+  // Root object: the lock state shared by every process.
+  // ------------------------------------------------------------------
+
+  // Construct the root in the region and PUBLISH the world (attachers
+  // block until publication). Creator only, once.
+  template <class T, class... Args>
+  T& create_root(Args&&... args) {
+    RME_ASSERT(region_.creator(), "create_root: attachers use root<T>()");
+    RegionHeader* hdr = region_.header();
+    RME_ASSERT(hdr->root_off.load(std::memory_order_relaxed) == 0,
+               "create_root: root already constructed");
+    void* mem = env.arena.allocate(sizeof(T), alignof(T));
+    T* t = ::new (mem) T(std::forward<Args>(args)...);
+    hdr->root_size = sizeof(T);
+    hdr->root_off.store(env.arena.offset_of(t), std::memory_order_release);
+    hdr->ready.store(1, std::memory_order_release);
+    return *t;
+  }
+
+  template <class T>
+  T& root() const {
+    const RegionHeader* hdr = region_.header();
+    const uint64_t off = hdr->root_off.load(std::memory_order_acquire);
+    RME_ASSERT(off != 0, "root: world has no root object");
+    RME_ASSERT(hdr->root_size == sizeof(T),
+               "root: type size mismatch (wrong T?)");
+    return *static_cast<T*>(env.arena.at(off));
+  }
+
+  // ------------------------------------------------------------------
+  // Pid registry: claim / takeover / epoch fence. See shm/region.hpp for
+  // the slot protocol.
+  // ------------------------------------------------------------------
+
+  // Claim logical pid `pid` for this OS process. Fresh slot: plain FAS
+  // claim. Dead owner: verified takeover, `restarted = true` - the caller
+  // MUST replay recovery before re-entering (SessionLease automates
+  // this). Live owner: throws ShmError (the claim changed nothing).
+  Identity claim(int pid) {
+    check_pid(pid);
+    PidSlot& s = slot(pid);
+    const int64_t me = static_cast<int64_t>(::getpid());
+    const uint32_t prev = s.state.exchange(PidSlot::kClaimed,
+                                           std::memory_order_acq_rel);  // FAS
+    if (prev == PidSlot::kFree) {
+      // Exclusive: we flipped free->claimed. Epoch writes are single-
+      // writer under slot ownership (reads+writes only, no RMW needed).
+      s.os_pid.store(me, std::memory_order_relaxed);
+      const uint64_t e = s.epoch.load(std::memory_order_relaxed) + 1;
+      s.epoch.store(e, std::memory_order_release);
+      return Identity{pid, e, /*restarted=*/false};
+    }
+    // Slot already claimed: live owner -> busy; dead owner -> takeover.
+    const int64_t owner = s.os_pid.load(std::memory_order_acquire);
+    if (owner == me) {
+      throw ShmError("pid slot " + std::to_string(pid) +
+                     " already claimed by this process");
+    }
+    if (owner == 0) {
+      // A claim or release is IN FLIGHT (the owner record and the state
+      // word are two writes): a fresh claimer between its state FAS and
+      // its os_pid store, or a releaser between clearing os_pid and
+      // freeing the state. Treating "no recorded owner" as dead would
+      // race a takeover against that live process - two owners of one
+      // identity. Busy instead; the window is two instructions wide, so
+      // retrying resolves it. (A process that CRASHES inside that window
+      // leaves the slot stuck busy - a capacity decay documented in
+      // docs/recovery.md, repaired by recreating the region, never a
+      // duplication.)
+      throw ShmError("pid slot " + std::to_string(pid) +
+                     " claim/release in flight; retry");
+    }
+    if (os_pid_alive(owner)) {
+      throw ShmError("pid slot " + std::to_string(pid) +
+                     " held by live process " + std::to_string(owner));
+    }
+    // Serialise rival takeovers through the takeover FAS guard.
+    if (s.takeover.exchange(1, std::memory_order_acq_rel) != 0) {
+      throw ShmError("pid slot " + std::to_string(pid) +
+                     " takeover already in progress");
+    }
+    // Re-verify under the guard: a rival may have completed a takeover
+    // between our liveness probe and the guard claim.
+    const int64_t owner2 = s.os_pid.load(std::memory_order_acquire);
+    if (owner2 != owner || os_pid_alive(owner2)) {
+      s.takeover.store(0, std::memory_order_release);
+      throw ShmError("pid slot " + std::to_string(pid) +
+                     " owner changed during takeover");
+    }
+    s.os_pid.store(me, std::memory_order_relaxed);
+    const uint64_t e = s.epoch.load(std::memory_order_relaxed) + 1;
+    s.epoch.store(e, std::memory_order_release);  // the fence: staler
+                                                  // epochs are dead
+    s.takeover.store(0, std::memory_order_release);
+    return Identity{pid, e, /*restarted=*/true};
+  }
+
+  // Clean detach. A fenced identity (slot taken over because we were
+  // presumed dead) must NOT free the slot - its current owner is someone
+  // else; release() is then a no-op.
+  void release(const Identity& id) {
+    if (id.pid < 0) return;
+    PidSlot& s = slot(id.pid);
+    if (fenced(id)) return;
+    s.os_pid.store(0, std::memory_order_relaxed);
+    s.state.store(PidSlot::kFree, std::memory_order_release);
+  }
+
+  // True when `id`'s incarnation has been superseded: some other process
+  // took the slot over after declaring ours dead. A fenced process must
+  // stop touching the lock state (its leases may already be replayed).
+  // An invalid identity (default-constructed, moved-from) is fenced by
+  // definition: it never named a live incarnation.
+  bool fenced(const Identity& id) const {
+    if (id.pid < 0 || id.pid >= region_.header()->nprocs) return true;
+    return slot(id.pid).epoch.load(std::memory_order_acquire) != id.epoch;
+  }
+
+  uint64_t slot_epoch(int pid) const {
+    check_pid(pid);
+    return slot(pid).epoch.load(std::memory_order_acquire);
+  }
+  int64_t slot_owner(int pid) const {
+    check_pid(pid);
+    return slot(pid).os_pid.load(std::memory_order_acquire);
+  }
+  bool slot_claimed(int pid) const {
+    check_pid(pid);
+    return slot(pid).state.load(std::memory_order_acquire) ==
+           PidSlot::kClaimed;
+  }
+
+ private:
+  explicit ShmWorld(Region r) : region_(std::move(r)) {
+    RegionHeader* hdr = region_.header();
+    env.arena.cursor = &hdr->cursor;
+    env.arena.base = region_.base();
+    env.arena.limit = region_.bytes();
+    procs_.resize(kMaxProcs);
+  }
+
+  PidSlot& slot(int pid) const { return region_.header()->slots[pid]; }
+  void check_pid(int pid) const {
+    RME_ASSERT(pid >= 0 && pid < region_.header()->nprocs,
+               "ShmWorld: bad pid");
+  }
+
+  Region region_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+};
+
+}  // namespace rme::shm

@@ -27,15 +27,15 @@
 
 namespace rme::svc {
 
-// The decision interface. admit() runs before the lock is touched;
-// on_acquired feeds back the observed WALL-CLOCK cost (nanoseconds from
-// verb entry to acquisition) of each successful acquisition; on_shed is
-// called for every rejection. Wall time rather than the session's
-// wait_cycles iteration count on purpose: under yielding/parking
-// policies a collapsing queue does not add ITERATIONS (each yield or
-// park just takes longer), so the iteration count is blind to exactly
-// the condition admission exists to catch. The gated path pays two
-// steady_clock reads per verb; ungated sessions pay nothing.
+/// The decision interface. admit() runs before the lock is touched;
+/// on_acquired feeds back the observed WALL-CLOCK cost (nanoseconds from
+/// verb entry to acquisition) of each successful acquisition; on_shed is
+/// called for every rejection. Wall time rather than the session's
+/// wait_cycles iteration count on purpose: under yielding/parking
+/// policies a collapsing queue does not add ITERATIONS (each yield or
+/// park just takes longer), so the iteration count is blind to exactly
+/// the condition admission exists to catch. The gated path pays two
+/// steady_clock reads per verb; ungated sessions pay nothing.
 class Admission {
  public:
   virtual ~Admission() = default;
@@ -46,23 +46,23 @@ class Admission {
   virtual const char* name() const = 0;
 };
 
-// Default estimator: two-timescale EWMA over per-acquire wait time.
-//
-//   fast  - tracks the wait cost of the last few acquisitions
-//   slow  - the SUSTAINABLE baseline: adapts quickly downward (an
-//           improvement is believed immediately) but only glacially
-//           upward (sustained degradation must not be normalised into
-//           the baseline - that is exactly the queueing-collapse signal
-//           a symmetric EWMA would absorb within its own timescale)
-//
-// Overload is declared while fast > trend_factor * slow + floor_ns: the
-// current cost has detached from the sustainable baseline by more than a
-// multiplicative trend (the additive floor keeps an idle lock's
-// near-zero baseline from making the first contended burst look like
-// collapse - waits under floor_ns never shed). While shedding, every
-// `probe_every`-th arrival is admitted anyway: shed arrivals produce no
-// samples, so without probes the fast estimate could never observe
-// recovery and the gate would latch shut.
+/// Default estimator: two-timescale EWMA over per-acquire wait time.
+///
+///   fast  - tracks the wait cost of the last few acquisitions
+///   slow  - the SUSTAINABLE baseline: adapts quickly downward (an
+///           improvement is believed immediately) but only glacially
+///           upward (sustained degradation must not be normalised into
+///           the baseline - that is exactly the queueing-collapse signal
+///           a symmetric EWMA would absorb within its own timescale)
+///
+/// Overload is declared while fast > trend_factor * slow + floor_ns: the
+/// current cost has detached from the sustainable baseline by more than a
+/// multiplicative trend (the additive floor keeps an idle lock's
+/// near-zero baseline from making the first contended burst look like
+/// collapse - waits under floor_ns never shed). While shedding, every
+/// `probe_every`-th arrival is admitted anyway: shed arrivals produce no
+/// samples, so without probes the fast estimate could never observe
+/// recovery and the gate would latch shut.
 class WaitTrendAdmission final : public Admission {
  public:
   static constexpr const char* kName = "wait_trend";

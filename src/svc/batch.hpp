@@ -42,6 +42,14 @@
 
 namespace rme::svc {
 
+/// RAII hold over ALL shards guarding a key set, acquired atomically via
+/// sorted two-phase locking (deadlock-free by construction) with the
+/// target-shard set persisted before the first port lease - so a crash
+/// anywhere is replayed by the recovery protocol, leaking and duplicating
+/// nothing. Minted by Session::acquire_batch/_for/_until (admission-gated,
+/// deadline variants with sorted prefix backout) or constructed directly
+/// for the plain blocking form. Crash-consistent unwinding like every
+/// guard in the library.
 template <class L>
 class BatchGuard {
   static_assert(api::BatchKeyedLock<L>,

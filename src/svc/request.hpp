@@ -45,6 +45,7 @@
 
 namespace rme::svc {
 
+/// Lifecycle of an AcquireRequest (see the state table in docs/svc.md).
 enum class RequestState : uint8_t {
   kPending,    // submitted, not yet acquired
   kReady,      // acquired; guard parked inside the request
@@ -52,6 +53,7 @@ enum class RequestState : uint8_t {
   kCancelled,  // cancelled while pending (terminal)
 };
 
+/// Stable display name of a RequestState (logs, test output).
 constexpr const char* to_string(RequestState s) {
   switch (s) {
     case RequestState::kPending: return "pending";
@@ -120,6 +122,13 @@ class Slot {
 
 }  // namespace detail
 
+/// Move-only asynchronous acquisition handle minted by Session::submit().
+/// The caller drives completion (poll / wait / wait_until / wait_for),
+/// may cancel() while pending, and attaches at most one on_complete
+/// callback (fires exactly once, inline at the completing call). Shares
+/// the session core, so it outlives the Session that minted it; a request
+/// destroyed while ready releases its guard, one destroyed while pending
+/// evaporates. Single-caller by contract, like the session.
 template <class L>
 class AcquireRequest {
  public:

@@ -16,6 +16,7 @@
 
 namespace rme::svc {
 
+/// Why an acquisition verb did not produce a guard.
 enum class Errc : uint8_t {
   kWouldBlock = 1,  // single bounded attempt failed; retry is reasonable
   kTimeout,         // deadline passed before the lock was acquired
@@ -23,6 +24,7 @@ enum class Errc : uint8_t {
   kCancelled,       // the AcquireRequest was cancelled before completion
 };
 
+/// Stable display name of an Errc (logs, test output).
 constexpr const char* to_string(Errc e) {
   switch (e) {
     case Errc::kWouldBlock: return "would-block";
@@ -33,15 +35,15 @@ constexpr const char* to_string(Errc e) {
   return "?";
 }
 
-// Either a value (a minted guard) or an Errc. Move-only values are fine;
-// accessing the wrong arm asserts.
-//
-// Storage is a manual union rather than std::optional on purpose: the
-// guards this carries have noexcept(false) destructors (release() is a
-// crash point under the Counted simulator - sim::ProcessCrashed must
-// propagate, see api/guard.hpp), and std::optional's noexcept destructor
-// would turn that crash step into std::terminate. ~Expected inherits T's
-// destructor noexcept-ness instead.
+/// Either a value (a minted guard) or an Errc. Move-only values are fine;
+/// accessing the wrong arm asserts.
+///
+/// Storage is a manual union rather than std::optional on purpose: the
+/// guards this carries have noexcept(false) destructors (release() is a
+/// crash point under the Counted simulator - sim::ProcessCrashed must
+/// propagate, see api/guard.hpp), and std::optional's noexcept destructor
+/// would turn that crash step into std::terminate. ~Expected inherits T's
+/// destructor noexcept-ness instead.
 template <class T>
 class Expected {
  public:

@@ -86,8 +86,8 @@ class AcquireRequest;  // svc/request.hpp
 template <class L>
 class BatchGuard;  // svc/batch.hpp
 
-// Per-session telemetry. Plain counters, written single-threaded (a
-// session serves one caller by construction).
+/// Per-session telemetry. Plain counters, written single-threaded (a
+/// session serves one caller by construction).
 struct SessionStats {
   uint64_t acquires = 0;            // successful acquisitions (incl. batches)
   uint64_t contended_acquires = 0;  // acquisitions that paused >= 1 time
@@ -199,12 +199,12 @@ struct SessionCore {
 
 }  // namespace detail
 
-// ---------------------------------------------------------------------------
-// Guard: the session-minted RAII hold. One type serves plain and keyed
-// entries (their release verbs have the same shape); keyed acquisitions
-// additionally remember the shard. Move-only, returned by value from the
-// session verbs - never constructed directly.
-// ---------------------------------------------------------------------------
+/// ---------------------------------------------------------------------------
+/// Guard: the session-minted RAII hold. One type serves plain and keyed
+/// entries (their release verbs have the same shape); keyed acquisitions
+/// additionally remember the shard. Move-only, returned by value from the
+/// session verbs - never constructed directly.
+/// ---------------------------------------------------------------------------
 template <class L>
 class Guard {
  public:
@@ -283,9 +283,9 @@ class Guard {
   bool held_ = true;
 };
 
-// ---------------------------------------------------------------------------
-// Session
-// ---------------------------------------------------------------------------
+/// ---------------------------------------------------------------------------
+/// Session
+/// ---------------------------------------------------------------------------
 template <class L>
 class Session {
  public:
@@ -507,8 +507,8 @@ class Session {
   platform::WaitPolicy* prev_policy_;
 };
 
-// Internal hook for svc components that mint guards (svc/batch.hpp,
-// svc/request.hpp).
+/// Internal hook for svc components that mint guards (svc/batch.hpp,
+/// svc/request.hpp).
 struct SessionAccess {
   template <class L>
   static std::shared_ptr<detail::SessionCore<L>> core(Session<L>& s) {
@@ -516,12 +516,12 @@ struct SessionAccess {
   }
 };
 
-// Open one session per pid 0..n-1 against `world` (anything exposing
-// proc(pid) -> Process&, e.g. harness::World). The canonical fleet
-// set-up of tests, benches and examples; `policy`, when given, is
-// shared by every session (by design - see platform/wait.hpp). Admission
-// objects are per-session state, so fleet admission is wired by the
-// caller (see bench/bench_svc.cpp for the pattern).
+/// Open one session per pid 0..n-1 against `world` (anything exposing
+/// proc(pid) -> Process&, e.g. harness::World). The canonical fleet
+/// set-up of tests, benches and examples; `policy`, when given, is
+/// shared by every session (by design - see platform/wait.hpp). Admission
+/// objects are per-session state, so fleet admission is wired by the
+/// caller (see bench/bench_svc.cpp for the pattern).
 template <class L, class WorldT>
 std::vector<std::unique_ptr<Session<L>>> open_sessions(
     L& lock, WorldT& world, int n,

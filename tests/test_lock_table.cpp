@@ -198,6 +198,58 @@ TEST(LockTable, DsmModelCompletesUnderChurn) {
   EXPECT_EQ(fix->table().total_acquisitions(), 6u * kPids);
 }
 
+// ---------------------------------------------------------------------------
+// REGRESSION PIN for the documented try-path window (ROADMAP "true
+// bounded try"; docs/recovery.md "the try-path window"): try_lock is a
+// lease-claim plus a pool-occupancy probe, and a rival whose port is out
+// of the pool ANYWHERE in its passage makes the probe refuse - even when
+// the rival has not yet enqueued (so the shard's queue is empty and an
+// attempt that committed would have succeeded immediately), and
+// symmetric races can refuse BOTH probers spuriously. These tests pin
+// that behaviour: a future wait-free fast path (FAS-only abandonable Try
+// or a CAS-armed trait-gated path) must flip these expectations
+// consciously, with this baseline as the before-picture.
+// ---------------------------------------------------------------------------
+TEST(LockTable, TryPathWindowPinnedRivalClaimRefusesProbe) {
+  harness::RealWorld w(2);
+  TableR table(w.env, 1, 2, 2);  // one shard: every key collides
+  auto& h0 = w.proc(0);
+  auto& h1 = w.proc(1);
+
+  // A rival (pid 1) claims a port but never enqueues - the state inside
+  // the probe-to-enqueue window. The shard's lock is perfectly free, yet
+  // pid 0's bounded attempt must refuse (it cannot distinguish this
+  // transient claim from a committed passage without joining the queue).
+  const int rival_port = table.shard_lease(0).try_claim(h1.ctx, 1);
+  ASSERT_NE(rival_port, core::kNoLease);
+  EXPECT_EQ(table.try_lock(h0, 0, /*key=*/7), TableR::kNoShard);
+  // The refused attempt left no residue: intent cleared, claim returned.
+  EXPECT_EQ(table.current_shard(h0.ctx, 0), TableR::kNoShard);
+  EXPECT_EQ(table.shard_lease(0).held(h0.ctx, 0), core::kNoLease);
+
+  // The rival backs out; the very same attempt now succeeds - the refusal
+  // above was the window, not a capacity limit.
+  table.shard_lease(0).release(h1.ctx, 1);
+  EXPECT_EQ(table.try_lock(h0, 0, 7), 0);
+  table.unlock(h0, 0);
+}
+
+TEST(LockTable, TryPathWindowPinnedBlockingLockStillWaitsOnePassage) {
+  // The blocking counterpart of the window: once a rival is COMMITTED
+  // (lease + queue), a bounded attempt refuses, and lock() waits exactly
+  // one passage - the "may wait one passage" cost the wait-free fix will
+  // remove from try_lock.
+  harness::RealWorld w(2);
+  TableR table(w.env, 1, 2, 2);
+  auto& h0 = w.proc(0);
+  auto& h1 = w.proc(1);
+  ASSERT_EQ(table.lock(h1, 1, 7), 0);        // rival holds the shard
+  EXPECT_EQ(table.try_lock(h0, 0, 7), TableR::kNoShard);
+  table.unlock(h1, 1);                        // one passage completes
+  EXPECT_EQ(table.try_lock(h0, 0, 7), 0);     // now bounded entry succeeds
+  table.unlock(h0, 0);
+}
+
 // Real threads across shards: the facade-of-many-locks in its production
 // configuration (hardware concurrency, no instrumentation).
 TEST(LockTable, RealThreadsManyShards) {

@@ -1,0 +1,284 @@
+// The cross-process kill matrix: fork+exec REAL worker processes
+// (tools/shm_worker.cpp) against one shm region, SIGKILL them at chosen
+// stages (at-entry, inside the CS, after release, holding a multi-key
+// batch), restart them, and audit that epoch-fenced recovery leaves
+// mutual exclusion, CSR and the lease pools intact. This is the
+// acceptance test of the cross-process service boundary: the processes
+// share NOTHING but the region - separate address spaces, separate
+// incarnations, genuine whole-process death.
+//
+// Choreography: the worker announces stages on the in-region StageBoard
+// and freezes at the kill point; the parent awaits the stage, kills,
+// restarts (role recover-run: verified slot takeover + recovery replay
+// with an in-CS CsProbe audit - the CSR witness), and finally audits the
+// region: zero probe collisions (ME), zero leaked leases, cleared
+// intents, and the slot epoch counting one bump per incarnation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.hpp"
+#include "harness/fork_scenario.hpp"
+#include "shm/shm.hpp"
+#include "svc/svc.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using rme::harness::CsProbe;
+using rme::harness::ForkScenario;
+using rme::harness::ShmKillFixture;
+using rme::harness::Stage;
+using rme::platform::Real;
+using rme::shm::ShmWorld;
+using Table = rme::api::TableLock<Real>;
+using Fixture = ShmKillFixture<Table>;
+using Lease = rme::shm::SessionLease<Table>;
+
+#ifndef RME_SHM_WORKER_PATH
+#define RME_SHM_WORKER_PATH ""
+#endif
+
+constexpr int kShards = 4;
+constexpr int kPortsPerShard = 2;
+constexpr int kNpids = 8;
+// Logical pids: workers use 0..3, the parent's own sessions 6..7.
+constexpr int kWorkerPid = 0;
+constexpr int kParentPid = 6;
+constexpr int kObserverPid = 7;  // never claimed: observer ctx only
+
+std::string unique_name(const char* tag) {
+  static std::atomic<int> counter{0};
+  return std::string("/rme_f_") + tag + "_" + std::to_string(::getpid()) +
+         "_" + std::to_string(counter.fetch_add(1));
+}
+
+std::string worker_path() { return RME_SHM_WORKER_PATH; }
+
+struct MatrixWorld {
+  ShmWorld world;
+  Fixture& fx;
+
+  explicit MatrixWorld(const std::string& name)
+      : world(ShmWorld::create(name, 32 << 20, kNpids)),
+        fx(world.create_root<Fixture>(world.env, kShards, kPortsPerShard,
+                                      kNpids)) {}
+
+  // Post-run audit: every lease back in its pool, every intent cleared,
+  // no ME violation witnessed anywhere.
+  void audit_clean() {
+    auto& ctx = world.proc(kObserverPid).ctx;
+    auto& t = fx.table.underlying();
+    for (int s = 0; s < t.shards(); ++s) {
+      EXPECT_EQ(t.shard_lease(s).free_ports(ctx), kPortsPerShard)
+          << "leaked lease in shard " << s;
+      EXPECT_EQ(fx.probes[s].collisions.load(), 0u)
+          << "ME violation witnessed in shard " << s;
+      EXPECT_EQ(fx.probes[s].owner.load(), 0u)
+          << "probe owner leaked in shard " << s;
+    }
+    for (int pid = 0; pid < kNpids; ++pid) {
+      EXPECT_EQ(t.current_shard(ctx, pid),
+                rme::core::RecoverableLockTable<Real>::kNoShard);
+      EXPECT_EQ(t.current_batch(ctx, pid), 0u);
+    }
+  }
+};
+
+class ShmForkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (worker_path().empty()) {
+      GTEST_SKIP() << "shm_worker binary path not configured";
+    }
+  }
+};
+
+// Two key values mapping to two DIFFERENT shards (for batch cases).
+std::pair<uint64_t, uint64_t> two_shard_keys(const Fixture& fx) {
+  const uint64_t k1 = 11;
+  const int s1 = fx.table.shard_for_key(k1);
+  for (uint64_t k2 = 12; k2 < 200; ++k2) {
+    if (fx.table.shard_for_key(k2) != s1) return {k1, k2};
+  }
+  ADD_FAILURE() << "no second shard found";
+  return {k1, k1};
+}
+
+TEST_F(ShmForkTest, TwoProcessesContendOnOneShmLock) {
+  MatrixWorld m(unique_name("contend"));
+  ForkScenario fs;
+  const std::string key = "33";
+  const int c1 = fs.spawn(worker_path(),
+                          {m.world.region().name(), "0", "run", "50", key});
+  const int c2 = fs.spawn(worker_path(),
+                          {m.world.region().name(), "1", "run", "50", key});
+  EXPECT_TRUE(fs.exited_clean(c1));
+  EXPECT_TRUE(fs.exited_clean(c2));
+  const int shard = m.fx.table.shard_for_key(33);
+  EXPECT_EQ(m.fx.probes[shard].entries.load(), 100u);
+  EXPECT_EQ(m.fx.probes[shard].collisions.load(), 0u);
+  EXPECT_GE(m.fx.table.underlying().total_acquisitions(), 100u);
+  m.audit_clean();
+}
+
+TEST_F(ShmForkTest, KillAtEntryThenEpochFencedRestart) {
+  MatrixWorld m(unique_name("entry"));
+  ForkScenario fs;
+  const int c = fs.spawn(worker_path(), {m.world.region().name(), "0",
+                                         "freeze-claimed"});
+  ASSERT_TRUE(m.fx.board.await(kWorkerPid, Stage::kClaimed));
+  EXPECT_EQ(m.world.slot_epoch(kWorkerPid), 1u);
+  fs.kill_child(c);
+  EXPECT_TRUE(fs.died_by(c, SIGKILL));
+  EXPECT_TRUE(m.world.slot_claimed(kWorkerPid));  // the corpse's slot
+
+  const int r = fs.spawn(worker_path(), {m.world.region().name(), "0",
+                                         "recover-run", "3", "33"});
+  ASSERT_TRUE(m.fx.board.await(kWorkerPid, Stage::kDone));
+  EXPECT_TRUE(fs.exited_clean(r));  // exit 5 would mean "not a takeover"
+  EXPECT_EQ(m.world.slot_epoch(kWorkerPid), 2u);  // one bump per incarnation
+  EXPECT_FALSE(m.world.slot_claimed(kWorkerPid));  // clean detach
+  m.audit_clean();
+}
+
+TEST_F(ShmForkTest, KillInsideCsRecoversWithMeAndCsrIntact) {
+  MatrixWorld m(unique_name("cs"));
+  ForkScenario fs;
+  const uint64_t key = 33;
+  const int shard = m.fx.table.shard_for_key(key);
+  const int c = fs.spawn(worker_path(), {m.world.region().name(), "0",
+                                         "freeze-cs", std::to_string(key)});
+  ASSERT_TRUE(m.fx.board.await(kWorkerPid, Stage::kInCs));
+  fs.kill_child(c);
+  EXPECT_TRUE(fs.died_by(c, SIGKILL));
+  // The corpse owns the CS: its lease is persisted, the probe claims it.
+  auto& ctx = m.world.proc(kObserverPid).ctx;
+  EXPECT_NE(m.fx.table.underlying().shard_lease(shard).held(ctx, kWorkerPid),
+            rme::core::kNoLease);
+  EXPECT_EQ(m.fx.probes[shard].owner.load(), 1u);  // probe id = pid + 1
+
+  // A rival (this process) queueing on the same key must BLOCK until the
+  // dead holder's recovery releases the shard - mutual exclusion holds
+  // across the crash.
+  std::atomic<bool> rival_done{false};
+  std::thread rival([&] {
+    Lease lease(m.world, m.fx.table, kParentPid);
+    auto g = lease->acquire(key).value();
+    m.fx.probes[g.shard()].enter(kParentPid + 1);
+    m.fx.probes[g.shard()].exit(kParentPid + 1);
+    g.release();
+    rival_done.store(true);
+  });
+  std::this_thread::sleep_for(300ms);
+  EXPECT_FALSE(rival_done.load()) << "rival entered a dead process's CS";
+
+  // Restart: verified takeover, recovery replays INSIDE the re-entered
+  // CS (the worker's visitor asserts the probe still belongs to the dead
+  // incarnation - the CSR witness - and exit code 4 reports a violation).
+  const int r = fs.spawn(worker_path(), {m.world.region().name(), "0",
+                                         "recover-run", "5",
+                                         std::to_string(key)});
+  ASSERT_TRUE(m.fx.board.await(kWorkerPid, Stage::kDone));
+  EXPECT_TRUE(fs.exited_clean(r));
+  rival.join();
+  EXPECT_TRUE(rival_done.load());
+  EXPECT_EQ(m.world.slot_epoch(kWorkerPid), 2u);
+  // Entries: 1 (killed incarnation) + 5 (recovered runs) + 1 (rival).
+  EXPECT_EQ(m.fx.probes[shard].entries.load(), 7u);
+  m.audit_clean();
+}
+
+TEST_F(ShmForkTest, KillAfterReleaseQuiescesOnRestart) {
+  MatrixWorld m(unique_name("exit"));
+  ForkScenario fs;
+  const uint64_t key = 33;
+  const int shard = m.fx.table.shard_for_key(key);
+  const int c =
+      fs.spawn(worker_path(), {m.world.region().name(), "0",
+                               "freeze-released", std::to_string(key)});
+  ASSERT_TRUE(m.fx.board.await(kWorkerPid, Stage::kReleased));
+  // Lock already free; only the pid slot is still claimed.
+  auto& ctx = m.world.proc(kObserverPid).ctx;
+  EXPECT_EQ(m.fx.table.underlying().shard_lease(shard).free_ports(ctx),
+            kPortsPerShard);
+  fs.kill_child(c);
+  EXPECT_TRUE(fs.died_by(c, SIGKILL));
+
+  const int r = fs.spawn(worker_path(), {m.world.region().name(), "0",
+                                         "recover-run", "2",
+                                         std::to_string(key)});
+  ASSERT_TRUE(m.fx.board.await(kWorkerPid, Stage::kDone));
+  EXPECT_TRUE(fs.exited_clean(r));
+  EXPECT_EQ(m.world.slot_epoch(kWorkerPid), 2u);
+  EXPECT_EQ(m.fx.probes[shard].entries.load(), 3u);  // 1 clean + 2 recovered
+  m.audit_clean();
+}
+
+TEST_F(ShmForkTest, KillHoldingBatchReplaysIntentMask) {
+  MatrixWorld m(unique_name("batch"));
+  ForkScenario fs;
+  const auto [k1, k2] = two_shard_keys(m.fx);
+  const int s1 = m.fx.table.shard_for_key(k1);
+  const int s2 = m.fx.table.shard_for_key(k2);
+  const int c = fs.spawn(worker_path(),
+                         {m.world.region().name(), "0", "freeze-batch",
+                          std::to_string(k1), std::to_string(k2)});
+  ASSERT_TRUE(m.fx.board.await(kWorkerPid, Stage::kBatchHeld));
+  // The persisted intent mask names both shards; both leases are out.
+  auto& ctx = m.world.proc(kObserverPid).ctx;
+  const uint64_t mask =
+      m.fx.table.underlying().current_batch(ctx, kWorkerPid);
+  EXPECT_NE(mask & (uint64_t{1} << s1), 0u);
+  EXPECT_NE(mask & (uint64_t{1} << s2), 0u);
+  fs.kill_child(c);
+  EXPECT_TRUE(fs.died_by(c, SIGKILL));
+
+  // Restart replays the WHOLE batch from the mask (both shards re-entered
+  // and exited, probes audited in-CS), then runs clean batch passages.
+  const int r = fs.spawn(worker_path(),
+                         {m.world.region().name(), "0", "recover-run", "3",
+                          std::to_string(k1), std::to_string(k2)});
+  ASSERT_TRUE(m.fx.board.await(kWorkerPid, Stage::kDone));
+  EXPECT_TRUE(fs.exited_clean(r));
+  EXPECT_EQ(m.world.slot_epoch(kWorkerPid), 2u);
+  m.audit_clean();
+}
+
+TEST_F(ShmForkTest, RestartStormManyIncarnations) {
+  // Several kill/restart cycles on one identity while a second process
+  // runs clean traffic: epochs count every incarnation, audits stay
+  // clean throughout.
+  MatrixWorld m(unique_name("storm"));
+  ForkScenario fs;
+  const uint64_t key = 33;
+  const int load = fs.spawn(worker_path(), {m.world.region().name(), "1",
+                                            "run", "200", "34"});
+  uint64_t expected_epoch = 0;
+  for (int round = 0; round < 3; ++round) {
+    const int c =
+        fs.spawn(worker_path(), {m.world.region().name(), "0", "freeze-cs",
+                                 std::to_string(key)});
+    ASSERT_TRUE(m.fx.board.await(kWorkerPid, Stage::kInCs));
+    fs.kill_child(c);
+    EXPECT_TRUE(fs.died_by(c, SIGKILL));
+    ++expected_epoch;
+    const int r = fs.spawn(worker_path(), {m.world.region().name(), "0",
+                                           "recover-run", "2",
+                                           std::to_string(key)});
+    ASSERT_TRUE(m.fx.board.await(kWorkerPid, Stage::kDone));
+    EXPECT_TRUE(fs.exited_clean(r));
+    ++expected_epoch;
+    EXPECT_EQ(m.world.slot_epoch(kWorkerPid), expected_epoch);
+    // The board cell is reused across rounds: reset the stage marker.
+    m.fx.board.announce(kWorkerPid, Stage::kIdle);
+  }
+  EXPECT_TRUE(fs.exited_clean(load));
+  m.audit_clean();
+}
+
+}  // namespace

@@ -29,6 +29,9 @@ REQUIRED_KEYS = {
     "svc_latency": ["lock", "policy", "admission", "p50_ns", "p99_ns"],
     "svc_overload": ["lock", "policy", "admission", "p50_ns", "p99_ns",
                      "shed_rate"],
+    # Cross-process arm vs single-process baseline (bench_shm): `world`
+    # distinguishes them (shm = two OS processes on one region).
+    "shm_contention": ["lock", "world", "procs", "p50_ns", "p99_ns"],
 }
 
 

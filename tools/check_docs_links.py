@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Check the docs tree: every internal link in docs/*.md (and README.md)
+must resolve, and README.md must link every docs page.
+
+Checked link shapes (markdown inline links only):
+
+  [text](docs/svc.md)           relative file links - target must exist
+  [text](architecture.md#layer) anchors are checked against the target's
+                                headings (GitHub-style slugs)
+  [text](https://...)           external links are NOT fetched (CI must
+                                not depend on the network); skipped
+
+Usage: check_docs_links.py [repo_root]
+Exits non-zero listing every unresolved link, and when README.md fails
+to link any docs/*.md page.
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def slugify(heading):
+    """GitHub-style anchor slug."""
+    s = heading.strip().lower()
+    s = re.sub(r"[`*_~]", "", s)
+    s = re.sub(r"[^\w\- ]", "", s)
+    return s.replace(" ", "-")
+
+
+def strip_code_fences(text):
+    """Drop fenced code blocks: '#' lines inside them are not headings,
+    and bracket-paren syntax in code samples is not a markdown link."""
+    out, fenced = [], False
+    for line in text.split("\n"):
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if not fenced:
+            out.append(line)
+    return "\n".join(out)
+
+
+def headings_of(path):
+    slugs = set()
+    with open(path, encoding="utf-8") as f:
+        for line in strip_code_fences(f.read()).split("\n"):
+            if line.startswith("#"):
+                slugs.add(slugify(line.lstrip("#")))
+    return slugs
+
+
+def check_file(root, md):
+    errors = []
+    base = os.path.dirname(md)
+    with open(md, encoding="utf-8") as f:
+        text = strip_code_fences(f.read())
+    for m in LINK_RE.finditer(text):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):  # same-file anchor
+            if slugify(target[1:]) not in headings_of(md):
+                errors.append(f"{md}: dead anchor {target}")
+            continue
+        path_part, _, anchor = target.partition("#")
+        resolved = os.path.normpath(os.path.join(base, path_part))
+        if not os.path.exists(os.path.join(root, resolved)) and \
+           not os.path.exists(resolved):
+            errors.append(f"{md}: broken link {target}")
+            continue
+        if anchor:
+            tgt = resolved if os.path.exists(resolved) else \
+                os.path.join(root, resolved)
+            if os.path.isfile(tgt) and tgt.endswith(".md"):
+                if slugify(anchor) not in headings_of(tgt):
+                    errors.append(f"{md}: dead anchor {target}")
+    return errors
+
+
+def main(argv):
+    root = argv[1] if len(argv) > 1 else "."
+    os.chdir(root)
+    errors = []
+    docs = sorted(
+        os.path.join("docs", f) for f in os.listdir("docs")
+        if f.endswith(".md"))
+    for md in ["README.md"] + docs:
+        errors.extend(check_file(".", md))
+    # README must link every docs page.
+    with open("README.md", encoding="utf-8") as f:
+        readme = f.read()
+    for md in docs:
+        if md not in readme:
+            errors.append(f"README.md: does not link {md}")
+    for e in errors:
+        print(f"ERROR: {e}", file=sys.stderr)
+    print(f"checked README.md + {len(docs)} docs page(s), "
+          f"{len(errors)} error(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,180 @@
+// shm_worker: the child-process side of the cross-process kill matrix.
+//
+// Spawned (fork+exec) by tests/test_shm_fork.cpp and driven through the
+// in-region StageBoard: the worker attaches the named region, claims its
+// logical pid, walks to the requested stage and FREEZES there, waiting to
+// be SIGKILL'd (the whole point) or released. The `recover-run` role is
+// the restart path: it takes over the dead incarnation's pid slot
+// (epoch-fenced), replays recovery with a visitor that audits the CsProbe
+// INSIDE the re-entered critical section (the CSR witness: our stale
+// probe claim must still be there - nobody else may have entered), then
+// runs clean contended passages.
+//
+// Usage: shm_worker <region> <pid> <role> [args...]
+//   roles:
+//     freeze-claimed                  claim pid + open session, freeze
+//     freeze-cs <key>                 acquire key, freeze inside the CS
+//     freeze-released <key>           full clean passage, freeze after
+//     freeze-batch <k1> <k2>          hold a 2-key batch, freeze
+//     recover-run <n> <k1> [k2]       take over a dead pid, replay
+//                                     recovery (+probe audit), run n
+//                                     clean passages (plus batches when
+//                                     two keys are given), announce done
+//     run <n> <key>                   n clean passages (contention load)
+//
+// Exit codes: 0 ok; 2 shm error (busy slot, bad region); 3 bad args;
+// 4 recovery audit failure (probe owner unexpectedly changed); 5 the
+// role expected a takeover but the claim was fresh.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "api/api.hpp"
+#include "harness/fork_scenario.hpp"
+#include "shm/shm.hpp"
+#include "svc/svc.hpp"
+
+namespace {
+
+using rme::harness::CsProbe;
+using rme::harness::ShmKillFixture;
+using rme::harness::Stage;
+using Table = rme::api::TableLock<rme::platform::Real>;
+using Fixture = ShmKillFixture<Table>;
+using Lease = rme::shm::SessionLease<Table>;
+
+uint64_t probe_id(int pid) { return static_cast<uint64_t>(pid) + 1; }
+
+// One audited clean passage: acquire, witness the CS, release.
+void passage(Lease& lease, Fixture& fx, int pid, uint64_t key) {
+  auto g = lease->acquire(key).value();
+  CsProbe& p = fx.probes[g.shard()];
+  p.enter(probe_id(pid));
+  p.exit(probe_id(pid));
+}
+
+// The two-key batch witness dance: claim both shards' probes (deduped
+// when the keys collide onto one shard), then clear them. enter() and
+// exit() run while the batch holds BOTH shards, so the probes see the
+// atomic hold.
+void batch_probes_enter(Fixture& fx, int pid, uint64_t k1, uint64_t k2) {
+  const int s1 = fx.table.shard_for_key(k1);
+  const int s2 = fx.table.shard_for_key(k2);
+  fx.probes[s1].enter(probe_id(pid));
+  if (s2 != s1) fx.probes[s2].enter(probe_id(pid));
+}
+void batch_probes_exit(Fixture& fx, int pid, uint64_t k1, uint64_t k2) {
+  const int s1 = fx.table.shard_for_key(k1);
+  const int s2 = fx.table.shard_for_key(k2);
+  fx.probes[s1].exit(probe_id(pid));
+  if (s2 != s1) fx.probes[s2].exit(probe_id(pid));
+}
+
+int run_role(const std::string& role, rme::shm::ShmWorld& world, Fixture& fx,
+             int pid, int argc, char** argv) {
+  if (role == "freeze-claimed") {
+    Lease lease(world, fx.table, pid);
+    fx.board.freeze_at(pid, Stage::kClaimed);
+    return 0;
+  }
+  if (role == "freeze-cs") {
+    if (argc < 1) return 3;
+    const uint64_t key = std::strtoull(argv[0], nullptr, 0);
+    Lease lease(world, fx.table, pid);
+    auto g = lease->acquire(key).value();
+    fx.probes[g.shard()].enter(probe_id(pid));
+    fx.board.freeze_at(pid, Stage::kInCs);  // SIGKILL lands here
+    // Released instead of killed: finish the passage cleanly.
+    fx.probes[g.shard()].exit(probe_id(pid));
+    return 0;
+  }
+  if (role == "freeze-released") {
+    if (argc < 1) return 3;
+    const uint64_t key = std::strtoull(argv[0], nullptr, 0);
+    Lease lease(world, fx.table, pid);
+    passage(lease, fx, pid, key);
+    fx.board.freeze_at(pid, Stage::kReleased);  // lock free, slot claimed
+    return 0;
+  }
+  if (role == "freeze-batch") {
+    if (argc < 2) return 3;
+    const uint64_t k1 = std::strtoull(argv[0], nullptr, 0);
+    const uint64_t k2 = std::strtoull(argv[1], nullptr, 0);
+    Lease lease(world, fx.table, pid);
+    auto b = lease->acquire_batch({k1, k2}).value();
+    batch_probes_enter(fx, pid, k1, k2);
+    fx.board.freeze_at(pid, Stage::kBatchHeld);  // SIGKILL lands here
+    batch_probes_exit(fx, pid, k1, k2);
+    return 0;
+  }
+  if (role == "recover-run") {
+    if (argc < 2) return 3;
+    const int n = std::atoi(argv[0]);
+    const uint64_t k1 = std::strtoull(argv[1], nullptr, 0);
+    const bool batch = argc >= 3;
+    const uint64_t k2 = batch ? std::strtoull(argv[2], nullptr, 0) : 0;
+    bool audit_failed = false;
+    // Recovery with an in-CS probe audit: the visitor runs INSIDE each
+    // re-entered critical section (lease-held shards only), where
+    // clearing our dead incarnation's probe claim is race-free. The claim
+    // still being OURS is the cross-process CSR witness: nobody else can
+    // have entered a CS our crash left owned. Anyone else's id there is
+    // an ME violation.
+    Lease lease(world, fx.table, pid, nullptr, nullptr,
+                [&](rme::svc::Session<Table>&) {
+                  fx.table.underlying().recover(
+                      world.proc(pid), pid,
+                      [&](Table::Proc&, int shard) {
+                        CsProbe& p = fx.probes[shard];
+                        const uint64_t prev = p.owner.exchange(
+                            0, std::memory_order_acq_rel);
+                        if (prev != probe_id(pid)) audit_failed = true;
+                      });
+                });
+    if (!lease.restarted()) return 5;  // the matrix expected a takeover
+    if (audit_failed) return 4;
+    fx.board.announce(pid, Stage::kRecovered);
+    for (int i = 0; i < n; ++i) {
+      passage(lease, fx, pid, k1);
+      if (batch) {
+        auto b = lease->acquire_batch({k1, k2}).value();
+        batch_probes_enter(fx, pid, k1, k2);
+        batch_probes_exit(fx, pid, k1, k2);
+      }
+    }
+    fx.board.announce(pid, Stage::kDone);
+    return 0;
+  }
+  if (role == "run") {
+    if (argc < 2) return 3;
+    const int n = std::atoi(argv[0]);
+    const uint64_t key = std::strtoull(argv[1], nullptr, 0);
+    Lease lease(world, fx.table, pid);
+    for (int i = 0; i < n; ++i) passage(lease, fx, pid, key);
+    fx.board.announce(pid, Stage::kDone);
+    return 0;
+  }
+  return 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: shm_worker <region> <pid> <role> [args...]\n");
+    return 3;
+  }
+  const std::string region = argv[1];
+  const int pid = std::atoi(argv[2]);
+  const std::string role = argv[3];
+  try {
+    auto world = rme::shm::ShmWorld::attach(region);
+    auto& fx = world.root<Fixture>();
+    return run_role(role, world, fx, pid, argc - 4, argv + 4);
+  } catch (const rme::shm::ShmError& e) {
+    std::fprintf(stderr, "shm_worker: %s\n", e.what());
+    return 2;
+  }
+}
