@@ -1,40 +1,67 @@
-// E13: cross-process contention - what does the shm boundary cost?
+// E13: cross-process contention - what does the shm boundary cost, and
+// what does the region-resident futex lot buy back?
 //
-// Two arms, identical workload shape (two actors hammering one hot key of
-// a 4-shard TableLock; the measured actor times every acquire):
+// Contention arms, identical workload shape (two actors hammering one
+// hot key of a 4-shard TableLock; the measured actor times every
+// acquire; every session runs a ParkPolicy so the handoff machinery is
+// actually engaged):
 //
-//   world=local  one process, two threads, heap-resident table - the
-//                single-process baseline every earlier bench used.
-//   world=shm    two PROCESSES (fork; the region mapping is inherited,
-//                which trivially satisfies the fixed-address contract):
-//                a region-resident table, the child claims its own pid
-//                slot and runs the rival load, the parent measures.
+//   world=local handoff=condvar  one process, two threads, heap table:
+//                                the single-process PARKED baseline -
+//                                releases hand off through the shared
+//                                process-local CondvarLot.
+//   world=shm   handoff=timed    two PROCESSES (fork; the inherited
+//                                mapping satisfies the fixed-address
+//                                contract) with the futex lot disabled
+//                                (set_futex_enabled(false), the
+//                                RME_NO_FUTEX fallback): parks land in
+//                                each process's PRIVATE condvar lot, so
+//                                no release ever reaches a cross-process
+//                                waiter - every parked wait sleeps out
+//                                its full timed nap.
+//   world=shm   handoff=futex    same two processes with the region lot:
+//                                a releaser wakes the exact successor's
+//                                in-region wait word with one
+//                                futex(FUTEX_WAKE), so cross-process
+//                                handoff costs a syscall, not a timeout.
 //
-// The interesting delta is the p99: the lock words are the same
-// algorithm either way, but cross-process rivals cannot share a parking
-// lot (wakeups ride the always-timed parks) and every miss costs a real
-// scheduler round trip instead of an intra-process handoff.
+// Every row also books the measured session's handoff_rmrs (waiters its
+// releases granted; the fair-handoff invariant handoff_rmrs <= releases
+// is asserted here) and the lot's mean waker->wakee wake latency
+// (futex lot only; 0 where untracked).
 //
-// BENCH_JSON rows: bench=shm_contention, lock=rme_keyed, world=local|shm,
-// procs, p50_ns/p99_ns (schema enforced by tools/check_bench_json.py).
+// The shm_handoff bench isolates that wake latency: a parent/child
+// park-wake ping over the raw region lot, choreographed (the parent
+// only wakes a CONFIRMED parked child), so the futex arm must complete
+// with ZERO timeout wakes - CI asserts exactly that.
+//
+// BENCH_JSON rows (schema enforced by tools/check_bench_json.py):
+//   bench=shm_contention lock=rme_keyed world=local|shm procs=2
+//     handoff=condvar|timed|futex p50_ns p99_ns samples handoff_rmrs
+//     releases wake_ns
+//   bench=shm_handoff handoff=futex procs=2 rounds grants timeouts
+//     wake_ns
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/adapters.hpp"
 #include "bench_util.hpp"
+#include "platform/wait.hpp"
 #include "shm/shm.hpp"
 #include "svc/svc.hpp"
 
 namespace {
 
 using namespace rme;
+using namespace std::chrono_literals;
 using Clock = std::chrono::steady_clock;
 using Table = api::TableLock<platform::Real>;
 
@@ -42,12 +69,44 @@ constexpr int kShards = 4;
 constexpr int kPortsPerShard = 2;
 constexpr int kNpids = 4;
 constexpr uint64_t kKey = 33;
+constexpr uint64_t kPingKey = 0x9e3779b9ull;  // raw-lot key (nonzero)
+
+// Critical-section dwell: both actors HOLD the lock for ~10us, long
+// enough that a queued rival escalates past its spin/yield budget and
+// parks before the release - otherwise the instant-release loop releases
+// faster than anyone can park and the handoff axis measures nothing.
+constexpr auto kCsDwell = std::chrono::microseconds(10);
+
+inline void dwell() {
+  const auto until = Clock::now() + kCsDwell;
+  while (Clock::now() < until) {
+  }
+}
 
 struct Lat {
   double p50_ns = 0;
   double p99_ns = 0;
   uint64_t samples = 0;
 };
+
+// One contention-arm measurement: latency percentiles plus the handoff
+// telemetry the arm exists to compare.
+struct Arm {
+  Lat lat;
+  uint64_t handoff_rmrs = 0;  // measured session: waiters its releases granted
+  uint64_t releases = 0;      // measured session: guard releases
+  double wake_ns = 0;         // lot mean waker->wakee latency (futex only)
+};
+
+// Bench park budgets: tiny spin/yield so a queued waiter actually PARKS
+// before the ~2us lock handoff reaches it (the default budgets yield
+// through the whole wait and the handoff axis would measure nothing).
+platform::ParkPolicy::Options bench_park_opts() {
+  platform::ParkPolicy::Options o;
+  o.spin_limit = 4;
+  o.yield_limit = 4;  // no yield stage: park right after the spin burst
+  return o;  // default 50..500us escalating naps
+}
 
 Lat summarise(std::vector<uint64_t>& ns) {
   Lat out;
@@ -68,6 +127,7 @@ std::vector<uint64_t> measured_load(SessionT& session, uint64_t iters) {
     const auto t0 = Clock::now();
     auto g = session.acquire(kKey).value();
     const auto t1 = Clock::now();
+    dwell();
     g.release();
     ns.push_back(static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
@@ -76,30 +136,48 @@ std::vector<uint64_t> measured_load(SessionT& session, uint64_t iters) {
   return ns;
 }
 
-Lat run_local(uint64_t iters) {
+// Single-process parked baseline: both threads share ONE ParkPolicy on
+// the process-local condvar lot, so a release's unpark_one reaches the
+// rival's parked waiter - the handoff the shm futex arm must stay
+// within 2x of.
+Arm run_local(uint64_t iters) {
   harness::RealWorld world(kNpids);
   Table table(world.env, kShards, kPortsPerShard, kNpids);
-  svc::Session<Table> rival(table, world.proc(1), 1);
-  svc::Session<Table> meas(table, world.proc(0), 0);
+  platform::ParkPolicy policy(bench_park_opts());  // shared: one key space
+  svc::Session<Table> rival(table, world.proc(1), 1, &policy);
+  svc::Session<Table> meas(table, world.proc(0), 0, &policy);
   std::atomic<bool> stop{false};
   std::thread t([&] {
     while (!stop.load(std::memory_order_relaxed)) {
       auto g = rival.acquire(kKey).value();
+      dwell();
       g.release();
     }
   });
   auto ns = measured_load(meas, iters);
   stop.store(true);
   t.join();
-  return summarise(ns);
+  Arm out;
+  out.lat = summarise(ns);
+  out.handoff_rmrs = meas.stats().handoff_rmrs;
+  out.releases = meas.stats().releases;
+  return out;  // condvar lot tracks no wake latency: wake_ns stays 0
 }
 
-Lat run_shm(uint64_t iters) {
-  const std::string name =
-      "/rme_bench_shm_" + std::to_string(::getpid());
+// Cross-process contention arm. `futex_on` selects the region futex lot
+// (the default) or the RME_NO_FUTEX fallback (process-private condvar
+// lots, always-timed parks). The flag is set BEFORE the fork so the
+// child inherits it.
+Arm run_shm(uint64_t iters, bool futex_on, const char* tag) {
+  const std::string name = std::string("/rme_bench_shm_") + tag + "_" +
+                           std::to_string(::getpid());
   auto world = shm::ShmWorld::create(name, 32 << 20, kNpids);
   Table& table = world.create_root<Table>(world.env, kShards,
                                           kPortsPerShard, kNpids);
+  world.set_futex_enabled(futex_on);
+  platform::ParkingLot* lot = world.park_lot();  // null on the timed arm
+  const uint64_t grants0 = lot != nullptr ? lot->grants() : 0;
+  const uint64_t wait0 = lot != nullptr ? lot->wake_wait_ns() : 0;
   // Rival process: inherits the mapping across fork (same base address,
   // contract satisfied), claims its own pid slot, hammers the key until
   // the parent is done, then dies WITHOUT cleanup (_exit: the region and
@@ -110,51 +188,201 @@ Lat run_shm(uint64_t iters) {
     // 2 = parent done measuring.
     auto id = world.claim(1);
     (void)id;
-    svc::Session<Table> rival(table, world.proc(1), 1);
+    platform::ParkPolicy policy(bench_park_opts());
+    svc::Session<Table> rival(table, world.proc(1), 1, &policy);
     while (world.region().header()->ready.load(std::memory_order_acquire) !=
            2) {
       auto g = rival.acquire(kKey).value();
+      dwell();
       g.release();
     }
     ::_exit(0);  // no destructors: the region belongs to the parent
   }
-  shm::SessionLease<Table> meas(world, table, 0);
+  platform::ParkPolicy policy(bench_park_opts());
+  shm::SessionLease<Table> meas(world, table, 0, &policy);
   auto ns = measured_load(meas.session(), iters);
   world.region().header()->ready.store(2, std::memory_order_release);
   int status = 0;
   ::waitpid(child, &status, 0);
-  return summarise(ns);
+  Arm out;
+  out.lat = summarise(ns);
+  out.handoff_rmrs = meas.session().stats().handoff_rmrs;
+  out.releases = meas.session().stats().releases;
+  if (lot != nullptr) {
+    // Arena counters aggregate BOTH processes: the scenario's mean
+    // waker->wakee latency, not just the parent's.
+    const uint64_t grants = lot->grants() - grants0;
+    if (grants > 0) {
+      out.wake_ns = static_cast<double>(lot->wake_wait_ns() - wait0) /
+                    static_cast<double>(grants);
+    }
+  }
+  return out;
 }
 
-void emit(const char* worldname, const Lat& l) {
+// ---------------------------------------------------------------------------
+// shm_handoff: the park-wake ping. The child parks on the raw region lot
+// (flat 2s timeout); the parent waits until the child is CONFIRMED
+// parked, wakes it with one unpark_one, and waits for the ack. The
+// choreography makes a timeout impossible unless a wake is lost - so
+// the futex arm's timeouts metric MUST be 0, and CI asserts it.
+// ---------------------------------------------------------------------------
+
+struct PingBoard {
+  std::atomic<uint64_t> acks;
+  std::atomic<uint32_t> stop;
+};
+
+struct Ping {
+  uint64_t rounds = 0;
+  uint64_t grants = 0;
+  uint64_t timeouts = 0;
+  double wake_ns = 0;  // mean waker->wakee latency per granted wake
+  bool ran = false;
+};
+
+Ping run_handoff_ping(uint64_t rounds) {
+  Ping out;
+  const std::string name =
+      "/rme_bench_ping_" + std::to_string(::getpid());
+  auto world = shm::ShmWorld::create(name, 8 << 20, 2);
+  PingBoard& board = world.create_root<PingBoard>();
+  platform::ParkingLot* lot = world.park_lot();
+  if (lot == nullptr) return out;  // no futex on this build/host
+  const uint64_t grants0 = lot->grants();
+  const uint64_t timeouts0 = lot->timeouts();
+  const uint64_t wait0 = lot->wake_wait_ns();
+
+  const pid_t child = ::fork();
+  if (child == 0) {
+    auto id = world.claim(1);
+    (void)id;
+    platform::ParkingLot* clot = world.park_lot();
+    while (board.stop.load(std::memory_order_acquire) == 0) {
+      if (clot->park_for(1, kPingKey, 2s)) {
+        board.acks.fetch_add(1, std::memory_order_release);
+      }
+    }
+    ::_exit(0);
+  }
+
+  // Bounded waits: a lost wake must FAIL the handshake (it surfaces as a
+  // child park timeout in the arena counters), never hang the bench.
+  auto await = [](auto cond) {
+    const auto deadline = Clock::now() + 10s;
+    while (!cond()) {
+      if (Clock::now() >= deadline) return false;
+      std::this_thread::yield();
+    }
+    return true;
+  };
+  bool ok = true;
+  for (uint64_t r = 0; ok && r < rounds; ++r) {
+    ok = await([&] { return lot->parked_count(kPingKey) != 0; });
+    if (!ok) break;
+    lot->unpark_one(kPingKey);
+    ok = await([&] {
+      return board.acks.load(std::memory_order_acquire) >= r + 1;
+    });
+  }
+  if (!ok) std::fprintf(stderr, "FAIL: shm_handoff handshake stalled\n");
+  out.rounds = rounds;
+  out.grants = lot->grants() - grants0;
+  out.timeouts = lot->timeouts() - timeouts0;
+  if (out.grants > 0) {
+    out.wake_ns = static_cast<double>(lot->wake_wait_ns() - wait0) /
+                  static_cast<double>(out.grants);
+  }
+  out.ran = true;
+
+  // Release the child: confirm it is parked again (it re-parks right
+  // after its last ack), THEN raise stop and wake - the grant routes it
+  // through the stop check.
+  (void)await([&] { return lot->parked_count(kPingKey) != 0; });
+  board.stop.store(1, std::memory_order_release);
+  lot->unpark_one(kPingKey);
+  int status = 0;
+  ::waitpid(child, &status, 0);
+  return out;
+}
+
+void emit(const char* worldname, const char* handoff, const Arm& a) {
   bench::json_line("shm_contention",
                    {{"lock", "rme_keyed"},
                     {"world", worldname},
-                    {"procs", "2"}},
-                   {{"p50_ns", l.p50_ns},
-                    {"p99_ns", l.p99_ns},
-                    {"samples", static_cast<double>(l.samples)}});
+                    {"procs", "2"},
+                    {"handoff", handoff}},
+                   {{"p50_ns", a.lat.p50_ns},
+                    {"p99_ns", a.lat.p99_ns},
+                    {"samples", static_cast<double>(a.lat.samples)},
+                    {"handoff_rmrs", static_cast<double>(a.handoff_rmrs)},
+                    {"releases", static_cast<double>(a.releases)},
+                    {"wake_ns", a.wake_ns}});
 }
 
 }  // namespace
 
 int main() {
-  bench::header("E13", "cross-process shm contention",
-                "the shm boundary preserves the lock's passage costs; "
-                "cross-process p99 pays the scheduler, not the algorithm");
-  const uint64_t iters = bench::smoke_iters(200000, 2000);
+  bench::header("E13", "cross-process shm contention & futex handoff",
+                "the region-resident futex lot turns cross-process handoff "
+                "from a timed-park wait into one targeted wake syscall");
+  const uint64_t iters = bench::smoke_iters(100000, 2000);
+  // The timed arm sleeps out a full nap per parked wait: cap its iteration
+  // budget so the arm stays seconds-long (samples are emitted per row).
+  const uint64_t timed_iters = bench::smoke_iters(20000, 2000);
 
-  const Lat local = run_local(iters);
-  const Lat shmlat = run_shm(iters);
+  const Arm local = run_local(iters);
+  const Arm timed = run_shm(timed_iters, /*futex_on=*/false, "timed");
+  const Arm futex = run_shm(iters, /*futex_on=*/true, "futex");
+  // On builds/hosts without a futex lot the "futex" arm degrades to the
+  // timed fallback: label it honestly.
+  const bool have_futex = RME_HAS_FUTEX && std::getenv("RME_NO_FUTEX") == nullptr;
+  const char* futex_label = have_futex ? "futex" : "timed";
 
-  bench::Table t({"world", "procs", "p50(ns)", "p99(ns)", "samples"});
-  t.row({"local", "2", bench::fmt("%.0f", local.p50_ns),
-         bench::fmt("%.0f", local.p99_ns),
-         bench::fmt("%llu", (unsigned long long)local.samples)});
-  t.row({"shm", "2", bench::fmt("%.0f", shmlat.p50_ns),
-         bench::fmt("%.0f", shmlat.p99_ns),
-         bench::fmt("%llu", (unsigned long long)shmlat.samples)});
-  emit("local", local);
-  emit("shm", shmlat);
+  bench::Table t({"world", "handoff", "p50(ns)", "p99(ns)", "handoffs",
+                  "wake(ns)", "samples"});
+  auto row = [&](const char* w, const char* h, const Arm& a) {
+    t.row({w, h, bench::fmt("%.0f", a.lat.p50_ns),
+           bench::fmt("%.0f", a.lat.p99_ns),
+           bench::fmt("%llu", (unsigned long long)a.handoff_rmrs),
+           bench::fmt("%.0f", a.wake_ns),
+           bench::fmt("%llu", (unsigned long long)a.lat.samples)});
+  };
+  row("local", "condvar", local);
+  row("shm", "timed", timed);
+  row("shm", futex_label, futex);
+  emit("local", "condvar", local);
+  emit("shm", "timed", timed);
+  emit("shm", futex_label, futex);
+
+  // Fair handoff must hold on every arm: a release grants at most one
+  // parked waiter.
+  for (const Arm* a : {&local, &timed, &futex}) {
+    if (a->handoff_rmrs > a->releases) {
+      std::fprintf(stderr, "FAIL: handoff_rmrs %llu > releases %llu\n",
+                   (unsigned long long)a->handoff_rmrs,
+                   (unsigned long long)a->releases);
+      return 1;
+    }
+  }
+
+  const Ping ping = run_handoff_ping(bench::smoke_iters(10000, 200));
+  if (ping.ran) {
+    bench::Table p({"bench", "rounds", "grants", "timeouts", "wake(ns)"});
+    p.row({"shm_handoff", bench::fmt("%llu", (unsigned long long)ping.rounds),
+           bench::fmt("%llu", (unsigned long long)ping.grants),
+           bench::fmt("%llu", (unsigned long long)ping.timeouts),
+           bench::fmt("%.0f", ping.wake_ns)});
+    bench::json_line(
+        "shm_handoff",
+        {{"handoff", "futex"},
+         {"procs", "2"},
+         {"rounds", bench::fmt("%llu", (unsigned long long)ping.rounds)}},
+        {{"grants", static_cast<double>(ping.grants)},
+         {"timeouts", static_cast<double>(ping.timeouts)},
+         {"wake_ns", ping.wake_ns}});
+  } else {
+    std::printf("   (shm_handoff skipped: no futex lot on this build/host)\n");
+  }
   return 0;
 }

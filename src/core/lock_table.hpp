@@ -151,6 +151,10 @@ class RecoverableLockTable {
     Shard& sh = shards_[static_cast<size_t>(s)];
     const int port = sh.lease.held(h.ctx, pid);
     RME_ASSERT(port != kNoLease, "LockTable: unlock without a lease");
+    // The shard unlock's CS signal records the successor's spin cell as
+    // ctx.wake_hint (core/rme_lock.hpp L28): the svc release hooks that
+    // follow use it to wake exactly the next-in-queue pid's wait word on
+    // a region FutexLot.
     sh.lock.unlock(h, port);
     sh.lease.release(h.ctx, pid);
     // Cleared last: a crash before this store is caught by the

@@ -161,6 +161,11 @@ class RmeLock {
     Node* mynode = node_slot(p).load(ctx);
     if (mynode != nullptr) {
       mynode->pred.store(ctx, &exit_);                              // L27
+      // The L28 set() is the LAST signal op of the release path, so the
+      // wake hint it records in ctx (signal/signal.hpp) names the spin
+      // cell of THIS passage's successor - the next queue occupant -
+      // when the svc release hooks read it for the targeted futex
+      // handoff (platform/park.hpp).
       mynode->cs.set(ctx);                                          // L28
       node_slot(p).store(ctx, nullptr);                             // L29
       pool_.retire(ctx, p, mynode);

@@ -158,10 +158,22 @@ struct ShmKillFixture {
   StageBoard board{};
   CsProbe probes[shm::kMaxProcs]{};  // indexed by shard
 
+  // Cross-process grant log for the park-handoff tests: a worker that
+  // completes an acquisition draws a sequence number and records it
+  // under its pid, so the auditing parent can assert waiters were
+  // granted in lock-queue (park) order.
+  std::atomic<uint64_t> grant_seq{};
+  std::atomic<uint64_t> grant_at[shm::kMaxProcs]{};
+
   template <class Env>
   ShmKillFixture(Env& env, int shards, int ports_per_shard, int npids)
       : table(env, shards, ports_per_shard, npids) {
     RME_ASSERT(shards <= shm::kMaxProcs, "ShmKillFixture: too many shards");
+  }
+
+  void log_grant(int pid) {
+    grant_at[pid].store(grant_seq.fetch_add(1, std::memory_order_acq_rel) + 1,
+                        std::memory_order_release);
   }
 };
 

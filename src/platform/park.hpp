@@ -1,25 +1,50 @@
-// Fair futex-style parking for wait loops: park(key) puts the calling OS
-// thread to sleep until it is granted a wake - unpark_one(key) hands off
-// to the OLDEST waiter parked on exactly that key - or until a timeout,
-// without any shared-memory traffic in the lock algorithms themselves.
+// Fair futex-style parking for wait loops, behind one ParkingLot
+// interface with two implementations:
+//
+//   CondvarLot  the process-local lot (mutex + per-waiter condvar, keyed
+//               FIFO). Heap-mode worlds use it; keys mix the policy and
+//               the wait-site addresses, which are only meaningful inside
+//               one process.
+//
+//   FutexLot    the REGION-RESIDENT lot (Linux): the wait words live in
+//               the shm region's header (one WaitWord per logical pid),
+//               so the park key - derived from a region address under the
+//               fixed-address mapping contract - means the same thing in
+//               every attached process, and a releaser ANYWHERE wakes the
+//               exact successor with one futex(FUTEX_WAKE) syscall.
+//               rme::shm::ShmWorld installs it into each Process context;
+//               heap worlds never see it.
 //
 // The locks in this library wake waiters by WRITING MEMORY (go-flags,
 // lock words) - the paper's model has no syscall channel - so a parked
 // thread cannot rely on the releaser knowing its key. Parking is
-// therefore always TIMED here: a parker that is not explicitly granted
-// wakes after its timeout and re-checks its condition. unpark_one() is
-// the cooperative fast path the rme::svc session layer drives from its
-// release hooks (WaitPolicy::on_release): one release grants exactly one
-// waiter, in park order - the single-waiter handoff that replaces the
-// historical unpark_all thundering herd.
+// therefore always TIMED here, in both lots: a parker that is not
+// explicitly granted wakes after its timeout and re-checks its
+// condition. unpark_one() is the cooperative fast path the rme::svc
+// session layer drives from its release hooks (WaitPolicy::on_release):
+// one release grants exactly one waiter - the single-waiter handoff that
+// replaces the historical unpark_all thundering herd. The futex lot
+// additionally accepts a SUCCESSOR hint (the spin cell the releaser's CS
+// signal just targeted): the hint resolves - via the per-pid flag-ring
+// address ranges - to the next-in-queue pid, whose wait word is the one
+// woken; without a hint (or when the successor is not parked) the grant
+// falls back to FIFO ticket order among the key's parkers.
 //
-// Implementation: a static array of buckets, each a mutex guarding an
-// intrusive FIFO of stack-allocated waiter nodes (one condvar per node,
-// so a grant wakes precisely its target). Keys are 64-bit values (the
-// svc layer mixes (policy, lock address) into one - see
-// platform/wait.hpp); nodes record their exact key, so bucket collisions
-// never cause cross-key grants, only mutex sharing. A global parked
-// count makes unpark a single relaxed load when nobody sleeps.
+// WaitWord protocol (futex lot, ABA-safe across incarnations):
+//
+//   parker  gen <- word; seq <- ticket++; key <- park key (publish);
+//           futex_wait(word, gen, timeout); key <- 0;
+//           granted iff word != gen
+//   waker   pick victim pid (successor hint, else min ticket with a
+//           matching key); stamp wake_ns; word.fetch_add(1); futex_wake
+//
+// A waker that bumps between the parker's gen read and its futex_wait
+// makes the wait return EAGAIN immediately - a correct grant. The word
+// only ever advances, and a restarted incarnation of the pid has its
+// word RESET by ShmWorld::claim under the registry's epoch fence, so a
+// stale waker can at worst produce one spurious (timed-park-equivalent)
+// wake, never a lost one. FUTEX_PRIVATE_FLAG is deliberately NOT used:
+// the mapping is shared.
 #pragma once
 
 #include <atomic>
@@ -27,6 +52,16 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+
+#if defined(__linux__) && !defined(RME_NO_FUTEX)
+#define RME_HAS_FUTEX 1
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+#else
+#define RME_HAS_FUTEX 0
+#endif
 
 namespace rme::platform {
 
@@ -44,17 +79,79 @@ inline uint64_t park_key(const void* a, const void* b) {
                mix64(reinterpret_cast<uintptr_t>(b)));
 }
 
+// Cross-process-stable key for a SHARED lot: the site address alone
+// (region addresses are identical in every process under the
+// fixed-address mapping contract; policy objects are process-private and
+// must stay out of the mix).
+inline uint64_t shared_park_key(const void* site) {
+  return mix64(reinterpret_cast<uintptr_t>(site));
+}
+
+// ---------------------------------------------------------------------------
+// ParkingLot: the parking facility interface WaitPolicy implementations
+// drive. `pid` is the caller's logical pid (the wait-word index in a
+// region lot; the process-local lot ignores it).
+// ---------------------------------------------------------------------------
 class ParkingLot {
  public:
-  static ParkingLot& instance() {
-    static ParkingLot lot;
+  virtual ~ParkingLot() = default;
+
+  // Sleep until a grant arrives for `key` or until `timeout` elapses.
+  // Returns true when explicitly granted. Always timed: an ungranted
+  // parker wakes and re-checks its condition.
+  virtual bool park_for(int pid, uint64_t key,
+                        std::chrono::nanoseconds timeout) = 0;
+
+  // Hand off to one waiter parked on exactly `key`: the resolved
+  // `successor` when it is parked there (futex lot), else the oldest.
+  // Returns the number granted (0 or 1).
+  virtual size_t unpark_one(uint64_t key,
+                            const void* successor = nullptr) = 0;
+
+  // Grant every waiter parked on exactly `key` (shutdown paths).
+  virtual size_t unpark_all(uint64_t key) = 0;
+
+  // Wake EVERY parker regardless of key - the recovery path (epoch
+  // takeover): whoever was waiting on state a dead process held must
+  // re-check. Default: nothing (condvar parks are short-timed anyway).
+  virtual void broadcast() {}
+
+  virtual uint64_t parked_count() const = 0;
+  // Waiters currently parked on exactly `key` (test/bench sequencing).
+  virtual uint64_t parked_count(uint64_t key) = 0;
+
+  // Cumulative explicit grants / park timeouts (monotone; compare
+  // deltas). Region lots aggregate across every attached process.
+  virtual uint64_t grants() const = 0;
+  virtual uint64_t timeouts() const = 0;
+  // Wake syscalls issued / summed waker-to-parker wake latency (futex
+  // lot; 0 elsewhere).
+  virtual uint64_t wakes() const { return 0; }
+  virtual uint64_t wake_wait_ns() const { return 0; }
+
+  // True when park keys must be meaningful in EVERY attached process: a
+  // policy then keys parks by the (region-address) site alone,
+  // shared_park_key(site), instead of mixing its process-private this.
+  virtual bool shared() const { return false; }
+};
+
+// ---------------------------------------------------------------------------
+// CondvarLot: the process-local lot - a static array of buckets, each a
+// mutex guarding an intrusive FIFO of stack-allocated waiter nodes (one
+// condvar per node, so a grant wakes precisely its target). Nodes record
+// their exact key, so bucket collisions never cause cross-key grants,
+// only mutex sharing. A global parked count makes unpark a single
+// relaxed load when nobody sleeps.
+// ---------------------------------------------------------------------------
+class CondvarLot final : public ParkingLot {
+ public:
+  static CondvarLot& instance() {
+    static CondvarLot lot;
     return lot;
   }
 
-  // Sleep until a grant arrives for `key` or until `timeout` elapses.
-  // Returns true when explicitly granted (never spuriously: a grant is a
-  // targeted unpark_one/unpark_all decision taken under the bucket lock).
-  bool park_for(uint64_t key, std::chrono::nanoseconds timeout) {
+  bool park_for(int /*pid*/, uint64_t key,
+                std::chrono::nanoseconds timeout) override {
     Bucket& b = bucket_for(key);
     Node me{key};
     std::unique_lock<std::mutex> lk(b.mu);
@@ -69,9 +166,11 @@ class ParkingLot {
     return me.granted;
   }
 
-  // Hand off to the oldest waiter parked on exactly `key`. Returns the
-  // number of waiters granted (0 or 1). Cheap when nobody is parked.
-  size_t unpark_one(uint64_t key) {
+  // Hand off to the oldest waiter parked on exactly `key` (the successor
+  // hint needs cross-process address resolution only the region lot
+  // has). Cheap when nobody is parked.
+  size_t unpark_one(uint64_t key,
+                    const void* /*successor*/ = nullptr) override {
     if (parked_.load(std::memory_order_relaxed) == 0) return 0;
     Bucket& b = bucket_for(key);
     std::lock_guard<std::mutex> lk(b.mu);
@@ -86,9 +185,7 @@ class ParkingLot {
     return 0;
   }
 
-  // Grant every waiter parked on exactly `key` (recovery/shutdown paths;
-  // the fair handoff path is unpark_one). Returns the number granted.
-  size_t unpark_all(uint64_t key) {
+  size_t unpark_all(uint64_t key) override {
     if (parked_.load(std::memory_order_relaxed) == 0) return 0;
     Bucket& b = bucket_for(key);
     std::lock_guard<std::mutex> lk(b.mu);
@@ -108,12 +205,11 @@ class ParkingLot {
     return granted;
   }
 
-  uint64_t parked_count() const {
+  uint64_t parked_count() const override {
     return parked_.load(std::memory_order_relaxed);
   }
 
-  // Waiters currently parked on exactly `key` (test sequencing helper).
-  uint64_t parked_count(uint64_t key) {
+  uint64_t parked_count(uint64_t key) override {
     Bucket& b = bucket_for(key);
     std::lock_guard<std::mutex> lk(b.mu);
     uint64_t n = 0;
@@ -123,15 +219,15 @@ class ParkingLot {
     return n;
   }
 
-  // Cumulative explicit grants / park timeouts (monotone; tests compare
-  // deltas, since the lot is a process-wide singleton).
-  uint64_t grants() const { return grants_.load(std::memory_order_relaxed); }
-  uint64_t timeouts() const {
+  uint64_t grants() const override {
+    return grants_.load(std::memory_order_relaxed);
+  }
+  uint64_t timeouts() const override {
     return timeouts_.load(std::memory_order_relaxed);
   }
 
  private:
-  ParkingLot() = default;
+  CondvarLot() = default;
 
   // Stack-allocated per-parked-thread node; lives inside park_for's
   // frame. Granters unlink it under the bucket mutex before notifying,
@@ -185,16 +281,240 @@ class ParkingLot {
   std::atomic<uint64_t> timeouts_{0};
 };
 
+// ---------------------------------------------------------------------------
+// WaitWord / WaitArena: the region-resident wait state, embedded in the
+// shm RegionHeader (always, on every platform - layout is part of the
+// region ABI; only the futex syscalls are Linux-gated). One WaitWord per
+// logical pid: a pid parks on its OWN word only, so there is never more
+// than one waiter per futex word and FUTEX_WAKE(1) is exact.
+// ---------------------------------------------------------------------------
+struct WaitWord {
+  std::atomic<uint32_t> word;  // generation: the futex word; bumped to wake
+  uint32_t pad_;
+  std::atomic<uint64_t> key;      // park key while parked (0 = not parked)
+  std::atomic<uint64_t> seq;      // FIFO ticket taken at park time
+  std::atomic<uint64_t> wake_ns;  // waker's monotonic stamp (latency probe)
+};
+
+struct WaitArena {
+  static constexpr int kSlots = 64;  // >= shm::kMaxProcs (static_asserted)
+  WaitWord words[kSlots];
+  std::atomic<uint64_t> ticket;         // FIFO ticket source
+  std::atomic<uint64_t> grants;         // explicit grants, all processes
+  std::atomic<uint64_t> timeouts;       // ungranted (timed-out) parks
+  std::atomic<uint64_t> wakes;          // FUTEX_WAKE syscalls issued
+  std::atomic<uint64_t> grant_wait_ns;  // sum of bump->wakeup latencies
+};
+
+#if RME_HAS_FUTEX
+
+// ---------------------------------------------------------------------------
+// FutexLot: the shared lot over a WaitArena. One instance per attached
+// process per region (owned by ShmWorld), all of them views of the same
+// arena. bind() happens lazily once the region header is complete.
+// ---------------------------------------------------------------------------
+class FutexLot final : public ParkingLot {
+ public:
+  FutexLot() = default;
+
+  // `ring_off`/`ring_bytes_per_pid` describe the per-pid flag-ring slot
+  // arrays (region-offset + byte span): the successor hint a releaser
+  // passes is a spin-cell address inside the NEXT-IN-QUEUE pid's array,
+  // which is how an address resolves to a wait-word index.
+  void bind(WaitArena* arena, const char* region_base, const int32_t* nprocs,
+            const uint64_t* ring_off, size_t ring_bytes_per_pid) {
+    arena_ = arena;
+    base_ = region_base;
+    nprocs_ = nprocs;
+    ring_off_ = ring_off;
+    ring_bytes_ = ring_bytes_per_pid;
+  }
+  bool bound() const { return arena_ != nullptr; }
+
+  bool park_for(int pid, uint64_t key,
+                std::chrono::nanoseconds timeout) override {
+    WaitWord& w = word(pid);
+    // Gen first, THEN publish the key: a waker that sees the key can only
+    // bump a generation we have already observed, so its wake is never
+    // lost - futex_wait returns EAGAIN if the bump won the race.
+    const uint32_t gen = w.word.load(std::memory_order_acquire);
+    w.seq.store(arena_->ticket.fetch_add(1, std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    w.key.store(key, std::memory_order_seq_cst);
+    struct timespec ts;
+    const auto secs = std::chrono::duration_cast<std::chrono::seconds>(timeout);
+    ts.tv_sec = static_cast<time_t>(secs.count());
+    ts.tv_nsec = static_cast<long>((timeout - secs).count());
+    // Shared futex (no FUTEX_PRIVATE_FLAG): the waker may be another
+    // process. EAGAIN/EINTR fall through to the word re-check.
+    futex(&w.word, FUTEX_WAIT, gen, &ts);
+    w.key.store(0, std::memory_order_seq_cst);
+    const bool granted = w.word.load(std::memory_order_acquire) != gen;
+    if (granted) {
+      const uint64_t stamp = w.wake_ns.load(std::memory_order_relaxed);
+      if (stamp != 0) {
+        arena_->grant_wait_ns.fetch_add(now_ns() - stamp,
+                                        std::memory_order_relaxed);
+      }
+      arena_->grants.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      arena_->timeouts.fetch_add(1, std::memory_order_relaxed);
+    }
+    return granted;
+  }
+
+  size_t unpark_one(uint64_t key, const void* successor = nullptr) override {
+    int victim = -1;
+    if (successor != nullptr) {
+      // Successor-aware handoff: the releaser's CS signal targeted this
+      // spin cell; its owner pid is the exact next queue occupant.
+      const int pid = resolve(successor);
+      if (pid >= 0 &&
+          word(pid).key.load(std::memory_order_seq_cst) == key) {
+        victim = pid;
+      }
+      // Resolved but not parked: the successor is spinning and needs no
+      // wake - but someone ELSE may be parked behind it on this key
+      // (batch releases, shard sharing), so fall through to FIFO.
+    }
+    if (victim < 0) {
+      uint64_t best = 0;
+      for (int p = 0; p < procs(); ++p) {
+        if (word(p).key.load(std::memory_order_seq_cst) != key) continue;
+        const uint64_t s = word(p).seq.load(std::memory_order_relaxed);
+        if (victim < 0 || s < best) {
+          victim = p;
+          best = s;
+        }
+      }
+    }
+    if (victim < 0) return 0;
+    wake(victim);
+    return 1;
+  }
+
+  size_t unpark_all(uint64_t key) override {
+    size_t granted = 0;
+    for (int p = 0; p < procs(); ++p) {
+      if (word(p).key.load(std::memory_order_seq_cst) != key) continue;
+      wake(p);
+      ++granted;
+    }
+    return granted;
+  }
+
+  // Recovery wake: bump and wake EVERY parked word. An epoch takeover
+  // runs this so waiters blocked on state the dead incarnation held
+  // re-check instead of sleeping out their full timeout.
+  void broadcast() override {
+    for (int p = 0; p < procs(); ++p) {
+      if (word(p).key.load(std::memory_order_seq_cst) != 0) wake(p);
+    }
+  }
+
+  // New-incarnation reset, called by ShmWorld::claim UNDER slot
+  // ownership (the registry's epoch fence orders it against every rival
+  // incarnation): a pid killed while parked leaves its key published
+  // forever; the reset retires that stale parked state.
+  void reset(int pid) {
+    WaitWord& w = word(pid);
+    w.key.store(0, std::memory_order_seq_cst);
+    w.wake_ns.store(0, std::memory_order_relaxed);
+  }
+
+  uint64_t parked_count() const override {
+    uint64_t n = 0;
+    for (int p = 0; p < procs(); ++p) {
+      if (word(p).key.load(std::memory_order_seq_cst) != 0) ++n;
+    }
+    return n;
+  }
+  uint64_t parked_count(uint64_t key) override {
+    uint64_t n = 0;
+    for (int p = 0; p < procs(); ++p) {
+      if (word(p).key.load(std::memory_order_seq_cst) == key) ++n;
+    }
+    return n;
+  }
+
+  uint64_t grants() const override {
+    return arena_->grants.load(std::memory_order_relaxed);
+  }
+  uint64_t timeouts() const override {
+    return arena_->timeouts.load(std::memory_order_relaxed);
+  }
+  uint64_t wakes() const override {
+    return arena_->wakes.load(std::memory_order_relaxed);
+  }
+  uint64_t wake_wait_ns() const override {
+    return arena_->grant_wait_ns.load(std::memory_order_relaxed);
+  }
+
+  bool shared() const override { return true; }
+
+ private:
+  WaitWord& word(int pid) const { return arena_->words[pid]; }
+  int procs() const {
+    const int n = static_cast<int>(*nprocs_);
+    return n < WaitArena::kSlots ? n : WaitArena::kSlots;
+  }
+
+  static long futex(std::atomic<uint32_t>* word, int op, uint32_t val,
+                    const struct timespec* ts) {
+    return ::syscall(SYS_futex, reinterpret_cast<uint32_t*>(word), op, val,
+                     ts, nullptr, 0);
+  }
+
+  static uint64_t now_ns() {
+    struct timespec ts;
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<uint64_t>(ts.tv_nsec);
+  }
+
+  void wake(int pid) {
+    WaitWord& w = word(pid);
+    w.wake_ns.store(now_ns(), std::memory_order_relaxed);
+    w.word.fetch_add(1, std::memory_order_seq_cst);
+    arena_->wakes.fetch_add(1, std::memory_order_relaxed);
+    futex(&w.word, FUTEX_WAKE, 1, nullptr);  // exact: one waiter per word
+  }
+
+  // Spin-cell address -> owning logical pid, via the per-pid flag-ring
+  // spans. -1 when the address is not a known ring cell (heap site, or
+  // the hint raced a ring reconfiguration): callers fall back to FIFO.
+  int resolve(const void* successor) const {
+    const char* p = static_cast<const char*>(successor);
+    if (p < base_) return -1;
+    const uint64_t off = static_cast<uint64_t>(p - base_);
+    for (int pid = 0; pid < procs(); ++pid) {
+      const uint64_t lo = ring_off_[pid];
+      if (lo != 0 && off >= lo && off < lo + ring_bytes_) return pid;
+    }
+    return -1;
+  }
+
+  WaitArena* arena_ = nullptr;
+  const char* base_ = nullptr;
+  const int32_t* nprocs_ = nullptr;
+  const uint64_t* ring_off_ = nullptr;
+  size_t ring_bytes_ = 0;
+};
+
+#endif  // RME_HAS_FUTEX
+
+// Process-local conveniences over the condvar lot (historical surface;
+// region-lot users go through the installed ParkingLot*).
 inline bool park_for(uint64_t key, std::chrono::nanoseconds timeout) {
-  return ParkingLot::instance().park_for(key, timeout);
+  return CondvarLot::instance().park_for(0, key, timeout);
 }
 
 inline size_t unpark_one(uint64_t key) {
-  return ParkingLot::instance().unpark_one(key);
+  return CondvarLot::instance().unpark_one(key);
 }
 
 inline size_t unpark_all(uint64_t key) {
-  return ParkingLot::instance().unpark_all(key);
+  return CondvarLot::instance().unpark_all(key);
 }
 
 }  // namespace rme::platform

@@ -57,6 +57,21 @@ inline void cpu_pause() {
 #endif
 }
 
+class ParkingLot;  // platform/park.hpp
+
+// The parking environment a Waiter (or a release hook) hands its
+// WaitPolicy alongside the site address: who is waiting (the logical
+// pid - the wait-word index in a region lot), WHERE parks live (the
+// installed lot; null means the process-local condvar lot), and - on the
+// release side - the releaser's known SUCCESSOR (the spin cell its CS
+// signal just targeted), which a shared lot resolves to the exact
+// next-in-queue pid's wait word.
+struct ParkEnv {
+  int pid = 0;
+  ParkingLot* lot = nullptr;
+  const void* successor = nullptr;
+};
+
 // ---------------------------------------------------------------------------
 // WaitPolicy: the injectable pacing strategy behind every wait loop.
 //
@@ -74,18 +89,22 @@ class WaitPolicy {
   virtual ~WaitPolicy() = default;
   // One pacing step of a wait loop. `addr` identifies the awaited
   // location (a parking/diagnostic key, never dereferenced); `spins` is
-  // the iteration count at this wait site so far (1 on the first pause).
-  // During an rme::svc session verb the Waiter overrides `addr` with the
-  // session's wait site (the lock address), so parkers and the releaser
-  // agree on one key per (policy, lock) pair.
-  virtual void pause(const void* addr, uint32_t spins) = 0;
+  // the iteration count at this wait site so far (1 on the first pause);
+  // `env` carries the caller's pid and installed parking lot. During an
+  // rme::svc session verb the Waiter overrides `addr` with the session's
+  // wait site (the lock address), so parkers and the releaser agree on
+  // one key per site (per (policy, site) pair on the process-local lot).
+  virtual void pause(const void* addr, uint32_t spins, const ParkEnv& env) = 0;
   // Hint that the caller just released the lock at `site`: a parking
-  // policy hands off to ONE waiter parked on (policy, site) here - the
-  // fair single-waiter handoff. Returns how many waiters were granted
+  // policy hands off to ONE waiter parked on that site's key here - the
+  // fair single-waiter handoff. `env.successor`, when set, names the
+  // releaser's exact next queue occupant (see ParkEnv) so a shared lot
+  // wakes precisely that pid. Returns how many waiters were granted
   // (the rme::svc layer books this as SessionStats::handoff_rmrs, the
   // wake-chain cost attribution). Default: no-op, nobody woken.
-  virtual size_t on_release(const void* site) {
+  virtual size_t on_release(const void* site, const ParkEnv& env) {
     (void)site;
+    (void)env;
     return 0;
   }
   // Telemetry feedback from the session layer after each acquisition:
@@ -140,7 +159,7 @@ class Waiter {
       // cell it actually spins on - parks under the key the releaser's
       // on_release(site) will target.
       if (ctx.wait_site != nullptr) addr = ctx.wait_site;
-      p->pause(addr, spins_);
+      p->pause(addr, spins_, ParkEnv{ctx.pid, ctx.park_lot, nullptr});
       return;
     }
     // Default pacing: a bounded burst of pause() (the low-latency path
@@ -178,6 +197,8 @@ struct Real {
     int pid = 0;
     WaitPolicy* wait_policy = nullptr;  // installed by rme::svc sessions
     const void* wait_site = nullptr;    // pinned per-verb park key (svc)
+    ParkingLot* park_lot = nullptr;     // region lot (shm worlds); null = local
+    const void* wake_hint = nullptr;    // spin cell the last CS signal targeted
     uint64_t wait_cycles = 0;           // Waiter pauses on behalf of this pid
     explicit Context(int p = 0) : pid(p) {}
     // Hook point; nothing to do on the real platform.
@@ -256,6 +277,8 @@ struct Counted {
     uint64_t step_index = 0;           // per-process op counter (monotone)
     WaitPolicy* wait_policy = nullptr;  // installed by rme::svc sessions
     const void* wait_site = nullptr;    // pinned per-verb park key (svc)
+    ParkingLot* park_lot = nullptr;     // uniform with Real; never installed
+    const void* wake_hint = nullptr;    // spin cell the last CS signal targeted
     uint64_t wait_cycles = 0;           // Waiter pauses on behalf of this pid
 
     Context() = default;

@@ -8,18 +8,21 @@
 //   SpinYieldPolicy  - bounded spin burst then sched_yield (the library's
 //                      historical Backoff pacing and the default when no
 //                      policy is installed).
-//   ParkPolicy       - spin, then yield, then timed futex-style parking
-//                      (platform/park.hpp) with exponentially escalating
-//                      nap times. Parks are keyed by (policy, wait site):
-//                      during a session verb the site is the lock address
-//                      (platform.hpp Waiter), so on_release(site) - driven
-//                      by rme::svc sessions - is a targeted single-waiter
-//                      handoff in park order (unpark_one), and releases of
-//                      one lock never wake waiters of another lock that
-//                      happens to share the policy object. The locks wake
-//                      waiters by writing memory, not by syscall, so parks
-//                      stay timed and every woken waiter re-checks its
-//                      condition.
+//   ParkPolicy       - spin, then yield, then timed parking in the
+//                      caller's ParkingLot (platform/park.hpp) with
+//                      exponentially escalating nap times. On the
+//                      process-local lot parks are keyed by (policy,
+//                      wait site); on a region FutexLot the key is the
+//                      site address alone (cross-process stable). During
+//                      a session verb the site is the lock address
+//                      (platform.hpp Waiter), so on_release(site) -
+//                      driven by rme::svc sessions - is a targeted
+//                      single-waiter handoff (the known successor on a
+//                      region lot, park order otherwise), and releases
+//                      of one lock never wake waiters of another. The
+//                      locks wake waiters by writing memory, not by
+//                      syscall, so parks stay timed and every woken
+//                      waiter re-checks its condition.
 //   AdaptivePolicy   - starts as spin-then-yield and demotes itself to
 //                      parking when the sessions driving it report a
 //                      contended_acquires/acquires ratio above a
@@ -57,16 +60,35 @@ namespace rme::platform {
 
 namespace detail {
 
+// The lot this wait participates in: the env's installed lot (a region
+// FutexLot under an shm world), else the process-local condvar lot.
+inline ParkingLot& resolve_lot(const ParkEnv& env) {
+  return env.lot != nullptr ? *env.lot : CondvarLot::instance();
+}
+
+// The park key the parker and the releaser agree on. A SHARED lot keys
+// by the site address alone - sites are region addresses, identical in
+// every attached process, while the policy object is process-private and
+// would break the cross-process agreement. The local lot keeps the
+// historical (policy, site) mix so two policies sharing a site stay
+// isolated.
+inline uint64_t lot_key(const ParkingLot& lot, const void* policy,
+                        const void* site) {
+  return lot.shared() ? shared_park_key(site) : park_key(policy, site);
+}
+
 // The shared park-mode tail of the parking policies: escalate the nap
-// geometrically from min_park to max_park, parked under the
-// (policy, site) key the releaser's on_release(site) targets.
+// geometrically from min_park to max_park, parked under the key the
+// releaser's on_release(site) targets.
 inline void escalating_park(const void* policy, const void* addr,
                             uint32_t naps_so_far,
                             std::chrono::nanoseconds min_park,
-                            std::chrono::nanoseconds max_park) {
+                            std::chrono::nanoseconds max_park,
+                            const ParkEnv& env) {
   const uint32_t naps = std::min<uint32_t>(naps_so_far, 21);
   const auto nap = std::min(max_park, min_park * (1u << (naps - 1)));
-  park_for(park_key(policy, addr), nap);
+  ParkingLot& lot = resolve_lot(env);
+  lot.park_for(env.pid, lot_key(lot, policy, addr), nap);
 }
 
 }  // namespace detail
@@ -74,7 +96,8 @@ inline void escalating_park(const void* policy, const void* addr,
 class SpinPolicy final : public WaitPolicy {
  public:
   static constexpr const char* kName = "spin";
-  void pause(const void* /*addr*/, uint32_t /*spins*/) override {
+  void pause(const void* /*addr*/, uint32_t /*spins*/,
+             const ParkEnv& /*env*/) override {
     cpu_pause();
   }
 };
@@ -84,7 +107,8 @@ class SpinYieldPolicy final : public WaitPolicy {
   static constexpr const char* kName = "spin_yield";
   explicit SpinYieldPolicy(uint32_t spin_limit = Waiter::kDefaultSpinLimit)
       : spin_limit_(spin_limit) {}
-  void pause(const void* /*addr*/, uint32_t spins) override {
+  void pause(const void* /*addr*/, uint32_t spins,
+             const ParkEnv& /*env*/) override {
     if (spins <= spin_limit_) {
       cpu_pause();
     } else {
@@ -110,7 +134,7 @@ class ParkPolicy final : public WaitPolicy {
   ParkPolicy() : opt_() {}
   explicit ParkPolicy(Options opt) : opt_(opt) {}
 
-  void pause(const void* addr, uint32_t spins) override {
+  void pause(const void* addr, uint32_t spins, const ParkEnv& env) override {
     if (spins <= opt_.spin_limit) {
       cpu_pause();
       return;
@@ -119,19 +143,21 @@ class ParkPolicy final : public WaitPolicy {
       std::this_thread::yield();
       return;
     }
-    // The park key pairs this policy with the wait site (the lock
-    // address during a session verb), so the releaser's unpark_one
-    // targets exactly the FIFO of waiters blocked on that lock under
-    // this policy.
+    // The park key pairs the wait site (the lock address during a
+    // session verb) with this policy on the local lot - or stands alone
+    // on a region lot - so the releaser's unpark_one targets exactly the
+    // waiters blocked on that lock.
     detail::escalating_park(this, addr, spins - opt_.yield_limit,
-                            opt_.min_park, opt_.max_park);
+                            opt_.min_park, opt_.max_park, env);
   }
 
-  // Fair handoff: grant the oldest waiter parked on (policy, site) - at
-  // most ONE waiter per release, matching the lock's own one-successor
+  // Fair handoff: grant the successor (region lot, when the releaser
+  // knows it) or the oldest waiter parked on the site's key - at most
+  // ONE waiter per release, matching the lock's own one-successor
   // handoff instead of the historical policy-wide thundering herd.
-  size_t on_release(const void* site) override {
-    return unpark_one(park_key(this, site));
+  size_t on_release(const void* site, const ParkEnv& env) override {
+    ParkingLot& lot = detail::resolve_lot(env);
+    return lot.unpark_one(detail::lot_key(lot, this, site), env.successor);
   }
 
  private:
@@ -160,7 +186,7 @@ class AdaptivePolicy final : public WaitPolicy {
   AdaptivePolicy() : opt_() {}
   explicit AdaptivePolicy(Options opt) : opt_(opt) {}
 
-  void pause(const void* addr, uint32_t spins) override {
+  void pause(const void* addr, uint32_t spins, const ParkEnv& env) override {
     if (spins <= opt_.spin_limit) {
       cpu_pause();
       return;
@@ -171,12 +197,13 @@ class AdaptivePolicy final : public WaitPolicy {
       return;
     }
     detail::escalating_park(this, addr, spins - opt_.yield_limit,
-                            opt_.min_park, opt_.max_park);
+                            opt_.min_park, opt_.max_park, env);
   }
 
-  size_t on_release(const void* site) override {
+  size_t on_release(const void* site, const ParkEnv& env) override {
     if (!parking_.load(std::memory_order_relaxed)) return 0;
-    return unpark_one(park_key(this, site));
+    ParkingLot& lot = detail::resolve_lot(env);
+    return lot.unpark_one(detail::lot_key(lot, this, site), env.successor);
   }
 
   void observe(uint64_t acquires, uint64_t contended_acquires) override {

@@ -35,15 +35,21 @@
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
+#if defined(__linux__)
+#include <sys/syscall.h>
+#endif
 
 #include <atomic>
 #include <cerrno>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "platform/park.hpp"
 #include "util/assert.hpp"
 
 namespace rme::shm {
@@ -58,7 +64,10 @@ class ShmError : public std::runtime_error {
 };
 
 inline constexpr uint32_t kMagic = 0x524d4531u;  // "RME1"
-inline constexpr uint32_t kVersion = 2;
+// v3: WaitArena (region-resident futex wait words) in the header,
+// start-time word in each PidSlot. abi_hash() folds in
+// sizeof(RegionHeader), so v2 regions are refused loudly.
+inline constexpr uint32_t kVersion = 3;
 // Upper bound on logical pids per region; sized so the registry stays a
 // small fixed header array. (A logical pid is a session identity, not an
 // OS pid: one OS process may drive several - the auditing parent does.)
@@ -89,9 +98,11 @@ inline constexpr int kMaxProcs = 64;
 // dead and superseded, so its guards and sessions must not touch the
 // lock again (ShmWorld::fenced / SessionLease::fenced surface this).
 //
-// Liveness is kill(pid, 0): ESRCH = dead, anything else = assume live
-// (EPERM means the pid exists under another uid). OS pid reuse can make
-// a dead owner look live - the documented residual window; see
+// Liveness is pidfd_open (ESRCH = dead; kill(pid, 0) when the syscall is
+// unavailable or inconclusive) CROSS-CHECKED against the owner's recorded
+// /proc/<pid>/stat start time: a recycled OS pid exists but has a
+// different start time, so it no longer masquerades as the dead owner.
+// This closes the pid-reuse window earlier versions documented in
 // docs/recovery.md ("liveness and pid reuse").
 // ---------------------------------------------------------------------------
 struct PidSlot {
@@ -102,6 +113,9 @@ struct PidSlot {
   std::atomic<uint32_t> takeover;  // FAS guard serialising dead-owner takeover
   std::atomic<int64_t> os_pid;     // OS pid of the current owner (0 = none)
   std::atomic<uint64_t> epoch;     // incarnation count; monotone, never reset
+  std::atomic<uint64_t> start_time;  // owner's /proc stat starttime (0 =
+                                     // unknown); written with os_pid, the
+                                     // pid-reuse cross-check
 };
 
 struct RegionHeader {
@@ -121,7 +135,11 @@ struct RegionHeader {
   uint32_t pad_;
   uint64_t ring_off[kMaxProcs];    // per-pid flag-ring slot arrays
   PidSlot slots[kMaxProcs];        // the pid registry
+  platform::WaitArena wait;        // per-pid futex wait words (FutexLot)
 };
+
+static_assert(kMaxProcs <= platform::WaitArena::kSlots,
+              "WaitArena must hold one wait word per logical pid");
 
 inline uint64_t abi_hash() {
   // Coarse fingerprint: enough to catch a 32/64-bit or header-layout skew
@@ -147,11 +165,68 @@ inline void* map_hint(const std::string& name) {
   return reinterpret_cast<void*>(0x5e00'0000'0000ull + (lane << 21));
 }
 
-// True when the OS process is alive as far as signals can tell.
-inline bool os_pid_alive(int64_t pid) {
-  if (pid <= 0) return false;
+// The process's kernel start time (/proc/<pid>/stat field 22, clock
+// ticks since boot) - the disambiguator that survives OS pid reuse: a
+// recycled pid has a different start time. 0 = unknown (no /proc, the
+// process is gone, or the stat line was unreadable).
+inline uint64_t proc_start_time(int64_t pid) {
+  if (pid <= 0) return 0;
+  char path[64];
+  std::snprintf(path, sizeof(path), "/proc/%lld/stat",
+                static_cast<long long>(pid));
+  const int fd = ::open(path, O_RDONLY);
+  if (fd < 0) return 0;
+  char buf[1024];
+  const ssize_t n = ::read(fd, buf, sizeof(buf) - 1);
+  ::close(fd);
+  if (n <= 0) return 0;
+  buf[n] = '\0';
+  // comm (field 2) may itself contain spaces and parens: skip to the
+  // LAST ')' then count fields - starttime is the 20th after comm.
+  const char* p = std::strrchr(buf, ')');
+  if (p == nullptr) return 0;
+  ++p;
+  for (int field = 0; field < 19; ++field) {  // state(3) .. itrealvalue(21)
+    while (*p == ' ') ++p;
+    while (*p != '\0' && *p != ' ') ++p;
+  }
+  while (*p == ' ') ++p;
+  return std::strtoull(p, nullptr, 10);
+}
+
+// Does an OS process with this pid exist at all? pidfd_open is the
+// race-free probe (a pidfd names the process, not the pid); only its
+// definitive answers are trusted - any other errno (ENOSYS on old
+// kernels, a seccomp refusal) falls back to the kill(pid, 0) probe,
+// where EPERM still means "exists".
+inline bool os_pid_exists(int64_t pid) {
+#if defined(__linux__) && defined(SYS_pidfd_open)
+  const long fd = ::syscall(SYS_pidfd_open, static_cast<pid_t>(pid), 0u);
+  if (fd >= 0) {
+    ::close(static_cast<int>(fd));
+    return true;
+  }
+  if (errno == ESRCH) return false;
+#endif
   if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
   return errno != ESRCH;
+}
+
+// True when the OS process named by `pid` is the SAME process the slot
+// recorded. Existence alone has a pid-reuse hole: the owner dies, the
+// kernel recycles its pid, and the impostor looks live forever (a stuck
+// slot). When the slot recorded the owner's start time, a mismatching
+// start time unmasks the impostor: the owner is dead, takeover may
+// proceed. `recorded_start == 0` (pre-record or unreadable /proc)
+// degrades to the existence probe.
+inline bool os_pid_alive(int64_t pid, uint64_t recorded_start = 0) {
+  if (pid <= 0) return false;
+  if (!os_pid_exists(pid)) return false;
+  if (recorded_start != 0) {
+    const uint64_t now_start = proc_start_time(pid);
+    if (now_start != 0 && now_start != recorded_start) return false;
+  }
+  return true;
 }
 
 class Region {

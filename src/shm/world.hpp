@@ -29,19 +29,25 @@
 // Environment notes: the per-pid ring slots live in the region because
 // SETTERS (other processes) write them; each attaching process adopts
 // them into a private Process handle (tag counters continue across
-// incarnations - nvm/flag_ring.hpp explains why they must). Wait-policy
-// parking lots are per-process, so cross-process wakeups ride the always-
-// timed parks (platform/park.hpp): an ungranted waiter re-checks by
+// incarnations - nvm/flag_ring.hpp explains why they must). Parking is
+// region-resident too: every Process context gets the world's FutexLot
+// (platform/park.hpp) - wait words in the RegionHeader, keys derived
+// from region addresses - so a releaser in ANY attached process wakes
+// the exact cross-process successor with one futex syscall. Without
+// futexes (RME_NO_FUTEX, non-Linux) contexts keep no lot and wakeups
+// ride the always-timed condvar parks: an ungranted waiter re-checks by
 // timeout. One OS process may drive several logical pids (the auditing
 // parent in the fork tests does).
 #pragma once
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "nvm/flag_ring.hpp"
+#include "platform/park.hpp"
 #include "platform/platform.hpp"
 #include "platform/process.hpp"
 #include "shm/region.hpp"
@@ -97,6 +103,9 @@ class ShmWorld {
 
   // The per-process handle for a logical pid, bound to the pid's
   // in-region ring. Lazily constructed; a process may hold several.
+  // Each handle's context carries the world's region parking lot, so any
+  // session verb driven through it parks on the pid's in-region wait
+  // word - wakeable from every attached process.
   Proc& proc(int pid) {
     check_pid(pid);
     auto& slot = procs_[static_cast<size_t>(pid)];
@@ -107,8 +116,38 @@ class ShmWorld {
           env.arena.at(hdr->ring_off[pid]));
       slot->attach_adopted(env, pid, slots,
                            static_cast<size_t>(hdr->ring_slots));
+      slot->ctx.park_lot = park_lot();
     }
     return *slot;
+  }
+
+  // The region-resident FutexLot view for this process, lazily bound once
+  // the header is complete. nullptr when futexes are unavailable (non-
+  // Linux, RME_NO_FUTEX build, RME_NO_FUTEX env var, or the timed-arm
+  // bench knob below): contexts then keep no lot and waits ride the
+  // always-timed process-local parks.
+  platform::ParkingLot* park_lot() {
+#if RME_HAS_FUTEX
+    if (no_futex_) return nullptr;
+    if (!lot_.bound()) {
+      RegionHeader* hdr = region_.header();
+      lot_.bind(&hdr->wait, region_.base(), &hdr->nprocs, hdr->ring_off,
+                static_cast<size_t>(hdr->ring_slots) *
+                    sizeof(typename nvm::FlagRing<P>::Slot));
+    }
+    return &lot_;
+#else
+    return nullptr;
+#endif
+  }
+
+  // Bench/test knob: force the timed-park fallback (handoff=timed arm)
+  // or re-enable the futex lot. Re-points every already-built context.
+  void set_futex_enabled(bool on) {
+    no_futex_ = !on || std::getenv("RME_NO_FUTEX") != nullptr;
+    for (auto& p : procs_) {
+      if (p) p->ctx.park_lot = park_lot();
+    }
   }
 
   // ------------------------------------------------------------------
@@ -159,7 +198,12 @@ class ShmWorld {
     if (prev == PidSlot::kFree) {
       // Exclusive: we flipped free->claimed. Epoch writes are single-
       // writer under slot ownership (reads+writes only, no RMW needed).
+      // Start time BEFORE os_pid: an observer must never pair the new
+      // owner's pid with a stale start time and wrongly declare it a
+      // pid-reuse impostor.
+      s.start_time.store(proc_start_time(me), std::memory_order_relaxed);
       s.os_pid.store(me, std::memory_order_relaxed);
+      reset_wait_word(pid);
       const uint64_t e = s.epoch.load(std::memory_order_relaxed) + 1;
       s.epoch.store(e, std::memory_order_release);
       return Identity{pid, e, /*restarted=*/false};
@@ -184,7 +228,10 @@ class ShmWorld {
       throw ShmError("pid slot " + std::to_string(pid) +
                      " claim/release in flight; retry");
     }
-    if (os_pid_alive(owner)) {
+    // Liveness cross-checks the recorded start time: a recycled OS pid
+    // exists but was started later, so it no longer masks the dead owner
+    // (shm/region.hpp, os_pid_alive).
+    if (os_pid_alive(owner, s.start_time.load(std::memory_order_acquire))) {
       throw ShmError("pid slot " + std::to_string(pid) +
                      " held by live process " + std::to_string(owner));
     }
@@ -196,16 +243,25 @@ class ShmWorld {
     // Re-verify under the guard: a rival may have completed a takeover
     // between our liveness probe and the guard claim.
     const int64_t owner2 = s.os_pid.load(std::memory_order_acquire);
-    if (owner2 != owner || os_pid_alive(owner2)) {
+    if (owner2 != owner ||
+        os_pid_alive(owner2, s.start_time.load(std::memory_order_acquire))) {
       s.takeover.store(0, std::memory_order_release);
       throw ShmError("pid slot " + std::to_string(pid) +
                      " owner changed during takeover");
     }
+    s.start_time.store(proc_start_time(me), std::memory_order_relaxed);
     s.os_pid.store(me, std::memory_order_relaxed);
+    // The dead incarnation may have died PARKED, its key published
+    // forever: retire that wait-word state under slot ownership (the
+    // epoch fence below orders the reset against every rival), then wake
+    // every parker in the region - whoever waits on state the dead
+    // process held must re-check now, not after a full park timeout.
+    reset_wait_word(pid);
     const uint64_t e = s.epoch.load(std::memory_order_relaxed) + 1;
     s.epoch.store(e, std::memory_order_release);  // the fence: staler
                                                   // epochs are dead
     s.takeover.store(0, std::memory_order_release);
+    if (platform::ParkingLot* lot = park_lot()) lot->broadcast();
     return Identity{pid, e, /*restarted=*/true};
   }
 
@@ -251,6 +307,7 @@ class ShmWorld {
     env.arena.base = region_.base();
     env.arena.limit = region_.bytes();
     procs_.resize(kMaxProcs);
+    no_futex_ = std::getenv("RME_NO_FUTEX") != nullptr;
   }
 
   PidSlot& slot(int pid) const { return region_.header()->slots[pid]; }
@@ -259,8 +316,21 @@ class ShmWorld {
                "ShmWorld: bad pid");
   }
 
+  // Retire a (re)claimed pid's wait-word state directly in the arena:
+  // the layout is region ABI on every platform, so the reset is NOT
+  // gated on this process's futex availability.
+  void reset_wait_word(int pid) {
+    platform::WaitWord& w = region_.header()->wait.words[pid];
+    w.key.store(0, std::memory_order_seq_cst);
+    w.wake_ns.store(0, std::memory_order_relaxed);
+  }
+
   Region region_;
   std::vector<std::unique_ptr<Proc>> procs_;
+#if RME_HAS_FUTEX
+  platform::FutexLot lot_;
+#endif
+  bool no_futex_ = false;
 };
 
 }  // namespace rme::shm

@@ -78,6 +78,13 @@ class Signal {
     bit_.store(ctx, 1, std::memory_order_seq_cst);               // L1
     nvm::GoFlag<P>* slot = go_slot_.load(ctx, std::memory_order_seq_cst);  // L2
     const uint64_t tag = go_tag_.load(ctx, std::memory_order_seq_cst);
+    // The slot just read IS the successor's spin cell (it lives in the
+    // waiting pid's flag ring), so the setter has learned exactly who it
+    // is waking. Record it as the context's wake hint: a release path
+    // (svc) hands it to WaitPolicy::on_release, where a region parking
+    // lot resolves it to the next-in-queue pid's wait word. Host-memory
+    // write, not a shared op - RMR accounting is untouched.
+    ctx.wake_hint = slot;
     if (slot != nullptr) {                                       // L3
       slot->value.store(ctx, tag, std::memory_order_release);    // L4
     }

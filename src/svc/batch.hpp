@@ -114,6 +114,13 @@ class BatchGuard {
         unwind_(std::uncaught_exceptions()) {}
 
   void do_release() {
+    // Clear the wake hint as svc::Guard does. The batch release runs one
+    // CS signal per shard, each overwriting the hint, so only the LAST
+    // released shard's successor survives in it - the other shards'
+    // wake_at calls simply miss the hint and fall back to the lot's FIFO
+    // scan (platform/park.hpp unpark_one), which is correct, just
+    // untargeted.
+    core_->proc->ctx.wake_hint = nullptr;
     core_->lock->release_batch(*core_->proc, core_->id);
     if constexpr (detail::ShardSited<L>) {
       // One targeted handoff per RELEASED SHARD (each freed shard can

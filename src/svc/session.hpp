@@ -32,9 +32,11 @@
 //     verb reaches - inside any lock's Try section, the port-lease
 //     sweep, the deadline retry loop - parks under the (policy, lock)
 //     key. On release the session drives WaitPolicy::on_release(lock):
-//     a parking policy grants exactly ONE waiter, in park order
-//     (platform/park.hpp unpark_one), and the grant count is booked as
-//     SessionStats::handoff_rmrs - the wake-chain cost attribution of
+//     a parking policy grants exactly ONE waiter - the release's known
+//     next-in-queue successor on a region FutexLot (the context's wake
+//     hint, recorded by the CS signal's set), park order otherwise
+//     (platform/park.hpp unpark_one) - and the grant count is booked as
+//     SessionStats::handoff_rmrs, the wake-chain cost attribution of
 //     Jayanti-Visweswara's generalized wake-up bounds (PAPERS.md).
 //   * Admission control: an optional svc::Admission policy (default
 //     estimator: WaitTrendAdmission, a two-timescale wait_cycles-trend
@@ -183,10 +185,18 @@ struct SessionCore {
     if (admission != nullptr) admission->on_acquired(now_ns() - gate_t0);
   }
 
-  // Targeted handoff: at most one waiter parked on (policy, wake_site)
-  // is granted; the count is the release's wake-chain cost.
+  // Targeted handoff: at most one waiter parked on the wake site's key
+  // is granted; the count is the release's wake-chain cost. The ParkEnv
+  // carries the context's lot (region FutexLot under an shm world) and
+  // the wake hint the release's own CS signal just recorded - the
+  // successor's spin cell, which the region lot resolves to the exact
+  // next-in-queue pid's wait word (platform/park.hpp).
   void wake_at(const void* wake_site) {
-    if (policy != nullptr) stats.handoff_rmrs += policy->on_release(wake_site);
+    if (policy == nullptr) return;
+    stats.handoff_rmrs += policy->on_release(
+        wake_site,
+        platform::ParkEnv{proc->ctx.pid, proc->ctx.park_lot,
+                          proc->ctx.wake_hint});
   }
 
   void note_release_at(const void* wake_site) {
@@ -265,6 +275,10 @@ class Guard {
         unwind_(std::uncaught_exceptions()) {}
 
   void do_release() {
+    // A stale hint from an earlier verb must not outlive it: the release
+    // below runs the lock's CS signal, whose set() re-records the hint
+    // for THIS release's actual successor (signal/signal.hpp).
+    core_->proc->ctx.wake_hint = nullptr;
     core_->lock->release(*core_->proc, core_->id);
     // Shard-granular locks hand off under the released SHARD's key, so
     // the woken waiter is one actually blocked on the freed shard.

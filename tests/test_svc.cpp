@@ -212,7 +212,7 @@ TEST(SvcWaitPolicy, SharedParkPolicyDrivesContendedTraffic) {
   // unpark_one), and the timed park guarantees progress for wakes that
   // race. The fair-handoff contract: at most one unpark per release,
   // visible as handoff_rmrs <= releases per session.
-  const uint64_t grants_before = platform::ParkingLot::instance().grants();
+  const uint64_t grants_before = platform::CondvarLot::instance().grants();
   platform::ParkPolicy::Options opt;
   opt.spin_limit = 4;
   opt.yield_limit = 8;
@@ -226,9 +226,9 @@ TEST(SvcWaitPolicy, SharedParkPolicyDrivesContendedTraffic) {
     handoffs += st.handoff_rmrs;
   }
   // Every explicit grant of this run was performed by some release hook.
-  EXPECT_EQ(platform::ParkingLot::instance().grants() - grants_before,
+  EXPECT_EQ(platform::CondvarLot::instance().grants() - grants_before,
             handoffs);
-  EXPECT_EQ(platform::ParkingLot::instance().parked_count(), 0u);
+  EXPECT_EQ(platform::CondvarLot::instance().parked_count(), 0u);
 }
 
 TEST(SvcWaitPolicy, AdaptivePolicyDrivesContendedTraffic) {
@@ -243,7 +243,7 @@ TEST(SvcWaitPolicy, AdaptivePolicyDrivesContendedTraffic) {
   for (const auto& st : stats) {
     EXPECT_LE(st.handoff_rmrs, st.releases);
   }
-  EXPECT_EQ(platform::ParkingLot::instance().parked_count(), 0u);
+  EXPECT_EQ(platform::CondvarLot::instance().parked_count(), 0u);
 }
 
 TEST(SvcWaitPolicy, AdaptivePolicyDemotesOnContentionRatio) {
@@ -285,7 +285,7 @@ TEST(SvcWaitPolicy, TimedParkMakesProgressWithoutCooperativeUnpark) {
   std::this_thread::sleep_for(3ms);
   held.reset();  // release without unparking
   t.join();
-  EXPECT_EQ(platform::ParkingLot::instance().parked_count(), 0u);
+  EXPECT_EQ(platform::CondvarLot::instance().parked_count(), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -295,7 +295,7 @@ TEST(SvcWaitPolicy, TimedParkMakesProgressWithoutCooperativeUnpark) {
 // N waiters parked on one key are granted in park order, one per
 // unpark_one, and every unpark_one grants exactly one waiter.
 TEST(ParkFairness, GrantsFollowParkOrder) {
-  auto& lot = platform::ParkingLot::instance();
+  auto& lot = platform::CondvarLot::instance();
   int anchor = 0;  // a key no other test parks on
   const uint64_t key = platform::park_key(&anchor, &lot);
   const uint64_t grants_before = lot.grants();
@@ -358,26 +358,26 @@ TEST(ParkFairness, SharedPolicyDoesNotWakeRivalLocks) {
     EXPECT_GT(s.stats().contended_acquires, 0u);
   });
   // Let the waiter reach its park.
-  while (platform::ParkingLot::instance().parked_count() == 0) {
+  while (platform::CondvarLot::instance().parked_count() == 0) {
     std::this_thread::yield();
   }
 
   // Hammer lock A under the SAME policy object: none of these releases
   // may grant the lock-B waiter (old bug: policy-wide unpark_all woke
   // rivals of every lock sharing the policy).
-  const uint64_t grants_before = platform::ParkingLot::instance().grants();
+  const uint64_t grants_before = platform::CondvarLot::instance().grants();
   svc::Session s_a(lock_a, w.proc(2), 2, &park);
   for (int i = 0; i < 2000; ++i) {
     auto g = s_a.acquire().value();
   }
   EXPECT_EQ(s_a.stats().handoff_rmrs, 0u);  // nobody waits on (policy, A)
-  EXPECT_EQ(platform::ParkingLot::instance().grants(), grants_before);
+  EXPECT_EQ(platform::CondvarLot::instance().grants(), grants_before);
 
   held_b.reset();  // release B: hands off to the parked B-waiter (or the
                    // timed park completes the acquisition regardless)
   waiter.join();
   EXPECT_LE(holder_b.stats().handoff_rmrs, holder_b.stats().releases);
-  EXPECT_EQ(platform::ParkingLot::instance().parked_count(), 0u);
+  EXPECT_EQ(platform::CondvarLot::instance().parked_count(), 0u);
 }
 
 // Keyed tables hand off per SHARD: releasing one shard grants a waiter
@@ -420,7 +420,7 @@ TEST(ParkFairness, KeyedReleaseWakesOnlyThatShardsWaiter) {
     auto g = s.acquire(kb).value();
     b_done.store(true);
   });
-  while (platform::ParkingLot::instance().parked_count() < 2) {
+  while (platform::CondvarLot::instance().parked_count() < 2) {
     std::this_thread::yield();
   }
 
@@ -439,7 +439,7 @@ TEST(ParkFairness, KeyedReleaseWakesOnlyThatShardsWaiter) {
   wa.join();
   wb.join();
   EXPECT_TRUE(a_done.load());
-  EXPECT_EQ(platform::ParkingLot::instance().parked_count(), 0u);
+  EXPECT_EQ(platform::CondvarLot::instance().parked_count(), 0u);
 }
 
 // ---------------------------------------------------------------------------

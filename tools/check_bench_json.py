@@ -30,8 +30,17 @@ REQUIRED_KEYS = {
     "svc_overload": ["lock", "policy", "admission", "p50_ns", "p99_ns",
                      "shed_rate"],
     # Cross-process arm vs single-process baseline (bench_shm): `world`
-    # distinguishes them (shm = two OS processes on one region).
-    "shm_contention": ["lock", "world", "procs", "p50_ns", "p99_ns"],
+    # distinguishes them (shm = two OS processes on one region) and
+    # `handoff` names the parked-waiter wake channel (condvar = the
+    # process-local lot, timed = cross-process with no wake channel,
+    # futex = the region-resident futex lot); every row books the
+    # measured session's handoff_rmrs and the lot's mean wake latency.
+    "shm_contention": ["lock", "world", "procs", "handoff", "p50_ns",
+                       "p99_ns", "handoff_rmrs", "wake_ns"],
+    # The park-wake ping (bench_shm): choreographed parent/child handoff
+    # over the raw region lot; the futex arm must report timeouts == 0
+    # (CI asserts it - a nonzero count means a wake was lost).
+    "shm_handoff": ["handoff", "grants", "timeouts", "wake_ns"],
 }
 
 

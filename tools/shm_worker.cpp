@@ -21,10 +21,25 @@
 //                                     clean passages (plus batches when
 //                                     two keys are given), announce done
 //     run <n> <key>                   n clean passages (contention load)
+//     park-acquire <key>              one PARKED passage: a ParkPolicy
+//                                     with tiny spin budgets and a long
+//                                     flat nap, so the wait sleeps on the
+//                                     pid's in-region wait word until a
+//                                     releaser's futex handoff grants it;
+//                                     logs the grant order (fx.grant_at)
+//     park-run <n> <key>              n parked passages; self-audits the
+//                                     fair-handoff invariant
+//                                     handoff_rmrs <= releases
+//     recover-parked <key>            take over a pid that died PARKED
+//                                     (held nothing): replay recovery,
+//                                     audit the target shard's probe is
+//                                     unowned, then one parked passage
 //
 // Exit codes: 0 ok; 2 shm error (busy slot, bad region); 3 bad args;
 // 4 recovery audit failure (probe owner unexpectedly changed); 5 the
-// role expected a takeover but the claim was fresh.
+// role expected a takeover but the claim was fresh; 6 fair-handoff
+// invariant violated (handoff_rmrs > releases).
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +47,7 @@
 
 #include "api/api.hpp"
 #include "harness/fork_scenario.hpp"
+#include "platform/wait.hpp"
 #include "shm/shm.hpp"
 #include "svc/svc.hpp"
 
@@ -45,6 +61,30 @@ using Fixture = ShmKillFixture<Table>;
 using Lease = rme::shm::SessionLease<Table>;
 
 uint64_t probe_id(int pid) { return static_cast<uint64_t>(pid) + 1; }
+
+// ParkPolicy options for the park roles: spin/yield budgets tiny so the
+// wait parks almost immediately, naps long and FLAT (min == max) so a
+// granted futex wake always beats the park timeout - the tests assert
+// "zero timeout wakes in steady state" against exactly this shape.
+rme::platform::ParkPolicy::Options park_opts() {
+  rme::platform::ParkPolicy::Options o;
+  o.spin_limit = 4;
+  o.yield_limit = 8;
+  o.min_park = std::chrono::seconds(2);
+  o.max_park = std::chrono::seconds(2);
+  return o;
+}
+
+// One parked passage with grant-order logging: the probe witnesses the
+// CS, the fixture's grant log records when this pid's acquisition came
+// through relative to its rivals'.
+void parked_passage(Lease& lease, Fixture& fx, int pid, uint64_t key) {
+  auto g = lease->acquire(key).value();
+  fx.log_grant(pid);
+  CsProbe& p = fx.probes[g.shard()];
+  p.enter(probe_id(pid));
+  p.exit(probe_id(pid));
+}
 
 // One audited clean passage: acquire, witness the CS, release.
 void passage(Lease& lease, Fixture& fx, int pid, uint64_t key) {
@@ -152,6 +192,54 @@ int run_role(const std::string& role, rme::shm::ShmWorld& world, Fixture& fx,
     const uint64_t key = std::strtoull(argv[1], nullptr, 0);
     Lease lease(world, fx.table, pid);
     for (int i = 0; i < n; ++i) passage(lease, fx, pid, key);
+    fx.board.announce(pid, Stage::kDone);
+    return 0;
+  }
+  if (role == "park-acquire") {
+    if (argc < 1) return 3;
+    const uint64_t key = std::strtoull(argv[0], nullptr, 0);
+    rme::platform::ParkPolicy policy(park_opts());
+    Lease lease(world, fx.table, pid, &policy);
+    parked_passage(lease, fx, pid, key);
+    fx.board.announce(pid, Stage::kDone);
+    return 0;
+  }
+  if (role == "park-run") {
+    if (argc < 2) return 3;
+    const int n = std::atoi(argv[0]);
+    const uint64_t key = std::strtoull(argv[1], nullptr, 0);
+    rme::platform::ParkPolicy policy(park_opts());
+    Lease lease(world, fx.table, pid, &policy);
+    for (int i = 0; i < n; ++i) parked_passage(lease, fx, pid, key);
+    // The fair-handoff contract, audited cross-process: each release
+    // grants at most one parked waiter.
+    const auto& st = lease->stats();
+    if (st.handoff_rmrs > st.releases) return 6;
+    fx.board.announce(pid, Stage::kDone);
+    return 0;
+  }
+  if (role == "recover-parked") {
+    if (argc < 1) return 3;
+    const uint64_t key = std::strtoull(argv[0], nullptr, 0);
+    // The dead incarnation was killed PARKED in the Try section: it held
+    // nothing, so recovery replays an empty passage, and the target
+    // shard's probe must be UNOWNED - a parked waiter that somehow
+    // entered the CS before dying would have left its id there.
+    bool audit_failed = false;
+    rme::platform::ParkPolicy policy(park_opts());
+    Lease lease(world, fx.table, pid, &policy, nullptr,
+                [&](rme::svc::Session<Table>& s) {
+                  s.recover();
+                  const int shard = fx.table.shard_for_key(key);
+                  if (fx.probes[shard].owner.load(
+                          std::memory_order_acquire) != 0) {
+                    audit_failed = true;
+                  }
+                });
+    if (!lease.restarted()) return 5;  // the matrix expected a takeover
+    if (audit_failed) return 4;
+    fx.board.announce(pid, Stage::kRecovered);
+    parked_passage(lease, fx, pid, key);
     fx.board.announce(pid, Stage::kDone);
     return 0;
   }
