@@ -1,0 +1,154 @@
+// rme::cts audits: the between-rounds invariant sweeps.
+//
+// CTS audits run when the world is QUIESCENT - every worker of the round
+// reaped, no acquisition in flight - so each one can assert an exact
+// steady-state invariant rather than a racy approximation. All reads go
+// through the observer pid's handle (a logical pid the soak never
+// claims), keeping the auditing parent a pure reader of the region:
+//
+//   me_csr_witness   every shard's CsProbe saw zero collisions and is
+//                    empty - the cross-process ME/CSR witness held
+//                    across every kill and takeover of the round
+//   lease_sweep      zero leaked leases: every port back in its pool,
+//                    every persisted shard/batch intent cleared. THE
+//                    audit the checker-teeth fault must trip: a skipped
+//                    recovery replay leaves the victim's shard intent
+//                    (and often a held port) behind
+//   epoch_monotone   per-pid incarnation epochs never go backwards
+//                    (stateful across rounds - the only audit with
+//                    memory)
+//   handoff_rmrs     per-pid cumulative handoff grants <= releases, the
+//                    fair-handoff RMR attribution bound, summed over
+//                    every incarnation via the region-resident SoakCells
+//   arena_high_water caps respected: the bump cursor never passed the
+//                    region limit; records the high-water mark for
+//                    SOAK_JSON capacity reporting
+#pragma once
+
+#include <string>
+#include <type_traits>
+
+#include "cts/component.hpp"
+
+namespace rme::cts {
+
+class Audit {
+ public:
+  virtual ~Audit() = default;
+  virtual const char* name() const = 0;
+  // Quiescent-world sweep; violations go to ctx.fail().
+  virtual void check(SoakCtx& ctx) = 0;
+
+ protected:
+  static std::string at(const char* who, int i) {
+    return std::string(who) + "[" + std::to_string(i) + "]: ";
+  }
+};
+
+class ProbeAudit final : public Audit {
+ public:
+  const char* name() const override { return "me_csr_witness"; }
+  void check(SoakCtx& ctx) override {
+    for (int s = 0; s < ctx.fx.table.shards(); ++s) {
+      auto& p = ctx.fx.probes[s];
+      const uint64_t col = p.collisions.load(std::memory_order_acquire);
+      if (col != 0) {
+        ctx.fail(at("shard", s) + std::to_string(col) +
+                 " ME/CSR collisions witnessed");
+      }
+      const uint64_t owner = p.owner.load(std::memory_order_acquire);
+      if (owner != 0) {
+        ctx.fail(at("shard", s) + "probe still owned by id " +
+                 std::to_string(owner) + " at quiescence");
+      }
+    }
+  }
+};
+
+class LeaseAudit final : public Audit {
+ public:
+  const char* name() const override { return "lease_sweep"; }
+  void check(SoakCtx& ctx) override {
+    auto& obs = ctx.world.proc(ctx.opt.observer_pid()).ctx;
+    auto& t = ctx.fx.table.underlying();
+    for (int s = 0; s < t.shards(); ++s) {
+      const int free = t.shard_lease(s).free_ports(obs);
+      const int ports = t.shard_lease(s).ports();
+      if (free != ports) {
+        ctx.fail(at("shard", s) + "leaked lease: " +
+                 std::to_string(ports - free) + " of " +
+                 std::to_string(ports) + " ports still out");
+      }
+    }
+    for (int pid = 0; pid < ctx.world.nprocs(); ++pid) {
+      if (t.current_shard(obs, pid) !=
+          std::remove_reference_t<decltype(t)>::kNoShard) {
+        ctx.fail(at("pid", pid) + "persisted shard intent not cleared");
+      }
+      if (t.current_batch(obs, pid) != 0) {
+        ctx.fail(at("pid", pid) + "persisted batch intent not cleared");
+      }
+    }
+  }
+};
+
+class EpochAudit final : public Audit {
+ public:
+  const char* name() const override { return "epoch_monotone"; }
+  void check(SoakCtx& ctx) override {
+    for (int pid = 0; pid < ctx.world.nprocs(); ++pid) {
+      const uint64_t e = ctx.world.region().header()->slots[pid].epoch.load(
+          std::memory_order_acquire);
+      if (e < last_[pid]) {
+        ctx.fail(at("pid", pid) + "epoch went backwards: " +
+                 std::to_string(last_[pid]) + " -> " + std::to_string(e));
+      }
+      last_[pid] = e;
+    }
+  }
+
+ private:
+  uint64_t last_[shm::kMaxProcs] = {};
+};
+
+class HandoffAudit final : public Audit {
+ public:
+  const char* name() const override { return "handoff_rmrs"; }
+  void check(SoakCtx& ctx) override {
+    for (int pid = 0; pid < ctx.world.nprocs(); ++pid) {
+      auto& c = ctx.fx.soak[pid];
+      const uint64_t grants =
+          c.handoff_rmrs.load(std::memory_order_acquire);
+      const uint64_t rels = c.releases.load(std::memory_order_acquire);
+      // Single-key soak roles: at most one grant per released lock. The
+      // cumulative cells make this a cross-incarnation bound - recovery
+      // replays and takeovers included.
+      if (grants > rels) {
+        ctx.fail(at("pid", pid) + "handoff grants " +
+                 std::to_string(grants) + " exceed releases " +
+                 std::to_string(rels));
+      }
+    }
+  }
+};
+
+class ArenaAudit final : public Audit {
+ public:
+  const char* name() const override { return "arena_high_water"; }
+  void check(SoakCtx& ctx) override {
+    const uint64_t cursor = ctx.world.region().header()->cursor.load(
+        std::memory_order_acquire);
+    if (cursor > ctx.world.region().bytes()) {
+      ctx.fail("arena cursor " + std::to_string(cursor) +
+               " passed the region limit " +
+               std::to_string(ctx.world.region().bytes()));
+    }
+    if (cursor > high_water_) high_water_ = cursor;
+  }
+  uint64_t high_water() const { return high_water_; }
+
+ private:
+  uint64_t high_water_ = 0;
+};
+
+}  // namespace rme::cts

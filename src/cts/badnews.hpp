@@ -1,0 +1,136 @@
+// BadNews: the soak's log scanner and exit-status classifier - the
+// pacemaker-CTS idea that a chaos run fails not only on audit violations
+// but on ANY anomaly the system let slip into its logs or exit codes.
+//
+// Two inputs per worker incarnation:
+//
+//   * its captured stderr file (ForkScenario::spawn redirects the child's
+//     fd 2): scanned line by line against a substring pattern list -
+//     assertion text, ShmError reports, sanitizer banners, glibc abort
+//     chatter. Substrings, not regexes, on purpose: the patterns are
+//     verbatim fragments of the messages our own layers print, and a
+//     scanner whose behaviour depends on a regex dialect is itself a
+//     reproducibility hazard.
+//
+//   * its waitpid status, judged against the fate the scenario intended:
+//     a worker the storm SIGKILL'd may die by SIGKILL (or win the race
+//     and exit 0); every other worker must exit 0. Any other signal
+//     (SIGSEGV, SIGABRT...) or exit code (shm_worker's 2..6 audit /
+//     protocol failures) is an anomaly, reported with the shm_worker
+//     exit-code legend so the failure report reads without a decoder.
+//
+// Matches accumulate as structured one-line anomalies; the Soak driver
+// folds them into its failure report and fails the run.
+#pragma once
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rme::cts {
+
+class BadNews {
+ public:
+  BadNews() : patterns_(default_patterns()) {}
+  explicit BadNews(std::vector<std::string> patterns)
+      : patterns_(std::move(patterns)) {}
+
+  // The stock pattern list: fragments of what our layers print on the way
+  // down. Extended, never replaced, by soak callers with app patterns.
+  static std::vector<std::string> default_patterns() {
+    return {
+        "assert",            // RME_ASSERT and glibc __assert_fail
+        "Assertion",         //
+        "Sanitizer",         // ASan/TSan/UBSan banners
+        "runtime error",     // UBSan
+        "terminate called",  // uncaught exception
+        "Segmentation",      //
+        "double free",       //
+        "corrupt",           // glibc heap diagnostics
+        "shm_worker:",       // worker-side ShmError report
+    };
+  }
+
+  void add_pattern(std::string p) { patterns_.push_back(std::move(p)); }
+
+  // Scan one captured stderr file; every matching line becomes an
+  // anomaly tagged with `tag` (the worker's identity in the report).
+  // A missing file is fine (the worker wrote nothing / spawn had no
+  // capture); an unreadable existing file is NOT reported - stderr
+  // capture is best-effort by design.
+  void scan_file(const std::string& path, const std::string& tag) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) return;
+    char line[1024];
+    int lineno = 0;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      ++lineno;
+      const std::string s(line);
+      for (const std::string& p : patterns_) {
+        if (s.find(p) != std::string::npos) {
+          note(tag + " stderr:" + std::to_string(lineno) + ": " +
+               trimmed(s));
+          break;  // one anomaly per line, however many patterns hit
+        }
+      }
+    }
+    std::fclose(f);
+  }
+
+  // Judge a reaped waitpid status. `expected_kill`: the scenario itself
+  // delivered SIGKILL, so death-by-SIGKILL (or a clean exit that won the
+  // race) is the intended fate.
+  void note_exit(const std::string& tag, int status, bool expected_kill) {
+    if (WIFEXITED(status)) {
+      const int code = WEXITSTATUS(status);
+      if (code == 0) return;  // clean exit is always acceptable
+      note(tag + " exited " + std::to_string(code) + " (" +
+           exit_code_legend(code) + ")");
+      return;
+    }
+    if (WIFSIGNALED(status)) {
+      const int sig = WTERMSIG(status);
+      if (expected_kill && sig == SIGKILL) return;
+      note(tag + " died by signal " + std::to_string(sig) +
+           (expected_kill ? " (SIGKILL expected)" : " (no kill was sent)"));
+      return;
+    }
+    note(tag + " unrecognised wait status " + std::to_string(status));
+  }
+
+  // The shm_worker exit-code contract (tools/shm_worker.cpp).
+  static const char* exit_code_legend(int code) {
+    switch (code) {
+      case 2: return "shm error: busy slot or bad region";
+      case 3: return "bad arguments";
+      case 4: return "recovery audit failure: probe owner changed";
+      case 5: return "expected a takeover, claim was fresh";
+      case 6: return "fair-handoff invariant violated";
+      case 127: return "exec failed";
+      default: return "unexpected exit code";
+    }
+  }
+
+  const std::vector<std::string>& anomalies() const { return anomalies_; }
+  bool clean() const { return anomalies_.empty(); }
+  void drain_into(std::vector<std::string>& out) {
+    for (std::string& a : anomalies_) out.push_back(std::move(a));
+    anomalies_.clear();
+  }
+
+ private:
+  void note(std::string a) { anomalies_.push_back(std::move(a)); }
+
+  static std::string trimmed(std::string s) {
+    while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+    if (s.size() > 160) s.resize(160);
+    return s;
+  }
+
+  std::vector<std::string> patterns_;
+  std::vector<std::string> anomalies_;
+};
+
+}  // namespace rme::cts

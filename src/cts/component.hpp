@@ -1,0 +1,512 @@
+// rme::cts components: the scenario zoo's adversaries.
+//
+// The pacemaker-CTS shape (SNIPPETS.md): a soak round composes an
+// ordered list of ScenarioComponents against one live cluster - here one
+// live shm::ShmWorld with real fork+exec'd worker processes - and audits
+// run between rounds. Each component's run() performs one round's worth
+// of its adversary against the shared world, drawing every decision from
+// the round's SoakRng so the whole run replays from its seed:
+//
+//   kill_storm       Poisson-timed SIGKILLs of random load workers,
+//                    each verified corpse taken over by a soak-recover
+//                    respawn (epoch-fenced recovery replay under fire)
+//   restart_flood    tight kill/recover cycles on one identity, killed
+//                    IN the critical section every time (the arm the
+//                    checker-teeth fault is guaranteed to trip)
+//   region_pressure  drives a scratch region's arena to exhaustion and
+//                    requires graceful refusal (Arena::try_allocate
+//                    nullptr, never UB/abort) plus a clean successor
+//                    region
+//   overload         open-loop admission floods through gated sessions
+//                    (WaitTrendAdmission) on the round's hot key
+//   pid_reuse        forges a registry slot whose dead owner's OS pid
+//                    has been "recycled" by a live decoy process with a
+//                    mismatching /proc start time; the takeover must
+//                    still proceed (pins the PR 6 liveness fix under
+//                    soak conditions)
+//   clock_skew       deadline-skew simulation of clock jumps: workers
+//                    issue deadline verbs whose deadlines sit in the
+//                    past or near-future; steady_clock discipline means
+//                    skew yields timeouts, never hangs
+//
+// Decisions are deterministic, outcomes are not: the seed replays the
+// exact sequence of arm choices, kill times, victims and worker seeds,
+// while the OS still schedules freely. That is the CTS trade - a failure
+// report's seed re-runs the same adversary script against the same
+// protocol, which in practice re-finds protocol bugs without pretending
+// to replay the kernel.
+#pragma once
+
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.hpp"
+#include "cts/badnews.hpp"
+#include "cts/rng.hpp"
+#include "harness/fork_scenario.hpp"
+#include "shm/shm.hpp"
+#include "svc/svc.hpp"
+
+namespace rme::cts {
+
+using Table = api::TableLock<platform::Real>;
+using Fixture = harness::ShmKillFixture<Table>;
+
+// ---------------------------------------------------------------------------
+// Arms
+// ---------------------------------------------------------------------------
+
+enum Arm : uint32_t {
+  kKillStorm = 1u << 0,
+  kRestartFlood = 1u << 1,
+  kRegionPressure = 1u << 2,
+  kOverload = 1u << 3,
+  kPidReuse = 1u << 4,
+  kClockSkew = 1u << 5,
+  kAllArms = (1u << 6) - 1,
+};
+
+inline const char* arm_name(Arm a) {
+  switch (a) {
+    case kKillStorm: return "kill_storm";
+    case kRestartFlood: return "restart_flood";
+    case kRegionPressure: return "region_pressure";
+    case kOverload: return "overload";
+    case kPidReuse: return "pid_reuse";
+    case kClockSkew: return "clock_skew";
+    default: return "?";
+  }
+}
+
+// "kill_storm+overload" (or comma-separated) -> bitmask; 0 on any
+// unknown name (callers treat that as a usage error).
+inline uint32_t parse_arms(const std::string& s) {
+  if (s.empty() || s == "all") return kAllArms;
+  uint32_t mask = 0;
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    size_t end = s.find_first_of("+,", pos);
+    if (end == std::string::npos) end = s.size();
+    const std::string tok = s.substr(pos, end - pos);
+    uint32_t bit = 0;
+    for (uint32_t a = 1; a < kAllArms + 1; a <<= 1) {
+      if (tok == arm_name(static_cast<Arm>(a))) bit = a;
+    }
+    if (bit == 0) return 0;
+    mask |= bit;
+    pos = end + 1;
+    if (end == s.size()) break;
+  }
+  return mask;
+}
+
+inline std::string arms_to_string(uint32_t mask) {
+  std::string out;
+  for (uint32_t a = 1; a <= kAllArms; a <<= 1) {
+    if ((mask & a) == 0) continue;
+    if (!out.empty()) out += "+";
+    out += arm_name(static_cast<Arm>(a));
+  }
+  return out.empty() ? "none" : out;
+}
+
+// ---------------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------------
+
+struct SoakOptions {
+  uint64_t seed = 1;
+  int procs = 4;      // baseline load workers (logical pids 0..procs-1)
+  int rounds = 0;     // fixed round count; 0 = run until `duration` elapses
+  std::chrono::seconds duration{30};
+  int passages = 150;           // load passages per worker per round
+  int dwell_us = 200;           // inter-passage dwell: keeps load workers
+                                // alive across the storm window
+  uint32_t arms = kAllArms;
+  bool teeth = false;           // checker-teeth: workers SKIP the recovery
+                                // replay (test-only flag; the soak must
+                                // catch the leak it causes)
+  double kill_mean_ms = 8.0;    // kill-storm Poisson arrival mean
+  std::string worker;           // shm_worker binary path (required)
+  std::string region;           // shm region name; auto when empty
+  std::string log_dir;          // worker stderr capture dir; auto when empty
+  std::chrono::milliseconds worker_timeout{20000};
+
+  // Logical-pid map derived from `procs`. Each arm owns its pids so two
+  // arms in one round never race a claim.
+  int flood_pid() const { return procs; }
+  int reuse_pid() const { return procs + 1; }
+  int overload_pid(int i) const { return procs + 2 + i; }  // i in {0,1}
+  int skew_pid(int i) const { return procs + 4 + i; }      // i in {0,1}
+  int observer_pid() const { return procs + 6; }           // never claimed
+  int npids() const { return procs + 7; }
+};
+
+// ---------------------------------------------------------------------------
+// SoakCtx: one round's shared state - the world under attack, the
+// choreography helpers every component drives, and the anomaly sink.
+// ---------------------------------------------------------------------------
+
+struct SoakCtx {
+  SoakCtx(shm::ShmWorld& w, Fixture& f, const SoakOptions& o, SoakRng& r,
+          harness::ForkScenario& s, BadNews& b)
+      : world(w), fx(f), opt(o), rng(r), fs(s), badnews(b) {}
+
+  shm::ShmWorld& world;
+  Fixture& fx;
+  const SoakOptions& opt;
+  SoakRng& rng;
+  harness::ForkScenario& fs;
+  BadNews& badnews;
+
+  int round = 0;
+  uint64_t round_key = 33;  // the round's hot key (rng-drawn by the Soak)
+  uint64_t kills = 0;
+  uint64_t restarts = 0;
+  uint64_t spawns = 0;
+  std::vector<std::string> anomalies;
+
+  // Every worker spawned this round; index into this vector is the
+  // "worker handle" the helpers take.
+  struct Worker {
+    int child = -1;       // ForkScenario child index
+    int pid = -1;         // logical pid
+    std::string role;
+    std::string log;      // captured-stderr path
+    bool expect_kill = false;
+    bool classified = false;  // exit already judged by BadNews
+  };
+  std::vector<Worker> workers;
+  std::vector<int> live_load;  // worker handles of not-yet-killed load
+
+  void fail(const std::string& what) {
+    anomalies.push_back("round " + std::to_string(round) + ": " + what);
+  }
+
+  int spawn(int pid, const std::string& role,
+            std::vector<std::string> extra) {
+    std::vector<std::string> args{world.region().name(), std::to_string(pid),
+                                  role};
+    for (std::string& e : extra) args.push_back(std::move(e));
+    const std::string log = opt.log_dir + "/r" + std::to_string(round) +
+                            "_p" + std::to_string(pid) + "_s" +
+                            std::to_string(spawns) + ".log";
+    const int child = fs.spawn(opt.worker, args, log);
+    ++spawns;
+    workers.push_back(Worker{child, pid, role, log, false, false});
+    return static_cast<int>(workers.size()) - 1;
+  }
+
+  // The recovery respawn for a corpse's pid. Carries the checker-teeth
+  // flag: under --teeth the worker's recovery hook deliberately skips
+  // the replay, and the between-round lease audit MUST catch the leak.
+  int spawn_recover(int pid, int passages) {
+    std::vector<std::string> extra{std::to_string(passages),
+                                   std::to_string(round_key)};
+    if (opt.teeth) extra.push_back("teeth");
+    ++restarts;
+    return spawn(pid, "soak-recover", std::move(extra));
+  }
+
+  void kill_worker(int w) {
+    workers[static_cast<size_t>(w)].expect_kill = true;
+    fs.kill_child(workers[static_cast<size_t>(w)].child);
+    ++kills;
+  }
+
+  // Reap `w` and report whether it actually died by our SIGKILL (false:
+  // it won the race and exited clean - also acceptable). Classifies the
+  // exit for BadNews exactly once.
+  bool reap_died_by_kill(int w) {
+    Worker& wk = workers[static_cast<size_t>(w)];
+    const int st = fs.wait_child(wk.child);
+    if (!wk.classified) {
+      badnews.note_exit(tag(wk), st, wk.expect_kill);
+      wk.classified = true;
+    }
+    return WIFSIGNALED(st) && WTERMSIG(st) == SIGKILL;
+  }
+
+  bool await_stage(int pid, harness::Stage s, const char* who) {
+    if (fx.board.await(pid, s, opt.worker_timeout)) return true;
+    fail(std::string(who) + ": pid " + std::to_string(pid) +
+         " never reached stage " +
+         std::to_string(static_cast<uint32_t>(s)) + " (hang)");
+    return false;
+  }
+
+  void reset_stage(int pid) {
+    fx.board.announce(pid, harness::Stage::kIdle);
+  }
+
+  std::string tag(const Worker& w) const {
+    return "[round " + std::to_string(round) + " pid " +
+           std::to_string(w.pid) + " " + w.role + "]";
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Component interface
+// ---------------------------------------------------------------------------
+
+class Component {
+ public:
+  virtual ~Component() = default;
+  virtual Arm arm() const = 0;
+  const char* name() const { return arm_name(arm()); }
+  // One round's worth of this adversary. Must leave every pid it spawned
+  // either awaited-done or registered for the round's finish sweep.
+  virtual void run(SoakCtx& ctx) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// kill_storm: Poisson-timed SIGKILLs of the baseline load fleet.
+// ---------------------------------------------------------------------------
+
+class KillStorm final : public Component {
+ public:
+  Arm arm() const override { return kKillStorm; }
+
+  void run(SoakCtx& ctx) override {
+    if (ctx.live_load.empty()) return;
+    const int strikes =
+        1 + static_cast<int>(ctx.rng.below(ctx.live_load.size()));
+    std::vector<int> victims;
+    for (int k = 0; k < strikes && !ctx.live_load.empty(); ++k) {
+      std::this_thread::sleep_for(
+          ctx.rng.exp_us(ctx.opt.kill_mean_ms * 1000.0));
+      const size_t pick = ctx.rng.below(ctx.live_load.size());
+      const int w = ctx.live_load[pick];
+      ctx.live_load.erase(ctx.live_load.begin() +
+                          static_cast<long>(pick));
+      // Only strike workers whose claim handshake completed (announced
+      // kClaimed or beyond): a SIGKILL inside the two-store claim window
+      // would leave the slot stuck busy - a documented capacity decay,
+      // not the protocol bug this soak hunts.
+      if (ctx.fx.board.stage_of(ctx.workers[static_cast<size_t>(w)].pid) ==
+          harness::Stage::kIdle) {
+        continue;
+      }
+      ctx.kill_worker(w);
+      victims.push_back(w);
+    }
+    // Every verified corpse gets an epoch-fenced successor; a victim
+    // that won the race (exited clean before the signal landed) needs
+    // none - its slot was released.
+    for (int w : victims) {
+      if (!ctx.reap_died_by_kill(w)) continue;
+      const int pid = ctx.workers[static_cast<size_t>(w)].pid;
+      ctx.reset_stage(pid);
+      ctx.spawn_recover(pid, ctx.opt.passages / 4 + 1);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// restart_flood: tight kill-in-CS / takeover cycles on one identity.
+// ---------------------------------------------------------------------------
+
+class RestartFlood final : public Component {
+ public:
+  Arm arm() const override { return kRestartFlood; }
+
+  void run(SoakCtx& ctx) override {
+    const int pid = ctx.opt.flood_pid();
+    const int cycles = 2 + static_cast<int>(ctx.rng.below(3));
+    for (int c = 0; c < cycles; ++c) {
+      ctx.reset_stage(pid);
+      const int w = ctx.spawn(pid, "freeze-cs",
+                              {std::to_string(ctx.round_key)});
+      if (!ctx.await_stage(pid, harness::Stage::kInCs, "restart_flood")) {
+        ctx.kill_worker(w);
+        ctx.reap_died_by_kill(w);
+        return;
+      }
+      ctx.kill_worker(w);  // dies holding the CS, every cycle
+      if (!ctx.reap_died_by_kill(w)) {
+        ctx.fail("restart_flood: frozen worker was not killable");
+        return;
+      }
+      ctx.reset_stage(pid);
+      const int r = ctx.spawn_recover(pid, 2);
+      if (!ctx.await_stage(pid, harness::Stage::kDone, "restart_flood")) {
+        ctx.kill_worker(r);
+        ctx.reap_died_by_kill(r);
+        return;
+      }
+      ctx.reap_died_by_kill(r);  // classifies; clean exit expected
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// region_pressure: drive a scratch region's arena to exhaustion; require
+// graceful refusal and a clean successor region. Side-band on purpose -
+// arena memory is never freed, so exhausting the SOAK region would be
+// self-sabotage, not a scenario.
+// ---------------------------------------------------------------------------
+
+class RegionPressure final : public Component {
+ public:
+  Arm arm() const override { return kRegionPressure; }
+
+  void run(SoakCtx& ctx) override {
+    const std::string name = ctx.world.region().name() + "_pr" +
+                             std::to_string(ctx.round % 100);
+    try {
+      auto scratch =
+          shm::ShmWorld::create(name, 1 << 20, 2, /*ring_slots=*/2);
+      // Coarse fill, then fine fill: the arena must hand out every byte
+      // it can and refuse the rest with nullptr - never abort, never
+      // overlap.
+      size_t grabs = 0;
+      while (scratch.env.arena.try_allocate(4096, 64) != nullptr) {
+        if (++grabs > (1u << 20)) {
+          ctx.fail("region_pressure: arena never exhausted (overlap?)");
+          return;
+        }
+      }
+      while (scratch.env.arena.try_allocate(64, 8) != nullptr) {
+        if (++grabs > (1u << 21)) {
+          ctx.fail("region_pressure: fine fill never exhausted");
+          return;
+        }
+      }
+      if (scratch.env.arena.try_allocate(8, 8) != nullptr) {
+        ctx.fail("region_pressure: allocation succeeded past exhaustion");
+      }
+      const uint64_t cursor = scratch.region().header()->cursor.load(
+          std::memory_order_relaxed);
+      if (cursor > scratch.region().bytes()) {
+        ctx.fail("region_pressure: cursor overshot the region limit");
+      }
+    } catch (const shm::ShmError& e) {
+      ctx.fail(std::string("region_pressure: scratch region failed: ") +
+               e.what());
+      return;
+    }
+    // Recovery: the scratch region is gone (unlinked by its destructor);
+    // a successor with the same name must create and allocate cleanly.
+    try {
+      auto again = shm::ShmWorld::create(name, 1 << 20, 2, /*ring_slots=*/2);
+      if (again.env.arena.try_allocate(256, 64) == nullptr) {
+        ctx.fail("region_pressure: successor region refused a small alloc");
+      }
+    } catch (const shm::ShmError& e) {
+      ctx.fail(std::string("region_pressure: successor create failed: ") +
+               e.what());
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// overload: open-loop admission floods through gated sessions.
+// ---------------------------------------------------------------------------
+
+class Overload final : public Component {
+ public:
+  Arm arm() const override { return kOverload; }
+
+  void run(SoakCtx& ctx) override {
+    for (int i = 0; i < 2; ++i) {
+      const int pid = ctx.opt.overload_pid(i);
+      ctx.reset_stage(pid);
+      ctx.spawn(pid, "soak-overload",
+                {std::to_string(ctx.opt.passages * 2),
+                 std::to_string(ctx.round_key)});
+    }
+    // Awaited by the round's finish sweep (Soak::finish_round).
+  }
+};
+
+// ---------------------------------------------------------------------------
+// pid_reuse: the deliberate pid-recycling attack. A dead incarnation's
+// recorded OS pid is "recycled" by a live decoy process with a different
+// /proc start time; the successor's takeover must see through it.
+// ---------------------------------------------------------------------------
+
+class PidReuse final : public Component {
+ public:
+  Arm arm() const override { return kPidReuse; }
+
+  void run(SoakCtx& ctx) override {
+    const int pid = ctx.opt.reuse_pid();
+    // Stage the corpse the honest way: a worker dies by SIGKILL inside
+    // the CS, leaving a held shard and a claimed slot.
+    ctx.reset_stage(pid);
+    const int w =
+        ctx.spawn(pid, "freeze-cs", {std::to_string(ctx.round_key)});
+    if (!ctx.await_stage(pid, harness::Stage::kInCs, "pid_reuse")) {
+      ctx.kill_worker(w);
+      ctx.reap_died_by_kill(w);
+      return;
+    }
+    ctx.kill_worker(w);
+    if (!ctx.reap_died_by_kill(w)) {
+      ctx.fail("pid_reuse: frozen worker was not killable");
+      return;
+    }
+    // A live decoy whose OS pid will impersonate the dead owner. Plain
+    // fork (no exec): it never attaches the region - it exists only to
+    // be alive with the wrong birth tick.
+    const pid_t decoy = ::fork();
+    if (decoy == 0) {
+      for (;;) ::pause();
+    }
+    if (decoy < 0) {
+      ctx.fail("pid_reuse: decoy fork failed");
+      return;
+    }
+    // Forge the slot: the recorded owner becomes the LIVE decoy with a
+    // start time that cannot match /proc's - exactly what the kernel
+    // recycling the dead owner's pid onto an unrelated process looks
+    // like.
+    auto& slot = ctx.world.region().header()->slots[pid];
+    slot.start_time.store(shm::proc_start_time(decoy) + 977,
+                          std::memory_order_release);
+    slot.os_pid.store(static_cast<int64_t>(decoy),
+                      std::memory_order_release);
+    // The successor must judge the decoy an impostor, take the slot over
+    // and replay the dead incarnation's recovery. A busy-slot exit
+    // (code 2) here IS the regression this arm exists to catch.
+    ctx.reset_stage(pid);
+    const int r = ctx.spawn_recover(pid, 2);
+    if (ctx.await_stage(pid, harness::Stage::kDone, "pid_reuse")) {
+      ctx.reap_died_by_kill(r);  // classifies; clean exit expected
+    }
+    ::kill(decoy, SIGKILL);
+    int st = 0;
+    ::waitpid(decoy, &st, 0);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// clock_skew: deadline-skew simulation of wall-clock jumps. Workers run
+// deadline verbs whose deadlines are randomly already-expired or a few
+// hundred microseconds out; with every wait path on steady_clock, skew
+// can only produce timeouts - a worker that HANGS here is the bug.
+// ---------------------------------------------------------------------------
+
+class ClockSkew final : public Component {
+ public:
+  Arm arm() const override { return kClockSkew; }
+
+  void run(SoakCtx& ctx) override {
+    for (int i = 0; i < 2; ++i) {
+      const int pid = ctx.opt.skew_pid(i);
+      ctx.reset_stage(pid);
+      ctx.spawn(pid, "soak-deadline",
+                {std::to_string(ctx.opt.passages),
+                 std::to_string(ctx.round_key),
+                 std::to_string(ctx.rng.fork(static_cast<uint64_t>(pid))
+                                    .next())});
+    }
+    // Awaited by the round's finish sweep.
+  }
+};
+
+}  // namespace rme::cts

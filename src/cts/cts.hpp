@@ -1,0 +1,25 @@
+// rme::cts - the chaos-soak subsystem (CTS-style continuous testing).
+//
+// A seed-reproducible, long-running adversary harness for the
+// cross-process sessions stack: randomized kill storms, restart floods,
+// region pressure, admission overload, pid-reuse attacks and deadline
+// skew against one live shm::ShmWorld, with quiescent-point invariant
+// audits between rounds and a BadNews scanner over every worker's
+// captured stderr and exit status.
+//
+//   rng.hpp        SoakRng - the single splitmix64 randomness source
+//   badnews.hpp    log scanner + exit-status classifier
+//   component.hpp  SoakCtx, Arm, SoakOptions, the six adversary arms
+//   audit.hpp      the five between-rounds invariant sweeps
+//   soak.hpp       Soak driver, SoakReport, SOAK_JSON/SOAK_FAIL contract
+//
+// Driver binary: tools/rme_soak.cpp. Worker roles: tools/shm_worker.cpp
+// (soak-run / soak-recover / soak-overload / soak-deadline). Docs:
+// docs/soak.md.
+#pragma once
+
+#include "cts/audit.hpp"
+#include "cts/badnews.hpp"
+#include "cts/component.hpp"
+#include "cts/rng.hpp"
+#include "cts/soak.hpp"

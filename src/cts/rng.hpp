@@ -1,0 +1,96 @@
+// SoakRng: the single randomness source of the cts chaos soak.
+//
+// Every nondeterministic decision a soak run makes - which arms fire in a
+// round, when the kill storm strikes, which victim it picks, what
+// deadline skew a worker applies - is drawn from ONE seeded generator,
+// so a failing run is replayed by its seed alone (`rme_soak --seed=...`).
+// The generator is splitmix64: tiny, fast, full-period over 2^64 seeds,
+// and - unlike std::mt19937 with std::uniform_int_distribution - its
+// output sequence is identical across standard libraries, which a
+// reproduction command shared between a laptop and CI requires.
+//
+// fork(stream) derives an independent child generator, used to hand each
+// soak-deadline worker its own seed: the worker's in-process decisions
+// stay deterministic without the parent replaying them.
+//
+// (Wall-clock randomness never enters: callers that want a "random" seed
+// derive one themselves and PRINT it - see tools/rme_soak.cpp.)
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace rme::cts {
+
+class SoakRng {
+ public:
+  explicit SoakRng(uint64_t seed) : state_(seed) {}
+
+  // splitmix64 step.
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, n). n == 0 returns 0. Modulo bias is irrelevant at
+  // soak-decision scale (n is always tiny against 2^64).
+  uint64_t below(uint64_t n) { return n == 0 ? 0 : next() % n; }
+
+  // Uniform in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // True with probability p.
+  bool chance(double p) { return unit() < p; }
+
+  // Exponentially distributed interval with the given mean - the
+  // Poisson-process arrival spacing of the kill storm. Clamped to
+  // [1us, 50 * mean] so a pathological draw can neither spin nor stall
+  // a round.
+  std::chrono::microseconds exp_us(double mean_us) {
+    double u = unit();
+    if (u <= 0.0) u = 1e-12;
+    double v = -mean_us * log_approx(u);
+    if (v < 1.0) v = 1.0;
+    if (v > 50.0 * mean_us) v = 50.0 * mean_us;
+    return std::chrono::microseconds(static_cast<int64_t>(v));
+  }
+
+  // An independent derived stream (worker seeds).
+  SoakRng fork(uint64_t stream) {
+    return SoakRng(next() ^ (0x510ac1d5ull * (stream + 1)));
+  }
+
+ private:
+  // ln(u) for u in (0, 1] without <cmath> in a hot include: atanh-series
+  // on the mantissa after range reduction by halving. Accuracy ~1e-9,
+  // far beyond what arrival-time jitter needs.
+  static double log_approx(double u) {
+    static constexpr double kLn2 = 0.6931471805599453;
+    int k = 0;
+    while (u < 0.5) {
+      u *= 2.0;
+      --k;
+    }
+    while (u > 1.0) {
+      u *= 0.5;
+      ++k;
+    }
+    const double y = (u - 1.0) / (u + 1.0);
+    const double y2 = y * y;
+    double term = y;
+    double sum = 0.0;
+    for (int i = 1; i < 20; i += 2) {
+      sum += term / static_cast<double>(i);
+      term *= y2;
+    }
+    return 2.0 * sum + static_cast<double>(k) * kLn2;
+  }
+
+  uint64_t state_;
+};
+
+}  // namespace rme::cts

@@ -1,0 +1,257 @@
+// rme::cts Soak: the chaos-soak driver.
+//
+// One Soak owns one live shm::ShmWorld (a TableLock fixture world, the
+// same root tests/test_shm_fork.cpp uses) and runs rounds against it
+// until a round budget or a duration budget is spent:
+//
+//   round = spawn baseline load fleet (soak-run workers, pids
+//           0..procs-1, real fork+exec'd processes)
+//         + run an rng-chosen subset of the enabled adversary arms
+//           (components.hpp) against that live traffic, in fixed order
+//         + finish: await every worker's kDone, reap and classify every
+//           exit, scan every captured stderr (BadNews)
+//         + audits: the five quiescent-world sweeps (audit.hpp)
+//
+// The world persists ACROSS rounds - epochs, probes and SoakCells
+// accumulate - so cross-round invariants (epoch monotonicity, cumulative
+// handoff bounds) have teeth. The run stops at the first failing round:
+// the printed reproduction command replays exactly the rounds it took to
+// fail, which keeps `rme_soak --seed=...` repros minimal.
+//
+// Reporting contract (consumed by tools/rme_soak.cpp, validated by
+// tools/check_bench_json.py, documented in docs/soak.md):
+//
+//   SOAK_JSON {...}    exactly one line per run, always printed
+//   SOAK_FAIL <what>   one line per anomaly, failures only
+//   SOAK_REPRO: <cmd>  the replay command, failures only
+#pragma once
+
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cts/audit.hpp"
+#include "cts/component.hpp"
+
+namespace rme::cts {
+
+struct SoakReport {
+  uint64_t seed = 0;
+  int procs = 0;
+  int rounds_run = 0;
+  std::string arms;   // enabled-arm names ("kill_storm+...")
+  bool teeth = false;
+  uint64_t kills = 0;
+  uint64_t restarts = 0;
+  uint64_t takeovers = 0;
+  uint64_t spawns = 0;
+  uint64_t acquires = 0;
+  uint64_t releases = 0;
+  uint64_t sheds = 0;
+  uint64_t timeouts = 0;
+  uint64_t audits_run = 0;
+  uint64_t arena_high_water = 0;
+  std::vector<std::string> anomalies;
+  std::string repro;  // replay command; empty on a clean run
+
+  bool ok() const { return anomalies.empty(); }
+
+  // The one-line machine-readable summary.
+  std::string json_line() const {
+    std::string s = "SOAK_JSON {";
+    auto num = [&s](const char* k, uint64_t v, bool first = false) {
+      if (!first) s += ", ";
+      s += "\"";
+      s += k;
+      s += "\": " + std::to_string(v);
+    };
+    num("seed", seed, true);
+    num("procs", static_cast<uint64_t>(procs));
+    num("rounds", static_cast<uint64_t>(rounds_run));
+    s += ", \"arms\": \"" + arms + "\"";
+    num("teeth", teeth ? 1 : 0);
+    num("kills", kills);
+    num("restarts", restarts);
+    num("takeovers", takeovers);
+    num("spawns", spawns);
+    num("acquires", acquires);
+    num("releases", releases);
+    num("sheds", sheds);
+    num("timeouts", timeouts);
+    num("audits", audits_run);
+    num("anomalies", anomalies.size());
+    num("arena_high_water", arena_high_water);
+    s += "}";
+    return s;
+  }
+
+  // Failure-report lines (empty vector on a clean run).
+  std::vector<std::string> failure_lines() const {
+    std::vector<std::string> out;
+    for (const std::string& a : anomalies) out.push_back("SOAK_FAIL " + a);
+    if (!ok() && !repro.empty()) out.push_back("SOAK_REPRO: " + repro);
+    return out;
+  }
+};
+
+class Soak {
+ public:
+  explicit Soak(SoakOptions opt)
+      : opt_(finish_options(std::move(opt))),
+        world_(shm::ShmWorld::create(opt_.region, kRegionBytes,
+                                     opt_.npids())),
+        fx_(world_.create_root<Fixture>(world_.env, kShards,
+                                        /*ports_per_shard=*/opt_.npids(),
+                                        opt_.npids())),
+        rng_(opt_.seed) {
+    RME_ASSERT(!opt_.worker.empty(), "Soak: worker binary path required");
+    RME_ASSERT(opt_.procs >= 1 && opt_.npids() <= shm::kMaxProcs,
+               "Soak: procs out of range");
+    components_.emplace_back(new KillStorm);
+    components_.emplace_back(new RestartFlood);
+    components_.emplace_back(new RegionPressure);
+    components_.emplace_back(new Overload);
+    components_.emplace_back(new PidReuse);
+    components_.emplace_back(new ClockSkew);
+    audits_.emplace_back(new ProbeAudit);
+    audits_.emplace_back(new LeaseAudit);
+    audits_.emplace_back(new EpochAudit);
+    arena_audit_ = new ArenaAudit;
+    audits_.emplace_back(arena_audit_);
+    audits_.emplace_back(new HandoffAudit);
+  }
+
+  const SoakOptions& options() const { return opt_; }
+
+  SoakReport run() {
+    SoakReport rep;
+    rep.seed = opt_.seed;
+    rep.procs = opt_.procs;
+    rep.arms = arms_to_string(opt_.arms);
+    rep.teeth = opt_.teeth;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int round = 0;; ++round) {
+      if (opt_.rounds > 0) {
+        if (round >= opt_.rounds) break;
+      } else if (round > 0 &&
+                 std::chrono::steady_clock::now() - t0 >= opt_.duration) {
+        break;  // duration budget: always at least one round
+      }
+      run_round(round, rep);
+      rep.rounds_run = round + 1;
+      if (!rep.anomalies.empty()) break;  // minimal repro: stop here
+    }
+    // Cumulative region-resident telemetry, all incarnations of all pids.
+    for (int pid = 0; pid < world_.nprocs(); ++pid) {
+      auto& c = fx_.soak[pid];
+      rep.acquires += c.acquires.load(std::memory_order_acquire);
+      rep.releases += c.releases.load(std::memory_order_acquire);
+      rep.sheds += c.sheds.load(std::memory_order_acquire);
+      rep.timeouts += c.timeouts.load(std::memory_order_acquire);
+    }
+    rep.takeovers = fx_.soak_takeovers.load(std::memory_order_acquire);
+    rep.arena_high_water = arena_audit_->high_water();
+    rep.repro = repro_command(rep.rounds_run);
+    return rep;
+  }
+
+ private:
+  static constexpr size_t kRegionBytes = 32u << 20;
+  static constexpr int kShards = 4;
+
+  static SoakOptions finish_options(SoakOptions opt) {
+    if (opt.region.empty()) {
+      opt.region = "/rme_soak_" + std::to_string(::getpid());
+    }
+    if (opt.log_dir.empty()) {
+      char tmpl[] = "/tmp/rme_soak_XXXXXX";
+      opt.log_dir = (::mkdtemp(tmpl) != nullptr) ? tmpl : "/tmp";
+    }
+    return opt;
+  }
+
+  std::string repro_command(int rounds) const {
+    std::string c = "rme_soak --seed=" + std::to_string(opt_.seed) +
+                    " --procs=" + std::to_string(opt_.procs) +
+                    " --rounds=" + std::to_string(rounds) +
+                    " --passages=" + std::to_string(opt_.passages) +
+                    " --arms=" + arms_to_string(opt_.arms);
+    if (opt_.teeth) c += " --teeth";
+    return c;
+  }
+
+  void run_round(int round, SoakReport& rep) {
+    harness::ForkScenario fs;
+    BadNews bn;
+    SoakCtx ctx{world_, fx_, opt_, rng_, fs, bn};
+    ctx.round = round;
+    ctx.round_key = 1 + rng_.below(97);
+
+    // Choose this round's arms. Draw for every enabled component so the
+    // rng stream is independent of the choices themselves.
+    std::vector<Component*> chosen;
+    std::vector<Component*> enabled;
+    for (auto& c : components_) {
+      if ((opt_.arms & c->arm()) == 0) continue;
+      enabled.push_back(c.get());
+      if (rng_.chance(0.6)) chosen.push_back(c.get());
+    }
+    if (chosen.empty() && !enabled.empty()) {
+      chosen.push_back(enabled[rng_.below(enabled.size())]);
+    }
+
+    // Baseline load fleet: live traffic every arm fires against.
+    for (int pid = 0; pid < opt_.procs; ++pid) {
+      ctx.reset_stage(pid);
+      ctx.live_load.push_back(
+          ctx.spawn(pid, "soak-run",
+                    {std::to_string(opt_.passages),
+                     std::to_string(ctx.round_key),
+                     std::to_string(opt_.dwell_us)}));
+    }
+
+    for (Component* c : chosen) c->run(ctx);
+
+    finish_round(ctx);
+    for (auto& a : audits_) {
+      a->check(ctx);
+      ++rep.audits_run;
+    }
+
+    rep.kills += ctx.kills;
+    rep.restarts += ctx.restarts;
+    rep.spawns += ctx.spawns;
+    for (std::string& a : ctx.anomalies) rep.anomalies.push_back(std::move(a));
+  }
+
+  // Drain the round: every still-running worker must reach kDone and exit
+  // clean; a hang is an anomaly (and the hung worker is then killed so
+  // the reap cannot block). Afterwards every captured stderr is scanned.
+  void finish_round(SoakCtx& ctx) {
+    for (size_t w = 0; w < ctx.workers.size(); ++w) {
+      if (ctx.workers[w].classified) continue;
+      if (!ctx.await_stage(ctx.workers[w].pid, harness::Stage::kDone,
+                           ctx.workers[w].role.c_str())) {
+        ctx.kill_worker(static_cast<int>(w));  // anomaly already recorded
+      }
+      ctx.reap_died_by_kill(static_cast<int>(w));
+    }
+    for (const SoakCtx::Worker& w : ctx.workers) {
+      ctx.badnews.scan_file(w.log, ctx.tag(w));
+    }
+    ctx.badnews.drain_into(ctx.anomalies);
+  }
+
+  SoakOptions opt_;
+  shm::ShmWorld world_;
+  Fixture& fx_;
+  SoakRng rng_;
+  std::vector<std::unique_ptr<Component>> components_;
+  std::vector<std::unique_ptr<Audit>> audits_;
+  ArenaAudit* arena_audit_ = nullptr;  // owned by audits_
+};
+
+}  // namespace rme::cts

@@ -31,6 +31,7 @@
 // matrix itself is tests/test_shm_fork.cpp.
 #pragma once
 
+#include <fcntl.h>
 #include <signal.h>
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -152,11 +153,30 @@ struct CsProbe {
 // instantiate it with api::TableLock<platform::Real>.
 // ---------------------------------------------------------------------------
 
+// Per-pid cumulative session telemetry, flushed into the region by a
+// worker at the end of each incarnation (cts soak roles). Region-resident
+// so the auditing parent can check cross-incarnation invariants
+// (handoff_rmrs <= releases) and aggregate SOAK_JSON counters without
+// sharing an address space with any worker. Counters only ever grow; a
+// worker killed before its flush simply contributes nothing (the audits
+// are monotone, so a missing flush can never fake a violation).
+struct SoakCell {
+  std::atomic<uint64_t> acquires;
+  std::atomic<uint64_t> releases;
+  std::atomic<uint64_t> handoff_rmrs;
+  std::atomic<uint64_t> timeouts;
+  std::atomic<uint64_t> sheds;
+  std::atomic<uint64_t> crash_recoveries;
+  std::atomic<uint64_t> flushes;  // completed incarnations that reported
+};
+
 template <class Table>
 struct ShmKillFixture {
   Table table;
   StageBoard board{};
   CsProbe probes[shm::kMaxProcs]{};  // indexed by shard
+  SoakCell soak[shm::kMaxProcs]{};   // indexed by logical pid
+  std::atomic<uint64_t> soak_takeovers{};  // verified dead-slot takeovers
 
   // Cross-process grant log for the park-handoff tests: a worker that
   // completes an acquisition draws a sequence number and records it
@@ -174,6 +194,22 @@ struct ShmKillFixture {
   void log_grant(int pid) {
     grant_at[pid].store(grant_seq.fetch_add(1, std::memory_order_acq_rel) + 1,
                         std::memory_order_release);
+  }
+
+  // Worker-side: fold one incarnation's SessionStats into the pid's
+  // cumulative region-resident cell. Template so the harness layer needs
+  // no svc include; any struct with these fields works.
+  template <class Stats>
+  void flush_soak(int pid, const Stats& st) {
+    SoakCell& c = soak[pid];
+    c.acquires.fetch_add(st.acquires, std::memory_order_relaxed);
+    c.releases.fetch_add(st.releases, std::memory_order_relaxed);
+    c.handoff_rmrs.fetch_add(st.handoff_rmrs, std::memory_order_relaxed);
+    c.timeouts.fetch_add(st.timeouts, std::memory_order_relaxed);
+    c.sheds.fetch_add(st.sheds, std::memory_order_relaxed);
+    c.crash_recoveries.fetch_add(st.crash_recoveries,
+                                 std::memory_order_relaxed);
+    c.flushes.fetch_add(1, std::memory_order_acq_rel);
   }
 };
 
@@ -199,8 +235,13 @@ class ForkScenario {
     }
   }
 
-  // fork+exec `exe argv...`. Returns the child index.
-  int spawn(const std::string& exe, const std::vector<std::string>& args) {
+  // fork+exec `exe argv...`. Returns the child index. When `stderr_path`
+  // is non-empty the child's stderr is redirected (truncating) into that
+  // file - the capture channel of the cts BadNews scanner: whatever the
+  // worker's death left on stderr (assert text, ShmError reports,
+  // sanitizer output) survives the process and is scanned after the reap.
+  int spawn(const std::string& exe, const std::vector<std::string>& args,
+            const std::string& stderr_path = {}) {
     std::vector<char*> argv;
     argv.push_back(const_cast<char*>(exe.c_str()));
     for (const std::string& a : args) {
@@ -210,6 +251,14 @@ class ForkScenario {
     const pid_t pid = ::fork();
     RME_ASSERT(pid >= 0, "ForkScenario: fork failed");
     if (pid == 0) {
+      if (!stderr_path.empty()) {
+        const int fd = ::open(stderr_path.c_str(),
+                              O_CREAT | O_WRONLY | O_TRUNC, 0644);
+        if (fd >= 0) {
+          ::dup2(fd, 2);
+          if (fd != 2) ::close(fd);
+        }
+      }
       ::execv(exe.c_str(), argv.data());
       // exec failed: die without running the parent's atexit/destructors.
       ::_exit(127);

@@ -47,19 +47,41 @@ struct Arena {
 
   bool valid() const { return base != nullptr; }
 
-  // Bump-allocate `bytes` aligned to `align`. Lock-free (one fetch_add;
-  // worst-case `align` bytes of padding are consumed per call). Aborts on
-  // exhaustion: the region size is a capacity decision made at create
-  // time, and silently handing out overlapping memory would be far worse.
-  void* allocate(size_t bytes, size_t align) {
-    RME_ASSERT(valid(), "Arena::allocate on an invalid arena");
+  // Bump-allocate `bytes` aligned to `align`, or nullptr when the region
+  // cannot hold it. The CAS loop (rather than a blind fetch_add) keeps a
+  // REFUSED allocation from consuming the remaining space: a too-big
+  // request leaves the cursor where it was, so smaller requests still
+  // succeed and the region-pressure soak arm can drive the arena to its
+  // exact limit and observe graceful refusal, not a poisoned cursor.
+  // (The arena is harness/placement machinery, not paper-budgeted lock
+  // state, so the CAS is fine here.)
+  void* try_allocate(size_t bytes, size_t align) {
+    RME_ASSERT(valid(), "Arena::try_allocate on an invalid arena");
     RME_ASSERT(align != 0 && (align & (align - 1)) == 0,
-               "Arena::allocate: alignment must be a power of two");
-    const uint64_t got = cursor->fetch_add(
-        static_cast<uint64_t>(bytes) + align, std::memory_order_relaxed);
-    const uint64_t aligned = (got + align - 1) & ~static_cast<uint64_t>(align - 1);
-    RME_ASSERT(aligned + bytes <= limit, "Arena exhausted: size the region up");
-    return base + aligned;
+               "Arena::try_allocate: alignment must be a power of two");
+    uint64_t cur = cursor->load(std::memory_order_relaxed);
+    for (;;) {
+      const uint64_t aligned =
+          (cur + align - 1) & ~static_cast<uint64_t>(align - 1);
+      if (aligned + bytes > limit || aligned + bytes < aligned) {
+        return nullptr;  // exhausted (or size overflow): clean refusal
+      }
+      if (cursor->compare_exchange_weak(cur, aligned + bytes,
+                                        std::memory_order_relaxed)) {
+        return base + aligned;
+      }
+    }
+  }
+
+  // Bump-allocate `bytes` aligned to `align`. Aborts on exhaustion: the
+  // region size is a capacity decision made at create time, and silently
+  // handing out overlapping memory would be far worse. Callers that can
+  // survive refusal (soak pressure arms, operator tooling) use
+  // try_allocate instead.
+  void* allocate(size_t bytes, size_t align) {
+    void* p = try_allocate(bytes, align);
+    RME_ASSERT(p != nullptr, "Arena exhausted: size the region up");
+    return p;
   }
 
   // Offset of a region-resident pointer (for header bookkeeping).

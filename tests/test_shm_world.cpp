@@ -210,4 +210,65 @@ TEST(ShmWorldLock, SessionLeaseRecoversOnTakeover) {
   EXPECT_TRUE(g.held());
 }
 
+TEST(ShmRegion, ArenaExhaustionRefusesCleanly) {
+  // The region-pressure soak arm's contract: a bump allocation the
+  // region cannot hold returns nullptr (no abort, no UB), a REFUSED
+  // request leaves the cursor untouched, and the arena hands out every
+  // byte it actually has.
+  auto world = ShmWorld::create(unique_name("full"), 1 << 20, 2);
+  auto& arena = world.env.arena;
+  // A request far beyond the region: clean refusal, nothing consumed.
+  EXPECT_EQ(arena.try_allocate(8u << 20, 64), nullptr);
+  const uint64_t cursor_after_refusal =
+      world.region().header()->cursor.load(std::memory_order_relaxed);
+  // The refusal is non-sticky: small allocations still succeed.
+  EXPECT_NE(arena.try_allocate(256, 64), nullptr);
+  EXPECT_GT(world.region().header()->cursor.load(std::memory_order_relaxed),
+            cursor_after_refusal);
+  // Drain to exhaustion: refusal, not a poisoned cursor or an overlap.
+  size_t grabs = 0;
+  while (arena.try_allocate(4096, 64) != nullptr) {
+    ASSERT_LT(++grabs, 1u << 16) << "arena never exhausted";
+  }
+  while (arena.try_allocate(64, 8) != nullptr) {
+    ASSERT_LT(++grabs, 1u << 17) << "fine fill never exhausted";
+  }
+  EXPECT_EQ(arena.try_allocate(8, 8), nullptr);
+  EXPECT_LE(world.region().header()->cursor.load(std::memory_order_relaxed),
+            world.region().bytes());
+}
+
+TEST(ShmRegistry, RecycledPidWithMismatchedStartTimeIsDead) {
+  // The pid-reuse window: the dead owner's OS pid has been recycled onto
+  // a LIVE unrelated process. kill(pid, 0) alone would call the owner
+  // alive forever; the recorded /proc start-time cross-check must expose
+  // the impostor and open the takeover path.
+  auto world = ShmWorld::create(unique_name("reuse"), 8 << 20, 4);
+  auto id = world.claim(1);
+  (void)id;  // dies with the forged owner below; never released
+  // A live decoy standing in for "the kernel reused the pid".
+  const pid_t decoy = ::fork();
+  if (decoy == 0) {
+    for (;;) ::pause();
+  }
+  ASSERT_GT(decoy, 0);
+  const uint64_t real_start = rme::shm::proc_start_time(decoy);
+  ASSERT_NE(real_start, 0u);
+  auto& slot = world.region().header()->slots[1];
+  // Recorded start time MATCHES the live decoy: this is a live owner,
+  // and the claim must refuse (busy), not take over.
+  slot.start_time.store(real_start, std::memory_order_release);
+  slot.os_pid.store(static_cast<int64_t>(decoy), std::memory_order_release);
+  EXPECT_THROW(world.claim(1), ShmError);
+  // Recorded start time MISMATCHES: the recorded owner is dead, its pid
+  // merely recycled - the slot is takeoverable.
+  slot.start_time.store(real_start + 977, std::memory_order_release);
+  auto taken = world.claim(1);
+  EXPECT_TRUE(taken.restarted);
+  world.release(taken);
+  ::kill(decoy, SIGKILL);
+  int st = 0;
+  ::waitpid(decoy, &st, 0);
+}
+
 }  // namespace

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Validate the BENCH_JSON trajectory schema emitted by the benches.
+"""Validate the BENCH_JSON / SOAK_JSON line schemas.
 
-Usage: check_bench_json.py <bench-output-file>...
+Usage: check_bench_json.py <output-file>...
 
 Every line prefixed "BENCH_JSON " must parse as JSON and carry a "bench"
 key. Rows from the registry-driven benches must additionally carry the
@@ -13,13 +13,27 @@ keys that make them joinable across PRs:
     svc_overload shed-vs-collapse scenario, which also reports its
     shed_rate).
 
+Every line prefixed "SOAK_JSON " (the rme_soak chaos driver's one-line
+summary; see docs/soak.md) must parse as JSON and carry the full soak
+schema - above all the `seed` that makes the run reproducible and the
+`anomalies` count CI gates on.
+
 Exits non-zero (listing offenders) on any violation, or when an output
-file contains no BENCH_JSON lines at all.
+file contains no BENCH_JSON or SOAK_JSON lines at all.
 """
 import json
 import sys
 
 PREFIX = "BENCH_JSON "
+SOAK_PREFIX = "SOAK_JSON "
+
+# Every key of the rme_soak summary line (src/cts/soak.hpp emits them
+# unconditionally; a missing one means the schemas drifted).
+SOAK_REQUIRED_KEYS = [
+    "seed", "procs", "rounds", "arms", "teeth", "kills", "restarts",
+    "takeovers", "spawns", "acquires", "releases", "sheds", "timeouts",
+    "audits", "anomalies", "arena_high_water",
+]
 
 # bench-field value -> additionally required keys.
 REQUIRED_KEYS = {
@@ -44,15 +58,30 @@ REQUIRED_KEYS = {
 }
 
 
+def check_soak_row(where, payload, errors):
+    try:
+        row = json.loads(payload)
+    except json.JSONDecodeError as e:
+        errors.append(f"{where}: unparseable SOAK_JSON ({e})")
+        return
+    for key in SOAK_REQUIRED_KEYS:
+        if key not in row:
+            errors.append(f"{where}: SOAK_JSON missing '{key}'")
+
+
 def check_file(path):
     errors = []
     rows = 0
     with open(path, "r", encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
+            where = f"{path}:{lineno}"
+            if line.startswith(SOAK_PREFIX):
+                rows += 1
+                check_soak_row(where, line[len(SOAK_PREFIX):], errors)
+                continue
             if not line.startswith(PREFIX):
                 continue
             rows += 1
-            where = f"{path}:{lineno}"
             try:
                 row = json.loads(line[len(PREFIX):])
             except json.JSONDecodeError as e:
@@ -66,7 +95,7 @@ def check_file(path):
                 if key not in row:
                     errors.append(f"{where}: bench={bench} missing '{key}'")
     if rows == 0:
-        errors.append(f"{path}: no BENCH_JSON lines emitted")
+        errors.append(f"{path}: no BENCH_JSON or SOAK_JSON lines emitted")
     return rows, errors
 
 
@@ -82,7 +111,7 @@ def main(argv):
         all_errors.extend(errors)
     for e in all_errors:
         print(f"ERROR: {e}", file=sys.stderr)
-    print(f"checked {len(argv) - 1} file(s), {total_rows} BENCH_JSON row(s), "
+    print(f"checked {len(argv) - 1} file(s), {total_rows} JSON row(s), "
           f"{len(all_errors)} error(s)")
     return 1 if all_errors else 0
 

@@ -1,0 +1,155 @@
+// rme_soak: the cts chaos-soak driver binary.
+//
+// Composes the rme::cts scenario zoo (src/cts/) against one live
+// shm::ShmWorld and real fork+exec'd shm_worker processes. Every run
+// prints exactly one SOAK_JSON summary line; a failing run additionally
+// prints one SOAK_FAIL line per anomaly and a SOAK_REPRO line whose
+// command replays the run from its seed, and exits 1.
+//
+// Usage:
+//   rme_soak [--seed=N] [--procs=N] [--rounds=N | --duration=SECONDS]
+//            [--passages=N] [--dwell-us=N] [--arms=LIST|all]
+//            [--kill-mean-ms=F] [--timeout-ms=N] [--worker=PATH]
+//            [--report=FILE] [--teeth]
+//
+//   --seed        soak seed; omitted: derived (steady ticks ^ pid) and
+//                 PRINTED - every run is reproducible after the fact
+//   --rounds      fixed round count (repro mode); 0 = run by --duration
+//   --arms        '+'-separated subset of: kill_storm restart_flood
+//                 region_pressure overload pid_reuse clock_skew
+//   --teeth       checker-teeth fault injection: recovery workers SKIP
+//                 the recovery replay; the soak MUST fail (CI asserts
+//                 exactly that)
+//   --report      also write the summary + failure lines to FILE (the
+//                 nightly workflow's artifact)
+//   --worker      shm_worker binary (default: compiled-in build path)
+//
+// Exit: 0 clean, 1 anomalies found, 2 bad usage.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cts/cts.hpp"
+
+namespace {
+
+#ifndef RME_SHM_WORKER_PATH
+#define RME_SHM_WORKER_PATH ""
+#endif
+
+bool parse_u64(const char* s, uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 0);
+  return end != s && *end == '\0';
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: rme_soak [--seed=N] [--procs=N] [--rounds=N] "
+      "[--duration=SECONDS]\n"
+      "                [--passages=N] [--dwell-us=N] [--arms=LIST|all]\n"
+      "                [--kill-mean-ms=F] [--timeout-ms=N] "
+      "[--worker=PATH]\n"
+      "                [--report=FILE] [--teeth]\n"
+      "arms: kill_storm restart_flood region_pressure overload pid_reuse "
+      "clock_skew\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rme::cts::SoakOptions opt;
+  opt.seed = 0;  // 0 = derive below
+  opt.worker = RME_SHM_WORKER_PATH;
+  std::string report_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto val = [&a](const char* flag) -> const char* {
+      const size_t n = std::strlen(flag);
+      if (a.compare(0, n, flag) == 0 && a.size() > n && a[n] == '=') {
+        return a.c_str() + n + 1;
+      }
+      return nullptr;
+    };
+    uint64_t u = 0;
+    if (const char* v = val("--seed")) {
+      if (!parse_u64(v, opt.seed)) return usage();
+    } else if (const char* v = val("--procs")) {
+      if (!parse_u64(v, u)) return usage();
+      opt.procs = static_cast<int>(u);
+    } else if (const char* v = val("--rounds")) {
+      if (!parse_u64(v, u)) return usage();
+      opt.rounds = static_cast<int>(u);
+    } else if (const char* v = val("--duration")) {
+      if (!parse_u64(v, u)) return usage();
+      opt.duration = std::chrono::seconds(u);
+    } else if (const char* v = val("--passages")) {
+      if (!parse_u64(v, u)) return usage();
+      opt.passages = static_cast<int>(u);
+    } else if (const char* v = val("--dwell-us")) {
+      if (!parse_u64(v, u)) return usage();
+      opt.dwell_us = static_cast<int>(u);
+    } else if (const char* v = val("--arms")) {
+      opt.arms = rme::cts::parse_arms(v);
+      if (opt.arms == 0) return usage();
+    } else if (const char* v = val("--kill-mean-ms")) {
+      opt.kill_mean_ms = std::atof(v);
+      if (opt.kill_mean_ms <= 0.0) return usage();
+    } else if (const char* v = val("--timeout-ms")) {
+      if (!parse_u64(v, u)) return usage();
+      opt.worker_timeout = std::chrono::milliseconds(u);
+    } else if (const char* v = val("--worker")) {
+      opt.worker = v;
+    } else if (const char* v = val("--report")) {
+      report_path = v;
+    } else if (a == "--teeth") {
+      opt.teeth = true;
+    } else {
+      return usage();
+    }
+  }
+  if (opt.worker.empty()) {
+    std::fprintf(stderr, "rme_soak: no --worker and no built-in path\n");
+    return 2;
+  }
+  if (opt.seed == 0) {
+    // Derived, never hidden: the whole point is that EVERY run - ad hoc
+    // ones included - is replayable from its printed SOAK_JSON seed.
+    // steady_clock ticks, not wall clock (clock discipline holds even
+    // here); xor'd with the pid so parallel CI shards diverge.
+    opt.seed = static_cast<uint64_t>(
+                   std::chrono::steady_clock::now().time_since_epoch()
+                       .count()) ^
+               (static_cast<uint64_t>(::getpid()) << 32);
+    if (opt.seed == 0) opt.seed = 1;
+  }
+
+  rme::cts::Soak soak(std::move(opt));
+  const rme::cts::SoakReport rep = soak.run();
+
+  std::printf("%s\n", rep.json_line().c_str());
+  for (const std::string& line : rep.failure_lines()) {
+    std::printf("%s\n", line.c_str());
+  }
+  std::fflush(stdout);
+
+  if (!report_path.empty()) {
+    if (std::FILE* f = std::fopen(report_path.c_str(), "w")) {
+      std::fprintf(f, "%s\n", rep.json_line().c_str());
+      for (const std::string& line : rep.failure_lines()) {
+        std::fprintf(f, "%s\n", line.c_str());
+      }
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "rme_soak: cannot write report %s\n",
+                   report_path.c_str());
+    }
+  }
+  return rep.ok() ? 0 : 1;
+}

@@ -35,6 +35,36 @@
 //                                     audit the target shard's probe is
 //                                     unowned, then one parked passage
 //
+//   cts soak roles (driven by src/cts/soak.hpp via tools/rme_soak.cpp;
+//   all flush SessionStats into the region's SoakCells before kDone):
+//     soak-run <n> <key> <dwell_us>   announce kClaimed (the storm's
+//                                     "safe to kill" gate), then n
+//                                     audited passages with a dwell
+//                                     sleep between them
+//     soak-recover <n> <key> [teeth]  claim a storm victim's pid: on
+//                                     takeover, replay recovery with a
+//                                     TOLERANT probe visitor (a victim
+//                                     killed at a random instant may or
+//                                     may not have been inside the CS)
+//                                     and count the takeover; a fresh
+//                                     claim (the victim won the race and
+//                                     exited clean) is accepted. Then n
+//                                     passages. The literal arg `teeth`
+//                                     is the checker-teeth fault: SKIP
+//                                     the recovery replay and the
+//                                     passages - the soak's audits must
+//                                     catch the leak this leaves
+//     soak-overload <n> <key>         n open-loop acquisitions through a
+//                                     WaitTrendAdmission gate; sheds are
+//                                     accepted and counted
+//     soak-deadline <n> <key> <seed>  n deadline acquisitions with
+//                                     seed-determined skew: deadlines
+//                                     randomly already-expired or a few
+//                                     hundred microseconds out (the
+//                                     clock-jump simulation; steady_clock
+//                                     waits turn skew into kTimeout,
+//                                     never a hang)
+//
 // Exit codes: 0 ok; 2 shm error (busy slot, bad region); 3 bad args;
 // 4 recovery audit failure (probe owner unexpectedly changed); 5 the
 // role expected a takeover but the claim was fresh; 6 fair-handoff
@@ -44,6 +74,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
+
+#include "cts/rng.hpp"
 
 #include "api/api.hpp"
 #include "harness/fork_scenario.hpp"
@@ -240,6 +273,113 @@ int run_role(const std::string& role, rme::shm::ShmWorld& world, Fixture& fx,
     if (audit_failed) return 4;
     fx.board.announce(pid, Stage::kRecovered);
     parked_passage(lease, fx, pid, key);
+    fx.board.announce(pid, Stage::kDone);
+    return 0;
+  }
+  if (role == "soak-run") {
+    if (argc < 3) return 3;
+    const int n = std::atoi(argv[0]);
+    const uint64_t key = std::strtoull(argv[1], nullptr, 0);
+    const int dwell_us = std::atoi(argv[2]);
+    Lease lease(world, fx.table, pid);
+    // kClaimed gates the kill storm: a victim past this announcement is
+    // past the slot-claim handshake, so SIGKILL leaves a clean corpse.
+    fx.board.announce(pid, Stage::kClaimed);
+    for (int i = 0; i < n; ++i) {
+      passage(lease, fx, pid, key);
+      if (dwell_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(dwell_us));
+      }
+    }
+    fx.flush_soak(pid, lease->stats());
+    fx.board.announce(pid, Stage::kDone);
+    return 0;
+  }
+  if (role == "soak-recover") {
+    if (argc < 2) return 3;
+    const int n = std::atoi(argv[0]);
+    const uint64_t key = std::strtoull(argv[1], nullptr, 0);
+    const bool teeth = argc >= 3 && std::string(argv[2]) == "teeth";
+    bool audit_failed = false;
+    // Tolerant CSR witness: a storm victim dies at a RANDOM instant, so
+    // each re-entered shard's probe holds either our dead incarnation's
+    // id (killed inside the CS) or nothing (killed between probe exit
+    // and guard release). Any OTHER id is an ME violation.
+    Lease lease(world, fx.table, pid, nullptr, nullptr,
+                [&](rme::svc::Session<Table>&) {
+                  if (teeth) return;  // checker-teeth: skip the replay
+                  fx.table.underlying().recover(
+                      world.proc(pid), pid,
+                      [&](Table::Proc&, int shard) {
+                        CsProbe& p = fx.probes[shard];
+                        const uint64_t prev = p.owner.exchange(
+                            0, std::memory_order_acq_rel);
+                        if (prev != 0 && prev != probe_id(pid)) {
+                          audit_failed = true;
+                        }
+                      });
+                });
+    if (audit_failed) return 4;
+    if (lease.restarted()) {
+      fx.soak_takeovers.fetch_add(1, std::memory_order_acq_rel);
+      fx.board.announce(pid, Stage::kRecovered);
+    }
+    // A fresh claim is accepted: the victim won the race against the
+    // signal and exited clean, releasing its slot.
+    if (!teeth) {
+      for (int i = 0; i < n; ++i) passage(lease, fx, pid, key);
+    }
+    fx.flush_soak(pid, lease->stats());
+    fx.board.announce(pid, Stage::kDone);
+    return 0;
+  }
+  if (role == "soak-overload") {
+    if (argc < 2) return 3;
+    const int n = std::atoi(argv[0]);
+    const uint64_t key = std::strtoull(argv[1], nullptr, 0);
+    // A trigger-happy gate so the open-loop flood actually sheds under
+    // the round's contention (stock options barely shed at soak scale).
+    rme::svc::WaitTrendAdmission::Options opts;
+    opts.min_samples = 8;
+    opts.trend_factor = 2.0;
+    rme::svc::WaitTrendAdmission admission(opts);
+    Lease lease(world, fx.table, pid, nullptr, &admission);
+    fx.board.announce(pid, Stage::kClaimed);
+    for (int i = 0; i < n; ++i) {
+      auto g = lease->acquire(key);
+      if (!g) continue;  // shed: booked in stats, retried open-loop
+      CsProbe& p = fx.probes[g->shard()];
+      p.enter(probe_id(pid));
+      p.exit(probe_id(pid));
+    }
+    fx.flush_soak(pid, lease->stats());
+    fx.board.announce(pid, Stage::kDone);
+    return 0;
+  }
+  if (role == "soak-deadline") {
+    if (argc < 3) return 3;
+    const int n = std::atoi(argv[0]);
+    const uint64_t key = std::strtoull(argv[1], nullptr, 0);
+    rme::cts::SoakRng rng(std::strtoull(argv[2], nullptr, 0));
+    Lease lease(world, fx.table, pid);
+    fx.board.announce(pid, Stage::kClaimed);
+    for (int i = 0; i < n; ++i) {
+      // The clock-jump simulation: half the deadlines are already in the
+      // past (a backwards jump's view), the rest a few hundred
+      // microseconds out. steady_clock discipline means both resolve as
+      // a grant or kTimeout - a hang here fails the round's finish sweep.
+      const auto now = std::chrono::steady_clock::now();
+      const auto deadline =
+          rng.chance(0.5)
+              ? now - std::chrono::microseconds(1 + rng.below(500))
+              : now + std::chrono::microseconds(rng.below(300));
+      auto g = lease->acquire_until(key, deadline);
+      if (!g) continue;  // kTimeout: booked in stats
+      CsProbe& p = fx.probes[g->shard()];
+      p.enter(probe_id(pid));
+      p.exit(probe_id(pid));
+    }
+    fx.flush_soak(pid, lease->stats());
     fx.board.announce(pid, Stage::kDone);
     return 0;
   }
