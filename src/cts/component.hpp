@@ -28,6 +28,13 @@
 //                    issue deadline verbs whose deadlines sit in the
 //                    past or near-future; steady_clock discipline means
 //                    skew yields timeouts, never hangs
+//   pid_exhaust      fills a scratch region's ENTIRE pid registry (all
+//                    kMaxProcs slots claimed by live owners), then
+//                    probes that the 65th claimant is refused with a
+//                    typed error - exit 2, no UB, no stderr - and that a
+//                    freed slot is immediately re-claimable (the
+//                    saturation regime the lockd daemon's identity pool
+//                    multiplexes thousands of clients over)
 //
 // Decisions are deterministic, outcomes are not: the seed replays the
 // exact sequence of arm choices, kill times, victims and worker seeds,
@@ -67,7 +74,8 @@ enum Arm : uint32_t {
   kOverload = 1u << 3,
   kPidReuse = 1u << 4,
   kClockSkew = 1u << 5,
-  kAllArms = (1u << 6) - 1,
+  kPidExhaust = 1u << 6,
+  kAllArms = (1u << 7) - 1,
 };
 
 inline const char* arm_name(Arm a) {
@@ -78,6 +86,7 @@ inline const char* arm_name(Arm a) {
     case kOverload: return "overload";
     case kPidReuse: return "pid_reuse";
     case kClockSkew: return "clock_skew";
+    case kPidExhaust: return "pid_exhaust";
     default: return "?";
   }
 }
@@ -506,6 +515,79 @@ class ClockSkew final : public Component {
                                     .next())});
     }
     // Awaited by the round's finish sweep.
+  }
+};
+
+// ---------------------------------------------------------------------------
+// pid_exhaust: registry saturation. Every one of a scratch region's
+// kMaxProcs slots is claimed by THIS (live) process, then a real child
+// process probes the full registry: the claim must be refused with the
+// typed busy verdict (exit 2, silent), and releasing one slot must make
+// exactly that pid claimable again. A SCRATCH world keeps the saturation
+// away from the main soak's pid map; probes are reaped directly (their
+// exit-2 verdict is the expected outcome, not BadNews).
+// ---------------------------------------------------------------------------
+
+class PidExhaust final : public Component {
+ public:
+  Arm arm() const override { return kPidExhaust; }
+
+  void run(SoakCtx& ctx) override {
+    const std::string name = ctx.world.region().name() + "_px" +
+                             std::to_string(ctx.round % 100);
+    try {
+      auto scratch =
+          shm::ShmWorld::create(name, 4 << 20, shm::kMaxProcs,
+                                /*ring_slots=*/2);
+      // Publish: attach() blocks on the ready flag that create_root sets;
+      // without a root the probe children would time out, not bounce.
+      scratch.create_root<uint64_t>(0);
+      std::vector<shm::ShmWorld::Identity> ids;
+      ids.reserve(shm::kMaxProcs);
+      for (int pid = 0; pid < shm::kMaxProcs; ++pid) {
+        ids.push_back(scratch.claim(pid));
+      }
+      // Full registry: a probe against any slot must bounce (exit 2).
+      const int victim =
+          static_cast<int>(ctx.rng.below(shm::kMaxProcs));
+      if (probe(ctx, name, victim) != 2) {
+        ctx.fail("pid_exhaust: claim of a live slot did not bounce");
+      }
+      // Free exactly one slot: that pid (and only it) claims again.
+      scratch.release(ids[static_cast<size_t>(victim)]);
+      if (probe(ctx, name, victim) != 0) {
+        ctx.fail("pid_exhaust: freed slot was not re-claimable");
+      }
+      const int still = (victim + 1) % shm::kMaxProcs;
+      if (probe(ctx, name, still) != 2) {
+        ctx.fail("pid_exhaust: neighbouring live slot did not bounce");
+      }
+      for (int pid = 0; pid < shm::kMaxProcs; ++pid) {
+        if (pid != victim) scratch.release(ids[static_cast<size_t>(pid)]);
+      }
+    } catch (const shm::ShmError& e) {
+      ctx.fail(std::string("pid_exhaust: scratch world failed: ") +
+               e.what());
+    }
+  }
+
+ private:
+  // Run one claim-probe child to completion and return its exit code
+  // (-1: died abnormally). Reaped here, not by the finish sweep: exit 2
+  // is this arm's EXPECTED verdict, which the BadNews nonzero-exit rule
+  // would misread as an anomaly.
+  int probe(SoakCtx& ctx, const std::string& region, int pid) {
+    const std::string log = ctx.opt.log_dir + "/r" +
+                            std::to_string(ctx.round) + "_px_p" +
+                            std::to_string(pid) + "_s" +
+                            std::to_string(ctx.spawns) + ".log";
+    const int child = ctx.fs.spawn(
+        ctx.opt.worker,
+        {region, std::to_string(pid), "claim-probe"}, log);
+    ++ctx.spawns;
+    const int st = ctx.fs.wait_child(child);
+    if (!WIFEXITED(st)) return -1;
+    return WEXITSTATUS(st);
   }
 };
 

@@ -116,6 +116,7 @@ class Soak {
     components_.emplace_back(new Overload);
     components_.emplace_back(new PidReuse);
     components_.emplace_back(new ClockSkew);
+    components_.emplace_back(new PidExhaust);
     audits_.emplace_back(new ProbeAudit);
     audits_.emplace_back(new LeaseAudit);
     audits_.emplace_back(new EpochAudit);

@@ -1,0 +1,479 @@
+// rme::lockd client library: the proxy session. Speaks lockd/proto.hpp
+// to a live rme_lockd daemon over SOCK_SEQPACKET and exposes the svc
+// verb surface - acquire / try_acquire / acquire_for / acquire_batch -
+// returning svc::Expected<Guard>, so code written against svc::Session
+// reads identically against the daemon (examples/lockd_clients.cpp runs
+// the same client body either way). The process never attaches the
+// region: every shard crossing rides the wire.
+//
+// Two usage modes:
+//
+//   * Blocking: each verb sends its frame and waits for the matching
+//     reply (replies for OTHER requests arriving meanwhile are stashed,
+//     so interleaving is safe).
+//   * Poll-able: submit()/submit_for() return a request id immediately;
+//     the caller pumps completions with try_take(id) (non-blocking) or
+//     waits on fd()/event_fd() in its own event loop. event_fd() is the
+//     eventfd the daemon kicks on every delivery - registered at hello
+//     via SCM_RIGHTS when Options::use_eventfd is set.
+//
+// Failure model: a dead daemon (ECONNRESET, recv 0) marks the client
+// disconnected; every in-flight and subsequent verb returns
+// Errc::kCancelled rather than throwing - callers decide whether to
+// reconnect() (the daemon restart story: its SessionLease takeovers have
+// already replayed recovery by the time the socket reopens, so held
+// grants from the previous incarnation are gone by design, not leaked).
+// Guard::release() on a disconnected client is a silent no-op for the
+// same reason.
+//
+// Single-threaded by contract, like svc::Session: one Client serves one
+// caller thread.
+#pragma once
+
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/eventfd.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "lockd/proto.hpp"
+#include "svc/result.hpp"
+#include "util/assert.hpp"
+
+namespace rme::lockd {
+
+class Client;
+
+/// Client-side RAII hold on a daemon grant. Move-only; releasing sends
+/// kRelease and waits for the ack (no-op once disconnected). Single-key
+/// grants report shard(); batch grants report shard() == -1 and the full
+/// shard_mask().
+class Guard {
+ public:
+  Guard(Guard&& o) noexcept
+      : c_(o.c_), id_(o.id_), shard_(o.shard_), mask_(o.mask_),
+        held_(o.held_) {
+    o.held_ = false;
+  }
+  Guard& operator=(Guard&& o) noexcept {
+    if (this != &o) {
+      release();
+      c_ = o.c_;
+      id_ = o.id_;
+      shard_ = o.shard_;
+      mask_ = o.mask_;
+      held_ = o.held_;
+      o.held_ = false;
+    }
+    return *this;
+  }
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+  ~Guard() { release(); }
+
+  inline void release();  // defined below Client
+
+  /// Disarm without releasing: the caller takes over the grant id (the
+  /// poll-able path pairs this with Client::release_async()).
+  uint64_t detach() {
+    held_ = false;
+    return id_;
+  }
+
+  bool held() const { return held_; }
+  explicit operator bool() const { return held_; }
+  uint64_t grant_id() const { return id_; }
+  int shard() const { return shard_; }
+  uint64_t shard_mask() const { return mask_; }
+
+ private:
+  friend class Client;
+  Guard(Client* c, uint64_t id, int shard, uint64_t mask)
+      : c_(c), id_(id), shard_(shard), mask_(mask) {}
+
+  Client* c_ = nullptr;
+  uint64_t id_ = 0;
+  int shard_ = -1;
+  uint64_t mask_ = 0;
+  bool held_ = true;
+};
+
+class Client {
+ public:
+  struct Options {
+    std::string socket_path;
+    bool use_eventfd = false;  // ask the daemon to kick event_fd() on
+                               // every delivery (SCM_RIGHTS at hello)
+  };
+
+  /// Daemon counters, kStatsReply order (proto.hpp StatsIndex).
+  struct DaemonStats {
+    uint64_t v[kStatCount] = {};
+    uint64_t conns() const { return v[kStatConns]; }
+    uint64_t granted() const { return v[kStatGranted]; }
+    uint64_t released() const { return v[kStatReleased]; }
+    uint64_t sheds() const { return v[kStatSheds]; }
+    uint64_t timeouts() const { return v[kStatTimeouts]; }
+    uint64_t cancels() const { return v[kStatCancels]; }
+    uint64_t disconnects() const { return v[kStatDisconnects]; }
+    uint64_t pending() const { return v[kStatPending]; }
+    uint64_t ids_free() const { return v[kStatIdsFree]; }
+  };
+
+  Client() = default;
+  explicit Client(Options opt) { connect(std::move(opt)); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client() { close(); }
+
+  /// Dial the daemon and complete the hello handshake. Returns false
+  /// (leaving the client disconnected) when the daemon is unreachable.
+  bool connect(Options opt) {
+    close();
+    opt_ = std::move(opt);
+    if (opt_.socket_path.empty() ||
+        opt_.socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      return false;
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_SEQPACKET | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return false;
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    ::strncpy(sa.sun_path, opt_.socket_path.c_str(), sizeof(sa.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      close();
+      return false;
+    }
+    connected_ = true;
+    const uint64_t id = next_id_++;
+    uint64_t flags = 0;
+    if (opt_.use_eventfd) {
+      efd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+      if (efd_ >= 0) flags |= kHelloFlagEventFd;
+    }
+    if (!send_hello(id, flags)) {
+      close();
+      return false;
+    }
+    auto f = wait_reply(id, 10000);
+    if (!f || static_cast<Op>(f->hdr.op) != Op::kHelloOk) {
+      close();
+      return false;
+    }
+    shards_ = static_cast<int>(f->hdr.b);
+    return true;
+  }
+
+  /// Re-dial after a daemon restart. Everything in flight is forgotten
+  /// (the old incarnation's grants were recovered daemon-side).
+  bool reconnect() { return connect(opt_); }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    if (efd_ >= 0) ::close(efd_);
+    fd_ = -1;
+    efd_ = -1;
+    connected_ = false;
+    stash_.clear();
+    discard_.clear();
+  }
+
+  bool connected() const { return connected_; }
+  int shards() const { return shards_; }
+  int fd() const { return fd_; }
+  int event_fd() const { return efd_; }
+
+  // --- blocking verbs (the svc::Session shapes) ------------------------
+
+  svc::Expected<Guard> acquire(uint64_t key) {
+    const uint64_t id = next_id_++;
+    if (!send(make_frame(Op::kAcquire, id, key))) return svc::Errc::kCancelled;
+    return finish(wait_reply(id, -1), /*batch=*/false);
+  }
+
+  svc::Expected<Guard> try_acquire(uint64_t key) {
+    const uint64_t id = next_id_++;
+    if (!send(make_frame(Op::kTryAcquire, id, key))) {
+      return svc::Errc::kCancelled;
+    }
+    return finish(wait_reply(id, -1), /*batch=*/false);
+  }
+
+  svc::Expected<Guard> acquire_for(uint64_t key,
+                                   std::chrono::nanoseconds timeout) {
+    const uint64_t id = next_id_++;
+    const uint64_t ns = static_cast<uint64_t>(timeout.count());
+    if (!send(make_frame(Op::kAcquireFor, id, key, ns))) {
+      return svc::Errc::kCancelled;
+    }
+    return finish(wait_reply(id, -1), /*batch=*/false);
+  }
+
+  svc::Expected<Guard> acquire_batch(std::span<const uint64_t> keys) {
+    return batch_inner(keys, 0);
+  }
+  svc::Expected<Guard> acquire_batch(std::initializer_list<uint64_t> keys) {
+    return batch_inner(std::span<const uint64_t>(keys.begin(), keys.size()),
+                       0);
+  }
+  svc::Expected<Guard> acquire_batch_for(std::span<const uint64_t> keys,
+                                         std::chrono::nanoseconds timeout) {
+    return batch_inner(keys, static_cast<uint64_t>(timeout.count()));
+  }
+  svc::Expected<Guard> acquire_batch_for(std::initializer_list<uint64_t> keys,
+                                         std::chrono::nanoseconds timeout) {
+    return batch_inner(std::span<const uint64_t>(keys.begin(), keys.size()),
+                       static_cast<uint64_t>(timeout.count()));
+  }
+
+  // --- poll-able surface ----------------------------------------------
+
+  /// Fire an acquire and return its request id (0 = send failed). The
+  /// completion is consumed with try_take()/take().
+  uint64_t submit(uint64_t key) {
+    const uint64_t id = next_id_++;
+    if (!send(make_frame(Op::kAcquire, id, key))) return 0;
+    return id;
+  }
+
+  uint64_t submit_for(uint64_t key, std::chrono::nanoseconds timeout) {
+    const uint64_t id = next_id_++;
+    if (!send(make_frame(Op::kAcquireFor, id, key,
+                         static_cast<uint64_t>(timeout.count())))) {
+      return 0;
+    }
+    return id;
+  }
+
+  /// Non-blocking: pump the socket, then pop the completion for `id` if
+  /// it arrived. nullopt = still pending. (The poll-able surface is
+  /// single-key; batches use the blocking verbs.)
+  std::optional<svc::Expected<Guard>> try_take(uint64_t id) {
+    pump();
+    auto it = stash_.find(id);
+    if (it == stash_.end()) {
+      if (!connected_) return svc::Expected<Guard>(svc::Errc::kCancelled);
+      return std::nullopt;
+    }
+    Frame f = it->second;
+    stash_.erase(it);
+    return finish(f, /*batch=*/false);
+  }
+
+  /// Blocking form of try_take.
+  svc::Expected<Guard> take(uint64_t id) {
+    return finish(wait_reply(id, -1), /*batch=*/false);
+  }
+
+  /// Cancel a pending request. True when the daemon confirmed the cancel
+  /// (false: already granted / unknown / disconnected).
+  bool cancel(uint64_t req_id) {
+    const uint64_t id = next_id_++;
+    if (!send(make_frame(Op::kCancel, id, req_id))) return false;
+    auto f = wait_reply(id, 10000);
+    return f && static_cast<Op>(f->hdr.op) == Op::kCancelled;
+  }
+
+  /// Fire-and-forget release by grant id (the poll-able path's release;
+  /// Guard::release() is the blocking form). The ack is discarded on
+  /// arrival.
+  void release_async(uint64_t grant_id) {
+    const uint64_t id = next_id_++;
+    discard_.insert(id);
+    send(make_frame(Op::kRelease, id, grant_id));
+  }
+
+  /// Drain event_fd() after a wakeup (poll-able callers).
+  void drain_event_fd() {
+    if (efd_ < 0) return;
+    uint64_t tok = 0;
+    [[maybe_unused]] ssize_t r = ::read(efd_, &tok, sizeof(tok));
+  }
+
+  // --- introspection ---------------------------------------------------
+
+  svc::Expected<DaemonStats> stats() {
+    const uint64_t id = next_id_++;
+    if (!send(make_frame(Op::kStats, id))) return svc::Errc::kCancelled;
+    auto f = wait_reply(id, 10000);
+    if (!f || static_cast<Op>(f->hdr.op) != Op::kStatsReply) {
+      return svc::Errc::kCancelled;
+    }
+    DaemonStats s;
+    for (uint32_t i = 0; i < kStatCount && i < f->hdr.nkeys; ++i) {
+      s.v[i] = f->keys[i];
+    }
+    return s;
+  }
+
+ private:
+  friend class Guard;
+
+  svc::Expected<Guard> batch_inner(std::span<const uint64_t> keys,
+                                   uint64_t timeout_ns) {
+    if (keys.empty() || keys.size() > kMaxBatchKeys) {
+      return svc::Errc::kCancelled;
+    }
+    const uint64_t id = next_id_++;
+    const Frame f = make_batch(id, keys.data(),
+                               static_cast<uint16_t>(keys.size()), timeout_ns);
+    if (!send(f)) return svc::Errc::kCancelled;
+    return finish(wait_reply(id, -1), /*batch=*/true);
+  }
+
+  // Map a reply frame to the verb result.
+  svc::Expected<Guard> finish(std::optional<Frame> f, bool batch) {
+    if (!f) return svc::Errc::kCancelled;  // disconnected mid-wait
+    const Op op = static_cast<Op>(f->hdr.op);
+    if (op == Op::kGranted) {
+      if (batch) {
+        return Guard(this, f->hdr.a, /*shard=*/-1, /*mask=*/f->hdr.b);
+      }
+      const int shard = static_cast<int>(f->hdr.b);
+      return Guard(this, f->hdr.a, shard, uint64_t{1} << shard);
+    }
+    if (op == Op::kError) {
+      switch (static_cast<Err>(f->hdr.err)) {
+        case Err::kOverloaded: return svc::Errc::kOverloaded;
+        case Err::kWouldBlock: return svc::Errc::kWouldBlock;
+        case Err::kBusy: return svc::Errc::kOverloaded;
+        case Err::kTimeout: return svc::Errc::kTimeout;
+        default: return svc::Errc::kCancelled;
+      }
+    }
+    return svc::Errc::kCancelled;
+  }
+
+  // Blocking release used by Guard: waits for the ack so a sequential
+  // caller observes release-before-next-grant ordering.
+  void release_grant(uint64_t grant_id) {
+    if (!connected_) return;  // daemon died: nothing is held anymore
+    const uint64_t id = next_id_++;
+    if (!send(make_frame(Op::kRelease, id, grant_id))) return;
+    wait_reply(id, 10000);
+  }
+
+  bool send(const Frame& f) {
+    if (!connected_) return false;
+    if (::send(fd_, &f, f.size(), MSG_NOSIGNAL) < 0) {
+      if (errno == EINTR) return send(f);
+      connected_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  bool send_hello(uint64_t req_id, uint64_t flags) {
+    Frame f = make_frame(Op::kHello, req_id, flags);
+    if (efd_ < 0 || (flags & kHelloFlagEventFd) == 0) return send(f);
+    // hello carries the eventfd as ancillary data.
+    iovec iov{&f, f.size()};
+    char cbuf[CMSG_SPACE(sizeof(int))] = {};
+    msghdr mh{};
+    mh.msg_iov = &iov;
+    mh.msg_iovlen = 1;
+    mh.msg_control = cbuf;
+    mh.msg_controllen = sizeof(cbuf);
+    cmsghdr* cm = CMSG_FIRSTHDR(&mh);
+    cm->cmsg_level = SOL_SOCKET;
+    cm->cmsg_type = SCM_RIGHTS;
+    cm->cmsg_len = CMSG_LEN(sizeof(int));
+    ::memcpy(CMSG_DATA(cm), &efd_, sizeof(int));
+    if (::sendmsg(fd_, &mh, MSG_NOSIGNAL) < 0) {
+      connected_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  // One frame off the socket. timeout_ms: 0 = non-blocking probe,
+  // -1 = wait forever. nullopt on timeout or disconnect.
+  std::optional<Frame> recv_frame(int timeout_ms) {
+    if (!connected_) return std::nullopt;
+    pollfd p{fd_, POLLIN, 0};
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r <= 0) return std::nullopt;
+    char buf[kMaxFrameBytes + 64];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      connected_ = false;
+      return std::nullopt;
+    }
+    const Decoded d = decode(buf, static_cast<size_t>(n));
+    if (!d.ok()) return std::nullopt;  // daemon never sends these; drop
+    Frame f;
+    f.hdr = d.hdr;
+    for (uint16_t i = 0; i < d.hdr.nkeys; ++i) f.keys[i] = d.keys[i];
+    if (static_cast<Op>(f.hdr.op) == Op::kShutdown) {
+      connected_ = false;
+      return std::nullopt;
+    }
+    return f;
+  }
+
+  void stash(Frame f) {
+    if (discard_.erase(f.hdr.req_id) != 0) return;  // async-release ack
+    stash_[f.hdr.req_id] = f;
+  }
+
+  // Drain everything available right now into the stash.
+  void pump() {
+    while (auto f = recv_frame(0)) stash(*f);
+  }
+
+  // Wait for the reply matching `req_id`, stashing interleaved replies.
+  std::optional<Frame> wait_reply(uint64_t req_id, int timeout_ms) {
+    const auto deadline =
+        timeout_ms < 0 ? std::chrono::steady_clock::time_point::max()
+                       : std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      auto it = stash_.find(req_id);
+      if (it != stash_.end()) {
+        Frame f = it->second;
+        stash_.erase(it);
+        return f;
+      }
+      if (!connected_) return std::nullopt;
+      int wait = -1;
+      if (timeout_ms >= 0) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) return std::nullopt;
+        wait = static_cast<int>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                  now)
+                .count()) +
+               1;
+      }
+      auto f = recv_frame(wait);
+      if (f) stash(*f);
+    }
+  }
+
+  Options opt_;
+  int fd_ = -1;
+  int efd_ = -1;
+  bool connected_ = false;
+  int shards_ = 0;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, Frame> stash_;
+  std::unordered_set<uint64_t> discard_;  // async-release ack ids
+};
+
+inline void Guard::release() {
+  if (!held_) return;
+  held_ = false;
+  if (c_ != nullptr) c_->release_grant(id_);
+}
+
+}  // namespace rme::lockd

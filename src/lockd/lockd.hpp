@@ -1,0 +1,18 @@
+// rme::lockd - the lock-service daemon layer: one server process owns
+// the ShmWorld, thousands of client sessions reach it over a unix-domain
+// socket. See docs/lockd.md for the wire protocol, connection lifecycle,
+// crash semantics and admission behavior.
+//
+//   proto.hpp    versioned SOCK_SEQPACKET frames + strict decoder
+//   reactor.hpp  the daemon: epoll loop, identity pool, pending-grant
+//                queue over svc::submit(), WaitTrendAdmission front
+//   client.hpp   the proxy session (blocking + poll-able verb surface)
+//
+// tools/rme_lockd.cpp is the binary; bench/bench_lockd.cpp the open-loop
+// N-client latency bench; tests/test_lockd.cpp the decoder sweep and the
+// client/daemon kill matrices.
+#pragma once
+
+#include "lockd/client.hpp"    // IWYU pragma: export
+#include "lockd/proto.hpp"     // IWYU pragma: export
+#include "lockd/reactor.hpp"   // IWYU pragma: export

@@ -1,0 +1,275 @@
+// rme::lockd wire protocol: versioned framed verbs over SOCK_SEQPACKET.
+//
+// The daemon boundary is the first place where the algorithm's owner and
+// its callers are different processes with NO shared mapping, so every
+// verb of the svc surface crosses a serialization seam here. The protocol
+// is deliberately tiny and fixed-layout:
+//
+//   * One frame == one SEQPACKET datagram. Every frame starts with the
+//     40-byte Header; kBatch requests (and kStatsReply) append up to
+//     kMaxBatchKeys u64 words. Nothing is variable-length beyond that.
+//   * Frames carry a magic + version so a stray writer (or a truncating
+//     kernel, MSG_TRUNC) is detected before any field is trusted.
+//   * decode() is STRICT: every reject carries a typed Err; a malformed
+//     frame can never reach the reactor's verb dispatch. test_lockd.cpp
+//     sweeps the malformed space (truncations, bad magic/version/op,
+//     oversized batch counts, length mismatches).
+//
+// Verb payload map (Header fields `a` / `b` / keys[]):
+//
+//   op            dir   a                  b            keys[]
+//   ------------- ----  -----------------  -----------  -------------
+//   kHello        c->d  flags (bit0:      -            -
+//                       eventfd attached
+//                       via SCM_RIGHTS)
+//   kAcquire      c->d  key                -            -
+//   kTryAcquire   c->d  key                -            -
+//   kAcquireFor   c->d  key                timeout_ns   -
+//   kBatch        c->d  -                  timeout_ns   nkeys keys
+//                                          (0 = block)
+//   kRelease      c->d  grant id           -            -
+//   kCancel       c->d  req id to cancel   -            -
+//   kStats        c->d  -                  -            -
+//   kGoodbye      c->d  -                  -            -
+//   kHelloOk      d->c  proto version      shards       -
+//   kGranted      d->c  grant id (== the   shard        -
+//                       granting req_id)   (batch: ~0)
+//   kReleased     d->c  grant id           -            -
+//   kCancelled    d->c  req id             -            -
+//   kStatsReply   d->c  -                  -            nkeys counters
+//                                                       (StatsIndex order)
+//   kError        d->c  echo of offending  -            -
+//                       a (when known)
+//   kShutdown     d->c  -                  -            -
+//
+// Replies echo the request's req_id (kError uses req_id 0 when the frame
+// was too mangled to recover one). Grant ids ARE the req_id that created
+// the grant: the client already owns a unique id space per connection, so
+// the daemon does not need a second one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace rme::lockd {
+
+inline constexpr uint32_t kProtoMagic = 0x4c4b4431u;  // "LKD1"
+inline constexpr uint16_t kProtoVersion = 1;
+inline constexpr uint32_t kMaxBatchKeys = 16;
+
+/// Frame verbs. Client->daemon ops are < 64; daemon->client replies >= 64.
+enum class Op : uint16_t {
+  kHello = 1,
+  kAcquire = 2,
+  kTryAcquire = 3,
+  kAcquireFor = 4,
+  kBatch = 5,
+  kRelease = 6,
+  kCancel = 7,
+  kStats = 8,
+  kGoodbye = 9,
+
+  kHelloOk = 64,
+  kGranted = 65,
+  kReleased = 66,
+  kCancelled = 67,
+  kStatsReply = 68,
+  kError = 69,
+  kShutdown = 70,
+};
+
+constexpr bool known_op(uint16_t op) {
+  return (op >= static_cast<uint16_t>(Op::kHello) &&
+          op <= static_cast<uint16_t>(Op::kGoodbye)) ||
+         (op >= static_cast<uint16_t>(Op::kHelloOk) &&
+          op <= static_cast<uint16_t>(Op::kShutdown));
+}
+
+constexpr const char* to_string(Op op) {
+  switch (op) {
+    case Op::kHello: return "hello";
+    case Op::kAcquire: return "acquire";
+    case Op::kTryAcquire: return "try_acquire";
+    case Op::kAcquireFor: return "acquire_for";
+    case Op::kBatch: return "batch";
+    case Op::kRelease: return "release";
+    case Op::kCancel: return "cancel";
+    case Op::kStats: return "stats";
+    case Op::kGoodbye: return "goodbye";
+    case Op::kHelloOk: return "hello_ok";
+    case Op::kGranted: return "granted";
+    case Op::kReleased: return "released";
+    case Op::kCancelled: return "cancelled";
+    case Op::kStatsReply: return "stats_reply";
+    case Op::kError: return "error";
+    case Op::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+/// Typed protocol errors. Carried in Header::err of kError replies (and
+/// as the decode() verdict); the daemon NEVER closes a connection for a
+/// malformed frame - it replies kError and keeps serving, so one confused
+/// client cannot take down its own healthy grants, let alone the daemon.
+enum class Err : uint16_t {
+  kNone = 0,
+  kBadFrame = 1,      // truncated / length mismatch / bad magic
+  kBadVersion = 2,    // version field != kProtoVersion
+  kBadOp = 3,         // unknown or direction-invalid op
+  kNoHello = 4,       // verb before the handshake
+  kDupRequest = 5,    // req_id already in flight or granted here
+  kBadGrant = 6,      // release/cancel names nothing live
+  kOverloaded = 7,    // admission shed (maps svc::Errc::kOverloaded)
+  kWouldBlock = 8,    // try_acquire found the shard held
+  kTimeout = 9,       // deadline expired before grant
+  kCancelled = 10,    // pending request cancelled
+  kBusy = 11,         // daemon at capacity (pending-queue cap)
+  kShuttingDown = 12, // daemon is draining; no new work
+};
+
+constexpr const char* to_string(Err e) {
+  switch (e) {
+    case Err::kNone: return "ok";
+    case Err::kBadFrame: return "bad_frame";
+    case Err::kBadVersion: return "bad_version";
+    case Err::kBadOp: return "bad_op";
+    case Err::kNoHello: return "no_hello";
+    case Err::kDupRequest: return "dup_request";
+    case Err::kBadGrant: return "bad_grant";
+    case Err::kOverloaded: return "overloaded";
+    case Err::kWouldBlock: return "would_block";
+    case Err::kTimeout: return "timeout";
+    case Err::kCancelled: return "cancelled";
+    case Err::kBusy: return "busy";
+    case Err::kShuttingDown: return "shutting_down";
+  }
+  return "?";
+}
+
+/// kHello `a` flags.
+inline constexpr uint64_t kHelloFlagEventFd = 1u << 0;
+
+/// Counter order of the kStatsReply keys[] payload.
+enum StatsIndex : uint32_t {
+  kStatConns = 0,        // connections currently open
+  kStatGranted = 1,      // grants issued (lifetime)
+  kStatReleased = 2,     // releases completed (lifetime)
+  kStatSheds = 3,        // admission sheds (lifetime)
+  kStatTimeouts = 4,     // deadline expiries (lifetime)
+  kStatCancels = 5,      // cancels honoured (lifetime)
+  kStatDisconnects = 6,  // grants force-released by client disconnect
+  kStatPending = 7,      // requests pending right now
+  kStatIdsFree = 8,      // free identity-pool slots right now
+  kStatCount = 9,
+};
+
+/// Fixed-size frame header; every message starts with one.
+struct Header {
+  uint32_t magic = kProtoMagic;
+  uint16_t version = kProtoVersion;
+  uint16_t op = 0;
+  uint64_t req_id = 0;  // client-chosen correlation id (echoed by replies)
+  uint64_t a = 0;       // op-specific (see payload map above)
+  uint64_t b = 0;       // op-specific
+  uint16_t err = 0;     // replies: an Err value
+  uint16_t nkeys = 0;   // trailing u64 words (kBatch keys / stats counters)
+  uint32_t pad = 0;
+};
+static_assert(sizeof(Header) == 40, "lockd::Header layout is part of the ABI");
+
+/// One whole frame, max-sized. size() is the bytes actually on the wire.
+struct Frame {
+  Header hdr;
+  uint64_t keys[kMaxBatchKeys] = {};
+
+  size_t size() const {
+    return sizeof(Header) + static_cast<size_t>(hdr.nkeys) * sizeof(uint64_t);
+  }
+};
+static_assert(sizeof(Frame) == sizeof(Header) + kMaxBatchKeys * 8);
+
+inline constexpr size_t kMaxFrameBytes = sizeof(Frame);
+
+/// Strict decode verdict: ok() iff the frame may reach verb dispatch.
+struct Decoded {
+  Err err = Err::kNone;
+  Header hdr;                    // valid iff the header itself parsed
+  const uint64_t* keys = nullptr;  // into the caller's buffer; hdr.nkeys long
+
+  bool ok() const { return err == Err::kNone; }
+};
+
+/// Validate a received datagram. Rejection order: size, magic, version,
+/// op, key-count plausibility, exact length. `truncated` is the kernel's
+/// MSG_TRUNC verdict (the datagram was bigger than the recv buffer).
+inline Decoded decode(const void* buf, size_t len, bool truncated = false) {
+  Decoded d;
+  if (truncated || len < sizeof(Header) || len > kMaxFrameBytes) {
+    d.err = Err::kBadFrame;
+    return d;
+  }
+  std::memcpy(&d.hdr, buf, sizeof(Header));
+  if (d.hdr.magic != kProtoMagic) {
+    d.err = Err::kBadFrame;
+    return d;
+  }
+  if (d.hdr.version != kProtoVersion) {
+    d.err = Err::kBadVersion;
+    return d;
+  }
+  if (!known_op(d.hdr.op)) {
+    d.err = Err::kBadOp;
+    return d;
+  }
+  if (d.hdr.nkeys > kMaxBatchKeys) {
+    d.err = Err::kBadFrame;  // oversized batch count
+    return d;
+  }
+  const Op op = static_cast<Op>(d.hdr.op);
+  if (op != Op::kBatch && op != Op::kStatsReply && d.hdr.nkeys != 0) {
+    d.err = Err::kBadFrame;  // trailing words on a wordless verb
+    return d;
+  }
+  if (op == Op::kBatch && d.hdr.nkeys == 0) {
+    d.err = Err::kBadFrame;  // empty batch
+    return d;
+  }
+  if (len != sizeof(Header) + static_cast<size_t>(d.hdr.nkeys) * 8) {
+    d.err = Err::kBadFrame;  // declared vs actual length mismatch
+    return d;
+  }
+  d.keys = reinterpret_cast<const uint64_t*>(
+      static_cast<const char*>(buf) + sizeof(Header));
+  return d;
+}
+
+// --- frame builders (both sides) ---
+
+inline Frame make_frame(Op op, uint64_t req_id, uint64_t a = 0,
+                        uint64_t b = 0) {
+  Frame f;
+  f.hdr.op = static_cast<uint16_t>(op);
+  f.hdr.req_id = req_id;
+  f.hdr.a = a;
+  f.hdr.b = b;
+  return f;
+}
+
+inline Frame make_batch(uint64_t req_id, const uint64_t* keys, uint16_t nkeys,
+                        uint64_t timeout_ns) {
+  Frame f = make_frame(Op::kBatch, req_id, 0, timeout_ns);
+  f.hdr.nkeys = nkeys;
+  for (uint16_t i = 0; i < nkeys && i < kMaxBatchKeys; ++i) {
+    f.keys[i] = keys[i];
+  }
+  return f;
+}
+
+inline Frame make_error(uint64_t req_id, Err e, uint64_t a = 0) {
+  Frame f = make_frame(Op::kError, req_id, a);
+  f.hdr.err = static_cast<uint16_t>(e);
+  return f;
+}
+
+}  // namespace rme::lockd

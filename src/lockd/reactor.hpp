@@ -1,0 +1,880 @@
+// rme::lockd reactor: the daemon's event loop. One OS thread owns a
+// ShmWorld and a pool of claimed identities, accepts clients on a
+// SOCK_SEQPACKET unix-domain socket, and multiplexes every client's
+// acquisitions through the svc request lifecycle:
+//
+//   client frame -> admission gate -> pending queue -> identity bound ->
+//   svc::Session::submit(key) -> AcquireRequest::poll() -> on_complete
+//   enqueues the grant -> kGranted frame (+ eventfd kick) -> ... ->
+//   kRelease frame -> guard released -> parked requests re-pumped.
+//
+// Why an identity pool: the region's pid registry has kMaxProcs logical
+// pids, but the daemon serves thousands of connections. Client
+// connections are NOT identities - the daemon multiplexes many
+// connections over a small pool of SessionLease-claimed pids, one bound
+// per in-flight acquisition or held grant. The pool size bounds lock-side
+// concurrency; the pending queue (capped, admission-gated) absorbs the
+// rest, which is exactly the shape the WaitTrendAdmission estimator
+// wants: queue-wait wall time is its input signal.
+//
+// Crash semantics (exercised by tests/test_lockd.cpp):
+//
+//   * Client SIGKILL / disconnect: EPOLLHUP/recv==0 releases every grant
+//     the connection holds and cancels its pending requests. No lease
+//     outlives its connection.
+//   * Daemon SIGKILL: the region persists (SIGKILL skips the unlinking
+//     destructor). A restarted daemon ATTACHES the existing region and
+//     its SessionLease claims perform verified takeover of the dead
+//     incarnation's slots - replaying recovery for any identity that died
+//     holding a shard, exactly the paper's super-passage completion. Zero
+//     leaked leases by construction.
+//
+// Single-threaded by design: every structure below is reactor-private;
+// stop() is the one cross-thread (and async-signal-safe) entry, a write
+// to the wake eventfd.
+#pragma once
+
+#include <errno.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <deque>
+#include <list>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "api/adapters.hpp"
+#include "lockd/proto.hpp"
+#include "shm/session.hpp"
+#include "shm/world.hpp"
+#include "svc/admission.hpp"
+#include "svc/batch.hpp"
+#include "svc/request.hpp"
+#include "util/assert.hpp"
+
+namespace rme::lockd {
+
+/// The daemon's lock: the sharded recoverable table on the Real platform
+/// (shm worlds are Real-only by definition).
+using Table = api::TableLock<platform::Real>;
+
+/// Fatal daemon-side setup/IO errors (socket path too long, bind failed,
+/// a second live daemon owns the region's identity slots, ...).
+struct LockdError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct Options {
+  std::string socket_path;      // UDS path (<= ~100 chars)
+  std::string region;           // shm region name ("/rme_lockd_...")
+  size_t region_bytes = 16u << 20;
+  int shards = 8;               // table shards (creator only; <= 64)
+  int identities = 8;           // registry slots claimed; bounds in-flight
+                                // lock operations (1..kMaxProcs)
+  size_t max_pending = 4096;    // pending-queue cap (kBusy beyond it)
+  bool admission = true;        // WaitTrendAdmission in front of the queue
+  svc::WaitTrendAdmission::Options admission_opt{};
+};
+
+/// Daemon-level counters (the kStats reply's source of truth). These are
+/// REACTOR counters - per-identity svc::SessionStats underneath still
+/// book their own acquires/releases/handoff_rmrs ledger.
+struct ReactorStats {
+  uint64_t granted = 0;
+  uint64_t released = 0;
+  uint64_t sheds = 0;
+  uint64_t timeouts = 0;
+  uint64_t cancels = 0;
+  uint64_t disconnect_releases = 0;  // grants force-released on disconnect
+  uint64_t bad_frames = 0;
+  uint64_t accepted = 0;
+};
+
+class Reactor {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit Reactor(Options opt)
+      : opt_(std::move(opt)), world_(open_world(opt_)) {
+    RME_ASSERT(opt_.shards >= 1 && opt_.shards <= 64,
+               "lockd: shards out of range");
+    RME_ASSERT(opt_.identities >= 1 && opt_.identities <= shm::kMaxProcs,
+               "lockd: identities out of range");
+    if (world_.creator()) {
+      table_ = &world_.create_root<Table>(world_.env, opt_.shards,
+                                          /*ports_per_shard=*/shm::kMaxProcs,
+                                          /*npids=*/shm::kMaxProcs);
+    } else {
+      // Restart path: the root (and its shard count) already exists; the
+      // creator's geometry wins.
+      table_ = &world_.root<Table>();
+    }
+    held_count_.assign(static_cast<size_t>(table_->shards()), 0);
+    // Claim the identity pool. On a restart-after-SIGKILL these claims
+    // are verified takeovers and SessionLease replays recovery for every
+    // identity the dead incarnation held - the "zero leaked leases"
+    // obligation is discharged here, before the socket even opens.
+    for (int pid = 0; pid < opt_.identities; ++pid) {
+      ids_.push_back(std::make_unique<shm::SessionLease<Table>>(
+          world_, *table_, pid));
+      free_ids_.push_back(pid);
+    }
+    if (opt_.admission) gate_.emplace(opt_.admission_opt);
+    open_sockets();
+  }
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  ~Reactor() {
+    // Orderly teardown: drop grants (releasing shards), then connections,
+    // then the identity pool (SessionLease frees the registry slots).
+    for (auto& [fd, c] : conns_) {
+      send_frame_now(c, make_frame(Op::kShutdown, 0));
+      close_conn_fds(c);
+    }
+    conns_.clear();
+    pendq_.clear();
+    ids_.clear();
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (!opt_.socket_path.empty()) ::unlink(opt_.socket_path.c_str());
+  }
+
+  /// Serve until stop(). Equivalent to `while (step(1000)) {}`.
+  void run() {
+    while (step(1000)) {
+    }
+  }
+
+  /// One event-loop turn: wait (bounded by `max_wait_ms` and the nearest
+  /// pending deadline), drain IO, pump the pending queue. Returns false
+  /// once stop() has been observed.
+  bool step(int max_wait_ms) {
+    if (stopped_) return false;
+    epoll_event evs[64];
+    const int n = ::epoll_wait(epoll_fd_, evs, 64, poll_timeout(max_wait_ms));
+    for (int i = 0; i < n; ++i) {
+      const int fd = evs[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t tok = 0;
+        [[maybe_unused]] ssize_t r = ::read(wake_fd_, &tok, sizeof(tok));
+        stopped_ = true;
+      } else if (fd == listen_fd_) {
+        accept_all();
+      } else {
+        auto it = conns_.find(fd);
+        if (it == conns_.end()) continue;  // raced with a close this turn
+        if (evs[i].events & EPOLLOUT) flush_outq(it->second);
+        // Drain on HUP too: a closing client's final frames (releases,
+        // goodbyes) are still queued in the socket and must be handled
+        // before the recv==0 verdict marks the connection dead.
+        if (evs[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+          drain_conn(it->second);
+        }
+      }
+    }
+    pump_and_reap();
+    return !stopped_;
+  }
+
+  /// Async-signal-safe stop request: one eventfd write.
+  void stop() {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t r = ::write(wake_fd_, &one, sizeof(one));
+  }
+
+  const Options& options() const { return opt_; }
+  const ReactorStats& stats() const { return stats_; }
+  shm::ShmWorld& world() { return world_; }
+  Table& table() { return *table_; }
+  size_t connections() const { return conns_.size(); }
+  size_t pending() const { return pendq_.size(); }
+  const char* admission_name() const {
+    return gate_ ? gate_->name() : "none";
+  }
+
+ private:
+  // --- state -----------------------------------------------------------
+
+  struct Grant {
+    int ident = -1;            // identity-pool slot bound while held
+    uint64_t shard_mask = 0;   // shards this grant holds (1 bit single-key)
+    std::optional<svc::Guard<Table>> guard;       // single-key grants
+    std::optional<svc::BatchGuard<Table>> batch;  // batch grants
+  };
+
+  struct Conn {
+    int fd = -1;
+    int efd = -1;  // client's eventfd (SCM_RIGHTS at hello), or -1
+    bool hello = false;
+    bool dead = false;
+    std::unordered_map<uint64_t, Grant> grants;  // grant id -> hold
+    std::unordered_set<uint64_t> pending;        // req ids in the queue
+    std::deque<Frame> outq;                      // EAGAIN backlog
+  };
+
+  struct Pending {
+    int conn_fd = -1;
+    uint64_t req_id = 0;
+    Op op = Op::kAcquire;
+    uint64_t keys[kMaxBatchKeys] = {};
+    uint16_t nkeys = 0;
+    bool has_deadline = false;
+    Clock::time_point deadline{};
+    Clock::time_point enqueued{};
+    int ident = -1;  // bound identity while in flight; -1 while parked
+    std::optional<svc::AcquireRequest<Table>> req;  // live single-key submit
+    bool completed = false;  // set by the request's on_complete callback
+  };
+
+  // --- setup -----------------------------------------------------------
+
+  static shm::ShmWorld open_world(const Options& o) {
+    RME_ASSERT(!o.region.empty(), "lockd: region name required");
+    try {
+      return shm::ShmWorld::create(o.region, o.region_bytes, shm::kMaxProcs);
+    } catch (const shm::ShmError&) {
+      // Exists already: a restart. Attach and take over below.
+      return shm::ShmWorld::attach(o.region);
+    }
+  }
+
+  void open_sockets() {
+    if (opt_.socket_path.empty() ||
+        opt_.socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      throw LockdError("lockd: bad socket path");
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_SEQPACKET | SOCK_NONBLOCK |
+                                       SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) throw LockdError("lockd: socket() failed");
+    // A SIGKILLed predecessor leaves a stale socket file; reclaim it.
+    ::unlink(opt_.socket_path.c_str());
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    ::strncpy(sa.sun_path, opt_.socket_path.c_str(),
+              sizeof(sa.sun_path) - 1);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) !=
+        0) {
+      throw LockdError("lockd: bind(" + opt_.socket_path + ") failed: " +
+                       std::string(::strerror(errno)));
+    }
+    if (::listen(listen_fd_, 1024) != 0) {
+      throw LockdError("lockd: listen() failed");
+    }
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (epoll_fd_ < 0 || wake_fd_ < 0) {
+      throw LockdError("lockd: epoll/eventfd setup failed");
+    }
+    epoll_add(listen_fd_, EPOLLIN);
+    epoll_add(wake_fd_, EPOLLIN);
+  }
+
+  void epoll_add(int fd, uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+
+  void epoll_mod(int fd, uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+
+  int poll_timeout(int max_wait_ms) const {
+    // Anything actionable in the queue -> short tick (in-flight requests
+    // are polled from pump, deadlines fire at ~ms granularity). A truly
+    // idle daemon blocks for the caller's full budget.
+    if (!pendq_.empty()) return 1;
+    return max_wait_ms;
+  }
+
+  // --- accept / receive ------------------------------------------------
+
+  void accept_all() {
+    for (;;) {
+      const int fd =
+          ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) return;  // EAGAIN or transient
+      Conn c;
+      c.fd = fd;
+      conns_.emplace(fd, std::move(c));
+      epoll_add(fd, EPOLLIN);
+      ++stats_.accepted;
+    }
+  }
+
+  void drain_conn(Conn& c) {
+    char buf[kMaxFrameBytes + 64];
+    char cbuf[CMSG_SPACE(sizeof(int) * 4)];
+    for (;;) {
+      if (c.dead) return;
+      iovec iov{buf, sizeof(buf)};
+      msghdr mh{};
+      mh.msg_iov = &iov;
+      mh.msg_iovlen = 1;
+      mh.msg_control = cbuf;
+      mh.msg_controllen = sizeof(cbuf);
+      const ssize_t n = ::recvmsg(c.fd, &mh, MSG_DONTWAIT | MSG_CMSG_CLOEXEC);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+        c.dead = true;
+        return;
+      }
+      if (n == 0) {  // orderly or SIGKILL'd client: same cleanup
+        c.dead = true;
+        return;
+      }
+      std::vector<int> fds;
+      for (cmsghdr* cm = CMSG_FIRSTHDR(&mh); cm != nullptr;
+           cm = CMSG_NXTHDR(&mh, cm)) {
+        if (cm->cmsg_level == SOL_SOCKET && cm->cmsg_type == SCM_RIGHTS) {
+          const size_t cnt = (cm->cmsg_len - CMSG_LEN(0)) / sizeof(int);
+          const int* p = reinterpret_cast<const int*>(CMSG_DATA(cm));
+          for (size_t i = 0; i < cnt; ++i) fds.push_back(p[i]);
+        }
+      }
+      handle_frame(c, buf, static_cast<size_t>(n),
+                   (mh.msg_flags & MSG_TRUNC) != 0, fds);
+      // Any fd the frame handler did not adopt must not leak.
+      for (int fd : fds) {
+        if (fd >= 0) ::close(fd);
+      }
+    }
+  }
+
+  // --- frame dispatch --------------------------------------------------
+
+  void handle_frame(Conn& c, const char* buf, size_t len, bool truncated,
+                    std::vector<int>& fds) {
+    const Decoded d = decode(buf, len, truncated);
+    if (!d.ok()) {
+      ++stats_.bad_frames;
+      // Echo the req_id only when the header itself was trustworthy
+      // (magic+version matched); a garbage header echoes id 0.
+      const bool trusted = len >= sizeof(Header) && !truncated &&
+                           d.hdr.magic == kProtoMagic &&
+                           d.err != Err::kBadVersion;
+      send_frame(c, make_error(trusted ? d.hdr.req_id : 0, d.err));
+      return;
+    }
+    const Op op = static_cast<Op>(d.hdr.op);
+    if (op == Op::kHello) {
+      c.hello = true;
+      if ((d.hdr.a & kHelloFlagEventFd) != 0 && !fds.empty()) {
+        if (c.efd >= 0) ::close(c.efd);
+        c.efd = fds[0];
+        fds[0] = -1;  // adopted
+      }
+      send_frame(c, make_frame(Op::kHelloOk, d.hdr.req_id, kProtoVersion,
+                               static_cast<uint64_t>(table_->shards())));
+      return;
+    }
+    if (!c.hello) {
+      send_frame(c, make_error(d.hdr.req_id, Err::kNoHello));
+      return;
+    }
+    switch (op) {
+      case Op::kAcquire:
+      case Op::kAcquireFor:
+      case Op::kBatch:
+        enqueue_acquire(c, d);
+        return;
+      case Op::kTryAcquire:
+        handle_try(c, d);
+        return;
+      case Op::kRelease:
+        handle_release(c, d);
+        return;
+      case Op::kCancel:
+        handle_cancel(c, d);
+        return;
+      case Op::kStats:
+        handle_stats(c, d);
+        return;
+      case Op::kGoodbye:
+        c.dead = true;
+        return;
+      default:  // daemon->client ops arriving inbound are direction errors
+        send_frame(c, make_error(d.hdr.req_id, Err::kBadOp));
+        return;
+    }
+  }
+
+  bool dup_request(const Conn& c, uint64_t req_id) const {
+    return c.pending.count(req_id) != 0 || c.grants.count(req_id) != 0;
+  }
+
+  void enqueue_acquire(Conn& c, const Decoded& d) {
+    if (dup_request(c, d.hdr.req_id)) {
+      send_frame(c, make_error(d.hdr.req_id, Err::kDupRequest));
+      return;
+    }
+    if (stopped_) {
+      send_frame(c, make_error(d.hdr.req_id, Err::kShuttingDown));
+      return;
+    }
+    if (gate_ && !gate_->admit()) {
+      gate_->on_shed();
+      ++stats_.sheds;
+      send_frame(c, make_error(d.hdr.req_id, Err::kOverloaded));
+      return;
+    }
+    if (pendq_.size() >= opt_.max_pending) {
+      send_frame(c, make_error(d.hdr.req_id, Err::kBusy));
+      return;
+    }
+    Pending p;
+    p.conn_fd = c.fd;
+    p.req_id = d.hdr.req_id;
+    p.op = static_cast<Op>(d.hdr.op);
+    p.enqueued = Clock::now();
+    if (p.op == Op::kBatch) {
+      p.nkeys = d.hdr.nkeys;
+      for (uint16_t i = 0; i < p.nkeys; ++i) p.keys[i] = d.keys[i];
+      if (d.hdr.b != 0) {
+        p.has_deadline = true;
+        p.deadline = p.enqueued + std::chrono::nanoseconds(d.hdr.b);
+      }
+    } else {
+      p.nkeys = 1;
+      p.keys[0] = d.hdr.a;
+      if (p.op == Op::kAcquireFor) {
+        p.has_deadline = true;
+        p.deadline = p.enqueued + std::chrono::nanoseconds(d.hdr.b);
+      }
+    }
+    c.pending.insert(p.req_id);
+    pendq_.push_back(std::move(p));
+  }
+
+  // try_acquire is answered synchronously: one bounded attempt right now,
+  // never queued. A saturated identity pool reads as contention
+  // (kWouldBlock) - the caller's retry story is the same either way.
+  void handle_try(Conn& c, const Decoded& d) {
+    if (dup_request(c, d.hdr.req_id)) {
+      send_frame(c, make_error(d.hdr.req_id, Err::kDupRequest));
+      return;
+    }
+    if (gate_ && !gate_->admit()) {
+      gate_->on_shed();
+      ++stats_.sheds;
+      send_frame(c, make_error(d.hdr.req_id, Err::kOverloaded));
+      return;
+    }
+    const int want = table_->shard_for_key(d.hdr.a);
+    if (free_ids_.empty() || held_count_[static_cast<size_t>(want)] != 0) {
+      send_frame(c, make_error(d.hdr.req_id, Err::kWouldBlock));
+      return;
+    }
+    const int ident = free_ids_.back();
+    free_ids_.pop_back();
+    auto g = ids_[static_cast<size_t>(ident)]->session().try_acquire(d.hdr.a);
+    if (!g) {
+      free_ids_.push_back(ident);
+      send_frame(c, make_error(d.hdr.req_id, Err::kWouldBlock));
+      return;
+    }
+    const uint64_t shard = static_cast<uint64_t>(g->shard());
+    Grant gr;
+    gr.ident = ident;
+    gr.shard_mask = uint64_t{1} << shard;
+    gr.guard.emplace(std::move(*g));
+    finish_grant(c, d.hdr.req_id, std::move(gr), shard, 0);
+  }
+
+  void handle_release(Conn& c, const Decoded& d) {
+    auto it = c.grants.find(d.hdr.a);
+    if (it == c.grants.end()) {
+      send_frame(c, make_error(d.hdr.req_id, Err::kBadGrant));
+      return;
+    }
+    drop_grant(it->second);
+    c.grants.erase(it);
+    ++stats_.released;
+    send_frame(c, make_frame(Op::kReleased, d.hdr.req_id, d.hdr.a));
+  }
+
+  void handle_cancel(Conn& c, const Decoded& d) {
+    const uint64_t target = d.hdr.a;
+    if (c.pending.count(target) == 0) {
+      send_frame(c, make_error(d.hdr.req_id, Err::kBadGrant));
+      return;
+    }
+    for (auto it = pendq_.begin(); it != pendq_.end(); ++it) {
+      if (it->conn_fd != c.fd || it->req_id != target) continue;
+      abandon_pending(*it);
+      pendq_.erase(it);
+      break;
+    }
+    c.pending.erase(target);
+    ++stats_.cancels;
+    send_frame(c, make_frame(Op::kCancelled, d.hdr.req_id, target));
+  }
+
+  void handle_stats(Conn& c, const Decoded& d) {
+    Frame f = make_frame(Op::kStatsReply, d.hdr.req_id);
+    f.hdr.nkeys = kStatCount;
+    f.keys[kStatConns] = conns_.size();
+    f.keys[kStatGranted] = stats_.granted;
+    f.keys[kStatReleased] = stats_.released;
+    f.keys[kStatSheds] = stats_.sheds;
+    f.keys[kStatTimeouts] = stats_.timeouts;
+    f.keys[kStatCancels] = stats_.cancels;
+    f.keys[kStatDisconnects] = stats_.disconnect_releases;
+    f.keys[kStatPending] = pendq_.size();
+    f.keys[kStatIdsFree] = free_ids_.size();
+    send_frame(c, f);
+  }
+
+  // --- the pending-grant pump -----------------------------------------
+
+  // Walk the queue in arrival order: expire deadlines, poll in-flight
+  // requests, bind identities to parked requests whose shards are not
+  // held by one of our own grants. Completions land on ready_ (via the
+  // request's on_complete callback) and are drained into kGranted frames
+  // at the end - the "pending-grant queue" of the design.
+  void pump() {
+    const auto now = Clock::now();
+    for (auto it = pendq_.begin(); it != pendq_.end();) {
+      Pending& p = *it;
+      Conn* c = conn_of(p.conn_fd);
+      if (c == nullptr || c->dead) {
+        abandon_pending(p);
+        if (c != nullptr) c->pending.erase(p.req_id);
+        it = pendq_.erase(it);
+        continue;
+      }
+      if (p.has_deadline && now >= p.deadline && !p.completed) {
+        abandon_pending(p);
+        c->pending.erase(p.req_id);
+        ++stats_.timeouts;
+        if (gate_) gate_->on_acquired(wait_ns(p.enqueued, now));
+        send_frame(*c, make_error(p.req_id, Err::kTimeout));
+        it = pendq_.erase(it);
+        continue;
+      }
+      if (p.req.has_value() && !p.completed) {
+        p.req->poll();  // completion fires on_complete -> ready_
+      } else if (!p.req.has_value() && !p.completed) {
+        attempt_parked(p);
+      }
+      ++it;
+    }
+    drain_ready();
+  }
+
+  // Bind an identity to a parked request and run one attempt. Single-key
+  // requests become live svc::submit() request objects; batches use the
+  // deadline-batch verb with an immediate deadline (sorted-prefix backout
+  // on failure), re-attempted on later pumps.
+  void attempt_parked(Pending& p) {
+    if (free_ids_.empty()) return;
+    uint64_t want = 0;
+    for (uint16_t i = 0; i < p.nkeys; ++i) {
+      want |= uint64_t{1} << table_->shard_for_key(p.keys[i]);
+    }
+    if ((want & held_mask()) != 0) return;  // parked behind our own grant
+    const int ident = free_ids_.back();
+    free_ids_.pop_back();
+    auto& sess = ids_[static_cast<size_t>(ident)]->session();
+    if (p.op == Op::kBatch) {
+      auto b = sess.acquire_batch_until(
+          std::span<const uint64_t>(p.keys, p.nkeys), Clock::now());
+      if (!b) {
+        free_ids_.push_back(ident);  // lost a race; stay parked
+        return;
+      }
+      p.ident = ident;
+      batch_ready_.emplace_back(&p, std::move(*b));
+      p.completed = true;
+      return;
+    }
+    auto r = sess.submit(p.keys[0]);
+    RME_ASSERT(r.has_value(), "lockd: ungated session shed a submit");
+    p.ident = ident;
+    p.req.emplace(std::move(*r));
+    Pending* self = &p;  // std::list: stable address
+    p.req->on_complete([this, self](svc::Guard<Table>&) {
+      self->completed = true;
+      ready_.push_back(self);
+    });
+    p.req->poll();
+  }
+
+  void drain_ready() {
+    for (Pending* p : ready_) {
+      Conn* c = conn_of(p->conn_fd);
+      auto g = p->req->take();
+      RME_ASSERT(g.has_value(), "lockd: completed request had no guard");
+      if (c == nullptr || c->dead) {
+        // Owner vanished between completion and delivery: release.
+        g->release();
+        free_ids_.push_back(p->ident);
+        ++stats_.disconnect_releases;
+      } else {
+        Grant gr;
+        gr.ident = p->ident;
+        gr.shard_mask = uint64_t{1} << g->shard();
+        const uint64_t shard = static_cast<uint64_t>(g->shard());
+        gr.guard.emplace(std::move(*g));
+        c->pending.erase(p->req_id);
+        if (gate_) {
+          gate_->on_acquired(wait_ns(p->enqueued, Clock::now()));
+        }
+        finish_grant(*c, p->req_id, std::move(gr), shard, 0);
+      }
+      erase_pending(p);
+    }
+    ready_.clear();
+    for (auto& [p, bg] : batch_ready_) {
+      Conn* c = conn_of(p->conn_fd);
+      if (c == nullptr || c->dead) {
+        bg.release();
+        free_ids_.push_back(p->ident);
+        ++stats_.disconnect_releases;
+      } else {
+        const uint64_t mask = bg.shard_mask();
+        Grant gr;
+        gr.ident = p->ident;
+        gr.shard_mask = mask;
+        gr.batch.emplace(std::move(bg));
+        c->pending.erase(p->req_id);
+        if (gate_) {
+          gate_->on_acquired(wait_ns(p->enqueued, Clock::now()));
+        }
+        finish_grant(*c, p->req_id, std::move(gr), ~uint64_t{0}, mask);
+      }
+      erase_pending(p);
+    }
+    batch_ready_.clear();
+  }
+
+  // Record the grant under the connection and deliver kGranted. `shard`
+  // is the single-key shard index (~0 for batches, whose mask rides `b`).
+  void finish_grant(Conn& c, uint64_t req_id, Grant gr, uint64_t shard,
+                    uint64_t mask) {
+    for (int s = 0; s < 64; ++s) {
+      if (gr.shard_mask & (uint64_t{1} << s)) {
+        ++held_count_[static_cast<size_t>(s)];
+      }
+    }
+    c.grants.emplace(req_id, std::move(gr));
+    ++stats_.granted;
+    Frame f = make_frame(Op::kGranted, req_id, req_id, shard);
+    if (mask != 0) f.hdr.b = mask;
+    send_frame(c, f);
+  }
+
+  uint64_t held_mask() const {
+    uint64_t m = 0;
+    for (size_t s = 0; s < held_count_.size(); ++s) {
+      if (held_count_[s] != 0) m |= uint64_t{1} << s;
+    }
+    return m;
+  }
+
+  static uint64_t wait_ns(Clock::time_point from, Clock::time_point to) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+            .count());
+  }
+
+  // Release a held grant's shards and return its identity to the pool.
+  void drop_grant(Grant& g) {
+    if (g.guard.has_value()) g.guard->release();
+    if (g.batch.has_value()) g.batch->release();
+    for (int s = 0; s < 64; ++s) {
+      if (g.shard_mask & (uint64_t{1} << s)) {
+        RME_ASSERT(held_count_[static_cast<size_t>(s)] > 0,
+                   "lockd: held-count underflow");
+        --held_count_[static_cast<size_t>(s)];
+      }
+    }
+    if (g.ident >= 0) free_ids_.push_back(g.ident);
+    g.ident = -1;
+    g.shard_mask = 0;
+  }
+
+  // Abandon a pending entry (cancel / timeout / owner died). A live
+  // request is cancelled; a completed-but-undelivered one releases its
+  // guard (it never reached the client, so nothing is held on its
+  // behalf). The ready_ lists are purged of the dying entry.
+  void abandon_pending(Pending& p) {
+    if (p.completed) {
+      if (p.req.has_value()) {
+        auto g = p.req->take();
+        if (g.has_value()) g->release();
+      }
+      for (auto it = batch_ready_.begin(); it != batch_ready_.end(); ++it) {
+        if (it->first == &p) {
+          it->second.release();
+          batch_ready_.erase(it);
+          break;
+        }
+      }
+      for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+        if (*it == &p) {
+          ready_.erase(it);
+          break;
+        }
+      }
+      if (p.ident >= 0) free_ids_.push_back(p.ident);
+    } else if (p.req.has_value()) {
+      p.req->cancel();
+      p.req.reset();
+      if (p.ident >= 0) free_ids_.push_back(p.ident);
+    }
+    p.ident = -1;
+  }
+
+  void erase_pending(Pending* p) {
+    for (auto it = pendq_.begin(); it != pendq_.end(); ++it) {
+      if (&*it == p) {
+        pendq_.erase(it);
+        return;
+      }
+    }
+  }
+
+  Conn* conn_of(int fd) {
+    auto it = conns_.find(fd);
+    return it == conns_.end() ? nullptr : &it->second;
+  }
+
+  // --- teardown of dead connections -----------------------------------
+
+  void pump_and_reap() {
+    for (;;) {
+      pump();
+      std::vector<int> dead;
+      for (auto& [fd, c] : conns_) {
+        if (c.dead) dead.push_back(fd);
+      }
+      if (dead.empty()) return;
+      for (int fd : dead) reap_conn(fd);
+      // Reaping released shards; parked requests may now be grantable.
+    }
+  }
+
+  void reap_conn(int fd) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    Conn& c = it->second;
+    // Client crash/disconnect: release every held grant...
+    for (auto& [id, g] : c.grants) {
+      drop_grant(g);
+      ++stats_.disconnect_releases;
+    }
+    c.grants.clear();
+    // ...and abandon every pending request (no replies: nobody listens).
+    for (auto pit = pendq_.begin(); pit != pendq_.end();) {
+      if (pit->conn_fd == fd) {
+        abandon_pending(*pit);
+        pit = pendq_.erase(pit);
+      } else {
+        ++pit;
+      }
+    }
+    close_conn_fds(c);
+    conns_.erase(it);
+  }
+
+  void close_conn_fds(Conn& c) {
+    if (c.fd >= 0) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c.fd, nullptr);
+      ::close(c.fd);
+      c.fd = -1;
+    }
+    if (c.efd >= 0) {
+      ::close(c.efd);
+      c.efd = -1;
+    }
+  }
+
+  // --- send path -------------------------------------------------------
+
+  void send_frame(Conn& c, const Frame& f) {
+    if (c.dead) return;
+    if (!c.outq.empty()) {
+      c.outq.push_back(f);
+      return;
+    }
+    if (!send_frame_now(c, f)) {
+      if (c.dead) return;
+      c.outq.push_back(f);
+      epoll_mod(c.fd, EPOLLIN | EPOLLOUT);
+    }
+    kick_eventfd(c);
+  }
+
+  // One non-blocking send. False on EAGAIN (caller queues); a hard error
+  // marks the connection dead.
+  bool send_frame_now(Conn& c, const Frame& f) {
+    if (c.fd < 0) return true;
+    const ssize_t n =
+        ::send(c.fd, &f, f.size(), MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n >= 0) return true;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+    c.dead = true;
+    return true;  // swallowed: reap will clean up
+  }
+
+  void flush_outq(Conn& c) {
+    while (!c.outq.empty()) {
+      if (!send_frame_now(c, c.outq.front())) return;
+      if (c.dead) return;
+      c.outq.pop_front();
+    }
+    epoll_mod(c.fd, EPOLLIN);
+    kick_eventfd(c);
+  }
+
+  void kick_eventfd(Conn& c) {
+    if (c.efd < 0) return;
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t r = ::write(c.efd, &one, sizeof(one));
+    // EAGAIN = counter saturated = client already has a wakeup pending.
+  }
+
+  // --- members ---------------------------------------------------------
+
+  Options opt_;
+  shm::ShmWorld world_;
+  Table* table_ = nullptr;
+  std::vector<std::unique_ptr<shm::SessionLease<Table>>> ids_;
+  std::vector<int> free_ids_;
+  std::optional<svc::WaitTrendAdmission> gate_;
+  std::vector<uint32_t> held_count_;  // per-shard grants outstanding
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  bool stopped_ = false;
+
+  std::unordered_map<int, Conn> conns_;
+  std::list<Pending> pendq_;  // arrival order; stable addresses
+  std::vector<Pending*> ready_;
+  // std::list: BatchGuard is move-constructible but not move-assignable,
+  // so mid-sequence erasure must destroy nodes rather than shift them.
+  std::list<std::pair<Pending*, svc::BatchGuard<Table>>> batch_ready_;
+  ReactorStats stats_;
+};
+
+}  // namespace rme::lockd

@@ -55,14 +55,26 @@ struct Arena {
   // exact limit and observe graceful refusal, not a poisoned cursor.
   // (The arena is harness/placement machinery, not paper-budgeted lock
   // state, so the CAS is fine here.)
+  //
+  // Alignment is applied to the ABSOLUTE address (base + cursor), not the
+  // cursor offset: `base` is a payload pointer into an mmap'd region, so
+  // its own alignment is whatever the header layout left it at. Aligning
+  // only the offset silently hands out misaligned memory whenever `align`
+  // exceeds the alignment of `base` itself - exactly the over-aligned
+  // (alignof > 16, up to page-and-beyond) case daemon-side per-connection
+  // scratch hits.
   void* try_allocate(size_t bytes, size_t align) {
     RME_ASSERT(valid(), "Arena::try_allocate on an invalid arena");
     RME_ASSERT(align != 0 && (align & (align - 1)) == 0,
                "Arena::try_allocate: alignment must be a power of two");
+    const uint64_t b = reinterpret_cast<uint64_t>(base);
     uint64_t cur = cursor->load(std::memory_order_relaxed);
     for (;;) {
-      const uint64_t aligned =
-          (cur + align - 1) & ~static_cast<uint64_t>(align - 1);
+      const uint64_t addr = b + cur;
+      const uint64_t aligned_addr =
+          (addr + align - 1) & ~static_cast<uint64_t>(align - 1);
+      if (aligned_addr < addr) return nullptr;  // align-up wrapped: refuse
+      const uint64_t aligned = aligned_addr - b;
       if (aligned + bytes > limit || aligned + bytes < aligned) {
         return nullptr;  // exhausted (or size overflow): clean refusal
       }

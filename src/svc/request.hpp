@@ -13,6 +13,10 @@
 //   auto g = r->wait_until(deadline);        // kTimeout leaves it pending
 //   r->cancel();                             // while pending only
 //
+//   auto rk = session.submit(key);           // keyed tables: per-shard
+//   ...                                      // request; guard remembers
+//                                            // the shard it landed on
+//
 // The request is driven entirely by the caller's thread - there is no
 // hidden helper thread, matching the library's process model (a pid is
 // one thread of control). poll() is one bounded attempt; wait*() are
@@ -141,7 +145,10 @@ class AcquireRequest {
         cb_(std::move(o.cb_)),
         state_(o.state_),
         carried_cycles_(o.carried_cycles_),
-        gate_wait_ns_(o.gate_wait_ns_) {
+        gate_wait_ns_(o.gate_wait_ns_),
+        key_(o.key_),
+        shard_(o.shard_),
+        keyed_(o.keyed_) {
     o.state_ = RequestState::kCancelled;  // moved-from: inert
     o.cb_ = nullptr;
   }
@@ -161,7 +168,7 @@ class AcquireRequest {
     if (state_ != RequestState::kPending) return state_;
     const uint64_t vt0 = core_->gate_begin();
     detail::SiteScope site(ctx(), core_->site());
-    if (core_->lock->try_acquire(*core_->proc, core_->id)) {
+    if (attempt()) {
       complete(ctx().wait_cycles, vt0);  // single attempt: nothing to book
     }
     return state_;
@@ -176,7 +183,7 @@ class AcquireRequest {
     const uint64_t vt0 = core_->gate_begin();
     detail::SiteScope site(ctx(), core_->site());
     platform::Waiter wtr;
-    while (!core_->lock->try_acquire(*core_->proc, core_->id)) {
+    while (!attempt()) {
       wtr.pause(ctx(), core_->lock);
     }
     complete(w0, vt0);
@@ -193,7 +200,7 @@ class AcquireRequest {
     detail::SiteScope site(ctx(), core_->site());
     platform::Waiter wtr;
     for (;;) {
-      if (core_->lock->try_acquire(*core_->proc, core_->id)) {
+      if (attempt()) {
         complete(w0, vt0);
         return take();
       }
@@ -263,7 +270,26 @@ class AcquireRequest {
   explicit AcquireRequest(std::shared_ptr<detail::SessionCore<L>> core)
       : core_(std::move(core)) {}
 
+  AcquireRequest(std::shared_ptr<detail::SessionCore<L>> core, uint64_t key)
+      : core_(std::move(core)), key_(key), keyed_(true) {}
+
   typename L::Platform::Context& ctx() { return core_->proc->ctx; }
+
+  // One bounded attempt against the lock; keyed requests record the
+  // shard their key mapped to so the guard can hand off shard-sited.
+  bool attempt() {
+    if constexpr (api::TryKeyedLock<L>) {
+      if (keyed_) {
+        shard_ = core_->lock->try_acquire(*core_->proc, core_->id, key_);
+        return shard_ >= 0;
+      }
+    }
+    if constexpr (api::TryLock<L>) {
+      if (!keyed_) return core_->lock->try_acquire(*core_->proc, core_->id);
+    }
+    RME_ASSERT(false, "svc::AcquireRequest: no try path for this lock");
+    return false;
+  }
 
   // Transition kPending -> kReady: mint the guard, book telemetry for
   // the completing verb's pause span (`w0_verb`; earlier timed-out
@@ -279,7 +305,7 @@ class AcquireRequest {
       gate_t0 = detail::SessionCore<L>::now_ns() - gate_wait_ns_;
     }
     core_->note_acquire(w0_verb, gate_t0, /*batch=*/false, carried_cycles_);
-    slot_.emplace(Guard<L>(core_));
+    slot_.emplace(Guard<L>(core_, shard_));
     state_ = RequestState::kReady;
     if (cb_) {
       auto cb = std::move(cb_);
@@ -294,6 +320,9 @@ class AcquireRequest {
   RequestState state_ = RequestState::kPending;
   uint64_t carried_cycles_ = 0;  // pauses booked by timed-out waits
   uint64_t gate_wait_ns_ = 0;    // in-verb wall time (gated sessions)
+  uint64_t key_ = 0;             // keyed requests: the target key
+  int shard_ = -1;               // keyed requests: shard once acquired
+  bool keyed_ = false;
 };
 
 // --- Session::submit, defined here where AcquireRequest is complete ---
@@ -305,6 +334,15 @@ Expected<AcquireRequest<L>> Session<L>::submit()
   if (!core_->admitted()) return Errc::kOverloaded;  // books the shed
   ++core_->stats.submits;  // counts MINTED requests only
   return AcquireRequest<L>(core_);
+}
+
+template <class L>
+Expected<AcquireRequest<L>> Session<L>::submit(uint64_t key)
+  requires api::TryKeyedLock<L>
+{
+  if (!core_->admitted()) return Errc::kOverloaded;  // books the shed
+  ++core_->stats.submits;  // counts MINTED requests only
+  return AcquireRequest<L>(core_, key);
 }
 
 }  // namespace rme::svc

@@ -366,6 +366,14 @@ class Session {
   Expected<AcquireRequest<L>> submit()
     requires api::TryLock<L>;
 
+  // Keyed entries: mint a request targeting the shard guarding `key`.
+  // Same lifecycle as the plain form; the completed guard remembers its
+  // shard, so release hands off under the shard's wake site. This is the
+  // form a multiplexing front (lockd's reactor) drives: many pending
+  // keyed requests, each polled from one event loop.
+  Expected<AcquireRequest<L>> submit(uint64_t key)
+    requires api::TryKeyedLock<L>;
+
   // --- bounded / deadline acquisition (TryLock-capable entries) ---
 
   Expected<Guard<L>> try_acquire()

@@ -14,6 +14,7 @@
 
 #include "api/api.hpp"
 #include "harness/fork_scenario.hpp"
+#include "platform/arena.hpp"
 #include "shm/shm.hpp"
 #include "svc/svc.hpp"
 
@@ -236,6 +237,49 @@ TEST(ShmRegion, ArenaExhaustionRefusesCleanly) {
   EXPECT_EQ(arena.try_allocate(8, 8), nullptr);
   EXPECT_LE(world.region().header()->cursor.load(std::memory_order_relaxed),
             world.region().bytes());
+}
+
+TEST(ShmRegion, ArenaOverAlignedAllocationsAlignTheAddress) {
+  // Regression for the daemon-side over-alignment bug: try_allocate must
+  // align the ABSOLUTE address (base + cursor), not the cursor offset.
+  // The region's payload base is not itself page-aligned, so any offset-
+  // only scheme breaks exactly at align > alignof(base).
+  auto world = ShmWorld::create(unique_name("align"), 8 << 20, 2);
+  auto& arena = world.env.arena;
+  // Skew the cursor first so the interesting allocations never start
+  // from an already-convenient offset.
+  ASSERT_NE(arena.try_allocate(24, 8), nullptr);
+  for (size_t align : {size_t{64}, size_t{256}, size_t{4096}, size_t{8192}}) {
+    void* p = arena.try_allocate(128, align);
+    ASSERT_NE(p, nullptr) << "align=" << align;
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u)
+        << "align=" << align;
+    ASSERT_NE(arena.try_allocate(1, 1), nullptr);  // re-skew between rounds
+  }
+}
+
+TEST(ShmRegion, ArenaMisalignedBaseStillAlignsAbsoluteAddress) {
+  // A raw Arena whose base is deliberately NOT aligned to the request:
+  // the offset-aligning bug would return base + aligned_offset, which is
+  // misaligned by exactly the base's skew. Build the arena by hand so the
+  // skew is under test control rather than an accident of header layout.
+  alignas(4096) static char backing[64 << 10];
+  std::atomic<uint64_t> cursor{0};
+  rme::platform::Arena arena;
+  arena.base = backing + 24;  // 8-aligned, not 64-aligned
+  arena.limit = sizeof(backing) - 24;
+  arena.cursor = &cursor;
+  for (size_t align : {size_t{64}, size_t{256}, size_t{4096}}) {
+    void* p = arena.try_allocate(64, align);
+    ASSERT_NE(p, nullptr) << "align=" << align;
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u)
+        << "align=" << align;
+  }
+  // An over-aligned request the arena cannot hold refuses cleanly and
+  // leaves the cursor where it was (no space burned by the failed align).
+  const uint64_t before = cursor.load(std::memory_order_relaxed);
+  EXPECT_EQ(arena.try_allocate(sizeof(backing), 8192), nullptr);
+  EXPECT_EQ(cursor.load(std::memory_order_relaxed), before);
 }
 
 TEST(ShmRegistry, RecycledPidWithMismatchedStartTimeIsDead) {

@@ -55,6 +55,10 @@ REQUIRED_KEYS = {
     # over the raw region lot; the futex arm must report timeouts == 0
     # (CI asserts it - a nonzero count means a wake was lost).
     "shm_handoff": ["handoff", "grants", "timeouts", "wake_ns"],
+    # The lock-service daemon sweep (bench_lockd): N socket clients into
+    # one reactor; `admission` is wait_trend or none, p50/p99 cover the
+    # ADMITTED grants only, shed_rate the front-gate rejections.
+    "lockd": ["clients", "admission", "p50_ns", "p99_ns", "shed_rate"],
 }
 
 

@@ -1,0 +1,124 @@
+// rme_lockd: the lock-service daemon binary.
+//
+//   rme_lockd --socket=/tmp/rme_lockd.sock --region=/rme_lockd
+//             [--shards=8] [--identities=8] [--bytes=16777216]
+//             [--max-pending=4096] [--no-admission]
+//
+// Creates the region when it does not exist; ATTACHES when it does (the
+// restart path: the SessionLease takeovers replay any recovery the dead
+// incarnation owed before the socket opens). Prints exactly one
+//
+//   LOCKD_READY socket=<path> region=<name> shards=<n> pid=<pid>
+//
+// line on stdout once it is accepting connections (tests and CI gate on
+// it), serves until SIGTERM/SIGINT, then prints one LOCKD_STATS summary
+// line and exits 0. Exit codes: 0 clean, 2 setup failure (bad socket
+// path, busy region identities, shm errors).
+#include <signal.h>
+#include <stdio.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "lockd/lockd.hpp"
+#include "shm/region.hpp"
+
+namespace {
+
+rme::lockd::Reactor* g_reactor = nullptr;
+
+void on_signal(int) {
+  if (g_reactor != nullptr) g_reactor->stop();  // eventfd write: signal-safe
+}
+
+bool arg_value(const char* arg, const char* name, const char** out) {
+  const size_t n = ::strlen(name);
+  if (::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+void usage() {
+  ::fprintf(stderr,
+            "usage: rme_lockd --socket=PATH --region=NAME [--shards=N]\n"
+            "                 [--identities=N] [--bytes=N] [--max-pending=N]\n"
+            "                 [--no-admission]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rme::lockd::Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (arg_value(argv[i], "--socket", &v)) {
+      opt.socket_path = v;
+    } else if (arg_value(argv[i], "--region", &v)) {
+      opt.region = v;
+    } else if (arg_value(argv[i], "--shards", &v)) {
+      opt.shards = ::atoi(v);
+    } else if (arg_value(argv[i], "--identities", &v)) {
+      opt.identities = ::atoi(v);
+    } else if (arg_value(argv[i], "--bytes", &v)) {
+      opt.region_bytes = static_cast<size_t>(::atoll(v));
+    } else if (arg_value(argv[i], "--max-pending", &v)) {
+      opt.max_pending = static_cast<size_t>(::atoll(v));
+    } else if (::strcmp(argv[i], "--no-admission") == 0) {
+      opt.admission = false;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (opt.socket_path.empty() || opt.region.empty()) {
+    usage();
+    return 2;
+  }
+
+  // Serving thousands of connections needs headroom over the default
+  // soft fd limit; raise it to the hard cap (best effort).
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) == 0 && rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &rl);
+  }
+
+  try {
+    rme::lockd::Reactor reactor(opt);
+    g_reactor = &reactor;
+    struct sigaction sa{};
+    sa.sa_handler = on_signal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    ::printf("LOCKD_READY socket=%s region=%s shards=%d pid=%d\n",
+             opt.socket_path.c_str(), opt.region.c_str(),
+             reactor.table().shards(), static_cast<int>(::getpid()));
+    ::fflush(stdout);
+
+    reactor.run();
+
+    const rme::lockd::ReactorStats& s = reactor.stats();
+    ::printf("LOCKD_STATS accepted=%llu granted=%llu released=%llu "
+             "sheds=%llu timeouts=%llu cancels=%llu disconnect_releases=%llu "
+             "bad_frames=%llu\n",
+             static_cast<unsigned long long>(s.accepted),
+             static_cast<unsigned long long>(s.granted),
+             static_cast<unsigned long long>(s.released),
+             static_cast<unsigned long long>(s.sheds),
+             static_cast<unsigned long long>(s.timeouts),
+             static_cast<unsigned long long>(s.cancels),
+             static_cast<unsigned long long>(s.disconnect_releases),
+             static_cast<unsigned long long>(s.bad_frames));
+    g_reactor = nullptr;
+    return 0;
+  } catch (const rme::lockd::LockdError& e) {
+    ::fprintf(stderr, "rme_lockd: %s\n", e.what());
+  } catch (const rme::shm::ShmError& e) {
+    ::fprintf(stderr, "rme_lockd: shm error: %s\n", e.what());
+  }
+  return 2;
+}

@@ -64,6 +64,12 @@
 //                                     clock-jump simulation; steady_clock
 //                                     waits turn skew into kTimeout,
 //                                     never a hang)
+//     claim-probe                     registry-only: try claim(pid) on
+//                                     the named region, release on
+//                                     success. Exit 0 = claimed,
+//                                     2 = refused, with NO stderr either
+//                                     way (the pid_exhaust arm's silent
+//                                     probe; never reads the root)
 //
 // Exit codes: 0 ok; 2 shm error (busy slot, bad region); 3 bad args;
 // 4 recovery audit failure (probe owner unexpectedly changed); 5 the
@@ -397,6 +403,23 @@ int main(int argc, char** argv) {
   const std::string region = argv[1];
   const int pid = std::atoi(argv[2]);
   const std::string role = argv[3];
+  if (role == "claim-probe") {
+    // Registry-only probe (the pid_exhaust soak arm): try to claim the
+    // logical pid and report the verdict via the exit code alone -
+    // 0 = claimed (and released), 2 = refused. DELIBERATELY silent: a
+    // busy-slot refusal is this role's expected outcome, and the soak's
+    // BadNews scanner treats any "shm_worker:" stderr line as an
+    // anomaly. Never touches the root object, so it works against
+    // scratch worlds that carry none.
+    try {
+      auto world = rme::shm::ShmWorld::attach(region);
+      const auto id = world.claim(pid);
+      world.release(id);
+      return 0;
+    } catch (const rme::shm::ShmError&) {
+      return 2;
+    }
+  }
   try {
     auto world = rme::shm::ShmWorld::attach(region);
     auto& fx = world.root<Fixture>();
