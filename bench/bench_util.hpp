@@ -19,6 +19,7 @@
 #include "harness/scenario.hpp"
 #include "harness/sim_run.hpp"
 #include "harness/world.hpp"
+#include "util/json.hpp"
 
 namespace rme::bench {
 
@@ -79,17 +80,11 @@ inline std::string fmt(const char* f, ...) {
 using JsonParams = std::vector<std::pair<std::string, std::string>>;
 using JsonMetrics = std::vector<std::pair<std::string, double>>;
 
-inline std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
+using rme::util::json_escape;
 
 // True when the string is a plain number, so params like {"k","8"} emit
-// unquoted and stay numbers for downstream tooling.
+// unquoted and stay numbers for downstream tooling. strtod-based (wider
+// than util::json_is_number): exponent-notation params stay unquoted.
 inline bool json_is_number(const std::string& s) {
   if (s.empty()) return false;
   char* end = nullptr;
@@ -97,22 +92,21 @@ inline bool json_is_number(const std::string& s) {
   return end != nullptr && *end == '\0';
 }
 
+// Rendered by the shared util::JsonLine (kCompact: the BENCH_JSON schema
+// predates the spaced style and tools/check_bench_json.py pins it).
 inline void json_line(const std::string& bench, const JsonParams& params,
                       const JsonMetrics& metrics) {
-  std::string out = "BENCH_JSON {\"bench\":\"" + json_escape(bench) + "\"";
+  util::JsonLine j("BENCH_JSON", util::JsonStyle::kCompact);
+  j.str("bench", bench);
   for (const auto& [k, v] : params) {
-    out += ",\"" + json_escape(k) + "\":";
     if (json_is_number(v)) {
-      out += v;
+      j.raw(k, v);
     } else {
-      out += "\"" + json_escape(v) + "\"";
+      j.str(k, v);
     }
   }
-  for (const auto& [k, v] : metrics) {
-    out += ",\"" + json_escape(k) + "\":" + fmt("%.6g", v);
-  }
-  out += "}";
-  std::printf("%s\n", out.c_str());
+  for (const auto& [k, v] : metrics) j.num(k, v);
+  std::printf("%s\n", j.str().c_str());
 }
 
 // Non-owning crash-plan adapter: Scenario owns its plan, benches often

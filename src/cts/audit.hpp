@@ -23,6 +23,14 @@
 //   arena_high_water caps respected: the bump cursor never passed the
 //                    region limit; records the high-water mark for
 //                    SOAK_JSON capacity reporting
+//   metrics_witness  the obs::MetricsArena cross-check: every telemetry
+//                    row samples cleanly at quiescence (no seqlock left
+//                    odd by a dead writer - adoption repaired it), row
+//                    acquires COVER the SoakCell witness (cells are
+//                    flushed only by clean exits, rows count every
+//                    incarnation, so row >= cell), handoffs <= releases
+//                    region-wide, and the acquire-wait histogram's mass
+//                    never exceeds its own acquires counter
 #pragma once
 
 #include <string>
@@ -149,6 +157,49 @@ class ArenaAudit final : public Audit {
 
  private:
   uint64_t high_water_ = 0;
+};
+
+class MetricsAudit final : public Audit {
+ public:
+  const char* name() const override { return "metrics_witness"; }
+  void check(SoakCtx& ctx) override {
+    const auto& arena = ctx.world.metrics();
+    uint64_t handoffs = 0, releases = 0;
+    for (int pid = 0; pid < ctx.world.nprocs(); ++pid) {
+      obs::RowSample row;
+      if (!obs::sample_row(arena.rows[pid], row)) {
+        // Quiescent world: nobody is writing, so a row that never
+        // settles is a seqlock left odd by a dead writer that adoption
+        // failed to repair.
+        ctx.fail(at("pid", pid) + "telemetry row torn at quiescence");
+        continue;
+      }
+      // The SoakCell witness is flushed by CLEAN exits only; the arena
+      // row adopts across every incarnation (SIGKILLed ones included),
+      // so the row must cover the cell.
+      const uint64_t cell_acq =
+          ctx.fx.soak[pid].acquires.load(std::memory_order_acquire);
+      if (row.counter[obs::kAcquires] < cell_acq) {
+        ctx.fail(at("pid", pid) + "arena acquires " +
+                 std::to_string(row.counter[obs::kAcquires]) +
+                 " below the SoakCell witness " + std::to_string(cell_acq));
+      }
+      if (row.acquire_wait_count() > row.counter[obs::kAcquires]) {
+        ctx.fail(at("pid", pid) + "acquire-wait histogram mass " +
+                 std::to_string(row.acquire_wait_count()) +
+                 " exceeds acquires " +
+                 std::to_string(row.counter[obs::kAcquires]));
+      }
+      handoffs += row.counter[obs::kHandoffRmrs];
+      releases += row.counter[obs::kReleases];
+    }
+    // Fair handoff, region-wide: every release (batches book per freed
+    // shard) grants at most one waiter.
+    if (handoffs > releases) {
+      ctx.fail("arena handoff grants " + std::to_string(handoffs) +
+               " exceed releases " + std::to_string(releases));
+    }
+  }
 };
 
 }  // namespace rme::cts

@@ -35,6 +35,14 @@
 //                    freed slot is immediately re-claimable (the
 //                    saturation regime the lockd daemon's identity pool
 //                    multiplexes thousands of clients over)
+//   no_futex_flip    mixes condvar-fallback workers (RME_NO_FUTEX in the
+//                    child environment) with the baseline fleet's futex
+//                    parkers on the same shards, then asserts the
+//                    region's wake-latency histogram gained ZERO
+//                    tail-bucket samples: the open tail (>= ~2.1 s) sits
+//                    past every park timeout in the tree, so a populated
+//                    tail is the signature of a LOST WAKE rescued by a
+//                    timeout nap (obs/metrics.hpp)
 //
 // Decisions are deterministic, outcomes are not: the seed replays the
 // exact sequence of arm choices, kill times, victims and worker seeds,
@@ -44,6 +52,7 @@
 // to replay the kernel.
 #pragma once
 
+#include <stdlib.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -55,6 +64,7 @@
 #include "cts/badnews.hpp"
 #include "cts/rng.hpp"
 #include "harness/fork_scenario.hpp"
+#include "obs/snapshot.hpp"
 #include "shm/shm.hpp"
 #include "svc/svc.hpp"
 
@@ -75,7 +85,8 @@ enum Arm : uint32_t {
   kPidReuse = 1u << 4,
   kClockSkew = 1u << 5,
   kPidExhaust = 1u << 6,
-  kAllArms = (1u << 7) - 1,
+  kNoFutexFlip = 1u << 7,
+  kAllArms = (1u << 8) - 1,
 };
 
 inline const char* arm_name(Arm a) {
@@ -87,6 +98,7 @@ inline const char* arm_name(Arm a) {
     case kPidReuse: return "pid_reuse";
     case kClockSkew: return "clock_skew";
     case kPidExhaust: return "pid_exhaust";
+    case kNoFutexFlip: return "no_futex_flip";
     default: return "?";
   }
 }
@@ -152,7 +164,8 @@ struct SoakOptions {
   int overload_pid(int i) const { return procs + 2 + i; }  // i in {0,1}
   int skew_pid(int i) const { return procs + 4 + i; }      // i in {0,1}
   int observer_pid() const { return procs + 6; }           // never claimed
-  int npids() const { return procs + 7; }
+  int flip_pid(int i) const { return procs + 7 + i; }      // i in {0,1}
+  int npids() const { return procs + 9; }
 };
 
 // ---------------------------------------------------------------------------
@@ -588,6 +601,62 @@ class PidExhaust final : public Component {
     const int st = ctx.fs.wait_child(child);
     if (!WIFEXITED(st)) return -1;
     return WEXITSTATUS(st);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// no_futex_flip: the lost-wake hunt. One worker runs with the futex lot
+// RUNTIME-disabled (RME_NO_FUTEX set in the child's environment before
+// the fork+exec - set_futex_enabled is per-process, so the parent's
+// setenv/unsetenv window is how a child inherits the flip), one runs
+// futex-parked, both against the baseline fleet on the round's shards.
+// A condvar-mode worker never stamps or consumes wake stamps, so mixing
+// the modes cannot manufacture a false positive; what CAN go wrong is a
+// futex waiter missing its wake and being rescued by its bounded nap -
+// which lands the stamp-to-running latency in the wake histogram's open
+// tail (>= ~2.1 s, past every park timeout). The arm asserts that tail
+// gained exactly zero samples.
+// ---------------------------------------------------------------------------
+
+class NoFutexFlip final : public Component {
+ public:
+  Arm arm() const override { return kNoFutexFlip; }
+
+  void run(SoakCtx& ctx) override {
+    const uint64_t tail0 = wake_tail(ctx);
+    int handles[2];
+    for (int i = 0; i < 2; ++i) {
+      const int pid = ctx.opt.flip_pid(i);
+      ctx.reset_stage(pid);
+      if (i == 0) ::setenv("RME_NO_FUTEX", "1", 1);
+      handles[i] = ctx.spawn(pid, "soak-run",
+                             {std::to_string(ctx.opt.passages),
+                              std::to_string(ctx.round_key),
+                              std::to_string(ctx.opt.dwell_us)});
+      if (i == 0) ::unsetenv("RME_NO_FUTEX");
+    }
+    for (int i = 0; i < 2; ++i) {
+      if (!ctx.await_stage(ctx.opt.flip_pid(i), harness::Stage::kDone,
+                           "no_futex_flip")) {
+        ctx.kill_worker(handles[i]);
+        ctx.reap_died_by_kill(handles[i]);
+        return;
+      }
+      ctx.reap_died_by_kill(handles[i]);  // classifies; clean exit expected
+    }
+    const uint64_t tail1 = wake_tail(ctx);
+    if (tail1 != tail0) {
+      ctx.fail("no_futex_flip: wake-latency tail grew " +
+               std::to_string(tail0) + " -> " + std::to_string(tail1) +
+               " (lost futex wake rescued by a timeout nap)");
+    }
+  }
+
+ private:
+  static uint64_t wake_tail(SoakCtx& ctx) {
+    const obs::Snapshot s =
+        obs::Snapshot::read(ctx.world.metrics(), ctx.opt.npids());
+    return s.wake_tail(obs::Hist::kBuckets - 1);
   }
 };
 

@@ -10,7 +10,7 @@
 //           (components.hpp) against that live traffic, in fixed order
 //         + finish: await every worker's kDone, reap and classify every
 //           exit, scan every captured stderr (BadNews)
-//         + audits: the five quiescent-world sweeps (audit.hpp)
+//         + audits: the six quiescent-world sweeps (audit.hpp)
 //
 // The world persists ACROSS rounds - epochs, probes and SoakCells
 // accumulate - so cross-round invariants (epoch monotonicity, cumulative
@@ -35,6 +35,7 @@
 
 #include "cts/audit.hpp"
 #include "cts/component.hpp"
+#include "util/json.hpp"
 
 namespace rme::cts {
 
@@ -59,33 +60,27 @@ struct SoakReport {
 
   bool ok() const { return anomalies.empty(); }
 
-  // The one-line machine-readable summary.
+  // The one-line machine-readable summary (util/json.hpp renderer;
+  // kSpaced style - the '"anomalies": 0' CI grep pins the separators).
   std::string json_line() const {
-    std::string s = "SOAK_JSON {";
-    auto num = [&s](const char* k, uint64_t v, bool first = false) {
-      if (!first) s += ", ";
-      s += "\"";
-      s += k;
-      s += "\": " + std::to_string(v);
-    };
-    num("seed", seed, true);
-    num("procs", static_cast<uint64_t>(procs));
-    num("rounds", static_cast<uint64_t>(rounds_run));
-    s += ", \"arms\": \"" + arms + "\"";
-    num("teeth", teeth ? 1 : 0);
-    num("kills", kills);
-    num("restarts", restarts);
-    num("takeovers", takeovers);
-    num("spawns", spawns);
-    num("acquires", acquires);
-    num("releases", releases);
-    num("sheds", sheds);
-    num("timeouts", timeouts);
-    num("audits", audits_run);
-    num("anomalies", anomalies.size());
-    num("arena_high_water", arena_high_water);
-    s += "}";
-    return s;
+    return util::JsonLine("SOAK_JSON", util::JsonStyle::kSpaced)
+        .num("seed", seed)
+        .num("procs", procs)
+        .num("rounds", rounds_run)
+        .str("arms", arms)
+        .num("teeth", static_cast<uint64_t>(teeth ? 1 : 0))
+        .num("kills", kills)
+        .num("restarts", restarts)
+        .num("takeovers", takeovers)
+        .num("spawns", spawns)
+        .num("acquires", acquires)
+        .num("releases", releases)
+        .num("sheds", sheds)
+        .num("timeouts", timeouts)
+        .num("audits", audits_run)
+        .num("anomalies", static_cast<uint64_t>(anomalies.size()))
+        .num("arena_high_water", arena_high_water)
+        .str();
   }
 
   // Failure-report lines (empty vector on a clean run).
@@ -117,12 +112,14 @@ class Soak {
     components_.emplace_back(new PidReuse);
     components_.emplace_back(new ClockSkew);
     components_.emplace_back(new PidExhaust);
+    components_.emplace_back(new NoFutexFlip);
     audits_.emplace_back(new ProbeAudit);
     audits_.emplace_back(new LeaseAudit);
     audits_.emplace_back(new EpochAudit);
     arena_audit_ = new ArenaAudit;
     audits_.emplace_back(arena_audit_);
     audits_.emplace_back(new HandoffAudit);
+    audits_.emplace_back(new MetricsAudit);
   }
 
   const SoakOptions& options() const { return opt_; }

@@ -128,6 +128,14 @@ class Client {
     uint64_t disconnects() const { return v[kStatDisconnects]; }
     uint64_t pending() const { return v[kStatPending]; }
     uint64_t ids_free() const { return v[kStatIdsFree]; }
+    uint64_t bad_frames() const { return v[kStatBadFrames]; }
+    // Region-arena totals (obs::MetricsArena) over the identity pool.
+    uint64_t arena_acquires() const { return v[kStatArenaAcquires]; }
+    uint64_t arena_releases() const { return v[kStatArenaReleases]; }
+    uint64_t arena_contended() const { return v[kStatArenaContended]; }
+    uint64_t arena_handoffs() const { return v[kStatArenaHandoffs]; }
+    uint64_t arena_timeouts() const { return v[kStatArenaTimeouts]; }
+    uint64_t arena_recoveries() const { return v[kStatArenaRecoveries]; }
   };
 
   Client() = default;

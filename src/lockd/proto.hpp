@@ -161,8 +161,21 @@ enum StatsIndex : uint32_t {
   kStatDisconnects = 6,  // grants force-released by client disconnect
   kStatPending = 7,      // requests pending right now
   kStatIdsFree = 8,      // free identity-pool slots right now
-  kStatCount = 9,
+  kStatBadFrames = 9,    // frames rejected by the strict decoder (lifetime)
+  // Region-resident obs::MetricsArena totals (src/obs/snapshot.hpp),
+  // summed over every identity row of the daemon's region - the lock-side
+  // truth underneath the reactor counters above, and the same numbers a
+  // read-only `rme-regionctl dump` of the region reports.
+  kStatArenaAcquires = 10,
+  kStatArenaReleases = 11,
+  kStatArenaContended = 12,
+  kStatArenaHandoffs = 13,
+  kStatArenaTimeouts = 14,
+  kStatArenaRecoveries = 15,
+  kStatCount = 16,
 };
+static_assert(kStatCount <= kMaxBatchKeys,
+              "kStatsReply counters ride the keys[] payload");
 
 /// Fixed-size frame header; every message starts with one.
 struct Header {

@@ -56,6 +56,7 @@
 
 #include "api/adapters.hpp"
 #include "lockd/proto.hpp"
+#include "obs/snapshot.hpp"
 #include "shm/session.hpp"
 #include "shm/world.hpp"
 #include "svc/admission.hpp"
@@ -540,6 +541,18 @@ class Reactor {
     f.keys[kStatDisconnects] = stats_.disconnect_releases;
     f.keys[kStatPending] = pendq_.size();
     f.keys[kStatIdsFree] = free_ids_.size();
+    f.keys[kStatBadFrames] = stats_.bad_frames;
+    // The lock-side truth: region-arena totals across the identity pool,
+    // sampled seqlock-consistently (obs/snapshot.hpp). Same numbers a
+    // read-only regionctl dump of this region reports.
+    const obs::Snapshot snap =
+        obs::Snapshot::read(world_.metrics(), opt_.identities);
+    f.keys[kStatArenaAcquires] = snap.total[obs::kAcquires];
+    f.keys[kStatArenaReleases] = snap.total[obs::kReleases];
+    f.keys[kStatArenaContended] = snap.total[obs::kContended];
+    f.keys[kStatArenaHandoffs] = snap.total[obs::kHandoffRmrs];
+    f.keys[kStatArenaTimeouts] = snap.total[obs::kTimeouts];
+    f.keys[kStatArenaRecoveries] = snap.total[obs::kCrashRecoveries];
     send_frame(c, f);
   }
 

@@ -1,0 +1,179 @@
+// rme::obs - region-resident telemetry: the MetricsArena.
+//
+// Every counter the operator loop cares about lives IN the shm region
+// (embedded in the RegionHeader, like the WaitArena), so any attached
+// process - or a strictly read-only inspector (tools/rme_regionctl.cpp)
+// - sees one truth, and the numbers survive SIGKILL exactly like the
+// lock state does. Layout is part of the region ABI on every platform.
+//
+// Write discipline: one row per LOGICAL PID, written only by the
+// process currently owning that pid's registry slot - single-writer by
+// the same claim protocol that already guards the epoch word. Updates
+// are therefore plain relaxed stores (no RMW anywhere: the paper's
+// FAS-only instruction budget is untouched), bracketed by a per-row
+// SEQLOCK generation word so a concurrent reader never observes a torn
+// histogram: odd gen = write in progress, and a reader retries until it
+// sees the same even gen on both sides of its copy.
+//
+// Adoption, not reset: a row accumulates across incarnations of its
+// pid. ShmWorld::claim bumps the row's `incarnations` column (under
+// slot ownership, the same place the wait word is retired) instead of
+// zeroing anything - a SIGKILL'd worker's half-told story stays on the
+// record, and soak audits attribute per-incarnation deltas through the
+// column. Counters are monotone for the region's whole lifetime.
+//
+// Histograms are log2-bucketed nanoseconds: bucket i counts samples in
+// [2^i, 2^(i+1)) ns (bucket 0 also takes 0), bucket 31 is the open tail
+// >= ~2.1 s - which is past every park timeout in the tree, so a
+// populated tail bucket in the wake histogram is the signature of a
+// lost wake (the cts no_futex_flip arm asserts it stays empty).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace rme::obs {
+
+/// Per-row counter order; also the METRICS_JSON / Prometheus field
+/// order, so renderers and mergers loop instead of enumerating.
+enum Counter : uint32_t {
+  kAcquires = 0,         // successful acquisitions (incl. batches)
+  kReleases = 1,         // guard releases (incl. per-batch)
+  kContended = 2,        // acquisitions that paused at least once
+  kSheds = 3,            // verbs refused by the admission gate
+  kTimeouts = 4,         // deadline verbs that expired
+  kCrashRecoveries = 5,  // recovery replays driven via this pid
+  kHandoffRmrs = 6,      // waiters granted by this pid's releases
+  kCounterCount = 7,
+};
+
+constexpr const char* counter_name(uint32_t c) {
+  switch (c) {
+    case kAcquires: return "acquires";
+    case kReleases: return "releases";
+    case kContended: return "contended";
+    case kSheds: return "sheds";
+    case kTimeouts: return "timeouts";
+    case kCrashRecoveries: return "crash_recoveries";
+    case kHandoffRmrs: return "handoff_rmrs";
+  }
+  return "?";
+}
+
+/// Log2-bucketed latency histogram (nanoseconds).
+struct Hist {
+  static constexpr int kBuckets = 32;
+  std::atomic<uint64_t> bucket[kBuckets];
+
+  static constexpr uint32_t bucket_of(uint64_t ns) {
+    if (ns <= 1) return 0;
+    const uint32_t b = static_cast<uint32_t>(std::bit_width(ns)) - 1;
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+  /// Lower edge of bucket `i` in ns (the label the renderers print).
+  static constexpr uint64_t bucket_floor_ns(uint32_t i) {
+    return i == 0 ? 0 : (uint64_t{1} << i);
+  }
+};
+
+/// One logical pid's telemetry row. Cache-line aligned so two pids'
+/// single writers never share a line; everything inside is written by
+/// the slot owner only (see file comment) and read by anyone.
+struct alignas(64) PidRow {
+  std::atomic<uint32_t> gen;           // seqlock; odd = write in progress
+  std::atomic<uint32_t> incarnations;  // claim() bumps; the adoption column
+  std::atomic<uint64_t> counter[kCounterCount];
+  std::atomic<uint64_t> shard_heat[16];  // acquisitions per shard (mod 16)
+  Hist acquire_wait_ns;                  // verb entry -> lock held
+  Hist wake_ns;                          // futex wake stamp -> parker running
+
+  static constexpr int kHeatShards = 16;
+
+  // --- single-writer side: slot owner only ---------------------------
+
+  void begin_write() {
+    gen.store(gen.load(std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+  void end_write() {
+    std::atomic_thread_fence(std::memory_order_release);
+    gen.store(gen.load(std::memory_order_relaxed) + 1,
+              std::memory_order_release);
+  }
+
+  void bump(Counter c, uint64_t n = 1) {
+    counter[c].store(counter[c].load(std::memory_order_relaxed) + n,
+                     std::memory_order_relaxed);
+  }
+
+  /// One counted event, seqlock-bracketed.
+  void add(Counter c, uint64_t n = 1) {
+    begin_write();
+    bump(c, n);
+    end_write();
+  }
+
+  /// One acquisition: counters, acquire-wait histogram (wait_ns = 0 is
+  /// recorded too - the uncontended floor is part of the story), shard
+  /// heat - one seqlock section, so a reader's acquires always covers
+  /// its histogram.
+  void on_acquire(bool contended, uint64_t wait_ns, int shard = -1) {
+    begin_write();
+    bump(kAcquires);
+    if (contended) bump(kContended);
+    auto& b = acquire_wait_ns.bucket[Hist::bucket_of(wait_ns)];
+    b.store(b.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+    if (shard >= 0) {
+      auto& h = shard_heat[shard % kHeatShards];
+      h.store(h.load(std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
+    }
+    end_write();
+  }
+
+  /// One release plus the waiters it granted (the wake-chain cost).
+  void on_release(uint64_t handoffs) {
+    begin_write();
+    bump(kReleases);
+    if (handoffs != 0) bump(kHandoffRmrs, handoffs);
+    end_write();
+  }
+
+  /// One consumed futex wake stamp (platform/park.hpp FutexLot).
+  void on_wake(uint64_t latency_ns) {
+    begin_write();
+    auto& b = wake_ns.bucket[Hist::bucket_of(latency_ns)];
+    b.store(b.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+    end_write();
+  }
+
+  /// A new incarnation claimed this pid: ADOPT the row (nothing is
+  /// reset), stamp the incarnation column. Called by ShmWorld::claim
+  /// under slot ownership, both fresh-claim and takeover paths.
+  void adopt() {
+    // The previous incarnation may have died INSIDE a seqlock section,
+    // leaving the generation odd and readers retrying forever. Re-even
+    // it: the interrupted update's stores are per-word atomic and
+    // monotone, so unlike the lock state there is nothing to roll back
+    // - only the generation protocol needs repair. Single-writer safe:
+    // we own the slot, ordered by the epoch fence.
+    const uint32_t g = gen.load(std::memory_order_relaxed);
+    if ((g & 1u) != 0) gen.store(g + 1, std::memory_order_release);
+    begin_write();
+    incarnations.store(incarnations.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+    end_write();
+  }
+};
+
+/// The arena: one row per logical pid, embedded in the RegionHeader.
+/// Zero-initialised pages ARE the valid empty state (the region creator
+/// value-initialises the header; every atomic starts at 0).
+struct MetricsArena {
+  static constexpr int kRows = 64;  // >= shm::kMaxProcs (static_asserted)
+  PidRow rows[kRows];
+};
+
+}  // namespace rme::obs

@@ -1,0 +1,18 @@
+// rme::obs umbrella: region-resident telemetry.
+//
+//   metrics.hpp   MetricsArena - per-pid seqlocked counter rows, shard
+//                 heat, log2 latency histograms; lives in the
+//                 RegionHeader, survives SIGKILL, adopted (never reset)
+//                 across incarnations
+//   snapshot.hpp  lock-free reader: RowSample / Snapshot, METRICS_JSON
+//                 and Prometheus renderers
+//
+// Feeds: svc::Session books verbs into the owning pid's row (behind a
+// null-check on Context::metrics - heap worlds pay one predictable
+// branch); platform::FutexLot books consumed wake stamps into the wake
+// histogram. The live inspector is tools/rme_regionctl.cpp; layout,
+// reader protocol and schema are documented in docs/observability.md.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"

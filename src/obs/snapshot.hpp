@@ -1,0 +1,219 @@
+// rme::obs - the lock-free reader side of the MetricsArena.
+//
+// sample_row copies one PidRow under its seqlock: read the generation
+// (even = quiescent), copy everything, read the generation again, retry
+// on mismatch. The writer is plain-store wait-free and never blocks on
+// readers; a reader spins only while its row's writer is mid-update (a
+// handful of stores), so the bounded retry below fails only against a
+// writer that died INSIDE a seqlock section - in which case the row is
+// reported torn rather than trusted. Works against a PROT_READ mapping:
+// nothing here writes the region.
+//
+// Snapshot::read merges every row into region-wide totals plus the
+// per-row copies, and the renderers turn one Snapshot into the two
+// operator formats: a single METRICS_JSON line (schema checked by
+// tools/check_bench_json.py) and Prometheus-style text (rme_regionctl
+// dump --prom). Layout and schema: docs/observability.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace rme::obs {
+
+/// Plain-value copy of one PidRow, internally consistent (taken under
+/// the row's seqlock).
+struct RowSample {
+  uint32_t incarnations = 0;
+  uint64_t counter[kCounterCount] = {};
+  uint64_t shard_heat[PidRow::kHeatShards] = {};
+  uint64_t acquire_wait[Hist::kBuckets] = {};
+  uint64_t wake[Hist::kBuckets] = {};
+  bool torn = false;  // seqlock never settled (writer died mid-update)
+
+  uint64_t acquire_wait_count() const {
+    uint64_t n = 0;
+    for (uint64_t b : acquire_wait) n += b;
+    return n;
+  }
+  uint64_t wake_count() const {
+    uint64_t n = 0;
+    for (uint64_t b : wake) n += b;
+    return n;
+  }
+  bool empty() const {
+    if (incarnations != 0) return false;
+    for (uint64_t c : counter) {
+      if (c != 0) return false;
+    }
+    return wake_count() == 0;
+  }
+};
+
+/// Seqlock-copy one row. Returns false (and marks the sample torn)
+/// only when the generation never settles - the row is then untrusted.
+inline bool sample_row(const PidRow& row, RowSample& out,
+                       int max_retries = 1000) {
+  for (int attempt = 0; attempt < max_retries; ++attempt) {
+    const uint32_t g1 = row.gen.load(std::memory_order_acquire);
+    if ((g1 & 1u) != 0) continue;  // write in progress
+    RowSample s;
+    s.incarnations = row.incarnations.load(std::memory_order_relaxed);
+    for (uint32_t c = 0; c < kCounterCount; ++c) {
+      s.counter[c] = row.counter[c].load(std::memory_order_relaxed);
+    }
+    for (int h = 0; h < PidRow::kHeatShards; ++h) {
+      s.shard_heat[h] = row.shard_heat[h].load(std::memory_order_relaxed);
+    }
+    for (int b = 0; b < Hist::kBuckets; ++b) {
+      s.acquire_wait[b] =
+          row.acquire_wait_ns.bucket[b].load(std::memory_order_relaxed);
+      s.wake[b] = row.wake_ns.bucket[b].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (row.gen.load(std::memory_order_relaxed) == g1) {
+      out = s;
+      return true;
+    }
+  }
+  out = RowSample{};
+  out.torn = true;
+  return false;
+}
+
+/// Region-wide merge: per-row samples plus totals over the first
+/// `pids` rows. Lock-free and write-free; safe from a read-only map.
+struct Snapshot {
+  int pids = 0;
+  int torn_rows = 0;
+  RowSample row[MetricsArena::kRows];
+  uint64_t total[kCounterCount] = {};
+  uint64_t incarnations = 0;
+  uint64_t shard_heat[PidRow::kHeatShards] = {};
+  uint64_t acquire_wait[Hist::kBuckets] = {};
+  uint64_t wake[Hist::kBuckets] = {};
+
+  uint64_t acquire_wait_count() const {
+    uint64_t n = 0;
+    for (uint64_t b : acquire_wait) n += b;
+    return n;
+  }
+  uint64_t wake_count() const {
+    uint64_t n = 0;
+    for (uint64_t b : wake) n += b;
+    return n;
+  }
+  /// Samples at or past `floor_bucket` - the lost-wake probe (bucket 31
+  /// sits beyond every park timeout in the tree).
+  uint64_t wake_tail(uint32_t floor_bucket) const {
+    uint64_t n = 0;
+    for (uint32_t b = floor_bucket; b < Hist::kBuckets; ++b) n += wake[b];
+    return n;
+  }
+
+  static Snapshot read(const MetricsArena& arena, int pids) {
+    Snapshot s;
+    if (pids < 0) pids = 0;
+    if (pids > MetricsArena::kRows) pids = MetricsArena::kRows;
+    s.pids = pids;
+    for (int p = 0; p < pids; ++p) {
+      if (!sample_row(arena.rows[p], s.row[p])) {
+        ++s.torn_rows;
+        continue;
+      }
+      const RowSample& r = s.row[p];
+      s.incarnations += r.incarnations;
+      for (uint32_t c = 0; c < kCounterCount; ++c) s.total[c] += r.counter[c];
+      for (int h = 0; h < PidRow::kHeatShards; ++h) {
+        s.shard_heat[h] += r.shard_heat[h];
+      }
+      for (int b = 0; b < Hist::kBuckets; ++b) {
+        s.acquire_wait[b] += r.acquire_wait[b];
+        s.wake[b] += r.wake[b];
+      }
+    }
+    return s;
+  }
+};
+
+namespace detail {
+inline std::string bucket_array(const uint64_t (&buckets)[Hist::kBuckets]) {
+  std::string out = "[";
+  for (int b = 0; b < Hist::kBuckets; ++b) {
+    if (b != 0) out += ", ";
+    out += std::to_string(buckets[b]);
+  }
+  return out + "]";
+}
+}  // namespace detail
+
+/// The one-line machine-readable snapshot ("METRICS_JSON {...}"); keys
+/// validated by tools/check_bench_json.py, consumed by the CI obs job
+/// and the cts cross-checks. `region` names the source region.
+inline std::string metrics_json_line(const Snapshot& s,
+                                     const std::string& region) {
+  util::JsonLine j("METRICS_JSON", util::JsonStyle::kSpaced);
+  j.str("region", region);
+  j.num("pids", static_cast<uint64_t>(s.pids));
+  j.num("incarnations", s.incarnations);
+  for (uint32_t c = 0; c < kCounterCount; ++c) {
+    j.num(counter_name(c), s.total[c]);
+  }
+  j.num("acquire_wait_count", s.acquire_wait_count());
+  j.num("wake_count", s.wake_count());
+  j.num("wake_tail", s.wake_tail(Hist::kBuckets - 1));
+  j.raw("acquire_wait_buckets", detail::bucket_array(s.acquire_wait));
+  j.raw("wake_buckets", detail::bucket_array(s.wake));
+  j.num("torn_rows", static_cast<uint64_t>(s.torn_rows));
+  return j.str();
+}
+
+/// Prometheus-style exposition text (counter families only; histogram
+/// buckets render cumulative, le-labelled by bucket ceiling ns).
+inline std::string prometheus_text(const Snapshot& s,
+                                   const std::string& region) {
+  const std::string label = "{region=\"" + util::json_escape(region) + "\"}";
+  std::string out;
+  for (uint32_t c = 0; c < kCounterCount; ++c) {
+    const std::string name = std::string("rme_") + counter_name(c) + "_total";
+    out += "# TYPE " + name + " counter\n";
+    out += name + label + " " + std::to_string(s.total[c]) + "\n";
+  }
+  out += "# TYPE rme_incarnations_total counter\n";
+  out += "rme_incarnations_total" + label + " " +
+         std::to_string(s.incarnations) + "\n";
+  for (int h = 0; h < PidRow::kHeatShards; ++h) {
+    if (s.shard_heat[h] == 0) continue;
+    out += "rme_shard_acquires_total{region=\"" + util::json_escape(region) +
+           "\",shard=\"" + std::to_string(h) + "\"} " +
+           std::to_string(s.shard_heat[h]) + "\n";
+  }
+  const struct {
+    const char* name;
+    const uint64_t* buckets;
+  } hists[] = {{"rme_acquire_wait_ns", s.acquire_wait},
+               {"rme_wake_ns", s.wake}};
+  for (const auto& hgram : hists) {
+    out += "# TYPE " + std::string(hgram.name) + " histogram\n";
+    uint64_t cum = 0;
+    for (int b = 0; b < Hist::kBuckets; ++b) {
+      cum += hgram.buckets[b];
+      out += std::string(hgram.name) + "_bucket{region=\"" +
+             util::json_escape(region) + "\",le=\"" +
+             (b == Hist::kBuckets - 1
+                  ? std::string("+Inf")
+                  : std::to_string(Hist::bucket_floor_ns(
+                        static_cast<uint32_t>(b) + 1))) +
+             "\"} " + std::to_string(cum) + "\n";
+    }
+    out += std::string(hgram.name) + "_count{region=\"" +
+           util::json_escape(region) + "\"} " + std::to_string(cum) + "\n";
+  }
+  return out;
+}
+
+}  // namespace rme::obs

@@ -53,6 +53,8 @@
 #include <cstdint>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+
 #if defined(__linux__) && !defined(RME_NO_FUTEX)
 #define RME_HAS_FUTEX 1
 #include <linux/futex.h>
@@ -331,6 +333,11 @@ class FutexLot final : public ParkingLot {
   }
   bool bound() const { return arena_ != nullptr; }
 
+  // Optional telemetry feed (rme::obs): consumed wake stamps land in the
+  // parker's per-pid wake-latency histogram. The parker owns its pid's
+  // registry slot, so the single-writer row discipline holds.
+  void bind_metrics(obs::MetricsArena* metrics) { metrics_ = metrics; }
+
   bool park_for(int pid, uint64_t key,
                 std::chrono::nanoseconds timeout) override {
     WaitWord& w = word(pid);
@@ -351,10 +358,13 @@ class FutexLot final : public ParkingLot {
     w.key.store(0, std::memory_order_seq_cst);
     const bool granted = w.word.load(std::memory_order_acquire) != gen;
     if (granted) {
-      const uint64_t stamp = w.wake_ns.load(std::memory_order_relaxed);
+      // Consume the stamp (exchange, not load: a stale stamp left behind
+      // would charge the NEXT park's wake with this one's latency).
+      const uint64_t stamp = w.wake_ns.exchange(0, std::memory_order_relaxed);
       if (stamp != 0) {
-        arena_->grant_wait_ns.fetch_add(now_ns() - stamp,
-                                        std::memory_order_relaxed);
+        const uint64_t waited = now_ns() - stamp;
+        arena_->grant_wait_ns.fetch_add(waited, std::memory_order_relaxed);
+        if (metrics_ != nullptr) metrics_->rows[pid].on_wake(waited);
       }
       arena_->grants.fetch_add(1, std::memory_order_relaxed);
     } else {
@@ -495,6 +505,7 @@ class FutexLot final : public ParkingLot {
   }
 
   WaitArena* arena_ = nullptr;
+  obs::MetricsArena* metrics_ = nullptr;
   const char* base_ = nullptr;
   const int32_t* nprocs_ = nullptr;
   const uint64_t* ring_off_ = nullptr;

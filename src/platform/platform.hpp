@@ -47,6 +47,10 @@
 #include <immintrin.h>
 #endif
 
+namespace rme::obs {
+struct PidRow;  // obs/metrics.hpp: region-resident telemetry row
+}
+
 namespace rme::platform {
 
 inline void cpu_pause() {
@@ -199,6 +203,8 @@ struct Real {
     const void* wait_site = nullptr;    // pinned per-verb park key (svc)
     ParkingLot* park_lot = nullptr;     // region lot (shm worlds); null = local
     const void* wake_hint = nullptr;    // spin cell the last CS signal targeted
+    obs::PidRow* metrics = nullptr;     // this pid's region telemetry row
+                                        // (shm worlds); null = no telemetry
     uint64_t wait_cycles = 0;           // Waiter pauses on behalf of this pid
     explicit Context(int p = 0) : pid(p) {}
     // Hook point; nothing to do on the real platform.
@@ -279,6 +285,7 @@ struct Counted {
     const void* wait_site = nullptr;    // pinned per-verb park key (svc)
     ParkingLot* park_lot = nullptr;     // uniform with Real; never installed
     const void* wake_hint = nullptr;    // spin cell the last CS signal targeted
+    obs::PidRow* metrics = nullptr;     // uniform with Real; never installed
     uint64_t wait_cycles = 0;           // Waiter pauses on behalf of this pid
 
     Context() = default;

@@ -49,6 +49,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "platform/park.hpp"
 #include "util/assert.hpp"
 
@@ -67,7 +68,9 @@ inline constexpr uint32_t kMagic = 0x524d4531u;  // "RME1"
 // v3: WaitArena (region-resident futex wait words) in the header,
 // start-time word in each PidSlot. abi_hash() folds in
 // sizeof(RegionHeader), so v2 regions are refused loudly.
-inline constexpr uint32_t kVersion = 3;
+// v4: obs::MetricsArena (per-pid seqlocked telemetry rows, shard heat,
+// latency histograms) in the header; same refusal mechanics for v3.
+inline constexpr uint32_t kVersion = 4;
 // Upper bound on logical pids per region; sized so the registry stays a
 // small fixed header array. (A logical pid is a session identity, not an
 // OS pid: one OS process may drive several - the auditing parent does.)
@@ -136,10 +139,13 @@ struct RegionHeader {
   uint64_t ring_off[kMaxProcs];    // per-pid flag-ring slot arrays
   PidSlot slots[kMaxProcs];        // the pid registry
   platform::WaitArena wait;        // per-pid futex wait words (FutexLot)
+  obs::MetricsArena metrics;       // per-pid telemetry rows (rme::obs)
 };
 
 static_assert(kMaxProcs <= platform::WaitArena::kSlots,
               "WaitArena must hold one wait word per logical pid");
+static_assert(kMaxProcs <= obs::MetricsArena::kRows,
+              "MetricsArena must hold one telemetry row per logical pid");
 
 inline uint64_t abi_hash() {
   // Coarse fingerprint: enough to catch a 32/64-bit or header-layout skew
@@ -408,6 +414,91 @@ class Region {
   size_t bytes_ = 0;
   bool creator_ = false;
   bool unlink_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// RoRegion: a strictly read-only view of a live region - the inspector
+// path (tools/rme_regionctl.cpp). Opens the shm object O_RDONLY and
+// maps PROT_READ at ANY address: an inspector only reads the header's
+// embedded arenas (registry, WaitArena, MetricsArena), which are
+// offset-addressed, so it does not need - and must not contend for -
+// the fixed-address mapping contract, and a stray bug in it cannot
+// perturb the region under observation. Same magic/version/ABI checks
+// as attach(); no waiting for `ready` beyond the header (an inspector
+// may legitimately watch a world that is still constructing).
+// ---------------------------------------------------------------------------
+class RoRegion {
+ public:
+  RoRegion(const RoRegion&) = delete;
+  RoRegion& operator=(const RoRegion&) = delete;
+  RoRegion(RoRegion&& o) noexcept
+      : name_(std::move(o.name_)),
+        base_(std::exchange(o.base_, nullptr)),
+        bytes_(std::exchange(o.bytes_, 0)) {}
+
+  ~RoRegion() {
+    if (base_ != nullptr) ::munmap(base_, bytes_);
+  }
+
+  static RoRegion open(const std::string& name,
+                       int publish_timeout_ms = 10000) {
+    const int fd = ::shm_open(name.c_str(), O_RDONLY, 0);
+    if (fd < 0) {
+      throw ShmError("shm_open(inspect " + name + "): " +
+                     std::strerror(errno));
+    }
+    int waited = 0;
+    struct stat st {};
+    for (;;) {
+      if (::fstat(fd, &st) != 0) {
+        const int e = errno;
+        ::close(fd);
+        throw ShmError("fstat(" + name + "): " + std::strerror(e));
+      }
+      if (static_cast<size_t>(st.st_size) >= sizeof(RegionHeader)) break;
+      if (waited++ >= publish_timeout_ms) {
+        ::close(fd);
+        throw ShmError("region " + name + ": creator never sized it");
+      }
+      ::usleep(1000);
+    }
+    const size_t bytes = static_cast<size_t>(st.st_size);
+    void* base = ::mmap(nullptr, bytes, PROT_READ, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (base == MAP_FAILED) {
+      throw ShmError("mmap(inspect " + name + "): " + std::strerror(errno));
+    }
+    const auto* hdr = static_cast<const RegionHeader*>(base);
+    while (hdr->magic.load(std::memory_order_acquire) != kMagic) {
+      if (waited++ >= publish_timeout_ms) {
+        ::munmap(base, bytes);
+        throw ShmError("region " + name + ": header never initialised");
+      }
+      ::usleep(1000);
+    }
+    if (hdr->version != kVersion || hdr->abi_hash != abi_hash()) {
+      ::munmap(base, bytes);
+      throw ShmError("region " + name + ": version/ABI mismatch");
+    }
+    RoRegion r;
+    r.name_ = name;
+    r.base_ = base;
+    r.bytes_ = bytes;
+    return r;
+  }
+
+  const RegionHeader* header() const {
+    return static_cast<const RegionHeader*>(base_);
+  }
+  size_t bytes() const { return bytes_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  RoRegion() = default;
+
+  std::string name_;
+  void* base_ = nullptr;
+  size_t bytes_ = 0;
 };
 
 }  // namespace rme::shm

@@ -117,8 +117,19 @@ class ShmWorld {
       slot->attach_adopted(env, pid, slots,
                            static_cast<size_t>(hdr->ring_slots));
       slot->ctx.park_lot = park_lot();
+      // The pid's region telemetry row (rme::obs). Writes to it happen
+      // only through session verbs, which this process drives only while
+      // owning the pid's slot - the row's single-writer contract.
+      slot->ctx.metrics = &hdr->metrics.rows[pid];
     }
     return *slot;
+  }
+
+  // The region-resident telemetry arena (rme::obs) - the creator's and
+  // every attacher's view are the same rows. Read via obs::Snapshot.
+  obs::MetricsArena& metrics() { return region_.header()->metrics; }
+  const obs::MetricsArena& metrics() const {
+    return region_.header()->metrics;
   }
 
   // The region-resident FutexLot view for this process, lazily bound once
@@ -134,6 +145,7 @@ class ShmWorld {
       lot_.bind(&hdr->wait, region_.base(), &hdr->nprocs, hdr->ring_off,
                 static_cast<size_t>(hdr->ring_slots) *
                     sizeof(typename nvm::FlagRing<P>::Slot));
+      lot_.bind_metrics(&hdr->metrics);
     }
     return &lot_;
 #else
@@ -204,6 +216,9 @@ class ShmWorld {
       s.start_time.store(proc_start_time(me), std::memory_order_relaxed);
       s.os_pid.store(me, std::memory_order_relaxed);
       reset_wait_word(pid);
+      // Adopt (never reset) the pid's telemetry row: counters accumulate
+      // across incarnations; only the incarnation column advances.
+      region_.header()->metrics.rows[pid].adopt();
       const uint64_t e = s.epoch.load(std::memory_order_relaxed) + 1;
       s.epoch.store(e, std::memory_order_release);
       return Identity{pid, e, /*restarted=*/false};
@@ -257,6 +272,13 @@ class ShmWorld {
     // every parker in the region - whoever waits on state the dead
     // process held must re-check now, not after a full park timeout.
     reset_wait_word(pid);
+    // Adoption on takeover too: the dead incarnation's counters stay on
+    // the record (a SIGKILL'd worker's acquires are real acquires); the
+    // incarnation column is what lets audits attribute the succession.
+    // The row may be mid-write (the owner died inside a seqlock
+    // section): adopt() re-evens the generation word, so readers settle
+    // again. Ordered by the epoch fence like the wait-word reset.
+    region_.header()->metrics.rows[pid].adopt();
     const uint64_t e = s.epoch.load(std::memory_order_relaxed) + 1;
     s.epoch.store(e, std::memory_order_release);  // the fence: staler
                                                   // epochs are dead

@@ -211,7 +211,7 @@ class AcquireRequest {
         // but they are CARRIED so the eventual acquisition still counts
         // as contended, and their wall-clock span still reaches the
         // admission gate.
-        ++core_->stats.timeouts;
+        core_->note_timeout();
         const uint64_t waited = ctx().wait_cycles - w0;
         core_->stats.wait_cycles += waited;
         carried_cycles_ += waited;
@@ -304,7 +304,8 @@ class AcquireRequest {
       gate_wait_ns_ += detail::SessionCore<L>::now_ns() - verb_t0;
       gate_t0 = detail::SessionCore<L>::now_ns() - gate_wait_ns_;
     }
-    core_->note_acquire(w0_verb, gate_t0, /*batch=*/false, carried_cycles_);
+    core_->note_acquire(w0_verb, gate_t0, /*batch=*/false, carried_cycles_,
+                        shard_);
     slot_.emplace(Guard<L>(core_, shard_));
     state_ = RequestState::kReady;
     if (cb_) {

@@ -74,6 +74,7 @@
 #include <vector>
 
 #include "api/lock_concept.hpp"
+#include "obs/metrics.hpp"
 #include "platform/platform.hpp"
 #include "platform/process.hpp"
 #include "svc/admission.hpp"
@@ -148,10 +149,18 @@ struct SessionCore {
   // The park-key half a releaser can address: the lock itself.
   const void* site() const { return lock; }
 
+  // This pid's region-resident telemetry row (obs/metrics.hpp), installed
+  // by ShmWorld::proc under the slot-claim protocol; null on host-local
+  // worlds and in the simulator. Every feed below is a plain store
+  // (seqlock-bracketed, no RMW), so the paper's instruction accounting
+  // and the counted platform are unaffected.
+  obs::PidRow* row() const { return proc->ctx.metrics; }
+
   // Admission gate shared by every acquisition verb. Books the shed.
   bool admitted() {
     if (admission == nullptr || admission->admit()) return true;
     ++stats.sheds;
+    if (auto* r = row()) r->add(obs::kSheds);
     admission->on_shed();
     return false;
   }
@@ -165,24 +174,37 @@ struct SessionCore {
             std::chrono::steady_clock::now().time_since_epoch())
             .count());
   }
-  // Timestamp a verb's entry for the gate; 0 when no gate is installed.
-  uint64_t gate_begin() const { return admission != nullptr ? now_ns() : 0; }
+  // Timestamp a verb's entry for the gate and the acquire-wait histogram;
+  // 0 when neither a gate nor a telemetry row wants wall-clock cost.
+  uint64_t gate_begin() const {
+    return (admission != nullptr || proc->ctx.metrics != nullptr) ? now_ns()
+                                                                  : 0;
+  }
 
   // `carried_wait_cycles`: pauses spent in EARLIER verbs of the same
   // logical acquisition that already booked their own wait_cycles (an
   // AcquireRequest's timed-out waits) - they still make the acquisition
   // contended, but must not be booked twice.
   void note_acquire(uint64_t wait_cycles_before, uint64_t gate_t0,
-                    bool batch = false, uint64_t carried_wait_cycles = 0) {
+                    bool batch = false, uint64_t carried_wait_cycles = 0,
+                    int shard = -1) {
     ++stats.acquires;
     if (batch) ++stats.batch_acquires;
     const uint64_t waited = proc->ctx.wait_cycles - wait_cycles_before;
     stats.wait_cycles += waited;
-    if (waited + carried_wait_cycles > 0) ++stats.contended_acquires;
+    const bool contended = waited + carried_wait_cycles > 0;
+    if (contended) ++stats.contended_acquires;
     if (policy != nullptr) {
       policy->observe(stats.acquires, stats.contended_acquires);
     }
-    if (admission != nullptr) admission->on_acquired(now_ns() - gate_t0);
+    const uint64_t elapsed_ns = gate_t0 != 0 ? now_ns() - gate_t0 : 0;
+    if (admission != nullptr) admission->on_acquired(elapsed_ns);
+    if (auto* r = row()) r->on_acquire(contended, elapsed_ns, shard);
+  }
+
+  void note_timeout() {
+    ++stats.timeouts;
+    if (auto* r = row()) r->add(obs::kTimeouts);
   }
 
   // Targeted handoff: at most one waiter parked on the wake site's key
@@ -193,14 +215,19 @@ struct SessionCore {
   // next-in-queue pid's wait word (platform/park.hpp).
   void wake_at(const void* wake_site) {
     if (policy == nullptr) return;
-    stats.handoff_rmrs += policy->on_release(
+    const size_t granted = policy->on_release(
         wake_site,
         platform::ParkEnv{proc->ctx.pid, proc->ctx.park_lot,
                           proc->ctx.wake_hint});
+    stats.handoff_rmrs += granted;
+    if (granted != 0) {
+      if (auto* r = row()) r->add(obs::kHandoffRmrs, granted);
+    }
   }
 
   void note_release_at(const void* wake_site) {
     ++stats.releases;
+    if (auto* r = row()) r->add(obs::kReleases);
     wake_at(wake_site);
   }
 
@@ -353,7 +380,7 @@ class Session {
     const uint64_t t0 = core_->gate_begin();
     detail::SiteScope site(ctx(), core_->site());
     const int shard = core_->lock->acquire(*core_->proc, core_->id, key);
-    core_->note_acquire(w0, t0);
+    core_->note_acquire(w0, t0, /*batch=*/false, 0, shard);
     return Guard<L>(core_, shard);
   }
 
@@ -406,7 +433,7 @@ class Session {
         return Guard<L>(core_);
       }
       if (Clock::now() >= deadline) {
-        ++core_->stats.timeouts;
+        core_->note_timeout();
         core_->stats.wait_cycles += ctx().wait_cycles - w0;
         return Errc::kTimeout;
       }
@@ -429,7 +456,7 @@ class Session {
     detail::SiteScope site(ctx(), core_->site());
     const int shard = core_->lock->try_acquire(*core_->proc, core_->id, key);
     if (shard < 0) return Errc::kWouldBlock;
-    core_->note_acquire(ctx().wait_cycles, t0);
+    core_->note_acquire(ctx().wait_cycles, t0, /*batch=*/false, 0, shard);
     return Guard<L>(core_, shard);
   }
 
@@ -444,11 +471,11 @@ class Session {
     for (;;) {
       const int shard = core_->lock->try_acquire(*core_->proc, core_->id, key);
       if (shard >= 0) {
-        core_->note_acquire(w0, t0);
+        core_->note_acquire(w0, t0, /*batch=*/false, 0, shard);
         return Guard<L>(core_, shard);
       }
       if (Clock::now() >= deadline) {
-        ++core_->stats.timeouts;
+        core_->note_timeout();
         core_->stats.wait_cycles += ctx().wait_cycles - w0;
         return Errc::kTimeout;
       }
@@ -510,6 +537,7 @@ class Session {
     detail::SiteScope site(ctx(), core_->site());
     core_->lock->recover(*core_->proc, core_->id);
     ++core_->stats.crash_recoveries;
+    if (auto* r = core_->row()) r->add(obs::kCrashRecoveries);
   }
 
   // --- introspection ---

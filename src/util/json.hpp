@@ -1,0 +1,122 @@
+// One JSON-line renderer for every machine-readable line this repo
+// prints. Three emitters grew up independently - bench_util's
+// BENCH_JSON (compact, no spaces), the soak's SOAK_JSON (spaced ", " /
+// ": " separators, pinned by CI greps), and the daemon's LOCKD_STATS
+// key=value printf - and each hand-rolled its own escaping and number
+// formatting. JsonLine is the one implementation underneath all of
+// them (plus the obs layer's METRICS_JSON): a prefix, a style, ordered
+// fields, one '\n'-free string out. Schemas stay pinned by
+// tools/check_bench_json.py; only the rendering is shared.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace rme::util {
+
+/// Separator style. Both exist because both are load-bearing: CI greps
+/// SOAK_JSON for '"anomalies": 0' (with the space) while the BENCH_JSON
+/// schema predates it with no spaces. New emitters should pick kSpaced.
+enum class JsonStyle {
+  kCompact,  // {"k":1,"s":"v"}
+  kSpaced,   // {"k": 1, "s": "v"}
+};
+
+/// Minimal string escaping for the characters these lines can actually
+/// carry (names, commands, arm lists): backslash, quote, control bytes.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// True when `s` already reads as a JSON number (the bench emitters keep
+/// numeric parameter strings unquoted so downstream tooling can compare
+/// them numerically).
+inline bool json_is_number(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-') ? 1 : 0;
+  if (i == s.size()) return false;
+  bool digit = false, dot = false;
+  for (; i < s.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(s[i]))) {
+      digit = true;
+    } else if (s[i] == '.' && !dot) {
+      dot = true;
+    } else {
+      return false;
+    }
+  }
+  return digit;
+}
+
+/// Ordered-field JSON object builder: construct with the line's prefix
+/// ("SOAK_JSON", "METRICS_JSON", ...), append fields, str(). Fields
+/// render in call order - these lines are diffed and grepped, so order
+/// is part of the contract.
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& prefix,
+                    JsonStyle style = JsonStyle::kSpaced)
+      : style_(style) {
+    out_ = prefix.empty() ? "{" : prefix + " {";
+  }
+
+  JsonLine& num(const std::string& key, uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonLine& num(const std::string& key, int64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonLine& num(const std::string& key, int v) {
+    return raw(key, std::to_string(v));
+  }
+  /// %.6g - the bench metric format (float-safe round-trip is not the
+  /// goal; stable human/grep-friendly output is).
+  JsonLine& num(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return raw(key, buf);
+  }
+  JsonLine& str(const std::string& key, const std::string& v) {
+    return raw(key, "\"" + json_escape(v) + "\"");
+  }
+  /// Pre-rendered value (a nested array, or a parameter string the
+  /// caller keeps unquoted when json_is_number holds).
+  JsonLine& raw(const std::string& key, const std::string& rendered) {
+    if (!first_) out_ += (style_ == JsonStyle::kSpaced) ? ", " : ",";
+    first_ = false;
+    out_ += "\"" + json_escape(key) + "\"";
+    out_ += (style_ == JsonStyle::kSpaced) ? ": " : ":";
+    out_ += rendered;
+    return *this;
+  }
+
+  std::string str() const { return out_ + "}"; }
+
+ private:
+  JsonStyle style_;
+  std::string out_;
+  bool first_ = true;
+};
+
+}  // namespace rme::util

@@ -142,7 +142,7 @@ TEST(Soak, ShortCleanSoakFindsNothing) {
   EXPECT_EQ(rep.rounds_run, 2);
   EXPECT_GT(rep.acquires, 0u);
   EXPECT_EQ(rep.acquires, rep.releases);
-  EXPECT_EQ(rep.audits_run, 10u);  // 5 audits x 2 rounds
+  EXPECT_EQ(rep.audits_run, 12u);  // 6 audits x 2 rounds
   // The one-line contract.
   const std::string j = rep.json_line();
   EXPECT_EQ(j.find("SOAK_JSON {"), 0u);

@@ -32,6 +32,7 @@
 
 #include "harness/fork_scenario.hpp"
 #include "lockd/lockd.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -117,6 +118,22 @@ TEST(LockdProto, RejectsBatchShapeViolations) {
   Frame b = lockd::make_batch(1, keys, 4, 0);
   EXPECT_EQ(lockd::decode(&b, b.size() - 8).err, Err::kBadFrame);
   EXPECT_EQ(lockd::decode(&b, b.size() + 8).err, Err::kBadFrame);
+}
+
+TEST(LockdProto, StatsFrameShapes) {
+  // A kStats request is wordless: trailing words are a shape violation.
+  Frame f = lockd::make_frame(Op::kStats, 3);
+  EXPECT_TRUE(lockd::decode(&f, f.size()).ok());
+  f.hdr.nkeys = 1;
+  EXPECT_EQ(lockd::decode(&f, f.size()).err, Err::kBadFrame);
+
+  // kStatsReply rides its counters on keys[]: the whole StatsIndex fits
+  // the frame (static_asserted in proto.hpp), and decodes.
+  Frame r = lockd::make_frame(Op::kStatsReply, 3);
+  r.hdr.nkeys = lockd::kStatCount;
+  EXPECT_TRUE(lockd::decode(&r, r.size()).ok());
+  r.hdr.nkeys = lockd::kMaxBatchKeys + 1;
+  EXPECT_EQ(lockd::decode(&r, sizeof(lockd::Header)).err, Err::kBadFrame);
 }
 
 TEST(LockdProto, GarbageBufferSweepNeverAccepts) {
@@ -302,6 +319,38 @@ TEST(Lockd, GarbageOverSocketSurvivedAndCounted) {
   ASSERT_TRUE(st.has_value());
   EXPECT_EQ(st->granted(), 1u);
   EXPECT_GT(d.stats().bad_frames, 0u);
+  // The rejection count is also surfaced over the wire: the stats reply
+  // (taken after every garbage frame was answered) agrees with the
+  // reactor's own ledger.
+  EXPECT_EQ(st->bad_frames(), d.stats().bad_frames);
+}
+
+TEST(Lockd, StatsRoundTripsArenaSnapshot) {
+  InProcDaemon d;
+  lockd::Client c({d.opt.socket_path, false});
+  ASSERT_TRUE(c.connected());
+  for (uint64_t k = 1; k <= 5; ++k) {
+    auto g = c.acquire(k);
+    ASSERT_TRUE(g.has_value());
+    g->release();
+  }
+  auto st = c.stats();
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->granted(), 5u);
+  EXPECT_EQ(st->bad_frames(), 0u);
+  // The reply's arena columns are a live obs::Snapshot of the daemon's
+  // region: every grant above went through a svc session feeding it,
+  // and the fair-handoff bound holds on the wire numbers.
+  EXPECT_GE(st->arena_acquires(), 5u);
+  EXPECT_GE(st->arena_releases(), 5u);
+  EXPECT_LE(st->arena_handoffs(), st->arena_releases());
+  EXPECT_EQ(st->arena_timeouts(), 0u);
+  // And the wire totals agree with a direct (read-side) merge of the
+  // same arena - the path rme-regionctl uses.
+  const rme::obs::Snapshot snap = rme::obs::Snapshot::read(
+      d.reactor->world().metrics(), d.opt.identities);
+  EXPECT_EQ(st->arena_acquires(), snap.total[rme::obs::kAcquires]);
+  EXPECT_EQ(st->arena_releases(), snap.total[rme::obs::kReleases]);
 }
 
 TEST(Lockd, TimeoutAndCancel) {

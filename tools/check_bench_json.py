@@ -18,14 +18,22 @@ summary; see docs/soak.md) must parse as JSON and carry the full soak
 schema - above all the `seed` that makes the run reproducible and the
 `anomalies` count CI gates on.
 
+Every line prefixed "METRICS_JSON " (a snapshot of a region's
+obs::MetricsArena - rme-regionctl dump, the CI obs job; see
+docs/observability.md) must parse as JSON, carry the full snapshot
+schema, and be internally consistent: contended <= acquires, histogram
+mass == acquires, handoff_rmrs <= releases (the fair-handoff bound),
+and 32 buckets per histogram.
+
 Exits non-zero (listing offenders) on any violation, or when an output
-file contains no BENCH_JSON or SOAK_JSON lines at all.
+file contains no BENCH_JSON, SOAK_JSON or METRICS_JSON lines at all.
 """
 import json
 import sys
 
 PREFIX = "BENCH_JSON "
 SOAK_PREFIX = "SOAK_JSON "
+METRICS_PREFIX = "METRICS_JSON "
 
 # Every key of the rme_soak summary line (src/cts/soak.hpp emits them
 # unconditionally; a missing one means the schemas drifted).
@@ -62,6 +70,43 @@ REQUIRED_KEYS = {
 }
 
 
+# Every key of a METRICS_JSON snapshot line (src/obs/snapshot.hpp's
+# metrics_json_line emits them unconditionally).
+METRICS_REQUIRED_KEYS = [
+    "region", "pids", "incarnations", "acquires", "releases", "contended",
+    "sheds", "timeouts", "crash_recoveries", "handoff_rmrs",
+    "acquire_wait_count", "wake_count", "wake_tail",
+    "acquire_wait_buckets", "wake_buckets", "torn_rows",
+]
+
+
+def check_metrics_row(where, payload, errors):
+    try:
+        row = json.loads(payload)
+    except json.JSONDecodeError as e:
+        errors.append(f"{where}: unparseable METRICS_JSON ({e})")
+        return
+    for key in METRICS_REQUIRED_KEYS:
+        if key not in row:
+            errors.append(f"{where}: METRICS_JSON missing '{key}'")
+            return
+    # Internal consistency of one snapshot (cross-snapshot monotonicity
+    # is the CI obs job's diff check, not ours).
+    if row["contended"] > row["acquires"]:
+        errors.append(f"{where}: contended {row['contended']} exceeds "
+                      f"acquires {row['acquires']}")
+    if row["acquire_wait_count"] != row["acquires"]:
+        errors.append(f"{where}: acquire-wait histogram mass "
+                      f"{row['acquire_wait_count']} != acquires "
+                      f"{row['acquires']} (torn or drifted snapshot)")
+    if row["handoff_rmrs"] > row["releases"]:
+        errors.append(f"{where}: handoff_rmrs {row['handoff_rmrs']} "
+                      f"exceed releases {row['releases']}")
+    for hist in ("acquire_wait_buckets", "wake_buckets"):
+        if not isinstance(row[hist], list) or len(row[hist]) != 32:
+            errors.append(f"{where}: {hist} is not a 32-bucket array")
+
+
 def check_soak_row(where, payload, errors):
     try:
         row = json.loads(payload)
@@ -83,6 +128,10 @@ def check_file(path):
                 rows += 1
                 check_soak_row(where, line[len(SOAK_PREFIX):], errors)
                 continue
+            if line.startswith(METRICS_PREFIX):
+                rows += 1
+                check_metrics_row(where, line[len(METRICS_PREFIX):], errors)
+                continue
             if not line.startswith(PREFIX):
                 continue
             rows += 1
@@ -99,7 +148,8 @@ def check_file(path):
                 if key not in row:
                     errors.append(f"{where}: bench={bench} missing '{key}'")
     if rows == 0:
-        errors.append(f"{path}: no BENCH_JSON or SOAK_JSON lines emitted")
+        errors.append(f"{path}: no BENCH_JSON, SOAK_JSON or METRICS_JSON "
+                      "lines emitted")
     return rows, errors
 
 

@@ -12,8 +12,9 @@
 //
 // line on stdout once it is accepting connections (tests and CI gate on
 // it), serves until SIGTERM/SIGINT, then prints one LOCKD_STATS summary
-// line and exits 0. Exit codes: 0 clean, 2 setup failure (bad socket
-// path, busy region identities, shm errors).
+// line (a JSON object, util/json.hpp renderer, reactor counters plus the
+// region arena's totals) and exits 0. Exit codes: 0 clean, 2 setup
+// failure (bad socket path, busy region identities, shm errors).
 #include <signal.h>
 #include <stdio.h>
 #include <sys/resource.h>
@@ -24,7 +25,9 @@
 #include <string>
 
 #include "lockd/lockd.hpp"
+#include "obs/obs.hpp"
 #include "shm/region.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -102,17 +105,23 @@ int main(int argc, char** argv) {
     reactor.run();
 
     const rme::lockd::ReactorStats& s = reactor.stats();
-    ::printf("LOCKD_STATS accepted=%llu granted=%llu released=%llu "
-             "sheds=%llu timeouts=%llu cancels=%llu disconnect_releases=%llu "
-             "bad_frames=%llu\n",
-             static_cast<unsigned long long>(s.accepted),
-             static_cast<unsigned long long>(s.granted),
-             static_cast<unsigned long long>(s.released),
-             static_cast<unsigned long long>(s.sheds),
-             static_cast<unsigned long long>(s.timeouts),
-             static_cast<unsigned long long>(s.cancels),
-             static_cast<unsigned long long>(s.disconnect_releases),
-             static_cast<unsigned long long>(s.bad_frames));
+    const rme::obs::Snapshot snap =
+        rme::obs::Snapshot::read(reactor.world().metrics(), opt.identities);
+    ::printf("%s\n",
+             rme::util::JsonLine("LOCKD_STATS")
+                 .num("accepted", s.accepted)
+                 .num("granted", s.granted)
+                 .num("released", s.released)
+                 .num("sheds", s.sheds)
+                 .num("timeouts", s.timeouts)
+                 .num("cancels", s.cancels)
+                 .num("disconnect_releases", s.disconnect_releases)
+                 .num("bad_frames", s.bad_frames)
+                 .num("arena_acquires", snap.total[rme::obs::kAcquires])
+                 .num("arena_releases", snap.total[rme::obs::kReleases])
+                 .num("arena_handoff_rmrs", snap.total[rme::obs::kHandoffRmrs])
+                 .str()
+                 .c_str());
     g_reactor = nullptr;
     return 0;
   } catch (const rme::lockd::LockdError& e) {

@@ -1,0 +1,203 @@
+// rme-regionctl: live-region inspector for the obs::MetricsArena.
+//
+//   rme_regionctl dump   --region=NAME [--pids=N] [--prom]
+//   rme_regionctl watch  --region=NAME [--pids=N] [--interval-ms=1000]
+//                        [--count=N]
+//   rme_regionctl pids   --region=NAME [--pids=N]
+//   rme_regionctl shards --region=NAME [--pids=N]
+//   rme_regionctl hist   --region=NAME [--pids=N] [--wake]
+//
+// STRICTLY READ-ONLY: the region is opened O_RDONLY and mapped PROT_READ
+// (shm::RoRegion), at any address - the inspector only walks the
+// offset-addressed header arenas, so the fixed-mapping contract the lock
+// state needs does not apply to it. It can therefore attach to a region
+// that is mid-chaos (the cts soak, a live daemon) without perturbing a
+// single protocol step: reads go through the per-row seqlock
+// (obs/snapshot.hpp), so counters and histograms are internally
+// consistent even while their single writers are storming.
+//
+//   dump    one METRICS_JSON line (schema: tools/check_bench_json.py),
+//           or Prometheus-style exposition text with --prom
+//   watch   dump every --interval-ms until --count lines (0 = forever)
+//   pids    one row per logical pid: slot state, owner OS pid, epoch,
+//           incarnations, counters
+//   shards  per-shard acquisition heat (rows' shard_heat merged)
+//   hist    the acquire-wait histogram (--wake: the wake-latency one)
+//
+// Exit codes: 0 ok, 2 usage/attach failure.
+#include <stdio.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/obs.hpp"
+#include "shm/region.hpp"
+
+namespace {
+
+using rme::obs::Hist;
+using rme::obs::Snapshot;
+
+struct Args {
+  std::string cmd;
+  std::string region;
+  int pids = rme::shm::kMaxProcs;
+  int interval_ms = 1000;
+  int count = 0;  // watch: 0 = forever
+  bool prom = false;
+  bool wake = false;
+};
+
+bool arg_value(const char* arg, const char* name, const char** out) {
+  const size_t n = ::strlen(name);
+  if (::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+void usage() {
+  ::fprintf(stderr,
+            "usage: rme_regionctl dump|watch|pids|shards|hist --region=NAME\n"
+            "                     [--pids=N] [--prom] [--wake]\n"
+            "                     [--interval-ms=MS] [--count=N]\n");
+}
+
+Snapshot snap_of(const rme::shm::RoRegion& r, const Args& a) {
+  int pids = a.pids;
+  if (pids > r.header()->nprocs) pids = r.header()->nprocs;
+  return Snapshot::read(r.header()->metrics, pids);
+}
+
+void cmd_dump(const rme::shm::RoRegion& r, const Args& a) {
+  const Snapshot s = snap_of(r, a);
+  if (a.prom) {
+    ::fputs(rme::obs::prometheus_text(s, a.region).c_str(), stdout);
+  } else {
+    ::printf("%s\n", rme::obs::metrics_json_line(s, a.region).c_str());
+  }
+}
+
+void cmd_pids(const rme::shm::RoRegion& r, const Args& a) {
+  const Snapshot s = snap_of(r, a);
+  const rme::shm::RegionHeader* h = r.header();
+  ::printf("%4s %6s %8s %6s %5s %9s %9s %9s %6s %8s %6s\n", "pid", "state",
+           "os_pid", "epoch", "incs", "acquires", "releases", "contended",
+           "sheds", "timeouts", "torn");
+  for (int p = 0; p < s.pids; ++p) {
+    const auto& slot = h->slots[p];
+    const auto& row = s.row[p];
+    if (row.empty() && !row.torn &&
+        slot.state.load(std::memory_order_relaxed) ==
+            rme::shm::PidSlot::kFree) {
+      continue;  // never claimed, nothing to say
+    }
+    ::printf("%4d %6s %8lld %6llu %5u %9llu %9llu %9llu %6llu %8llu %6s\n", p,
+             slot.state.load(std::memory_order_relaxed) ==
+                     rme::shm::PidSlot::kClaimed
+                 ? "held"
+                 : "free",
+             static_cast<long long>(
+                 slot.os_pid.load(std::memory_order_relaxed)),
+             static_cast<unsigned long long>(
+                 slot.epoch.load(std::memory_order_relaxed)),
+             row.incarnations,
+             static_cast<unsigned long long>(row.counter[rme::obs::kAcquires]),
+             static_cast<unsigned long long>(row.counter[rme::obs::kReleases]),
+             static_cast<unsigned long long>(
+                 row.counter[rme::obs::kContended]),
+             static_cast<unsigned long long>(row.counter[rme::obs::kSheds]),
+             static_cast<unsigned long long>(row.counter[rme::obs::kTimeouts]),
+             row.torn ? "TORN" : "-");
+  }
+}
+
+void cmd_shards(const rme::shm::RoRegion& r, const Args& a) {
+  const Snapshot s = snap_of(r, a);
+  ::printf("%5s %12s\n", "shard", "acquires");
+  for (int h = 0; h < rme::obs::PidRow::kHeatShards; ++h) {
+    if (s.shard_heat[h] == 0) continue;
+    ::printf("%5d %12llu\n", h,
+             static_cast<unsigned long long>(s.shard_heat[h]));
+  }
+}
+
+void cmd_hist(const rme::shm::RoRegion& r, const Args& a) {
+  const Snapshot s = snap_of(r, a);
+  const uint64_t* buckets = a.wake ? s.wake : s.acquire_wait;
+  uint64_t maxv = 1;
+  for (int b = 0; b < Hist::kBuckets; ++b) {
+    if (buckets[b] > maxv) maxv = buckets[b];
+  }
+  ::printf("%s latency (ns, log2 buckets)\n",
+           a.wake ? "futex wake" : "acquire wait");
+  for (int b = 0; b < Hist::kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const int bar = static_cast<int>((buckets[b] * 40) / maxv);
+    ::printf(">=%11llu %10llu |%.*s\n",
+             static_cast<unsigned long long>(
+                 Hist::bucket_floor_ns(static_cast<uint32_t>(b))),
+             static_cast<unsigned long long>(buckets[b]), bar,
+             "########################################");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  a.cmd = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const char* v = nullptr;
+    if (arg_value(argv[i], "--region", &v)) {
+      a.region = v;
+    } else if (arg_value(argv[i], "--pids", &v)) {
+      a.pids = ::atoi(v);
+    } else if (arg_value(argv[i], "--interval-ms", &v)) {
+      a.interval_ms = ::atoi(v);
+    } else if (arg_value(argv[i], "--count", &v)) {
+      a.count = ::atoi(v);
+    } else if (::strcmp(argv[i], "--prom") == 0) {
+      a.prom = true;
+    } else if (::strcmp(argv[i], "--wake") == 0) {
+      a.wake = true;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (a.region.empty()) {
+    usage();
+    return 2;
+  }
+  try {
+    const rme::shm::RoRegion r = rme::shm::RoRegion::open(a.region);
+    if (a.cmd == "dump") {
+      cmd_dump(r, a);
+    } else if (a.cmd == "watch") {
+      for (int i = 0; a.count == 0 || i < a.count; ++i) {
+        if (i != 0) ::usleep(static_cast<useconds_t>(a.interval_ms) * 1000);
+        cmd_dump(r, a);
+        ::fflush(stdout);
+      }
+    } else if (a.cmd == "pids") {
+      cmd_pids(r, a);
+    } else if (a.cmd == "shards") {
+      cmd_shards(r, a);
+    } else if (a.cmd == "hist") {
+      cmd_hist(r, a);
+    } else {
+      usage();
+      return 2;
+    }
+    return 0;
+  } catch (const rme::shm::ShmError& e) {
+    ::fprintf(stderr, "rme_regionctl: %s\n", e.what());
+    return 2;
+  }
+}

@@ -17,12 +17,15 @@
 //   --rounds      fixed round count (repro mode); 0 = run by --duration
 //   --arms        '+'-separated subset of: kill_storm restart_flood
 //                 region_pressure overload pid_reuse clock_skew
+//                 pid_exhaust no_futex_flip
 //   --teeth       checker-teeth fault injection: recovery workers SKIP
 //                 the recovery replay; the soak MUST fail (CI asserts
 //                 exactly that)
 //   --report      also write the summary + failure lines to FILE (the
 //                 nightly workflow's artifact)
 //   --worker      shm_worker binary (default: compiled-in build path)
+//   --region      shm region name (default: derived from the pid); name
+//                 it to attach `rme-regionctl` to the live soak
 //
 // Exit: 0 clean, 1 anomalies found, 2 bad usage.
 #include <unistd.h>
@@ -54,9 +57,9 @@ int usage() {
       "                [--passages=N] [--dwell-us=N] [--arms=LIST|all]\n"
       "                [--kill-mean-ms=F] [--timeout-ms=N] "
       "[--worker=PATH]\n"
-      "                [--report=FILE] [--teeth]\n"
+      "                [--region=/NAME] [--report=FILE] [--teeth]\n"
       "arms: kill_storm restart_flood region_pressure overload pid_reuse "
-      "clock_skew\n");
+      "clock_skew pid_exhaust no_futex_flip\n");
   return 2;
 }
 
@@ -106,6 +109,8 @@ int main(int argc, char** argv) {
       opt.worker_timeout = std::chrono::milliseconds(u);
     } else if (const char* v = val("--worker")) {
       opt.worker = v;
+    } else if (const char* v = val("--region")) {
+      opt.region = v;  // named so an inspector (rme-regionctl) can attach
     } else if (const char* v = val("--report")) {
       report_path = v;
     } else if (a == "--teeth") {
