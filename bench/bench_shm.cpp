@@ -25,6 +25,16 @@
 //                                futex(FUTEX_WAKE), so cross-process
 //                                handoff costs a syscall, not a timeout.
 //
+// The futex arm runs TWICE, distinguished by the `bases` tag:
+//   bases=fixed       the child keeps the fork-inherited mapping (same
+//                     base address in both processes).
+//   bases=mismatched  the child re-attaches by name under a far-away
+//                     RME_SHM_MAP_HINT, so the two processes address the
+//                     region at DIFFERENT bases and every handoff rides
+//                     the offset links (park keys are region offsets).
+// The full (non-smoke) run asserts mismatched p99 <= 2x fixed p99: the
+// position-independent encode/decode must not tax the handoff path.
+//
 // Every row also books the measured session's handoff_rmrs (waiters its
 // releases granted; the fair-handoff invariant handoff_rmrs <= releases
 // is asserted here) and the lot's mean waker->wakee wake latency
@@ -167,8 +177,12 @@ Arm run_local(uint64_t iters) {
 // Cross-process contention arm. `futex_on` selects the region futex lot
 // (the default) or the RME_NO_FUTEX fallback (process-private condvar
 // lots, always-timed parks). The flag is set BEFORE the fork so the
-// child inherits it.
-Arm run_shm(uint64_t iters, bool futex_on, const char* tag) {
+// child inherits it. With `mismatched` the child discards the inherited
+// mapping and re-attaches by name under a far-away map hint: both
+// processes then address the region at different bases, exercising the
+// offset links on the contended handoff path.
+Arm run_shm(uint64_t iters, bool futex_on, bool mismatched,
+            const char* tag) {
   const std::string name = std::string("/rme_bench_shm_") + tag + "_" +
                            std::to_string(::getpid());
   auto world = shm::ShmWorld::create(name, 32 << 20, kNpids);
@@ -178,14 +192,32 @@ Arm run_shm(uint64_t iters, bool futex_on, const char* tag) {
   platform::ParkingLot* lot = world.park_lot();  // null on the timed arm
   const uint64_t grants0 = lot != nullptr ? lot->grants() : 0;
   const uint64_t wait0 = lot != nullptr ? lot->wake_wait_ns() : 0;
-  // Rival process: inherits the mapping across fork (same base address,
-  // contract satisfied), claims its own pid slot, hammers the key until
-  // the parent is done, then dies WITHOUT cleanup (_exit: the region and
-  // its registry belong to the parent).
+  // Rival process: claims its own pid slot, hammers the key until the
+  // parent is done, then dies WITHOUT cleanup (_exit: the region and its
+  // registry belong to the parent).
   const pid_t child = ::fork();
   if (child == 0) {
     // The header's ready word doubles as the stop signal: 1 = published,
     // 2 = parent done measuring.
+    if (mismatched) {
+      // Drop the inherited mapping: re-attach by name at a hinted,
+      // deliberately different base and run through THAT handle.
+      ::setenv("RME_SHM_MAP_HINT", "0x610000000000", 1);
+      auto world2 = shm::ShmWorld::attach(name);
+      ::unsetenv("RME_SHM_MAP_HINT");
+      Table& table2 = world2.root<Table>();
+      auto id = world2.claim(1);
+      (void)id;
+      platform::ParkPolicy policy(bench_park_opts());
+      svc::Session<Table> rival(table2, world2.proc(1), 1, &policy);
+      while (world2.region().header()->ready.load(
+                 std::memory_order_acquire) != 2) {
+        auto g = rival.acquire(kKey).value();
+        dwell();
+        g.release();
+      }
+      ::_exit(0);
+    }
     auto id = world.claim(1);
     (void)id;
     platform::ParkPolicy policy(bench_park_opts());
@@ -225,7 +257,10 @@ Arm run_shm(uint64_t iters, bool futex_on, const char* tag) {
 // (flat 2s timeout); the parent waits until the child is CONFIRMED
 // parked, wakes it with one unpark_one, and waits for the ack. The
 // choreography makes a timeout impossible unless a wake is lost - so
-// the futex arm's timeouts metric MUST be 0, and CI asserts it.
+// the futex arm's timeouts metric MUST be 0, and CI asserts it. The
+// child re-attaches at a hinted, different base (bases=mismatched): a
+// zero timeout count therefore also proves no wake is lost when parker
+// and waker address the region at different addresses.
 // ---------------------------------------------------------------------------
 
 struct PingBoard {
@@ -255,12 +290,20 @@ Ping run_handoff_ping(uint64_t rounds) {
 
   const pid_t child = ::fork();
   if (child == 0) {
-    auto id = world.claim(1);
+    // Mismatched bases: park through a re-attached mapping, not the
+    // fork-inherited one. The wait word lives in region memory, so the
+    // parent's unpark_one must land on this waiter regardless of where
+    // either process mapped the region.
+    ::setenv("RME_SHM_MAP_HINT", "0x610000000000", 1);
+    auto world2 = shm::ShmWorld::attach(name);
+    ::unsetenv("RME_SHM_MAP_HINT");
+    PingBoard& board2 = world2.root<PingBoard>();
+    auto id = world2.claim(1);
     (void)id;
-    platform::ParkingLot* clot = world.park_lot();
-    while (board.stop.load(std::memory_order_acquire) == 0) {
+    platform::ParkingLot* clot = world2.park_lot();
+    while (board2.stop.load(std::memory_order_acquire) == 0) {
       if (clot->park_for(1, kPingKey, 2s)) {
-        board.acks.fetch_add(1, std::memory_order_release);
+        board2.acks.fetch_add(1, std::memory_order_release);
       }
     }
     ::_exit(0);
@@ -306,12 +349,14 @@ Ping run_handoff_ping(uint64_t rounds) {
   return out;
 }
 
-void emit(const char* worldname, const char* handoff, const Arm& a) {
+void emit(const char* worldname, const char* handoff, const char* bases,
+          const Arm& a) {
   bench::json_line("shm_contention",
                    {{"lock", "rme_keyed"},
                     {"world", worldname},
                     {"procs", "2"},
-                    {"handoff", handoff}},
+                    {"handoff", handoff},
+                    {"bases", bases}},
                    {{"p50_ns", a.lat.p50_ns},
                     {"p99_ns", a.lat.p99_ns},
                     {"samples", static_cast<double>(a.lat.samples)},
@@ -332,36 +377,57 @@ int main() {
   const uint64_t timed_iters = bench::smoke_iters(20000, 2000);
 
   const Arm local = run_local(iters);
-  const Arm timed = run_shm(timed_iters, /*futex_on=*/false, "timed");
-  const Arm futex = run_shm(iters, /*futex_on=*/true, "futex");
+  const Arm timed = run_shm(timed_iters, /*futex_on=*/false,
+                            /*mismatched=*/false, "timed");
+  const Arm futex = run_shm(iters, /*futex_on=*/true,
+                            /*mismatched=*/false, "futex");
+  const Arm mis = run_shm(iters, /*futex_on=*/true,
+                          /*mismatched=*/true, "mis");
   // On builds/hosts without a futex lot the "futex" arm degrades to the
   // timed fallback: label it honestly.
   const bool have_futex = RME_HAS_FUTEX && std::getenv("RME_NO_FUTEX") == nullptr;
   const char* futex_label = have_futex ? "futex" : "timed";
 
-  bench::Table t({"world", "handoff", "p50(ns)", "p99(ns)", "handoffs",
-                  "wake(ns)", "samples"});
-  auto row = [&](const char* w, const char* h, const Arm& a) {
-    t.row({w, h, bench::fmt("%.0f", a.lat.p50_ns),
+  bench::Table t({"world", "handoff", "bases", "p50(ns)", "p99(ns)",
+                  "handoffs", "wake(ns)", "samples"});
+  auto row = [&](const char* w, const char* h, const char* bs,
+                 const Arm& a) {
+    t.row({w, h, bs, bench::fmt("%.0f", a.lat.p50_ns),
            bench::fmt("%.0f", a.lat.p99_ns),
            bench::fmt("%llu", (unsigned long long)a.handoff_rmrs),
            bench::fmt("%.0f", a.wake_ns),
            bench::fmt("%llu", (unsigned long long)a.lat.samples)});
   };
-  row("local", "condvar", local);
-  row("shm", "timed", timed);
-  row("shm", futex_label, futex);
-  emit("local", "condvar", local);
-  emit("shm", "timed", timed);
-  emit("shm", futex_label, futex);
+  row("local", "condvar", "fixed", local);
+  row("shm", "timed", "fixed", timed);
+  row("shm", futex_label, "fixed", futex);
+  row("shm", futex_label, "mismatched", mis);
+  emit("local", "condvar", "fixed", local);
+  emit("shm", "timed", "fixed", timed);
+  emit("shm", futex_label, "fixed", futex);
+  emit("shm", futex_label, "mismatched", mis);
 
   // Fair handoff must hold on every arm: a release grants at most one
   // parked waiter.
-  for (const Arm* a : {&local, &timed, &futex}) {
+  for (const Arm* a : {&local, &timed, &futex, &mis}) {
     if (a->handoff_rmrs > a->releases) {
       std::fprintf(stderr, "FAIL: handoff_rmrs %llu > releases %llu\n",
                    (unsigned long long)a->handoff_rmrs,
                    (unsigned long long)a->releases);
+      return 1;
+    }
+  }
+
+  // The offset-link tax on the contended path: mismatched bases must
+  // stay within 2x of the fixed-base futex p99. Printed always, gating
+  // only the full run (smoke samples are too few to compare tails).
+  if (have_futex && futex.lat.p99_ns > 0) {
+    const double ratio = mis.lat.p99_ns / futex.lat.p99_ns;
+    std::printf("   mismatched/fixed futex p99 ratio: %.2f\n", ratio);
+    if (!bench::smoke_mode() && ratio > 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: mismatched-base p99 %.0fns > 2x fixed %.0fns\n",
+                   mis.lat.p99_ns, futex.lat.p99_ns);
       return 1;
     }
   }
@@ -377,6 +443,7 @@ int main() {
         "shm_handoff",
         {{"handoff", "futex"},
          {"procs", "2"},
+         {"bases", "mismatched"},
          {"rounds", bench::fmt("%llu", (unsigned long long)ping.rounds)}},
         {{"grants", static_cast<double>(ping.grants)},
          {"timeouts", static_cast<double>(ping.timeouts)},

@@ -15,6 +15,7 @@
 #pragma once
 
 #include "platform/platform.hpp"
+#include "shm/offptr.hpp"
 #include "signal/signal.hpp"
 
 namespace rme::core {
@@ -24,7 +25,11 @@ struct QNode {
   using Ctx = typename P::Context;
   using Env = typename P::Env;
 
-  typename P::template Atomic<QNode*> pred;
+  // Self-relative (shm/offptr.hpp): nodes live in the region arena and
+  // every attached process reads Pred at its own base. Note pred is the
+  // FIRST member, so a self-initialised sentinel (`crash_.pred points at
+  // crash_`) encodes as delta 0 - a real value, distinct from nil.
+  shm::AtomicRef<P, QNode> pred;
   signal::Signal<P> nonnil;
   signal::Signal<P> cs;
 

@@ -29,6 +29,7 @@
 #include "platform/platform.hpp"
 #include "platform/process.hpp"
 #include "rlock/tournament.hpp"
+#include "shm/offptr.hpp"
 #include "util/assert.hpp"
 
 namespace rme::core {
@@ -71,8 +72,7 @@ class RmeLock {
     // per-port stats are all reachable by peers (repair scans Node[],
     // recovery reads staged_), so shm worlds place them in the region.
     node_.reset(env.arena, static_cast<size_t>(ports));
-    staged_.reset(env.arena, static_cast<size_t>(ports),
-                  [](void* mem, size_t) { ::new (mem) Node*(nullptr); });
+    staged_.reset(env.arena, static_cast<size_t>(ports));
     stats_.reset(env.arena, static_cast<size_t>(ports));
     // Sentinels (Figure 3, Shared objects). They live in global memory
     // (no DSM partition): processes only ever compare their addresses or
@@ -267,14 +267,14 @@ class RmeLock {
   // between pool acquisition and the Node[p] write (plugging that leak),
   // then the recycling pool, then a fresh allocation.
   Node* acquire_node(Proc& h, int p) {
-    Node*& staged = staged_[static_cast<size_t>(p)];
-    Node* n = staged != nullptr ? staged : pool_.acquire(h.ctx, p);
+    shm::OffPtr<Node>& staged = staged_[static_cast<size_t>(p)];
+    Node* n = staged ? staged.get() : pool_.acquire(h.ctx, p);
     staged = n;
     n->reset_for_passage(h.ctx);
     return n;
   }
 
-  typename P::template Atomic<Node*>& node_slot(int p) {
+  shm::AtomicRef<P, Node>& node_slot(int p) {
     return node_[static_cast<size_t>(p)];
   }
   Stats& stat(int p) { return stats_[static_cast<size_t>(p)]; }
@@ -288,9 +288,14 @@ class RmeLock {
   RLockT rlock_;
 
   Node crash_, incs_, exit_, special_;  // sentinel QNodes
-  typename P::template Atomic<Node*> tail_;
-  nvm::Seq<typename P::template Atomic<Node*>> node_;  // Node[0..k-1]
-  nvm::Seq<Node*> staged_;  // per-port node taken from pool, pre-L12
+  // All queue links are self-relative (shm/offptr.hpp): region worlds can
+  // be attached at any base and each process decodes at its own mapping.
+  // tail_.exchange stays the single FAS the paper charges.
+  shm::AtomicRef<P, Node> tail_;
+  nvm::Seq<shm::AtomicRef<P, Node>> node_;  // Node[0..k-1]
+  // Per-port node taken from pool, pre-L12; read cross-process after a
+  // crash, hence offset-linked too.
+  nvm::Seq<shm::OffPtr<Node>> staged_;
   nvm::Seq<Stats> stats_;
 };
 

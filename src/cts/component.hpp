@@ -35,6 +35,14 @@
 //                    freed slot is immediately re-claimable (the
 //                    saturation regime the lockd daemon's identity pool
 //                    multiplexes thousands of clients over)
+//   grow_storm       rival grow-run processes hammer a scratch region's
+//                    arena past its initial limit while one of them is
+//                    SIGKILLed mid-flight (possibly inside region_grow
+//                    with the grow guard held - the survivor must ride
+//                    out the bounded guard wait); at quiescence the
+//                    segment directory must audit clean: hi[] strictly
+//                    increasing, last entry == published limit == the
+//                    backing file's actual size
 //   no_futex_flip    mixes condvar-fallback workers (RME_NO_FUTEX in the
 //                    child environment) with the baseline fleet's futex
 //                    parkers on the same shards, then asserts the
@@ -52,7 +60,10 @@
 // to replay the kernel.
 #pragma once
 
+#include <fcntl.h>
 #include <stdlib.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -86,7 +97,8 @@ enum Arm : uint32_t {
   kClockSkew = 1u << 5,
   kPidExhaust = 1u << 6,
   kNoFutexFlip = 1u << 7,
-  kAllArms = (1u << 8) - 1,
+  kGrowStorm = 1u << 8,
+  kAllArms = (1u << 9) - 1,
 };
 
 inline const char* arm_name(Arm a) {
@@ -99,6 +111,7 @@ inline const char* arm_name(Arm a) {
     case kClockSkew: return "clock_skew";
     case kPidExhaust: return "pid_exhaust";
     case kNoFutexFlip: return "no_futex_flip";
+    case kGrowStorm: return "grow_storm";
     default: return "?";
   }
 }
@@ -420,6 +433,101 @@ class RegionPressure final : public Component {
       }
     } catch (const shm::ShmError& e) {
       ctx.fail(std::string("region_pressure: successor create failed: ") +
+               e.what());
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// grow_storm: rival growers vs SIGKILL. Two grow-run processes hammer a
+// scratch region's arena with allocations that overflow its initial
+// limit; one is killed mid-flight - possibly inside region_grow with the
+// grow guard claimed, which the survivor must ride out via the bounded
+// guard wait. Side-band like region_pressure (growth is one-way; storming
+// the soak region would just bloat it). The quiescent audit pins the
+// segment-directory invariant from shm/region.hpp: hi[] strictly
+// increasing, hi[count-1] == limit == fstat(file).st_size.
+// ---------------------------------------------------------------------------
+
+class GrowStorm final : public Component {
+ public:
+  Arm arm() const override { return kGrowStorm; }
+
+  void run(SoakCtx& ctx) override {
+    const std::string name = ctx.world.region().name() + "_gs" +
+                             std::to_string(ctx.round % 100);
+    try {
+      auto scratch =
+          shm::ShmWorld::create(name, 1 << 20, 4, /*ring_slots=*/2);
+      // Publish: attach() blocks on the ready flag that create_root sets;
+      // without a root the growers would time out, not grow.
+      scratch.create_root<uint64_t>(0);
+      // Scratch-world pids (its registry, not the soak world's). Enough
+      // demand per grower (600 x 4k = ~2.4 MB) to force several grows.
+      const std::string log_a = ctx.opt.log_dir + "/r" +
+                                std::to_string(ctx.round) + "_gsA.log";
+      const std::string log_b = ctx.opt.log_dir + "/r" +
+                                std::to_string(ctx.round) + "_gsB.log";
+      const int a = ctx.fs.spawn(ctx.opt.worker,
+                                 {name, "0", "grow-run", "4096", "600"},
+                                 log_a);
+      const int b = ctx.fs.spawn(ctx.opt.worker,
+                                 {name, "1", "grow-run", "4096", "600"},
+                                 log_b);
+      ctx.spawns += 2;
+      // Strike one grower mid-storm. Landing inside region_grow leaves
+      // the guard claimed - a documented capacity decay the survivor
+      // rides out, never a hang or a torn directory.
+      std::this_thread::sleep_for(ctx.rng.exp_us(300.0));
+      ctx.fs.kill_child(a);
+      ++ctx.kills;
+      const int st_a = ctx.fs.wait_child(a);
+      ctx.badnews.note_exit("[round " + std::to_string(ctx.round) +
+                                " grow_storm victim]",
+                            st_a, /*expected_kill=*/true);
+      const int st_b = ctx.fs.wait_child(b);
+      ctx.badnews.note_exit("[round " + std::to_string(ctx.round) +
+                                " grow_storm survivor]",
+                            st_b, /*expected_kill=*/false);
+      if (!(WIFEXITED(st_b) && WEXITSTATUS(st_b) == 0)) {
+        ctx.fail("grow_storm: surviving grower landed no allocation");
+      }
+      // Quiescent segment-directory audit.
+      const shm::RegionHeader* h = scratch.region().header();
+      const uint64_t limit = h->limit.load(std::memory_order_acquire);
+      const uint32_t n = h->segs.count.load(std::memory_order_acquire);
+      if (n == 0) {
+        ctx.fail("grow_storm: empty segment directory");
+        return;
+      }
+      uint64_t prev = 0;
+      for (uint32_t i = 0; i < n; ++i) {
+        const uint64_t hi = h->segs.hi[i].load(std::memory_order_acquire);
+        if (hi <= prev) {
+          ctx.fail("grow_storm: segment directory not strictly "
+                   "increasing at entry " + std::to_string(i));
+          return;
+        }
+        prev = hi;
+      }
+      if (prev != limit) {
+        ctx.fail("grow_storm: last segment " + std::to_string(prev) +
+                 " != published limit " + std::to_string(limit));
+      }
+      const int fd = ::shm_open(scratch.region().name().c_str(),
+                                O_RDONLY, 0);
+      if (fd >= 0) {
+        struct stat st {};
+        if (::fstat(fd, &st) == 0 &&
+            static_cast<uint64_t>(st.st_size) != limit) {
+          ctx.fail("grow_storm: backing file " +
+                   std::to_string(st.st_size) + " bytes != limit " +
+                   std::to_string(limit));
+        }
+        ::close(fd);
+      }
+    } catch (const shm::ShmError& e) {
+      ctx.fail(std::string("grow_storm: scratch region failed: ") +
                e.what());
     }
   }

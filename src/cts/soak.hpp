@@ -113,6 +113,7 @@ class Soak {
     components_.emplace_back(new ClockSkew);
     components_.emplace_back(new PidExhaust);
     components_.emplace_back(new NoFutexFlip);
+    components_.emplace_back(new GrowStorm);
     audits_.emplace_back(new ProbeAudit);
     audits_.emplace_back(new LeaseAudit);
     audits_.emplace_back(new EpochAudit);

@@ -40,6 +40,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,6 +50,26 @@
 #include "util/assert.hpp"
 
 namespace rme::harness {
+
+// Scoped RME_SHM_MAP_HINT: spawned children inherit the parent's
+// environment (ForkScenario is fork+exec), so wrapping a spawn in a
+// MapHint steers that child's attach toward a chosen base. The hint is a
+// SOFT mmap hint - the attach-anywhere contract means a relocation is
+// harmless - but distinct far-apart hints reliably land workers at
+// distinct bases, which is exactly what the cross-ABI offset tests and
+// the mismatched-bases bench arm need to exercise.
+class MapHint {
+ public:
+  explicit MapHint(uint64_t addr) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(addr));
+    ::setenv("RME_SHM_MAP_HINT", buf, 1);
+  }
+  ~MapHint() { ::unsetenv("RME_SHM_MAP_HINT"); }
+  MapHint(const MapHint&) = delete;
+  MapHint& operator=(const MapHint&) = delete;
+};
 
 // ---------------------------------------------------------------------------
 // StageBoard

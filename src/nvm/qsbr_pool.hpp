@@ -43,6 +43,15 @@
 // keeps no Env reference (a creator-private address would be garbage in an
 // attached process); only the Counted platform needs the Env at fresh()
 // time, and counted worlds are never region-resident.
+//
+// Position independence: the pool itself lives in the region, so every
+// pointer-shaped member is self-relative (shm/offptr.hpp) - the free and
+// retired lists hold OffPtr<T>, the tail probe is an OffPtr to the
+// structure's AtomicRef tail, and instead of snapshotting the Arena by
+// value (whose base/cursor fields are absolute, creator-only addresses)
+// the pool keeps OffPtrs to the arena's cursor word, base byte, and
+// dynamic limit word, reconstructing a process-local Arena view at
+// fresh() time.
 #pragma once
 
 #include <atomic>
@@ -53,6 +62,7 @@
 
 #include "nvm/seq.hpp"
 #include "platform/platform.hpp"
+#include "shm/offptr.hpp"
 #include "util/assert.hpp"
 
 namespace rme::nvm {
@@ -69,10 +79,19 @@ class QsbrPool {
   // `tail` is consulted for rule 1 (may be null when the client structure
   // has no tail pointer; then rule 1 is skipped).
   QsbrPool(Env& env, int ports, bool recycle)
-      : arena_(env.arena), ports_(ports), recycle_(recycle) {
+      : ports_(ports), recycle_(recycle) {
+    const platform::Arena& a = env.arena;
+    arena_valid_ = a.valid();
+    if (arena_valid_) {
+      arena_cursor_ = a.cursor;
+      arena_base_ = a.base;
+      arena_limit_ = a.limit;
+      arena_limit_word_ = a.limit_word;
+      arena_grow_ = a.grow;
+    }
     if constexpr (P::kCounted) {
       env_ = &env;
-      RME_ASSERT(!arena_.valid(),
+      RME_ASSERT(!arena_valid_,
                  "QsbrPool: counted platforms are never region-resident");
     }
     epoch_.attach(env, rmr::kNoOwner);
@@ -89,8 +108,10 @@ class QsbrPool {
   }
 
   // Observer the pool asks "is this node still the structure's tail?".
-  // Set once at wiring time, before any acquire.
-  void set_tail_probe(typename P::template Atomic<T*>* tail) { tail_ = tail; }
+  // Set once at wiring time, before any acquire. The probe target is the
+  // structure's self-relative tail cell, held through an OffPtr so the
+  // link survives attach-anywhere remapping.
+  void set_tail_probe(shm::AtomicRef<P, T>* tail) { tail_ = tail; }
 
   void on_passage_begin(Ctx& ctx, int port) {
     const uint64_t e = epoch_.load(ctx, std::memory_order_acquire);
@@ -108,10 +129,10 @@ class QsbrPool {
   // amortised (O(k) worst-case, every Theta(k) passages) RMR bound.
   T* acquire(Ctx& ctx, int port) {
     PerPort& pp = per(port);
-    if (pp.free_n > 0) return pp.free[--pp.free_n];
+    if (pp.free_n > 0) return pp.free[--pp.free_n].get();
     if (pp.retired.size() >= reclaim_threshold()) {
       maybe_reclaim(ctx, port);
-      if (pp.free_n > 0) return pp.free[--pp.free_n];
+      if (pp.free_n > 0) return pp.free[--pp.free_n].get();
     }
     return fresh(port);
   }
@@ -135,12 +156,12 @@ class QsbrPool {
 
  private:
   struct Retired {
-    T* node;
+    shm::OffPtr<T> node;
     uint64_t stamp;  // epoch at first Tail!=node observation; 0 = not yet
   };
   struct PerPort {
     typename P::template Atomic<uint64_t> announce;
-    Seq<T*> free;     // fixed-capacity stack, top at free_n
+    Seq<shm::OffPtr<T>> free;  // fixed-capacity stack, top at free_n
     size_t free_n = 0;
     BoundedDeque<Retired> retired;
     uint64_t reclaimed = 0;
@@ -156,12 +177,26 @@ class QsbrPool {
   // reclamation has headroom before the drop-on-full decay kicks in.
   size_t list_capacity() const { return 4 * reclaim_threshold(); }
 
+  // Reassemble a process-local Arena view from the self-relative pieces
+  // captured at construction. Cheap (five field writes) and valid at this
+  // process's attach base.
+  platform::Arena local_arena() const {
+    platform::Arena a;
+    a.cursor = arena_cursor_.get();
+    a.base = arena_base_.get();
+    a.limit = arena_limit_;
+    a.limit_word = arena_limit_word_.get();
+    a.grow = arena_grow_;
+    return a;
+  }
+
   T* fresh(int port) {
-    if (arena_.valid()) {
+    if (arena_valid_) {
       // Region-resident pool: nodes come from the region's shared bump
       // cursor (atomic, any attached process may allocate). Real platform
       // only, where Atomic::attach is a no-op - nothing more to wire.
-      void* mem = arena_.allocate(sizeof(T), alignof(T));
+      platform::Arena a = local_arena();
+      void* mem = a.allocate(sizeof(T), alignof(T));
       T* raw = ::new (mem) T();
       allocated_.fetch_add(1, std::memory_order_relaxed);
       return raw;
@@ -199,13 +234,12 @@ class QsbrPool {
     const uint64_t e = epoch_.load(ctx, std::memory_order_acquire);
     epoch_.store(ctx, e + 1, std::memory_order_release);
 
-    T* tail_now = tail_ != nullptr
-                      ? tail_->load(ctx, std::memory_order_acquire)
-                      : nullptr;
+    T* tail_now =
+        tail_ ? tail_->load(ctx, std::memory_order_acquire) : nullptr;
     const uint64_t stamp_epoch = epoch_.load(ctx, std::memory_order_acquire);
     for (size_t i = 0; i < pp.retired.size(); ++i) {
       Retired& r = pp.retired.at(i);
-      if (r.stamp == 0 && r.node != tail_now) r.stamp = stamp_epoch;
+      if (r.stamp == 0 && r.node.get() != tail_now) r.stamp = stamp_epoch;
     }
 
     uint64_t min_announce = kIdle;
@@ -227,12 +261,20 @@ class QsbrPool {
     }
   }
 
-  platform::Arena arena_;     // by value: cross-process-valid snapshot
-  Env* env_ = nullptr;        // Counted only (attach needs the model)
+  // Self-relative arena view (see header comment): links to the shared
+  // cursor word, the region base byte, and the dynamic limit word, plus
+  // the copy-safe scalar pieces.
+  bool arena_valid_ = false;
+  shm::OffPtr<std::atomic<uint64_t>> arena_cursor_;
+  shm::OffPtr<char> arena_base_;
+  uint64_t arena_limit_ = 0;
+  shm::OffPtr<std::atomic<uint64_t>> arena_limit_word_;
+  bool arena_grow_ = false;
+  Env* env_ = nullptr;  // Counted only (attach needs the model)
   int ports_;
   bool recycle_;
   typename P::template Atomic<uint64_t> epoch_;
-  typename P::template Atomic<T*>* tail_ = nullptr;
+  shm::OffPtr<shm::AtomicRef<P, T>> tail_;
   Seq<PerPort> per_port_;
   // Heap-mode node ownership (arena mode: the region owns the nodes).
   // Never touched when arena_ is valid, so the region-resident instances

@@ -9,10 +9,12 @@
 // DATA on the constructing process's private heap, so a second process
 // that maps the region would chase a pointer into memory it does not
 // have. Seq draws the element storage from the same arena the object
-// itself lives in, so under the fixed-address mapping contract
-// (shm/region.hpp) the whole structure is valid in every attached
-// process. Purely process-local state (the repair PathGraph, harness
-// bookkeeping, bench buffers) keeps using std::vector.
+// itself lives in, and reaches it through a self-relative OffPtr
+// (shm/offptr.hpp), so the whole structure is valid in every attached
+// process at whatever base it mapped the region (the attach-anywhere
+// contract, shm/region.hpp). Purely process-local state (the repair
+// PathGraph, harness bookkeeping, bench buffers) keeps using
+// std::vector.
 //
 // Lifetime contract: arena-backed storage is never freed and element
 // destructors are not run for it - the region owns the memory, and the
@@ -26,6 +28,7 @@
 #include <utility>
 
 #include "platform/arena.hpp"
+#include "shm/offptr.hpp"
 #include "util/assert.hpp"
 
 namespace rme::nvm {
@@ -52,7 +55,7 @@ class Seq {
   // constructor (e.g. the lock table's Shard).
   template <class Make>
   void reset(const platform::Arena& a, size_t n, Make&& make) {
-    RME_ASSERT(data_ == nullptr, "Seq::reset called twice");
+    RME_ASSERT(!data_, "Seq::reset called twice");
     if (n == 0) return;
     if (a.valid()) {
       data_ = static_cast<T*>(
@@ -65,38 +68,40 @@ class Seq {
     }
     n_ = n;
     for (size_t i = 0; i < n; ++i) {
-      make(static_cast<void*>(data_ + i), i);
+      make(static_cast<void*>(data_.get() + i), i);
     }
   }
 
   size_t size() const { return n_; }
   bool empty() const { return n_ == 0; }
-  T* data() { return data_; }
-  const T* data() const { return data_; }
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
 
   T& operator[](size_t i) {
     RME_DCHECK(i < n_, "Seq: index out of range");
-    return data_[i];
+    return data_.get()[i];
   }
   const T& operator[](size_t i) const {
     RME_DCHECK(i < n_, "Seq: index out of range");
-    return data_[i];
+    return data_.get()[i];
   }
 
-  T* begin() { return data_; }
-  T* end() { return data_ + n_; }
-  const T* begin() const { return data_; }
-  const T* end() const { return data_ + n_; }
+  T* begin() { return data_.get(); }
+  T* end() { return data_.get() + n_; }
+  const T* begin() const { return data_.get(); }
+  const T* end() const { return data_.get() + n_; }
 
  private:
   void destroy() {
-    if (data_ == nullptr || !owned_) return;  // arena memory: region-owned
-    for (size_t i = n_; i > 0; --i) data_[i - 1].~T();
-    ::operator delete(static_cast<void*>(data_),
-                      std::align_val_t{alignof(T)});
+    if (!data_ || !owned_) return;  // arena memory: region-owned
+    T* d = data_.get();
+    for (size_t i = n_; i > 0; --i) d[i - 1].~T();
+    ::operator delete(static_cast<void*>(d), std::align_val_t{alignof(T)});
   }
 
-  T* data_ = nullptr;
+  // Self-relative so a Seq embedded in region state is readable from any
+  // attach base.
+  shm::OffPtr<T> data_;
   size_t n_ = 0;
   bool owned_ = false;
 };

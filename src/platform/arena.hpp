@@ -22,11 +22,21 @@
 //     from any attached process. Arena memory is never freed: the region
 //     owns it, and region teardown reclaims everything at once.
 //
-// The cross-process validity of ORDINARY pointers stored in arena memory
-// (queue-node Pred fields, the lock-table's shard array) is guaranteed by
-// the fixed-address mapping contract of shm::Region: every process maps
-// the region at the address recorded in its header, so a region-resident
-// pointer to region-resident memory means the same thing everywhere.
+// Links stored IN arena memory (queue-node Pred fields, Seq element
+// pointers, the QSBR lists) are self-relative offsets (shm/offptr.hpp),
+// so region-resident state is valid at whatever base each process mapped
+// the region - the attach-anywhere contract of shm::Region. The Arena
+// handle itself is still a per-process VIEW (its base/cursor fields are
+// local absolute addresses); region-resident structures that must
+// remember the arena keep OffPtrs to the cursor/limit words instead of
+// an Arena value (see nvm/qsbr_pool.hpp).
+//
+// Growth: regions can extend themselves at runtime. The dynamic usable
+// size lives in a region-resident `limit` word (limit_word); when a grow
+// hook is registered (shm/region.hpp registers one that ftruncate-extends
+// the backing object within the pre-mapped VA span) an exhausted
+// try_allocate consults it before refusing. Raw arenas (tests, heap
+// worlds) leave limit_word null and keep the static `limit` semantics.
 #pragma once
 
 #include <atomic>
@@ -37,15 +47,41 @@
 
 namespace rme::platform {
 
+// Process-global grow hook: called with the region base (this process's
+// view) and the total byte count the arena needs; returns true once the
+// dynamic limit is >= need. Registered by the shm layer (platform code
+// cannot include shm headers); never consulted by heap or raw arenas.
+using GrowHook = bool (*)(char* region_base, uint64_t need_bytes);
+inline GrowHook& arena_grow_hook() {
+  static GrowHook hook = nullptr;
+  return hook;
+}
+
 // Value-type allocation handle. Default-constructed = invalid = callers
-// fall back to heap allocation. Copies are cheap and cross-process safe
-// (all members are region addresses or plain values).
+// fall back to heap allocation. Copies are cheap within one process;
+// cross-process structures store OffPtrs to the words instead (see the
+// header comment).
 struct Arena {
   std::atomic<uint64_t>* cursor = nullptr;  // byte offset into base, in-region
-  char* base = nullptr;                     // region base (fixed mapping)
-  uint64_t limit = 0;                       // usable bytes from base
+  char* base = nullptr;                     // region base (this process's view)
+  uint64_t limit = 0;                       // static usable bytes (ceiling)
+  // Dynamic usable size, region-resident. Null for raw/heap arenas, in
+  // which case the static `limit` governs alone.
+  std::atomic<uint64_t>* limit_word = nullptr;
+  // Consult the grow hook on exhaustion? Off for raw arenas and for
+  // worlds that opt out (RME_NO_GROW / ShmWorld::set_grow_enabled).
+  bool grow = false;
 
   bool valid() const { return base != nullptr; }
+
+  // The currently usable byte count: the dynamic word when present
+  // (acquire pairs with the grower's release after extending the backing
+  // object), else the static limit.
+  uint64_t current_limit() const {
+    return limit_word != nullptr
+               ? limit_word->load(std::memory_order_acquire)
+               : limit;
+  }
 
   // Bump-allocate `bytes` aligned to `align`, or nullptr when the region
   // cannot hold it. The CAS loop (rather than a blind fetch_add) keeps a
@@ -75,8 +111,19 @@ struct Arena {
           (addr + align - 1) & ~static_cast<uint64_t>(align - 1);
       if (aligned_addr < addr) return nullptr;  // align-up wrapped: refuse
       const uint64_t aligned = aligned_addr - b;
-      if (aligned + bytes > limit || aligned + bytes < aligned) {
-        return nullptr;  // exhausted (or size overflow): clean refusal
+      if (aligned + bytes < aligned) return nullptr;  // size overflow
+      if (aligned + bytes > current_limit()) {
+        // Exhausted at the current limit. A growable arena asks the shm
+        // layer to extend the region (hook returns true only once the
+        // dynamic limit covers `need`, so this loop terminates: either
+        // the limit now suffices or the hook refuses at the VA-span
+        // ceiling and we refuse cleanly).
+        if (grow && limit_word != nullptr && arena_grow_hook() != nullptr &&
+            arena_grow_hook()(base, aligned + bytes)) {
+          cur = cursor->load(std::memory_order_relaxed);
+          continue;
+        }
+        return nullptr;  // exhausted: clean refusal
       }
       if (cursor->compare_exchange_weak(cur, aligned + bytes,
                                         std::memory_order_relaxed)) {

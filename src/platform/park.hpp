@@ -81,10 +81,14 @@ inline uint64_t park_key(const void* a, const void* b) {
                mix64(reinterpret_cast<uintptr_t>(b)));
 }
 
-// Cross-process-stable key for a SHARED lot: the site address alone
-// (region addresses are identical in every process under the
-// fixed-address mapping contract; policy objects are process-private and
-// must stay out of the mix).
+// Cross-process-stable key for a SHARED lot when no better derivation is
+// available: the site address alone (policy objects are process-private
+// and must stay out of the mix). Since the attach-anywhere contract
+// (shm/region.hpp v5) the ADDRESS of a region site differs per process,
+// so shared lots override ParkingLot::key_of to key by the site's REGION
+// OFFSET instead; this absolute-address form remains only as the
+// interface default (correct for any lot whose processes share one
+// mapping base, e.g. fork-inherited or RME_SHM_FIXED worlds).
 inline uint64_t shared_park_key(const void* site) {
   return mix64(reinterpret_cast<uintptr_t>(site));
 }
@@ -132,9 +136,17 @@ class ParkingLot {
   virtual uint64_t wake_wait_ns() const { return 0; }
 
   // True when park keys must be meaningful in EVERY attached process: a
-  // policy then keys parks by the (region-address) site alone,
-  // shared_park_key(site), instead of mixing its process-private this.
+  // policy then derives its key via key_of(site) instead of mixing its
+  // process-private this into the key.
   virtual bool shared() const { return false; }
+
+  // The shared-key derivation for a wait site. Default: mix the absolute
+  // address (valid when every process sees the site at one address).
+  // Region lots override with the site's REGION OFFSET so parker and
+  // waker agree on the key even when their attach bases differ.
+  virtual uint64_t key_of(const void* site) const {
+    return shared_park_key(site);
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -488,6 +500,15 @@ class FutexLot final : public ParkingLot {
     w.word.fetch_add(1, std::memory_order_seq_cst);
     arena_->wakes.fetch_add(1, std::memory_order_relaxed);
     futex(&w.word, FUTEX_WAKE, 1, nullptr);  // exact: one waiter per word
+  }
+
+  // Position-independent park key: the site's region OFFSET, mixed. A
+  // parker and a waker attached at different bases compute the same key
+  // for the same region site - the property the mismatched-bases park
+  // tests and the bench_shm handoff=futex arm pin down.
+  uint64_t key_of(const void* site) const override {
+    return mix64(static_cast<uint64_t>(static_cast<const char*>(site) -
+                                       base_));
   }
 
   // Spin-cell address -> owning logical pid, via the per-pid flag-ring

@@ -67,14 +67,15 @@ inline ParkingLot& resolve_lot(const ParkEnv& env) {
 }
 
 // The park key the parker and the releaser agree on. A SHARED lot keys
-// by the site address alone - sites are region addresses, identical in
-// every attached process, while the policy object is process-private and
+// by the site alone through the lot's own derivation (the region
+// FutexLot keys by the site's REGION OFFSET, so processes attached at
+// different bases still agree); the policy object is process-private and
 // would break the cross-process agreement. The local lot keeps the
 // historical (policy, site) mix so two policies sharing a site stay
 // isolated.
 inline uint64_t lot_key(const ParkingLot& lot, const void* policy,
                         const void* site) {
-  return lot.shared() ? shared_park_key(site) : park_key(policy, site);
+  return lot.shared() ? lot.key_of(site) : park_key(policy, site);
 }
 
 // The shared park-mode tail of the parking policies: escalate the nap

@@ -34,6 +34,7 @@
 #include "nvm/flag_ring.hpp"
 #include "platform/platform.hpp"
 #include "platform/process.hpp"
+#include "shm/offptr.hpp"
 #include "util/assert.hpp"
 
 namespace rme::rlock {
@@ -120,7 +121,9 @@ class R2Lock {
 
   typename P::template Atomic<int> flag_[2];
   typename P::template Atomic<int> turn_;
-  typename P::template Atomic<nvm::GoFlag<P>*> go_slot_[2];
+  // Cross-process go-flag links: self-relative (shm/offptr.hpp), valid at
+  // any attach base.
+  shm::AtomicRef<P, nvm::GoFlag<P>> go_slot_[2];
   typename P::template Atomic<uint64_t> go_tag_[2];
 };
 

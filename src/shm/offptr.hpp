@@ -1,0 +1,145 @@
+// OffPtr / AtomicRef: self-relative links for position-independent
+// shared state.
+//
+// A raw `T*` stored inside an shm region is only meaningful to processes
+// that mapped the region at the same base - the fixed-address mapping
+// contract PR 5 shipped with. These two primitives retire that contract:
+// instead of an absolute address they store the signed byte distance
+// from the CELL ITSELF to the pointee,
+//
+//     delta = (char*)target - (char*)this
+//
+// which is invariant under remapping as long as cell and pointee live in
+// the same contiguous mapping (one region, or one process heap - the
+// encoding is base-free, so heap-mode worlds use it unchanged). Any
+// process may now attach the region at any base; see shm/region.hpp for
+// the attach-anywhere protocol and docs/architecture.md for the
+// contract.
+//
+// Nil is encoded as INT64_MIN, a delta no real link can produce on a
+// 47-bit address space. Delta 0 is a REAL value: the lock cores
+// self-initialise sentinels (`crash_.pred.init(&crash_)`) and `pred` is
+// the QNode's first member, so the cell legitimately points at itself.
+//
+// AtomicRef<P, T> is the atomic flavour: a platform Atomic<int64_t> cell
+// exposed in T* terms. Encoding/decoding is pure arithmetic around the
+// underlying load/store/exchange, so the memory-ordering discipline of
+// the call site carries through unchanged, and the paper's FAS-only
+// budget is preserved - exchange on the int64 cell IS the fetch&store
+// the algorithms charge.
+//
+// Copy semantics matter: copying an OffPtr re-encodes through get()/set()
+// because the same delta means a different target from a different cell
+// address. This is what lets Seq<OffPtr<T>> elements and BoundedDeque
+// entries holding OffPtrs be assigned around (stack temporaries encode
+// relative to the stack; storing into the region re-encodes relative to
+// the region cell - both correct).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace rme::shm {
+
+// The nil sentinel. INT64_MIN cannot be a real self-relative delta:
+// user-space deltas fit in 48 bits on every supported platform.
+inline constexpr int64_t kOffNil = INT64_MIN;
+
+// Plain (non-atomic) self-relative pointer. Single-writer cells, staged
+// slots, and pool bookkeeping use this; concurrent cells use AtomicRef.
+template <class T>
+class OffPtr {
+ public:
+  OffPtr() = default;
+  OffPtr(T* p) { set(p); }  // NOLINT(runtime/explicit): pointer-like
+  OffPtr(const OffPtr& o) { set(o.get()); }
+  OffPtr& operator=(const OffPtr& o) {
+    set(o.get());
+    return *this;
+  }
+  OffPtr& operator=(T* p) {
+    set(p);
+    return *this;
+  }
+
+  T* get() const {
+    if (delta_ == kOffNil) return nullptr;
+    return reinterpret_cast<T*>(
+        const_cast<char*>(reinterpret_cast<const char*>(this)) + delta_);
+  }
+  void set(T* p) {
+    delta_ = (p == nullptr) ? kOffNil
+                            : reinterpret_cast<const char*>(p) -
+                                  reinterpret_cast<const char*>(this);
+  }
+
+  T* operator->() const { return get(); }
+  T& operator*() const { return *get(); }
+  explicit operator bool() const { return delta_ != kOffNil; }
+
+  int64_t raw_delta() const { return delta_; }
+
+ private:
+  int64_t delta_ = kOffNil;
+};
+
+// Ref<T> is the name ROADMAP uses for the offset-link seam; OffPtr is
+// the mechanism. Keep both spellings.
+template <class T>
+using Ref = OffPtr<T>;
+
+// Atomic self-relative pointer over a platform Atomic<int64_t> cell.
+// The API mirrors platform Atomic<T*> exactly (attach / init / load /
+// store / exchange with an explicit Context), so converting a lock core
+// is a type change, not a call-site rewrite. The cell is the sole data
+// member, so encode/decode relative to `this` and relative to the cell
+// agree.
+template <class P, class T>
+class AtomicRef {
+ public:
+  using Ctx = typename P::Context;
+  using Env = typename P::Env;
+
+  // Default-constructed = nil. This must be explicit: a zero-valued cell
+  // decodes to `this` (delta 0 is the legitimate self-pointer), so the
+  // raw-pointer idiom of relying on zero-initialisation for "empty" would
+  // silently become a wild self-reference (e.g. R2Lock's help-wake reads
+  // go_slot_ before the rival ever published one).
+  AtomicRef() : cell_(kOffNil) {}
+
+  template <class E>
+  void attach(E& env, int owner) {
+    cell_.attach(env, owner);
+  }
+  void init(T* p) { cell_.init(encode(p)); }
+
+  T* load(Ctx& ctx,
+          std::memory_order mo = std::memory_order_acquire) const {
+    return decode(cell_.load(ctx, mo));
+  }
+  void store(Ctx& ctx, T* p,
+             std::memory_order mo = std::memory_order_release) {
+    cell_.store(ctx, encode(p), mo);
+  }
+  // The paper-budgeted fetch&store: one FAS on the int64 cell.
+  T* exchange(Ctx& ctx, T* p,
+              std::memory_order mo = std::memory_order_acq_rel) {
+    return decode(cell_.exchange(ctx, encode(p), mo));
+  }
+
+ private:
+  int64_t encode(const T* p) const {
+    return (p == nullptr) ? kOffNil
+                          : reinterpret_cast<const char*>(p) -
+                                reinterpret_cast<const char*>(this);
+  }
+  T* decode(int64_t d) const {
+    if (d == kOffNil) return nullptr;
+    return reinterpret_cast<T*>(
+        const_cast<char*>(reinterpret_cast<const char*>(this)) + d);
+  }
+
+  typename P::template Atomic<int64_t> cell_;
+};
+
+}  // namespace rme::shm

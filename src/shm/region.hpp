@@ -1,28 +1,49 @@
-// rme::shm - POSIX shared-memory regions with a fixed-address mapping
+// rme::shm - POSIX shared-memory regions with an ATTACH-ANYWHERE
 // contract, the substrate of the cross-process service boundary.
 //
 // A Region wraps one shm_open'd object mapped MAP_SHARED into every
 // participating process. The region starts with a RegionHeader: layout
 // identification (magic/version/ABI), the arena bump cursor the
-// platform::Arena hands out region memory from, the root-object offset,
-// and the PID REGISTRY - one slot per logical pid, claimed by
+// platform::Arena hands out region memory from, the dynamic limit word
+// and segment directory that let the region GROW, the root-object
+// offset, and the PID REGISTRY - one slot per logical pid, claimed by
 // fetch-and-store and carrying the per-process EPOCH word that fences a
 // restarted process (see PidSlot below and docs/recovery.md).
 //
-// THE FIXED-ADDRESS MAPPING CONTRACT. The lock state this library places
-// in regions is pointer-linked (queue nodes hold Node* predecessors, the
-// table's shards embed each other's addresses). Rather than rewrite the
-// verified core in offset arithmetic, the region is mapped at the SAME
-// virtual address in every process: the creator maps at a name-derived
-// hint in a rarely-used part of the address space and records the actual
-// base in the header; attach() maps MAP_FIXED_NOREPLACE at exactly that
-// base and fails loudly (kAddressBusy) if this process already occupies
-// it. In-region pointers to in-region memory then mean the same thing
-// everywhere, and the paper's algorithms run verbatim. The hint range
-// (0x5e00'0000'0000 + hash(name), 2 MiB aligned) sits between the
-// typical PIE heap (~0x55xx) and library mmap (~0x7fxx) zones, so
-// collisions are rare; a colliding attach is an error, never silent
-// relocation.
+// THE ATTACH-ANYWHERE CONTRACT (region ABI v5). Every link stored in
+// region memory - queue-node Pred fields, Seq element pointers, go-flag
+// addresses, the QSBR lists, futex park keys - is a SELF-RELATIVE offset
+// (shm/offptr.hpp), so the mapped bytes mean the same thing at any base.
+// attach() therefore maps wherever the kernel chooses (or at the
+// RME_SHM_MAP_HINT=<hex> soft hint, which tests use to force DISTINCT
+// bases per process); the creator still maps at a name-derived hint for
+// determinism but records whatever it got. The former fixed-address
+// contract (v4 and earlier, MAP_FIXED_NOREPLACE at the creator's base)
+// survives as an opt-in fast path: RME_SHM_FIXED=1 restores the old
+// behaviour, including the loud address-busy failure. Old-ABI regions
+// are refused with an error naming both versions.
+//
+// GROWTH. Each process maps the full `bytes` VA span up front but the
+// backing object starts at `limit` bytes (limit <= bytes). Touching
+// pages past the object's end would SIGBUS, so the arena never hands
+// them out: allocation is bounded by the region-resident limit word.
+// When a growable arena exhausts it, the grow hook (region_grow, wired
+// into platform::arena_grow_hook by ShmWorld) serialises through the
+// grow_guard FAS, ftruncate-extends the object - which instantly backs
+// the already-mapped span in EVERY attached process, no remap, no
+// notification - appends a segment-directory entry, and release-stores
+// the new limit. RME_NO_GROW (or ShmWorld::set_grow_enabled(false))
+// restores the old clean-refusal-at-capacity behaviour.
+//
+// QUIESCE-AND-COMPACT. compact_region() drains sessions via the
+// header's quiesce word (ShmWorld::claim refuses while it is set),
+// copies the live prefix [0, cursor) verbatim into a fresh shm object
+// (self-relative links survive a prefix copy by construction), resets
+// the segment directory, and republishes by rename(2) of the /dev/shm
+// entry. The OLD object keeps quiesce=1 forever, so stale handles are
+// refused on their next claim and re-attach by name, landing on the
+// compacted object. Telemetry rows ride along verbatim, so obs counters
+// stay monotone across the pass.
 //
 // Process death is the expected failure mode: a SIGKILL'd holder leaves
 // the region exactly as the paper's crash model leaves NVM, and the
@@ -70,7 +91,22 @@ inline constexpr uint32_t kMagic = 0x524d4531u;  // "RME1"
 // sizeof(RegionHeader), so v2 regions are refused loudly.
 // v4: obs::MetricsArena (per-pid seqlocked telemetry rows, shard heat,
 // latency histograms) in the header; same refusal mechanics for v3.
-inline constexpr uint32_t kVersion = 4;
+// v5: position-independent state (self-relative links, attach-anywhere),
+// growable backing (limit word + segment directory + grow guard), and
+// the quiesce word for compaction. v4 regions hold absolute pointers
+// that would be garbage at a different base, so they are refused with a
+// versioned error; recreate the region with a v5 build (see README,
+// "Region ABI & migration").
+inline constexpr uint32_t kVersion = 5;
+// Capacity of the shm-object name copy in the header (the grow hook
+// reopens the object by name).
+inline constexpr size_t kNameMax = 64;
+// Segment-directory capacity: one entry per growth step. With doubling
+// growth this bounds a region to 2^23 x its initial size - far beyond
+// any real VA span - so hitting the cap means a refusal, not corruption.
+inline constexpr int kMaxSegs = 24;
+// Attach-base ledger entries (diagnostics: the last few mapping bases).
+inline constexpr int kAttachLedger = 8;
 // Upper bound on logical pids per region; sized so the registry stays a
 // small fixed header array. (A logical pid is a session identity, not an
 // OS pid: one OS process may drive several - the auditing parent does.)
@@ -121,21 +157,41 @@ struct PidSlot {
                                      // pid-reuse cross-check
 };
 
+// Segment directory: one cumulative end-offset per growth step, so an
+// operator (rme-regionctl segs) or an audit can reconstruct the growth
+// history and check it against the live limit and the file size.
+// hi[0] is the initial (create-time) object size; entries are strictly
+// increasing; hi[count-1] == limit == fstat(file).st_size at quiescence.
+struct SegDir {
+  std::atomic<uint32_t> count;  // live entries in hi[]
+  uint32_t pad_;
+  std::atomic<uint64_t> gen;    // bumps on every grow AND every compact
+  std::atomic<uint64_t> hi[kMaxSegs];
+};
+
 struct RegionHeader {
   // Atomic and written LAST by create() (release): the attach-side peek
   // waits on it before trusting any other header field.
   std::atomic<uint32_t> magic;
   uint32_t version;
   uint64_t abi_hash;  // layout fingerprint; attach refuses a mismatch
-  uint64_t base;      // creator's mapping address (the fixed-mapping contract)
-  uint64_t bytes;     // total region size
+  uint64_t base;      // creator's mapping address (RME_SHM_FIXED target)
+  uint64_t bytes;     // mapped VA span per process == growth ceiling
+  std::atomic<uint64_t> limit;     // current usable bytes == object size
   std::atomic<uint64_t> cursor;    // arena bump pointer (byte offset)
   std::atomic<uint64_t> root_off;  // offset of the root object (0 = none)
   uint64_t root_size;              // sizeof(root type): weak type check
   std::atomic<uint32_t> ready;     // creator publishes after construction
   int32_t nprocs;                  // logical pids the world was created for
   int32_t ring_slots;              // per-pid flag-ring size
+  std::atomic<uint32_t> grow_guard;  // FAS guard serialising growth
+  std::atomic<uint32_t> quiesce;     // set: admissions refused (compacting)
   uint32_t pad_;
+  char name[kNameMax];             // shm object name (grow hook reopens it)
+  SegDir segs;                     // growth history
+  std::atomic<uint32_t> attach_seq;  // total attaches (ledger cursor)
+  uint32_t pad2_;
+  std::atomic<uint64_t> attach_base[kAttachLedger];  // recent mapping bases
   uint64_t ring_off[kMaxProcs];    // per-pid flag-ring slot arrays
   PidSlot slots[kMaxProcs];        // the pid registry
   platform::WaitArena wait;        // per-pid futex wait words (FutexLot)
@@ -164,11 +220,23 @@ inline uint64_t name_hash(const std::string& s) {  // FNV-1a
 }
 
 // Name-derived mapping hint (2 MiB aligned) in a zone that is almost
-// always free under default Linux ASLR; deterministic, so the creator and
-// every attacher derive the same target independently of map timing.
+// always free under default Linux ASLR. Only the CREATOR uses it (for
+// deterministic layouts in debugging); since v5 it is a soft hint - the
+// kernel relocating it is fine, the recorded base is whatever mmap
+// returned. Attachers map kernel-chosen unless RME_SHM_MAP_HINT or
+// RME_SHM_FIXED says otherwise.
 inline void* map_hint(const std::string& name) {
   const uint64_t lane = name_hash(name) % (1ull << 16);
   return reinterpret_cast<void*>(0x5e00'0000'0000ull + (lane << 21));
+}
+
+// The attacher-side soft mapping hint: RME_SHM_MAP_HINT=<hex address>.
+// Tests set a different value per spawned process to force DISTINCT
+// attach bases and prove position independence.
+inline void* env_map_hint() {
+  const char* h = std::getenv("RME_SHM_MAP_HINT");
+  if (h == nullptr || *h == '\0') return nullptr;
+  return reinterpret_cast<void*>(std::strtoull(h, nullptr, 16));
 }
 
 // The process's kernel start time (/proc/<pid>/stat field 22, clock
@@ -251,11 +319,17 @@ class Region {
     if (unlink_) ::shm_unlink(name_.c_str());
   }
 
-  // Create a fresh region (fails if `name` exists). The header is
+  // Create a fresh region (fails if `name` exists). The backing object
+  // starts at `bytes`; the process maps a `max_bytes` VA span (default
+  // 8 x bytes) so the object can grow in place - extending the file
+  // instantly backs the span in every attached process. The header is
   // initialised but NOT published: the creator constructs its world/root
   // first, then ShmWorld publishes.
-  static Region create(const std::string& name, size_t bytes) {
+  static Region create(const std::string& name, size_t bytes,
+                       size_t max_bytes = 0) {
     RME_ASSERT(bytes >= sizeof(RegionHeader) + 4096, "Region: too small");
+    RME_ASSERT(name.size() < kNameMax, "Region: name too long");
+    if (max_bytes < bytes) max_bytes = bytes * 8;
     const int fd =
         ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
     if (fd < 0) {
@@ -268,7 +342,10 @@ class Region {
       ::shm_unlink(name.c_str());
       throw ShmError("ftruncate(" + name + "): " + std::strerror(e));
     }
-    void* base = ::mmap(map_hint(name), bytes, PROT_READ | PROT_WRITE,
+    // Map the full growth span; only the first `bytes` are backed yet
+    // (the limit word keeps the arena inside the backed prefix). The
+    // name-derived hint is soft: relocation is fine under offset links.
+    void* base = ::mmap(map_hint(name), max_bytes, PROT_READ | PROT_WRITE,
                         MAP_SHARED, fd, 0);
     ::close(fd);  // the mapping keeps the object alive
     if (base == MAP_FAILED) {
@@ -282,26 +359,38 @@ class Region {
     hdr->version = kVersion;
     hdr->abi_hash = abi_hash();
     hdr->base = reinterpret_cast<uint64_t>(base);
-    hdr->bytes = bytes;
+    hdr->bytes = max_bytes;
+    hdr->limit.store(bytes, std::memory_order_relaxed);
     hdr->cursor.store(payload_offset(), std::memory_order_relaxed);
+    std::snprintf(hdr->name, kNameMax, "%s", name.c_str());
+    hdr->segs.count.store(1, std::memory_order_relaxed);
+    hdr->segs.gen.store(1, std::memory_order_relaxed);
+    hdr->segs.hi[0].store(bytes, std::memory_order_relaxed);
+    hdr->attach_base[0].store(reinterpret_cast<uint64_t>(base),
+                              std::memory_order_relaxed);
+    hdr->attach_seq.store(1, std::memory_order_relaxed);
     // Magic last, release: an attacher's peek trusts the fields above
     // only after observing it.
     hdr->magic.store(kMagic, std::memory_order_release);
     Region r;
     r.name_ = name;
     r.base_ = base;
-    r.bytes_ = bytes;
+    r.bytes_ = max_bytes;
     r.creator_ = true;
     r.unlink_ = true;
     return r;
   }
 
-  // Attach to an existing region at ITS recorded base address (the
-  // fixed-address contract). Waits up to `publish_timeout_ms` for the
-  // creator to publish the constructed world - including the earlier
-  // windows where the object exists but is not yet sized (ftruncate
-  // pending: touching the pages would SIGBUS) or sized but its header
-  // not yet written (reading it would look like an ABI mismatch).
+  // Attach to an existing region at ANY base (attach-anywhere, v5): the
+  // kernel picks the address unless RME_SHM_MAP_HINT=<hex> suggests one
+  // (a soft hint - relocation is fine) or RME_SHM_FIXED=1 opts into the
+  // legacy fixed-address fast path (MAP_FIXED_NOREPLACE at the creator's
+  // recorded base, failing loudly when the address is busy). Waits up to
+  // `publish_timeout_ms` for the creator to publish the constructed
+  // world - including the earlier windows where the object exists but is
+  // not yet sized (ftruncate pending: touching the pages would SIGBUS)
+  // or sized but its header not yet written (reading it would look like
+  // an ABI mismatch).
   static Region attach(const std::string& name,
                        int publish_timeout_ms = 10000) {
     const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
@@ -345,42 +434,79 @@ class Region {
       }
       ::usleep(1000);
     }
-    if (ph->version != kVersion || ph->abi_hash != abi_hash()) {
+    if (ph->version != kVersion) {
+      const uint32_t got = ph->version;
       ::munmap(peek, sizeof(RegionHeader));
       ::close(fd);
-      throw ShmError("region " + name + ": version/ABI mismatch");
+      throw ShmError("region " + name + ": region ABI version " +
+                     std::to_string(got) + ", this build needs version " +
+                     std::to_string(kVersion) +
+                     " (position-independent links); recreate the region "
+                     "with a matching build - see README, 'Region ABI & "
+                     "migration'");
+    }
+    if (ph->abi_hash != abi_hash()) {
+      ::munmap(peek, sizeof(RegionHeader));
+      ::close(fd);
+      throw ShmError("region " + name + ": header-layout (ABI hash) " +
+                     "mismatch at version " + std::to_string(kVersion) +
+                     "; creator and attacher builds differ");
     }
     void* want = reinterpret_cast<void*>(ph->base);
-    const size_t bytes = ph->bytes;
+    const size_t bytes = ph->bytes;  // the full VA span, not the file size
     ::munmap(peek, sizeof(RegionHeader));
 
+    void* base = MAP_FAILED;
+    const bool fixed = std::getenv("RME_SHM_FIXED") != nullptr;
+    if (fixed) {
+      // Legacy fixed-address fast path: same base in every process, so
+      // absolute-pointer debugging tools line up. Failure is loud, never
+      // a silent relocation.
 #if defined(MAP_FIXED_NOREPLACE)
-    void* base = ::mmap(want, bytes, PROT_READ | PROT_WRITE,
-                        MAP_SHARED | MAP_FIXED_NOREPLACE, fd, 0);
+      base = ::mmap(want, bytes, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_FIXED_NOREPLACE, fd, 0);
 #else
-    void* base =
-        ::mmap(want, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
-    if (base != MAP_FAILED && base != want) {  // kernel relocated the hint
-      ::munmap(base, bytes);
-      base = MAP_FAILED;
-      errno = EEXIST;
-    }
+      base = ::mmap(want, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+      if (base != MAP_FAILED && base != want) {  // kernel relocated the hint
+        ::munmap(base, bytes);
+        base = MAP_FAILED;
+        errno = EEXIST;
+      }
 #endif
-    ::close(fd);
-    if (base == MAP_FAILED || base != want) {
-      if (base != MAP_FAILED) ::munmap(base, bytes);
-      throw ShmError("region " + name +
-                     ": fixed-address attach failed (address busy); "
-                     "the mapping contract requires the creator's base");
+      if (base == MAP_FAILED || base != want) {
+        if (base != MAP_FAILED) ::munmap(base, bytes);
+        ::close(fd);
+        throw ShmError("region " + name +
+                       ": fixed-address attach failed (address busy); "
+                       "RME_SHM_FIXED=1 requires the creator's base");
+      }
+    } else {
+      // Attach-anywhere: kernel-chosen, or the RME_SHM_MAP_HINT soft
+      // hint. Either way the offset links make the mapping position
+      // independent.
+      base = ::mmap(env_map_hint(), bytes, PROT_READ | PROT_WRITE,
+                    MAP_SHARED, fd, 0);
+      if (base == MAP_FAILED) {
+        const int e = errno;
+        ::close(fd);
+        throw ShmError("mmap(attach " + name + "): " + std::strerror(e));
+      }
     }
+    ::close(fd);
     Region r;
     r.name_ = name;
     r.base_ = base;
     r.bytes_ = bytes;
     r.creator_ = false;
     r.unlink_ = false;
-    // Wait for the creator to publish the constructed world.
+    // Record this mapping in the attach-base ledger (diagnostics; tests
+    // assert processes really did land at distinct bases).
     auto* hdr = static_cast<RegionHeader*>(base);
+    const uint32_t seq =
+        hdr->attach_seq.fetch_add(1, std::memory_order_relaxed);
+    hdr->attach_base[seq % kAttachLedger].store(
+        reinterpret_cast<uint64_t>(base), std::memory_order_relaxed);
+    // Wait for the creator to publish the constructed world.
     for (int waited = 0; hdr->ready.load(std::memory_order_acquire) == 0;
          waited += 1) {
       if (waited >= publish_timeout_ms) {
@@ -393,7 +519,12 @@ class Region {
 
   RegionHeader* header() const { return static_cast<RegionHeader*>(base_); }
   char* base() const { return static_cast<char*>(base_); }
+  // The mapped VA span (== the growth ceiling).
   size_t bytes() const { return bytes_; }
+  // The currently usable (file-backed) byte count.
+  uint64_t limit() const {
+    return header()->limit.load(std::memory_order_acquire);
+  }
   bool creator() const { return creator_; }
   const std::string& name() const { return name_; }
 
@@ -477,8 +608,12 @@ class RoRegion {
       ::usleep(1000);
     }
     if (hdr->version != kVersion || hdr->abi_hash != abi_hash()) {
+      const uint32_t got = hdr->version;
       ::munmap(base, bytes);
-      throw ShmError("region " + name + ": version/ABI mismatch");
+      throw ShmError("region " + name + ": region ABI version " +
+                     std::to_string(got) + ", this build needs version " +
+                     std::to_string(kVersion) + "; recreate the region "
+                     "with a matching build");
     }
     RoRegion r;
     r.name_ = name;
@@ -500,5 +635,190 @@ class RoRegion {
   void* base_ = nullptr;
   size_t bytes_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Growth. The platform::arena_grow_hook target (ShmWorld registers it):
+// extend the backing object until the dynamic limit covers `need` bytes,
+// within the pre-mapped VA span. Growth is ftruncate-only - every
+// attached process mapped the full span at attach time, so the new pages
+// appear everywhere at once with no remap and no notification; the
+// release-store of the limit word is the only publication needed.
+//
+// Serialisation is a FAS guard (grow_guard), matching the registry's
+// instruction discipline. A process SIGKILL'd while holding the guard
+// decays growth for everyone (bounded wait below, then clean refusal) -
+// capacity decay, the same failure mode as a full retired list, never
+// corruption: the guard holder's partial work (an oversized file, an
+// unpublished segment entry) is idempotently redone by the next grower.
+// ---------------------------------------------------------------------------
+inline bool region_grow(char* region_base, uint64_t need) {
+  auto* hdr = reinterpret_cast<RegionHeader*>(region_base);
+  if (hdr->magic.load(std::memory_order_acquire) != kMagic) return false;
+  if (hdr->quiesce.load(std::memory_order_acquire) != 0) return false;
+  int waited = 0;
+  for (;;) {
+    const uint64_t cur = hdr->limit.load(std::memory_order_acquire);
+    if (cur >= need) return true;  // a rival already grew past `need`
+    if (need > hdr->bytes) return false;  // beyond the mapped span
+    if (hdr->grow_guard.exchange(1, std::memory_order_acq_rel) != 0) {
+      // A rival is mid-grow. Bounded wait (~2s): if the guard never
+      // drops (its holder was killed inside the window), refuse cleanly
+      // rather than spin forever.
+      if (waited++ >= 20000) return false;
+      ::usleep(100);
+      continue;
+    }
+    // Guard held: recheck, size the step, extend, publish, drop.
+    const uint64_t at = hdr->limit.load(std::memory_order_relaxed);
+    if (at >= need) {
+      hdr->grow_guard.store(0, std::memory_order_release);
+      return true;
+    }
+    uint64_t next = at * 2;  // doubling keeps growth O(log span) steps
+    if (next < need) next = need;
+    next = (next + ((1u << 20) - 1)) & ~uint64_t{(1u << 20) - 1};
+    if (next > hdr->bytes) next = hdr->bytes;
+    const uint32_t slot = hdr->segs.count.load(std::memory_order_relaxed);
+    if (next < need || slot >= static_cast<uint32_t>(kMaxSegs)) {
+      hdr->grow_guard.store(0, std::memory_order_release);
+      return false;  // span ceiling or directory full: clean refusal
+    }
+    const int fd = ::shm_open(hdr->name, O_RDWR, 0600);
+    if (fd < 0) {
+      hdr->grow_guard.store(0, std::memory_order_release);
+      return false;
+    }
+    const int rc = ::ftruncate(fd, static_cast<off_t>(next));
+    ::close(fd);
+    if (rc != 0) {
+      hdr->grow_guard.store(0, std::memory_order_release);
+      return false;
+    }
+    hdr->segs.hi[slot].store(next, std::memory_order_release);
+    hdr->segs.count.store(slot + 1, std::memory_order_release);
+    hdr->segs.gen.fetch_add(1, std::memory_order_acq_rel);
+    // The limit release-store is the publication point: an allocator's
+    // acquire load of it sees the extended object.
+    hdr->limit.store(next, std::memory_order_release);
+    hdr->grow_guard.store(0, std::memory_order_release);
+    return true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quiesce-and-compact. Drains sessions via the quiesce word (ShmWorld::
+// claim refuses admissions while it is set, so the registry empties as
+// live sessions release), copies the live prefix [0, cursor) verbatim
+// into a fresh shm object trimmed to the live size, resets the segment
+// directory, and republishes by renaming the /dev/shm entry over the old
+// name - atomic on Linux. Stale handles keep their old mapping, whose
+// quiesce word stays set FOREVER: their next claim throws and the owner
+// re-attaches by name, landing on the compacted object.
+//
+// Correctness leans on two properties: (1) every in-region link is
+// self-relative, so a verbatim prefix copy preserves all of them; (2) at
+// quiescence nobody writes the region (claims are refused, all slots are
+// kFree), so the copy is a consistent snapshot. Telemetry rows are part
+// of the prefix, so obs counters are monotone across the pass by
+// construction.
+// ---------------------------------------------------------------------------
+struct CompactReport {
+  uint64_t old_limit = 0;   // usable bytes before
+  uint64_t new_limit = 0;   // usable bytes after (== live size, rounded)
+  uint64_t live_bytes = 0;  // arena cursor at the pass
+  uint64_t seg_gen = 0;     // segment-directory generation after
+};
+
+inline CompactReport compact_region(const std::string& name,
+                                    int drain_timeout_ms = 10000) {
+  Region r = Region::attach(name);
+  RegionHeader* hdr = r.header();
+  // Close admissions. seq_cst pairs with claim()'s post-FAS recheck: any
+  // claim that slipped past this store backs itself out, so once every
+  // slot reads kFree below, no new session can appear.
+  hdr->quiesce.store(1, std::memory_order_seq_cst);
+  int waited = 0;
+  for (;;) {
+    bool busy = false;
+    for (int p = 0; p < hdr->nprocs; ++p) {
+      if (hdr->slots[p].state.load(std::memory_order_seq_cst) !=
+          PidSlot::kFree) {
+        busy = true;
+        break;
+      }
+    }
+    if (!busy) break;
+    if (waited++ >= drain_timeout_ms) {
+      hdr->quiesce.store(0, std::memory_order_release);  // reopen, give up
+      throw ShmError("region " + name +
+                     ": sessions never drained for compact");
+    }
+    ::usleep(1000);
+  }
+
+  CompactReport rep;
+  rep.old_limit = hdr->limit.load(std::memory_order_acquire);
+  rep.live_bytes = hdr->cursor.load(std::memory_order_acquire);
+  // Trim to the live prefix plus a little slack, 1 MiB-rounded, and
+  // never above the span (the copy keeps the same growth ceiling).
+  uint64_t new_limit = rep.live_bytes + (64u << 10);
+  new_limit = (new_limit + ((1u << 20) - 1)) & ~uint64_t{(1u << 20) - 1};
+  if (new_limit > hdr->bytes) new_limit = hdr->bytes;
+
+  const std::string tmp = name + ".cmp";
+  ::shm_unlink(tmp.c_str());  // stale leftover from a crashed pass
+  const int fd = ::shm_open(tmp.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) {
+    hdr->quiesce.store(0, std::memory_order_release);
+    throw ShmError("shm_open(compact " + name + "): " +
+                   std::strerror(errno));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(new_limit)) != 0) {
+    const int e = errno;
+    ::close(fd);
+    ::shm_unlink(tmp.c_str());
+    hdr->quiesce.store(0, std::memory_order_release);
+    throw ShmError("ftruncate(compact " + name + "): " + std::strerror(e));
+  }
+  void* nb = ::mmap(nullptr, new_limit, PROT_READ | PROT_WRITE, MAP_SHARED,
+                    fd, 0);
+  ::close(fd);
+  if (nb == MAP_FAILED) {
+    ::shm_unlink(tmp.c_str());
+    hdr->quiesce.store(0, std::memory_order_release);
+    throw ShmError("mmap(compact " + name + "): " + std::strerror(errno));
+  }
+  // The verbatim prefix copy: header + every live arena object, offset
+  // links and telemetry included.
+  std::memcpy(nb, r.base(), rep.live_bytes);
+  auto* nh = static_cast<RegionHeader*>(nb);
+  nh->limit.store(new_limit, std::memory_order_relaxed);
+  nh->grow_guard.store(0, std::memory_order_relaxed);
+  nh->segs.count.store(1, std::memory_order_relaxed);
+  nh->segs.hi[0].store(new_limit, std::memory_order_relaxed);
+  for (int s = 1; s < kMaxSegs; ++s) {
+    nh->segs.hi[s].store(0, std::memory_order_relaxed);
+  }
+  rep.seg_gen = hdr->segs.gen.load(std::memory_order_relaxed) + 1;
+  nh->segs.gen.store(rep.seg_gen, std::memory_order_relaxed);
+  // Reopen admissions in the NEW object only; the old one stays quiesced
+  // forever so stale handles are turned away.
+  nh->quiesce.store(0, std::memory_order_release);
+  ::munmap(nb, new_limit);
+
+  // Republish: atomically point the name at the compacted object. POSIX
+  // shm names live in /dev/shm on Linux; rename(2) there is the atomic
+  // swing. (Non-Linux shm backends would need a different republish.)
+  const std::string from = "/dev/shm" + tmp;
+  const std::string to = "/dev/shm" + name;
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    const int e = errno;
+    ::shm_unlink(tmp.c_str());
+    hdr->quiesce.store(0, std::memory_order_release);
+    throw ShmError("rename(compact " + name + "): " + std::strerror(e));
+  }
+  rep.new_limit = new_limit;
+  return rep;
+}
 
 }  // namespace rme::shm

@@ -10,10 +10,11 @@
 //             via create_root<T>(...) (which publishes the world; from
 //             then on attachers proceed).
 //
-//   attacher  ShmWorld::attach(name) - maps the region at the creator's
-//             base (fixed-address contract, shm/region.hpp), re-binds the
-//             arena, and uses root<T>() to reach the same lock objects by
-//             the same addresses.
+//   attacher  ShmWorld::attach(name) - maps the region at ANY base
+//             (attach-anywhere contract, shm/region.hpp: all in-region
+//             links are self-relative), re-binds the arena, and uses
+//             root<T>() to reach the same lock objects through its own
+//             mapping.
 //
 // Identity & the epoch fence: before driving a logical pid, a process
 // claims that pid's registry slot (claim(pid) - FAS claim, or a verified
@@ -162,6 +163,16 @@ class ShmWorld {
     }
   }
 
+  // Test knob: disable (or re-enable) growth for THIS handle's arena, so
+  // exhaustion refuses cleanly at the current limit instead of extending
+  // the region (the pre-v5 behaviour; ArenaExhaustionRefusesCleanly pins
+  // it). Affects allocations made through this handle from now on - set
+  // it before constructing roots whose pools snapshot the arena.
+  // RME_NO_GROW disables growth process-wide regardless.
+  void set_grow_enabled(bool on) {
+    env.arena.grow = on && std::getenv("RME_NO_GROW") == nullptr;
+  }
+
   // ------------------------------------------------------------------
   // Root object: the lock state shared by every process.
   // ------------------------------------------------------------------
@@ -204,10 +215,28 @@ class ShmWorld {
   Identity claim(int pid) {
     check_pid(pid);
     PidSlot& s = slot(pid);
+    RegionHeader* hdr = region_.header();
+    // Admission gate for compaction: a quiesced region takes no new
+    // sessions. Stale handles of a COMPACTED region see this forever
+    // (the old object keeps quiesce=1) - re-attach by name to land on
+    // the republished region.
+    if (hdr->quiesce.load(std::memory_order_seq_cst) != 0) {
+      throw ShmError("region " + region_.name() +
+                     " is quiesced for compaction; re-attach and retry");
+    }
     const int64_t me = static_cast<int64_t>(::getpid());
     const uint32_t prev = s.state.exchange(PidSlot::kClaimed,
                                            std::memory_order_acq_rel);  // FAS
     if (prev == PidSlot::kFree) {
+      // Post-FAS recheck closes the race with a compactor that set
+      // quiesce between our gate check and the FAS: back the claim out
+      // so the compactor's drain (which scans for all-kFree with
+      // seq_cst) cannot miss us occupying a slot it already passed.
+      if (hdr->quiesce.load(std::memory_order_seq_cst) != 0) {
+        s.state.store(PidSlot::kFree, std::memory_order_release);
+        throw ShmError("region " + region_.name() +
+                       " is quiesced for compaction; re-attach and retry");
+      }
       // Exclusive: we flipped free->claimed. Epoch writes are single-
       // writer under slot ownership (reads+writes only, no RMW needed).
       // Start time BEFORE os_pid: an observer must never pair the new
@@ -327,7 +356,12 @@ class ShmWorld {
     RegionHeader* hdr = region_.header();
     env.arena.cursor = &hdr->cursor;
     env.arena.base = region_.base();
-    env.arena.limit = region_.bytes();
+    env.arena.limit = region_.bytes();  // static ceiling: the VA span
+    env.arena.limit_word = &hdr->limit;
+    env.arena.grow = std::getenv("RME_NO_GROW") == nullptr;
+    // The process-global grow hook (platform code cannot name the shm
+    // layer). Idempotent: every world installs the same function.
+    platform::arena_grow_hook() = &region_grow;
     procs_.resize(kMaxProcs);
     no_futex_ = std::getenv("RME_NO_FUTEX") != nullptr;
   }

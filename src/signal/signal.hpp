@@ -39,6 +39,7 @@
 
 #include "nvm/flag_ring.hpp"
 #include "platform/platform.hpp"
+#include "shm/offptr.hpp"
 
 namespace rme::signal {
 
@@ -110,7 +111,10 @@ class Signal {
 
  private:
   typename P::template Atomic<int> bit_;
-  typename P::template Atomic<nvm::GoFlag<P>*> go_slot_;
+  // GoAddr is a cross-process link (the waiter's spin cell lives in the
+  // waiter's flag ring, inside the region): self-relative so the setter
+  // decodes it at its own attach base.
+  shm::AtomicRef<P, nvm::GoFlag<P>> go_slot_;
   typename P::template Atomic<uint64_t> go_tag_;
 };
 

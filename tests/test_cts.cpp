@@ -68,6 +68,7 @@ TEST(Arms, ParseRoundTrip) {
             kKillStorm | kPidReuse);
   EXPECT_EQ(parse_arms("overload,clock_skew"),
             kOverload | kClockSkew);
+  EXPECT_EQ(parse_arms("grow_storm"), kGrowStorm);
   EXPECT_EQ(parse_arms("bogus"), 0u);
   EXPECT_EQ(parse_arms("kill_storm+bogus"), 0u);
   EXPECT_EQ(parse_arms(arms_to_string(kRestartFlood | kRegionPressure)),
@@ -149,6 +150,24 @@ TEST(Soak, ShortCleanSoakFindsNothing) {
   EXPECT_NE(j.find("\"seed\": 4242"), std::string::npos);
   EXPECT_NE(j.find("\"anomalies\": 0"), std::string::npos);
   EXPECT_TRUE(rep.failure_lines().empty());
+}
+
+TEST(Soak, GrowStormAuditsSegmentDirectoryUnderKills) {
+  if (!have_worker()) GTEST_SKIP() << "shm_worker path not configured";
+  // Growth under kill storms: rival grow-run workers overflow a scratch
+  // region while one dies mid-grow; the arm's quiescent audit (strictly
+  // increasing segment directory, last hi == limit == file size) must
+  // come back clean every round.
+  SoakOptions o = base_options(31337);
+  o.arms = kGrowStorm;
+  o.region = "/rme_cts_grow_" + std::to_string(::getpid());
+  Soak soak(o);
+  const SoakReport rep = soak.run();
+  EXPECT_TRUE(rep.ok()) << (rep.anomalies.empty()
+                                ? std::string("?")
+                                : rep.anomalies.front());
+  EXPECT_EQ(rep.rounds_run, 2);
+  EXPECT_GE(rep.kills, 2u);  // one struck grower per round
 }
 
 TEST(Soak, CheckerTeethFaultIsCaughtAndReproducible) {

@@ -8,6 +8,7 @@
 #include "harness/world.hpp"
 #include "nvm/flag_ring.hpp"
 #include "nvm/qsbr_pool.hpp"
+#include "shm/offptr.hpp"
 
 namespace {
 
@@ -135,7 +136,7 @@ TEST(QsbrPool, ActivePortBlocksReclamation) {
 TEST(QsbrPool, TailProbeDefersReclamationOfTheTailNode) {
   CountedWorld w(ModelKind::kCc, 1);
   nvm::QsbrPool<Item, P> pool(w.env, 1, /*recycle=*/true);
-  typename P::Atomic<Item*> tail;
+  shm::AtomicRef<P, Item> tail;
   tail.attach(w.env, rmr::kNoOwner);
   pool.set_tail_probe(&tail);
   auto& ctx = w.proc(0).ctx;

@@ -1,0 +1,382 @@
+// The cross-ABI battery pinning the attach-anywhere contract (region ABI
+// v5): every in-region link is a self-relative offset (shm/offptr.hpp),
+// so processes attached at DIFFERENT bases share one lock state. The
+// tests force mismatched bases deliberately - each spawned worker gets
+// its own far-apart RME_SHM_MAP_HINT - and then drive the same loads the
+// fixed-address matrix (test_shm_fork.cpp) proves: contention, SIGKILL
+// inside the CS, epoch-fenced recovery, parked futex handoff. The
+// attach-base ledger in the region header is the witness that the bases
+// really differed (a soft hint could theoretically be relocated; the
+// ledger turns "should differ" into an assertion).
+//
+// Also here: the loud refusals the new contract demands - an old-ABI
+// region is rejected with a versioned message, the opt-in RME_SHM_FIXED
+// fast path still fails loudly on a busy address - and the quiesce-and-
+// compact pass under a LIVE rival process (zero lost grants, telemetry
+// monotone across the republish).
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "api/api.hpp"
+#include "harness/fork_scenario.hpp"
+#include "obs/obs.hpp"
+#include "shm/shm.hpp"
+#include "svc/svc.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using rme::harness::ForkScenario;
+using rme::harness::MapHint;
+using rme::harness::ShmKillFixture;
+using rme::harness::Stage;
+using rme::platform::Real;
+using rme::shm::ShmError;
+using rme::shm::ShmWorld;
+using Table = rme::api::TableLock<Real>;
+using Fixture = ShmKillFixture<Table>;
+using Lease = rme::shm::SessionLease<Table>;
+
+#ifndef RME_SHM_WORKER_PATH
+#define RME_SHM_WORKER_PATH ""
+#endif
+
+constexpr int kShards = 4;
+constexpr int kPortsPerShard = 2;
+constexpr int kNpids = 8;
+constexpr int kWorkerPid = 0;
+constexpr int kObserverPid = 7;  // never claimed: observer ctx only
+
+// Two far-apart VA zones. Soft hints, but with a 32 MB region and a
+// multi-GB gap the kernel has no reason to relocate either.
+constexpr uint64_t kZoneA = 0x510000000000ull;
+constexpr uint64_t kZoneB = 0x610000000000ull;
+
+std::string unique_name(const char* tag) {
+  static std::atomic<int> counter{0};
+  return std::string("/rme_o_") + tag + "_" + std::to_string(::getpid()) +
+         "_" + std::to_string(counter.fetch_add(1));
+}
+
+std::string worker_path() { return RME_SHM_WORKER_PATH; }
+
+struct OffsetWorld {
+  ShmWorld world;
+  Fixture& fx;
+
+  explicit OffsetWorld(const std::string& name)
+      : world(ShmWorld::create(name, 32 << 20, kNpids)),
+        fx(world.create_root<Fixture>(world.env, kShards, kPortsPerShard,
+                                      kNpids)) {}
+
+  void audit_clean() {
+    auto& ctx = world.proc(kObserverPid).ctx;
+    auto& t = fx.table.underlying();
+    for (int s = 0; s < t.shards(); ++s) {
+      EXPECT_EQ(t.shard_lease(s).free_ports(ctx), kPortsPerShard)
+          << "leaked lease in shard " << s;
+      EXPECT_EQ(fx.probes[s].collisions.load(), 0u)
+          << "ME violation witnessed in shard " << s;
+    }
+  }
+
+  // The ledger's distinct recorded attach bases (creator's included).
+  std::set<uint64_t> ledger_bases() {
+    const rme::shm::RegionHeader* h = world.region().header();
+    std::set<uint64_t> bases;
+    for (int i = 0; i < rme::shm::kAttachLedger; ++i) {
+      const uint64_t b = h->attach_base[i].load(std::memory_order_relaxed);
+      if (b != 0) bases.insert(b);
+    }
+    return bases;
+  }
+};
+
+class ShmOffsetsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (worker_path().empty()) {
+      GTEST_SKIP() << "shm_worker binary path not configured";
+    }
+  }
+};
+
+TEST_F(ShmOffsetsTest, TwoProcessesAtDifferentBasesContend) {
+  OffsetWorld m(unique_name("contend"));
+  ForkScenario fs;
+  const std::string key = "33";
+  int c1 = -1, c2 = -1;
+  {
+    MapHint hint(kZoneA);
+    c1 = fs.spawn(worker_path(),
+                  {m.world.region().name(), "0", "run", "50", key});
+  }
+  {
+    MapHint hint(kZoneB);
+    c2 = fs.spawn(worker_path(),
+                  {m.world.region().name(), "1", "run", "50", key});
+  }
+  EXPECT_TRUE(fs.exited_clean(c1));
+  EXPECT_TRUE(fs.exited_clean(c2));
+  const int shard = m.fx.table.shard_for_key(33);
+  EXPECT_EQ(m.fx.probes[shard].entries.load(), 100u);
+  EXPECT_EQ(m.fx.probes[shard].collisions.load(), 0u);
+  // The ledger proves the contention really crossed bases: creator plus
+  // two workers is at least three distinct mapped addresses.
+  EXPECT_GE(m.ledger_bases().size(), 3u);
+  m.audit_clean();
+}
+
+TEST_F(ShmOffsetsTest, KillInsideCsRecoversAcrossMismatchedBases) {
+  // The CSR kill case with the recovering incarnation at a DIFFERENT
+  // base than the one that died: the persisted queue node, lease and
+  // intent state it replays were written relative to zone A, and the
+  // offset links must resolve them correctly from zone B.
+  OffsetWorld m(unique_name("kill"));
+  ForkScenario fs;
+  const uint64_t key = 33;
+  const int shard = m.fx.table.shard_for_key(key);
+  int c = -1;
+  {
+    MapHint hint(kZoneA);
+    c = fs.spawn(worker_path(), {m.world.region().name(), "0", "freeze-cs",
+                                 std::to_string(key)});
+  }
+  ASSERT_TRUE(m.fx.board.await(kWorkerPid, Stage::kInCs));
+  fs.kill_child(c);
+  EXPECT_TRUE(fs.died_by(c, SIGKILL));
+  // The corpse owns the CS; the probe still claims it.
+  EXPECT_EQ(m.fx.probes[shard].owner.load(), 1u);
+
+  int r = -1;
+  {
+    MapHint hint(kZoneB);
+    r = fs.spawn(worker_path(), {m.world.region().name(), "0", "recover-run",
+                                 "5", std::to_string(key)});
+  }
+  ASSERT_TRUE(m.fx.board.await(kWorkerPid, Stage::kDone));
+  EXPECT_TRUE(fs.exited_clean(r));  // exit 4 = CSR audit failed, 5 = no
+                                    // takeover - both fail here
+  EXPECT_EQ(m.world.slot_epoch(kWorkerPid), 2u);
+  EXPECT_EQ(m.fx.probes[shard].entries.load(), 6u);  // 1 killed + 5 recovered
+  EXPECT_GE(m.ledger_bases().size(), 3u);
+  m.audit_clean();
+}
+
+TEST_F(ShmOffsetsTest, BatchReplayAcrossMismatchedBases) {
+  // Multi-shard batch intent persisted at base A, replayed from base B.
+  OffsetWorld m(unique_name("batch"));
+  ForkScenario fs;
+  const uint64_t k1 = 11;
+  uint64_t k2 = 12;
+  while (m.fx.table.shard_for_key(k2) == m.fx.table.shard_for_key(k1)) ++k2;
+  int c = -1;
+  {
+    MapHint hint(kZoneA);
+    c = fs.spawn(worker_path(),
+                 {m.world.region().name(), "0", "freeze-batch",
+                  std::to_string(k1), std::to_string(k2)});
+  }
+  ASSERT_TRUE(m.fx.board.await(kWorkerPid, Stage::kBatchHeld));
+  fs.kill_child(c);
+  EXPECT_TRUE(fs.died_by(c, SIGKILL));
+  int r = -1;
+  {
+    MapHint hint(kZoneB);
+    r = fs.spawn(worker_path(),
+                 {m.world.region().name(), "0", "recover-run", "3",
+                  std::to_string(k1), std::to_string(k2)});
+  }
+  ASSERT_TRUE(m.fx.board.await(kWorkerPid, Stage::kDone));
+  EXPECT_TRUE(fs.exited_clean(r));
+  m.audit_clean();
+}
+
+TEST_F(ShmOffsetsTest, ParkedHandoffAcrossMismatchedBases) {
+  // Futex parking keys are region OFFSETS (FutexLot::key_of), so a
+  // releaser at one base wakes a waiter parked at another. Zero timeout
+  // wakes proves every wake-up was a targeted cross-base grant.
+  OffsetWorld m(unique_name("park"));
+  rme::platform::ParkingLot* lot = m.world.park_lot();
+  if (lot == nullptr) GTEST_SKIP() << "no futex lot on this build/host";
+
+  const uint64_t key = 33;
+  rme::platform::ParkPolicy::Options opts;
+  opts.spin_limit = 4;
+  opts.yield_limit = 8;
+  opts.min_park = 2s;
+  opts.max_park = 2s;
+  rme::platform::ParkPolicy policy(opts);
+  Lease holder(m.world, m.fx.table, 6, &policy);
+  auto g = holder->acquire(key).value();
+
+  const uint64_t grants0 = lot->grants();
+  const uint64_t timeouts0 = lot->timeouts();
+
+  ForkScenario fs;
+  int a = -1, b = -1;
+  {
+    MapHint hint(kZoneA);
+    a = fs.spawn(worker_path(), {m.world.region().name(), "0",
+                                 "park-acquire", std::to_string(key)});
+  }
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (lot->parked_count() != 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "A never parked";
+    std::this_thread::sleep_for(200us);
+  }
+  {
+    MapHint hint(kZoneB);
+    b = fs.spawn(worker_path(), {m.world.region().name(), "1",
+                                 "park-acquire", std::to_string(key)});
+  }
+  while (lot->parked_count() != 2) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "B never parked";
+    std::this_thread::sleep_for(200us);
+  }
+
+  g.release();
+  ASSERT_TRUE(m.fx.board.await(0, Stage::kDone));
+  ASSERT_TRUE(m.fx.board.await(1, Stage::kDone));
+  EXPECT_TRUE(fs.exited_clean(a));
+  EXPECT_TRUE(fs.exited_clean(b));
+
+  EXPECT_EQ(lot->grants() - grants0, 2u);
+  EXPECT_EQ(lot->timeouts() - timeouts0, 0u);
+  EXPECT_EQ(lot->parked_count(), 0u);
+  EXPECT_LE(holder->stats().handoff_rmrs, holder->stats().releases);
+  EXPECT_GE(m.ledger_bases().size(), 3u);
+  m.audit_clean();
+}
+
+TEST(ShmOffsets, OldAbiRegionRefusedWithVersionedError) {
+  // Hand-craft a v4-era header in a raw shm object: attach must refuse
+  // with a message naming BOTH versions and the migration pointer, not
+  // crash into a layout it cannot trust.
+  const std::string name = unique_name("oldabi");
+  const int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  ASSERT_GE(fd, 0);
+  const size_t bytes = sizeof(rme::shm::RegionHeader) + (1u << 16);
+  ASSERT_EQ(::ftruncate(fd, static_cast<off_t>(bytes)), 0);
+  void* base =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ASSERT_NE(base, MAP_FAILED);
+  ::close(fd);
+  auto* hdr = new (base) rme::shm::RegionHeader();
+  hdr->version = 4;  // the fixed-address ABI this build retired
+  hdr->abi_hash = rme::shm::abi_hash();
+  hdr->bytes = bytes;
+  hdr->ready.store(1, std::memory_order_release);
+  hdr->magic.store(rme::shm::kMagic, std::memory_order_release);
+  try {
+    ShmWorld::attach(name);
+    FAIL() << "old-ABI attach must throw";
+  } catch (const ShmError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("version 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("Region ABI & migration"), std::string::npos) << what;
+  }
+  ::munmap(base, bytes);
+  ::shm_unlink(name.c_str());
+}
+
+TEST_F(ShmOffsetsTest, CompactUnderLiveRivalLosesNothing) {
+  // Quiesce-and-compact with a LIVE rival process bursting passages the
+  // whole time: the rival rides out the drain (its claim throws, it
+  // re-attaches by name, lands on the republished object) and completes
+  // every passage; obs counters stay monotone across the republish;
+  // the region shrinks back after forced growth.
+  const std::string name = unique_name("compact");
+  OffsetWorld* m = new OffsetWorld(name);
+  // Force growth so the compact pass has something to reclaim: a 48 MB
+  // allocation overflows the 32 MB initial limit, and the doubling grow
+  // lands the new limit well past the bump cursor - that gap is the
+  // reclaimable tail.
+  const uint64_t limit0 =
+      m->world.region().header()->limit.load(std::memory_order_acquire);
+  ASSERT_NE(m->world.env.arena.try_allocate(48u << 20, 64), nullptr);
+  const uint64_t grown =
+      m->world.region().header()->limit.load(std::memory_order_acquire);
+  ASSERT_GT(grown, limit0);
+
+  constexpr int kTotal = 200;
+  ForkScenario fs;
+  int rival = -1;
+  {
+    MapHint hint(kZoneA);
+    rival = fs.spawn(worker_path(), {name, "1", "compact-rival",
+                                     std::to_string(kTotal), "33"});
+  }
+  std::this_thread::sleep_for(30ms);  // let the rival get going
+
+  const rme::obs::Snapshot before =
+      rme::obs::Snapshot::read(m->world.region().header()->metrics, kNpids);
+
+  // The parent's own handle holds no claims, so the drain only waits for
+  // the rival's burst gaps.
+  const rme::shm::CompactReport rep = rme::shm::compact_region(name);
+  EXPECT_EQ(rep.old_limit, grown);
+  EXPECT_LT(rep.new_limit, grown);
+  EXPECT_GE(rep.new_limit, rep.live_bytes);
+
+  // The parent's old mapping is a stale handle now: re-attach by name to
+  // the republished object, like any rival would.
+  auto world2 = ShmWorld::attach(name);
+  Fixture& fx2 = world2.root<Fixture>();
+  ASSERT_TRUE(fx2.board.await(1, Stage::kDone));
+  EXPECT_TRUE(fs.exited_clean(rival));
+
+  // Zero lost grants: every passage the rival booked is witnessed.
+  const int shard = fx2.table.shard_for_key(33);
+  EXPECT_EQ(fx2.probes[shard].entries.load(),
+            static_cast<uint64_t>(kTotal));
+  EXPECT_EQ(fx2.probes[shard].collisions.load(), 0u);
+
+  // Telemetry rode the prefix copy: per-row counters are monotone across
+  // the republish, and the handoff invariant holds on the far side.
+  const rme::obs::Snapshot after =
+      rme::obs::Snapshot::read(world2.region().header()->metrics, kNpids);
+  uint64_t releases = 0, handoffs = 0;
+  for (int p = 0; p < kNpids; ++p) {
+    for (int ctr = 0; ctr < rme::obs::kCounterCount; ++ctr) {
+      EXPECT_GE(after.row[p].counter[ctr], before.row[p].counter[ctr])
+          << "pid " << p << " counter " << ctr;
+    }
+    releases += after.row[p].counter[rme::obs::kReleases];
+    handoffs += after.row[p].counter[rme::obs::kHandoffRmrs];
+  }
+  EXPECT_LE(handoffs, releases);
+
+  // The new object's segment directory restarted at one trimmed segment.
+  const rme::shm::RegionHeader* h2 = world2.region().header();
+  EXPECT_EQ(h2->segs.count.load(std::memory_order_acquire), 1u);
+  EXPECT_EQ(h2->segs.hi[0].load(std::memory_order_acquire), rep.new_limit);
+  EXPECT_EQ(h2->segs.gen.load(std::memory_order_acquire), rep.seg_gen);
+  EXPECT_EQ(h2->quiesce.load(std::memory_order_acquire), 0u);
+
+  // The stale handle refuses new sessions with the re-attach message.
+  try {
+    (void)m->world.claim(2);
+    ADD_FAILURE() << "stale handle's claim must throw";
+  } catch (const ShmError& e) {
+    EXPECT_NE(std::string(e.what()).find("re-attach"), std::string::npos);
+  }
+  // Destroying the creator handle last keeps its (now anonymous) old
+  // mapping alive through the audits above; its unlink-on-destroy names
+  // the COMPACTED object, which is exactly the cleanup we want.
+  delete m;
+}
+
+}  // namespace

@@ -133,12 +133,22 @@ TEST_F(ShmParkTest, ParkFairnessGrantsInQueueOrderOneWakePerRelease) {
   // Two waiter processes queue behind the held lock IN ORDER: A is
   // confirmed parked (asleep on its in-region wait word) before B even
   // starts, so A precedes B in the lock queue.
+  // The waiters attach at deliberately DIFFERENT bases (far-apart map
+  // hints): park keys are region offsets, so the parent's release must
+  // still target each waiter's wait word across the mismatch.
   ForkScenario fs;
-  const int a = fs.spawn(worker_path(), {m.world.region().name(), "0",
-                                         "park-acquire", std::to_string(key)});
+  int a = -1, b = -1;
+  {
+    rme::harness::MapHint hint(0x510000000000ull);
+    a = fs.spawn(worker_path(), {m.world.region().name(), "0",
+                                 "park-acquire", std::to_string(key)});
+  }
   ASSERT_TRUE(await_parked(lot, 1)) << "waiter A never parked";
-  const int b = fs.spawn(worker_path(), {m.world.region().name(), "1",
-                                         "park-acquire", std::to_string(key)});
+  {
+    rme::harness::MapHint hint(0x610000000000ull);
+    b = fs.spawn(worker_path(), {m.world.region().name(), "1",
+                                 "park-acquire", std::to_string(key)});
+  }
   ASSERT_TRUE(await_parked(lot, 2)) << "waiter B never parked";
 
   // One release: the chain drains itself - the parent's release wakes
@@ -182,8 +192,12 @@ TEST_F(ShmParkTest, KillWhileParkedWakesHarmlesslyAndSuccessorRecovers) {
   // A parks behind the held lock, then dies there. Its wait word stays
   // published - the corpse looks parked until its slot is taken over.
   ForkScenario fs;
-  const int a = fs.spawn(worker_path(), {m.world.region().name(), "0",
-                                         "park-acquire", std::to_string(key)});
+  int a = -1;
+  {
+    rme::harness::MapHint hint(0x510000000000ull);
+    a = fs.spawn(worker_path(), {m.world.region().name(), "0",
+                                 "park-acquire", std::to_string(key)});
+  }
   ASSERT_TRUE(await_parked(lot, 1)) << "waiter never parked";
   fs.kill_child(a);
   EXPECT_TRUE(fs.died_by(a, SIGKILL));
@@ -232,12 +246,17 @@ TEST_F(ShmParkTest, TwoProcessParkRunHoldsFairHandoffInvariant) {
   // mutual exclusion through the probes.
   const uint64_t key = 33;
   ForkScenario fs;
-  const int c1 = fs.spawn(worker_path(), {m.world.region().name(), "0",
-                                          "park-run", "50",
-                                          std::to_string(key)});
-  const int c2 = fs.spawn(worker_path(), {m.world.region().name(), "1",
-                                          "park-run", "50",
-                                          std::to_string(key)});
+  int c1 = -1, c2 = -1;
+  {
+    rme::harness::MapHint hint(0x510000000000ull);
+    c1 = fs.spawn(worker_path(), {m.world.region().name(), "0",
+                                  "park-run", "50", std::to_string(key)});
+  }
+  {
+    rme::harness::MapHint hint(0x610000000000ull);
+    c2 = fs.spawn(worker_path(), {m.world.region().name(), "1",
+                                  "park-run", "50", std::to_string(key)});
+  }
   EXPECT_TRUE(fs.exited_clean(c1));
   EXPECT_TRUE(fs.exited_clean(c2));
   const int shard = m.fx.table.shard_for_key(key);

@@ -4,10 +4,14 @@
 // THREADS of one process contending on a region-resident table through
 // SessionLease. Real cross-process coverage (fork+exec, SIGKILL, epoch-
 // fenced restart) lives in tests/test_shm_fork.cpp.
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -60,14 +64,32 @@ TEST(ShmRegion, CreateFailsOnDuplicateName) {
   EXPECT_THROW(ShmWorld::create(name, 8 << 20, 2), ShmError);
 }
 
-TEST(ShmRegion, SelfAttachFailsAddressBusy) {
-  // The fixed-address contract: a process that already maps the region
-  // (here: the creator itself) cannot map it a second time at the same
-  // base. Cross-process attach success is covered by test_shm_fork.
+TEST(ShmRegion, SelfAttachAtSecondBaseSharesState) {
+  // The attach-anywhere contract: a second attach in the SAME process
+  // lands at a second base (the first mapping occupies the original
+  // range) and still resolves the same state, because every in-region
+  // link is a self-relative offset. Full cross-process coverage at
+  // mismatched bases lives in tests/test_shm_offsets.cpp.
   const std::string name = unique_name("busy");
   auto world = ShmWorld::create(name, 8 << 20, 2);
-  world.create_root<int>(7);  // publish, so attach() reaches the mmap
+  world.create_root<uint64_t>(7);  // publish, so attach() proceeds
+  auto world2 = ShmWorld::attach(name);
+  EXPECT_NE(world2.region().base(), world.region().base());
+  EXPECT_EQ(world2.root<uint64_t>(), 7u);
+  world.root<uint64_t>() = 99;
+  EXPECT_EQ(world2.root<uint64_t>(), 99u);
+}
+
+TEST(ShmRegion, FixedFastPathRefusesBusyAddress) {
+  // The opt-in fixed-address fast path keeps the old loud-failure
+  // behaviour: a process that already maps the region cannot map it
+  // again at the recorded base.
+  const std::string name = unique_name("fixed");
+  auto world = ShmWorld::create(name, 8 << 20, 2);
+  world.create_root<int>(7);
+  ::setenv("RME_SHM_FIXED", "1", 1);
   EXPECT_THROW(ShmWorld::attach(name), ShmError);
+  ::unsetenv("RME_SHM_FIXED");
 }
 
 TEST(ShmRegistry, FreshClaimBumpsEpochAndReleases) {
@@ -217,6 +239,7 @@ TEST(ShmRegion, ArenaExhaustionRefusesCleanly) {
   // request leaves the cursor untouched, and the arena hands out every
   // byte it actually has.
   auto world = ShmWorld::create(unique_name("full"), 1 << 20, 2);
+  world.set_grow_enabled(false);  // this test pins the NO-GROW contract
   auto& arena = world.env.arena;
   // A request far beyond the region: clean refusal, nothing consumed.
   EXPECT_EQ(arena.try_allocate(8u << 20, 64), nullptr);
@@ -237,6 +260,44 @@ TEST(ShmRegion, ArenaExhaustionRefusesCleanly) {
   EXPECT_EQ(arena.try_allocate(8, 8), nullptr);
   EXPECT_LE(world.region().header()->cursor.load(std::memory_order_relaxed),
             world.region().bytes());
+}
+
+TEST(ShmRegion, ArenaGrowthExtendsRegion) {
+  // The growth path: an allocation beyond the current limit triggers
+  // region_grow, which ftruncate-extends the backing object inside the
+  // pre-mapped VA span and appends a segment-directory entry. The
+  // returned memory must be writable and the directory consistent.
+  auto world = ShmWorld::create(unique_name("grow"), 1 << 20, 2);
+  const rme::shm::RegionHeader* hdr = world.region().header();
+  const uint64_t limit0 = hdr->limit.load(std::memory_order_acquire);
+  EXPECT_EQ(limit0, 1u << 20);
+  EXPECT_EQ(hdr->segs.count.load(std::memory_order_acquire), 1u);
+
+  void* p = world.env.arena.try_allocate(2u << 20, 64);
+  ASSERT_NE(p, nullptr) << "growth should satisfy a 2MB request";
+  ::memset(p, 0xab, 2u << 20);  // the extended range must be writable
+
+  const uint64_t limit1 = hdr->limit.load(std::memory_order_acquire);
+  EXPECT_GT(limit1, limit0);
+  EXPECT_LE(limit1, world.region().bytes());  // never past the VA span
+  // Segment directory: >= 2 entries, strictly increasing, last == limit.
+  const uint32_t nsegs = hdr->segs.count.load(std::memory_order_acquire);
+  ASSERT_GE(nsegs, 2u);
+  uint64_t prev = 0;
+  for (uint32_t i = 0; i < nsegs; ++i) {
+    const uint64_t hi = hdr->segs.hi[i].load(std::memory_order_acquire);
+    EXPECT_GT(hi, prev) << "segment " << i;
+    prev = hi;
+  }
+  EXPECT_EQ(prev, limit1);
+  EXPECT_GE(hdr->segs.gen.load(std::memory_order_acquire), 2u);
+  // The backing object really was extended: its file size is the limit.
+  const int fd = ::shm_open(world.region().name().c_str(), O_RDONLY, 0);
+  ASSERT_GE(fd, 0);
+  struct stat st {};
+  ASSERT_EQ(::fstat(fd, &st), 0);
+  ::close(fd);
+  EXPECT_EQ(static_cast<uint64_t>(st.st_size), limit1);
 }
 
 TEST(ShmRegion, ArenaOverAlignedAllocationsAlignTheAddress) {

@@ -6,15 +6,17 @@
 //   rme_regionctl pids   --region=NAME [--pids=N]
 //   rme_regionctl shards --region=NAME [--pids=N]
 //   rme_regionctl hist   --region=NAME [--pids=N] [--wake]
+//   rme_regionctl segs   --region=NAME
+//   rme_regionctl compact --region=NAME [--drain-ms=MS]
 //
-// STRICTLY READ-ONLY: the region is opened O_RDONLY and mapped PROT_READ
-// (shm::RoRegion), at any address - the inspector only walks the
-// offset-addressed header arenas, so the fixed-mapping contract the lock
-// state needs does not apply to it. It can therefore attach to a region
-// that is mid-chaos (the cts soak, a live daemon) without perturbing a
-// single protocol step: reads go through the per-row seqlock
-// (obs/snapshot.hpp), so counters and histograms are internally
-// consistent even while their single writers are storming.
+// The inspection verbs are STRICTLY READ-ONLY: the region is opened
+// O_RDONLY and mapped PROT_READ (shm::RoRegion), at any address - the
+// inspector only walks the offset-addressed state, which since ABI v5 is
+// ALL of it (attach-anywhere contract, shm/offptr.hpp). It can therefore
+// attach to a region that is mid-chaos (the cts soak, a live daemon)
+// without perturbing a single protocol step: reads go through the
+// per-row seqlock (obs/snapshot.hpp), so counters and histograms are
+// internally consistent even while their single writers are storming.
 //
 //   dump    one METRICS_JSON line (schema: tools/check_bench_json.py),
 //           or Prometheus-style exposition text with --prom
@@ -23,8 +25,13 @@
 //           incarnations, counters
 //   shards  per-shard acquisition heat (rows' shard_heat merged)
 //   hist    the acquire-wait histogram (--wake: the wake-latency one)
+//   segs    the segment directory: per-growth high-water marks, the
+//           current dynamic limit, and the reserved VA span
+//   compact the ONE writing verb: quiesce the region, drain sessions,
+//           relocate the live prefix into a trimmed object, republish
+//           (shm::compact_region). Prints the before/after report.
 //
-// Exit codes: 0 ok, 2 usage/attach failure.
+// Exit codes: 0 ok, 2 usage/attach/compact failure.
 #include <stdio.h>
 #include <unistd.h>
 
@@ -45,7 +52,8 @@ struct Args {
   std::string region;
   int pids = rme::shm::kMaxProcs;
   int interval_ms = 1000;
-  int count = 0;  // watch: 0 = forever
+  int count = 0;          // watch: 0 = forever
+  int drain_ms = 10000;   // compact: session-drain timeout
   bool prom = false;
   bool wake = false;
 };
@@ -59,9 +67,11 @@ bool arg_value(const char* arg, const char* name, const char** out) {
 
 void usage() {
   ::fprintf(stderr,
-            "usage: rme_regionctl dump|watch|pids|shards|hist --region=NAME\n"
+            "usage: rme_regionctl dump|watch|pids|shards|hist|segs|compact\n"
+            "                     --region=NAME\n"
             "                     [--pids=N] [--prom] [--wake]\n"
-            "                     [--interval-ms=MS] [--count=N]\n");
+            "                     [--interval-ms=MS] [--count=N]\n"
+            "                     [--drain-ms=MS]\n");
 }
 
 Snapshot snap_of(const rme::shm::RoRegion& r, const Args& a) {
@@ -143,6 +153,26 @@ void cmd_hist(const rme::shm::RoRegion& r, const Args& a) {
   }
 }
 
+void cmd_segs(const rme::shm::RoRegion& r) {
+  const rme::shm::RegionHeader* h = r.header();
+  const uint32_t n = h->segs.count.load(std::memory_order_acquire);
+  ::printf("span  %12llu bytes (reserved VA ceiling)\n",
+           static_cast<unsigned long long>(h->bytes));
+  ::printf("limit %12llu bytes (current usable)\n",
+           static_cast<unsigned long long>(
+               h->limit.load(std::memory_order_acquire)));
+  ::printf("gen   %12llu   segments %u\n",
+           static_cast<unsigned long long>(
+               h->segs.gen.load(std::memory_order_acquire)),
+           n);
+  ::printf("%4s %14s\n", "seg", "hi");
+  for (uint32_t i = 0; i < n && i < rme::shm::kMaxSegs; ++i) {
+    ::printf("%4u %14llu\n", i,
+             static_cast<unsigned long long>(
+                 h->segs.hi[i].load(std::memory_order_acquire)));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -162,6 +192,8 @@ int main(int argc, char** argv) {
       a.interval_ms = ::atoi(v);
     } else if (arg_value(argv[i], "--count", &v)) {
       a.count = ::atoi(v);
+    } else if (arg_value(argv[i], "--drain-ms", &v)) {
+      a.drain_ms = ::atoi(v);
     } else if (::strcmp(argv[i], "--prom") == 0) {
       a.prom = true;
     } else if (::strcmp(argv[i], "--wake") == 0) {
@@ -176,6 +208,20 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
+    if (a.cmd == "compact") {
+      // The one verb that writes: it never maps the region read-only, it
+      // drives the quiesce-drain-relocate-republish pass directly.
+      const rme::shm::CompactReport rep =
+          rme::shm::compact_region(a.region, a.drain_ms);
+      ::printf(
+          "compacted %s: limit %llu -> %llu bytes (live %llu), seg gen "
+          "%llu\n",
+          a.region.c_str(), static_cast<unsigned long long>(rep.old_limit),
+          static_cast<unsigned long long>(rep.new_limit),
+          static_cast<unsigned long long>(rep.live_bytes),
+          static_cast<unsigned long long>(rep.seg_gen));
+      return 0;
+    }
     const rme::shm::RoRegion r = rme::shm::RoRegion::open(a.region);
     if (a.cmd == "dump") {
       cmd_dump(r, a);
@@ -191,6 +237,8 @@ int main(int argc, char** argv) {
       cmd_shards(r, a);
     } else if (a.cmd == "hist") {
       cmd_hist(r, a);
+    } else if (a.cmd == "segs") {
+      cmd_segs(r);
     } else {
       usage();
       return 2;

@@ -70,11 +70,32 @@
 //                                     2 = refused, with NO stderr either
 //                                     way (the pid_exhaust arm's silent
 //                                     probe; never reads the root)
+//     grow-run <chunk> <iters>        registry-only (the grow_storm arm):
+//                                     claim the pid, hammer the arena
+//                                     with try_allocate(chunk) x iters to
+//                                     force region growth, release. Exit
+//                                     0 = at least one allocation landed,
+//                                     2 = none (or shm refusal); silent,
+//                                     never reads the root. SIGKILL-able
+//                                     at any instant - a victim may die
+//                                     holding the grow guard, which the
+//                                     next grower must survive
+//     compact-rival <total> <key>     the live rival of a quiesce-and-
+//                                     compact pass: bursts of ~5 clean
+//                                     passages with a release+sleep gap
+//                                     between bursts; when a burst hits
+//                                     the quiesce gate (ShmError) it
+//                                     RE-ATTACHES by name and retries -
+//                                     landing on the republished object.
+//                                     Announces kDone after all passages
 //
 // Exit codes: 0 ok; 2 shm error (busy slot, bad region); 3 bad args;
 // 4 recovery audit failure (probe owner unexpectedly changed); 5 the
 // role expected a takeover but the claim was fresh; 6 fair-handoff
 // invariant violated (handoff_rmrs > releases).
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -403,6 +424,64 @@ int main(int argc, char** argv) {
   const std::string region = argv[1];
   const int pid = std::atoi(argv[2]);
   const std::string role = argv[3];
+  if (role == "grow-run") {
+    // Registry-only allocation storm (the grow_storm soak arm): hammer
+    // the arena until the region has grown (or refused at its VA-span
+    // ceiling). Runs against scratch worlds with no Fixture root, and is
+    // SIGKILL-able at any instant - dying inside region_grow leaves the
+    // grow guard claimed, which the rival grower must ride out. Silent
+    // like claim-probe: the storm's BadNews scanner treats stderr as an
+    // anomaly.
+    if (argc < 6) return 3;
+    const size_t chunk = std::strtoull(argv[4], nullptr, 0);
+    const int iters = std::atoi(argv[5]);
+    try {
+      auto world = rme::shm::ShmWorld::attach(region);
+      const auto id = world.claim(pid);
+      int landed = 0;
+      for (int i = 0; i < iters; ++i) {
+        if (world.env.arena.try_allocate(chunk, 8) != nullptr) ++landed;
+      }
+      world.release(id);
+      return landed > 0 ? 0 : 2;
+    } catch (const rme::shm::ShmError&) {
+      return 2;
+    }
+  }
+  if (role == "compact-rival") {
+    // The live rival of a quiesce-and-compact pass. Bursts of short
+    // lease-holds with gaps between them give the compactor's drain a
+    // window; a burst that lands on the quiesce gate (claim or acquire
+    // throws ShmError) re-attaches BY NAME and retries, which after the
+    // republish lands on the compacted object. Every passage is audited
+    // through the Fixture probes, so a lost grant or a duplicated region
+    // would surface as a wrong count or an ME violation upstream.
+    if (argc < 6) return 3;
+    const int total = std::atoi(argv[4]);
+    const uint64_t key = std::strtoull(argv[5], nullptr, 0);
+    int done = 0;
+    while (done < total) {
+      try {
+        auto world = rme::shm::ShmWorld::attach(region);
+        auto& fx = world.root<Fixture>();
+        Lease lease(world, fx.table, pid);
+        const int burst = std::min(5, total - done);
+        for (int i = 0; i < burst; ++i) {
+          passage(lease, fx, pid, key);
+          ++done;
+        }
+        if (done >= total) {
+          fx.board.announce(pid, Stage::kDone);
+          return 0;
+        }
+      } catch (const rme::shm::ShmError&) {
+        // Quiesced (or mid-republish): back off and re-attach.
+        ::usleep(2000);
+      }
+      ::usleep(1000);  // burst gap: the drain's window
+    }
+    return 0;
+  }
   if (role == "claim-probe") {
     // Registry-only probe (the pid_exhaust soak arm): try to claim the
     // logical pid and report the verdict via the exit code alone -
