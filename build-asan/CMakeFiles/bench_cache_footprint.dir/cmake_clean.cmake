@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cache_footprint.dir/bench/bench_cache_footprint.cpp.o"
+  "CMakeFiles/bench_cache_footprint.dir/bench/bench_cache_footprint.cpp.o.d"
+  "bench/bench_cache_footprint"
+  "bench/bench_cache_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

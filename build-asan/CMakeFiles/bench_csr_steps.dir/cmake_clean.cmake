@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_csr_steps.dir/bench/bench_csr_steps.cpp.o"
+  "CMakeFiles/bench_csr_steps.dir/bench/bench_csr_steps.cpp.o.d"
+  "bench/bench_csr_steps"
+  "bench/bench_csr_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_csr_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lockd.dir/bench/bench_lockd.cpp.o"
+  "CMakeFiles/bench_lockd.dir/bench/bench_lockd.cpp.o.d"
+  "bench/bench_lockd"
+  "bench/bench_lockd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lockd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shm.dir/bench/bench_shm.cpp.o"
+  "CMakeFiles/bench_shm.dir/bench/bench_shm.cpp.o.d"
+  "bench/bench_shm"
+  "bench/bench_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rme_lockd.dir/tools/rme_lockd.cpp.o"
+  "CMakeFiles/rme_lockd.dir/tools/rme_lockd.cpp.o.d"
+  "tools/rme_lockd"
+  "tools/rme_lockd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rme_lockd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

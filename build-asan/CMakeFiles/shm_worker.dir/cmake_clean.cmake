@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_worker.dir/tools/shm_worker.cpp.o"
+  "CMakeFiles/shm_worker.dir/tools/shm_worker.cpp.o.d"
+  "tools/shm_worker"
+  "tools/shm_worker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_worker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

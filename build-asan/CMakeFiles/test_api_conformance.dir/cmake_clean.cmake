@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_api_conformance.dir/tests/test_api_conformance.cpp.o"
+  "CMakeFiles/test_api_conformance.dir/tests/test_api_conformance.cpp.o.d"
+  "test_api_conformance"
+  "test_api_conformance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_api_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

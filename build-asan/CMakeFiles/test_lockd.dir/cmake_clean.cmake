@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lockd.dir/tests/test_lockd.cpp.o"
+  "CMakeFiles/test_lockd.dir/tests/test_lockd.cpp.o.d"
+  "test_lockd"
+  "test_lockd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lockd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_port_lease.dir/tests/test_port_lease.cpp.o"
+  "CMakeFiles/test_port_lease.dir/tests/test_port_lease.cpp.o.d"
+  "test_port_lease"
+  "test_port_lease.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_port_lease.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

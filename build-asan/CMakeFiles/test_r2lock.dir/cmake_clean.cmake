@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_r2lock.dir/tests/test_r2lock.cpp.o"
+  "CMakeFiles/test_r2lock.dir/tests/test_r2lock.cpp.o.d"
+  "test_r2lock"
+  "test_r2lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_r2lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_realthreads.dir/tests/test_realthreads.cpp.o"
+  "CMakeFiles/test_realthreads.dir/tests/test_realthreads.cpp.o.d"
+  "test_realthreads"
+  "test_realthreads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_realthreads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

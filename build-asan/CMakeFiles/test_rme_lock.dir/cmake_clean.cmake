@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rme_lock.dir/tests/test_rme_lock.cpp.o"
+  "CMakeFiles/test_rme_lock.dir/tests/test_rme_lock.cpp.o.d"
+  "test_rme_lock"
+  "test_rme_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rme_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

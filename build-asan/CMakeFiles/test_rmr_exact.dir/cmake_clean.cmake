@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmr_exact.dir/tests/test_rmr_exact.cpp.o"
+  "CMakeFiles/test_rmr_exact.dir/tests/test_rmr_exact.cpp.o.d"
+  "test_rmr_exact"
+  "test_rmr_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmr_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

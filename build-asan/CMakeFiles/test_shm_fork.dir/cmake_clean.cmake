@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shm_fork.dir/tests/test_shm_fork.cpp.o"
+  "CMakeFiles/test_shm_fork.dir/tests/test_shm_fork.cpp.o.d"
+  "test_shm_fork"
+  "test_shm_fork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shm_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

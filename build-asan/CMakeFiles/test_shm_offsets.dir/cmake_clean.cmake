@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shm_offsets.dir/tests/test_shm_offsets.cpp.o"
+  "CMakeFiles/test_shm_offsets.dir/tests/test_shm_offsets.cpp.o.d"
+  "test_shm_offsets"
+  "test_shm_offsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shm_offsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

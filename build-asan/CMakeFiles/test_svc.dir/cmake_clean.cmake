@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svc.dir/tests/test_svc.cpp.o"
+  "CMakeFiles/test_svc.dir/tests/test_svc.cpp.o.d"
+  "test_svc"
+  "test_svc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_crash.dir/tests/test_system_crash.cpp.o"
+  "CMakeFiles/test_system_crash.dir/tests/test_system_crash.cpp.o.d"
+  "test_system_crash"
+  "test_system_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crash_rmr.dir/bench/bench_crash_rmr.cpp.o"
+  "CMakeFiles/bench_crash_rmr.dir/bench/bench_crash_rmr.cpp.o.d"
+  "bench/bench_crash_rmr"
+  "bench/bench_crash_rmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crash_rmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exit_steps.dir/bench/bench_exit_steps.cpp.o"
+  "CMakeFiles/bench_exit_steps.dir/bench/bench_exit_steps.cpp.o.d"
+  "bench/bench_exit_steps"
+  "bench/bench_exit_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exit_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_repair.dir/bench/bench_repair.cpp.o"
+  "CMakeFiles/bench_repair.dir/bench/bench_repair.cpp.o.d"
+  "bench/bench_repair"
+  "bench/bench_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_signal.dir/bench/bench_signal.cpp.o"
+  "CMakeFiles/bench_signal.dir/bench/bench_signal.cpp.o.d"
+  "bench/bench_signal"
+  "bench/bench_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

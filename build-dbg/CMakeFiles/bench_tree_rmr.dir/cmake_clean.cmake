@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_rmr.dir/bench/bench_tree_rmr.cpp.o"
+  "CMakeFiles/bench_tree_rmr.dir/bench/bench_tree_rmr.cpp.o.d"
+  "bench/bench_tree_rmr"
+  "bench/bench_tree_rmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_rmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

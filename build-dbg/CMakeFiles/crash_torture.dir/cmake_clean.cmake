@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_torture.dir/examples/crash_torture.cpp.o"
+  "CMakeFiles/crash_torture.dir/examples/crash_torture.cpp.o.d"
+  "examples/crash_torture"
+  "examples/crash_torture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_torture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockd_clients.dir/examples/lockd_clients.cpp.o"
+  "CMakeFiles/lockd_clients.dir/examples/lockd_clients.cpp.o.d"
+  "examples/lockd_clients"
+  "examples/lockd_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockd_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rme_api_check.dir/src/api/api_check.cpp.o"
+  "CMakeFiles/rme_api_check.dir/src/api/api_check.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rme_api_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmr_audit.dir/examples/rmr_audit.cpp.o"
+  "CMakeFiles/rmr_audit.dir/examples/rmr_audit.cpp.o.d"
+  "examples/rmr_audit"
+  "examples/rmr_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmr_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cts.dir/tests/test_cts.cpp.o"
+  "CMakeFiles/test_cts.dir/tests/test_cts.cpp.o.d"
+  "test_cts"
+  "test_cts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rlock.dir/tests/test_rlock.cpp.o"
+  "CMakeFiles/test_rlock.dir/tests/test_rlock.cpp.o.d"
+  "test_rlock"
+  "test_rlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

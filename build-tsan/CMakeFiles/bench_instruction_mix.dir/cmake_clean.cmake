@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_instruction_mix.dir/bench/bench_instruction_mix.cpp.o"
+  "CMakeFiles/bench_instruction_mix.dir/bench/bench_instruction_mix.cpp.o.d"
+  "bench/bench_instruction_mix"
+  "bench/bench_instruction_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_instruction_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

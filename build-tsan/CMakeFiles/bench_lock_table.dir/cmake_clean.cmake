@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lock_table.dir/bench/bench_lock_table.cpp.o"
+  "CMakeFiles/bench_lock_table.dir/bench/bench_lock_table.cpp.o.d"
+  "bench/bench_lock_table"
+  "bench/bench_lock_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lock_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

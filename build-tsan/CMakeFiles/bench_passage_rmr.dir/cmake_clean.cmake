@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_passage_rmr.dir/bench/bench_passage_rmr.cpp.o"
+  "CMakeFiles/bench_passage_rmr.dir/bench/bench_passage_rmr.cpp.o.d"
+  "bench/bench_passage_rmr"
+  "bench/bench_passage_rmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_passage_rmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

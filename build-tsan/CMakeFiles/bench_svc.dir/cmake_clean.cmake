@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_svc.dir/bench/bench_svc.cpp.o"
+  "CMakeFiles/bench_svc.dir/bench/bench_svc.cpp.o.d"
+  "bench/bench_svc"
+  "bench/bench_svc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

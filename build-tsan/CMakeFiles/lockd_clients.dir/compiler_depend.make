@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lockd_clients.
+# This may be replaced when dependencies are built.

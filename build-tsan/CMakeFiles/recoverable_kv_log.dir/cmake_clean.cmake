@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recoverable_kv_log.dir/examples/recoverable_kv_log.cpp.o"
+  "CMakeFiles/recoverable_kv_log.dir/examples/recoverable_kv_log.cpp.o.d"
+  "examples/recoverable_kv_log"
+  "examples/recoverable_kv_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recoverable_kv_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

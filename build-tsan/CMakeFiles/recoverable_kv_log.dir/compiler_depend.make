@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for recoverable_kv_log.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rme_regionctl.dir/tools/rme_regionctl.cpp.o"
+  "CMakeFiles/rme_regionctl.dir/tools/rme_regionctl.cpp.o.d"
+  "tools/rme_regionctl"
+  "tools/rme_regionctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rme_regionctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rme_soak.dir/tools/rme_soak.cpp.o"
+  "CMakeFiles/rme_soak.dir/tools/rme_soak.cpp.o.d"
+  "tools/rme_soak"
+  "tools/rme_soak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rme_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

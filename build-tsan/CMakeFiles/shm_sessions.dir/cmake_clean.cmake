@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_sessions.dir/examples/shm_sessions.cpp.o"
+  "CMakeFiles/shm_sessions.dir/examples/shm_sessions.cpp.o.d"
+  "examples/shm_sessions"
+  "examples/shm_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

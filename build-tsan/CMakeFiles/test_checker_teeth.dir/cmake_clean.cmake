@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checker_teeth.dir/tests/test_checker_teeth.cpp.o"
+  "CMakeFiles/test_checker_teeth.dir/tests/test_checker_teeth.cpp.o.d"
+  "test_checker_teeth"
+  "test_checker_teeth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checker_teeth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crash_matrix.dir/tests/test_crash_matrix.cpp.o"
+  "CMakeFiles/test_crash_matrix.dir/tests/test_crash_matrix.cpp.o.d"
+  "test_crash_matrix"
+  "test_crash_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crash_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_repair_graph.dir/tests/test_repair_graph.cpp.o"
+  "CMakeFiles/test_repair_graph.dir/tests/test_repair_graph.cpp.o.d"
+  "test_repair_graph"
+  "test_repair_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_repair_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shm_park.dir/tests/test_shm_park.cpp.o"
+  "CMakeFiles/test_shm_park.dir/tests/test_shm_park.cpp.o.d"
+  "test_shm_park"
+  "test_shm_park.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shm_park.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shm_world.dir/tests/test_shm_world.cpp.o"
+  "CMakeFiles/test_shm_world.dir/tests/test_shm_world.cpp.o.d"
+  "test_shm_world"
+  "test_shm_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shm_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
